@@ -1,0 +1,167 @@
+// Command amos is an interactive AMOSQL shell over the partdiff active
+// DBMS. Statements end with ';' and may span lines. Meta commands:
+//
+//	\mode                 show the monitoring mode
+//	\stats                show monitor statistics
+//	\explain              show why rules triggered in the last commit
+//	\net                  show the propagation network levels
+//	\quit
+//
+// A demo `order` procedure is predefined (it prints the order). Run a
+// script: amos -f script.amosql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"partdiff"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "incremental", "monitoring mode: incremental, naive, hybrid")
+	file := flag.String("f", "", "execute a script file and exit")
+	flag.Parse()
+
+	var mode partdiff.Mode
+	switch *modeFlag {
+	case "incremental":
+		mode = partdiff.Incremental
+	case "naive":
+		mode = partdiff.Naive
+	case "hybrid":
+		mode = partdiff.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	db := partdiff.Open(partdiff.WithMode(mode))
+	db.SetOutput(os.Stdout)
+	db.RegisterProcedure("order", func(args []partdiff.Value) error {
+		parts := make([]string, len(args))
+		for i, v := range args {
+			parts[i] = v.String()
+		}
+		fmt.Printf(">> order(%s)\n", strings.Join(parts, ", "))
+		return nil
+	})
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := exec(db, string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("amos shell (%s monitoring) — statements end with ';', \\quit to exit\n", mode)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "amos> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if meta(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "  ... "
+			continue
+		}
+		src := buf.String()
+		buf.Reset()
+		prompt = "amos> "
+		if err := exec(db, src); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+// meta handles backslash commands; it reports whether to quit.
+func meta(db *partdiff.DB, cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\stats":
+		s := db.Stats()
+		fmt.Printf("propagations=%d differentials=%d naive-recomputations=%d triggered=%d actions=%d rounds=%d\n",
+			s.Propagations, s.DifferentialsExecuted, s.NaiveRecomputations,
+			s.TriggeredInstances, s.ActionsExecuted, s.CheckRounds)
+	case "\\mode":
+		fmt.Println(db.Session().Rules().Mode())
+	case "\\explain":
+		for _, e := range db.Explanations() {
+			fmt.Printf("rule %s (round %d) triggered for %v\n", e.Rule, e.Round, e.Instances)
+			for _, te := range e.Entries {
+				fmt.Printf("  %s produced %d tuple(s)\n", te.Differential, te.Produced)
+			}
+		}
+	case "\\net":
+		net := db.Session().Rules().Network()
+		if net == nil {
+			fmt.Println("no active network (no activated rules)")
+			break
+		}
+		for lvl, preds := range net.Levels() {
+			fmt.Printf("level %d: %s\n", lvl, strings.Join(preds, ", "))
+		}
+	case "\\debug":
+		words := strings.Fields(cmd)
+		if len(words) > 1 && words[1] == "off" {
+			db.SetDebug(nil)
+			fmt.Println("check-phase tracing off")
+		} else {
+			db.SetDebug(os.Stdout)
+			fmt.Println("check-phase tracing on (\\debug off to disable)")
+		}
+	case "\\dot":
+		net := db.Session().Rules().Network()
+		if net == nil {
+			fmt.Println("no active network (no activated rules)")
+			break
+		}
+		fmt.Print(net.Dot())
+	default:
+		fmt.Println("unknown meta command; try \\stats \\explain \\net \\dot \\debug \\mode \\quit")
+	}
+	return false
+}
+
+func exec(db *partdiff.DB, src string) error {
+	results, err := db.Exec(src)
+	for _, r := range results {
+		if r.Columns != nil {
+			fmt.Println(strings.Join(r.Columns, " | "))
+			for _, t := range r.Tuples {
+				cells := make([]string, len(t))
+				for i, v := range t {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("(%d row(s))\n", len(r.Tuples))
+		} else if r.Message != "" {
+			fmt.Println(r.Message)
+		}
+	}
+	return err
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"partdiff"
+)
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n])
+}
+
+func demoDB(t *testing.T) *partdiff.DB {
+	t.Helper()
+	db := partdiff.Open()
+	db.RegisterProcedure("order", func([]partdiff.Value) error { return nil })
+	db.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < 10
+    do order(i);
+create item instances :a;
+set quantity(:a) = 100;
+activate low();
+`)
+	return db
+}
+
+func TestExecPrintsSelectResults(t *testing.T) {
+	db := demoDB(t)
+	out := capture(t, func() {
+		if err := exec(db, `select i, quantity(i) for each item i;`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "i | quantity(i)") || !strings.Contains(out, "#1 | 100") ||
+		!strings.Contains(out, "(1 row(s))") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExecPrintsMessages(t *testing.T) {
+	db := partdiff.Open()
+	out := capture(t, func() {
+		if err := exec(db, `create type widget;`); err != nil {
+			t.Error(err)
+		}
+	})
+	if !strings.Contains(out, "type widget created") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExecReturnsErrors(t *testing.T) {
+	db := partdiff.Open()
+	if err := exec(db, `select nosuch(1);`); err == nil {
+		t.Error("bad statement should error")
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db := demoDB(t)
+	db.MustExec(`set quantity(:a) = 5;`) // fire once
+
+	cases := []struct {
+		cmd  string
+		want string
+	}{
+		{"\\mode", "incremental"},
+		{"\\stats", "propagations="},
+		{"\\explain", "rule low"},
+		{"\\net", "level 0"},
+		{"\\dot", "digraph propagation"},
+		{"\\debug", "tracing on"},
+		{"\\debug off", "tracing off"},
+		{"\\bogus", "unknown meta command"},
+	}
+	for _, tc := range cases {
+		out := capture(t, func() {
+			if meta(db, tc.cmd) {
+				t.Errorf("%s should not quit", tc.cmd)
+			}
+		})
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s output %q, want substring %q", tc.cmd, out, tc.want)
+		}
+	}
+	if !meta(db, "\\quit") || !meta(db, "\\q") {
+		t.Error("\\quit should signal exit")
+	}
+}
+
+// TestExampleScripts runs the shipped .amosql demos end to end and
+// checks their headline effects.
+func TestExampleScripts(t *testing.T) {
+	cases := []struct {
+		file string
+		want string
+	}{
+		{"../../examples/scripts/inventory.amosql", ">> order(#1, 4880)"},
+		{"../../examples/scripts/watchlist.amosql", `"risky account:" #2`},
+	}
+	for _, tc := range cases {
+		src, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := partdiff.Open()
+		db.RegisterProcedure("order", func(args []partdiff.Value) error { return nil })
+		out := capture(t, func() {
+			db.SetOutput(os.Stdout)
+			// Reuse the shell's order procedure formatting.
+			db2 := partdiff.Open()
+			db2.SetOutput(os.Stdout)
+			db2.RegisterProcedure("order", func(args []partdiff.Value) error {
+				parts := make([]string, len(args))
+				for i, v := range args {
+					parts[i] = v.String()
+				}
+				os.Stdout.WriteString(">> order(" + strings.Join(parts, ", ") + ")\n")
+				return nil
+			})
+			if err := exec(db2, string(src)); err != nil {
+				t.Errorf("%s: %v", tc.file, err)
+			}
+		})
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s output missing %q:\n%s", tc.file, tc.want, out)
+		}
+	}
+}
+
+func TestMetaNetWithoutActivations(t *testing.T) {
+	db := partdiff.Open()
+	out := capture(t, func() { meta(db, "\\net") })
+	// An empty network is still a network; either message or empty
+	// levels is acceptable, but it must not panic.
+	_ = out
+}

@@ -1,0 +1,141 @@
+// Command bench regenerates the paper's performance figures (§6) and
+// the DESIGN.md ablations, printing one table per experiment:
+//
+//	bench -exp fig6     # fig. 6: 100 txns × 1 quantity update, size sweep
+//	bench -exp fig7     # fig. 7: 1 txn updating 3 influents of all items
+//	bench -exp sharing  # §7.1 node sharing ablation
+//	bench -exp hybrid   # §8 hybrid monitor on a mixed workload
+//	bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"partdiff/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, or all")
+	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
+	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
+	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	var failed bool
+	if run("fig6") {
+		sizes := parseSizes(*sizesFlag, []int{1, 10, 100, 1000, 10000})
+		if err := runFig6(sizes, *txns); err != nil {
+			fmt.Fprintln(os.Stderr, "fig6:", err)
+			failed = true
+		}
+	}
+	if run("fig7") {
+		sizes := parseSizes(*sizesFlag, []int{10, 100, 1000})
+		if err := runFig7(sizes, *rounds); err != nil {
+			fmt.Fprintln(os.Stderr, "fig7:", err)
+			failed = true
+		}
+	}
+	if run("sharing") {
+		sizes := parseSizes(*sizesFlag, []int{100, 1000})
+		if err := runSharing(sizes, *txns); err != nil {
+			fmt.Fprintln(os.Stderr, "sharing:", err)
+			failed = true
+		}
+	}
+	if run("hybrid") {
+		sizes := parseSizes(*sizesFlag, []int{100, 1000})
+		if err := runHybrid(sizes, *txns, *rounds); err != nil {
+			fmt.Fprintln(os.Stderr, "hybrid:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseSizes(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad size %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func runFig6(sizes []int, txns int) error {
+	fmt.Printf("Fig. 6 — %d transactions, each changing the quantity of one item\n", txns)
+	fmt.Printf("(changes to ONE partial differential; incremental should be ~flat in DB size)\n\n")
+	rows, err := bench.RunFig6(sizes, txns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %10s %14s %14s %10s\n", "items", "txns", "naive ms", "incremental ms", "speedup")
+	for _, r := range rows {
+		fmt.Printf("%10d %10d %14.2f %14.2f %9.1fx\n",
+			r.DBSize, r.Txns, ms(r.NaiveNs), ms(r.IncrNs), r.Speedup())
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig7(sizes []int, rounds int) error {
+	fmt.Printf("Fig. 7 — %d transaction(s), each changing quantity, delivery_time and\n", rounds)
+	fmt.Printf("consume_freq of ALL items (three partial differentials; naive wins by a\n")
+	fmt.Printf("constant factor — the paper measured ~1.6)\n\n")
+	rows, err := bench.RunFig7(sizes, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %14s %14s %12s\n", "items", "naive ms", "incremental ms", "incr/naive")
+	for _, r := range rows {
+		fmt.Printf("%10d %14.2f %14.2f %11.2fx\n", r.N, ms(r.NaiveNs), ms(r.IncrNs), r.Ratio())
+	}
+	fmt.Println()
+	return nil
+}
+
+func runSharing(sizes []int, txns int) error {
+	fmt.Printf("§7.1 node sharing — %d txns updating min_stock of one item: flat\n", txns)
+	fmt.Printf("(fully expanded) vs bushy (shared threshold node) propagation\n\n")
+	rows, err := bench.RunNodeSharing(sizes, txns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s %12s\n", "items", "flat ms", "bushy ms")
+	for _, r := range rows {
+		fmt.Printf("%10d %12.2f %12.2f\n", r.DBSize, ms(r.FlatNs), ms(r.BushyNs))
+	}
+	fmt.Println()
+	return nil
+}
+
+func runHybrid(sizes []int, smallTxns, massiveTxns int) error {
+	fmt.Printf("Hybrid monitor (§8 future work) — mixed workload: %d small txns +\n", smallTxns)
+	fmt.Printf("%d massive txns; the hybrid monitor should approach the best column\n\n", massiveTxns)
+	rows, err := bench.RunHybrid(sizes, smallTxns, massiveTxns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s %14s %12s\n", "items", "naive ms", "incremental ms", "hybrid ms")
+	for _, r := range rows {
+		fmt.Printf("%10d %12.2f %14.2f %12.2f\n", r.N, ms(r.NaiveNs), ms(r.IncrNs), ms(r.HybridNs))
+	}
+	fmt.Println()
+	return nil
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n])
+}
+
+func TestRunFig6Table(t *testing.T) {
+	out := capture(t, func() error { return runFig6([]int{4, 16}, 4) })
+	if !strings.Contains(out, "Fig. 6") || !strings.Contains(out, "speedup") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "        16") {
+		t.Errorf("missing size row:\n%s", out)
+	}
+}
+
+func TestRunFig7Table(t *testing.T) {
+	out := capture(t, func() error { return runFig7([]int{6}, 1) })
+	if !strings.Contains(out, "Fig. 7") || !strings.Contains(out, "incr/naive") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunSharingTable(t *testing.T) {
+	out := capture(t, func() error { return runSharing([]int{6}, 3) })
+	if !strings.Contains(out, "node sharing") || !strings.Contains(out, "bushy ms") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunHybridTable(t *testing.T) {
+	out := capture(t, func() error { return runHybrid([]int{6}, 3, 1) })
+	if !strings.Contains(out, "Hybrid monitor") || !strings.Contains(out, "hybrid ms") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	if got := parseSizes("", []int{1, 2}); len(got) != 2 {
+		t.Error("default sizes")
+	}
+	got := parseSizes("3, 14,200", nil)
+	if len(got) != 3 || got[0] != 3 || got[1] != 14 || got[2] != 200 {
+		t.Errorf("parseSizes=%v", got)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if ms(2_500_000) != 2.5 {
+		t.Errorf("ms=%v", ms(2_500_000))
+	}
+}

@@ -1,0 +1,119 @@
+package partdiff_test
+
+import (
+	"fmt"
+
+	"partdiff"
+)
+
+// The paper's running example: order new items when stock drops below
+// a derived threshold.
+func Example() {
+	db := partdiff.Open()
+	db.RegisterProcedure("order", func(args []partdiff.Value) error {
+		fmt.Printf("order %d units of %s\n", args[1].AsInt(), args[0])
+		return nil
+	})
+	db.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create function max_stock(item) -> integer;
+create function reorder_at(item) -> integer;
+create rule refill() as
+    when for each item i where quantity(i) < reorder_at(i)
+    do order(i, max_stock(i) - quantity(i));
+create item instances :widget;
+set quantity(:widget) = 100;
+set max_stock(:widget) = 100;
+set reorder_at(:widget) = 25;
+activate refill();
+set quantity(:widget) = 10;
+set quantity(:widget) = 5;
+`)
+	// Strict semantics: only the first crossing fires.
+	// Output:
+	// order 90 units of #1
+}
+
+// Deferred semantics: conditions are monitored over the net changes of
+// a transaction, so a dip that recovers before commit never fires.
+func ExampleDB_Commit() {
+	db := partdiff.Open()
+	db.RegisterProcedure("alert", func(args []partdiff.Value) error {
+		fmt.Println("alert for", args[0])
+		return nil
+	})
+	db.MustExec(`
+create type sensor;
+create function value(sensor) -> integer;
+create rule high() as
+    when for each sensor s where value(s) > 90
+    do alert(s);
+create sensor instances :s;
+set value(:s) = 10;
+activate high();
+begin;
+set value(:s) = 99;
+set value(:s) = 20;
+commit;
+`)
+	fmt.Println("no alert after the transient spike")
+	// Output:
+	// no alert after the transient spike
+}
+
+// Explanations identify which influent triggered a rule and whether by
+// insertion or deletion.
+func ExampleDB_Explanations() {
+	db := partdiff.Open()
+	db.RegisterProcedure("noop", func([]partdiff.Value) error { return nil })
+	db.MustExec(`
+create type doc;
+create function approved(doc) -> boolean;
+create function published(doc) -> boolean;
+create rule unapproved() as
+    when for each doc d where published(d) = true and not approved(d) = true
+    do noop(d);
+create doc instances :d1;
+set approved(:d1) = true;
+set published(:d1) = true;
+activate unapproved();
+remove approved(:d1) = true;
+`)
+	for _, e := range db.Explanations() {
+		for _, entry := range e.Entries {
+			fmt.Printf("rule %s triggered via %s of %s\n",
+				e.Rule, signWord(entry.TriggerSign.String()), entry.Influent)
+		}
+	}
+	// Output:
+	// rule unapproved triggered via deletion of approved
+}
+
+func signWord(s string) string {
+	if s == "Δ-" {
+		return "deletion"
+	}
+	return "insertion"
+}
+
+// Aggregate and recursive views are monitored by re-evaluation inside
+// the propagation network.
+func ExampleDB_Query() {
+	db := partdiff.Open()
+	db.MustExec(`
+create type emp;
+create function salary(emp) -> integer;
+create emp instances :a, :b, :c;
+set salary(:a) = 100;
+set salary(:b) = 150;
+set salary(:c) = 150;
+`)
+	r, _ := db.Query(`select sum(salary(e)) for each emp e;`)
+	fmt.Println("total payroll:", r.Tuples[0][0])
+	r, _ = db.Query(`select count(e) for each emp e where salary(e) > 120;`)
+	fmt.Println("well paid:", r.Tuples[0][0])
+	// Output:
+	// total payroll: 400
+	// well paid: 2
+}

@@ -1,0 +1,93 @@
+// Explainability: discriminating WHY a rule triggered.
+//
+// The paper (§1, §8) highlights that partial differencing makes it
+// trivial to determine which influent caused a rule to trigger, and
+// whether it was an insertion or a deletion — information that
+// ECA-systems recover only by duplicating the rule once per event type.
+// Here ONE rule watches employee/department consistency and the action
+// reports a different diagnosis depending on the recorded explanation.
+//
+// Run: go run ./examples/explain
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"partdiff"
+)
+
+func main() {
+	db := partdiff.Open()
+
+	// The action consults the explanation of the current check phase to
+	// diagnose the cause — one rule, many causes.
+	db.RegisterProcedure("report", func(args []partdiff.Value) error {
+		causes := map[string]bool{}
+		for _, e := range db.Explanations() {
+			if e.Rule != "orphaned" {
+				continue
+			}
+			for _, te := range e.Entries {
+				kind := "insertion into"
+				if te.TriggerSign.String() == "Δ-" {
+					kind = "deletion from"
+				}
+				causes[kind+" "+te.Influent] = true
+			}
+		}
+		var parts []string
+		for c := range causes {
+			parts = append(parts, c)
+		}
+		fmt.Printf("  >> employee %s is orphaned — caused by %s\n",
+			args[0], strings.Join(parts, " / "))
+		return nil
+	})
+
+	if _, err := db.Exec(`
+create type employee;
+create type department;
+create function works_in(employee) -> department;
+create function active(department) -> boolean;
+
+-- An employee is orphaned when assigned to a department that is not
+-- active. Both an assignment (insertion into works_in) and a
+-- department shutdown (deletion semantics through negation) trigger
+-- the same rule.
+create rule orphaned() as
+    when for each employee e, department d
+    where works_in(e) = d and not active(d)
+    do report(e);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	db.MustExec(`
+create department instances :rnd, :sales;
+create employee instances :ada, :grace;
+set active(:rnd) = true;
+set active(:sales) = true;
+set works_in(:ada) = :rnd;
+set works_in(:grace) = :sales;
+activate orphaned();
+`)
+
+	fmt.Println("assigning ada to an inactive shell department:")
+	db.MustExec(`
+create department instances :shell;
+set works_in(:ada) = :shell;
+`)
+
+	fmt.Println("shutting down sales (grace becomes orphaned via a DELETION):")
+	db.MustExec(`remove active(:sales) = true;`)
+
+	fmt.Println("\nraw differential trace of the last check phase:")
+	for _, e := range db.Explanations() {
+		for _, te := range e.Entries {
+			fmt.Printf("  %s -> %d tuple(s), effect %s\n",
+				te.Differential, te.Produced, te.EffectSign)
+		}
+	}
+}

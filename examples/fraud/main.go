@@ -1,0 +1,112 @@
+// Fraud monitoring: active rules over a toy banking schema.
+//
+// This example exercises the language features beyond the paper's
+// running example: disjunctive conditions (compiled to multiple
+// conjunctive differentials), safe negation (whitelisting — note the
+// sign crossing: REMOVING an account from the whitelist can trigger the
+// rule), rule priorities with conflict resolution, and a cascading rule
+// whose action feeds another rule's condition.
+//
+// Run: go run ./examples/fraud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partdiff"
+)
+
+func main() {
+	db := partdiff.Open()
+
+	db.RegisterProcedure("flag_account", func(args []partdiff.Value) error {
+		fmt.Printf("  >> FLAG   account %s (balance %s)\n", args[0], args[1])
+		return nil
+	})
+	db.RegisterProcedure("freeze", func(args []partdiff.Value) error {
+		fmt.Printf("  >> FREEZE account %s\n", args[0])
+		return nil
+	})
+
+	if _, err := db.Exec(`
+create type account;
+create function balance(account) -> integer;
+create function withdrawn_today(account) -> integer;
+create function whitelisted(account) -> boolean;
+create function suspicious(account) -> boolean;
+
+-- A withdrawal pattern is suspicious when it is large in absolute
+-- terms OR drains most of the balance — unless the account is
+-- whitelisted. Deleting a whitelist entry can therefore trigger the
+-- rule (negative change, sign-crossed differential).
+create rule watch_withdrawals() as
+    when for each account a
+    where (withdrawn_today(a) > 10000
+           or withdrawn_today(a) * 2 > balance(a))
+          and not whitelisted(a)
+    do mark(a);
+
+-- Flagged accounts with very large exposure are frozen; this rule has
+-- higher priority and is fed by the first rule's action.
+create rule freeze_large() as
+    when for each account a
+    where suspicious(a) = true and balance(a) > 50000
+    do freeze(a)
+    priority 10;
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// mark both records the flag and feeds the suspicious function —
+	// a rule cascade within the same check phase.
+	db.RegisterProcedure("mark", func(args []partdiff.Value) error {
+		a := args[0]
+		bal, _ := db.Query(fmt.Sprintf(`select balance(x) for each account x where x = %s;`, queryRef(db, a)))
+		fmt.Printf("  >> FLAG   account %s (balance %s)\n", a, bal.Tuples[0][0])
+		db.SetVar("marked", a)
+		_, err := db.Exec(`set suspicious(:marked) = true;`)
+		return err
+	})
+
+	db.MustExec(`
+create account instances :alice, :bob, :corp;
+set balance(:alice) = 4000;
+set balance(:bob) = 20000;
+set balance(:corp) = 90000;
+set withdrawn_today(:alice) = 0;
+set withdrawn_today(:bob) = 0;
+set withdrawn_today(:corp) = 0;
+set whitelisted(:corp) = true;
+activate watch_withdrawals();
+activate freeze_large();
+`)
+
+	fmt.Println("bob withdraws 12000 (> 10000 hard limit):")
+	db.MustExec(`set withdrawn_today(:bob) = 12000;`)
+
+	fmt.Println("alice withdraws 2500 (> half her 4000 balance):")
+	db.MustExec(`set withdrawn_today(:alice) = 2500;`)
+
+	fmt.Println("corp withdraws 60000 — whitelisted, nothing happens:")
+	db.MustExec(`set withdrawn_today(:corp) = 60000;`)
+
+	fmt.Println("corp loses its whitelist entry — the standing withdrawal now trips")
+	fmt.Println("the rule (negation: a DELETION triggers), and the cascade freezes it:")
+	db.MustExec(`remove whitelisted(:corp) = true;`)
+
+	fmt.Println("\nwhy did the rules fire? (explanations from the last check phase)")
+	for _, e := range db.Explanations() {
+		fmt.Printf("  rule %s triggered for %v via:\n", e.Rule, e.Instances)
+		for _, te := range e.Entries {
+			fmt.Printf("    %s (%d tuple(s))\n", te.Differential, te.Produced)
+		}
+	}
+}
+
+// queryRef renders an object value as an interface variable reference
+// usable in a query string.
+func queryRef(db *partdiff.DB, v partdiff.Value) string {
+	db.SetVar("_ref", v)
+	return ":_ref"
+}

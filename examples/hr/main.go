@@ -1,0 +1,103 @@
+// HR monitoring: aggregates, recursion and ECA events — the three
+// extensions the paper lists as refinements/future work (§7, §8), all
+// active in one schema.
+//
+//   - payroll(d) is an AGGREGATE view (sum of salaries): monitored by
+//     re-evaluation inside the propagation network, while the rules
+//     above it stay incremental.
+//   - chain_of(e) is a RECURSIVE view (management chain): re-evaluated
+//     by fixpoint when reports_to changes.
+//   - budget_watch is an ECA rule: it only reacts to salary updates,
+//     not to budget changes.
+//
+// Run: go run ./examples/hr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"partdiff"
+)
+
+func main() {
+	db := partdiff.Open()
+
+	db.RegisterProcedure("over_budget", func(args []partdiff.Value) error {
+		fmt.Printf("  >> OVER BUDGET: department %s (payroll %s > budget %s)\n",
+			args[0], args[1], args[2])
+		return nil
+	})
+	db.RegisterProcedure("audit", func(args []partdiff.Value) error {
+		fmt.Printf("  >> audit: employee %s is now in the CFO's chain\n", args[0])
+		return nil
+	})
+
+	if _, err := db.Exec(`
+create type department;
+create type employee;
+create function budget(department) -> integer;
+create function salary(employee) -> integer;
+create function dept(employee) -> department;
+create function reports_to(employee) -> employee;
+
+-- Aggregate view: total salary per department.
+create function payroll(department d) -> integer
+    as select sum(salary(e)) for each employee e where dept(e) = d;
+
+-- Recursive view: everyone above e in the reporting chain.
+create function chain_of(employee e) -> employee
+    as select m for each employee m
+    where reports_to(e) = m or chain_of(reports_to(e)) = m;
+
+-- ECA: test the budget condition only when salaries change.
+create rule budget_watch() as
+    on salary
+    when for each department d where payroll(d) > budget(d)
+    do over_budget(d, payroll(d), budget(d));
+
+create rule chain_audit(employee boss) as
+    when for each employee e where chain_of(e) = boss
+    do audit(e);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	db.MustExec(`
+create department instances :rnd;
+set budget(:rnd) = 500;
+create employee instances :cfo, :lead, :dev1, :dev2;
+set dept(:lead) = :rnd;
+set dept(:dev1) = :rnd;
+set dept(:dev2) = :rnd;
+set salary(:lead) = 200;
+set salary(:dev1) = 150;
+set salary(:dev2) = 150;
+set reports_to(:lead) = :cfo;
+set reports_to(:dev1) = :lead;
+activate budget_watch();
+activate chain_audit(:cfo);
+`)
+
+	fmt.Println("payroll is 500 = budget; raising dev1's salary by 50:")
+	db.MustExec(`set salary(:dev1) = 200;`) // payroll 550 > 500
+
+	fmt.Println("raising the budget does NOT re-test (ECA: only salary is an event):")
+	db.MustExec(`set budget(:rnd) = 100;`) // condition still true, but no event
+
+	fmt.Println("next salary event re-tests — but strict semantics: already true, no refire:")
+	db.MustExec(`set salary(:dev2) = 160;`)
+
+	fmt.Println("\ndev2 joins the team under lead (recursive chain: dev2 → lead → cfo):")
+	db.MustExec(`set reports_to(:dev2) = :lead;`)
+
+	fmt.Println("\npayroll per department (aggregate view):")
+	r, _ := db.Query(`select d, payroll(d) for each department d;`)
+	for _, t := range r.Tuples {
+		fmt.Printf("  %s: %s\n", t[0], t[1])
+	}
+
+	s := db.Stats()
+	fmt.Printf("\nstats: %d propagations, %d differential/re-evaluation executions\n",
+		s.Propagations, s.DifferentialsExecuted)
+}

@@ -1,0 +1,91 @@
+// Network monitoring: link utilization with a SHARED derived view.
+//
+// The utilization view (traffic * 100 / capacity) is declared `shared`,
+// so it becomes an intermediate node in the propagation network (§7.1
+// node sharing) reused by two rules: a congestion alarm and an
+// underutilization report. A traffic change propagates through the
+// shared node once; both rule conditions above it consume the same
+// wave-front Δ-set.
+//
+// Run: go run ./examples/netmon
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"partdiff"
+)
+
+func main() {
+	db := partdiff.Open()
+
+	db.RegisterProcedure("alarm", func(args []partdiff.Value) error {
+		fmt.Printf("  >> ALARM: link %s at %s%% utilization\n", args[0], args[1])
+		return nil
+	})
+	db.RegisterProcedure("report_idle", func(args []partdiff.Value) error {
+		fmt.Printf("  >> idle: link %s at %s%%\n", args[0], args[1])
+		return nil
+	})
+
+	if _, err := db.Exec(`
+create type link;
+create function capacity(link) -> integer;
+create function traffic(link) -> integer;
+
+create shared function utilization(link l) -> integer
+    as select traffic(l) * 100 / capacity(l)
+    for each link m where m = l;
+
+create rule congested() as
+    when for each link l where utilization(l) > 90
+    do alarm(l, utilization(l))
+    priority 5;
+
+create rule idle() as
+    when for each link l where utilization(l) < 5 and traffic(l) >= 0
+    do report_idle(l, utilization(l));
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	db.MustExec(`
+create link instances :uplink, :backbone, :branch;
+set capacity(:uplink) = 1000;
+set capacity(:backbone) = 10000;
+set capacity(:branch) = 100;
+set traffic(:uplink) = 500;
+set traffic(:backbone) = 5000;
+set traffic(:branch) = 50;
+activate congested();
+activate idle();
+`)
+
+	// Show the propagation network: utilization is a shared level-1
+	// node below both rule conditions.
+	fmt.Println("propagation network:")
+	for lvl, preds := range db.Session().Rules().Network().Levels() {
+		fmt.Printf("  level %d: %s\n", lvl, strings.Join(preds, ", "))
+	}
+
+	fmt.Println("\ntraffic spike on the uplink (950/1000 = 95%):")
+	db.MustExec(`set traffic(:uplink) = 950;`)
+
+	fmt.Println("backbone drains (300/10000 = 3%):")
+	db.MustExec(`set traffic(:backbone) = 300;`)
+
+	fmt.Println("capacity upgrade on the uplink: 1000 -> 2000 (95% -> 47%),")
+	fmt.Println("and simultaneously the branch saturates — one transaction:")
+	db.MustExec(`
+begin;
+set capacity(:uplink) = 2000;
+set traffic(:branch) = 99;
+commit;
+`)
+
+	s := db.Stats()
+	fmt.Printf("\nstats: %d propagations, %d partial differentials executed\n",
+		s.Propagations, s.DifferentialsExecuted)
+}

@@ -1,0 +1,101 @@
+// Quickstart: the paper's §3.1 inventory example, end to end.
+//
+// An item's quantity is monitored against a derived threshold
+// (consume_freq * delivery_time + min_stock). When stock drops below
+// the threshold, the monitor_items rule orders a refill — exactly once
+// per low-stock episode (strict semantics), no matter how many further
+// updates occur while the item stays low.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"partdiff"
+)
+
+func main() {
+	db := partdiff.Open()
+	db.SetOutput(os.Stdout)
+
+	// The action procedure — in AMOS a foreign function in Lisp or C,
+	// here a Go function.
+	if err := db.RegisterProcedure("order", func(args []partdiff.Value) error {
+		fmt.Printf("  >> ordering %d units of item %s\n", args[1].AsInt(), args[0])
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Schema, rule, and population — verbatim from §3.1 of the paper.
+	if _, err := db.Exec(`
+create type item;
+create type supplier;
+create function quantity(item) -> integer;
+create function max_stock(item) -> integer;
+create function min_stock(item) -> integer;
+create function consume_freq(item) -> integer;
+create function supplies(supplier) -> item;
+create function delivery_time(item i, supplier s) -> integer;
+create function threshold(item i) -> integer
+    as
+    select consume_freq(i) * delivery_time(i, s) + min_stock(i)
+    for each supplier s where supplies(s) = i;
+
+create rule monitor_items() as
+     when for each item i
+     where quantity(i) < threshold(i)
+     do order(i, max_stock(i) - quantity(i));
+
+create item instances :item1, :item2;
+set max_stock(:item1) = 5000;
+set max_stock(:item2) = 7500;
+set min_stock(:item1) = 100;
+set min_stock(:item2) = 200;
+set consume_freq(:item1) = 20;
+set consume_freq(:item2) = 30;
+create supplier instances :sup1, :sup2;
+set supplies(:sup1) = :item1;
+set supplies(:sup2) = :item2;
+set delivery_time(:item1, :sup1) = 2;
+set delivery_time(:item2, :sup2) = 3;
+set quantity(:item1) = 5000;
+set quantity(:item2) = 7500;
+activate monitor_items();
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := db.Query(`select i, threshold(i) for each item i;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("thresholds (item1 should be 140, item2 should be 290):")
+	for _, t := range r.Tuples {
+		fmt.Printf("  item %s -> %s\n", t[0], t[1])
+	}
+
+	fmt.Println("\nconsuming item1 stock: 5000 -> 200 (above threshold, no order)")
+	db.MustExec(`set quantity(:item1) = 200;`)
+
+	fmt.Println("consuming item1 stock: 200 -> 120 (below threshold 140!)")
+	db.MustExec(`set quantity(:item1) = 120;`)
+
+	fmt.Println("consuming further: 120 -> 110 (still low, strict semantics: no re-order)")
+	db.MustExec(`set quantity(:item1) = 110;`)
+
+	fmt.Println("\na transient dip inside one transaction never triggers (deferred rules):")
+	db.MustExec(`begin; set quantity(:item2) = 10; set quantity(:item2) = 7500; commit;`)
+	fmt.Println("  (item2 dipped to 10 and recovered before commit — no order)")
+
+	fmt.Println("\nraising min_stock(item2) so the THRESHOLD crosses the quantity:")
+	db.MustExec(`set quantity(:item2) = 7000;`)  // above threshold 290: no order
+	db.MustExec(`set min_stock(:item2) = 6950;`) // threshold becomes 7040 > 7000
+
+	s := db.Stats()
+	fmt.Printf("\nmonitor statistics: %d propagations, %d partial differentials executed, %d actions\n",
+		s.Propagations, s.DifferentialsExecuted, s.ActionsExecuted)
+}

@@ -1,0 +1,3 @@
+module partdiff
+
+go 1.22

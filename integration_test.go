@@ -1,0 +1,250 @@
+package partdiff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Integration scenarios: multi-rule applications driven entirely
+// through the public API, cross-checking incremental against naive
+// monitoring.
+
+// TestScenario_Library: loans, holds, and an escalation cascade.
+func TestScenario_Library(t *testing.T) {
+	for _, mode := range []Mode{Incremental, Naive, Hybrid} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db := Open(WithMode(mode))
+			var notices, escalations []string
+			db.RegisterProcedure("notice", func(args []Value) error {
+				notices = append(notices, args[0].String())
+				// Side effect: a notice marks the member.
+				db.SetVar("_m", args[0])
+				_, err := db.Exec(`set noticed(:_m) = true;`)
+				return err
+			})
+			db.RegisterProcedure("escalate", func(args []Value) error {
+				escalations = append(escalations, args[0].String())
+				return nil
+			})
+			db.MustExec(`
+create type member;
+create type book;
+create function holder(book) -> member;
+create function days_out(book) -> integer;
+create function noticed(member) -> boolean;
+create function strikes(member) -> integer;
+
+-- overdue: a held book out more than 14 days notifies the member.
+create rule overdue() as
+    when for each book b, member m
+    where holder(b) = m and days_out(b) > 14
+    do notice(m)
+    priority 5;
+
+-- escalation: a noticed member with 3+ strikes is escalated; fed by
+-- the overdue rule's side effect in the same check phase.
+create rule escalation() as
+    when for each member m
+    where noticed(m) = true and strikes(m) >= 3
+    do escalate(m);
+
+create member instances :alice, :bob;
+create book instances :b1, :b2;
+set holder(:b1) = :alice;
+set holder(:b2) = :bob;
+set days_out(:b1) = 3;
+set days_out(:b2) = 3;
+set strikes(:alice) = 0;
+set strikes(:bob) = 5;
+activate overdue();
+activate escalation();
+`)
+			// Alice's book goes overdue: notice, but no escalation
+			// (0 strikes).
+			db.MustExec(`set days_out(:b1) = 20;`)
+			if len(notices) != 1 || len(escalations) != 0 {
+				t.Fatalf("notices=%v escalations=%v", notices, escalations)
+			}
+			// Bob's book goes overdue: notice AND cascade to escalation
+			// (5 strikes).
+			db.MustExec(`set days_out(:b2) = 30;`)
+			if len(notices) != 2 || len(escalations) != 1 {
+				t.Fatalf("notices=%v escalations=%v", notices, escalations)
+			}
+			// Returning the book within a transaction that also renews
+			// it: no net change, nothing fires.
+			before := len(notices)
+			db.MustExec(`
+begin;
+set days_out(:b1) = 0;
+set days_out(:b1) = 20;
+commit;
+`)
+			if len(notices) != before {
+				t.Errorf("transient return fired: %v", notices)
+			}
+		})
+	}
+}
+
+// TestScenario_Auction: outbid detection via a max() aggregate.
+func TestScenario_Auction(t *testing.T) {
+	db := Open()
+	var outbid []string
+	db.RegisterProcedure("notify_outbid", func(args []Value) error {
+		outbid = append(outbid, fmt.Sprintf("%s@%s", args[0], args[1]))
+		return nil
+	})
+	db.MustExec(`
+create type lot;
+create type bidder;
+create function bid(lot l, bidder b) -> integer;
+create function reserve(lot) -> integer;
+create function highbid(lot l) -> integer
+    as select max(bid(l, b)) for each bidder b where bid(l, b) > 0;
+
+-- The lot clears when the high bid crosses the reserve.
+create rule cleared() as
+    when for each lot l where highbid(l) >= reserve(l)
+    do notify_outbid(l, highbid(l));
+
+create lot instances :vase;
+create bidder instances :x, :y;
+set reserve(:vase) = 100;
+set bid(:vase, :x) = 10;
+set bid(:vase, :y) = 20;
+activate cleared();
+`)
+	db.MustExec(`set bid(:vase, :x) = 90;`)
+	if len(outbid) != 0 {
+		t.Fatalf("fired below reserve: %v", outbid)
+	}
+	db.MustExec(`set bid(:vase, :y) = 120;`)
+	if len(outbid) != 1 || outbid[0] != "#1@120" {
+		t.Fatalf("outbid=%v", outbid)
+	}
+	// Strict: a higher bid keeps the condition true, no refire.
+	db.MustExec(`set bid(:vase, :x) = 150;`)
+	if len(outbid) != 1 {
+		t.Errorf("refired: %v", outbid)
+	}
+}
+
+// TestFacadeFuzz_IncrementalVsNaive drives random update schedules
+// through the public API under both monitors and requires identical
+// firing.
+func TestFacadeFuzz_IncrementalVsNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz skipped in -short")
+	}
+	scenario := func(mode Mode, seed int64) []string {
+		db := Open(WithMode(mode))
+		var fired []string
+		db.RegisterProcedure("hit", func(args []Value) error {
+			fired = append(fired, args[0].String())
+			return nil
+		})
+		db.MustExec(`
+create type thing;
+create function a(thing) -> integer;
+create function b(thing) -> integer;
+create function watched(thing) -> boolean;
+create rule r1() as
+    when for each thing x where a(x) > b(x) and not watched(x)
+    do hit(x);
+create rule r2() as
+    when for each thing x where a(x) + b(x) > 15
+    do hit(x)
+    priority 3;
+create thing instances :t0, :t1, :t2;
+activate r1();
+activate r2();
+`)
+		vars := []string{"t0", "t1", "t2"}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 25; i++ {
+			tv := vars[r.Intn(len(vars))]
+			var stmt string
+			switch r.Intn(4) {
+			case 0:
+				stmt = fmt.Sprintf("set a(:%s) = %d;", tv, r.Intn(12))
+			case 1:
+				stmt = fmt.Sprintf("set b(:%s) = %d;", tv, r.Intn(12))
+			case 2:
+				stmt = fmt.Sprintf("set watched(:%s) = true;", tv)
+			default:
+				stmt = fmt.Sprintf("remove watched(:%s) = true;", tv)
+			}
+			if _, err := db.Exec(stmt); err != nil {
+				t.Fatalf("seed %d stmt %q: %v", seed, stmt, err)
+			}
+		}
+		return fired
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		inc := fmt.Sprint(scenario(Incremental, seed))
+		nai := fmt.Sprint(scenario(Naive, seed))
+		if inc != nai {
+			t.Errorf("seed %d:\nincremental %s\nnaive       %s", seed, inc, nai)
+		}
+	}
+}
+
+// TestNoOverheadOnUnmonitoredRelations: updates to relations outside
+// every condition must not execute any monitor work.
+func TestNoOverheadOnUnmonitoredRelations(t *testing.T) {
+	db := Open()
+	db.RegisterProcedure("hit", func([]Value) error { return nil })
+	db.MustExec(`
+create type t;
+create function monitored(t) -> integer;
+create function untracked(t) -> integer;
+create rule r() as when for each t x where monitored(x) > 0 do hit(x);
+create t instances :a;
+set untracked(:a) = 0;
+activate r();
+`)
+	db.ResetStats()
+	for i := 0; i < 5; i++ {
+		db.MustExec(fmt.Sprintf(`set untracked(:a) = %d;`, i+1))
+	}
+	s := db.Stats()
+	if s.DifferentialsExecuted != 0 || s.NaiveRecomputations != 0 {
+		t.Errorf("unmonitored updates cost monitor work: %+v", s)
+	}
+}
+
+// TestExplainabilityAcrossInfluents: one rule, three different causes.
+func TestExplainabilityAcrossInfluents(t *testing.T) {
+	db := Open()
+	db.RegisterProcedure("hit", func([]Value) error { return nil })
+	db.MustExec(`
+create type item;
+create function stock(item) -> integer;
+create function floor_of(item) -> integer;
+create rule low() as
+    when for each item i where stock(i) < floor_of(i)
+    do hit(i);
+create item instances :a;
+set stock(:a) = 100;
+set floor_of(:a) = 50;
+activate low();
+`)
+	cause := func() string {
+		ex := db.Explanations()
+		if len(ex) != 1 || len(ex[0].Entries) == 0 {
+			t.Fatalf("explanations=%+v", ex)
+		}
+		return ex[0].Entries[0].Influent
+	}
+	db.MustExec(`set stock(:a) = 10;`)
+	if c := cause(); c != "stock" {
+		t.Errorf("cause=%s", c)
+	}
+	db.MustExec(`set stock(:a) = 100;`) // reset (condition false)
+	db.MustExec(`set floor_of(:a) = 200;`)
+	if c := cause(); c != "floor_of" {
+		t.Errorf("cause=%s", c)
+	}
+}

@@ -1,0 +1,227 @@
+// Package algebra implements set-oriented relational algebra operators
+// (σ, π, ∪, −, ×, ⋈, ∩) and their partial differentials exactly as given
+// by fig. 4 of the paper. Each DeltaXxx function combines the positive
+// and negative partial differentials with respect to both operands using
+// the delta-union ∪Δ, yielding the Δ-set of the operator's result.
+//
+// The fig. 4 rules are exact (they produce precisely the logical events
+// of the result) for every operator except projection, whose
+// differentials may over-approximate under set semantics: a projected
+// insertion may already have been derivable, and a projected deletion
+// may still be derivable from remaining tuples (§7.2). Correct applies
+// the §7.2 membership checks that restore exactness.
+package algebra
+
+import (
+	"partdiff/internal/delta"
+	"partdiff/internal/types"
+)
+
+// Pred is a selection predicate over tuples.
+type Pred func(types.Tuple) bool
+
+// Select computes σ_pred(q).
+func Select(q *types.Set, pred Pred) *types.Set {
+	out := types.NewSet()
+	q.Each(func(t types.Tuple) bool {
+		if pred(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Project computes π_cols(q) with set semantics (duplicates removed).
+func Project(q *types.Set, cols []int) *types.Set {
+	out := types.NewSet()
+	q.Each(func(t types.Tuple) bool {
+		out.Add(t.Project(cols))
+		return true
+	})
+	return out
+}
+
+// Union computes q ∪ r.
+func Union(q, r *types.Set) *types.Set {
+	return q.Clone().AddAll(r)
+}
+
+// Difference computes q − r.
+func Difference(q, r *types.Set) *types.Set {
+	out := types.NewSet()
+	q.Each(func(t types.Tuple) bool {
+		if !r.Contains(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Intersect computes q ∩ r.
+func Intersect(q, r *types.Set) *types.Set {
+	out := types.NewSet()
+	q.Each(func(t types.Tuple) bool {
+		if r.Contains(t) {
+			out.Add(t)
+		}
+		return true
+	})
+	return out
+}
+
+// Product computes the cartesian product q × r (tuples concatenated).
+func Product(q, r *types.Set) *types.Set {
+	out := types.NewSet()
+	q.Each(func(a types.Tuple) bool {
+		r.Each(func(b types.Tuple) bool {
+			out.Add(a.Concat(b))
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// Join computes the equijoin q ⋈ r on qCols[i] = rCols[i], with result
+// tuples being the concatenation of the operand tuples.
+func Join(q, r *types.Set, qCols, rCols []int) *types.Set {
+	out := types.NewSet()
+	q.Each(func(a types.Tuple) bool {
+		r.Each(func(b types.Tuple) bool {
+			for i := range qCols {
+				if !a[qCols[i]].Equal(b[rCols[i]]) {
+					return true
+				}
+			}
+			out.Add(a.Concat(b))
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// DeltaSelect applies fig. 4 row σ_cond Q:
+//
+//	ΔP/Δ+Q = σ_cond Δ+Q    ΔP/Δ−Q = σ_cond Δ−Q
+func DeltaSelect(dq *delta.Set, pred Pred) *delta.Set {
+	return delta.FromSets(Select(dq.Plus(), pred), Select(dq.Minus(), pred))
+}
+
+// DeltaProject applies fig. 4 row π_attr Q:
+//
+//	ΔP/Δ+Q = π_attr Δ+Q    ΔP/Δ−Q = π_attr Δ−Q
+//
+// The result may over-approximate under set semantics; see Correct.
+func DeltaProject(dq *delta.Set, cols []int) *delta.Set {
+	return delta.FromSets(Project(dq.Plus(), cols), Project(dq.Minus(), cols))
+}
+
+// DeltaUnion applies fig. 4 row Q ∪ R. q and r are the NEW states of the
+// operands; old states are derived by logical rollback:
+//
+//	ΔP/Δ+Q = Δ+Q − R_old    ΔP/Δ+R = Δ+R − Q_old
+//	ΔP/Δ−Q = Δ−Q − R        ΔP/Δ−R = Δ−R − Q
+func DeltaUnion(q, r *types.Set, dq, dr *delta.Set) *delta.Set {
+	qold, rold := dq.OldState(q), dr.OldState(r)
+	plus := Union(
+		Difference(dq.Plus(), rold),
+		Difference(dr.Plus(), qold))
+	minus := Union(
+		Difference(dq.Minus(), r),
+		Difference(dr.Minus(), q))
+	return delta.FromSets(plus, minus)
+}
+
+// DeltaDifference applies fig. 4 row Q − R (= Q ∩ ~R):
+//
+//	ΔP/Δ+Q = Δ+Q − R        ΔP/Δ+R = Q_old ∩ Δ+R   (negative side)
+//	ΔP/Δ−Q = Δ−Q − R_old    ΔP/Δ−R = Q ∩ Δ−R       (positive side)
+//
+// Note the sign crossing: insertions into R delete from P, deletions
+// from R insert into P (the complement differential swaps signs, §4.5).
+func DeltaDifference(q, r *types.Set, dq, dr *delta.Set) *delta.Set {
+	qold, rold := dq.OldState(q), dr.OldState(r)
+	plus := Union(
+		Difference(dq.Plus(), r),
+		Intersect(q, dr.Minus()))
+	minus := Union(
+		Difference(dq.Minus(), rold),
+		Intersect(qold, dr.Plus()))
+	return delta.FromSets(plus, minus)
+}
+
+// DeltaProduct applies fig. 4 row Q × R:
+//
+//	ΔP/Δ+Q = Δ+Q × R            ΔP/Δ+R = Q × Δ+R
+//	ΔP/Δ−Q = Δ−Q × R_old        ΔP/Δ−R = Q_old × Δ−R
+func DeltaProduct(q, r *types.Set, dq, dr *delta.Set) *delta.Set {
+	qold, rold := dq.OldState(q), dr.OldState(r)
+	plus := Union(
+		Product(dq.Plus(), r),
+		Product(q, dr.Plus()))
+	minus := Union(
+		Product(dq.Minus(), rold),
+		Product(qold, dr.Minus()))
+	return delta.FromSets(plus, minus)
+}
+
+// DeltaJoin applies fig. 4 row Q ⋈ R:
+//
+//	ΔP/Δ+Q = Δ+Q ⋈ R            ΔP/Δ+R = Q ⋈ Δ+R
+//	ΔP/Δ−Q = Δ−Q ⋈ R_old        ΔP/Δ−R = Q_old ⋈ Δ−R
+func DeltaJoin(q, r *types.Set, qCols, rCols []int, dq, dr *delta.Set) *delta.Set {
+	qold, rold := dq.OldState(q), dr.OldState(r)
+	plus := Union(
+		Join(dq.Plus(), r, qCols, rCols),
+		Join(q, dr.Plus(), qCols, rCols))
+	minus := Union(
+		Join(dq.Minus(), rold, qCols, rCols),
+		Join(qold, dr.Minus(), qCols, rCols))
+	return delta.FromSets(plus, minus)
+}
+
+// DeltaIntersect applies fig. 4 row Q ∩ R:
+//
+//	ΔP/Δ+Q = Δ+Q ∩ R            ΔP/Δ+R = Q ∩ Δ+R
+//	ΔP/Δ−Q = Δ−Q ∩ R_old        ΔP/Δ−R = Q_old ∩ Δ−R
+func DeltaIntersect(q, r *types.Set, dq, dr *delta.Set) *delta.Set {
+	qold, rold := dq.OldState(q), dr.OldState(r)
+	plus := Union(
+		Intersect(dq.Plus(), r),
+		Intersect(q, dr.Plus()))
+	minus := Union(
+		Intersect(dq.Minus(), rold),
+		Intersect(qold, dr.Minus()))
+	return delta.FromSets(plus, minus)
+}
+
+// DeltaComplement applies Δ(~Q) = <Δ−Q, Δ+Q> (§4.5): the differential of
+// set complement swaps insertions and deletions.
+func DeltaComplement(dq *delta.Set) *delta.Set {
+	return dq.Invert()
+}
+
+// Correct applies the §7.2 strict-semantics checks to a possibly
+// over-approximate Δ-set of a view P: a claimed insertion must be in the
+// new state of P and not in the old state; a claimed deletion must be in
+// the old state and not in the new state. The result is exactly the
+// logical events of P.
+func Correct(raw *delta.Set, oldP, newP *types.Set) *delta.Set {
+	out := delta.New()
+	raw.Plus().Each(func(t types.Tuple) bool {
+		if newP.Contains(t) && !oldP.Contains(t) {
+			out.Insert(t)
+		}
+		return true
+	})
+	raw.Minus().Each(func(t types.Tuple) bool {
+		if oldP.Contains(t) && !newP.Contains(t) {
+			out.Delete(t)
+		}
+		return true
+	})
+	return out
+}

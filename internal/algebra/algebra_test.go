@@ -1,0 +1,252 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/types"
+)
+
+func tup(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.Int(v)
+	}
+	return t
+}
+
+// randRelation builds a random binary relation over a small domain plus
+// a random transaction against it, returning (newState, delta).
+func randRelation(r *rand.Rand, dom int64) (*types.Set, *delta.Set) {
+	s := types.NewSet()
+	for i := 0; i < 6+r.Intn(8); i++ {
+		s.Add(tup(r.Int63n(dom), r.Int63n(dom)))
+	}
+	d := delta.New()
+	for i := 0; i < 8; i++ {
+		t := tup(r.Int63n(dom), r.Int63n(dom))
+		if r.Intn(2) == 0 {
+			if s.Add(t) {
+				d.Insert(t)
+			}
+		} else {
+			if s.Remove(t) {
+				d.Delete(t)
+			}
+		}
+	}
+	return s, d
+}
+
+// opCase wires one fig. 4 row: a recompute function over states and the
+// incremental delta rule.
+type opCase struct {
+	name    string
+	exact   bool // fig. 4 rule is exact under set semantics
+	compute func(q, r *types.Set) *types.Set
+	rule    func(q, r *types.Set, dq, dr *delta.Set) *delta.Set
+}
+
+func fig4Cases() []opCase {
+	evenSum := func(t types.Tuple) bool { return (t[0].AsInt()+t[1].AsInt())%2 == 0 }
+	return []opCase{
+		{
+			name: "Select", exact: true,
+			compute: func(q, _ *types.Set) *types.Set { return Select(q, evenSum) },
+			rule: func(_, _ *types.Set, dq, _ *delta.Set) *delta.Set {
+				return DeltaSelect(dq, evenSum)
+			},
+		},
+		{
+			name: "Project", exact: false,
+			compute: func(q, _ *types.Set) *types.Set { return Project(q, []int{0}) },
+			rule: func(_, _ *types.Set, dq, _ *delta.Set) *delta.Set {
+				return DeltaProject(dq, []int{0})
+			},
+		},
+		{
+			name: "Union", exact: true,
+			compute: func(q, r *types.Set) *types.Set { return Union(q, r) },
+			rule:    DeltaUnion,
+		},
+		{
+			name: "Difference", exact: true,
+			compute: func(q, r *types.Set) *types.Set { return Difference(q, r) },
+			rule:    DeltaDifference,
+		},
+		{
+			name: "Product", exact: true,
+			compute: func(q, r *types.Set) *types.Set { return Product(q, r) },
+			rule:    DeltaProduct,
+		},
+		{
+			name: "Join", exact: true,
+			compute: func(q, r *types.Set) *types.Set { return Join(q, r, []int{1}, []int{0}) },
+			rule: func(q, r *types.Set, dq, dr *delta.Set) *delta.Set {
+				return DeltaJoin(q, r, []int{1}, []int{0}, dq, dr)
+			},
+		},
+		{
+			name: "Intersect", exact: true,
+			compute: func(q, r *types.Set) *types.Set { return Intersect(q, r) },
+			rule:    DeltaIntersect,
+		},
+	}
+}
+
+// TestFig4_DeltaRulesMatchRecompute is the E3 property test: for every
+// operator row of fig. 4, the incremental Δ-set must match (exact rows)
+// or safely over-approximate and correct to (projection) the Δ-set
+// obtained by recomputing the operator on the old and new states.
+func TestFig4_DeltaRulesMatchRecompute(t *testing.T) {
+	for _, tc := range fig4Cases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				q, dq := randRelation(r, 6)
+				rr, dr := randRelation(r, 6)
+				qold, rold := dq.OldState(q), dr.OldState(rr)
+
+				oldP := tc.compute(qold, rold)
+				newP := tc.compute(q, rr)
+				want := delta.Diff(oldP, newP)
+				got := tc.rule(q, rr, dq, dr)
+
+				if tc.exact {
+					return got.Equal(want)
+				}
+				// Over-approximation: got ⊇ want on both sides, and the
+				// §7.2 correction restores exactness.
+				super := true
+				want.Plus().Each(func(tp types.Tuple) bool {
+					if !got.Plus().Contains(tp) {
+						super = false
+					}
+					return super
+				})
+				want.Minus().Each(func(tp types.Tuple) bool {
+					if !got.Minus().Contains(tp) {
+						super = false
+					}
+					return super
+				})
+				return super && Correct(got, oldP, newP).Equal(want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestBasicOperators(t *testing.T) {
+	q := types.NewSet(tup(1, 2), tup(2, 3), tup(3, 4))
+	r := types.NewSet(tup(2, 3), tup(5, 6))
+
+	if got := Select(q, func(t types.Tuple) bool { return t[0].AsInt() > 1 }); !got.Equal(types.NewSet(tup(2, 3), tup(3, 4))) {
+		t.Errorf("Select=%s", got)
+	}
+	if got := Project(q, []int{1}); !got.Equal(types.NewSet(tup(2), tup(3), tup(4))) {
+		t.Errorf("Project=%s", got)
+	}
+	if got := Union(q, r); got.Len() != 4 {
+		t.Errorf("Union=%s", got)
+	}
+	if got := Difference(q, r); !got.Equal(types.NewSet(tup(1, 2), tup(3, 4))) {
+		t.Errorf("Difference=%s", got)
+	}
+	if got := Intersect(q, r); !got.Equal(types.NewSet(tup(2, 3))) {
+		t.Errorf("Intersect=%s", got)
+	}
+	if got := Product(types.NewSet(tup(1)), types.NewSet(tup(2), tup(3))); !got.Equal(types.NewSet(tup(1, 2), tup(1, 3))) {
+		t.Errorf("Product=%s", got)
+	}
+	// Join q.col1 = r.col0: (1,2)⋈(2,3), (2,3)⋈nothing(3∉r.col0), (3,4)⋈nothing... r has (2,3),(5,6)
+	if got := Join(q, r, []int{1}, []int{0}); !got.Equal(types.NewSet(tup(1, 2, 2, 3))) {
+		t.Errorf("Join=%s", got)
+	}
+}
+
+func TestProjectOverApproximationExample(t *testing.T) {
+	// Q = {(1,a),(1,b)}; delete (1,b). π0(Q) stays {1} but the raw rule
+	// claims deletion of (1).
+	q := types.NewSet(tup(1, 10))
+	dq := delta.New()
+	// old state had (1,20) too
+	dq.Delete(tup(1, 20))
+	raw := DeltaProject(dq, []int{0})
+	if !raw.Minus().Contains(tup(1)) {
+		t.Fatal("raw projection rule should claim the deletion")
+	}
+	oldP := Project(dq.OldState(q), []int{0})
+	newP := Project(q, []int{0})
+	corrected := Correct(raw, oldP, newP)
+	if !corrected.IsEmpty() {
+		t.Errorf("corrected delta should be empty, got %s", corrected)
+	}
+}
+
+func TestDeltaComplementSwapsSigns(t *testing.T) {
+	d := delta.New()
+	d.Insert(tup(1))
+	d.Delete(tup(2))
+	c := DeltaComplement(d)
+	if !c.Plus().Contains(tup(2)) || !c.Minus().Contains(tup(1)) {
+		t.Errorf("DeltaComplement=%s", c)
+	}
+}
+
+func TestDifferenceSignCrossing(t *testing.T) {
+	// P = Q − R. Inserting into R must *delete* from P; deleting from R
+	// must *insert* into P.
+	q := types.NewSet(tup(1), tup(2))
+	r := types.NewSet(tup(1)) // new state: (1) just inserted
+	dq := delta.New()
+	dr := delta.New()
+	dr.Insert(tup(1))
+	d := DeltaDifference(q, r, dq, dr)
+	if !d.Minus().Contains(tup(1)) || d.Plus().Len() != 0 {
+		t.Errorf("insert into R: %s", d)
+	}
+
+	// Now delete (1) from R again (fresh scenario).
+	r2 := types.NewSet() // new state of R after deletion
+	dr2 := delta.New()
+	dr2.Delete(tup(1))
+	d2 := DeltaDifference(q, r2, dq, dr2)
+	if !d2.Plus().Contains(tup(1)) || d2.Minus().Len() != 0 {
+		t.Errorf("delete from R: %s", d2)
+	}
+}
+
+func TestCorrectDropsPhantoms(t *testing.T) {
+	raw := delta.New()
+	raw.Insert(tup(1)) // claimed insertion that was already true
+	raw.Insert(tup(2)) // genuine insertion
+	raw.Delete(tup(3)) // claimed deletion that is still derivable
+	raw.Delete(tup(4)) // genuine deletion
+	oldP := types.NewSet(tup(1), tup(3), tup(4))
+	newP := types.NewSet(tup(1), tup(2), tup(3))
+	got := Correct(raw, oldP, newP)
+	if !got.Plus().Equal(types.NewSet(tup(2))) || !got.Minus().Equal(types.NewSet(tup(4))) {
+		t.Errorf("Correct=%s", got)
+	}
+}
+
+// The paper's worked delta example under the intersection row: changes
+// to both operands in one transaction overlap; ∪Δ deduplicates.
+func TestIntersectOverlappingInfluents(t *testing.T) {
+	// Q gains (1), R gains (1): both partial differentials produce (1)+.
+	q := types.NewSet(tup(1))
+	r := types.NewSet(tup(1))
+	dq, dr := delta.New(), delta.New()
+	dq.Insert(tup(1))
+	dr.Insert(tup(1))
+	d := DeltaIntersect(q, r, dq, dr)
+	if !d.Plus().Equal(types.NewSet(tup(1))) || d.Minus().Len() != 0 {
+		t.Errorf("overlap dedup: %s", d)
+	}
+}

@@ -1,0 +1,412 @@
+package amosql
+
+import (
+	"fmt"
+
+	"partdiff/internal/catalog"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// compiler translates declarative AMOSQL (select queries and rule
+// conditions) into ObjectLog definitions, as the AMOS rule compiler does
+// in §3.2.
+type compiler struct {
+	cat    *catalog.Catalog
+	iface  map[string]types.Value
+	gensym int
+}
+
+func (c *compiler) fresh() string {
+	c.gensym++
+	return fmt.Sprintf("_G%d", c.gensym)
+}
+
+// clauseCtx accumulates the body of one conjunctive clause.
+type clauseCtx struct {
+	c    *compiler
+	vars map[string]bool // declared query variables
+	body []objectlog.Literal
+}
+
+// compileQuery compiles a select query (or rule condition) into an
+// ObjectLog definition named headName. Leading head arguments are the
+// declared params (rule parameters); the remaining head arguments are
+// the query's result expressions (for rules: the for-each variables).
+// It returns the definition and the head variable names (empty string
+// for non-variable result expressions).
+func (c *compiler) compileQuery(headName string, params []ParamDecl, q *SelectQuery) (*objectlog.Def, []string, error) {
+	decls := append(append([]ParamDecl{}, params...), q.ForEach...)
+	// Result expressions default to the for-each variables when the
+	// query is a rule condition compiled from "for each ... where ...".
+	exprs := q.Exprs
+	disjuncts := [][]Expr{nil}
+	if q.Where != nil {
+		disjuncts = dnf(q.Where)
+	}
+	var headNames []string
+	var clauses []objectlog.Clause
+	for di, conj := range disjuncts {
+		ctx := &clauseCtx{c: c, vars: map[string]bool{}}
+		// Typed variable declarations: object-typed variables range over
+		// their type extent.
+		for _, d := range decls {
+			if d.Name == "" {
+				return nil, nil, fmt.Errorf("declared variable must be named")
+			}
+			if ctx.vars[d.Name] {
+				return nil, nil, fmt.Errorf("variable %q declared twice", d.Name)
+			}
+			ctx.vars[d.Name] = true
+			if !catalog.IsScalarType(d.Type) {
+				if _, ok := c.cat.Type(d.Type); !ok {
+					return nil, nil, fmt.Errorf("unknown type %q", d.Type)
+				}
+				ctx.body = append(ctx.body, objectlog.Lit(objectlog.TypePred(d.Type), objectlog.V(d.Name)))
+			}
+		}
+		for _, pe := range conj {
+			if err := ctx.pred(pe); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Head: params then result expressions.
+		head := objectlog.Literal{Pred: headName}
+		names := make([]string, 0, len(params)+len(exprs))
+		for _, p := range params {
+			head.Args = append(head.Args, objectlog.V(p.Name))
+			names = append(names, p.Name)
+		}
+		for _, e := range exprs {
+			t, err := ctx.term(e)
+			if err != nil {
+				return nil, nil, err
+			}
+			head.Args = append(head.Args, t)
+			if v, ok := e.(VarRef); ok {
+				names = append(names, v.Name)
+			} else {
+				names = append(names, "")
+			}
+		}
+		if di == 0 {
+			headNames = names
+		}
+		clauses = append(clauses, objectlog.Clause{Head: head, Body: ctx.body})
+	}
+	def := &objectlog.Def{
+		Name:    headName,
+		Arity:   len(params) + len(exprs),
+		Clauses: clauses,
+	}
+	return def, headNames, nil
+}
+
+// compileAggregateQuery compiles an aggregate function body
+// (`select sum(EXPR) for each DECLS where PRED`) into an aggregate
+// definition: the clauses compute (params ++ for-each witnesses ++
+// EXPR); grouping is by the params, and the for-each variables act as
+// witnesses preserving multiplicity under set semantics.
+func (c *compiler) compileAggregateQuery(headName string, params []ParamDecl, q *SelectQuery, op string, inner Expr) (*objectlog.Def, error) {
+	exprs := make([]Expr, 0, len(q.ForEach)+1)
+	for _, w := range q.ForEach {
+		exprs = append(exprs, VarRef{Name: w.Name})
+	}
+	exprs = append(exprs, inner)
+	q2 := &SelectQuery{Exprs: exprs, ForEach: q.ForEach, Where: q.Where}
+	def, _, err := c.compileQuery(headName, params, q2)
+	if err != nil {
+		return nil, err
+	}
+	def.Aggregate = op
+	def.GroupCols = len(params)
+	return def, nil
+}
+
+// aggregateCall recognizes a select body that is a single aggregate
+// application over an expression, e.g. `sum(salary(e))`. User-defined
+// functions shadow the aggregate names.
+func (c *compiler) aggregateCall(q *SelectQuery) (op string, inner Expr, ok bool) {
+	if len(q.Exprs) != 1 {
+		return "", nil, false
+	}
+	call, isCall := q.Exprs[0].(Call)
+	if !isCall || !objectlog.IsAggregateOp(call.Fn) || len(call.Args) != 1 {
+		return "", nil, false
+	}
+	if _, shadowed := c.cat.Function(call.Fn); shadowed {
+		return "", nil, false
+	}
+	return call.Fn, call.Args[0], true
+}
+
+// dnf normalizes a boolean predicate into disjunctive normal form,
+// pushing negation inward (comparisons flip; negated function calls stay
+// as atoms and compile to safe negation).
+func dnf(e Expr) [][]Expr {
+	switch x := e.(type) {
+	case Binary:
+		switch x.Op {
+		case "and":
+			l, r := dnf(x.L), dnf(x.R)
+			var out [][]Expr
+			for _, a := range l {
+				for _, b := range r {
+					conj := make([]Expr, 0, len(a)+len(b))
+					conj = append(conj, a...)
+					conj = append(conj, b...)
+					out = append(out, conj)
+				}
+			}
+			return out
+		case "or":
+			return append(dnf(x.L), dnf(x.R)...)
+		}
+	case Unary:
+		if x.Op == "not" {
+			return dnfNot(x.X)
+		}
+	}
+	return [][]Expr{{e}}
+}
+
+func dnfNot(e Expr) [][]Expr {
+	switch x := e.(type) {
+	case Binary:
+		switch x.Op {
+		case "and": // ¬(a ∧ b) = ¬a ∨ ¬b
+			return append(dnfNot(x.L), dnfNot(x.R)...)
+		case "or": // ¬(a ∨ b) = ¬a ∧ ¬b
+			l, r := dnfNot(x.L), dnfNot(x.R)
+			var out [][]Expr
+			for _, a := range l {
+				for _, b := range r {
+					conj := make([]Expr, 0, len(a)+len(b))
+					conj = append(conj, a...)
+					conj = append(conj, b...)
+					out = append(out, conj)
+				}
+			}
+			return out
+		case "=":
+			// `not (f(args) = v)` must become safe negation ¬f(args,v),
+			// not ∃m≠v: f(args)=m — the two differ for set-valued
+			// functions. Keep it as a negated atom; pred() decides.
+			if isCall(x.L) || isCall(x.R) {
+				return [][]Expr{{Unary{Op: "not", X: x}}}
+			}
+			return [][]Expr{{Binary{Op: "!=", L: x.L, R: x.R}}}
+		case "!=", "<", "<=", ">", ">=":
+			// Comparison flipping assumes single-valued function
+			// application (the normal AMOSQL case).
+			return [][]Expr{{Binary{Op: flipCmp(x.Op), L: x.L, R: x.R}}}
+		}
+	case Unary:
+		if x.Op == "not" { // ¬¬a = a
+			return dnf(x.X)
+		}
+	}
+	// Atom (function call): keep as negated atom.
+	return [][]Expr{{Unary{Op: "not", X: e}}}
+}
+
+func isCall(e Expr) bool {
+	_, ok := e.(Call)
+	return ok
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "=":
+		return "!="
+	case "!=":
+		return "="
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	}
+	return op
+}
+
+var cmpBuiltin = map[string]string{
+	"=":  objectlog.BuiltinEQ,
+	"!=": objectlog.BuiltinNE,
+	"<":  objectlog.BuiltinLT,
+	"<=": objectlog.BuiltinLE,
+	">":  objectlog.BuiltinGT,
+	">=": objectlog.BuiltinGE,
+}
+
+var arithBuiltin = map[string]string{
+	"+": objectlog.BuiltinPlus,
+	"-": objectlog.BuiltinMinus,
+	"*": objectlog.BuiltinTimes,
+	"/": objectlog.BuiltinDiv,
+}
+
+// pred compiles a predicate atom, appending literals to the clause body.
+func (ctx *clauseCtx) pred(e Expr) error {
+	switch x := e.(type) {
+	case Binary:
+		if b, ok := cmpBuiltin[x.Op]; ok {
+			// Optimization: f(args) = expr compiles to one relation
+			// literal with the result unified directly (no eq builtin).
+			if x.Op == "=" {
+				if call, ok := x.L.(Call); ok && ctx.c.isRelationFn(call.Fn) {
+					return ctx.callLiteral(call, x.R, false)
+				}
+				if call, ok := x.R.(Call); ok && ctx.c.isRelationFn(call.Fn) {
+					return ctx.callLiteral(call, x.L, false)
+				}
+			}
+			lt, err := ctx.term(x.L)
+			if err != nil {
+				return err
+			}
+			rt, err := ctx.term(x.R)
+			if err != nil {
+				return err
+			}
+			ctx.body = append(ctx.body, objectlog.Lit(b, lt, rt))
+			return nil
+		}
+		return fmt.Errorf("operator %q is not a predicate", x.Op)
+	case Unary:
+		if x.Op == "not" {
+			switch inner := x.X.(type) {
+			case Call:
+				return ctx.callLiteral(inner, ConstExpr{Value: types.Bool(true)}, true)
+			case Binary:
+				if inner.Op == "=" {
+					if call, ok := inner.L.(Call); ok && ctx.c.isRelationFn(call.Fn) {
+						return ctx.callLiteral(call, inner.R, true)
+					}
+					if call, ok := inner.R.(Call); ok && ctx.c.isRelationFn(call.Fn) {
+						return ctx.callLiteral(call, inner.L, true)
+					}
+					// No relational call: plain disequality.
+					return ctx.pred(Binary{Op: "!=", L: inner.L, R: inner.R})
+				}
+			}
+			return fmt.Errorf("negation of %s is not supported here", x.X)
+		}
+		return fmt.Errorf("operator %q is not a predicate", x.Op)
+	case Call:
+		// Boolean function used as predicate: f(args) = true.
+		return ctx.callLiteral(x, ConstExpr{Value: types.Bool(true)}, false)
+	case ConstExpr:
+		if x.Value.AsBool() {
+			return nil // trivially true conjunct
+		}
+		return fmt.Errorf("predicate is constantly false")
+	default:
+		return fmt.Errorf("%s is not a predicate", e)
+	}
+}
+
+// callLiteral emits the relation literal fn(args..., result).
+func (ctx *clauseCtx) callLiteral(call Call, result Expr, negated bool) error {
+	fn, ok := ctx.c.cat.Function(call.Fn)
+	if !ok {
+		return fmt.Errorf("unknown function %q", call.Fn)
+	}
+	if fn.Kind == catalog.Foreign {
+		return fmt.Errorf("foreign function %q cannot be used in a declarative condition (incremental evaluation of foreign functions is future work, §8)", call.Fn)
+	}
+	if len(call.Args) != len(fn.Params) {
+		return fmt.Errorf("function %q takes %d arguments, got %d", call.Fn, len(fn.Params), len(call.Args))
+	}
+	args := make([]objectlog.Term, 0, fn.Arity())
+	for _, a := range call.Args {
+		t, err := ctx.term(a)
+		if err != nil {
+			return err
+		}
+		args = append(args, t)
+	}
+	rt, err := ctx.term(result)
+	if err != nil {
+		return err
+	}
+	args = append(args, rt)
+	lit := objectlog.Literal{Pred: call.Fn, Args: args, Negated: negated}
+	ctx.body = append(ctx.body, lit)
+	return nil
+}
+
+// isRelationFn reports whether fn is a stored or derived function.
+func (c *compiler) isRelationFn(name string) bool {
+	f, ok := c.cat.Function(name)
+	return ok && f.Kind != catalog.Foreign
+}
+
+// term compiles a value expression to a term, appending any relation or
+// builtin literals it needs.
+func (ctx *clauseCtx) term(e Expr) (objectlog.Term, error) {
+	switch x := e.(type) {
+	case ConstExpr:
+		return objectlog.C(x.Value), nil
+	case IfaceRef:
+		v, ok := ctx.c.iface[x.Name]
+		if !ok {
+			return objectlog.Term{}, fmt.Errorf("undefined interface variable :%s", x.Name)
+		}
+		return objectlog.C(v), nil
+	case VarRef:
+		if !ctx.vars[x.Name] {
+			return objectlog.Term{}, fmt.Errorf("undeclared variable %q", x.Name)
+		}
+		return objectlog.V(x.Name), nil
+	case internalVar:
+		return objectlog.V(x.name), nil
+	case Call:
+		res := objectlog.V(ctx.c.fresh())
+		if err := ctx.callLiteral(x, varAsExpr(res), false); err != nil {
+			return objectlog.Term{}, err
+		}
+		return res, nil
+	case Unary:
+		if x.Op == "-" {
+			t, err := ctx.term(x.X)
+			if err != nil {
+				return objectlog.Term{}, err
+			}
+			res := objectlog.V(ctx.c.fresh())
+			ctx.body = append(ctx.body, objectlog.Lit(objectlog.BuiltinMinus, objectlog.CInt(0), t, res))
+			return res, nil
+		}
+		return objectlog.Term{}, fmt.Errorf("operator %q is not a value", x.Op)
+	case Binary:
+		if b, ok := arithBuiltin[x.Op]; ok {
+			lt, err := ctx.term(x.L)
+			if err != nil {
+				return objectlog.Term{}, err
+			}
+			rt, err := ctx.term(x.R)
+			if err != nil {
+				return objectlog.Term{}, err
+			}
+			res := objectlog.V(ctx.c.fresh())
+			ctx.body = append(ctx.body, objectlog.Lit(b, lt, rt, res))
+			return res, nil
+		}
+		return objectlog.Term{}, fmt.Errorf("boolean expression %s used as a value", e)
+	default:
+		return objectlog.Term{}, fmt.Errorf("cannot compile %s", e)
+	}
+}
+
+// varAsExpr wraps an internal variable term as an expression so it can
+// be passed as a call result position. It is only used for compiler-
+// generated variables.
+type internalVar struct{ name string }
+
+func (internalVar) expr()            {}
+func (v internalVar) String() string { return v.name }
+
+func varAsExpr(t objectlog.Term) Expr { return internalVar{name: t.Var} }

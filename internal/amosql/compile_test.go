@@ -1,0 +1,252 @@
+package amosql
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/catalog"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+func testCompiler(t *testing.T) *compiler {
+	t.Helper()
+	cat := catalog.New()
+	cat.CreateType("item", "")
+	cat.DeclareFunction(&catalog.Function{
+		Name: "quantity", Kind: catalog.Stored,
+		Params:  []catalog.Param{{Name: "i", Type: "item"}},
+		Results: []string{catalog.TypeInteger},
+	})
+	cat.DeclareFunction(&catalog.Function{
+		Name: "flagged", Kind: catalog.Stored,
+		Params:  []catalog.Param{{Name: "i", Type: "item"}},
+		Results: []string{catalog.TypeBoolean},
+	})
+	cat.DeclareFunction(&catalog.Function{
+		Name: "noise", Kind: catalog.Foreign,
+		Results: []string{catalog.TypeInteger},
+		Fn:      func([]types.Value) ([][]types.Value, error) { return nil, nil },
+	})
+	return &compiler{
+		cat:   cat,
+		iface: map[string]types.Value{"it": types.Obj(7)},
+	}
+}
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	st, err := ParseOne("select " + src + ";")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.(SelectStmt).Query.Exprs[0]
+}
+
+func TestDNFNormalization(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int // number of disjuncts
+	}{
+		{"quantity(i) < 5", 1},
+		{"quantity(i) < 5 or quantity(i) > 9", 2},
+		{"(quantity(i) < 5 or quantity(i) > 9) and flagged(i)", 2},
+		{"not (quantity(i) < 5 or quantity(i) > 9)", 1},     // De Morgan: conjunction
+		{"not (quantity(i) < 5 and quantity(i) > 9)", 2},    // De Morgan: disjunction
+		{"not not (quantity(i) < 5 or quantity(i) > 3)", 2}, // double negation
+	}
+	for _, tc := range cases {
+		d := dnf(mustExpr(t, tc.src))
+		if len(d) != tc.want {
+			t.Errorf("dnf(%s): %d disjuncts, want %d", tc.src, len(d), tc.want)
+		}
+	}
+}
+
+func TestDNFNegationPushing(t *testing.T) {
+	// not (a < b) flips to >=.
+	d := dnf(mustExpr(t, "not (quantity(i) < 5)"))
+	if len(d) != 1 || len(d[0]) != 1 {
+		t.Fatalf("dnf=%v", d)
+	}
+	cmp, ok := d[0][0].(Binary)
+	if !ok || cmp.Op != ">=" {
+		t.Errorf("flipped to %v", d[0][0])
+	}
+	// not (f(x) = v) stays a negated atom (set-valued semantics).
+	d2 := dnf(mustExpr(t, "not (quantity(i) = 5)"))
+	if _, ok := d2[0][0].(Unary); !ok {
+		t.Errorf("negated equality over call should stay an atom: %v", d2[0][0])
+	}
+	// not (x = y) without calls becomes !=.
+	d3 := dnf(mustExpr(t, "not (1 = 2)"))
+	if cmp, ok := d3[0][0].(Binary); !ok || cmp.Op != "!=" {
+		t.Errorf("constant negated equality: %v", d3[0][0])
+	}
+	// not over a bare call stays an atom.
+	d4 := dnf(mustExpr(t, "not flagged(i)"))
+	if _, ok := d4[0][0].(Unary); !ok {
+		t.Errorf("negated call: %v", d4[0][0])
+	}
+}
+
+func TestCompileQueryBasics(t *testing.T) {
+	c := testCompiler(t)
+	q := &SelectQuery{
+		Exprs:   []Expr{VarRef{Name: "i"}},
+		ForEach: []ParamDecl{{Type: "item", Name: "i"}},
+		Where:   mustExpr(t, "quantity(i) < 5"),
+	}
+	def, names, err := c.compileQuery("h", nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Arity != 1 || len(def.Clauses) != 1 || names[0] != "i" {
+		t.Fatalf("def=%+v names=%v", def, names)
+	}
+	s := def.Clauses[0].String()
+	if !strings.Contains(s, "type:item(i)") || !strings.Contains(s, "quantity(i,") {
+		t.Errorf("clause=%s", s)
+	}
+}
+
+func TestCompileEqualityFusesCallResult(t *testing.T) {
+	// quantity(i) = 5 compiles to one literal quantity(i,5) — no eq.
+	c := testCompiler(t)
+	q := &SelectQuery{
+		Exprs:   []Expr{VarRef{Name: "i"}},
+		ForEach: []ParamDecl{{Type: "item", Name: "i"}},
+		Where:   mustExpr(t, "quantity(i) = 5"),
+	}
+	def, _, err := c.compileQuery("h", nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := def.Clauses[0].String()
+	if !strings.Contains(s, "quantity(i,5)") {
+		t.Errorf("clause=%s", s)
+	}
+	for _, l := range def.Clauses[0].Body {
+		if l.Pred == objectlog.BuiltinEQ {
+			t.Errorf("unnecessary eq literal in %s", s)
+		}
+	}
+}
+
+func TestCompileInterfaceVariable(t *testing.T) {
+	c := testCompiler(t)
+	q := &SelectQuery{
+		Exprs:   []Expr{VarRef{Name: "i"}},
+		ForEach: []ParamDecl{{Type: "item", Name: "i"}},
+		Where:   Binary{Op: "=", L: VarRef{Name: "i"}, R: IfaceRef{Name: "it"}},
+	}
+	def, _, err := c.compileQuery("h", nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(def.Clauses[0].String(), "#7") {
+		t.Errorf("interface constant not inlined: %s", def.Clauses[0])
+	}
+	// Undefined interface variable errors.
+	q.Where = Binary{Op: "=", L: VarRef{Name: "i"}, R: IfaceRef{Name: "ghost"}}
+	if _, _, err := c.compileQuery("h2", nil, q); err == nil {
+		t.Error("undefined interface variable accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	c := testCompiler(t)
+	mk := func(where Expr, decls ...ParamDecl) error {
+		q := &SelectQuery{Exprs: []Expr{VarRef{Name: "i"}}, ForEach: decls, Where: where}
+		_, _, err := c.compileQuery("h", nil, q)
+		return err
+	}
+	itemI := ParamDecl{Type: "item", Name: "i"}
+	if err := mk(mustExpr(t, "quantity(i) < 5")); err == nil {
+		t.Error("undeclared variable accepted")
+	}
+	if err := mk(mustExpr(t, "nosuchfn(i) < 5"), itemI); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := mk(mustExpr(t, "noise() < 5"), itemI); err == nil {
+		t.Error("foreign function in condition accepted")
+	}
+	if err := mk(mustExpr(t, "quantity(i, i) < 5"), itemI); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := mk(mustExpr(t, "quantity(i) + 1"), itemI); err == nil {
+		t.Error("non-boolean predicate accepted")
+	}
+	if err := mk(nil, itemI, itemI); err == nil {
+		t.Error("duplicate declaration accepted")
+	}
+	if err := mk(nil, ParamDecl{Type: "nosuchtype", Name: "x"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if err := mk(nil, ParamDecl{Type: "item"}); err == nil {
+		t.Error("unnamed declaration accepted")
+	}
+}
+
+func TestCompileTrueFalsePredicates(t *testing.T) {
+	c := testCompiler(t)
+	q := &SelectQuery{
+		Exprs:   []Expr{VarRef{Name: "i"}},
+		ForEach: []ParamDecl{{Type: "item", Name: "i"}},
+		Where:   ConstExpr{Value: types.Bool(true)},
+	}
+	if _, _, err := c.compileQuery("h", nil, q); err != nil {
+		t.Errorf("constant true predicate: %v", err)
+	}
+	q.Where = ConstExpr{Value: types.Bool(false)}
+	if _, _, err := c.compileQuery("h2", nil, q); err == nil {
+		t.Error("constant false predicate should be reported")
+	}
+}
+
+func TestAggregateCallRecognizer(t *testing.T) {
+	c := testCompiler(t)
+	q := &SelectQuery{Exprs: []Expr{mustExpr(t, "sum(quantity(i))")}}
+	op, inner, ok := c.aggregateCall(q)
+	if !ok || op != "sum" {
+		t.Fatalf("op=%s ok=%v", op, ok)
+	}
+	if _, isCall := inner.(Call); !isCall {
+		t.Errorf("inner=%v", inner)
+	}
+	// Two result expressions: not an aggregate select.
+	q2 := &SelectQuery{Exprs: []Expr{mustExpr(t, "sum(quantity(i))"), VarRef{Name: "i"}}}
+	if _, _, ok := c.aggregateCall(q2); ok {
+		t.Error("multi-expr select recognized as aggregate")
+	}
+	// User function shadows the aggregate name.
+	c.cat.DeclareFunction(&catalog.Function{
+		Name: "sum", Kind: catalog.Stored,
+		Params:  []catalog.Param{{Type: catalog.TypeInteger}},
+		Results: []string{catalog.TypeInteger},
+	})
+	if _, _, ok := c.aggregateCall(q); ok {
+		t.Error("shadowed aggregate name recognized")
+	}
+}
+
+func TestCompileUnaryMinus(t *testing.T) {
+	c := testCompiler(t)
+	q := &SelectQuery{
+		Exprs:   []Expr{mustExpr(t, "-quantity(i)")},
+		ForEach: []ParamDecl{{Type: "item", Name: "i"}},
+	}
+	def, _, err := c.compileQuery("h", nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range def.Clauses[0].Body {
+		if l.Pred == objectlog.BuiltinMinus {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unary minus not compiled: %s", def.Clauses[0])
+	}
+}

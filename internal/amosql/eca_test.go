@@ -1,0 +1,142 @@
+package amosql
+
+import (
+	"testing"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// ECA rules: the event part restricts WHEN the condition is tested
+// (§1 of the paper: "the event part just further restricts when the
+// condition is tested").
+
+func ecaSession(t *testing.T, mode rules.Mode) (*Session, *[]string) {
+	t.Helper()
+	s := NewSession(mode)
+	var fired []string
+	s.RegisterProcedure("react", func(args []types.Value) error {
+		fired = append(fired, args[0].String())
+		return nil
+	})
+	s.MustExec(`
+create type sensor;
+create function reading(sensor) -> integer;
+create function threshold(sensor) -> integer;
+-- ECA: only reading updates are events; threshold changes are not.
+create rule alarm() as
+    on reading
+    when for each sensor x where reading(x) > threshold(x)
+    do react(x);
+create sensor instances :s1;
+set reading(:s1) = 10;
+set threshold(:s1) = 50;
+activate alarm();
+`)
+	return s, &fired
+}
+
+func TestParseOnClause(t *testing.T) {
+	st := mustParseOne(t, `create rule r(item i) as on quantity, min_stock when quantity(i) < 5 do react(i);`).(CreateRule)
+	if len(st.Events) != 2 || st.Events[0] != "quantity" || st.Events[1] != "min_stock" {
+		t.Errorf("events=%v", st.Events)
+	}
+}
+
+func TestECAEventTriggers(t *testing.T) {
+	for _, mode := range []rules.Mode{rules.Incremental, rules.Naive} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, fired := ecaSession(t, mode)
+			s.MustExec(`set reading(:s1) = 60;`) // event + condition true
+			if len(*fired) != 1 {
+				t.Errorf("fired=%v", *fired)
+			}
+		})
+	}
+}
+
+func TestECANonEventChangeIgnored(t *testing.T) {
+	for _, mode := range []rules.Mode{rules.Incremental, rules.Naive} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, fired := ecaSession(t, mode)
+			// Lowering the threshold makes the condition true, but the
+			// event relation did not change: condition not tested.
+			s.MustExec(`set threshold(:s1) = 5;`)
+			if len(*fired) != 0 {
+				t.Errorf("non-event change fired: %v", *fired)
+			}
+			// A later reading update (the event) re-tests the
+			// condition; strict semantics: the instance did not
+			// transition in THIS window (it was already true), so only
+			// a real transition fires.
+			s.MustExec(`set reading(:s1) = 4;`)  // now false (4 < 5)
+			s.MustExec(`set reading(:s1) = 20;`) // true again via event
+			if len(*fired) != 1 {
+				t.Errorf("fired=%v", *fired)
+			}
+		})
+	}
+}
+
+func TestECAMixedTransaction(t *testing.T) {
+	// If the event fires in the same transaction as the non-event
+	// change, the condition is tested.
+	s, fired := ecaSession(t, rules.Incremental)
+	s.MustExec(`
+begin;
+set threshold(:s1) = 5;
+set reading(:s1) = 11;
+commit;
+`)
+	if len(*fired) != 1 {
+		t.Errorf("fired=%v", *fired)
+	}
+}
+
+func TestECATypeExtentEvent(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	var fired []string
+	s.RegisterProcedure("react", func(args []types.Value) error {
+		fired = append(fired, args[0].String())
+		return nil
+	})
+	s.MustExec(`
+create type account;
+create function risky(account) -> boolean;
+create rule audit_new() as
+    on account
+    when for each account a where risky(a) = true
+    do react(a);
+create account instances :a1;
+set risky(:a1) = true;
+activate audit_new();
+`)
+	// risky flips without instance creation: not an event.
+	s.MustExec(`remove risky(:a1) = true; set risky(:a1) = true;`)
+	if len(fired) != 0 {
+		t.Errorf("fired without event: %v", fired)
+	}
+	// New instance creation is the event.
+	s.MustExec(`
+begin;
+create account instances :a2;
+set risky(:a2) = true;
+commit;
+`)
+	if len(fired) != 1 {
+		t.Errorf("fired=%v", fired)
+	}
+}
+
+func TestECAUnknownEventRejected(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.MustExec(`create type t; create function f(t) -> integer;`)
+	s.RegisterProcedure("react", func([]types.Value) error { return nil })
+	if _, err := s.Exec(`create rule r() as on nosuch when for each t x where f(x) > 0 do react(x);`); err == nil {
+		t.Error("unknown event accepted")
+	}
+	s.MustExec(`create function d(t y) -> integer as select f(y) for each t z where z = y;`)
+	if _, err := s.Exec(`create rule r2() as on d when for each t x where f(x) > 0 do react(x);`); err == nil {
+		t.Error("derived function as event accepted")
+	}
+}

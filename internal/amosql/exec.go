@@ -1,0 +1,822 @@
+package amosql
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"partdiff/internal/catalog"
+	"partdiff/internal/eval"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/rules"
+	"partdiff/internal/storage"
+	"partdiff/internal/txn"
+	"partdiff/internal/types"
+)
+
+// Result is the outcome of one executed statement.
+type Result struct {
+	// Columns names the result columns of a select (expression text).
+	Columns []string
+	// Tuples are the result rows of a select, in deterministic order.
+	Tuples []types.Tuple
+	// Message summarizes a non-query statement's effect.
+	Message string
+}
+
+// Session is an AMOSQL session: a database (store + catalog), a rule
+// manager, a transaction manager, and the session's interface variables.
+type Session struct {
+	store *storage.Store
+	cat   *catalog.Catalog
+	mgr   *rules.Manager
+	txns  *txn.Manager
+	iface map[string]types.Value
+	comp  *compiler
+	ev    *eval.Evaluator
+
+	// pendingDeletes holds objects whose catalog destruction is
+	// deferred to commit: their stored footprint is retracted inside
+	// the transaction (and restored by rollback), but the OID itself
+	// dies only if the transaction commits.
+	pendingDeletes []pendingDelete
+
+	// Output receives the output of the builtin print procedure.
+	Output io.Writer
+}
+
+type pendingDelete struct {
+	varName string
+	oid     types.OID
+}
+
+// NewSession creates a session with the given monitoring mode.
+func NewSession(mode rules.Mode) *Session {
+	st := storage.NewStore()
+	s := &Session{
+		store: st,
+		cat:   catalog.New(),
+		mgr:   rules.NewManager(st, mode),
+		iface: map[string]types.Value{},
+	}
+	s.txns = txn.NewManager(st)
+	s.txns.SetHooks(s.mgr.OnEvent, s.mgr.CheckPhase, func(committed bool) {
+		s.mgr.OnEnd(committed)
+		s.finishDeletes(committed)
+	})
+	s.comp = &compiler{cat: s.cat, iface: s.iface}
+	s.ev = eval.New(sessEnv{s})
+	s.cat.RegisterProcedure("print", func(args []types.Value) error {
+		if s.Output == nil {
+			return nil
+		}
+		parts := make([]string, len(args))
+		for i, v := range args {
+			parts[i] = v.String()
+		}
+		_, err := fmt.Fprintln(s.Output, strings.Join(parts, " "))
+		return err
+	})
+	return s
+}
+
+// Store returns the underlying store.
+func (s *Session) Store() *storage.Store { return s.store }
+
+// Catalog returns the schema catalog.
+func (s *Session) Catalog() *catalog.Catalog { return s.cat }
+
+// Rules returns the rule manager.
+func (s *Session) Rules() *rules.Manager { return s.mgr }
+
+// Txns returns the transaction manager.
+func (s *Session) Txns() *txn.Manager { return s.txns }
+
+// IfaceVar returns the value of a session interface variable.
+func (s *Session) IfaceVar(name string) (types.Value, bool) {
+	v, ok := s.iface[name]
+	return v, ok
+}
+
+// SetIfaceVar binds a session interface variable.
+func (s *Session) SetIfaceVar(name string, v types.Value) { s.iface[name] = v }
+
+// RegisterProcedure exposes a Go function as a foreign procedure
+// callable from rule actions ("foreign functions can be written in Lisp
+// or C" in AMOS; here they are written in Go).
+func (s *Session) RegisterProcedure(name string, p catalog.Procedure) error {
+	return s.cat.RegisterProcedure(name, p)
+}
+
+// RegisterFunction exposes a Go function as a foreign AMOSQL function
+// (usable in procedural expressions; not in monitored conditions).
+func (s *Session) RegisterFunction(name string, params []string, result string, fn catalog.ForeignFunc) error {
+	ps := make([]catalog.Param, len(params))
+	for i, t := range params {
+		ps[i] = catalog.Param{Type: t}
+	}
+	return s.cat.DeclareFunction(&catalog.Function{
+		Name: name, Kind: catalog.Foreign, Params: ps,
+		Results: []string{result}, Fn: fn,
+	})
+}
+
+// Exec parses and executes all statements in src, returning one result
+// per statement. Execution stops at the first error.
+func (s *Session) Exec(src string) ([]Result, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := s.execStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MustExec is Exec for tests and examples: it panics on error.
+func (s *Session) MustExec(src string) []Result {
+	out, err := s.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Query executes a single select statement and returns its rows.
+func (s *Session) Query(src string) (*Result, error) {
+	st, err := ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := st.(SelectStmt); !ok {
+		return nil, fmt.Errorf("Query expects a select statement")
+	}
+	r, err := s.execStmt(st)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func (s *Session) execStmt(st Stmt) (Result, error) {
+	switch x := st.(type) {
+	case CreateType:
+		return s.execCreateType(x)
+	case CreateInstances:
+		return s.execCreateInstances(x)
+	case CreateFunction:
+		return s.execCreateFunction(x)
+	case CreateRule:
+		return s.execCreateRule(x)
+	case UpdateStmt:
+		return s.execUpdate(x)
+	case SelectStmt:
+		return s.execSelect(x)
+	case DeleteInstances:
+		return s.execDeleteInstances(x)
+	case ExplainStmt:
+		return s.execExplain(x)
+	case ActivateStmt:
+		return s.execActivate(x)
+	case DeactivateStmt:
+		return s.execDeactivate(x)
+	case TxnStmt:
+		return s.execTxn(x)
+	default:
+		return Result{}, fmt.Errorf("unhandled statement %T", st)
+	}
+}
+
+func (s *Session) execCreateType(x CreateType) (Result, error) {
+	if _, err := s.cat.CreateType(x.Name, x.Unders...); err != nil {
+		return Result{}, err
+	}
+	// The type extent is a base relation so conditions can range over
+	// "for each <type> x" and react to instance creation.
+	if _, err := s.store.CreateRelation(objectlog.TypePred(x.Name), 1, nil); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("type %s created", x.Name)}, nil
+}
+
+func (s *Session) execCreateInstances(x CreateInstances) (Result, error) {
+	commit, err := s.autoBegin()
+	if err != nil {
+		return Result{}, err
+	}
+	for _, v := range x.Vars {
+		oid, err := s.cat.NewObject(x.TypeName)
+		if err != nil {
+			return Result{}, s.autoAbort(commit, err)
+		}
+		// Insert into the extent of the type and all supertypes (the
+		// type graph is a DAG; each extent gets the instance once).
+		t, _ := s.cat.Type(x.TypeName)
+		for _, sup := range t.AllSupertypes() {
+			if _, err := s.store.Insert(objectlog.TypePred(sup.Name), types.Tuple{types.Obj(oid)}); err != nil {
+				return Result{}, s.autoAbort(commit, err)
+			}
+		}
+		s.iface[v] = types.Obj(oid)
+	}
+	if err := s.autoCommit(commit); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("%d %s instance(s) created", len(x.Vars), x.TypeName)}, nil
+}
+
+func (s *Session) execCreateFunction(x CreateFunction) (Result, error) {
+	ps := make([]catalog.Param, len(x.Params))
+	for i, p := range x.Params {
+		ps[i] = catalog.Param{Type: p.Type, Name: p.Name}
+	}
+	f := &catalog.Function{
+		Name: x.Name, Params: ps, Results: []string{x.Result},
+	}
+	if x.Body == nil {
+		f.Kind = catalog.Stored
+		if err := s.cat.DeclareFunction(f); err != nil {
+			return Result{}, err
+		}
+		if _, err := s.store.CreateRelation(x.Name, f.Arity(), f.KeyCols()); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("stored function %s created", x.Name)}, nil
+	}
+	f.Kind = catalog.Derived
+	for _, p := range x.Params {
+		if p.Name == "" {
+			return Result{}, fmt.Errorf("derived function %q: parameters must be named", x.Name)
+		}
+	}
+	if err := s.cat.DeclareFunction(f); err != nil {
+		return Result{}, err
+	}
+	// Aggregate bodies (extension; §8 future work in the paper):
+	// `select sum(salary(e)) for each employee e where ...` becomes an
+	// aggregate view monitored by re-evaluation.
+	if op, inner, ok := s.comp.aggregateCall(x.Body); ok {
+		def, err := s.comp.compileAggregateQuery(x.Name, x.Params, x.Body, op, inner)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, c := range def.Clauses {
+			if err := objectlog.CheckSafe(c); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := s.mgr.Program().Define(def); err != nil {
+			return Result{}, err
+		}
+		s.cat.SetBody(x.Name, def)
+		return Result{Message: fmt.Sprintf("aggregate function %s (%s) created", x.Name, op)}, nil
+	}
+	def, _, err := s.comp.compileQuery(x.Name, x.Params, x.Body)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return Result{}, err
+		}
+	}
+	def = objectlog.SimplifyDef(def)
+	if err := s.mgr.Program().Define(def); err != nil {
+		return Result{}, err
+	}
+	s.cat.SetBody(x.Name, def)
+	kind := "derived"
+	if x.Shared {
+		if err := s.mgr.ShareView(def); err != nil {
+			return Result{}, err
+		}
+		kind = "shared derived"
+	}
+	return Result{Message: fmt.Sprintf("%s function %s created", kind, x.Name)}, nil
+}
+
+func (s *Session) execCreateRule(x CreateRule) (Result, error) {
+	cond := &SelectQuery{Where: x.Where}
+	for _, fe := range x.ForEach {
+		cond.Exprs = append(cond.Exprs, VarRef{Name: fe.Name})
+	}
+	cond.ForEach = x.ForEach
+	condName := "cnd_" + x.Name
+	def, headNames, err := s.comp.compileQuery(condName, x.Params, cond)
+	if err != nil {
+		return Result{}, err
+	}
+	action, err := s.buildAction(x, headNames)
+	if err != nil {
+		return Result{}, err
+	}
+	// ECA events: each names a stored function or a type (its extent).
+	var events []string
+	for _, ev := range x.Events {
+		if f, ok := s.cat.Function(ev); ok {
+			if f.Kind != catalog.Stored {
+				return Result{}, fmt.Errorf("rule %s: event %q must be a stored function or type", x.Name, ev)
+			}
+			events = append(events, ev)
+			continue
+		}
+		if _, ok := s.cat.Type(ev); ok {
+			events = append(events, objectlog.TypePred(ev))
+			continue
+		}
+		return Result{}, fmt.Errorf("rule %s: unknown event %q", x.Name, ev)
+	}
+	err = s.mgr.DefineRule(&rules.Rule{
+		Name:      x.Name,
+		CondDef:   def,
+		NumParams: len(x.Params),
+		Action:    action,
+		Strict:    !x.Nervous,
+		Priority:  int(x.Priority),
+		Events:    events,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("rule %s created", x.Name)}, nil
+}
+
+// buildAction compiles the procedural action of a rule into a callback
+// that evaluates the argument expressions under the instance bindings
+// and invokes the foreign procedure (or foreign function used as a
+// procedure).
+func (s *Session) buildAction(x CreateRule, headNames []string) (rules.Action, error) {
+	proc := x.ActionProc
+	argExprs := x.ActionArgs
+	return func(inst types.Tuple) error {
+		if len(inst) != len(headNames) {
+			return fmt.Errorf("rule %s: instance arity %d, head %d", x.Name, len(inst), len(headNames))
+		}
+		binds := make(map[string]types.Value, len(headNames))
+		for i, n := range headNames {
+			if n != "" {
+				binds[n] = inst[i]
+			}
+		}
+		args := make([]types.Value, len(argExprs))
+		for i, ae := range argExprs {
+			v, err := s.evalExpr(ae, binds)
+			if err != nil {
+				return fmt.Errorf("rule %s action argument %d: %w", x.Name, i+1, err)
+			}
+			args[i] = v
+		}
+		if p, ok := s.cat.Procedure(proc); ok {
+			return p(args)
+		}
+		if f, ok := s.cat.Function(proc); ok && f.Kind == catalog.Foreign {
+			_, err := f.Fn(args)
+			return err
+		}
+		return fmt.Errorf("rule %s: unknown procedure %q", x.Name, proc)
+	}, nil
+}
+
+func (s *Session) execUpdate(x UpdateStmt) (Result, error) {
+	f, ok := s.cat.Function(x.Fn)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown function %q", x.Fn)
+	}
+	if f.Kind != catalog.Stored {
+		return Result{}, fmt.Errorf("%s is a %s function; only stored functions can be updated", x.Fn, f.Kind)
+	}
+	if len(x.Args) != len(f.Params) {
+		return Result{}, fmt.Errorf("function %q takes %d arguments, got %d", x.Fn, len(f.Params), len(x.Args))
+	}
+	key := make([]types.Value, len(x.Args))
+	for i, ae := range x.Args {
+		v, err := s.evalExpr(ae, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		if !s.cat.ValueConformsTo(v, f.Params[i].Type) {
+			return Result{}, fmt.Errorf("%s: argument %d (%s) does not conform to type %s", x.Fn, i+1, v, f.Params[i].Type)
+		}
+		key[i] = v
+	}
+	val, err := s.evalExpr(x.Value, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	if !s.cat.ValueConformsTo(val, f.Results[0]) {
+		return Result{}, fmt.Errorf("%s: value %s does not conform to type %s", x.Fn, val, f.Results[0])
+	}
+	commit, err := s.autoBegin()
+	if err != nil {
+		return Result{}, err
+	}
+	tuple := append(append(types.Tuple{}, key...), val)
+	switch x.Op {
+	case "set":
+		_, err = s.store.Set(x.Fn, key, []types.Value{val})
+	case "add":
+		_, err = s.store.Insert(x.Fn, tuple)
+	case "remove":
+		_, err = s.store.Delete(x.Fn, tuple)
+	}
+	if err != nil {
+		return Result{}, s.autoAbort(commit, err)
+	}
+	if err := s.autoCommit(commit); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: x.Op + " ok"}, nil
+}
+
+// execDeleteInstances deletes objects: every stored tuple referencing
+// the object is retracted first (rules observe the deletions — this is
+// how conditions react to objects disappearing), then the object leaves
+// its type extents and is destroyed.
+func (s *Session) execDeleteInstances(x DeleteInstances) (Result, error) {
+	commit, err := s.autoBegin()
+	if err != nil {
+		return Result{}, err
+	}
+	n := 0
+	for _, v := range x.Vars {
+		val, ok := s.iface[v]
+		if !ok {
+			return Result{}, s.autoAbort(commit, fmt.Errorf("undefined interface variable :%s", v))
+		}
+		if val.Kind != types.KindObject {
+			return Result{}, s.autoAbort(commit, fmt.Errorf(":%s is not an object", v))
+		}
+		if _, ok := s.cat.ObjectType(val.O); !ok {
+			return Result{}, s.autoAbort(commit, fmt.Errorf(":%s refers to a deleted object", v))
+		}
+		// Retract the object's entire stored footprint, including its
+		// extent memberships (type:* relations are scanned like any
+		// other relation).
+		for rel, tuples := range s.store.TuplesReferencing(val) {
+			for _, t := range tuples {
+				if _, err := s.store.Delete(rel, t); err != nil {
+					return Result{}, s.autoAbort(commit, err)
+				}
+			}
+		}
+		s.pendingDeletes = append(s.pendingDeletes, pendingDelete{varName: v, oid: val.O})
+		n++
+	}
+	if err := s.autoCommit(commit); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("%d object(s) deleted", n)}, nil
+}
+
+// execExplain renders the compiled form of a query or the monitoring
+// plan of a rule — the ObjectLog clauses and, for activated rules, the
+// partial differentials the propagation network executes.
+func (s *Session) execExplain(x ExplainStmt) (Result, error) {
+	var sb strings.Builder
+	if x.Query != nil {
+		s.comp.gensym++
+		name := fmt.Sprintf("_explain%d", s.comp.gensym)
+		if op, inner, ok := s.comp.aggregateCall(x.Query); ok {
+			def, err := s.comp.compileAggregateQuery(name, nil, x.Query, op, inner)
+			if err != nil {
+				return Result{}, err
+			}
+			fmt.Fprintf(&sb, "aggregate %s over:\n%s", op, objectlog.SimplifyDef(def))
+			return Result{Message: sb.String()}, nil
+		}
+		def, _, err := s.comp.compileQuery(name, nil, x.Query)
+		if err != nil {
+			return Result{}, err
+		}
+		sb.WriteString(objectlog.SimplifyDef(def).String())
+		return Result{Message: sb.String()}, nil
+	}
+	r, ok := s.mgr.Rule(x.Rule)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown rule %q", x.Rule)
+	}
+	fmt.Fprintf(&sb, "rule %s condition:\n%s\n", r.Name, r.CondDef)
+	infos := s.mgr.ActivationsOf(x.Rule)
+	if len(infos) == 0 {
+		sb.WriteString("(not activated)")
+		return Result{Message: sb.String()}, nil
+	}
+	for _, info := range infos {
+		fmt.Fprintf(&sb, "activation %s monitors %s:\n%s\n", info.Key, info.CondName, info.Def)
+		if len(info.Differentials) == 0 {
+			sb.WriteString("  (monitored by re-evaluation)\n")
+			continue
+		}
+		for _, d := range info.Differentials {
+			fmt.Fprintf(&sb, "  %s\n", d)
+		}
+	}
+	return Result{Message: strings.TrimRight(sb.String(), "\n")}, nil
+}
+
+// finishDeletes applies or discards pending object destructions at
+// transaction end. On rollback the stored footprint was already
+// restored by inverse replay, so the objects simply stay alive.
+func (s *Session) finishDeletes(committed bool) {
+	if committed {
+		for _, pd := range s.pendingDeletes {
+			s.cat.DeleteObject(pd.oid)
+			if cur, ok := s.iface[pd.varName]; ok && cur.Kind == types.KindObject && cur.O == pd.oid {
+				delete(s.iface, pd.varName)
+			}
+		}
+	}
+	s.pendingDeletes = s.pendingDeletes[:0]
+}
+
+func (s *Session) execSelect(x SelectStmt) (Result, error) {
+	s.comp.gensym++
+	name := fmt.Sprintf("_query%d", s.comp.gensym)
+	// Ad-hoc aggregate queries: select sum(f(x)) for each ... where ...
+	if op, inner, ok := s.comp.aggregateCall(&x.Query); ok {
+		def, err := s.comp.compileAggregateQuery(name, nil, &x.Query, op, inner)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := s.mgr.Program().Define(def); err != nil {
+			return Result{}, err
+		}
+		ev := eval.New(sessEnv{s})
+		ext, err := ev.EvalPred(name, false)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Columns: []string{x.Query.Exprs[0].String()},
+			Tuples:  ext.Tuples(),
+		}, nil
+	}
+	def, _, err := s.comp.compileQuery(name, nil, &x.Query)
+	if err != nil {
+		return Result{}, err
+	}
+	out := types.NewSet()
+	for _, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return Result{}, err
+		}
+		sc, ok := objectlog.Simplify(c)
+		if !ok {
+			continue // statically empty disjunct
+		}
+		if err := s.ev.EvalClause(sc, out); err != nil {
+			return Result{}, err
+		}
+	}
+	cols := make([]string, len(x.Query.Exprs))
+	for i, e := range x.Query.Exprs {
+		cols[i] = e.String()
+	}
+	return Result{Columns: cols, Tuples: out.Tuples()}, nil
+}
+
+func (s *Session) execActivate(x ActivateStmt) (Result, error) {
+	args, err := s.evalExprs(x.Args)
+	if err != nil {
+		return Result{}, err
+	}
+	key, err := s.mgr.Activate(x.Rule, args...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("activated %s", key)}, nil
+}
+
+func (s *Session) execDeactivate(x DeactivateStmt) (Result, error) {
+	args, err := s.evalExprs(x.Args)
+	if err != nil {
+		return Result{}, err
+	}
+	key := rules.ActivationKey(x.Rule, args)
+	if err := s.mgr.Deactivate(key); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("deactivated %s", key)}, nil
+}
+
+func (s *Session) evalExprs(es []Expr) ([]types.Value, error) {
+	out := make([]types.Value, len(es))
+	for i, e := range es {
+		v, err := s.evalExpr(e, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Session) execTxn(x TxnStmt) (Result, error) {
+	var err error
+	switch x.Kind {
+	case "begin":
+		err = s.txns.Begin()
+	case "commit":
+		err = s.txns.Commit()
+	case "rollback":
+		err = s.txns.Rollback()
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Message: x.Kind + " ok"}, nil
+}
+
+// autoBegin starts an implicit transaction when none is active; the
+// returned flag tells autoCommit whether to commit it.
+func (s *Session) autoBegin() (bool, error) {
+	if s.txns.InTransaction() {
+		return false, nil
+	}
+	return true, s.txns.Begin()
+}
+
+func (s *Session) autoCommit(mine bool) error {
+	if !mine {
+		return nil
+	}
+	return s.txns.Commit()
+}
+
+func (s *Session) autoAbort(mine bool, cause error) error {
+	if mine {
+		s.txns.Rollback()
+	}
+	return cause
+}
+
+// evalExpr evaluates a procedural expression (update arguments, action
+// arguments) against the current database state.
+func (s *Session) evalExpr(e Expr, binds map[string]types.Value) (types.Value, error) {
+	switch x := e.(type) {
+	case ConstExpr:
+		return x.Value, nil
+	case IfaceRef:
+		v, ok := s.iface[x.Name]
+		if !ok {
+			return types.Value{}, fmt.Errorf("undefined interface variable :%s", x.Name)
+		}
+		return v, nil
+	case VarRef:
+		if v, ok := binds[x.Name]; ok {
+			return v, nil
+		}
+		return types.Value{}, fmt.Errorf("unbound variable %q", x.Name)
+	case Unary:
+		v, err := s.evalExpr(x.X, binds)
+		if err != nil {
+			return types.Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			return types.Sub(types.Int(0), v)
+		case "not":
+			return types.Bool(!v.AsBool()), nil
+		}
+		return types.Value{}, fmt.Errorf("unknown unary operator %q", x.Op)
+	case Binary:
+		l, err := s.evalExpr(x.L, binds)
+		if err != nil {
+			return types.Value{}, err
+		}
+		// Short-circuit boolean connectives.
+		switch x.Op {
+		case "and":
+			if !l.AsBool() {
+				return types.Bool(false), nil
+			}
+			r, err := s.evalExpr(x.R, binds)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.Bool(r.AsBool()), nil
+		case "or":
+			if l.AsBool() {
+				return types.Bool(true), nil
+			}
+			r, err := s.evalExpr(x.R, binds)
+			if err != nil {
+				return types.Value{}, err
+			}
+			return types.Bool(r.AsBool()), nil
+		}
+		r, err := s.evalExpr(x.R, binds)
+		if err != nil {
+			return types.Value{}, err
+		}
+		switch x.Op {
+		case "+":
+			return types.Add(l, r)
+		case "-":
+			return types.Sub(l, r)
+		case "*":
+			return types.Mul(l, r)
+		case "/":
+			return types.Div(l, r)
+		case "=":
+			return types.Bool(l.Equal(r)), nil
+		case "!=":
+			return types.Bool(!l.Equal(r)), nil
+		case "<":
+			return types.Bool(l.Compare(r) < 0), nil
+		case "<=":
+			return types.Bool(l.Compare(r) <= 0), nil
+		case ">":
+			return types.Bool(l.Compare(r) > 0), nil
+		case ">=":
+			return types.Bool(l.Compare(r) >= 0), nil
+		}
+		return types.Value{}, fmt.Errorf("unknown operator %q", x.Op)
+	case Call:
+		return s.evalCall(x, binds)
+	default:
+		return types.Value{}, fmt.Errorf("cannot evaluate %s", e)
+	}
+}
+
+func (s *Session) evalCall(x Call, binds map[string]types.Value) (types.Value, error) {
+	f, ok := s.cat.Function(x.Fn)
+	if !ok {
+		return types.Value{}, fmt.Errorf("unknown function %q", x.Fn)
+	}
+	if len(x.Args) != len(f.Params) {
+		return types.Value{}, fmt.Errorf("function %q takes %d arguments, got %d", x.Fn, len(f.Params), len(x.Args))
+	}
+	args := make([]types.Value, len(x.Args))
+	for i, ae := range x.Args {
+		v, err := s.evalExpr(ae, binds)
+		if err != nil {
+			return types.Value{}, err
+		}
+		args[i] = v
+	}
+	switch f.Kind {
+	case catalog.Stored:
+		rows, err := s.store.Get(x.Fn, args)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if len(rows) == 0 {
+			return types.Value{}, fmt.Errorf("%s has no value for %v", x.Fn, types.Tuple(args))
+		}
+		return rows[0][0], nil
+	case catalog.Derived:
+		// Evaluate as a point subquery over the definition.
+		lit := objectlog.Literal{Pred: x.Fn}
+		for _, v := range args {
+			lit.Args = append(lit.Args, objectlog.C(v))
+		}
+		res := objectlog.V("_Res")
+		lit.Args = append(lit.Args, res)
+		head := objectlog.Literal{Pred: "_call", Args: []objectlog.Term{res}}
+		out := types.NewSet()
+		if err := s.ev.EvalClause(objectlog.Clause{Head: head, Body: []objectlog.Literal{lit}}, out); err != nil {
+			return types.Value{}, err
+		}
+		ts := out.Tuples()
+		if len(ts) == 0 {
+			return types.Value{}, fmt.Errorf("%s has no value for %v", x.Fn, types.Tuple(args))
+		}
+		return ts[0][0], nil
+	default: // Foreign
+		rows, err := f.Fn(args)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if len(rows) == 0 || len(rows[0]) == 0 {
+			return types.Value{}, fmt.Errorf("foreign function %s returned no value", x.Fn)
+		}
+		return rows[0][0], nil
+	}
+}
+
+// sessEnv resolves predicates for ad-hoc session queries (select
+// statements and procedural derived-function calls). Δ-sets and old
+// states are not available outside the check phase.
+type sessEnv struct{ s *Session }
+
+// Program implements eval.Env.
+func (e sessEnv) Program() *objectlog.Program { return e.s.mgr.Program() }
+
+// Source implements eval.Env over the live store only.
+func (e sessEnv) Source(pred string, dk objectlog.DeltaKind, old bool) (storage.Source, error) {
+	if dk != objectlog.DeltaNone || old {
+		return nil, fmt.Errorf("Δ-sets and old states are only available during the check phase")
+	}
+	rel, ok := e.s.store.Relation(pred)
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", pred)
+	}
+	return rel, nil
+}

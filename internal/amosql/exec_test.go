@@ -1,0 +1,245 @@
+package amosql
+
+import (
+	"fmt"
+	"testing"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// evalSession builds a session for procedural-expression tests: a
+// stored function f, a derived function d, and a foreign function tri.
+func evalSession(t *testing.T) *Session {
+	t.Helper()
+	s := NewSession(rules.Incremental)
+	s.MustExec(`
+create type t;
+create function f(t) -> integer;
+create function d(t x) -> integer
+    as select f(x) * 2 for each t y where y = x;
+create t instances :a;
+set f(:a) = 10;
+`)
+	if err := s.RegisterFunction("tri", []string{"integer"}, "integer",
+		func(args []types.Value) ([][]types.Value, error) {
+			return [][]types.Value{{types.Int(args[0].AsInt() * 3)}}, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// evalStr evaluates a procedural expression through an update statement
+// and reads the result back.
+func (s *Session) evalStr(t *testing.T, expr string) (types.Value, error) {
+	t.Helper()
+	ast, err := ParseOne("select 0;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ast
+	parsed, err := ParseOne(fmt.Sprintf("set f(:a) = 0;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = parsed
+	e, err := ParseOne("select " + expr + ";")
+	if err != nil {
+		return types.Value{}, err
+	}
+	return s.evalExpr(e.(SelectStmt).Query.Exprs[0], nil)
+}
+
+func TestEvalExprOperators(t *testing.T) {
+	s := evalSession(t)
+	cases := []struct {
+		expr string
+		want types.Value
+	}{
+		{"1 + 2", types.Int(3)},
+		{"5 - 2", types.Int(3)},
+		{"4 * 2", types.Int(8)},
+		{"9 / 2", types.Int(4)},
+		{"-7", types.Int(-7)},
+		{"1.5 + 1", types.Float(2.5)},
+		{"1 = 1", types.Bool(true)},
+		{"1 != 1", types.Bool(false)},
+		{"1 < 2", types.Bool(true)},
+		{"2 <= 1", types.Bool(false)},
+		{"2 > 1", types.Bool(true)},
+		{"1 >= 2", types.Bool(false)},
+		{"true and false", types.Bool(false)},
+		{"true and true", types.Bool(true)},
+		{"false or true", types.Bool(true)},
+		{"false or false", types.Bool(false)},
+		{"not true", types.Bool(false)},
+		{"'x' = 'x'", types.Bool(true)},
+		{"f(:a)", types.Int(10)},
+		{"d(:a)", types.Int(20)},
+		{"tri(4)", types.Int(12)},
+		{"f(:a) + d(:a) * 2", types.Int(50)},
+	}
+	for _, tc := range cases {
+		got, err := s.evalStr(t, tc.expr)
+		if err != nil {
+			t.Errorf("%s: %v", tc.expr, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("%s = %s, want %s", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestEvalExprShortCircuit(t *testing.T) {
+	s := evalSession(t)
+	// The right side would error (unknown function), but short-circuit
+	// must prevent evaluation.
+	if v, err := s.evalStr(t, "false and nosuch(1) = 1"); err != nil || v.AsBool() {
+		t.Errorf("and short-circuit: %v %v", v, err)
+	}
+	if v, err := s.evalStr(t, "true or nosuch(1) = 1"); err != nil || !v.AsBool() {
+		t.Errorf("or short-circuit: %v %v", v, err)
+	}
+}
+
+func TestEvalExprErrors(t *testing.T) {
+	s := evalSession(t)
+	for _, expr := range []string{
+		"nosuch(1)",       // unknown function
+		"f(1, 2)",         // wrong arity
+		"f(:ghost)",       // undefined interface variable
+		"1 / 0",           // division by zero
+		"'a' + 1",         // type error
+		"unboundvar + 1",  // unbound variable
+		"d(:a) + f(:b22)", // nested failure propagates
+	} {
+		if _, err := s.evalStr(t, expr); err == nil {
+			t.Errorf("%s: expected error", expr)
+		}
+	}
+	// Stored function with no value for the key.
+	s.MustExec(`create t instances :empty;`)
+	if _, err := s.evalStr(t, "f(:empty)"); err == nil {
+		t.Error("missing stored value should error")
+	}
+	// Derived function with no value.
+	if _, err := s.evalStr(t, "d(:empty)"); err == nil {
+		t.Error("missing derived value should error")
+	}
+}
+
+func TestEvalExprForeignFunctionNoValue(t *testing.T) {
+	s := evalSession(t)
+	s.RegisterFunction("void", nil, "integer",
+		func([]types.Value) ([][]types.Value, error) { return nil, nil })
+	if _, err := s.evalStr(t, "void()"); err == nil {
+		t.Error("foreign function returning nothing should error when used as a value")
+	}
+}
+
+func TestUpdateInsideFailingTransactionAborts(t *testing.T) {
+	// An autocommitted statement whose update fails must roll back and
+	// leave no residue.
+	s := evalSession(t)
+	// remove with wrong arity triggers the error path after autoBegin.
+	if _, err := s.Exec(`set f(:a) = 'wrongtype';`); err == nil {
+		t.Fatal("type error expected")
+	}
+	if s.Txns().InTransaction() {
+		t.Error("implicit transaction leaked")
+	}
+	r, _ := s.Query(`select f(:a);`)
+	if len(r.Tuples) != 1 || !r.Tuples[0][0].Equal(types.Int(10)) {
+		t.Errorf("state after failed statement: %v", r.Tuples)
+	}
+}
+
+func TestStatementsInsideExplicitTxnDoNotAutocommit(t *testing.T) {
+	s := evalSession(t)
+	fired := 0
+	s.RegisterProcedure("hit", func([]types.Value) error { fired++; return nil })
+	s.MustExec(`
+create rule watch() as when for each t x where f(x) > 50 do hit(x);
+activate watch();
+begin;
+set f(:a) = 100;
+`)
+	if fired != 0 {
+		t.Fatal("rule fired before commit")
+	}
+	s.MustExec(`commit;`)
+	if fired != 1 {
+		t.Errorf("fired=%d", fired)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := evalSession(t)
+	if s.Store() == nil || s.Catalog() == nil || s.Rules() == nil || s.Txns() == nil {
+		t.Error("nil accessor")
+	}
+}
+
+func TestExecStopsAtFirstError(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	results, err := s.Exec(`create type a; create type a; create type b;`)
+	if err == nil {
+		t.Fatal("duplicate type should error")
+	}
+	if len(results) != 1 {
+		t.Errorf("results before error: %d", len(results))
+	}
+	// b must not have been created.
+	if _, ok := s.Catalog().Type("b"); ok {
+		t.Error("statement after error executed")
+	}
+}
+
+func TestActivationArgumentEvaluation(t *testing.T) {
+	// Activation arguments are full procedural expressions.
+	s := evalSession(t)
+	fired := 0
+	s.RegisterProcedure("hit", func([]types.Value) error { fired++; return nil })
+	s.MustExec(`
+create rule watch(integer lim) as
+    when for each t x where f(x) > lim
+    do hit(x);
+set f(:a) = 0;
+activate watch(2 + 3);
+set f(:a) = 6;
+`)
+	if fired != 1 {
+		t.Errorf("fired=%d", fired)
+	}
+	// Deactivation with the same expression value.
+	if _, err := s.Exec(`deactivate watch(5);`); err != nil {
+		t.Errorf("deactivate by value: %v", err)
+	}
+}
+
+func TestStatementResultMessages(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	res := s.MustExec(`create type t;`)
+	if res[0].Message != "type t created" {
+		t.Errorf("message=%q", res[0].Message)
+	}
+	res = s.MustExec(`create function f(t) -> integer;`)
+	if res[0].Message != "stored function f created" {
+		t.Errorf("message=%q", res[0].Message)
+	}
+	res = s.MustExec(`create function g(t x) -> integer as select f(x) for each t y where y = x;`)
+	if res[0].Message != "derived function g created" {
+		t.Errorf("message=%q", res[0].Message)
+	}
+	res = s.MustExec(`create function h(t x) -> integer as select sum(f(x)) for each t y where y = x;`)
+	if res[0].Message != "aggregate function h (sum) created" {
+		t.Errorf("message=%q", res[0].Message)
+	}
+	res = s.MustExec(`begin;`)
+	if res[0].Message != "begin ok" {
+		t.Errorf("message=%q", res[0].Message)
+	}
+	s.MustExec(`rollback;`)
+}

@@ -1,0 +1,96 @@
+package amosql
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+func TestExplainSelect(t *testing.T) {
+	s, _ := newPaperSession(t, rules.Incremental)
+	res := s.MustExec(`explain select i for each item i where quantity(i) < threshold(i);`)
+	msg := res[0].Message
+	// The compiled clause shows the extent literal and the comparison;
+	// threshold stays an unexpanded call at query level.
+	for _, want := range []string{"type:item(i)", "quantity(i,", "threshold(i,", "<"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("explain missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestExplainAggregateSelect(t *testing.T) {
+	s, _ := newPaperSession(t, rules.Incremental)
+	res := s.MustExec(`explain select sum(quantity(i)) for each item i;`)
+	if !strings.Contains(res[0].Message, "aggregate sum over:") {
+		t.Errorf("explain=%s", res[0].Message)
+	}
+}
+
+func TestExplainRule(t *testing.T) {
+	s, _ := newPaperSession(t, rules.Incremental)
+	s.MustExec(monitorItemsRule)
+	// Before activation.
+	res := s.MustExec(`explain rule monitor_items;`)
+	if !strings.Contains(res[0].Message, "(not activated)") {
+		t.Errorf("explain=%s", res[0].Message)
+	}
+	s.MustExec(`set quantity(:item1) = 5000; activate monitor_items();`)
+	res = s.MustExec(`explain rule monitor_items;`)
+	msg := res[0].Message
+	// The expanded condition and the five positive partial
+	// differentials of fig. 2 must be visible.
+	for _, want := range []string{
+		"rule monitor_items condition:",
+		"activation monitor_items monitors",
+		"/Δ+quantity",
+		"/Δ+consume_freq",
+		"/Δ+delivery_time",
+		"/Δ+supplies",
+		"/Δ+min_stock",
+		"Δ+quantity(", // the differential clause body
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("explain missing %q:\n%s", want, msg)
+		}
+	}
+	if _, err := s.Exec(`explain rule nosuch;`); err == nil {
+		t.Error("unknown rule accepted")
+	}
+}
+
+func TestExplainAggregateRule(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.RegisterProcedure("hit", func([]types.Value) error { return nil })
+	s.MustExec(`
+create type emp;
+create function pay(emp) -> integer;
+create function total() -> integer
+    as select sum(pay(e)) for each emp e where pay(e) > 0;
+create rule watch() as when for each emp e where total() > 100 do hit(e);
+activate watch();
+`)
+	res := s.MustExec(`explain rule watch;`)
+	// The condition references the aggregate, whose own monitoring is
+	// re-evaluation; the condition itself still has differentials
+	// (w.r.t. total and the extent).
+	if !strings.Contains(res[0].Message, "total(") {
+		t.Errorf("explain=%s", res[0].Message)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	st := mustParseOne(t, `explain select 1;`).(ExplainStmt)
+	if st.Query == nil || st.Rule != "" {
+		t.Errorf("%+v", st)
+	}
+	st = mustParseOne(t, `explain rule r;`).(ExplainStmt)
+	if st.Rule != "r" || st.Query != nil {
+		t.Errorf("%+v", st)
+	}
+	if _, err := ParseOne(`explain frobnicate;`); err == nil {
+		t.Error("bad explain accepted")
+	}
+}

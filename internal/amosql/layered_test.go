@@ -1,0 +1,134 @@
+package amosql
+
+import (
+	"testing"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// Layered networks: aggregates over shared views, rules over both.
+// Exercises a three-level propagation: base → shared diff node →
+// aggregate recompute node → condition.
+func TestAggregateOverSharedView(t *testing.T) {
+	for _, mode := range []rules.Mode{rules.Incremental, rules.Naive} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := NewSession(mode)
+			var fired []string
+			s.RegisterProcedure("hit", func(args []types.Value) error {
+				fired = append(fired, args[0].String())
+				return nil
+			})
+			s.MustExec(`
+create type order_line;
+create function qty(order_line) -> integer;
+create function price(order_line) -> integer;
+
+-- Shared intermediate: line value.
+create shared function line_value(order_line l) -> integer
+    as select qty(l) * price(l) for each order_line m where m = l;
+
+-- Aggregate over the shared view.
+create function order_total() -> integer
+    as select sum(line_value(l)) for each order_line l where qty(l) > 0;
+
+create rule big_order() as
+    when for each order_line l where order_total() > 100 and qty(l) > 0
+    do hit(l);
+
+create order_line instances :l1, :l2;
+set qty(:l1) = 2;
+set price(:l1) = 10;
+set qty(:l2) = 3;
+set price(:l2) = 20;
+activate big_order();
+`)
+			// Total = 20 + 60 = 80 ≤ 100: nothing yet.
+			if len(fired) != 0 {
+				t.Fatalf("fired early: %v", fired)
+			}
+			// Raise a price: total = 20 + 90 = 110 > 100. Both lines
+			// satisfy qty>0 so both instances trigger.
+			s.MustExec(`set price(:l2) = 30;`)
+			if len(fired) != 2 {
+				t.Fatalf("fired=%v", fired)
+			}
+			// Verify network structure in incremental mode.
+			if mode == rules.Incremental {
+				net := s.Rules().Network()
+				lv, ok := net.Node("line_value")
+				if !ok || lv.Recompute || lv.Base {
+					t.Errorf("line_value node: %+v", lv)
+				}
+				ot, ok := net.Node("order_total")
+				if !ok || !ot.Recompute {
+					t.Errorf("order_total node: %+v", ot)
+				}
+				if ot.Level <= lv.Level {
+					t.Errorf("levels: line_value=%d order_total=%d", lv.Level, ot.Level)
+				}
+			}
+			// Net-change: a dip and recovery of the total in one txn.
+			before := len(fired)
+			s.MustExec(`
+begin;
+set qty(:l1) = 0;
+set qty(:l1) = 2;
+commit;
+`)
+			if len(fired) != before {
+				t.Errorf("transient total change fired: %v", fired)
+			}
+		})
+	}
+}
+
+// Recursive view over a shared view: chain over a derived edge.
+func TestRecursionOverSharedView(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	var fired []string
+	s.RegisterProcedure("hit", func(args []types.Value) error {
+		fired = append(fired, args[0].String())
+		return nil
+	})
+	s.MustExec(`
+create type host;
+create function wired(host) -> host;
+create function enabled(host) -> boolean;
+
+-- Shared derived edge: only enabled links conduct.
+create shared function live_link(host a) -> host
+    as select b for each host b
+    where wired(a) = b and enabled(a) = true;
+
+create function reaches(host a) -> host
+    as select b for each host b
+    where live_link(a) = b or reaches(live_link(a)) = b;
+
+create rule connectivity(host target) as
+    when for each host h where reaches(h) = target
+    do hit(h);
+
+create host instances :core, :edge1, :edge2;
+set wired(:edge1) = :core;
+set wired(:edge2) = :edge1;
+set enabled(:edge1) = true;
+activate connectivity(:core);
+`)
+	// edge1 reaches core already at activation (no changes → no fire).
+	if len(fired) != 0 {
+		t.Fatalf("fired at activation: %v", fired)
+	}
+	// Enabling edge2 connects it through edge1.
+	s.MustExec(`set enabled(:edge2) = true;`)
+	if len(fired) != 1 || fired[0] != "#3" {
+		t.Fatalf("fired=%v", fired)
+	}
+	// Disabling edge1 cuts both; re-enabling restores both: two new
+	// connectivity transitions.
+	s.MustExec(`remove enabled(:edge1) = true;`)
+	s.MustExec(`set enabled(:edge1) = true;`)
+	if len(fired) != 3 {
+		t.Errorf("after flap: %v", fired)
+	}
+}

@@ -1,0 +1,383 @@
+// Package bench implements the workload generator and experiment
+// harnesses for the performance measurements of §6 of the paper:
+//
+//   - Fig. 6 — 100 transactions, each changing the quantity of one item
+//     (few changes to ONE partial differential), over database sizes
+//     from 1 to 10000 items. Incremental monitoring should be (nearly)
+//     independent of database size; naive monitoring is linear in it.
+//
+//   - Fig. 7 — one transaction changing the quantity, delivery time and
+//     consume frequency of ALL items (massive changes to THREE partial
+//     differentials). Naive wins, but only by a constant factor (≈1.6
+//     in the paper).
+//
+// The database is the §3.1 inventory schema, fully expanded rule
+// conditions, exactly as in the paper's benchmark.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"partdiff/internal/amosql"
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// Inventory is a populated §3.1 benchmark database.
+type Inventory struct {
+	Sess  *amosql.Session
+	N     int
+	Items []types.Value // item OIDs
+	Sups  []types.Value // supplier OIDs
+
+	// Orders counts order procedure invocations (rule firings).
+	Orders int
+}
+
+// schema is the §3.1 schema (threshold optionally shared for the node
+// sharing ablation).
+func schema(sharedThreshold bool) string {
+	thr := "create function threshold(item i) -> integer"
+	if sharedThreshold {
+		thr = "create shared function threshold(item i) -> integer"
+	}
+	return `
+create type item;
+create type supplier;
+create function quantity(item) -> integer;
+create function max_stock(item) -> integer;
+create function min_stock(item) -> integer;
+create function consume_freq(item) -> integer;
+create function supplies(supplier) -> item;
+create function delivery_time(item i, supplier s) -> integer;
+` + thr + `
+    as
+    select consume_freq(i) *
+        delivery_time(i, s) + min_stock(i)
+    for each supplier s where supplies(s) = i;
+create rule monitor_items() as
+     when for each item i
+     where quantity(i) < threshold(i)
+     do order(i, max_stock(i) - quantity(i));
+`
+}
+
+// Config controls inventory construction.
+type Config struct {
+	N               int // number of items (and suppliers)
+	Mode            rules.Mode
+	SharedThreshold bool // §7.1 node sharing ablation
+	Activate        bool // activate monitor_items
+	// PositiveOnly disables negative partial differentials — the
+	// configuration of the paper's §6 benchmark, which monitored
+	// insertions only (five positive differentials, fig. 2).
+	PositiveOnly bool
+}
+
+// NewInventory builds and populates a benchmark database. Each item i
+// has quantity 5000, max_stock 5000, min_stock 100, consume_freq 20 and
+// one supplier with delivery_time 2, so every threshold is 140 and no
+// condition is initially true.
+func NewInventory(cfg Config) (*Inventory, error) {
+	inv := &Inventory{Sess: amosql.NewSession(cfg.Mode), N: cfg.N}
+	err := inv.Sess.RegisterProcedure("order", func(args []types.Value) error {
+		inv.Orders++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inv.Sess.Exec(schema(cfg.SharedThreshold)); err != nil {
+		return nil, err
+	}
+	if cfg.PositiveOnly {
+		inv.Sess.Rules().SetMonitorDeletions(false)
+	}
+	// Populate directly through the store for speed; this is ordinary
+	// (pre-activation) loading, not part of the measured workload.
+	cat, st := inv.Sess.Catalog(), inv.Sess.Store()
+	for i := 0; i < cfg.N; i++ {
+		iOID, err := cat.NewObject("item")
+		if err != nil {
+			return nil, err
+		}
+		sOID, err := cat.NewObject("supplier")
+		if err != nil {
+			return nil, err
+		}
+		item, sup := types.Obj(iOID), types.Obj(sOID)
+		inv.Items = append(inv.Items, item)
+		inv.Sups = append(inv.Sups, sup)
+		st.Insert("type:item", types.Tuple{item})
+		st.Insert("type:supplier", types.Tuple{sup})
+		for rel, v := range map[string]int64{
+			"quantity": 5000, "max_stock": 5000, "min_stock": 100, "consume_freq": 20,
+		} {
+			if _, err := st.Set(rel, []types.Value{item}, []types.Value{types.Int(v)}); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := st.Set("supplies", []types.Value{sup}, []types.Value{item}); err != nil {
+			return nil, err
+		}
+		if _, err := st.Set("delivery_time", []types.Value{item, sup}, []types.Value{types.Int(2)}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Activate {
+		if _, err := inv.Sess.Exec("activate monitor_items();"); err != nil {
+			return nil, err
+		}
+	}
+	return inv, nil
+}
+
+// SetQuantity updates one item's quantity inside the current
+// transaction (or autocommitted when none is active).
+func (inv *Inventory) SetQuantity(i int, q int64) error {
+	_, err := inv.Sess.Store().Set("quantity",
+		[]types.Value{inv.Items[i]}, []types.Value{types.Int(q)})
+	return err
+}
+
+// Txn runs fn inside one transaction with deferred rule checking.
+func (inv *Inventory) Txn(fn func() error) error {
+	if err := inv.Sess.Txns().Begin(); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		inv.Sess.Txns().Rollback()
+		return err
+	}
+	return inv.Sess.Txns().Commit()
+}
+
+// RunFig6Transactions runs txns transactions, each updating the
+// quantity of one item (cycling through the database) while staying
+// above the threshold — the fig. 6 workload: few changes to one partial
+// differential.
+func (inv *Inventory) RunFig6Transactions(txns int) error {
+	for t := 0; t < txns; t++ {
+		i := t % inv.N
+		// Alternate the written value per cycle over the items so every
+		// transaction is a real update; always far above the threshold
+		// of 140 so the rule never fires (pure monitoring cost).
+		q := int64(4900 - (t/inv.N)%2*100)
+		if err := inv.Txn(func() error { return inv.SetQuantity(i, q) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFig7Transaction runs one transaction changing quantity,
+// delivery_time and consume_freq of EVERY item — the fig. 7 workload:
+// massive changes to three partial differentials.
+func (inv *Inventory) RunFig7Transaction(round int64) error {
+	st := inv.Sess.Store()
+	return inv.Txn(func() error {
+		for i, item := range inv.Items {
+			if _, err := st.Set("quantity", []types.Value{item},
+				[]types.Value{types.Int(4800 + round%2*100)}); err != nil {
+				return err
+			}
+			if _, err := st.Set("delivery_time", []types.Value{item, inv.Sups[i]},
+				[]types.Value{types.Int(2 + round%2)}); err != nil {
+				return err
+			}
+			if _, err := st.Set("consume_freq", []types.Value{item},
+				[]types.Value{types.Int(20 + round%2)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Fig6Row is one measured point of the fig. 6 experiment.
+type Fig6Row struct {
+	DBSize  int
+	Txns    int
+	NaiveNs int64 // total wall time, naive monitoring
+	IncrNs  int64 // total wall time, incremental monitoring
+}
+
+// Speedup returns naive/incremental.
+func (r Fig6Row) Speedup() float64 {
+	if r.IncrNs == 0 {
+		return 0
+	}
+	return float64(r.NaiveNs) / float64(r.IncrNs)
+}
+
+// RunFig6 measures the fig. 6 experiment for each database size.
+func RunFig6(sizes []int, txns int) ([]Fig6Row, error) {
+	out := make([]Fig6Row, 0, len(sizes))
+	for _, n := range sizes {
+		row := Fig6Row{DBSize: n, Txns: txns}
+		for _, mode := range []rules.Mode{rules.Naive, rules.Incremental} {
+			inv, err := NewInventory(Config{N: n, Mode: mode, Activate: true})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := inv.RunFig6Transactions(txns); err != nil {
+				return nil, err
+			}
+			ns := time.Since(start).Nanoseconds()
+			if mode == rules.Naive {
+				row.NaiveNs = ns
+			} else {
+				row.IncrNs = ns
+			}
+			if inv.Orders != 0 {
+				return nil, fmt.Errorf("fig6 workload must not trigger rules, got %d orders", inv.Orders)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig7Row is one measured point of the fig. 7 experiment.
+type Fig7Row struct {
+	N       int
+	NaiveNs int64
+	IncrNs  int64
+}
+
+// Ratio returns incremental/naive — the paper reports ≈1.6, constant
+// over the database size.
+func (r Fig7Row) Ratio() float64 {
+	if r.NaiveNs == 0 {
+		return 0
+	}
+	return float64(r.IncrNs) / float64(r.NaiveNs)
+}
+
+// RunFig7 measures the fig. 7 experiment for each database size. rounds
+// transactions are run and the total time reported (each transaction
+// changes all n items in all three influents).
+func RunFig7(sizes []int, rounds int) ([]Fig7Row, error) {
+	out := make([]Fig7Row, 0, len(sizes))
+	for _, n := range sizes {
+		row := Fig7Row{N: n}
+		for _, mode := range []rules.Mode{rules.Naive, rules.Incremental} {
+			inv, err := NewInventory(Config{N: n, Mode: mode, Activate: true})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				if err := inv.RunFig7Transaction(int64(r)); err != nil {
+					return nil, err
+				}
+			}
+			ns := time.Since(start).Nanoseconds()
+			if mode == rules.Naive {
+				row.NaiveNs = ns
+			} else {
+				row.IncrNs = ns
+			}
+			if inv.Orders != 0 {
+				return nil, fmt.Errorf("fig7 workload must not trigger rules, got %d orders", inv.Orders)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// HybridRow is one measured point of the hybrid-monitor experiment:
+// total time for a mixed workload (many small transactions plus a few
+// massive ones) under each monitoring mode. The hybrid monitor should
+// approach the best of both.
+type HybridRow struct {
+	N           int
+	NaiveNs     int64
+	IncrNs      int64
+	HybridNs    int64
+	SmallTxns   int
+	MassiveTxns int
+}
+
+// RunHybrid measures the mixed workload for each database size.
+func RunHybrid(sizes []int, smallTxns, massiveTxns int) ([]HybridRow, error) {
+	out := make([]HybridRow, 0, len(sizes))
+	for _, n := range sizes {
+		row := HybridRow{N: n, SmallTxns: smallTxns, MassiveTxns: massiveTxns}
+		for _, mode := range []rules.Mode{rules.Naive, rules.Incremental, rules.Hybrid} {
+			inv, err := NewInventory(Config{N: n, Mode: mode, Activate: true})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := inv.RunFig6Transactions(smallTxns); err != nil {
+				return nil, err
+			}
+			for r := 0; r < massiveTxns; r++ {
+				if err := inv.RunFig7Transaction(int64(r)); err != nil {
+					return nil, err
+				}
+			}
+			ns := time.Since(start).Nanoseconds()
+			switch mode {
+			case rules.Naive:
+				row.NaiveNs = ns
+			case rules.Incremental:
+				row.IncrNs = ns
+			default:
+				row.HybridNs = ns
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// SharingRow is one measured point of the §7.1 node sharing ablation:
+// a threshold-side update (min_stock) propagated through a flat network
+// versus a bushy network with a shared threshold node.
+type SharingRow struct {
+	DBSize  int
+	Txns    int
+	FlatNs  int64
+	BushyNs int64
+}
+
+// RunNodeSharing measures flat vs bushy propagation for min_stock
+// updates that keep the condition false.
+func RunNodeSharing(sizes []int, txns int) ([]SharingRow, error) {
+	out := make([]SharingRow, 0, len(sizes))
+	for _, n := range sizes {
+		row := SharingRow{DBSize: n, Txns: txns}
+		for _, shared := range []bool{false, true} {
+			inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, SharedThreshold: shared, Activate: true})
+			if err != nil {
+				return nil, err
+			}
+			st := inv.Sess.Store()
+			start := time.Now()
+			for t := 0; t < txns; t++ {
+				i := t % n
+				ms := int64(101 + (t/n)%2) // 101/102: threshold stays ≪ 5000
+				err := inv.Txn(func() error {
+					_, err := st.Set("min_stock", []types.Value{inv.Items[i]}, []types.Value{types.Int(ms)})
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			ns := time.Since(start).Nanoseconds()
+			if shared {
+				row.BushyNs = ns
+			} else {
+				row.FlatNs = ns
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"testing"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+func TestNewInventoryPopulation(t *testing.T) {
+	inv, err := NewInventory(Config{N: 5, Mode: rules.Incremental, Activate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv.Items) != 5 || len(inv.Sups) != 5 {
+		t.Fatalf("items=%d sups=%d", len(inv.Items), len(inv.Sups))
+	}
+	// All thresholds are 20*2+100 = 140.
+	r, err := inv.Sess.Query(`select threshold(i) for each item i;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tuples) != 1 || !r.Tuples[0][0].Equal(types.Int(140)) {
+		t.Errorf("thresholds=%v", r.Tuples)
+	}
+	// No condition initially true.
+	r, _ = inv.Sess.Query(`select i for each item i where quantity(i) < threshold(i);`)
+	if len(r.Tuples) != 0 {
+		t.Errorf("initially true: %v", r.Tuples)
+	}
+}
+
+func TestInventoryRuleActuallyMonitors(t *testing.T) {
+	inv, err := NewInventory(Config{N: 3, Mode: rules.Incremental, Activate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Txn(func() error { return inv.SetQuantity(1, 10) }); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Orders != 1 {
+		t.Errorf("orders=%d; the benchmark rule must be live", inv.Orders)
+	}
+}
+
+func TestFig6WorkloadDoesNotTrigger(t *testing.T) {
+	for _, mode := range []rules.Mode{rules.Incremental, rules.Naive} {
+		inv, err := NewInventory(Config{N: 10, Mode: mode, Activate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.RunFig6Transactions(20); err != nil {
+			t.Fatal(err)
+		}
+		if inv.Orders != 0 {
+			t.Errorf("mode %s: fig6 workload triggered %d orders", mode, inv.Orders)
+		}
+		st := inv.Sess.Rules().Stats()
+		if mode == rules.Incremental && st.Propagations != 20 {
+			t.Errorf("propagations=%d want 20", st.Propagations)
+		}
+		if mode == rules.Naive && st.NaiveRecomputations != 20 {
+			t.Errorf("recomputations=%d want 20", st.NaiveRecomputations)
+		}
+	}
+}
+
+// TestFig6_OneDifferentialPerTransaction verifies the §6.1 claim: each
+// fig. 6 transaction executes only the Δ+quantity (and Δ−quantity)
+// partial differentials — changes to one influent only.
+func TestFig6_OneDifferentialPerTransaction(t *testing.T) {
+	inv, err := NewInventory(Config{N: 10, Mode: rules.Incremental, Activate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Txn(func() error { return inv.SetQuantity(0, 4900) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range inv.Sess.Rules().Network().Trace() {
+		if e.Influent != "quantity" {
+			t.Errorf("unexpected differential %s", e.Differential)
+		}
+	}
+	st := inv.Sess.Rules().Stats()
+	// One update = one retraction + one assertion: the positive and the
+	// negative quantity differentials run, nothing else.
+	if st.DifferentialsExecuted != 2 {
+		t.Errorf("differentials executed = %d, want 2", st.DifferentialsExecuted)
+	}
+}
+
+// TestFig7_ThreeDifferentials verifies the §6.2 claim: the massive
+// transaction touches exactly the three influents quantity,
+// delivery_time and consume_freq.
+func TestFig7_ThreeDifferentials(t *testing.T) {
+	inv, err := NewInventory(Config{N: 5, Mode: rules.Incremental, Activate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.RunFig7Transaction(1); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range inv.Sess.Rules().Network().Trace() {
+		seen[e.Influent] = true
+	}
+	want := []string{"quantity", "delivery_time", "consume_freq"}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("influent %s not exercised; trace influents=%v", w, seen)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("influents=%v, want exactly 3", seen)
+	}
+}
+
+func TestRunFig6SmokeAndShape(t *testing.T) {
+	rows, err := RunFig6([]int{4, 64}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%v", rows)
+	}
+	for _, r := range rows {
+		if r.NaiveNs <= 0 || r.IncrNs <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+		_ = r.Speedup()
+	}
+}
+
+func TestRunFig7Smoke(t *testing.T) {
+	rows, err := RunFig7([]int{8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].NaiveNs <= 0 || rows[0].IncrNs <= 0 {
+		t.Fatalf("rows=%+v", rows)
+	}
+	_ = rows[0].Ratio()
+}
+
+func TestRunHybridSmoke(t *testing.T) {
+	rows, err := RunHybrid([]int{8}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].NaiveNs <= 0 || rows[0].IncrNs <= 0 || rows[0].HybridNs <= 0 {
+		t.Fatalf("rows=%+v", rows)
+	}
+}
+
+func TestRunNodeSharingSmoke(t *testing.T) {
+	rows, err := RunNodeSharing([]int{8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].FlatNs <= 0 || rows[0].BushyNs <= 0 {
+		t.Fatalf("rows=%+v", rows)
+	}
+}
+
+// TestFig6_IncrementalWorkIndependentOfDBSize is the logical core of
+// fig. 6, asserted on operation counts rather than wall time (robust in
+// CI): the number of differentials executed per transaction must not
+// grow with the database size.
+func TestFig6_IncrementalWorkIndependentOfDBSize(t *testing.T) {
+	counts := map[int]int{}
+	for _, n := range []int{10, 1000} {
+		inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.RunFig6Transactions(10); err != nil {
+			t.Fatal(err)
+		}
+		counts[n] = inv.Sess.Rules().Stats().DifferentialsExecuted
+	}
+	if counts[10] != counts[1000] {
+		t.Errorf("differential executions grew with DB size: %v", counts)
+	}
+}

@@ -1,0 +1,247 @@
+package catalog
+
+import (
+	"testing"
+
+	"partdiff/internal/types"
+)
+
+func TestCreateTypeAndHierarchy(t *testing.T) {
+	c := New()
+	if _, err := c.CreateType("item", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateType("item", ""); err == nil {
+		t.Error("duplicate type should error")
+	}
+	if _, err := c.CreateType("integer", ""); err == nil {
+		t.Error("redefining scalar type should error")
+	}
+	if _, err := c.CreateType("perishable", "item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateType("x", "nosuch"); err == nil {
+		t.Error("unknown supertype should error")
+	}
+	p, _ := c.Type("perishable")
+	if !p.IsSubtypeOf("item") || !p.IsSubtypeOf("perishable") || !p.IsSubtypeOf("object") {
+		t.Error("subtype relation")
+	}
+	it, _ := c.Type("item")
+	if it.IsSubtypeOf("perishable") {
+		t.Error("supertype is not a subtype")
+	}
+	names := c.TypeNames()
+	if len(names) != 2 || names[0] != "item" || names[1] != "perishable" {
+		t.Errorf("TypeNames=%v", names)
+	}
+}
+
+func TestMultipleInheritance(t *testing.T) {
+	c := New()
+	c.CreateType("car", "")
+	c.CreateType("boat", "")
+	amp, err := c.CreateType("amphibious", "car", "boat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !amp.IsSubtypeOf("car") || !amp.IsSubtypeOf("boat") || !amp.IsSubtypeOf("object") {
+		t.Error("multi-supertype subtyping")
+	}
+	if amp.Super() == nil || amp.Super().Name != "car" {
+		t.Error("Super() convenience")
+	}
+	if _, err := c.CreateType("bad", "car", "car"); err == nil {
+		t.Error("duplicate supertype accepted")
+	}
+	if _, err := c.CreateType("bad2", "nosuch"); err == nil {
+		t.Error("unknown supertype accepted")
+	}
+	// Diamond: AllSupertypes visits the shared root once.
+	c.CreateType("vehicle", "")
+	c2 := New()
+	c2.CreateType("vehicle", "")
+	c2.CreateType("car", "vehicle")
+	c2.CreateType("boat", "vehicle")
+	d, _ := c2.CreateType("duck", "car", "boat")
+	sups := d.AllSupertypes()
+	if len(sups) != 4 {
+		t.Errorf("AllSupertypes visited %d types", len(sups))
+	}
+	oid, _ := c2.NewObject("duck")
+	if !c2.IsInstanceOf(oid, "vehicle") {
+		t.Error("diamond instance-of")
+	}
+	if c2.ExtentSize("vehicle") != 1 {
+		t.Errorf("diamond extent size %d", c2.ExtentSize("vehicle"))
+	}
+	var nilType *Type
+	if nilType.IsSubtypeOf("car") || !nilType.IsSubtypeOf("object") {
+		t.Error("nil type subtyping")
+	}
+}
+
+func TestObjectsAndExtents(t *testing.T) {
+	c := New()
+	c.CreateType("item", "")
+	c.CreateType("perishable", "item")
+	i1, err := c.NewObject("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := c.NewObject("perishable")
+	if i1 == p1 {
+		t.Error("OIDs must be unique")
+	}
+	if _, err := c.NewObject("nosuch"); err == nil {
+		t.Error("NewObject on unknown type should error")
+	}
+	if tn, _ := c.ObjectType(p1); tn != "perishable" {
+		t.Errorf("ObjectType=%q", tn)
+	}
+	if !c.IsInstanceOf(p1, "item") || !c.IsInstanceOf(i1, "item") {
+		t.Error("IsInstanceOf with subtyping")
+	}
+	if c.IsInstanceOf(i1, "perishable") {
+		t.Error("supertype instance is not subtype instance")
+	}
+	ext := c.Extent("item")
+	if len(ext) != 2 {
+		t.Errorf("Extent(item)=%v, want both instances (subtype included)", ext)
+	}
+	if c.ExtentSize("perishable") != 1 {
+		t.Error("ExtentSize(perishable)")
+	}
+	if err := c.DeleteObject(i1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteObject(i1); err == nil {
+		t.Error("double delete should error")
+	}
+	if c.ExtentSize("item") != 1 {
+		t.Error("extent after delete")
+	}
+	if _, ok := c.ObjectType(i1); ok {
+		t.Error("deleted object should have no type")
+	}
+}
+
+func TestDeclareFunctionValidation(t *testing.T) {
+	c := New()
+	c.CreateType("item", "")
+	ok := &Function{
+		Name:    "quantity",
+		Kind:    Stored,
+		Params:  []Param{{Name: "i", Type: "item"}},
+		Results: []string{TypeInteger},
+	}
+	if err := c.DeclareFunction(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeclareFunction(ok); err == nil {
+		t.Error("duplicate function should error")
+	}
+	if err := c.DeclareFunction(&Function{Name: "", Kind: Stored}); err == nil {
+		t.Error("unnamed function should error")
+	}
+	if err := c.DeclareFunction(&Function{
+		Name: "bad", Kind: Stored,
+		Params: []Param{{Type: "nosuch"}}, Results: []string{TypeInteger},
+	}); err == nil {
+		t.Error("unknown param type should error")
+	}
+	if err := c.DeclareFunction(&Function{
+		Name: "bad2", Kind: Stored, Results: []string{"nosuch"},
+	}); err == nil {
+		t.Error("unknown result type should error")
+	}
+	if err := c.DeclareFunction(&Function{Name: "f", Kind: Foreign}); err == nil {
+		t.Error("foreign function without implementation should error")
+	}
+	f, found := c.Function("quantity")
+	if !found || f.Arity() != 2 {
+		t.Error("Function lookup / arity")
+	}
+	if cols := f.KeyCols(); len(cols) != 1 || cols[0] != 0 {
+		t.Errorf("KeyCols=%v", cols)
+	}
+	if ct := f.ColumnTypes(); len(ct) != 2 || ct[0] != "item" || ct[1] != TypeInteger {
+		t.Errorf("ColumnTypes=%v", ct)
+	}
+}
+
+func TestSetBody(t *testing.T) {
+	c := New()
+	c.DeclareFunction(&Function{Name: "v", Kind: Derived, Results: []string{TypeInteger}})
+	c.DeclareFunction(&Function{Name: "s", Kind: Stored, Results: []string{TypeInteger}})
+	if err := c.SetBody("v", "clause"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c.Function("v")
+	if f.Body != "clause" {
+		t.Error("body not set")
+	}
+	if err := c.SetBody("s", "x"); err == nil {
+		t.Error("SetBody on stored function should error")
+	}
+	if err := c.SetBody("nosuch", "x"); err == nil {
+		t.Error("SetBody on unknown function should error")
+	}
+}
+
+func TestProcedures(t *testing.T) {
+	c := New()
+	called := false
+	if err := c.RegisterProcedure("order", func([]types.Value) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterProcedure("bad", nil); err == nil {
+		t.Error("nil procedure should error")
+	}
+	p, ok := c.Procedure("order")
+	if !ok {
+		t.Fatal("procedure not found")
+	}
+	p(nil)
+	if !called {
+		t.Error("procedure not invoked")
+	}
+	if _, ok := c.Procedure("nosuch"); ok {
+		t.Error("unknown procedure found")
+	}
+}
+
+func TestValueConformsTo(t *testing.T) {
+	c := New()
+	c.CreateType("item", "")
+	c.CreateType("perishable", "item")
+	oid, _ := c.NewObject("perishable")
+	cases := []struct {
+		v    types.Value
+		tn   string
+		want bool
+	}{
+		{types.Int(1), TypeInteger, true},
+		{types.Float(1), TypeInteger, false},
+		{types.Int(1), TypeReal, true},
+		{types.Float(1.5), TypeReal, true},
+		{types.Str("x"), TypeString, true},
+		{types.Int(1), TypeString, false},
+		{types.Bool(true), TypeBoolean, true},
+		{types.Obj(oid), "item", true},
+		{types.Obj(oid), "perishable", true},
+		{types.Obj(9999), "item", false},
+		{types.Int(1), "item", false},
+	}
+	for _, tc := range cases {
+		if got := c.ValueConformsTo(tc.v, tc.tn); got != tc.want {
+			t.Errorf("ValueConformsTo(%s,%s)=%v want %v", tc.v, tc.tn, got, tc.want)
+		}
+	}
+}
+
+func TestFunctionKindString(t *testing.T) {
+	if Stored.String() != "stored" || Derived.String() != "derived" || Foreign.String() != "foreign" {
+		t.Error("kind strings")
+	}
+}

@@ -1,0 +1,121 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partdiff/internal/types"
+)
+
+// Algebraic laws of the Δ-set calculus, beyond the paper's formulas.
+
+func randDelta(r *rand.Rand) *Set {
+	d := New()
+	for i := 0; i < r.Intn(12); i++ {
+		v := tup(int64(r.Intn(10)))
+		if r.Intn(2) == 0 {
+			d.Insert(v)
+		} else {
+			d.Delete(v)
+		}
+	}
+	return d
+}
+
+// Law: the empty Δ-set is a two-sided identity for ∪Δ.
+func TestUnionIdentity_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randDelta(rand.New(rand.NewSource(seed)))
+		return Union(d, New()).Equal(d) && Union(New(), d).Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: ∪Δ preserves the disjointness invariant Δ+ ∩ Δ− = ∅.
+func TestUnionPreservesDisjointness_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := Union(randDelta(r), randDelta(r))
+		ok := true
+		u.Plus().Each(func(tp types.Tuple) bool {
+			if u.Minus().Contains(tp) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: a Δ-set unioned with its own inverse cancels completely.
+func TestUnionWithInverseCancels_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randDelta(rand.New(rand.NewSource(seed)))
+		return Union(d, d.Invert()).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: Diff(OldState(S), S) recovers the net delta restricted to
+// tuples whose membership actually changed — i.e. exactly the Δ-set,
+// provided the Δ-set is consistent with S (Δ+ ⊆ S, Δ− ∩ S = ∅).
+func TestDiffRecoversConsistentDelta_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		state := types.NewSet()
+		d := New()
+		// Build a consistent (state, delta) pair by playing events.
+		for i := 0; i < 30; i++ {
+			v := tup(int64(r.Intn(12)))
+			if r.Intn(2) == 0 {
+				if state.Add(v) {
+					d.Insert(v)
+				}
+			} else {
+				if state.Remove(v) {
+					d.Delete(v)
+				}
+			}
+		}
+		return Diff(d.OldState(state), state).Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Law: forward and backward state transforms are mutually inverse on
+// consistent pairs.
+func TestStateTransformsInverse_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		state := types.NewSet()
+		d := New()
+		for i := 0; i < 25; i++ {
+			v := tup(int64(r.Intn(10)))
+			if r.Intn(2) == 0 {
+				if state.Add(v) {
+					d.Insert(v)
+				}
+			} else {
+				if state.Remove(v) {
+					d.Delete(v)
+				}
+			}
+		}
+		old := d.OldState(state)
+		return d.NewState(old).Equal(state) && d.OldState(d.NewState(old)).Equal(old)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

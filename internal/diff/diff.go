@@ -1,0 +1,179 @@
+// Package diff implements the partial differencing compiler — the
+// primary contribution of the paper (§4.3–§4.5). Given the definition of
+// a derived relation P, it generates one partial differential per
+// (disjunct, influent occurrence, sign):
+//
+//	ΔP/Δ+X — the insertions into P caused by insertions into X, obtained
+//	         by substituting the occurrence of X by Δ+X; all other
+//	         literals are evaluated in the NEW database state.
+//
+//	ΔP/Δ−X — the deletions from P caused by deletions from X, obtained by
+//	         substituting the occurrence by Δ−X; all other literals are
+//	         evaluated in the OLD state (logical rollback, fig. 3),
+//	         because deleted tuples joined with the state in which they
+//	         were present.
+//
+// A negated occurrence ¬X crosses signs (Δ(~X) = <Δ−X, Δ+X>, §4.5):
+// deletions from X insert into P (evaluated against the new state of the
+// other literals), and insertions into X delete from P (other literals
+// old).
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"partdiff/internal/objectlog"
+)
+
+// Differential is one compiled partial differential of a view.
+type Differential struct {
+	// View is the affected predicate P.
+	View string
+	// Influent is the predicate X whose change triggers this
+	// differential.
+	Influent string
+	// TriggerSign selects which side of ΔX feeds the differential
+	// (DeltaPlus or DeltaMinus).
+	TriggerSign objectlog.DeltaKind
+	// EffectSign is the side of ΔP this differential contributes to.
+	// It differs from TriggerSign exactly when the influent occurrence
+	// is negated.
+	EffectSign objectlog.DeltaKind
+	// Clause is the executable differential query. Its head produces P
+	// tuples; its body contains exactly one Δ-annotated literal.
+	Clause objectlog.Clause
+	// Disjunct and Occurrence identify which clause of the view's
+	// definition and which body literal this differential was derived
+	// from (for explainability, §1).
+	Disjunct   int
+	Occurrence int
+}
+
+// Name renders the paper's notation, e.g.
+// "Δcnd_monitor_items/Δ+quantity".
+func (d Differential) Name() string {
+	return fmt.Sprintf("Δ%s/%s%s", d.View, d.TriggerSign, d.Influent)
+}
+
+// String renders the differential with its clause.
+func (d Differential) String() string {
+	return fmt.Sprintf("%s: %s", d.Name(), d.Clause)
+}
+
+// Options control differential generation.
+type Options struct {
+	// Positive generates insertion-monitoring differentials.
+	Positive bool
+	// Negative generates deletion-monitoring differentials. Conditions
+	// that are insertion-monotone (no negation, and no rule semantics
+	// requiring deletions) can skip these (§4.4: "often the rule
+	// condition depends only on positive changes").
+	Negative bool
+}
+
+// DefaultOptions monitors both signs.
+func DefaultOptions() Options { return Options{Positive: true, Negative: true} }
+
+// Generate compiles the partial differentials of a derived predicate
+// definition. The definition's clauses must be fully normalized
+// conjunctions (use objectlog.Expand first); literals that are already
+// delta- or old-annotated are rejected.
+func Generate(def *objectlog.Def, opts Options) ([]Differential, error) {
+	if def.Aggregate != "" {
+		return nil, fmt.Errorf("definition of %s is an aggregate view; aggregates are monitored by re-evaluation, not partial differentials", def.Name)
+	}
+	var out []Differential
+	for ci, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return nil, fmt.Errorf("definition of %s: %w", def.Name, err)
+		}
+		for li, l := range c.Body {
+			if objectlog.IsBuiltin(l.Pred) {
+				continue
+			}
+			if l.Delta != objectlog.DeltaNone || l.Old {
+				return nil, fmt.Errorf("definition of %s contains annotated literal %s; differentials must be generated from plain clauses", def.Name, l)
+			}
+			if !l.Negated {
+				if opts.Positive {
+					out = append(out, makeDifferential(def.Name, c, ci, li,
+						objectlog.DeltaPlus, objectlog.DeltaPlus, false))
+				}
+				if opts.Negative {
+					out = append(out, makeDifferential(def.Name, c, ci, li,
+						objectlog.DeltaMinus, objectlog.DeltaMinus, true))
+				}
+			} else {
+				// Sign crossing for negated occurrences.
+				if opts.Positive {
+					// P gains when X loses; others new.
+					out = append(out, makeDifferential(def.Name, c, ci, li,
+						objectlog.DeltaMinus, objectlog.DeltaPlus, false))
+				}
+				if opts.Negative {
+					// P loses when X gains; others old.
+					out = append(out, makeDifferential(def.Name, c, ci, li,
+						objectlog.DeltaPlus, objectlog.DeltaMinus, true))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// makeDifferential builds one differential: occurrence idx of the clause
+// body is replaced by a positive Δ-literal; when othersOld, every other
+// state-bearing literal is marked old.
+func makeDifferential(view string, c objectlog.Clause, disjunct, idx int,
+	trigger, effect objectlog.DeltaKind, othersOld bool) Differential {
+
+	cc := c.Clone()
+	occ := cc.Body[idx]
+	occ.Negated = false // Δ-sets are consulted positively
+	occ.Delta = trigger
+	occ.Old = false
+	cc.Body[idx] = occ
+	if othersOld {
+		for i := range cc.Body {
+			if i == idx {
+				continue
+			}
+			cc.Body[i] = cc.Body[i].WithOld()
+		}
+	}
+	return Differential{
+		View:        view,
+		Influent:    c.Body[idx].Pred,
+		TriggerSign: trigger,
+		EffectSign:  effect,
+		Clause:      cc,
+		Disjunct:    disjunct,
+		Occurrence:  idx,
+	}
+}
+
+// ByInfluent groups differentials by influent predicate, preserving
+// generation order within each group.
+func ByInfluent(ds []Differential) map[string][]Differential {
+	out := map[string][]Differential{}
+	for _, d := range ds {
+		out[d.Influent] = append(out[d.Influent], d)
+	}
+	return out
+}
+
+// Influents returns the distinct influent names of the differentials,
+// sorted.
+func Influents(ds []Differential) []string {
+	seen := map[string]bool{}
+	for _, d := range ds {
+		seen[d.Influent] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

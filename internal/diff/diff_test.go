@@ -1,0 +1,277 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/objectlog"
+)
+
+// pqrDef is p(X,Z) ← q(X,Y) ∧ r(Y,Z), the running example of §4.3/§4.4.
+func pqrDef() *objectlog.Def {
+	return &objectlog.Def{Name: "p", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("p", objectlog.V("X"), objectlog.V("Z")),
+			objectlog.Lit("q", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("r", objectlog.V("Y"), objectlog.V("Z"))),
+	}}
+}
+
+func TestGeneratePaperSection43(t *testing.T) {
+	ds, err := Generate(pqrDef(), Options{Positive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("want 2 positive differentials, got %d", len(ds))
+	}
+	// Δp/Δ+q ← Δ+q(X,Y) ∧ r(Y,Z)
+	d0 := ds[0]
+	if d0.Name() != "Δp/Δ+q" {
+		t.Errorf("name=%q", d0.Name())
+	}
+	if got := d0.Clause.String(); got != "p(X,Z) ← Δ+q(X,Y) ∧ r(Y,Z)" {
+		t.Errorf("Δp/Δ+q clause = %q", got)
+	}
+	// Δp/Δ+r ← q(X,Y) ∧ Δ+r(Y,Z)
+	d1 := ds[1]
+	if got := d1.Clause.String(); got != "p(X,Z) ← q(X,Y) ∧ Δ+r(Y,Z)" {
+		t.Errorf("Δp/Δ+r clause = %q", got)
+	}
+	for _, d := range ds {
+		if d.EffectSign != objectlog.DeltaPlus || d.TriggerSign != objectlog.DeltaPlus {
+			t.Errorf("positive differential signs: %+v", d)
+		}
+	}
+}
+
+func TestGeneratePaperSection44_NegativeUsesOldState(t *testing.T) {
+	ds, err := Generate(pqrDef(), Options{Negative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("want 2 negative differentials, got %d", len(ds))
+	}
+	// Δp/Δ−q ← Δ−q(X,Y) ∧ r_old(Y,Z)
+	if got := ds[0].Clause.String(); got != "p(X,Z) ← Δ-q(X,Y) ∧ r_old(Y,Z)" {
+		t.Errorf("Δp/Δ−q clause = %q", got)
+	}
+	// Δp/Δ−r ← q_old(X,Y) ∧ Δ−r(Y,Z)
+	if got := ds[1].Clause.String(); got != "p(X,Z) ← q_old(X,Y) ∧ Δ-r(Y,Z)" {
+		t.Errorf("Δp/Δ−r clause = %q", got)
+	}
+	for _, d := range ds {
+		if d.EffectSign != objectlog.DeltaMinus || d.TriggerSign != objectlog.DeltaMinus {
+			t.Errorf("negative differential signs: %+v", d)
+		}
+	}
+}
+
+func TestGenerateBothSigns(t *testing.T) {
+	ds, err := Generate(pqrDef(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("want 4 differentials, got %d", len(ds))
+	}
+}
+
+func TestBuiltinsGetNoDifferentials(t *testing.T) {
+	def := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("v", objectlog.V("X")),
+			objectlog.Lit("b", objectlog.V("X"), objectlog.V("A")),
+			objectlog.Lit(objectlog.BuiltinLT, objectlog.V("A"), objectlog.CInt(10))),
+	}}
+	ds, err := Generate(def, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("builtin must not yield differentials: %d", len(ds))
+	}
+	for _, d := range ds {
+		if d.Influent != "b" {
+			t.Errorf("influent=%q", d.Influent)
+		}
+	}
+	// The comparison literal must stay intact (and never be old-marked).
+	for _, d := range ds {
+		found := false
+		for _, l := range d.Clause.Body {
+			if l.Pred == objectlog.BuiltinLT {
+				found = true
+				if l.Old {
+					t.Error("builtin marked old")
+				}
+			}
+		}
+		if !found {
+			t.Error("comparison literal lost")
+		}
+	}
+}
+
+func TestNegatedOccurrenceCrossesSigns(t *testing.T) {
+	// v(X) ← a(X) ∧ ¬b(X)
+	def := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("v", objectlog.V("X")),
+			objectlog.Lit("a", objectlog.V("X")),
+			objectlog.NotLit("b", objectlog.V("X"))),
+	}}
+	ds, err := Generate(def, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: +→+ and −→−; b (negated): −→+ and +→−.
+	byName := map[string]Differential{}
+	for _, d := range ds {
+		byName[d.Name()+"/"+d.EffectSign.String()] = d
+	}
+	if len(ds) != 4 {
+		t.Fatalf("want 4, got %d", len(ds))
+	}
+	// P gains when b loses: Δv/Δ−b with effect +, body: a(X) ∧ Δ−b(X) (positive literal, others new)
+	gain, ok := byName["Δv/Δ-b/Δ+"]
+	if !ok {
+		t.Fatalf("missing sign-crossed differential; have %v", byName)
+	}
+	if gain.Clause.String() != "v(X) ← a(X) ∧ Δ-b(X)" {
+		t.Errorf("gain clause = %q", gain.Clause)
+	}
+	// P loses when b gains: others old.
+	lose, ok := byName["Δv/Δ+b/Δ-"]
+	if !ok {
+		t.Fatal("missing Δv/Δ+b")
+	}
+	if lose.Clause.String() != "v(X) ← a_old(X) ∧ Δ+b(X)" {
+		t.Errorf("lose clause = %q", lose.Clause)
+	}
+}
+
+func TestSelfJoinGetsPerOccurrenceDifferentials(t *testing.T) {
+	// v(X,Z) ← e(X,Y) ∧ e(Y,Z): two occurrences of e.
+	def := &objectlog.Def{Name: "v", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("v", objectlog.V("X"), objectlog.V("Z")),
+			objectlog.Lit("e", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("e", objectlog.V("Y"), objectlog.V("Z"))),
+	}}
+	ds, err := Generate(def, Options{Positive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("self-join needs one differential per occurrence, got %d", len(ds))
+	}
+	if ds[0].Occurrence == ds[1].Occurrence {
+		t.Error("occurrences must differ")
+	}
+	if ds[0].Clause.String() != "v(X,Z) ← Δ+e(X,Y) ∧ e(Y,Z)" ||
+		ds[1].Clause.String() != "v(X,Z) ← e(X,Y) ∧ Δ+e(Y,Z)" {
+		t.Errorf("self-join differentials:\n%s\n%s", ds[0].Clause, ds[1].Clause)
+	}
+}
+
+func TestDisjunctionGeneratesPerDisjunct(t *testing.T) {
+	def := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("v", objectlog.V("X")), objectlog.Lit("a", objectlog.V("X"))),
+		objectlog.NewClause(objectlog.Lit("v", objectlog.V("X")), objectlog.Lit("b", objectlog.V("X"))),
+	}}
+	ds, err := Generate(def, Options{Positive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds[0].Disjunct != 0 || ds[1].Disjunct != 1 {
+		t.Errorf("per-disjunct generation: %+v", ds)
+	}
+}
+
+func TestGenerateRejectsAnnotatedAndUnsafe(t *testing.T) {
+	annotated := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("v", objectlog.V("X")),
+			objectlog.Lit("a", objectlog.V("X")).WithDelta(objectlog.DeltaPlus)),
+	}}
+	if _, err := Generate(annotated, DefaultOptions()); err == nil {
+		t.Error("annotated input should be rejected")
+	}
+	unsafe := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("v", objectlog.V("Z")),
+			objectlog.Lit("a", objectlog.V("X"))),
+	}}
+	if _, err := Generate(unsafe, DefaultOptions()); err == nil {
+		t.Error("unsafe definition should be rejected")
+	}
+}
+
+func TestGenerateDoesNotMutateDefinition(t *testing.T) {
+	def := pqrDef()
+	before := def.Clauses[0].String()
+	if _, err := Generate(def, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if def.Clauses[0].String() != before {
+		t.Error("Generate must not mutate the input definition")
+	}
+}
+
+func TestByInfluentAndInfluents(t *testing.T) {
+	ds, _ := Generate(pqrDef(), DefaultOptions())
+	by := ByInfluent(ds)
+	if len(by["q"]) != 2 || len(by["r"]) != 2 {
+		t.Errorf("ByInfluent: q=%d r=%d", len(by["q"]), len(by["r"]))
+	}
+	infl := Influents(ds)
+	if len(infl) != 2 || infl[0] != "q" || infl[1] != "r" {
+		t.Errorf("Influents=%v", infl)
+	}
+}
+
+func TestDifferentialString(t *testing.T) {
+	ds, _ := Generate(pqrDef(), Options{Positive: true})
+	s := ds[0].String()
+	if !strings.HasPrefix(s, "Δp/Δ+q: ") || !strings.Contains(s, "Δ+q(X,Y)") {
+		t.Errorf("String()=%q", s)
+	}
+}
+
+// TestMonitorItemsDifferentialCount mirrors §6: the fully expanded
+// cnd_monitor_items condition has five influents, hence five positive
+// partial differentials.
+func TestMonitorItemsDifferentialCount(t *testing.T) {
+	head := objectlog.Lit("cnd_monitor_items", objectlog.V("I"))
+	body := []objectlog.Literal{
+		objectlog.Lit("quantity", objectlog.V("I"), objectlog.V("G1")),
+		objectlog.Lit("consume_freq", objectlog.V("I"), objectlog.V("G2")),
+		objectlog.Lit("delivery_time", objectlog.V("I"), objectlog.V("G3"), objectlog.V("G4")),
+		objectlog.Lit("supplies", objectlog.V("G3"), objectlog.V("I")),
+		objectlog.Lit(objectlog.BuiltinTimes, objectlog.V("G2"), objectlog.V("G4"), objectlog.V("G5")),
+		objectlog.Lit("min_stock", objectlog.V("I"), objectlog.V("G6")),
+		objectlog.Lit(objectlog.BuiltinPlus, objectlog.V("G5"), objectlog.V("G6"), objectlog.V("G7")),
+		objectlog.Lit(objectlog.BuiltinLT, objectlog.V("G1"), objectlog.V("G7")),
+	}
+	def := &objectlog.Def{Name: "cnd_monitor_items", Arity: 1,
+		Clauses: []objectlog.Clause{{Head: head, Body: body}}}
+	ds, err := Generate(def, Options{Positive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5 {
+		t.Fatalf("five partial differentials expected (fig. 2), got %d", len(ds))
+	}
+	want := []string{
+		"Δcnd_monitor_items/Δ+quantity",
+		"Δcnd_monitor_items/Δ+consume_freq",
+		"Δcnd_monitor_items/Δ+delivery_time",
+		"Δcnd_monitor_items/Δ+supplies",
+		"Δcnd_monitor_items/Δ+min_stock",
+	}
+	for i, d := range ds {
+		if d.Name() != want[i] {
+			t.Errorf("differential %d = %s want %s", i, d.Name(), want[i])
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"fmt"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// evalAggregate evaluates a call to an aggregate view (extension; §8 of
+// the paper lists aggregates as future work). The definition's clauses
+// compute the pre-aggregation relation (group key ++ witnesses ++
+// value); this evaluates them — seeded with any bound group-key
+// arguments — groups, folds, and unifies the folded tuples with the
+// call.
+func (e *Evaluator) evalAggregate(def *objectlog.Def, call objectlog.Literal, b *bindings, depth int, cont func() error) error {
+	g := def.GroupCols
+	if len(call.Args) != g+1 {
+		return fmt.Errorf("aggregate %s called with arity %d, want %d", def.Name, len(call.Args), g+1)
+	}
+	// Pre-aggregation tuples, deduplicated across clauses (set
+	// semantics over group ++ witnesses ++ value).
+	pre := types.NewSet()
+	for _, dc := range def.Clauses {
+		fresh := dc.RenameApart(&e.counter)
+		if call.Old {
+			fresh = oldClause(fresh)
+		}
+		sub := newBindings()
+		okClause := true
+		for i := 0; i < g && okClause; i++ {
+			cv, bok := b.value(call.Args[i])
+			if !bok {
+				continue
+			}
+			ha := fresh.Head.Args[i]
+			if ha.IsVar {
+				if prev, dup := sub.value(objectlog.V(ha.Var)); dup {
+					okClause = prev.Equal(cv)
+					continue
+				}
+				sub.bind(ha.Var, cv)
+			} else if !ha.Const.Equal(cv) {
+				okClause = false
+			}
+		}
+		if !okClause {
+			continue
+		}
+		err := e.evalBody(fresh.Body, sub, depth+1, func() error {
+			t := make(types.Tuple, len(fresh.Head.Args))
+			for i, ha := range fresh.Head.Args {
+				v, ok := sub.value(ha)
+				if !ok {
+					return fmt.Errorf("aggregate %s: head variable %s unbound", def.Name, ha.Var)
+				}
+				t[i] = v
+			}
+			pre.Add(t)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Group and fold.
+	type state struct {
+		key   types.Tuple
+		count int64
+		sum   types.Value
+		min   types.Value
+		max   types.Value
+		err   error
+	}
+	groups := map[string]*state{}
+	var keys []string // deterministic-ish iteration helper (sorted later via tuples)
+	pre.Each(func(t types.Tuple) bool {
+		key := t[:g]
+		val := t[len(t)-1]
+		k := key.Key()
+		st, ok := groups[k]
+		if !ok {
+			st = &state{key: key.Clone(), min: val, max: val, sum: types.Int(0)}
+			groups[k] = st
+			keys = append(keys, k)
+		}
+		st.count++
+		if st.err == nil {
+			st.sum, st.err = types.Add(st.sum, val)
+		}
+		if val.Compare(st.min) < 0 {
+			st.min = val
+		}
+		if val.Compare(st.max) > 0 {
+			st.max = val
+		}
+		return true
+	})
+	// Emit one folded tuple per group, unified against the call.
+	out := types.NewSet()
+	for _, k := range keys {
+		st := groups[k]
+		var folded types.Value
+		switch def.Aggregate {
+		case objectlog.AggCount:
+			folded = types.Int(st.count)
+		case objectlog.AggSum:
+			if st.err != nil {
+				return fmt.Errorf("aggregate %s: %w", def.Name, st.err)
+			}
+			folded = st.sum
+		case objectlog.AggMin:
+			folded = st.min
+		case objectlog.AggMax:
+			folded = st.max
+		default:
+			return fmt.Errorf("unknown aggregate operator %q", def.Aggregate)
+		}
+		out.Add(append(st.key.Clone(), folded))
+	}
+	// Unify each folded tuple with the call arguments (deterministic
+	// order for reproducible evaluation).
+	for _, t := range out.Tuples() {
+		m := b.mark()
+		local := map[string]int{}
+		match := true
+		for i, ca := range call.Args {
+			if v, ok := b.value(ca); ok {
+				if !t[i].Equal(v) {
+					match = false
+					break
+				}
+				continue
+			}
+			if j, dup := local[ca.Var]; dup {
+				if !t[i].Equal(t[j]) {
+					match = false
+					break
+				}
+				continue
+			}
+			local[ca.Var] = i
+			b.bind(ca.Var, t[i])
+		}
+		if match {
+			if err := cont(); err != nil {
+				b.undo(m)
+				return err
+			}
+		}
+		b.undo(m)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"testing"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// Tests for the greedy literal-ordering cost model: the properties the
+// benchmarks rely on (Δ-sets anchor the scan, index probes beat scans,
+// builtins run as soon as ready).
+
+func costEnv(t *testing.T) (*testEnv, *Evaluator) {
+	t.Helper()
+	env := newTestEnv()
+	env.store.CreateRelation("big", 2, nil)
+	for i := int64(0); i < 200; i++ {
+		env.mustInsert(t, "big", i, i%10)
+	}
+	env.store.CreateRelation("small", 1, nil)
+	env.mustInsert(t, "small", 3)
+	d := delta.New()
+	for i := int64(0); i < 50; i++ {
+		d.Insert(tup(i, i))
+	}
+	env.deltas["big"] = d
+	return env, New(env)
+}
+
+func TestLiteralCost_DeltaAnchorsOverBaseScan(t *testing.T) {
+	env, ev := costEnv(t)
+	_ = env
+	b := newBindings()
+	deltaLit := objectlog.Lit("big", objectlog.V("X"), objectlog.V("Y")).WithDelta(objectlog.DeltaPlus)
+	baseLit := objectlog.Lit("big", objectlog.V("X"), objectlog.V("Y"))
+	dc, dok := ev.literalCost(deltaLit, b)
+	bc, bok := ev.literalCost(baseLit, b)
+	if !dok || !bok {
+		t.Fatal("both should be ready")
+	}
+	if dc >= bc {
+		t.Errorf("Δ-set scan (%d) must be preferred over base scan (%d)", dc, bc)
+	}
+	// But probing a Δ-set per binding is linear: with one arg bound,
+	// the cost must reflect the full Δ size.
+	b.bind("X", types.Int(1))
+	dcBound, _ := ev.literalCost(deltaLit, b)
+	if dcBound < 8+50 {
+		t.Errorf("bound Δ lookup cost %d does not reflect linear scan", dcBound)
+	}
+}
+
+func TestLiteralCost_ReadinessRules(t *testing.T) {
+	_, ev := costEnv(t)
+	b := newBindings()
+	// Comparison with unbound args is not ready.
+	if _, ready := ev.literalCost(objectlog.Lit(objectlog.BuiltinLT, objectlog.V("A"), objectlog.V("B")), b); ready {
+		t.Error("comparison on unbound vars should not be ready")
+	}
+	// eq with one side bindable is ready.
+	if _, ready := ev.literalCost(objectlog.Lit(objectlog.BuiltinEQ, objectlog.V("A"), objectlog.CInt(1)), b); !ready {
+		t.Error("eq with constant should be ready")
+	}
+	// Arithmetic needs both inputs.
+	ar := objectlog.Lit(objectlog.BuiltinPlus, objectlog.V("A"), objectlog.V("B"), objectlog.V("C"))
+	if _, ready := ev.literalCost(ar, b); ready {
+		t.Error("arithmetic with unbound inputs should not be ready")
+	}
+	b.bind("A", types.Int(1))
+	b.bind("B", types.Int(2))
+	if _, ready := ev.literalCost(ar, b); !ready {
+		t.Error("arithmetic with bound inputs should be ready")
+	}
+	// Negation needs all args bound.
+	neg := objectlog.NotLit("small", objectlog.V("Z"))
+	if _, ready := ev.literalCost(neg, b); ready {
+		t.Error("negation on unbound var should not be ready")
+	}
+	b.bind("Z", types.Int(3))
+	if _, ready := ev.literalCost(neg, b); !ready {
+		t.Error("negation on bound var should be ready")
+	}
+}
+
+func TestLiteralCost_MembershipBeatsLookupBeatsScan(t *testing.T) {
+	_, ev := costEnv(t)
+	lit := objectlog.Lit("big", objectlog.V("X"), objectlog.V("Y"))
+	b := newBindings()
+	scan, _ := ev.literalCost(lit, b)
+	b.bind("X", types.Int(1))
+	lookup, _ := ev.literalCost(lit, b)
+	b.bind("Y", types.Int(1))
+	member, _ := ev.literalCost(lit, b)
+	if !(member < lookup && lookup < scan) {
+		t.Errorf("cost order violated: member=%d lookup=%d scan=%d", member, lookup, scan)
+	}
+}
+
+func TestPickNextPrefersSmallRelation(t *testing.T) {
+	_, ev := costEnv(t)
+	b := newBindings()
+	body := []objectlog.Literal{
+		objectlog.Lit("big", objectlog.V("X"), objectlog.V("Y")),
+		objectlog.Lit("small", objectlog.V("X")),
+	}
+	idx, err := ev.pickNext(body, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("pickNext chose %d (big), want 1 (small)", idx)
+	}
+}
+
+func TestPickNextFailsOnStuckClause(t *testing.T) {
+	_, ev := costEnv(t)
+	b := newBindings()
+	// Only an unready builtin: no evaluable literal.
+	body := []objectlog.Literal{
+		objectlog.Lit(objectlog.BuiltinLT, objectlog.V("A"), objectlog.V("B")),
+	}
+	if _, err := ev.pickNext(body, b); err == nil {
+		t.Error("stuck clause should error")
+	}
+}

@@ -1,0 +1,612 @@
+package eval
+
+import (
+	"fmt"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// Env resolves predicate references to tuple sources at evaluation time.
+// Implementations decide how base relations, type extents, Δ-sets and
+// old states are exposed; the evaluator is agnostic.
+type Env interface {
+	// Source returns a view of pred in the requested state. delta
+	// selects Δ+pred / Δ−pred wave-front sets; old selects the logically
+	// rolled-back state. delta and old are mutually exclusive.
+	Source(pred string, delta objectlog.DeltaKind, old bool) (storage.Source, error)
+	// Program returns the derived predicate definitions for subquery
+	// evaluation of unexpanded derived literals.
+	Program() *objectlog.Program
+}
+
+// Evaluator evaluates conjunctive ObjectLog clauses against an Env.
+type Evaluator struct {
+	env     Env
+	counter int // fresh-variable counter for subquery renaming
+	// MaxDepth bounds derived-subquery nesting as a recursion backstop.
+	MaxDepth int
+	// fixpoint overrides predicate extents while a recursive component
+	// is being computed bottom-up: references to component members
+	// resolve to the current iteration's materialized extents instead
+	// of re-entering recursive evaluation.
+	fixpoint map[string]*types.Set
+}
+
+// New returns an evaluator over env.
+func New(env Env) *Evaluator {
+	return &Evaluator{env: env, MaxDepth: 64}
+}
+
+// bindings maps variable names to values with an undo trail.
+type bindings struct {
+	vals  map[string]types.Value
+	trail []string
+}
+
+func newBindings() *bindings {
+	return &bindings{vals: make(map[string]types.Value)}
+}
+
+func (b *bindings) mark() int { return len(b.trail) }
+
+func (b *bindings) undo(mark int) {
+	for i := len(b.trail) - 1; i >= mark; i-- {
+		delete(b.vals, b.trail[i])
+	}
+	b.trail = b.trail[:mark]
+}
+
+func (b *bindings) bind(v string, val types.Value) {
+	b.vals[v] = val
+	b.trail = append(b.trail, v)
+}
+
+// value resolves a term under the bindings; ok is false for an unbound
+// variable.
+func (b *bindings) value(t objectlog.Term) (types.Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	v, ok := b.vals[t.Var]
+	return v, ok
+}
+
+// EvalClause evaluates the clause and adds the resulting head tuples to
+// out (set semantics).
+func (e *Evaluator) EvalClause(c objectlog.Clause, out *types.Set) error {
+	return e.EvalClauseSeeded(c, nil, out)
+}
+
+// EvalClauseSeeded evaluates the clause with initial variable bindings
+// (seed may be nil) and adds head tuples to out.
+func (e *Evaluator) EvalClauseSeeded(c objectlog.Clause, seed map[string]types.Value, out *types.Set) error {
+	b := newBindings()
+	for v, val := range seed {
+		b.bind(v, val)
+	}
+	return e.evalBody(c.Body, b, 0, func() error {
+		t := make(types.Tuple, len(c.Head.Args))
+		for i, a := range c.Head.Args {
+			v, ok := b.value(a)
+			if !ok {
+				return fmt.Errorf("head variable %s unbound in clause %s (unsafe clause)", a.Var, c)
+			}
+			t[i] = v
+		}
+		out.Add(t)
+		return nil
+	})
+}
+
+// EvalPred computes the full extent of a predicate (base or derived)
+// in the new or old state — naive evaluation.
+func (e *Evaluator) EvalPred(pred string, old bool) (*types.Set, error) {
+	out := types.NewSet()
+	if def, ok := e.env.Program().Def(pred); ok {
+		if def.Aggregate != "" {
+			// Aggregate views: evaluate through the call path, which
+			// groups and folds.
+			args := make([]objectlog.Term, def.ExternalArity())
+			for i := range args {
+				args[i] = objectlog.V(fmt.Sprintf("_A%d", i))
+			}
+			head := objectlog.Literal{Pred: "_agg_extent", Args: args}
+			body := objectlog.Literal{Pred: pred, Args: args, Old: old}
+			if err := e.EvalClause(objectlog.Clause{Head: head, Body: []objectlog.Literal{body}}, out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		for _, c := range def.Clauses {
+			cc := c
+			if old {
+				cc = oldClause(c)
+			}
+			if err := e.EvalClause(cc, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	src, err := e.env.Source(pred, objectlog.DeltaNone, old)
+	if err != nil {
+		return nil, err
+	}
+	src.Each(func(t types.Tuple) bool {
+		out.Add(t)
+		return true
+	})
+	return out, nil
+}
+
+// Derivable reports whether pred(args) holds in the new or old state,
+// without computing the full extent.
+func (e *Evaluator) Derivable(pred string, args types.Tuple, old bool) (bool, error) {
+	lit := objectlog.Literal{Pred: pred, Old: old}
+	lit.Args = make([]objectlog.Term, len(args))
+	for i, v := range args {
+		lit.Args[i] = objectlog.C(v)
+	}
+	if objectlog.IsBuiltin(pred) {
+		lit.Old = false
+	}
+	found := false
+	b := newBindings()
+	err := e.evalBody([]objectlog.Literal{lit}, b, 0, func() error {
+		found = true
+		return errStop
+	})
+	if err == errStop {
+		err = nil
+	}
+	return found, err
+}
+
+// errStop aborts evaluation early (internal sentinel).
+var errStop = fmt.Errorf("eval: stop")
+
+// oldClause marks every state-bearing literal of c old (logical rollback
+// is compositional: the old state of a view is the view over the old
+// states of its influents).
+func oldClause(c objectlog.Clause) objectlog.Clause {
+	out := objectlog.Clause{Head: c.Head}
+	out.Body = make([]objectlog.Literal, len(c.Body))
+	for i, l := range c.Body {
+		out.Body[i] = l.WithOld()
+	}
+	return out
+}
+
+// evalBody evaluates the remaining body literals under b, calling emit
+// for every complete solution. The body is reordered greedily at each
+// step: the cheapest *ready* literal runs next.
+func (e *Evaluator) evalBody(body []objectlog.Literal, b *bindings, depth int, emit func() error) error {
+	if depth > e.MaxDepth {
+		return fmt.Errorf("evaluation exceeded max derivation depth %d (recursive view?)", e.MaxDepth)
+	}
+	if len(body) == 0 {
+		return emit()
+	}
+	idx, err := e.pickNext(body, b)
+	if err != nil {
+		return err
+	}
+	lit := body[idx]
+	rest := make([]objectlog.Literal, 0, len(body)-1)
+	rest = append(rest, body[:idx]...)
+	rest = append(rest, body[idx+1:]...)
+	cont := func() error { return e.evalBody(rest, b, depth, emit) }
+
+	switch {
+	case objectlog.IsBuiltin(lit.Pred):
+		return e.evalBuiltin(lit, b, cont)
+	case lit.Negated:
+		return e.evalNegated(lit, b, depth, cont)
+	default:
+		return e.evalRelational(lit, b, depth, cont)
+	}
+}
+
+// pickNext chooses the cheapest ready literal. Ready means: builtins
+// and negated literals need their inputs bound; relational literals are
+// always ready (worst case a scan).
+func (e *Evaluator) pickNext(body []objectlog.Literal, b *bindings) (int, error) {
+	best, bestCost := -1, int(1)<<62
+	for i, lit := range body {
+		c, ready := e.literalCost(lit, b)
+		if !ready {
+			continue
+		}
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no evaluable literal in %v (unsafe clause)", body)
+	}
+	return best, nil
+}
+
+// literalCost estimates the cost of evaluating lit next given the
+// current bindings. Lower is better.
+func (e *Evaluator) literalCost(lit objectlog.Literal, b *bindings) (cost int, ready bool) {
+	boundArgs, totalVars := 0, 0
+	for _, a := range lit.Args {
+		if !a.IsVar {
+			boundArgs++
+			continue
+		}
+		totalVars++
+		if _, ok := b.value(a); ok {
+			boundArgs++
+		}
+	}
+	allBound := boundArgs == len(lit.Args)
+
+	switch {
+	case objectlog.IsComparison(lit.Pred):
+		if lit.Pred == objectlog.BuiltinEQ {
+			// eq can bind one free side.
+			if boundArgs >= 1 {
+				return 0, true
+			}
+			return 0, false
+		}
+		return 0, allBound
+	case objectlog.IsArithmetic(lit.Pred):
+		// inputs must be bound; output may be free.
+		in := 0
+		for _, a := range lit.Args[:2] {
+			if !a.IsVar {
+				in++
+			} else if _, ok := b.value(a); ok {
+				in++
+			}
+		}
+		return 1, in == 2
+	case lit.Negated:
+		return 2, allBound
+	}
+	// Relational literal (base, derived, delta, old, type extent).
+	var size int
+	if lit.Delta == objectlog.DeltaNone && e.env.Program().IsDerived(lit.Pred) {
+		// Derived subquery: guess moderately expensive.
+		size = 10000
+	} else if src, err := e.env.Source(lit.Pred, lit.Delta, lit.Old); err == nil {
+		size = src.Len()
+	} else {
+		size = 1 << 20
+	}
+	if lit.Delta != objectlog.DeltaNone {
+		// Δ-sets are unindexed wave-front materializations: a bound
+		// lookup still scans the whole set, so prefer anchoring the
+		// evaluation on the Δ-set (scanning it once) over probing it
+		// per outer binding.
+		switch {
+		case allBound:
+			return 3, true // hash membership probe
+		case boundArgs > 0:
+			return 8 + size, true // linear filter per probe
+		default:
+			return 6 + size, true // anchor scan — cheapest entry point
+		}
+	}
+	switch {
+	case allBound:
+		return 3, true // membership probe
+	case boundArgs > 0:
+		return 8 + size/(boundArgs*8+1), true // index lookup estimate
+	default:
+		return 16 + size*4, true // full scan
+	}
+}
+
+// evalBuiltin evaluates a comparison or arithmetic literal.
+func (e *Evaluator) evalBuiltin(lit objectlog.Literal, b *bindings, cont func() error) error {
+	if objectlog.IsComparison(lit.Pred) {
+		if len(lit.Args) != 2 {
+			return fmt.Errorf("builtin %s expects 2 args", lit.Pred)
+		}
+		av, aok := b.value(lit.Args[0])
+		bv, bok := b.value(lit.Args[1])
+		if lit.Pred == objectlog.BuiltinEQ && (!aok || !bok) {
+			// Binding equality.
+			switch {
+			case aok && lit.Args[1].IsVar:
+				m := b.mark()
+				b.bind(lit.Args[1].Var, av)
+				err := cont()
+				b.undo(m)
+				return err
+			case bok && lit.Args[0].IsVar:
+				m := b.mark()
+				b.bind(lit.Args[0].Var, bv)
+				err := cont()
+				b.undo(m)
+				return err
+			default:
+				return fmt.Errorf("eq with both sides unbound")
+			}
+		}
+		if !aok || !bok {
+			return fmt.Errorf("comparison %s on unbound variable", lit)
+		}
+		neg := lit.Negated
+		if cmpHolds(lit.Pred, av, bv) != neg {
+			return cont()
+		}
+		return nil
+	}
+	// Arithmetic: op(a, b, r).
+	if len(lit.Args) != 3 {
+		return fmt.Errorf("builtin %s expects 3 args", lit.Pred)
+	}
+	av, aok := b.value(lit.Args[0])
+	bv, bok := b.value(lit.Args[1])
+	if !aok || !bok {
+		return fmt.Errorf("arithmetic %s on unbound input", lit)
+	}
+	var res types.Value
+	var err error
+	switch lit.Pred {
+	case objectlog.BuiltinPlus:
+		res, err = types.Add(av, bv)
+	case objectlog.BuiltinMinus:
+		res, err = types.Sub(av, bv)
+	case objectlog.BuiltinTimes:
+		res, err = types.Mul(av, bv)
+	case objectlog.BuiltinDiv:
+		res, err = types.Div(av, bv)
+	}
+	if err != nil {
+		// Arithmetic failure (e.g. division by zero) fails the
+		// conjunction rather than aborting the query.
+		return nil
+	}
+	rv, rok := b.value(lit.Args[2])
+	if rok {
+		if rv.Equal(res) != lit.Negated {
+			return cont()
+		}
+		return nil
+	}
+	if !lit.Args[2].IsVar {
+		return nil
+	}
+	m := b.mark()
+	b.bind(lit.Args[2].Var, res)
+	err = cont()
+	b.undo(m)
+	return err
+}
+
+func cmpHolds(pred string, a, b types.Value) bool {
+	switch pred {
+	case objectlog.BuiltinEQ:
+		return a.Equal(b)
+	case objectlog.BuiltinNE:
+		return !a.Equal(b)
+	}
+	c := a.Compare(b)
+	switch pred {
+	case objectlog.BuiltinLT:
+		return c < 0
+	case objectlog.BuiltinLE:
+		return c <= 0
+	case objectlog.BuiltinGT:
+		return c > 0
+	case objectlog.BuiltinGE:
+		return c >= 0
+	}
+	return false
+}
+
+// evalNegated succeeds iff the positive version of lit has no solution
+// under the current (complete) bindings.
+func (e *Evaluator) evalNegated(lit objectlog.Literal, b *bindings, depth int, cont func() error) error {
+	pos := lit
+	pos.Negated = false
+	found := false
+	err := e.evalRelationalMatch(pos, b, depth, func() error {
+		found = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return err
+	}
+	if !found {
+		return cont()
+	}
+	return nil
+}
+
+// evalRelational evaluates a positive relational literal: a derived
+// subquery or a source lookup.
+func (e *Evaluator) evalRelational(lit objectlog.Literal, b *bindings, depth int, cont func() error) error {
+	return e.evalRelationalMatch(lit, b, depth, cont)
+}
+
+func (e *Evaluator) evalRelationalMatch(lit objectlog.Literal, b *bindings, depth int, cont func() error) error {
+	if lit.Delta == objectlog.DeltaNone {
+		if ext, ok := e.fixpoint[lit.Pred]; ok {
+			// Inside a fixpoint iteration: component members resolve to
+			// the current materialized extents.
+			return e.matchSource(NewSetSource(ext, len(lit.Args)), lit, b, cont)
+		}
+		if def, ok := e.env.Program().Def(lit.Pred); ok {
+			if e.env.Program().IsRecursive(lit.Pred) {
+				return e.evalRecursive(lit, b, depth, cont)
+			}
+			return e.evalDerived(def, lit, b, depth, cont)
+		}
+	}
+	src, err := e.env.Source(lit.Pred, lit.Delta, lit.Old)
+	if err != nil {
+		return err
+	}
+	if len(lit.Args) != src.Arity() {
+		return fmt.Errorf("literal %s: arity %d, source has %d", lit, len(lit.Args), src.Arity())
+	}
+	return e.matchSource(src, lit, b, cont)
+}
+
+// matchSource unifies the literal's arguments against the tuples of a
+// source, binding free variables and invoking cont per match.
+func (e *Evaluator) matchSource(src storage.Source, lit objectlog.Literal, b *bindings, cont func() error) error {
+	// Resolve bound argument values.
+	vals := make([]types.Value, len(lit.Args))
+	bound := make([]bool, len(lit.Args))
+	allBound := true
+	firstBound := -1
+	for i, a := range lit.Args {
+		if v, ok := b.value(a); ok {
+			vals[i], bound[i] = v, true
+			if firstBound < 0 {
+				firstBound = i
+			}
+		} else {
+			allBound = false
+		}
+	}
+	match := func(t types.Tuple) error {
+		m := b.mark()
+		local := map[string]int{} // repeated free vars within the literal
+		for i, a := range lit.Args {
+			if bound[i] {
+				if !t[i].Equal(vals[i]) {
+					b.undo(m)
+					return nil
+				}
+				continue
+			}
+			// a is an unbound variable.
+			if j, seen := local[a.Var]; seen {
+				if !t[i].Equal(t[j]) {
+					b.undo(m)
+					return nil
+				}
+				continue
+			}
+			local[a.Var] = i
+			b.bind(a.Var, t[i])
+		}
+		err := cont()
+		b.undo(m)
+		return err
+	}
+	if allBound {
+		t := types.Tuple(vals)
+		if src.Contains(t) {
+			return cont()
+		}
+		return nil
+	}
+	var iterErr error
+	visit := func(t types.Tuple) bool {
+		if err := match(t); err != nil {
+			iterErr = err
+			return false
+		}
+		return true
+	}
+	if firstBound >= 0 {
+		src.Lookup(firstBound, vals[firstBound], visit)
+	} else {
+		src.Each(visit)
+	}
+	return iterErr
+}
+
+// evalDerived evaluates a derived literal as a subquery over its
+// definition clauses, threading the Old marker down (rollback is
+// compositional).
+func (e *Evaluator) evalDerived(def *objectlog.Def, call objectlog.Literal, b *bindings, depth int, cont func() error) error {
+	if depth > e.MaxDepth {
+		return fmt.Errorf("evaluation exceeded max derivation depth %d (recursive view?)", e.MaxDepth)
+	}
+	if def.Aggregate != "" {
+		return e.evalAggregate(def, call, b, depth, cont)
+	}
+	if len(call.Args) != def.Arity {
+		return fmt.Errorf("call %s: arity %d, defined %d", call, len(call.Args), def.Arity)
+	}
+	// Deduplicate result tuples across clauses (set semantics).
+	seen := types.NewSet()
+	for _, dc := range def.Clauses {
+		fresh := dc.RenameApart(&e.counter)
+		if call.Old {
+			fresh = oldClause(fresh)
+		}
+		// Seed head bindings from bound call args; collect result slots.
+		sub := newBindings()
+		okClause := true
+		for i, ha := range fresh.Head.Args {
+			cv, bok := b.value(call.Args[i])
+			switch {
+			case ha.IsVar:
+				if prev, dup := sub.value(objectlog.V(ha.Var)); dup {
+					if bok && !prev.Equal(cv) {
+						okClause = false
+					}
+					continue
+				}
+				if bok {
+					sub.bind(ha.Var, cv)
+				}
+			default:
+				if bok && !ha.Const.Equal(cv) {
+					okClause = false
+				}
+			}
+			if !okClause {
+				break
+			}
+		}
+		if !okClause {
+			continue
+		}
+		err := e.evalBody(fresh.Body, sub, depth+1, func() error {
+			t := make(types.Tuple, def.Arity)
+			for i, ha := range fresh.Head.Args {
+				v, ok := sub.value(ha)
+				if !ok {
+					return fmt.Errorf("derived head var %s unbound in %s", ha.Var, fresh)
+				}
+				t[i] = v
+			}
+			if !seen.Add(t) {
+				return nil // duplicate result
+			}
+			// Bind the caller's free args to the result tuple.
+			m := b.mark()
+			local := map[string]int{}
+			for i, ca := range call.Args {
+				if v, ok := b.value(ca); ok {
+					if !t[i].Equal(v) {
+						b.undo(m)
+						return nil
+					}
+					continue
+				}
+				if j, dup := local[ca.Var]; dup {
+					if !t[i].Equal(t[j]) {
+						b.undo(m)
+						return nil
+					}
+					continue
+				}
+				local[ca.Var] = i
+				b.bind(ca.Var, t[i])
+			}
+			err := cont()
+			b.undo(m)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

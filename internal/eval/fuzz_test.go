@@ -1,0 +1,236 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// Differential testing of the optimized evaluator (greedy literal
+// ordering, index lookups, early termination) against the brute-force
+// reference evaluator, over random databases and random safe clauses.
+
+// randClauseDB builds a random database with relations p1(x,y), p2(x,y),
+// p3(x) over a small domain.
+func randClauseDB(r *rand.Rand) *storage.Store {
+	st := storage.NewStore()
+	st.CreateRelation("p1", 2, nil)
+	st.CreateRelation("p2", 2, nil)
+	st.CreateRelation("p3", 1, nil)
+	for i := 0; i < 4+r.Intn(8); i++ {
+		st.Insert("p1", types.Tuple{types.Int(r.Int63n(5)), types.Int(r.Int63n(5))})
+	}
+	for i := 0; i < 4+r.Intn(8); i++ {
+		st.Insert("p2", types.Tuple{types.Int(r.Int63n(5)), types.Int(r.Int63n(5))})
+	}
+	for i := 0; i < 2+r.Intn(4); i++ {
+		st.Insert("p3", types.Tuple{types.Int(r.Int63n(5))})
+	}
+	return st
+}
+
+// randSafeClause builds a random clause over p1/p2/p3 with joins,
+// comparisons, arithmetic and negation, then checks safety; ok reports
+// whether the sample is usable.
+func randSafeClause(r *rand.Rand) (objectlog.Clause, bool) {
+	pool := []string{"A", "B", "C", "D"}
+	v := func() objectlog.Term { return objectlog.V(pool[r.Intn(len(pool))]) }
+	term := func() objectlog.Term {
+		if r.Intn(4) == 0 {
+			return objectlog.CInt(r.Int63n(5))
+		}
+		return v()
+	}
+	var body []objectlog.Literal
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			body = append(body, objectlog.Lit("p1", term(), term()))
+		case 1:
+			body = append(body, objectlog.Lit("p2", term(), term()))
+		default:
+			body = append(body, objectlog.Lit("p3", term()))
+		}
+	}
+	// Collect positive vars for safe extras.
+	seen := map[string]bool{}
+	for _, l := range body {
+		for _, a := range l.Args {
+			if a.IsVar {
+				seen[a.Var] = true
+			}
+		}
+	}
+	var vars []string
+	for _, p := range pool {
+		if seen[p] {
+			vars = append(vars, p)
+		}
+	}
+	if len(vars) == 0 {
+		return objectlog.Clause{}, false
+	}
+	bv := func() objectlog.Term { return objectlog.V(vars[r.Intn(len(vars))]) }
+	// Maybe a comparison.
+	if r.Intn(2) == 0 {
+		ops := []string{objectlog.BuiltinLT, objectlog.BuiltinLE, objectlog.BuiltinGT,
+			objectlog.BuiltinGE, objectlog.BuiltinNE, objectlog.BuiltinEQ}
+		body = append(body, objectlog.Lit(ops[r.Intn(len(ops))], bv(), bv()))
+	}
+	// Maybe arithmetic computing a fresh variable.
+	if r.Intn(2) == 0 {
+		ops := []string{objectlog.BuiltinPlus, objectlog.BuiltinMinus, objectlog.BuiltinTimes}
+		fresh := "T"
+		body = append(body, objectlog.Lit(ops[r.Intn(len(ops))], bv(), objectlog.CInt(1+r.Int63n(3)), objectlog.V(fresh)))
+		vars = append(vars, fresh)
+	}
+	// Maybe a safe negation.
+	if r.Intn(2) == 0 {
+		if r.Intn(2) == 0 {
+			body = append(body, objectlog.NotLit("p3", bv()))
+		} else {
+			body = append(body, objectlog.NotLit("p1", bv(), bv()))
+		}
+	}
+	// Head: 1-2 bound variables.
+	head := objectlog.Literal{Pred: "h"}
+	for i := 0; i < 1+r.Intn(2); i++ {
+		head.Args = append(head.Args, objectlog.V(vars[r.Intn(len(vars))]))
+	}
+	c := objectlog.Clause{Head: head, Body: body}
+	if err := objectlog.CheckSafe(c); err != nil {
+		return objectlog.Clause{}, false
+	}
+	return c, true
+}
+
+// TestEvaluatorMatchesReference_Quick: the optimized evaluator and the
+// brute-force reference evaluator must compute identical result sets on
+// random databases and random safe clauses.
+func TestEvaluatorMatchesReference_Quick(t *testing.T) {
+	prog := objectlog.NewProgram()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randClauseDB(r)
+		c, ok := randSafeClause(r)
+		if !ok {
+			return true // unusable sample
+		}
+		env := NewStoreEnv(st, prog)
+		want := types.NewSet()
+		if err := ReferenceEval(env, c, want); err != nil {
+			t.Logf("reference failed on %s: %v", c, err)
+			return false
+		}
+		got := types.NewSet()
+		if err := New(env).EvalClause(c, got); err != nil {
+			t.Logf("evaluator failed on %s: %v", c, err)
+			return false
+		}
+		if !got.Equal(want) {
+			t.Logf("clause %s:\n  optimized %s\n  reference %s", c, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpansionPreservesSemantics_Quick: evaluating a clause that calls
+// a derived predicate as a subquery must equal evaluating its full
+// expansion.
+func TestExpansionPreservesSemantics_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := randClauseDB(r)
+		// Random derived view over p1/p2.
+		inner, ok := randSafeClause(r)
+		if !ok {
+			return true
+		}
+		inner.Head.Pred = "view"
+		prog := objectlog.NewProgram()
+		if err := prog.Define(&objectlog.Def{
+			Name: "view", Arity: len(inner.Head.Args),
+			Clauses: []objectlog.Clause{inner},
+		}); err != nil {
+			return true
+		}
+		// Outer clause calling the view joined with p3.
+		callArgs := make([]objectlog.Term, len(inner.Head.Args))
+		for i := range callArgs {
+			callArgs[i] = objectlog.V("X")
+			if i > 0 {
+				callArgs[i] = objectlog.V("Y")
+			}
+		}
+		outer := objectlog.NewClause(
+			objectlog.Lit("q", callArgs[0]),
+			objectlog.Literal{Pred: "view", Args: callArgs},
+			objectlog.Lit("p3", callArgs[0]))
+		if objectlog.CheckSafe(outer) != nil {
+			return true
+		}
+
+		env := NewStoreEnv(st, prog)
+		viaSubquery := types.NewSet()
+		if err := New(env).EvalClause(outer, viaSubquery); err != nil {
+			t.Logf("subquery eval failed: %v", err)
+			return false
+		}
+		expanded, err := objectlog.Expand(outer, prog, nil)
+		if err != nil {
+			t.Logf("expand failed: %v", err)
+			return false
+		}
+		emptyProg := objectlog.NewProgram()
+		envFlat := NewStoreEnv(st, emptyProg)
+		viaExpansion := types.NewSet()
+		for _, ec := range expanded {
+			if err := New(envFlat).EvalClause(ec, viaExpansion); err != nil {
+				t.Logf("expanded eval failed on %s: %v", ec, err)
+				return false
+			}
+		}
+		if !viaSubquery.Equal(viaExpansion) {
+			t.Logf("outer %s\n  subquery  %s\n  expansion %s", outer, viaSubquery, viaExpansion)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReferenceRejectsUnsupported documents the reference evaluator's
+// scope.
+func TestReferenceRejectsUnsupported(t *testing.T) {
+	st := storage.NewStore()
+	st.CreateRelation("p", 1, nil)
+	prog := objectlog.NewProgram()
+	prog.Define(&objectlog.Def{Name: "d", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("d", objectlog.V("X")), objectlog.Lit("p", objectlog.V("X"))),
+	}})
+	env := NewStoreEnv(st, prog)
+	bad := []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("h", objectlog.V("X")),
+			objectlog.Lit("p", objectlog.V("X")).WithDelta(objectlog.DeltaPlus)),
+		objectlog.NewClause(objectlog.Lit("h", objectlog.V("X")),
+			objectlog.Lit("p", objectlog.V("X")).WithOld()),
+		objectlog.NewClause(objectlog.Lit("h", objectlog.V("X")),
+			objectlog.Lit("d", objectlog.V("X"))),
+	}
+	for i, c := range bad {
+		if err := ReferenceEval(env, c, types.NewSet()); err == nil {
+			t.Errorf("case %d: unsupported clause accepted", i)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// Recursive view evaluation (extension; §8 of the paper lists recursion
+// as future work and the §5 footnote sketches the approach: "revisiting
+// nodes below and using fixed point techniques").
+//
+// A recursive component is evaluated bottom-up to a fixpoint: extents
+// of all component members start empty, clauses are re-evaluated with
+// component references resolved against the current extents, and
+// iteration stops when no new tuples appear. Monotone conjunctive
+// clauses guarantee termination over the finite active domain.
+
+// maxFixpointIterations is a backstop against non-terminating
+// components (possible only with arithmetic generating fresh values).
+const maxFixpointIterations = 100000
+
+// evalRecursive evaluates a call to a recursive view by materializing
+// the component's fixpoint and matching the call against it.
+func (e *Evaluator) evalRecursive(call objectlog.Literal, b *bindings, depth int, cont func() error) error {
+	if depth > e.MaxDepth {
+		return fmt.Errorf("evaluation exceeded max derivation depth %d", e.MaxDepth)
+	}
+	exts, err := e.fixpointComponent(call.Pred, call.Old, depth)
+	if err != nil {
+		return err
+	}
+	ext := exts[call.Pred]
+	return e.matchSource(NewSetSource(ext, len(call.Args)), call, b, cont)
+}
+
+// fixpointComponent computes the extents of every member of pred's
+// recursive component, in the old or new database state.
+func (e *Evaluator) fixpointComponent(pred string, old bool, depth int) (map[string]*types.Set, error) {
+	prog := e.env.Program()
+	comp := prog.Component(pred)
+	if len(comp) == 0 {
+		return nil, fmt.Errorf("predicate %q is not recursive", pred)
+	}
+	exts := make(map[string]*types.Set, len(comp))
+	for _, m := range comp {
+		exts[m] = types.NewSet()
+	}
+	// Install the override (saving any enclosing fixpoint — nested
+	// independent components).
+	saved := e.fixpoint
+	merged := make(map[string]*types.Set, len(saved)+len(exts))
+	for k, v := range saved {
+		merged[k] = v
+	}
+	for k, v := range exts {
+		merged[k] = v
+	}
+	e.fixpoint = merged
+	defer func() { e.fixpoint = saved }()
+
+	// Negation inside a recursive component is not stratified — reject
+	// it (standard Datalog restriction).
+	for _, m := range comp {
+		def, _ := prog.Def(m)
+		for _, c := range def.Clauses {
+			for _, l := range c.Body {
+				if l.Negated && exts[l.Pred] != nil {
+					return nil, fmt.Errorf("recursive component of %q negates member %q: unstratified negation is not supported", pred, l.Pred)
+				}
+			}
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter > maxFixpointIterations {
+			return nil, fmt.Errorf("fixpoint of %q did not converge after %d iterations", pred, maxFixpointIterations)
+		}
+		changed := false
+		for _, m := range comp {
+			def, _ := prog.Def(m)
+			for _, dc := range def.Clauses {
+				fresh := dc.RenameApart(&e.counter)
+				if old {
+					fresh = oldClause(fresh)
+				}
+				sub := newBindings()
+				before := exts[m].Len()
+				err := e.evalBody(fresh.Body, sub, depth+1, func() error {
+					t := make(types.Tuple, len(fresh.Head.Args))
+					for i, ha := range fresh.Head.Args {
+						v, ok := sub.value(ha)
+						if !ok {
+							return fmt.Errorf("recursive view %s: head variable %s unbound", m, ha.Var)
+						}
+						t[i] = v
+					}
+					exts[m].Add(t)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				if exts[m].Len() != before {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return exts, nil
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"testing"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// pathEnv builds edge(1,2),(2,3),(4,5) and the classic transitive
+// closure:
+//
+//	path(X,Y) ← edge(X,Y)
+//	path(X,Z) ← edge(X,Y) ∧ path(Y,Z)
+func pathEnv(t *testing.T) *testEnv {
+	t.Helper()
+	env := newTestEnv()
+	env.store.CreateRelation("edge", 2, nil)
+	env.mustInsert(t, "edge", 1, 2)
+	env.mustInsert(t, "edge", 2, 3)
+	env.mustInsert(t, "edge", 4, 5)
+	env.prog.Define(&objectlog.Def{Name: "path", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("path", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("edge", objectlog.V("X"), objectlog.V("Y"))),
+		objectlog.NewClause(objectlog.Lit("path", objectlog.V("X"), objectlog.V("Z")),
+			objectlog.Lit("edge", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("path", objectlog.V("Y"), objectlog.V("Z"))),
+	}})
+	return env
+}
+
+func TestRecursiveTransitiveClosure(t *testing.T) {
+	env := pathEnv(t)
+	ext, err := New(env).EvalPred("path", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewSet(tup(1, 2), tup(2, 3), tup(1, 3), tup(4, 5))
+	if !ext.Equal(want) {
+		t.Errorf("path = %s, want %s", ext, want)
+	}
+}
+
+func TestRecursiveBoundCall(t *testing.T) {
+	env := pathEnv(t)
+	ev := New(env)
+	// h(Y) ← path(1, Y)
+	c := objectlog.NewClause(objectlog.Lit("h", objectlog.V("Y")),
+		objectlog.Lit("path", objectlog.CInt(1), objectlog.V("Y")))
+	out := types.NewSet()
+	if err := ev.EvalClause(c, out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(types.NewSet(tup(2), tup(3))) {
+		t.Errorf("path(1,_) = %s", out)
+	}
+	ok, err := ev.Derivable("path", tup(1, 3), false)
+	if err != nil || !ok {
+		t.Errorf("path(1,3): %v %v", ok, err)
+	}
+	ok, _ = ev.Derivable("path", tup(1, 5), false)
+	if ok {
+		t.Error("path(1,5) should not hold")
+	}
+}
+
+func TestRecursiveCycleInData(t *testing.T) {
+	// A cyclic graph must still converge (fixpoint over a finite
+	// domain).
+	env := pathEnv(t)
+	env.mustInsert(t, "edge", 3, 1)
+	ext, err := New(env).EvalPred("path", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1,2,3 fully connected among themselves (9 pairs) + (4,5).
+	if ext.Len() != 10 {
+		t.Errorf("path has %d tuples: %s", ext.Len(), ext)
+	}
+	if !ext.Contains(tup(1, 1)) || !ext.Contains(tup(3, 2)) {
+		t.Errorf("path = %s", ext)
+	}
+}
+
+func TestRecursiveOldState(t *testing.T) {
+	env := pathEnv(t)
+	d := delta.New()
+	env.deltas["edge"] = d
+	// Transaction: delete edge (2,3).
+	env.store.Delete("edge", tup(2, 3))
+	d.Delete(tup(2, 3))
+
+	ev := New(env)
+	newExt, err := ev.EvalPred("path", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldExt, err := ev.EvalPred("path", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newExt.Contains(tup(1, 3)) || !oldExt.Contains(tup(1, 3)) {
+		t.Errorf("new=%s old=%s", newExt, oldExt)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	env := newTestEnv()
+	env.store.CreateRelation("succ", 2, nil)
+	for i := int64(0); i < 6; i++ {
+		env.mustInsert(t, "succ", i, i+1)
+	}
+	// even(0); even(Y) ← odd(X) ∧ succ(X,Y)
+	// odd(Y) ← even(X) ∧ succ(X,Y)
+	env.prog.Define(&objectlog.Def{Name: "even", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("even", objectlog.CInt(0))),
+		objectlog.NewClause(objectlog.Lit("even", objectlog.V("Y")),
+			objectlog.Lit("odd", objectlog.V("X")),
+			objectlog.Lit("succ", objectlog.V("X"), objectlog.V("Y"))),
+	}})
+	env.prog.Define(&objectlog.Def{Name: "odd", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("odd", objectlog.V("Y")),
+			objectlog.Lit("even", objectlog.V("X")),
+			objectlog.Lit("succ", objectlog.V("X"), objectlog.V("Y"))),
+	}})
+	ev := New(env)
+	even, err := ev.EvalPred("even", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !even.Equal(types.NewSet(tup(0), tup(2), tup(4), tup(6))) {
+		t.Errorf("even = %s", even)
+	}
+	odd, _ := ev.EvalPred("odd", false)
+	if !odd.Equal(types.NewSet(tup(1), tup(3), tup(5))) {
+		t.Errorf("odd = %s", odd)
+	}
+}
+
+func TestUnstratifiedNegationRejected(t *testing.T) {
+	env := newTestEnv()
+	env.store.CreateRelation("b", 1, nil)
+	env.mustInsert(t, "b", 1)
+	// p(X) ← b(X) ∧ ¬p(X): unstratified.
+	env.prog.Define(&objectlog.Def{Name: "p", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("p", objectlog.V("X")),
+			objectlog.Lit("b", objectlog.V("X")),
+			objectlog.NotLit("p", objectlog.V("X"))),
+	}})
+	if _, err := New(env).EvalPred("p", false); err == nil {
+		t.Error("unstratified negation accepted")
+	}
+}
+
+func TestRecursionInsideLargerQuery(t *testing.T) {
+	// path used as one literal among others, with a comparison.
+	env := pathEnv(t)
+	c := objectlog.NewClause(objectlog.Lit("h", objectlog.V("X"), objectlog.V("Y")),
+		objectlog.Lit("path", objectlog.V("X"), objectlog.V("Y")),
+		objectlog.Lit(objectlog.BuiltinLT, objectlog.V("X"), objectlog.CInt(2)))
+	out := types.NewSet()
+	if err := New(env).EvalClause(c, out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(types.NewSet(tup(1, 2), tup(1, 3))) {
+		t.Errorf("h = %s", out)
+	}
+}

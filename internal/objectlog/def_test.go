@@ -1,0 +1,48 @@
+package objectlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefString(t *testing.T) {
+	d := &Def{Name: "p", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("p", V("X")), Lit("a", V("X"))),
+		NewClause(Lit("p", V("X")), Lit("b", V("X"))),
+	}}
+	s := d.String()
+	if !strings.Contains(s, "p(X) ← a(X)") || !strings.Contains(s, "p(X) ← b(X)") {
+		t.Errorf("Def.String=%q", s)
+	}
+	if strings.Count(s, "\n") != 1 {
+		t.Errorf("one clause per line: %q", s)
+	}
+	agg := &Def{Name: "t", Arity: 3, Aggregate: AggSum, GroupCols: 1, Clauses: []Clause{
+		NewClause(Lit("t", V("G"), V("W"), V("V")), Lit("a", V("G"), V("W"), V("V"))),
+	}}
+	if !strings.HasPrefix(agg.String(), "t[sum/1] ") {
+		t.Errorf("aggregate Def.String=%q", agg.String())
+	}
+}
+
+func TestExternalArity(t *testing.T) {
+	plain := &Def{Name: "p", Arity: 3}
+	if plain.ExternalArity() != 3 {
+		t.Error("plain external arity")
+	}
+	agg := &Def{Name: "a", Arity: 4, Aggregate: AggCount, GroupCols: 2}
+	if agg.ExternalArity() != 3 {
+		t.Errorf("aggregate external arity = %d", agg.ExternalArity())
+	}
+}
+
+func TestIsAggregateOp(t *testing.T) {
+	for _, op := range []string{AggCount, AggSum, AggMin, AggMax} {
+		if !IsAggregateOp(op) {
+			t.Errorf("%s not recognized", op)
+		}
+	}
+	if IsAggregateOp("avg") || IsAggregateOp("quantity") {
+		t.Error("false positives")
+	}
+}

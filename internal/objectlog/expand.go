@@ -1,0 +1,221 @@
+package objectlog
+
+import (
+	"fmt"
+)
+
+// Expand inlines derived predicates referenced in the clause body,
+// producing a set of fully expanded conjunctive clauses (the DNF of the
+// original clause). This mirrors the AMOSQL compiler, which "expands as
+// many derived relations as possible to have more degrees of freedom for
+// optimizations" (§4.3).
+//
+// Only positive, current-state, non-delta literals are expanded; negated
+// literals are evaluated as subqueries, and delta/old literals refer to
+// runtime wave-front sets. stop contains predicate names that must not
+// be expanded even if derived — this is how node sharing (§7.1) keeps a
+// shared subview (e.g. threshold) as an intermediate network node.
+func Expand(c Clause, p *Program, stop map[string]bool) ([]Clause, error) {
+	// Seed the fresh-variable counter past any _R<n> names already in
+	// the clause (e.g. introduced by an earlier RenameApart), so
+	// expansion cannot capture them.
+	counter := maxRenameIndex(c.Vars())
+	return expand(c, p, stop, nil, &counter)
+}
+
+// maxRenameIndex returns the largest n such that some variable is named
+// _R<n>, or 0.
+func maxRenameIndex(vars []string) int {
+	max := 0
+	for _, v := range vars {
+		if len(v) < 3 || v[0] != '_' || v[1] != 'R' {
+			continue
+		}
+		n := 0
+		ok := true
+		for i := 2; i < len(v); i++ {
+			d := v[i]
+			if d < '0' || d > '9' {
+				ok = false
+				break
+			}
+			n = n*10 + int(d-'0')
+		}
+		if ok && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func expand(c Clause, p *Program, stop map[string]bool, stack []string, counter *int) ([]Clause, error) {
+	// Find the first expandable literal.
+	idx := -1
+	for i, l := range c.Body {
+		if l.Negated || l.Delta != DeltaNone || l.Old || IsBuiltin(l.Pred) {
+			continue
+		}
+		if stop[l.Pred] {
+			continue
+		}
+		if d, ok := p.Def(l.Pred); ok && d.Aggregate == "" && !p.IsRecursive(l.Pred) {
+			// Aggregate and recursive views are never inlined: they
+			// become intermediate (re-evaluated) network nodes.
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return []Clause{c}, nil
+	}
+	call := c.Body[idx]
+	for _, s := range stack {
+		if s == call.Pred {
+			return nil, fmt.Errorf("recursive predicate %q cannot be expanded (recursion is outside the scope of the calculus)", call.Pred)
+		}
+	}
+	def, _ := p.Def(call.Pred)
+	if len(call.Args) != def.Arity {
+		return nil, fmt.Errorf("call to %q with arity %d, defined with %d", call.Pred, len(call.Args), def.Arity)
+	}
+	var out []Clause
+	for _, dc := range def.Clauses {
+		fresh := dc.RenameApart(counter)
+		body, ok, err := inlineBody(fresh, call)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue // constant mismatch: this disjunct contributes nothing
+		}
+		nc := Clause{Head: c.Head}
+		nc.Body = append(nc.Body, c.Body[:idx]...)
+		nc.Body = append(nc.Body, body...)
+		nc.Body = append(nc.Body, c.Body[idx+1:]...)
+		sub, err := expand(nc, p, stop, append(stack, call.Pred), counter)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// inlineBody unifies the (renamed-apart) definition clause head with the
+// call literal and returns the substituted body. ok is false when two
+// constants conflict (the disjunct is statically empty).
+func inlineBody(def Clause, call Literal) ([]Literal, bool, error) {
+	sub := map[string]Term{}
+	var extra []Literal
+	for i, ha := range def.Head.Args {
+		ca := call.Args[i]
+		switch {
+		case ha.IsVar:
+			if prev, ok := sub[ha.Var]; ok {
+				// Head repeats a variable: the two call terms must agree.
+				extra = append(extra, Lit(BuiltinEQ, prev, ca))
+			} else {
+				sub[ha.Var] = ca
+			}
+		case ca.IsVar:
+			// Head constant, call variable: bind the call variable.
+			extra = append(extra, Lit(BuiltinEQ, ca, C(ha.Const)))
+		default:
+			if !ha.Const.Equal(ca.Const) {
+				return nil, false, nil
+			}
+		}
+	}
+	body := make([]Literal, 0, len(def.Body)+len(extra))
+	for _, l := range def.Body {
+		body = append(body, l.Substitute(sub))
+	}
+	body = append(body, extra...)
+	return body, true, nil
+}
+
+// CheckSafe verifies range restriction of a conjunctive clause: every
+// head variable, every variable of a negated literal, and every input of
+// a builtin must be bindable from positive relation literals (possibly
+// through chains of arithmetic/eq builtins). It returns an error naming
+// the first unsafe variable found.
+func CheckSafe(c Clause) error {
+	bound := map[string]bool{}
+	// Positive relation (and delta) literals bind their variables.
+	for _, l := range c.Body {
+		if l.Negated || IsBuiltin(l.Pred) {
+			continue
+		}
+		for _, a := range l.Args {
+			if a.IsVar {
+				bound[a.Var] = true
+			}
+		}
+	}
+	// Builtins propagate bindings to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range c.Body {
+			if l.Negated || !IsBuiltin(l.Pred) {
+				continue
+			}
+			switch {
+			case IsArithmetic(l.Pred) && len(l.Args) == 3:
+				if termBound(l.Args[0], bound) && termBound(l.Args[1], bound) &&
+					l.Args[2].IsVar && !bound[l.Args[2].Var] {
+					bound[l.Args[2].Var] = true
+					changed = true
+				}
+			case l.Pred == BuiltinEQ && len(l.Args) == 2:
+				a, b := l.Args[0], l.Args[1]
+				if termBound(a, bound) && b.IsVar && !bound[b.Var] {
+					bound[b.Var] = true
+					changed = true
+				}
+				if termBound(b, bound) && a.IsVar && !bound[a.Var] {
+					bound[a.Var] = true
+					changed = true
+				}
+			}
+		}
+	}
+	check := func(t Term, where string) error {
+		if t.IsVar && !bound[t.Var] {
+			return fmt.Errorf("unsafe clause %s: variable %s in %s is not range restricted", c, t.Var, where)
+		}
+		return nil
+	}
+	for _, a := range c.Head.Args {
+		if err := check(a, "head"); err != nil {
+			return err
+		}
+	}
+	for _, l := range c.Body {
+		if l.Negated {
+			for _, a := range l.Args {
+				if err := check(a, "negated literal "+l.String()); err != nil {
+					return err
+				}
+			}
+		}
+		if IsComparison(l.Pred) && l.Pred != BuiltinEQ {
+			for _, a := range l.Args {
+				if err := check(a, "comparison "+l.String()); err != nil {
+					return err
+				}
+			}
+		}
+		if IsArithmetic(l.Pred) {
+			for _, a := range l.Args[:2] {
+				if err := check(a, "arithmetic "+l.String()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func termBound(t Term, bound map[string]bool) bool {
+	return !t.IsVar || bound[t.Var]
+}

@@ -1,0 +1,459 @@
+package objectlog
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/types"
+)
+
+func TestTermBasics(t *testing.T) {
+	v := V("X")
+	c := CInt(5)
+	if !v.IsVar || v.String() != "X" {
+		t.Error("var term")
+	}
+	if c.IsVar || c.String() != "5" {
+		t.Error("const term")
+	}
+	if !v.Equal(V("X")) || v.Equal(V("Y")) || v.Equal(c) {
+		t.Error("term equality")
+	}
+	if !c.Equal(C(types.Int(5))) || c.Equal(CInt(6)) {
+		t.Error("const equality")
+	}
+}
+
+func TestBuiltinClassification(t *testing.T) {
+	for _, n := range []string{BuiltinLT, BuiltinLE, BuiltinGT, BuiltinGE, BuiltinEQ, BuiltinNE} {
+		if !IsBuiltin(n) || !IsComparison(n) || IsArithmetic(n) {
+			t.Errorf("%s misclassified", n)
+		}
+	}
+	for _, n := range []string{BuiltinPlus, BuiltinMinus, BuiltinTimes, BuiltinDiv} {
+		if !IsBuiltin(n) || IsComparison(n) || !IsArithmetic(n) {
+			t.Errorf("%s misclassified", n)
+		}
+	}
+	if IsBuiltin("quantity") {
+		t.Error("relation classified as builtin")
+	}
+}
+
+func TestTypePred(t *testing.T) {
+	p := TypePred("item")
+	if p != "type:item" {
+		t.Errorf("TypePred=%q", p)
+	}
+	name, ok := IsTypePred(p)
+	if !ok || name != "item" {
+		t.Error("IsTypePred roundtrip")
+	}
+	if _, ok := IsTypePred("quantity"); ok {
+		t.Error("non-type pred recognized")
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	cases := []struct {
+		l    Literal
+		want string
+	}{
+		{Lit("q", V("X"), V("Y")), "q(X,Y)"},
+		{NotLit("q", V("X")), "¬q(X)"},
+		{Lit("q", V("X")).WithDelta(DeltaPlus), "Δ+q(X)"},
+		{Lit("q", V("X")).WithDelta(DeltaMinus), "Δ-q(X)"},
+		{Lit("q", V("X")).WithOld(), "q_old(X)"},
+		{Lit(BuiltinLT, V("A"), V("B")), "A < B"},
+		{Lit(BuiltinTimes, V("A"), V("B"), V("C")), "C = A * B"},
+		{Lit(BuiltinEQ, V("A"), CInt(3)), "A = 3"},
+	}
+	for _, tc := range cases {
+		if got := tc.l.String(); got != tc.want {
+			t.Errorf("String()=%q want %q", got, tc.want)
+		}
+	}
+}
+
+func TestWithOldSkipsDeltaAndBuiltins(t *testing.T) {
+	if Lit("q", V("X")).WithDelta(DeltaPlus).WithOld().Old {
+		t.Error("delta literal must not be old-marked")
+	}
+	if Lit(BuiltinLT, V("A"), V("B")).WithOld().Old {
+		t.Error("builtin must not be old-marked")
+	}
+	if !Lit("q", V("X")).WithOld().Old {
+		t.Error("relation literal should be old-marked")
+	}
+}
+
+func TestLiteralCopySemantics(t *testing.T) {
+	orig := Lit("q", V("X"))
+	d := orig.WithDelta(DeltaPlus)
+	d.Args[0] = V("Y")
+	if orig.Args[0].Var != "X" || orig.Delta != DeltaNone {
+		t.Error("WithDelta must not share args with original")
+	}
+}
+
+func TestClauseStringPaperStyle(t *testing.T) {
+	// p(X,Z) ← q(X,Y) ∧ r(Y,Z)
+	c := NewClause(Lit("p", V("X"), V("Z")),
+		Lit("q", V("X"), V("Y")), Lit("r", V("Y"), V("Z")))
+	if got := c.String(); got != "p(X,Z) ← q(X,Y) ∧ r(Y,Z)" {
+		t.Errorf("Clause.String()=%q", got)
+	}
+	fact := NewClause(Lit("p", CInt(1)))
+	if fact.String() != "p(1)" {
+		t.Errorf("fact String()=%q", fact.String())
+	}
+}
+
+func TestClauseVarsAndRename(t *testing.T) {
+	c := NewClause(Lit("p", V("X"), V("Z")),
+		Lit("q", V("X"), V("Y")), Lit("r", V("Y"), V("Z")))
+	vars := c.Vars()
+	if len(vars) != 3 || vars[0] != "X" || vars[1] != "Z" || vars[2] != "Y" {
+		t.Errorf("Vars=%v", vars)
+	}
+	r := c.Rename(map[string]string{"X": "A"})
+	if r.Head.Args[0].Var != "A" || r.Body[0].Args[0].Var != "A" {
+		t.Error("Rename")
+	}
+	if c.Head.Args[0].Var != "X" {
+		t.Error("Rename must not mutate original")
+	}
+	counter := 0
+	ra := c.RenameApart(&counter)
+	for _, v := range ra.Vars() {
+		if !strings.HasPrefix(v, "_R") {
+			t.Errorf("RenameApart left variable %s", v)
+		}
+	}
+	counter2 := counter
+	rb := c.RenameApart(&counter2)
+	for _, v := range rb.Vars() {
+		for _, w := range ra.Vars() {
+			if v == w {
+				t.Error("RenameApart reused a variable name")
+			}
+		}
+	}
+}
+
+func TestProgramDefine(t *testing.T) {
+	p := NewProgram()
+	d := &Def{Name: "p", Arity: 2, Clauses: []Clause{
+		NewClause(Lit("p", V("X"), V("Z")), Lit("q", V("X"), V("Z"))),
+	}}
+	if err := p.Define(d); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsDerived("p") || p.IsDerived("q") {
+		t.Error("IsDerived")
+	}
+	if _, ok := p.Def("p"); !ok {
+		t.Error("Def lookup")
+	}
+	if err := p.Define(&Def{Name: "", Arity: 0}); err == nil {
+		t.Error("unnamed def should error")
+	}
+	if err := p.Define(&Def{Name: "x", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("y", V("A")), Lit("q", V("A"))),
+	}}); err == nil {
+		t.Error("mismatched head pred should error")
+	}
+	if err := p.Define(&Def{Name: "x", Arity: 2, Clauses: []Clause{
+		NewClause(Lit("x", V("A")), Lit("q", V("A"))),
+	}}); err == nil {
+		t.Error("mismatched head arity should error")
+	}
+	if names := p.Names(); len(names) != 1 || names[0] != "p" {
+		t.Errorf("Names=%v", names)
+	}
+}
+
+func TestDefInfluents(t *testing.T) {
+	d := &Def{Name: "p", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("p", V("X")),
+			Lit("q", V("X"), V("Y")), Lit("r", V("Y")), Lit(BuiltinLT, V("Y"), CInt(5))),
+		NewClause(Lit("p", V("X")), Lit("s", V("X"))),
+	}}
+	infl := d.Influents()
+	if len(infl) != 3 || infl[0] != "q" || infl[1] != "r" || infl[2] != "s" {
+		t.Errorf("Influents=%v (builtins must be excluded)", infl)
+	}
+}
+
+func TestExpandSimple(t *testing.T) {
+	// threshold-style: v(X,T) ← b(X,A) ∧ T = A + 1
+	// top: top(X) ← q(X,Q) ∧ v(X,T) ∧ Q < T
+	p := NewProgram()
+	p.Define(&Def{Name: "v", Arity: 2, Clauses: []Clause{
+		NewClause(Lit("v", V("X"), V("T")),
+			Lit("b", V("X"), V("A")),
+			Lit(BuiltinPlus, V("A"), CInt(1), V("T"))),
+	}})
+	top := NewClause(Lit("top", V("I")),
+		Lit("q", V("I"), V("Q")),
+		Lit("v", V("I"), V("T")),
+		Lit(BuiltinLT, V("Q"), V("T")))
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("expanded to %d clauses", len(out))
+	}
+	c := out[0]
+	if len(c.Body) != 4 {
+		t.Fatalf("expanded body: %s", c)
+	}
+	// v literal replaced by b + plus, with I and T flowing through.
+	if c.Body[1].Pred != "b" || c.Body[1].Args[0].Var != "I" {
+		t.Errorf("expanded clause: %s", c)
+	}
+	if c.Body[2].Pred != BuiltinPlus || c.Body[2].Args[2].Var != "T" {
+		t.Errorf("expanded clause: %s", c)
+	}
+}
+
+func TestExpandDisjunctionGivesDNF(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "d", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("d", V("X")), Lit("a", V("X"))),
+		NewClause(Lit("d", V("X")), Lit("b", V("X"))),
+	}})
+	top := NewClause(Lit("t", V("Y")), Lit("d", V("Y")), Lit("c", V("Y")))
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("want 2 disjuncts, got %d", len(out))
+	}
+	if out[0].Body[0].Pred != "a" || out[1].Body[0].Pred != "b" {
+		t.Errorf("DNF: %s | %s", out[0], out[1])
+	}
+}
+
+func TestExpandNested(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "inner", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("inner", V("X")), Lit("base", V("X"))),
+	}})
+	p.Define(&Def{Name: "outer", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("outer", V("X")), Lit("inner", V("X"))),
+	}})
+	top := NewClause(Lit("t", V("Y")), Lit("outer", V("Y")))
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Body[0].Pred != "base" {
+		t.Errorf("nested expansion: %v", out)
+	}
+}
+
+func TestExpandStopSetForNodeSharing(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "shared", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("shared", V("X")), Lit("base", V("X"))),
+	}})
+	top := NewClause(Lit("t", V("Y")), Lit("shared", V("Y")))
+	out, err := Expand(top, p, map[string]bool{"shared": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Body[0].Pred != "shared" {
+		t.Errorf("stop set ignored: %v", out)
+	}
+}
+
+func TestExpandSkipsNegatedDeltaOld(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "d", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("d", V("X")), Lit("a", V("X"))),
+	}})
+	top := NewClause(Lit("t", V("Y")),
+		Lit("base", V("Y")),
+		NotLit("d", V("Y")),
+		Lit("d", V("Y")).WithDelta(DeltaPlus),
+		Lit("d", V("Y")).WithOld())
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatal("should not multiply")
+	}
+	c := out[0]
+	if !c.Body[1].Negated || c.Body[2].Delta != DeltaPlus || !c.Body[3].Old {
+		t.Errorf("annotated literals must not be expanded: %s", c)
+	}
+}
+
+func TestExpandLeavesRecursiveViewsUnexpanded(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "r", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("r", V("X")), Lit("base", V("X"))),
+		NewClause(Lit("r", V("X")), Lit("r", V("X"))),
+	}})
+	top := NewClause(Lit("t", V("Y")), Lit("r", V("Y")))
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Body[0].Pred != "r" {
+		t.Errorf("recursive view must stay unexpanded: %v", out)
+	}
+}
+
+func TestIsRecursiveAndComponent(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "path", Arity: 2, Clauses: []Clause{
+		NewClause(Lit("path", V("X"), V("Y")), Lit("edge", V("X"), V("Y"))),
+		NewClause(Lit("path", V("X"), V("Z")),
+			Lit("edge", V("X"), V("Y")), Lit("path", V("Y"), V("Z"))),
+	}})
+	p.Define(&Def{Name: "flat", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("flat", V("X")), Lit("edge", V("X"), V("X"))),
+	}})
+	// Mutually recursive pair.
+	p.Define(&Def{Name: "a", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("a", V("X")), Lit("b", V("X"))),
+	}})
+	p.Define(&Def{Name: "b", Arity: 1, Clauses: []Clause{
+		NewClause(Lit("b", V("X")), Lit("a", V("X"))),
+		NewClause(Lit("b", V("X")), Lit("seed", V("X"))),
+	}})
+	if !p.IsRecursive("path") || p.IsRecursive("flat") {
+		t.Error("IsRecursive")
+	}
+	if !p.IsRecursive("a") || !p.IsRecursive("b") {
+		t.Error("mutual recursion not detected")
+	}
+	if c := p.Component("path"); len(c) != 1 || c[0] != "path" {
+		t.Errorf("Component(path)=%v", c)
+	}
+	if c := p.Component("a"); len(c) != 2 || c[0] != "a" || c[1] != "b" {
+		t.Errorf("Component(a)=%v", c)
+	}
+	if c := p.Component("flat"); c != nil {
+		t.Errorf("Component(flat)=%v", c)
+	}
+}
+
+func TestExpandConstantUnification(t *testing.T) {
+	p := NewProgram()
+	p.Define(&Def{Name: "d", Arity: 2, Clauses: []Clause{
+		NewClause(Lit("d", V("X"), CInt(1)), Lit("a", V("X"))),
+		NewClause(Lit("d", V("X"), CInt(2)), Lit("b", V("X"))),
+	}})
+	// Call with second arg = 1: only the first disjunct survives.
+	top := NewClause(Lit("t", V("Y")), Lit("d", V("Y"), CInt(1)))
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Body[0].Pred != "a" {
+		t.Errorf("constant pruning: %v", out)
+	}
+	// Call with a variable: both disjuncts, each binding the variable.
+	top2 := NewClause(Lit("t", V("Y"), V("K")), Lit("d", V("Y"), V("K")))
+	out2, err := Expand(top2, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 2 {
+		t.Fatalf("want 2 disjuncts, got %d", len(out2))
+	}
+	// Each must carry an eq(K, const) literal.
+	for i, c := range out2 {
+		found := false
+		for _, l := range c.Body {
+			if l.Pred == BuiltinEQ && l.Args[0].Var == "K" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("disjunct %d missing K binding: %s", i, c)
+		}
+	}
+}
+
+func TestExpandRepeatedHeadVariable(t *testing.T) {
+	p := NewProgram()
+	// same(X,X) ← a(X)
+	p.Define(&Def{Name: "same", Arity: 2, Clauses: []Clause{
+		NewClause(Lit("same", V("X"), V("X")), Lit("a", V("X"))),
+	}})
+	top := NewClause(Lit("t", V("Y"), V("Z")), Lit("same", V("Y"), V("Z")))
+	out, err := Expand(top, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatal("one clause expected")
+	}
+	// Must contain an equality tying Y and Z.
+	found := false
+	for _, l := range out[0].Body {
+		if l.Pred == BuiltinEQ {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("repeated head var needs eq: %s", out[0])
+	}
+}
+
+func TestCheckSafe(t *testing.T) {
+	ok := NewClause(Lit("p", V("X"), V("T")),
+		Lit("q", V("X"), V("A")),
+		Lit(BuiltinPlus, V("A"), CInt(1), V("T")),
+		Lit(BuiltinLT, V("A"), V("T")))
+	if err := CheckSafe(ok); err != nil {
+		t.Errorf("safe clause rejected: %v", err)
+	}
+	// Head variable never bound.
+	bad := NewClause(Lit("p", V("X"), V("Y")), Lit("q", V("X"), V("A")))
+	if err := CheckSafe(bad); err == nil {
+		t.Error("unbound head var accepted")
+	}
+	// Negated literal with unbound variable.
+	bad2 := NewClause(Lit("p", V("X")),
+		Lit("q", V("X"), V("A")), NotLit("r", V("Z")))
+	if err := CheckSafe(bad2); err == nil {
+		t.Error("unsafe negation accepted")
+	}
+	// Comparison on unbound variable.
+	bad3 := NewClause(Lit("p", V("X")),
+		Lit("q", V("X"), V("A")), Lit(BuiltinLT, V("A"), V("Z")))
+	if err := CheckSafe(bad3); err == nil {
+		t.Error("comparison on unbound var accepted")
+	}
+	// eq chain binding: X bound by q, Y bound via eq, head uses Y.
+	okEq := NewClause(Lit("p", V("Y")),
+		Lit("q", V("X")), Lit(BuiltinEQ, V("Y"), V("X")))
+	if err := CheckSafe(okEq); err != nil {
+		t.Errorf("eq-bound clause rejected: %v", err)
+	}
+	// Arithmetic with unbound input.
+	bad4 := NewClause(Lit("p", V("T")),
+		Lit("q", V("A")), Lit(BuiltinPlus, V("A"), V("B"), V("T")))
+	if err := CheckSafe(bad4); err == nil {
+		t.Error("arithmetic with unbound input accepted")
+	}
+	// Delta literals bind their variables too.
+	okDelta := NewClause(Lit("p", V("X")), Lit("q", V("X")).WithDelta(DeltaPlus))
+	if err := CheckSafe(okDelta); err != nil {
+		t.Errorf("delta-bound clause rejected: %v", err)
+	}
+}
+
+func TestDeltaKindString(t *testing.T) {
+	if DeltaNone.String() != "" || DeltaPlus.String() != "Δ+" || DeltaMinus.String() != "Δ-" {
+		t.Error("DeltaKind strings")
+	}
+}

@@ -1,0 +1,81 @@
+package propnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the propagation network in Graphviz dot format — the
+// fig. 1/fig. 2 pictures of the paper, generated from the live network.
+// Base relations are boxes, views are ellipses, monitored condition
+// functions are double ellipses, and re-evaluated (aggregate/recursive)
+// nodes are diamonds. Edges are labeled with their partial
+// differentials.
+func (n *Network) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph propagation {\n")
+	sb.WriteString("  rankdir=BT;\n")
+	names := n.Nodes()
+	for _, name := range names {
+		nd := n.nodes[name]
+		shape := "ellipse"
+		switch {
+		case nd.Base:
+			shape = "box"
+		case nd.Recompute:
+			shape = "diamond"
+		case nd.Monitored:
+			shape = "doubleoctagon"
+		}
+		fmt.Fprintf(&sb, "  %s [shape=%s, label=%s];\n",
+			dotID(name), shape, dotQuote(fmt.Sprintf("%s\\nlevel %d", name, nd.Level)))
+	}
+	// Deterministic edge order.
+	type edgeRow struct{ from, to, label string }
+	var rows []edgeRow
+	for _, name := range names {
+		nd := n.nodes[name]
+		for _, e := range nd.out {
+			var labels []string
+			for _, d := range e.Diffs {
+				labels = append(labels, d.Name())
+			}
+			label := strings.Join(labels, "\\n")
+			if label == "" && e.To.Recompute {
+				label = "re-evaluate"
+			}
+			rows = append(rows, edgeRow{from: name, to: e.To.Pred, label: label})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].from != rows[j].from {
+			return rows[i].from < rows[j].from
+		}
+		return rows[i].to < rows[j].to
+	})
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %s -> %s [label=%s];\n",
+			dotID(r.from), dotID(r.to), dotQuote(r.label))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// dotID makes a safe dot identifier from a predicate name.
+func dotID(name string) string {
+	var sb strings.Builder
+	sb.WriteByte('n')
+	for _, r := range name {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func dotQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,32 @@
+package propnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotRendersNetwork(t *testing.T) {
+	_, n := buildPQR(t)
+	dot := n.Dot()
+	for _, want := range []string{
+		"digraph propagation",
+		"shape=box",           // base relations
+		"shape=doubleoctagon", // monitored view
+		"Δp/Δ+q",              // edge label with the differential name
+		"nq -> np",            // edge
+		"level 0",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDotIDSanitization(t *testing.T) {
+	if got := dotID("type:item"); got != "ntype_item" {
+		t.Errorf("dotID=%q", got)
+	}
+	if got := dotID("cnd_r#1"); got != "ncnd_r_1" {
+		t.Errorf("dotID=%q", got)
+	}
+}

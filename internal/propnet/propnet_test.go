@@ -1,0 +1,446 @@
+package propnet
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+func tup(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.Int(v)
+	}
+	return t
+}
+
+func pqrDef() *objectlog.Def {
+	return &objectlog.Def{Name: "p", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("p", objectlog.V("X"), objectlog.V("Z")),
+			objectlog.Lit("q", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("r", objectlog.V("Y"), objectlog.V("Z"))),
+	}}
+}
+
+// buildPQR sets up the §4.3 database with a monitored view p.
+func buildPQR(t *testing.T) (*storage.Store, *Network) {
+	t.Helper()
+	st := storage.NewStore()
+	st.CreateRelation("q", 2, nil)
+	st.CreateRelation("r", 2, nil)
+	st.Insert("q", tup(1, 1))
+	st.Insert("r", tup(1, 2))
+	st.Insert("r", tup(2, 3))
+	n := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	if err := n.AddView(pqrDef(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return st, n
+}
+
+// apply performs a store mutation and folds the physical event into the
+// network's base Δ-set, as the transaction layer does.
+func apply(t *testing.T, st *storage.Store, n *Network, insert bool, rel string, tp types.Tuple) {
+	t.Helper()
+	var changed bool
+	var err error
+	if insert {
+		changed, err = st.Insert(rel, tp)
+	} else {
+		changed, err = st.Delete(rel, tp)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		return
+	}
+	d := n.BaseDelta(rel)
+	if d == nil {
+		t.Fatalf("no base delta for %s", rel)
+	}
+	if insert {
+		d.Insert(tp)
+	} else {
+		d.Delete(tp)
+	}
+}
+
+func TestPropagatePaperSection44(t *testing.T) {
+	st, n := buildPQR(t)
+	// Transaction: assert q(1,2), assert r(1,4), retract r(1,2),
+	// retract r(2,3). Expected Δp = <{(1,4)}, {(1,2)}>.
+	apply(t, st, n, true, "q", tup(1, 2))
+	apply(t, st, n, true, "r", tup(1, 4))
+	apply(t, st, n, false, "r", tup(1, 2))
+	apply(t, st, n, false, "r", tup(2, 3))
+
+	if !n.HasChanges() {
+		t.Fatal("HasChanges should be true")
+	}
+	res, err := n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := res["p"]
+	if dp == nil {
+		t.Fatal("no Δp returned")
+	}
+	if !dp.Plus().Equal(types.NewSet(tup(1, 4))) {
+		t.Errorf("Δ+p = %s, want {(1, 4)}", dp.Plus())
+	}
+	if !dp.Minus().Equal(types.NewSet(tup(1, 2))) {
+		t.Errorf("Δ−p = %s, want {(1, 2)}", dp.Minus())
+	}
+}
+
+func TestPropagateMatchesRecompute(t *testing.T) {
+	// Independent check: Δp from propagation equals Diff(p_old, p_new)
+	// computed naively.
+	st, n := buildPQR(t)
+	ev := n.Evaluator()
+	oldP, err := ev.EvalPred("p", false) // before the txn, old == current
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, st, n, true, "q", tup(1, 2))
+	apply(t, st, n, true, "r", tup(1, 4))
+	apply(t, st, n, false, "r", tup(1, 2))
+	newP, err := ev.EvalPred("p", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := delta.Diff(oldP, newP)
+	res, err := n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["p"].Equal(want) {
+		t.Errorf("propagated %s, recompute %s", res["p"], want)
+	}
+}
+
+func TestPropagateEmptyTransaction(t *testing.T) {
+	_, n := buildPQR(t)
+	if n.HasChanges() {
+		t.Error("fresh network should have no changes")
+	}
+	res, err := n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["p"].IsEmpty() {
+		t.Errorf("Δp = %s for empty transaction", res["p"])
+	}
+	if n.Executed() != 0 {
+		t.Errorf("%d differentials executed on empty transaction", n.Executed())
+	}
+}
+
+func TestOnlyAffectedDifferentialsExecute(t *testing.T) {
+	st, n := buildPQR(t)
+	apply(t, st, n, true, "q", tup(5, 1))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	// Only Δp/Δ+q should have run (q changed, with insertions only).
+	if n.Executed() != 1 {
+		t.Errorf("executed %d differentials, want 1; trace: %v", n.Executed(), n.Trace())
+	}
+	tr := n.Trace()
+	if len(tr) != 1 || tr[0].Differential != "Δp/Δ+q" {
+		t.Errorf("trace = %+v", tr)
+	}
+	if tr[0].Produced != 1 { // q(5,1) ⋈ r(1,2) → p(5,2)
+		t.Errorf("produced = %d", tr[0].Produced)
+	}
+}
+
+func TestBaseDeltasKeptUntilClearBase(t *testing.T) {
+	st, n := buildPQR(t)
+	apply(t, st, n, true, "q", tup(5, 1))
+	n.Propagate()
+	if n.BaseDelta("q").IsEmpty() {
+		t.Error("base Δ-set must survive propagation (old states need it)")
+	}
+	n.ClearBase()
+	if !n.BaseDelta("q").IsEmpty() {
+		t.Error("ClearBase should clear base Δ-sets")
+	}
+}
+
+func TestMonitoredDeltaClearedAfterCollect(t *testing.T) {
+	st, n := buildPQR(t)
+	apply(t, st, n, true, "q", tup(5, 1))
+	res1, _ := n.Propagate()
+	if res1["p"].IsEmpty() {
+		t.Fatal("first propagation should find changes")
+	}
+	n.ClearBase()
+	// Second propagation with no new changes: no residue.
+	res2, _ := n.Propagate()
+	if !res2["p"].IsEmpty() {
+		t.Errorf("monitored Δ leaked across propagations: %s", res2["p"])
+	}
+}
+
+// TestNodeSharingBushyNetwork builds the §7.1 network: cnd references
+// threshold as an unexpanded intermediate node.
+func TestNodeSharingBushyNetwork(t *testing.T) {
+	st := storage.NewStore()
+	st.CreateRelation("quantity", 2, []int{0})
+	st.CreateRelation("base_thr", 2, []int{0})
+	st.Insert("quantity", tup(1, 100))
+	st.Insert("base_thr", tup(1, 140))
+
+	prog := objectlog.NewProgram()
+	n := New(st, prog, diff.DefaultOptions())
+
+	// threshold(I,T) ← base_thr(I,B) ∧ T = B + 0  (kept simple)
+	thr := &objectlog.Def{Name: "threshold", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("threshold", objectlog.V("I"), objectlog.V("T")),
+			objectlog.Lit("base_thr", objectlog.V("I"), objectlog.V("B")),
+			objectlog.Lit(objectlog.BuiltinPlus, objectlog.V("B"), objectlog.CInt(0), objectlog.V("T"))),
+	}}
+	// cnd(I) ← quantity(I,Q) ∧ threshold(I,T) ∧ Q < T
+	cnd := &objectlog.Def{Name: "cnd", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(
+			objectlog.Lit("cnd", objectlog.V("I")),
+			objectlog.Lit("quantity", objectlog.V("I"), objectlog.V("Q")),
+			objectlog.Lit("threshold", objectlog.V("I"), objectlog.V("T")),
+			objectlog.Lit(objectlog.BuiltinLT, objectlog.V("Q"), objectlog.V("T"))),
+	}}
+	if err := n.AddView(thr, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddView(cnd, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Stratification: bases at 0, threshold at 1, cnd at 2.
+	lv := n.Levels()
+	if len(lv) != 3 {
+		t.Fatalf("levels = %v", lv)
+	}
+	thrNode, _ := n.Node("threshold")
+	cndNode, _ := n.Node("cnd")
+	if thrNode.Level != 1 || cndNode.Level != 2 || thrNode.Base || thrNode.Monitored {
+		t.Errorf("levels: threshold=%d cnd=%d", thrNode.Level, cndNode.Level)
+	}
+
+	// quantity(1)=100 < threshold(1)=140 already true before the txn.
+	// Raise the base threshold of item 1: 140→90 makes cnd false.
+	st.Delete("base_thr", tup(1, 140))
+	n.BaseDelta("base_thr").Delete(tup(1, 140))
+	st.Insert("base_thr", tup(1, 90))
+	n.BaseDelta("base_thr").Insert(tup(1, 90))
+
+	res, err := n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := res["cnd"]
+	if !dc.Minus().Equal(types.NewSet(tup(1))) || dc.Plus().Len() != 0 {
+		t.Errorf("Δcnd = %s, want <{}, {(1)}>", dc)
+	}
+	// Intermediate node Δ-set is cleared by the wave front.
+	if !thrNode.Delta.IsEmpty() {
+		t.Errorf("threshold wave-front Δ not discarded: %s", thrNode.Delta)
+	}
+}
+
+// TestNegativeVerificationPreventsUnderReaction reproduces the §7.2
+// hazard: a projection-style view where a deletion candidate is still
+// derivable must not propagate as a deletion.
+func TestNegativeVerificationPreventsUnderReaction(t *testing.T) {
+	st := storage.NewStore()
+	st.CreateRelation("b", 2, nil)
+	st.Insert("b", tup(1, 10))
+	st.Insert("b", tup(1, 20))
+
+	// v(X) ← b(X,Y): projection on the first column.
+	v := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("v", objectlog.V("X")),
+			objectlog.Lit("b", objectlog.V("X"), objectlog.V("Y"))),
+	}}
+	n := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	n.AddView(v, true)
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete (1,10): v(1) is still derivable from (1,20).
+	st.Delete("b", tup(1, 10))
+	n.BaseDelta("b").Delete(tup(1, 10))
+	res, err := n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["v"].IsEmpty() {
+		t.Errorf("Δv = %s; spurious deletion must be verified away", res["v"])
+	}
+
+	// Without verification the spurious deletion leaks (documenting the
+	// hazard the paper describes).
+	n2 := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	n2.AddView(v, true)
+	n2.Finalize()
+	n2.VerifyNegative = false
+	n2.BaseDelta("b").Delete(tup(1, 10))
+	res2, _ := n2.Propagate()
+	if !res2["v"].Minus().Contains(tup(1)) {
+		t.Error("expected the unverified network to exhibit the §7.2 hazard")
+	}
+}
+
+// TestRecursiveViewBecomesRecomputeNode: transitive closure monitored
+// through a recursive view (§8 future work, §5 footnote). The recursive
+// node re-evaluates by fixpoint when its external influent (edge)
+// changes; consumers above stay incremental.
+func TestRecursiveViewBecomesRecomputeNode(t *testing.T) {
+	st := storage.NewStore()
+	st.CreateRelation("edge", 2, nil)
+	st.Insert("edge", tup(1, 2))
+	st.Insert("edge", tup(2, 3))
+
+	prog := objectlog.NewProgram()
+	path := &objectlog.Def{Name: "path", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("path", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("edge", objectlog.V("X"), objectlog.V("Y"))),
+		objectlog.NewClause(objectlog.Lit("path", objectlog.V("X"), objectlog.V("Z")),
+			objectlog.Lit("edge", objectlog.V("X"), objectlog.V("Y")),
+			objectlog.Lit("path", objectlog.V("Y"), objectlog.V("Z"))),
+	}}
+	// Monitored: reach(Y) ← path(1,Y).
+	reach := &objectlog.Def{Name: "reach", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("reach", objectlog.V("Y")),
+			objectlog.Lit("path", objectlog.CInt(1), objectlog.V("Y"))),
+	}}
+	n := New(st, prog, diff.DefaultOptions())
+	if err := n.AddView(path, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddView(reach, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	pn, ok := n.Node("path")
+	if !ok || !pn.Recompute || pn.Base {
+		t.Fatalf("path node: %+v", pn)
+	}
+	// Current reach = {2,3}. Add edge 3→4: path gains (1,4) etc.,
+	// reach gains 4.
+	st.Insert("edge", tup(3, 4))
+	n.BaseDelta("edge").Insert(tup(3, 4))
+	res, err := n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["reach"].Plus().Equal(types.NewSet(tup(4))) || res["reach"].Minus().Len() != 0 {
+		t.Errorf("Δreach = %s", res["reach"])
+	}
+	n.ClearBase()
+	// Delete edge 2→3: nodes 3 and 4 become unreachable.
+	st.Delete("edge", tup(2, 3))
+	n.BaseDelta("edge").Delete(tup(2, 3))
+	res, err = n.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["reach"].Minus().Equal(types.NewSet(tup(3), tup(4))) || res["reach"].Plus().Len() != 0 {
+		t.Errorf("Δreach after deletion = %s", res["reach"])
+	}
+}
+
+func TestAddViewValidation(t *testing.T) {
+	st := storage.NewStore()
+	n := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	if err := n.AddView(pqrDef(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddView(pqrDef(), true); err == nil {
+		t.Error("duplicate view should error")
+	}
+	unsafe := &objectlog.Def{Name: "u", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("u", objectlog.V("Z")), objectlog.Lit("q", objectlog.V("X"))),
+	}}
+	if err := n.AddView(unsafe, true); err == nil {
+		t.Error("unsafe view should error")
+	}
+	n.Finalize()
+	if err := n.AddView(&objectlog.Def{Name: "late", Arity: 1}, false); err == nil {
+		t.Error("AddView after Finalize should error")
+	}
+}
+
+func TestBaseDeltaForUnmonitoredRelationIsNil(t *testing.T) {
+	st := storage.NewStore()
+	st.CreateRelation("unrelated", 1, nil)
+	_, n := buildPQR(t)
+	_ = st
+	if n.BaseDelta("unrelated") != nil {
+		t.Error("relations outside the network must have no Δ-set (no overhead)")
+	}
+	if n.BaseDelta("p") != nil {
+		t.Error("view nodes are not base")
+	}
+}
+
+func TestNodesAndLevels(t *testing.T) {
+	_, n := buildPQR(t)
+	nodes := n.Nodes()
+	if len(nodes) != 3 || nodes[0] != "p" || nodes[1] != "q" || nodes[2] != "r" {
+		t.Errorf("Nodes=%v", nodes)
+	}
+	lv := n.Levels()
+	if len(lv) != 2 || len(lv[0]) != 2 || len(lv[1]) != 1 || lv[1][0] != "p" {
+		t.Errorf("Levels=%v", lv)
+	}
+}
+
+func TestPropagateBeforeFinalizeErrors(t *testing.T) {
+	st := storage.NewStore()
+	n := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	if _, err := n.Propagate(); err == nil {
+		t.Error("Propagate before Finalize should error")
+	}
+}
+
+func TestTraceExplainsTriggerReason(t *testing.T) {
+	st, n := buildPQR(t)
+	apply(t, st, n, false, "r", tup(2, 3))
+	n.Propagate()
+	tr := n.Trace()
+	if len(tr) != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	e := tr[0]
+	if e.Influent != "r" || e.TriggerSign != objectlog.DeltaMinus ||
+		e.EffectSign != objectlog.DeltaMinus || !strings.Contains(e.Differential, "Δ-r") {
+		t.Errorf("trace entry = %+v", e)
+	}
+}
+
+func TestNetEnvErrors(t *testing.T) {
+	_, n := buildPQR(t)
+	env := netEnv{n}
+	if _, err := env.Source("nosuch", objectlog.DeltaPlus, false); err == nil {
+		t.Error("unknown delta source should error")
+	}
+	if _, err := env.Source("nosuch", objectlog.DeltaNone, false); err == nil {
+		t.Error("unknown relation should error")
+	}
+}

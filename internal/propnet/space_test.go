@@ -1,0 +1,97 @@
+package propnet
+
+import (
+	"testing"
+
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// TestSpace_WaveFrontVsMaterialization quantifies the paper's space
+// claim (E10): a view with a product-like intermediate (pairs of items
+// sharing a warehouse) materializes to O(n²) tuples, while the
+// propagation algorithm's wave front holds only the tuples a small
+// transaction actually touches.
+func TestSpace_WaveFrontVsMaterialization(t *testing.T) {
+	const n = 40 // 2 warehouses × 20 items → pairs view has 2·20² = 800 rows
+	st := storage.NewStore()
+	st.CreateRelation("stored_in", 2, nil) // (item, warehouse)
+	st.CreateRelation("flagged", 1, nil)
+	for i := int64(0); i < n; i++ {
+		st.Insert("stored_in", types.Tuple{types.Int(i), types.Int(i % 2)})
+	}
+
+	prog := objectlog.NewProgram()
+	// colocated(A,B) ← stored_in(A,W) ∧ stored_in(B,W): the large
+	// intermediate view.
+	colocated := &objectlog.Def{Name: "colocated", Arity: 2, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("colocated", objectlog.V("A"), objectlog.V("B")),
+			objectlog.Lit("stored_in", objectlog.V("A"), objectlog.V("W")),
+			objectlog.Lit("stored_in", objectlog.V("B"), objectlog.V("W"))),
+	}}
+	// Monitored: risk(B) ← flagged(A) ∧ colocated(A,B).
+	risk := &objectlog.Def{Name: "risk", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(objectlog.Lit("risk", objectlog.V("B")),
+			objectlog.Lit("flagged", objectlog.V("A")),
+			objectlog.Lit("colocated", objectlog.V("A"), objectlog.V("B"))),
+	}}
+	net := New(st, prog, diff.DefaultOptions())
+	if err := net.AddView(colocated, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddView(risk, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A small transaction: flag one item.
+	st.Insert("flagged", types.Tuple{types.Int(3)})
+	net.BaseDelta("flagged").Insert(types.Tuple{types.Int(3)})
+	res, err := net.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correctness: every item in warehouse 1 (odd ids) is at risk.
+	if res["risk"].Plus().Len() != n/2 {
+		t.Fatalf("Δrisk = %s", res["risk"])
+	}
+
+	wave := net.MaxWaveFront()
+	mat, err := net.MaterializedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The materialized footprint is quadratic (colocated alone has
+	// 2·(n/2)² = n²/2 tuples); the wave front holds only this
+	// transaction's changes.
+	if mat < n*n/2 {
+		t.Fatalf("materialized=%d, expected ≥ %d", mat, n*n/2)
+	}
+	if wave > 2*(n/2) {
+		t.Errorf("wave front %d unexpectedly large (materialized %d)", wave, mat)
+	}
+	if wave*10 > mat {
+		t.Errorf("space claim violated: wave=%d materialized=%d", wave, mat)
+	}
+	t.Logf("wave front peak = %d tuples; full materialization = %d tuples (%.0fx)",
+		wave, mat, float64(mat)/float64(wave))
+}
+
+// TestWaveFrontResetsPerPropagation: the gauge is per-propagation.
+func TestWaveFrontResetsPerPropagation(t *testing.T) {
+	st, n := buildPQR(t)
+	apply(t, st, n, true, "q", tup(5, 1))
+	n.Propagate()
+	if n.MaxWaveFront() == 0 {
+		t.Error("wave front not recorded")
+	}
+	n.ClearBase()
+	n.Propagate()
+	if n.MaxWaveFront() != 0 {
+		t.Error("wave front gauge not reset")
+	}
+}

@@ -1,0 +1,310 @@
+package rules
+
+import (
+	"fmt"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/propnet"
+	"partdiff/internal/types"
+)
+
+// CheckPhase runs the deferred rule processing at commit time:
+//
+//	loop:
+//	  1. if base relations changed, derive each activated condition's
+//	     net Δ (incrementally, naively, or hybrid) and fold it into the
+//	     activation's pending trigger set with ∪Δ;
+//	  2. choose ONE triggered rule through conflict resolution;
+//	  3. execute its action set-oriented, once per net-true instance —
+//	     action updates accumulate new base Δs;
+//	  4. repeat until no rule is triggered and no changes are pending.
+//
+// Change propagation is performed only when changes affecting activated
+// rules have occurred, so transactions that touch no influent pay
+// nothing.
+func (m *Manager) CheckPhase() error {
+	if len(m.activations) == 0 {
+		return nil
+	}
+	if err := m.ensureNet(); err != nil {
+		return err
+	}
+	m.explanations = m.explanations[:0]
+	for round := 1; ; round++ {
+		if round > m.MaxRounds {
+			return fmt.Errorf("rule cascade exceeded %d rounds (non-terminating rule set?)", m.MaxRounds)
+		}
+		if m.net.HasChanges() {
+			m.stats.CheckRounds++
+			if m.debug != nil {
+				m.debugf("check round %d: changed base relations %v", round, m.net.ChangedBase())
+			}
+			if err := m.deriveTriggers(round); err != nil {
+				return err
+			}
+			if m.debug != nil {
+				for _, te := range m.net.Trace() {
+					m.debugf("  %s produced %d tuple(s)", te.Differential, te.Produced)
+				}
+				for _, a := range sortedActivations(m.activations) {
+					if !a.trigger.IsEmpty() {
+						m.debugf("  pending %s: %s", a.Key, a.trigger)
+					}
+				}
+			}
+			m.net.ClearBase()
+		}
+		// Conflict resolution: choose one triggered rule.
+		var cands []*Activation
+		for _, a := range sortedActivations(m.activations) {
+			if a.trigger.Plus().Len() > 0 {
+				cands = append(cands, a)
+			}
+		}
+		if len(cands) == 0 {
+			if m.net.HasChanges() {
+				continue // action updates arrived while executing; propagate them
+			}
+			return nil
+		}
+		chosen := m.Resolve(cands)
+		instances := chosen.trigger.Plus().Tuples()
+		chosen.trigger.Clear()
+		m.stats.TriggeredInstances += len(instances)
+		if m.debug != nil {
+			names := make([]string, len(cands))
+			for i, c := range cands {
+				names[i] = c.Key
+			}
+			m.debugf("round %d: conflict resolution among %v chose %s; executing %d instance(s)",
+				round, names, chosen.Key, len(instances))
+		}
+		// Set-oriented action execution over the net changes.
+		for _, inst := range instances {
+			m.debugf("  action %s%s", chosen.Rule.Name, inst)
+			if err := chosen.Rule.Action(inst); err != nil {
+				return fmt.Errorf("rule %s action on %s: %w", chosen.Rule.Name, inst, err)
+			}
+			m.stats.ActionsExecuted++
+		}
+	}
+}
+
+// deriveTriggers computes each activated condition's Δ for the current
+// window of base changes and folds it into the pending trigger sets.
+func (m *Manager) deriveTriggers(round int) error {
+	switch m.mode {
+	case Incremental:
+		return m.deriveIncremental(round, nil)
+	case Naive:
+		return m.deriveNaive()
+	default:
+		return m.deriveHybrid(round)
+	}
+}
+
+// deriveIncremental propagates through the network. If only is non-nil,
+// trigger folding is restricted to those activations (hybrid mode); the
+// propagation itself is always global (shared nodes serve everyone).
+func (m *Manager) deriveIncremental(round int, only map[string]bool) error {
+	changed := map[string]bool{}
+	for _, pred := range m.net.ChangedBase() {
+		changed[pred] = true
+	}
+	deltas, err := m.net.Propagate()
+	if err != nil {
+		return err
+	}
+	m.stats.Propagations++
+	m.stats.DifferentialsExecuted += m.net.Executed()
+	trace := m.net.Trace()
+	for _, a := range sortedActivations(m.activations) {
+		if only != nil && !only[a.Key] {
+			continue
+		}
+		d := deltas[a.CondName]
+		if d.IsEmpty() {
+			continue
+		}
+		if !a.Rule.eventMatches(changed) {
+			// ECA rule: no matching event this round — the condition is
+			// not tested, its changes are dropped.
+			continue
+		}
+		if a.Rule.Strict {
+			if err := m.strictFilter(a, d); err != nil {
+				return err
+			}
+		}
+		if d.IsEmpty() {
+			continue
+		}
+		m.recordExplanation(a, round, d, trace)
+		a.trigger.UnionInto(d)
+	}
+	return nil
+}
+
+// strictFilter drops claimed insertions whose instances were already
+// true in the old state (the condition did not transition false→true).
+// The old state is probed by logical rollback — the condition is never
+// materialized (§7.2).
+func (m *Manager) strictFilter(a *Activation, d *delta.Set) error {
+	ev := m.net.Evaluator()
+	var drop []types.Tuple
+	var evalErr error
+	d.Plus().Each(func(t types.Tuple) bool {
+		held, err := ev.Derivable(a.CondName, t, true)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if held {
+			drop = append(drop, t)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return evalErr
+	}
+	for _, t := range drop {
+		d.Plus().Remove(t)
+	}
+	return nil
+}
+
+func (m *Manager) recordExplanation(a *Activation, round int, d *delta.Set, trace []propnet.TraceEntry) {
+	if d.Plus().Len() == 0 {
+		return
+	}
+	var entries []propnet.TraceEntry
+	for _, e := range trace {
+		if e.View == a.CondName && e.Produced > 0 {
+			entries = append(entries, e)
+		}
+	}
+	m.explanations = append(m.explanations, Explanation{
+		Rule:       a.Rule.Name,
+		Activation: a.Key,
+		Round:      round,
+		Instances:  d.Plus().Tuples(),
+		Entries:    entries,
+	})
+}
+
+// deriveNaive recomputes every affected condition completely and diffs
+// it against the materialized previous truth set — the §6 baseline.
+func (m *Manager) deriveNaive() error {
+	changed := map[string]bool{}
+	for _, pred := range m.net.ChangedBase() {
+		changed[pred] = true
+	}
+	ev := m.net.Evaluator()
+	for _, a := range sortedActivations(m.activations) {
+		if !m.affectedBy(a, changed) {
+			continue
+		}
+		newTrue, err := ev.EvalPred(a.CondName, false)
+		if err != nil {
+			return err
+		}
+		m.stats.NaiveRecomputations++
+		d := delta.Diff(a.prevTrue, newTrue)
+		a.prevTrue = newTrue
+		if d.IsEmpty() {
+			continue
+		}
+		if !a.Rule.eventMatches(changed) {
+			// ECA rule without a matching event: the truth set was
+			// refreshed but the changes are not acted upon (keeps the
+			// naive monitor equivalent to the incremental one).
+			continue
+		}
+		a.trigger.UnionInto(d)
+		m.explanations = append(m.explanations, Explanation{
+			Rule:       a.Rule.Name,
+			Activation: a.Key,
+			Instances:  d.Plus().Tuples(),
+		})
+	}
+	return nil
+}
+
+// affectedBy reports whether any changed base relation (transitively)
+// influences the activation's condition.
+func (m *Manager) affectedBy(a *Activation, changed map[string]bool) bool {
+	var visit func(def *objectlog.Def, seen map[string]bool) bool
+	visit = func(def *objectlog.Def, seen map[string]bool) bool {
+		for _, infl := range def.Influents() {
+			if changed[infl] {
+				return true
+			}
+			if seen[infl] {
+				continue
+			}
+			seen[infl] = true
+			if d, ok := m.prog.Def(infl); ok {
+				if visit(d, seen) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return visit(a.Def, map[string]bool{})
+}
+
+// deriveHybrid chooses per activation: incremental when the accumulated
+// base changes are small relative to the influent relations, otherwise
+// naive re-evaluation by logical rollback (old and new extents computed,
+// diffed — still no materialization across transactions). This is the
+// hybrid evaluation method sketched in §8.
+func (m *Manager) deriveHybrid(round int) error {
+	changed := map[string]bool{}
+	var deltaTotal, relTotal int
+	for _, pred := range m.net.ChangedBase() {
+		changed[pred] = true
+		deltaTotal += m.net.BaseDelta(pred).Len()
+		if rel, ok := m.store.Relation(pred); ok {
+			relTotal += rel.Len()
+		}
+	}
+	useNaive := relTotal > 0 && float64(deltaTotal) > m.HybridRatio*float64(relTotal)
+
+	incr := map[string]bool{}
+	ev := m.net.Evaluator()
+	for _, a := range sortedActivations(m.activations) {
+		if !m.affectedBy(a, changed) {
+			continue
+		}
+		if !useNaive {
+			incr[a.Key] = true
+			continue
+		}
+		oldTrue, err := ev.EvalPred(a.CondName, true)
+		if err != nil {
+			return err
+		}
+		newTrue, err := ev.EvalPred(a.CondName, false)
+		if err != nil {
+			return err
+		}
+		m.stats.NaiveRecomputations++
+		d := delta.Diff(oldTrue, newTrue)
+		if d.IsEmpty() || !a.Rule.eventMatches(changed) {
+			continue
+		}
+		a.trigger.UnionInto(d)
+		m.explanations = append(m.explanations, Explanation{
+			Rule:       a.Rule.Name,
+			Activation: a.Key,
+			Round:      round,
+			Instances:  d.Plus().Tuples(),
+		})
+	}
+	if len(incr) > 0 {
+		return m.deriveIncremental(round, incr)
+	}
+	return nil
+}

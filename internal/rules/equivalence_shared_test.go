@@ -1,0 +1,211 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+	"partdiff/internal/txn"
+	"partdiff/internal/types"
+)
+
+// Fuzz for BUSHY networks: conditions consume a shared intermediate
+// view (§7.1 node sharing), so propagation crosses an intermediate
+// wave-front node. The incremental monitor must still agree with naive
+// recomputation on every script.
+
+// sharedViewShapes are definitions for the shared view v over the base
+// relations a(x,y) and b(x,y).
+func sharedViewShape(r *rand.Rand) *objectlog.Def {
+	v := objectlog.V
+	shapes := [][]objectlog.Clause{
+		// join: v(X,Z) ← a(X,Y) ∧ b(Y,Z)
+		{objectlog.NewClause(objectlog.Lit("v", v("X"), v("Z")),
+			objectlog.Lit("a", v("X"), v("Y")),
+			objectlog.Lit("b", v("Y"), v("Z")))},
+		// arithmetic: v(X,T) ← a(X,Y) ∧ T = Y + 1
+		{objectlog.NewClause(objectlog.Lit("v", v("X"), v("T")),
+			objectlog.Lit("a", v("X"), v("Y")),
+			objectlog.Lit(objectlog.BuiltinPlus, v("Y"), objectlog.CInt(1), v("T")))},
+		// union: v(X,Y) ← a(X,Y) | v(X,Y) ← b(X,Y)
+		{
+			objectlog.NewClause(objectlog.Lit("v", v("X"), v("Y")), objectlog.Lit("a", v("X"), v("Y"))),
+			objectlog.NewClause(objectlog.Lit("v", v("X"), v("Y")), objectlog.Lit("b", v("X"), v("Y"))),
+		},
+		// projection-ish self join: v(X,Z) ← a(X,Y) ∧ a(Z,Y)
+		{objectlog.NewClause(objectlog.Lit("v", v("X"), v("Z")),
+			objectlog.Lit("a", v("X"), v("Y")),
+			objectlog.Lit("a", v("Z"), v("Y")))},
+	}
+	return &objectlog.Def{Name: "v", Arity: 2, Clauses: shapes[r.Intn(len(shapes))]}
+}
+
+// sharedCondShape builds a condition over the shared view (plus a base
+// relation for variety).
+func sharedCondShape(r *rand.Rand, name string) *objectlog.Def {
+	v := objectlog.V
+	shapes := []func() []objectlog.Clause{
+		// cnd(X) ← v(X,Y) ∧ Y > 3
+		func() []objectlog.Clause {
+			return []objectlog.Clause{objectlog.NewClause(
+				objectlog.Lit(name, v("X")),
+				objectlog.Lit("v", v("X"), v("Y")),
+				objectlog.Lit(objectlog.BuiltinGT, v("Y"), objectlog.CInt(3)))}
+		},
+		// cnd(X) ← v(X,Y) ∧ c(Y)
+		func() []objectlog.Clause {
+			return []objectlog.Clause{objectlog.NewClause(
+				objectlog.Lit(name, v("X")),
+				objectlog.Lit("v", v("X"), v("Y")),
+				objectlog.Lit("c", v("Y")))}
+		},
+		// negation over the shared view: cnd(X) ← c(X) ∧ ¬v(X,X)
+		func() []objectlog.Clause {
+			return []objectlog.Clause{objectlog.NewClause(
+				objectlog.Lit(name, v("X")),
+				objectlog.Lit("c", v("X")),
+				objectlog.NotLit("v", v("X"), v("X")))}
+		},
+	}
+	return &objectlog.Def{Name: name, Arity: 1, Clauses: shapes[r.Intn(len(shapes))]()}
+}
+
+func TestSharedViewMonitorEquivalence_Fuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz skipped in -short")
+	}
+	run := func(mode Mode, condSeed, scriptSeed int64) []string {
+		st := storage.NewStore()
+		st.CreateRelation("a", 2, nil)
+		st.CreateRelation("b", 2, nil)
+		st.CreateRelation("c", 1, nil)
+		mgr := NewManager(st, mode)
+		tm := txn.NewManager(st)
+		tm.SetHooks(mgr.OnEvent, mgr.CheckPhase, mgr.OnEnd)
+
+		r := rand.New(rand.NewSource(condSeed))
+		if err := mgr.Program().Define(sharedViewShape(r)); err != nil {
+			t.Fatal(err)
+		}
+		// Register v as a shared view so it becomes a network node.
+		vdef, _ := mgr.Program().Def("v")
+		if err := mgr.ShareView(vdef); err != nil {
+			t.Fatal(err)
+		}
+		var fired []string
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("r%d", i)
+			rule := &Rule{
+				Name:    name,
+				CondDef: sharedCondShape(r, "cnd_"+name),
+				Strict:  true,
+				Action: func(name string) Action {
+					return func(inst types.Tuple) error {
+						fired = append(fired, name+inst.String())
+						return nil
+					}
+				}(name),
+				Priority: i,
+			}
+			if err := mgr.DefineRule(rule); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mgr.Activate(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Sanity: the shared node is in the network.
+		if _, ok := mgr.Network().Node("v"); !ok {
+			t.Fatal("shared view not in network")
+		}
+		sr := rand.New(rand.NewSource(scriptSeed))
+		for txnNo := 0; txnNo < 10; txnNo++ {
+			if err := tm.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			for op := 0; op < 1+sr.Intn(5); op++ {
+				x, y := int64(sr.Intn(6)), int64(sr.Intn(6))
+				var rel string
+				var tp types.Tuple
+				switch sr.Intn(3) {
+				case 0:
+					rel, tp = "a", types.Tuple{types.Int(x), types.Int(y)}
+				case 1:
+					rel, tp = "b", types.Tuple{types.Int(x), types.Int(y)}
+				default:
+					rel, tp = "c", types.Tuple{types.Int(x)}
+				}
+				if sr.Intn(2) == 0 {
+					st.Insert(rel, tp)
+				} else {
+					st.Delete(rel, tp)
+				}
+			}
+			if err := tm.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fired
+	}
+	for condSeed := int64(0); condSeed < 10; condSeed++ {
+		for scriptSeed := int64(50); scriptSeed < 55; scriptSeed++ {
+			inc := fmt.Sprint(run(Incremental, condSeed, scriptSeed))
+			nai := fmt.Sprint(run(Naive, condSeed, scriptSeed))
+			if inc != nai {
+				t.Fatalf("cond=%d script=%d:\nincremental %s\nnaive       %s",
+					condSeed, scriptSeed, inc, nai)
+			}
+		}
+	}
+}
+
+// TestCustomConflictResolver: the resolver is pluggable; a reversed
+// resolver flips execution order between two triggered rules.
+func TestCustomConflictResolver(t *testing.T) {
+	build := func(resolver ConflictResolver) []string {
+		st := storage.NewStore()
+		st.CreateRelation("q", 1, nil)
+		mgr := NewManager(st, Incremental)
+		if resolver != nil {
+			mgr.Resolve = resolver
+		}
+		tm := txn.NewManager(st)
+		tm.SetHooks(mgr.OnEvent, mgr.CheckPhase, mgr.OnEnd)
+		var order []string
+		for _, name := range []string{"first", "second"} {
+			name := name
+			mgr.DefineRule(&Rule{
+				Name: name,
+				CondDef: &objectlog.Def{Name: "cnd_" + name, Arity: 1, Clauses: []objectlog.Clause{
+					objectlog.NewClause(objectlog.Lit("cnd_"+name, objectlog.V("X")),
+						objectlog.Lit("q", objectlog.V("X"))),
+				}},
+				Strict: true,
+				Action: func(types.Tuple) error { order = append(order, name); return nil },
+			})
+			mgr.Activate(name)
+		}
+		tm.Begin()
+		st.Insert("q", types.Tuple{types.Int(1)})
+		tm.Commit()
+		return order
+	}
+	def := build(nil)
+	if len(def) != 2 || def[0] != "first" {
+		t.Errorf("default resolver order: %v", def)
+	}
+	rev := build(func(cands []*Activation) *Activation {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.Key > best.Key {
+				best = c
+			}
+		}
+		return best
+	})
+	if len(rev) != 2 || rev[0] != "second" {
+		t.Errorf("reversed resolver order: %v", rev)
+	}
+}

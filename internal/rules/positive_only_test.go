@@ -1,0 +1,90 @@
+package rules
+
+import (
+	"testing"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// Insertion-only monitoring (SetMonitorDeletions(false)) — the paper's
+// §6 benchmark configuration.
+
+func TestPositiveOnlyHalvesDifferentials(t *testing.T) {
+	f := newFixture(t, Incremental)
+	f.set(t, "quantity", 1, 100)
+	f.set(t, "threshold", 1, 60)
+	f.defineLowStock(t, "low", true, 0)
+	f.mgr.SetMonitorDeletions(false)
+	f.mgr.Activate("low")
+	f.inTxn(t, func() { f.set(t, "quantity", 1, 50) })
+	if got := f.fired["low"]; len(got) != 1 {
+		t.Fatalf("fired=%v", got)
+	}
+	// One update = retraction + assertion, but only the positive
+	// differential exists: exactly 1 execution (vs 2 with deletions).
+	if n := f.mgr.Stats().DifferentialsExecuted; n != 1 {
+		t.Errorf("differentials executed = %d, want 1", n)
+	}
+	// Trace confirms only Δ+ triggers.
+	for _, te := range f.mgr.Network().Trace() {
+		if te.TriggerSign != objectlog.DeltaPlus {
+			t.Errorf("negative differential ran: %+v", te)
+		}
+	}
+}
+
+// TestPositiveOnlyLosesWithdrawal documents the semantics cost of
+// insertion-only monitoring (§4.4: "for strict rule semantics,
+// propagation of negative changes is also necessary for rules whose
+// actions negatively affect other rules' conditions"): when a
+// higher-priority rule's action makes a lower-priority rule's condition
+// false again, the pending trigger is only withdrawn if negative
+// changes propagate.
+func TestPositiveOnlyLosesWithdrawal(t *testing.T) {
+	run := func(monitorDeletions bool) (refills, alarms int) {
+		f := newFixture(t, Incremental)
+		f.set(t, "quantity", 1, 100)
+		f.set(t, "threshold", 1, 60)
+		f.mgr.SetMonitorDeletions(monitorDeletions)
+		f.mgr.DefineRule(&Rule{
+			Name:    "refill",
+			CondDef: lowStockDef("cond_refill", false),
+			Action: func(inst types.Tuple) error {
+				refills++
+				_, err := f.store.Set("quantity", []types.Value{inst[0]}, []types.Value{types.Int(100)})
+				return err
+			},
+			Strict:   true,
+			Priority: 10,
+		})
+		f.defineLowStock(t, "alarm", true, 1)
+		f.mgr.Activate("refill")
+		f.mgr.Activate("alarm")
+		f.inTxn(t, func() { f.set(t, "quantity", 1, 50) })
+		return refills, len(f.fired["alarm"])
+	}
+	refills, alarms := run(true)
+	if refills != 1 || alarms != 0 {
+		t.Errorf("full monitoring: refills=%d alarms=%d (withdrawal expected)", refills, alarms)
+	}
+	refills, alarms = run(false)
+	if refills != 1 || alarms != 1 {
+		t.Errorf("positive-only: refills=%d alarms=%d (over-firing is the documented trade-off)", refills, alarms)
+	}
+}
+
+func TestSetMonitorDeletionsIdempotent(t *testing.T) {
+	f := newFixture(t, Incremental)
+	f.defineLowStock(t, "low", true, 0)
+	f.mgr.Activate("low")
+	net := f.mgr.Network()
+	f.mgr.SetMonitorDeletions(true) // already true: no rebuild
+	if f.mgr.Network() != net {
+		t.Error("no-op toggle rebuilt the network")
+	}
+	f.mgr.SetMonitorDeletions(false)
+	if f.mgr.Network() == net {
+		t.Error("toggle did not rebuild the network")
+	}
+}

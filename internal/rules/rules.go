@@ -1,0 +1,605 @@
+// Package rules implements CA (Condition–Action) rules with deferred
+// condition monitoring (§3 of the paper): rule objects, per-parameter
+// activation, the commit-time check phase with conflict resolution and
+// set-oriented action execution, strict and nervous execution semantics
+// (§3.2, §7.2), and explainability (§1).
+//
+// Three monitors are provided:
+//
+//   - Incremental — partial differencing over the propagation network
+//     (the paper's contribution).
+//   - Naive — full recomputation of each affected condition with a
+//     materialized previous truth set (the §6 baseline).
+//   - Hybrid — the §8 "future work" method: per condition and per check
+//     round, falls back to naive (rollback-based, unmaterialized)
+//     evaluation when the accumulated changes are large relative to the
+//     influent relations.
+package rules
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/propnet"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// Mode selects the condition monitoring strategy.
+type Mode int
+
+// The monitoring modes.
+const (
+	Incremental Mode = iota
+	Naive
+	Hybrid
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case Naive:
+		return "naive"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Action is a rule action, executed once per net-new condition instance
+// (set-oriented execution semantics: data is passed from the condition
+// to the action through the shared query variables, materialized here as
+// the instance tuple).
+type Action func(instance types.Tuple) error
+
+// Rule is a CA rule: a declarative condition and a procedural action.
+type Rule struct {
+	Name string
+	// CondDef is the condition function definition. Its head arguments
+	// are the rule parameters (the first NumParams) followed by the
+	// for-each result variables passed to the action.
+	CondDef *objectlog.Def
+	// NumParams is the number of leading head arguments that are rule
+	// parameters, bound at activation time.
+	NumParams int
+	// Action runs for each instance for which the condition became
+	// true.
+	Action Action
+	// Strict selects strict execution semantics: the action runs only
+	// when the condition's truth value changes from false to true. With
+	// nervous semantics (Strict=false) the rule may also trigger when
+	// an update re-derives an already-true instance (§3.2).
+	Strict bool
+	// Priority orders conflict resolution (higher first; ties broken by
+	// rule name).
+	Priority int
+	// Events, when non-empty, turns the CA rule into an ECA rule: the
+	// condition is only tested in check rounds where at least one of
+	// the named base relations was updated ("the event part just
+	// further restricts when the condition is tested", §1). Condition
+	// changes arriving without a matching event are discarded for this
+	// rule.
+	Events []string
+}
+
+// eventMatches reports whether any of the rule's event relations is in
+// the changed set (always true for pure CA rules).
+func (r *Rule) eventMatches(changed map[string]bool) bool {
+	if len(r.Events) == 0 {
+		return true
+	}
+	for _, e := range r.Events {
+		if changed[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// Activation is one activated (rule, parameters) pair. Rules are
+// activated and deactivated separately for different parameters (§3.1).
+type Activation struct {
+	Key      string
+	Rule     *Rule
+	Args     []types.Value
+	CondName string
+	// Def is the specialized, expanded condition definition monitored
+	// by the network.
+	Def *objectlog.Def
+
+	// trigger holds the pending net-triggered instances: insertions
+	// mark instances, deletions un-mark them ("if something happens
+	// later in the transaction which causes the condition to become
+	// false again, the rule is no longer triggered").
+	trigger *delta.Set
+	// prevTrue is the materialized previous truth set (naive monitor
+	// only; the incremental monitor never materializes conditions).
+	prevTrue *types.Set
+}
+
+// Explanation records why a rule instance triggered: which partial
+// differentials executed in the triggering round, and with which sign.
+type Explanation struct {
+	Rule       string
+	Activation string
+	Round      int
+	Instances  []types.Tuple
+	Entries    []propnet.TraceEntry
+}
+
+// Stats counts monitor work, for the performance experiments of §6.
+type Stats struct {
+	Propagations          int
+	DifferentialsExecuted int
+	NaiveRecomputations   int
+	TriggeredInstances    int
+	ActionsExecuted       int
+	CheckRounds           int
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Propagations += s2.Propagations
+	s.DifferentialsExecuted += s2.DifferentialsExecuted
+	s.NaiveRecomputations += s2.NaiveRecomputations
+	s.TriggeredInstances += s2.TriggeredInstances
+	s.ActionsExecuted += s2.ActionsExecuted
+	s.CheckRounds += s2.CheckRounds
+}
+
+// ConflictResolver picks one activation among those with pending
+// triggered instances. The default resolver picks the highest priority,
+// breaking ties by activation key.
+type ConflictResolver func(candidates []*Activation) *Activation
+
+// Manager owns the rule base and runs the deferred check phase.
+type Manager struct {
+	store *storage.Store
+	prog  *objectlog.Program
+
+	mode Mode
+	// HybridRatio is the Δ-to-relation size ratio above which the
+	// hybrid monitor falls back to naive evaluation (default 0.5).
+	HybridRatio float64
+	// MaxRounds bounds rule-cascade loops in one check phase.
+	MaxRounds int
+	// Resolve is the conflict resolution method.
+	Resolve ConflictResolver
+
+	rules       map[string]*Rule
+	activations map[string]*Activation
+	sharedViews []*objectlog.Def
+	sharedNames map[string]bool
+
+	net      *propnet.Network
+	netDirty bool
+	diffOpts diff.Options
+
+	explanations []Explanation
+	stats        Stats
+	condSeq      int
+
+	// debug, when non-nil, receives a structured trace of every check
+	// phase: accumulated changes, differentials executed, triggers
+	// folded, conflict resolution decisions and actions run.
+	debug io.Writer
+}
+
+// SetDebug directs a human-readable check-phase trace to w (nil
+// disables tracing).
+func (m *Manager) SetDebug(w io.Writer) { m.debug = w }
+
+func (m *Manager) debugf(format string, args ...any) {
+	if m.debug != nil {
+		fmt.Fprintf(m.debug, format+"\n", args...)
+	}
+}
+
+// NewManager creates a rule manager in the given monitoring mode.
+func NewManager(store *storage.Store, mode Mode) *Manager {
+	m := &Manager{
+		store:       store,
+		prog:        objectlog.NewProgram(),
+		mode:        mode,
+		HybridRatio: 0.5,
+		MaxRounds:   100,
+		rules:       map[string]*Rule{},
+		activations: map[string]*Activation{},
+		sharedNames: map[string]bool{},
+		diffOpts:    diff.DefaultOptions(),
+		netDirty:    true,
+	}
+	m.Resolve = defaultResolver
+	return m
+}
+
+func defaultResolver(cands []*Activation) *Activation {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Rule.Priority > best.Rule.Priority ||
+			(c.Rule.Priority == best.Rule.Priority && c.Key < best.Key) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Mode returns the monitoring mode.
+func (m *Manager) Mode() Mode { return m.mode }
+
+// SetMonitorDeletions controls whether negative partial differentials
+// are generated and propagated. The default (true) gives exact
+// net-change semantics: a condition that becomes true and then false
+// again within one check phase is withdrawn. Disabling matches the
+// configuration of the paper's §6 benchmark, which monitored
+// insertions only ("often the rule condition depends only on positive
+// changes", §4.4): half the differentials run, at the price that a
+// trigger set in one round is not withdrawn by a later negative change
+// in the same check phase. The network is rebuilt on change.
+func (m *Manager) SetMonitorDeletions(on bool) {
+	if m.diffOpts.Negative == on {
+		return
+	}
+	m.diffOpts.Negative = on
+	m.netDirty = true
+}
+
+// Program returns the derived-predicate program (shared with the AMOSQL
+// compiler, which registers derived function definitions here).
+func (m *Manager) Program() *objectlog.Program { return m.prog }
+
+// DefineRule registers a rule. The condition definition is validated
+// and kept unexpanded; expansion happens per activation.
+func (m *Manager) DefineRule(r *Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("rule must be named")
+	}
+	if _, ok := m.rules[r.Name]; ok {
+		return fmt.Errorf("rule %q already exists", r.Name)
+	}
+	if r.CondDef == nil || len(r.CondDef.Clauses) == 0 {
+		return fmt.Errorf("rule %q has no condition", r.Name)
+	}
+	if r.NumParams < 0 || r.NumParams > r.CondDef.Arity {
+		return fmt.Errorf("rule %q: NumParams %d out of range for condition arity %d", r.Name, r.NumParams, r.CondDef.Arity)
+	}
+	if r.Action == nil {
+		return fmt.Errorf("rule %q has no action", r.Name)
+	}
+	m.rules[r.Name] = r
+	return nil
+}
+
+// Rule looks up a rule.
+func (m *Manager) Rule(name string) (*Rule, bool) {
+	r, ok := m.rules[name]
+	return r, ok
+}
+
+// ShareView registers a derived view as a shared intermediate node
+// (§7.1 node sharing): conditions referencing it are not expanded
+// through it, and its changes are propagated once for all consumers.
+func (m *Manager) ShareView(def *objectlog.Def) error {
+	if m.sharedNames[def.Name] {
+		return fmt.Errorf("view %q already shared", def.Name)
+	}
+	for _, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return err
+		}
+	}
+	m.sharedViews = append(m.sharedViews, def)
+	m.sharedNames[def.Name] = true
+	m.netDirty = true
+	return nil
+}
+
+// Activate activates a rule for the given parameter values and returns
+// the activation key.
+func (m *Manager) Activate(ruleName string, args ...types.Value) (string, error) {
+	r, ok := m.rules[ruleName]
+	if !ok {
+		return "", fmt.Errorf("rule %q does not exist", ruleName)
+	}
+	if len(args) != r.NumParams {
+		return "", fmt.Errorf("rule %q takes %d parameters, got %d", ruleName, r.NumParams, len(args))
+	}
+	key := ActivationKey(ruleName, args)
+	if _, ok := m.activations[key]; ok {
+		return "", fmt.Errorf("rule %q already activated for %v", ruleName, args)
+	}
+	m.condSeq++
+	condName := fmt.Sprintf("cnd_%s#%d", ruleName, m.condSeq)
+	def, err := m.specialize(r, condName, args)
+	if err != nil {
+		return "", err
+	}
+	a := &Activation{
+		Key:      key,
+		Rule:     r,
+		Args:     args,
+		CondName: condName,
+		Def:      def,
+		trigger:  delta.New(),
+	}
+	m.activations[key] = a
+	m.netDirty = true
+	if err := m.ensureNet(); err != nil {
+		delete(m.activations, key)
+		m.netDirty = true
+		return "", err
+	}
+	if m.mode == Naive {
+		ext, err := m.net.Evaluator().EvalPred(condName, false)
+		if err != nil {
+			delete(m.activations, key)
+			m.netDirty = true
+			return "", err
+		}
+		a.prevTrue = ext
+	}
+	return key, nil
+}
+
+// ActivationKey renders the canonical activation key for a rule and
+// its parameter values, e.g. "watch(2)".
+func ActivationKey(rule string, args []types.Value) string {
+	if len(args) == 0 {
+		return rule
+	}
+	parts := make([]string, len(args))
+	for i, v := range args {
+		parts[i] = v.String()
+	}
+	return rule + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Deactivate removes a rule activation by key (as returned by Activate)
+// or by bare rule name for parameterless activations.
+func (m *Manager) Deactivate(key string) error {
+	if _, ok := m.activations[key]; !ok {
+		return fmt.Errorf("no activation %q", key)
+	}
+	delete(m.activations, key)
+	m.netDirty = true
+	return m.ensureNet()
+}
+
+// Activations returns the activation keys, sorted.
+func (m *Manager) Activations() []string {
+	out := make([]string, 0, len(m.activations))
+	for k := range m.activations {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// specialize binds the rule parameters in the condition definition
+// (substituting the activation arguments as constants, but keeping the
+// parameter positions in the head so action instances carry them),
+// renames the head to condName, and expands derived functions (stopping
+// at shared views).
+func (m *Manager) specialize(r *Rule, condName string, args []types.Value) (*objectlog.Def, error) {
+	arity := r.CondDef.Arity
+	var clauses []objectlog.Clause
+	counter := 0
+	for _, c := range r.CondDef.Clauses {
+		cc := c.RenameApart(&counter)
+		sub := map[string]objectlog.Term{}
+		var extra []objectlog.Literal
+		newHead := objectlog.Literal{Pred: condName}
+		for i, ha := range cc.Head.Args {
+			if i < r.NumParams {
+				av := objectlog.C(args[i])
+				if ha.IsVar {
+					if prev, ok := sub[ha.Var]; ok {
+						extra = append(extra, objectlog.Lit(objectlog.BuiltinEQ, prev, av))
+					} else {
+						sub[ha.Var] = av
+					}
+				} else if !ha.Const.Equal(args[i]) {
+					// Statically false disjunct for these parameters.
+					goto skip
+				}
+				newHead.Args = append(newHead.Args, av)
+				continue
+			}
+			newHead.Args = append(newHead.Args, ha)
+		}
+		{
+			body := make([]objectlog.Literal, 0, len(cc.Body)+len(extra))
+			for _, l := range cc.Body {
+				body = append(body, l.Substitute(sub))
+			}
+			body = append(body, extra...)
+			nc := objectlog.Clause{Head: newHead.Substitute(sub), Body: body}
+			expanded, err := objectlog.Expand(nc, m.prog, m.sharedNames)
+			if err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.Name, err)
+			}
+			// Static simplification: folds the eq-literals expansion
+			// introduces and prunes statically empty disjuncts.
+			for _, ec := range expanded {
+				if sc, ok := objectlog.Simplify(ec); ok {
+					clauses = append(clauses, sc)
+				}
+			}
+		}
+	skip:
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("rule %s: condition is statically empty for arguments %v", r.Name, args)
+	}
+	def := &objectlog.Def{Name: condName, Arity: arity, Clauses: clauses}
+	for _, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Name, err)
+		}
+	}
+	return def, nil
+}
+
+// ensureNet (re)builds the propagation network, migrating any base
+// Δ-sets accumulated in the old network.
+func (m *Manager) ensureNet() error {
+	if !m.netDirty && m.net != nil {
+		return nil
+	}
+	old := m.net
+	net := propnet.New(m.store, m.prog, m.diffOpts)
+	for _, sv := range m.sharedViews {
+		if m.sharedViewUsed(sv.Name) {
+			if err := net.AddView(sv, false); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range sortedActivations(m.activations) {
+		if err := net.AddView(a.Def, true); err != nil {
+			return err
+		}
+	}
+	if err := net.Finalize(); err != nil {
+		return err
+	}
+	if old != nil {
+		for _, pred := range old.ChangedBase() {
+			if d := net.BaseDelta(pred); d != nil {
+				d.UnionInto(old.BaseDelta(pred))
+			}
+		}
+	}
+	m.net = net
+	m.netDirty = false
+	return nil
+}
+
+// sharedViewUsed reports whether any activation references the shared
+// view (directly or through other shared views).
+func (m *Manager) sharedViewUsed(name string) bool {
+	var refs func(def *objectlog.Def, seen map[string]bool) bool
+	refs = func(def *objectlog.Def, seen map[string]bool) bool {
+		for _, infl := range def.Influents() {
+			if infl == name {
+				return true
+			}
+			if seen[infl] {
+				continue
+			}
+			seen[infl] = true
+			if d, ok := m.prog.Def(infl); ok && m.sharedNames[infl] {
+				if refs(d, seen) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, a := range m.activations {
+		if refs(a.Def, map[string]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedActivations(m map[string]*Activation) []*Activation {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Activation, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// OnEvent folds a physical update event into the network's base Δ-sets.
+// Relations that influence no activated rule have no Δ-set, so
+// unmonitored updates carry no overhead (§1).
+func (m *Manager) OnEvent(e storage.Event) {
+	if len(m.activations) == 0 {
+		return
+	}
+	if err := m.ensureNet(); err != nil {
+		return
+	}
+	d := m.net.BaseDelta(e.Relation)
+	if d == nil {
+		return
+	}
+	if e.Kind == storage.InsertEvent {
+		d.Insert(e.Tuple)
+	} else {
+		d.Delete(e.Tuple)
+	}
+}
+
+// OnEnd discards all monitor state at transaction end.
+func (m *Manager) OnEnd(committed bool) {
+	if m.net == nil {
+		return
+	}
+	m.net.ClearBase()
+	for _, a := range m.activations {
+		a.trigger.Clear()
+	}
+}
+
+// Stats returns cumulative monitor statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the statistics counters.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// LastExplanations returns the explanations recorded during the most
+// recent check phase.
+func (m *Manager) LastExplanations() []Explanation { return m.explanations }
+
+// Network returns the live propagation network (for inspection and
+// tests). It may be nil before the first activation.
+func (m *Manager) Network() *propnet.Network {
+	m.ensureNet()
+	return m.net
+}
+
+// ActivationInfo describes one activation for inspection (the explain
+// statement).
+type ActivationInfo struct {
+	Key      string
+	CondName string
+	// Def is the specialized, expanded condition definition.
+	Def *objectlog.Def
+	// Differentials are the partial differentials the network executes
+	// for this condition (empty for aggregate/recursive conditions,
+	// which are re-evaluated).
+	Differentials []diff.Differential
+}
+
+// ActivationsOf returns inspection records for every activation of the
+// named rule, sorted by key.
+func (m *Manager) ActivationsOf(rule string) []ActivationInfo {
+	var out []ActivationInfo
+	for _, a := range sortedActivations(m.activations) {
+		if a.Rule.Name != rule {
+			continue
+		}
+		info := ActivationInfo{Key: a.Key, CondName: a.CondName, Def: a.Def}
+		if ds, err := diff.Generate(a.Def, m.diffOpts); err == nil {
+			info.Differentials = ds
+		}
+		out = append(out, info)
+	}
+	return out
+}

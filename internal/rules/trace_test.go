@@ -1,0 +1,50 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDebugTrace(t *testing.T) {
+	f := newFixture(t, Incremental)
+	var sb strings.Builder
+	f.mgr.SetDebug(&sb)
+	f.set(t, "quantity", 1, 100)
+	f.set(t, "threshold", 1, 60)
+	f.defineLowStock(t, "low", true, 0)
+	f.mgr.Activate("low")
+	f.inTxn(t, func() { f.set(t, "quantity", 1, 50) })
+
+	out := sb.String()
+	for _, want := range []string{
+		"check round 1",
+		"changed base relations [quantity]",
+		"Δ+quantity",
+		"pending low:",
+		"conflict resolution among [low] chose low",
+		"action low(1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Disabling stops output.
+	f.mgr.SetDebug(nil)
+	before := sb.Len()
+	f.inTxn(t, func() { f.set(t, "quantity", 1, 45) })
+	if sb.Len() != before {
+		t.Error("trace written while disabled")
+	}
+}
+
+func TestDebugTraceQuietWithoutChanges(t *testing.T) {
+	f := newFixture(t, Incremental)
+	var sb strings.Builder
+	f.mgr.SetDebug(&sb)
+	f.defineLowStock(t, "low", true, 0)
+	f.mgr.Activate("low")
+	f.inTxn(t, func() {})
+	if sb.Len() != 0 {
+		t.Errorf("empty transaction produced trace: %q", sb.String())
+	}
+}

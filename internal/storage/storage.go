@@ -1,0 +1,400 @@
+// Package storage implements the in-memory extensional database: named
+// base relations (the extents of stored functions) with per-column hash
+// indexes, plus the physical update event stream that the rule monitor
+// taps to accumulate Δ-sets (§4.1 of the paper).
+//
+// Updates to stored functions follow AMOS semantics: `set f(k)=v` first
+// removes the old value tuples for the key and then adds the new one,
+// producing the physical events −(f,k,old), +(f,k,v) in that order.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"partdiff/internal/types"
+)
+
+// EventKind distinguishes physical insertions from deletions.
+type EventKind int
+
+// The physical event kinds.
+const (
+	InsertEvent EventKind = iota
+	DeleteEvent
+)
+
+// String returns "+" or "-" as in the paper's event notation.
+func (k EventKind) String() string {
+	if k == InsertEvent {
+		return "+"
+	}
+	return "-"
+}
+
+// Event is one physical update event on a base relation.
+type Event struct {
+	Relation string
+	Kind     EventKind
+	Tuple    types.Tuple
+}
+
+// String renders the event as in §4.1, e.g. +(min_stock,#1,150).
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%s,%s)", e.Kind, e.Relation, tupleInner(e.Tuple))
+}
+
+func tupleInner(t types.Tuple) string {
+	var b []byte
+	for i, v := range t {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, v.String()...)
+	}
+	return string(b)
+}
+
+// Listener observes physical update events. Listeners are invoked
+// synchronously, after the store has been modified.
+type Listener func(Event)
+
+// Source is a read-only view of a relation, the interface the query
+// evaluator runs against. Both live relations and rolled-back (old
+// state) views implement it.
+type Source interface {
+	// Arity returns the number of columns.
+	Arity() int
+	// Len returns the number of tuples.
+	Len() int
+	// Each iterates all tuples; stops early when fn returns false.
+	Each(fn func(types.Tuple) bool)
+	// Lookup iterates the tuples whose column col equals v.
+	Lookup(col int, v types.Value, fn func(types.Tuple) bool)
+	// Contains reports tuple membership.
+	Contains(t types.Tuple) bool
+}
+
+// Relation is a stored base relation with per-column hash indexes.
+type Relation struct {
+	name    string
+	arity   int
+	keyCols []int
+	rows    types.Set
+	// index[col][valueKey] is the set of rows with that column value.
+	index []map[string]*types.Set
+}
+
+// NewRelation creates an empty relation. keyCols are the columns that
+// form the functional key for Set (the argument columns of a stored
+// function); they may be empty for pure assert/retract relations.
+func NewRelation(name string, arity int, keyCols []int) (*Relation, error) {
+	if arity <= 0 {
+		return nil, fmt.Errorf("relation %q: arity must be positive", name)
+	}
+	for _, c := range keyCols {
+		if c < 0 || c >= arity {
+			return nil, fmt.Errorf("relation %q: key column %d out of range", name, c)
+		}
+	}
+	r := &Relation{name: name, arity: arity, keyCols: append([]int(nil), keyCols...)}
+	r.index = make([]map[string]*types.Set, arity)
+	for i := range r.index {
+		r.index[i] = make(map[string]*types.Set)
+	}
+	return r, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// KeyCols returns the functional key columns.
+func (r *Relation) KeyCols() []int { return r.keyCols }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.rows.Len() }
+
+// Contains reports whether the relation holds t.
+func (r *Relation) Contains(t types.Tuple) bool { return r.rows.Contains(t) }
+
+// Each iterates all tuples.
+func (r *Relation) Each(fn func(types.Tuple) bool) { r.rows.Each(fn) }
+
+// Tuples returns all tuples in deterministic order.
+func (r *Relation) Tuples() []types.Tuple { return r.rows.Tuples() }
+
+// Rows returns the live tuple set (callers must not mutate it).
+func (r *Relation) Rows() *types.Set { return &r.rows }
+
+// Lookup iterates tuples with column col equal to v using the hash
+// index.
+func (r *Relation) Lookup(col int, v types.Value, fn func(types.Tuple) bool) {
+	if col < 0 || col >= r.arity {
+		return
+	}
+	if s, ok := r.index[col][v.Key()]; ok {
+		s.Each(fn)
+	}
+}
+
+// LookupCount returns the number of tuples with column col equal to v.
+func (r *Relation) LookupCount(col int, v types.Value) int {
+	if col < 0 || col >= r.arity {
+		return 0
+	}
+	if s, ok := r.index[col][v.Key()]; ok {
+		return s.Len()
+	}
+	return 0
+}
+
+// insert adds t; reports whether it was newly added.
+func (r *Relation) insert(t types.Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
+	}
+	if !r.rows.Add(t) {
+		return false, nil
+	}
+	for col, v := range t {
+		k := v.Key()
+		s, ok := r.index[col][k]
+		if !ok {
+			s = types.NewSet()
+			r.index[col][k] = s
+		}
+		s.Add(t)
+	}
+	return true, nil
+}
+
+// remove deletes t; reports whether it was present.
+func (r *Relation) remove(t types.Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
+	}
+	if !r.rows.Remove(t) {
+		return false, nil
+	}
+	for col, v := range t {
+		k := v.Key()
+		if s, ok := r.index[col][k]; ok {
+			s.Remove(t)
+			if s.Len() == 0 {
+				delete(r.index[col], k)
+			}
+		}
+	}
+	return true, nil
+}
+
+// keyMatches returns the tuples whose key columns equal key, using the
+// index on the first key column.
+func (r *Relation) keyMatches(key []types.Value) []types.Tuple {
+	if len(key) != len(r.keyCols) || len(key) == 0 {
+		return nil
+	}
+	var out []types.Tuple
+	r.Lookup(r.keyCols[0], key[0], func(t types.Tuple) bool {
+		for i, c := range r.keyCols {
+			if !t[c].Equal(key[i]) {
+				return true
+			}
+		}
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Store is the collection of base relations plus the physical event
+// stream. It is safe for concurrent use; events fire while holding the
+// store lock, so listeners must not re-enter the store.
+type Store struct {
+	mu        sync.RWMutex
+	rels      map[string]*Relation
+	listeners []Listener
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{rels: make(map[string]*Relation)}
+}
+
+// CreateRelation creates and registers a new base relation.
+func (s *Store) CreateRelation(name string, arity int, keyCols []int) (*Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rels[name]; ok {
+		return nil, fmt.Errorf("relation %q already exists", name)
+	}
+	r, err := NewRelation(name, arity, keyCols)
+	if err != nil {
+		return nil, err
+	}
+	s.rels[name] = r
+	return r, nil
+}
+
+// Relation looks up a relation by name.
+func (s *Store) Relation(name string) (*Relation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// RelationNames returns all relation names in sorted order.
+func (s *Store) RelationNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribe registers a listener for physical update events and returns
+// an unsubscribe function.
+func (s *Store) Subscribe(l Listener) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, l)
+	idx := len(s.listeners) - 1
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.listeners[idx] = nil
+	}
+}
+
+func (s *Store) emit(e Event) {
+	for _, l := range s.listeners {
+		if l != nil {
+			l(e)
+		}
+	}
+}
+
+// Insert asserts a tuple; it reports whether the tuple was newly added
+// and emits a physical + event if so.
+func (s *Store) Insert(rel string, t types.Tuple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rels[rel]
+	if !ok {
+		return false, fmt.Errorf("relation %q does not exist", rel)
+	}
+	added, err := r.insert(t)
+	if err != nil || !added {
+		return added, err
+	}
+	s.emit(Event{Relation: rel, Kind: InsertEvent, Tuple: t})
+	return true, nil
+}
+
+// Delete retracts a tuple; it reports whether the tuple was present and
+// emits a physical − event if so.
+func (s *Store) Delete(rel string, t types.Tuple) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rels[rel]
+	if !ok {
+		return false, fmt.Errorf("relation %q does not exist", rel)
+	}
+	removed, err := r.remove(t)
+	if err != nil || !removed {
+		return removed, err
+	}
+	s.emit(Event{Relation: rel, Kind: DeleteEvent, Tuple: t})
+	return true, nil
+}
+
+// Set performs a stored-function update: it retracts every tuple whose
+// key columns equal key, then asserts key ++ value. Physical events are
+// emitted in paper order (− before +). It returns the retracted tuples.
+func (s *Store) Set(rel string, key []types.Value, value []types.Value) ([]types.Tuple, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", rel)
+	}
+	if len(key) != len(r.keyCols) {
+		return nil, fmt.Errorf("relation %q: key arity %d, want %d", rel, len(key), len(r.keyCols))
+	}
+	nt := make(types.Tuple, 0, len(key)+len(value))
+	nt = append(nt, key...)
+	nt = append(nt, value...)
+	if len(nt) != r.arity {
+		return nil, fmt.Errorf("relation %q: set arity %d, want %d", rel, len(nt), r.arity)
+	}
+	old := r.keyMatches(key)
+	// If the new tuple is already the (only) current value, Set is a
+	// no-op and emits nothing — there is no physical change.
+	if len(old) == 1 && old[0].Equal(nt) {
+		return nil, nil
+	}
+	for _, t := range old {
+		if removed, _ := r.remove(t); removed {
+			s.emit(Event{Relation: rel, Kind: DeleteEvent, Tuple: t})
+		}
+	}
+	if added, _ := r.insert(nt); added {
+		s.emit(Event{Relation: rel, Kind: InsertEvent, Tuple: nt})
+	}
+	return old, nil
+}
+
+// TuplesReferencing returns, per relation, the tuples in which value v
+// appears in any column — the foot-print that must be retracted when an
+// object is deleted. Relations are keyed by name; tuple order within a
+// relation is deterministic.
+func (s *Store) TuplesReferencing(v types.Value) map[string][]types.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string][]types.Tuple{}
+	for name, r := range s.rels {
+		seen := types.NewSet()
+		for col := 0; col < r.arity; col++ {
+			r.Lookup(col, v, func(t types.Tuple) bool {
+				seen.Add(t)
+				return true
+			})
+		}
+		if seen.Len() > 0 {
+			out[name] = seen.Tuples()
+		}
+	}
+	return out
+}
+
+// Get returns the value columns of the tuples matching key (for a stored
+// function lookup), in deterministic order.
+func (s *Store) Get(rel string, key []types.Value) ([][]types.Value, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", rel)
+	}
+	if len(r.keyCols) == 0 && len(key) == 0 {
+		var out [][]types.Value
+		for _, t := range r.Tuples() {
+			out = append(out, []types.Value(t))
+		}
+		return out, nil
+	}
+	var out [][]types.Value
+	for _, t := range r.keyMatches(key) {
+		out = append(out, []types.Value(t[len(r.keyCols):]))
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+// Package txn implements transactions over the storage layer: a logical
+// undo log, rollback by inverse replay, and the deferred check phase
+// hook that runs at commit (§1: "condition evaluation is delayed until a
+// check phase usually at commit time").
+//
+// Rollback replays the undo log inverted *through the normal update
+// path*, so the inverse physical events flow into the same Δ-set
+// accumulators as the original ones and cancel out under ∪Δ — after a
+// rollback no rule sees any net change, with no special-casing in the
+// monitor.
+package txn
+
+import (
+	"fmt"
+
+	"partdiff/internal/storage"
+)
+
+// Manager coordinates transactions on one store. It is not safe for
+// concurrent use: AMOS-style main-memory transactions are serial.
+type Manager struct {
+	store *storage.Store
+
+	active     bool
+	inRollback bool
+	undo       []storage.Event
+
+	// onEvent receives every physical event (including inverse events
+	// replayed during rollback) — the rule monitor folds them into
+	// Δ-sets here.
+	onEvent func(storage.Event)
+	// onCommit runs the deferred check phase. Updates performed by rule
+	// actions during the check phase are part of the same transaction.
+	onCommit func() error
+	// onEnd runs after the transaction finishes (committed reports the
+	// outcome); monitors discard base Δ-sets here.
+	onEnd func(committed bool)
+}
+
+// NewManager creates a manager subscribed to the store's event stream.
+func NewManager(store *storage.Store) *Manager {
+	m := &Manager{store: store}
+	store.Subscribe(m.observe)
+	return m
+}
+
+// SetHooks installs the monitor callbacks. Any hook may be nil.
+func (m *Manager) SetHooks(onEvent func(storage.Event), onCommit func() error, onEnd func(committed bool)) {
+	m.onEvent = onEvent
+	m.onCommit = onCommit
+	m.onEnd = onEnd
+}
+
+func (m *Manager) observe(e storage.Event) {
+	if m.active && !m.inRollback {
+		m.undo = append(m.undo, e)
+	}
+	if m.onEvent != nil {
+		m.onEvent(e)
+	}
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() error {
+	if m.active {
+		return fmt.Errorf("transaction already active")
+	}
+	m.active = true
+	m.undo = m.undo[:0]
+	return nil
+}
+
+// InTransaction reports whether a transaction is active.
+func (m *Manager) InTransaction() bool { return m.active }
+
+// UpdateCount returns the number of physical events logged so far in the
+// active transaction.
+func (m *Manager) UpdateCount() int { return len(m.undo) }
+
+// Commit runs the deferred check phase and finishes the transaction.
+// If the check phase fails, the transaction is rolled back and the
+// check-phase error returned.
+func (m *Manager) Commit() error {
+	if !m.active {
+		return fmt.Errorf("no active transaction")
+	}
+	if m.onCommit != nil {
+		if err := m.onCommit(); err != nil {
+			rbErr := m.Rollback()
+			if rbErr != nil {
+				return fmt.Errorf("check phase failed: %w (rollback also failed: %v)", err, rbErr)
+			}
+			return fmt.Errorf("check phase failed, transaction rolled back: %w", err)
+		}
+	}
+	m.active = false
+	m.undo = m.undo[:0]
+	if m.onEnd != nil {
+		m.onEnd(true)
+	}
+	return nil
+}
+
+// Rollback undoes every update of the active transaction by replaying
+// the undo log inverted, in reverse order.
+func (m *Manager) Rollback() error {
+	if !m.active {
+		return fmt.Errorf("no active transaction")
+	}
+	m.inRollback = true
+	var firstErr error
+	for i := len(m.undo) - 1; i >= 0; i-- {
+		e := m.undo[i]
+		var err error
+		if e.Kind == storage.InsertEvent {
+			_, err = m.store.Delete(e.Relation, e.Tuple)
+		} else {
+			_, err = m.store.Insert(e.Relation, e.Tuple)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("undo %s: %w", e, err)
+		}
+	}
+	m.inRollback = false
+	m.active = false
+	m.undo = m.undo[:0]
+	if m.onEnd != nil {
+		m.onEnd(false)
+	}
+	return firstErr
+}

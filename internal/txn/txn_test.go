@@ -1,0 +1,192 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+func tup(vs ...int64) types.Tuple {
+	t := make(types.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = types.Int(v)
+	}
+	return t
+}
+
+func setup(t *testing.T) (*storage.Store, *Manager) {
+	t.Helper()
+	st := storage.NewStore()
+	if _, err := st.CreateRelation("f", 2, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	return st, NewManager(st)
+}
+
+func TestBeginCommit(t *testing.T) {
+	st, m := setup(t)
+	if m.InTransaction() {
+		t.Error("fresh manager in transaction")
+	}
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin(); err == nil {
+		t.Error("nested Begin should error")
+	}
+	st.Insert("f", tup(1, 10))
+	if m.UpdateCount() != 1 {
+		t.Errorf("UpdateCount=%d", m.UpdateCount())
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.InTransaction() {
+		t.Error("still in transaction after commit")
+	}
+	if err := m.Commit(); err == nil {
+		t.Error("Commit without transaction should error")
+	}
+	if err := m.Rollback(); err == nil {
+		t.Error("Rollback without transaction should error")
+	}
+}
+
+func TestRollbackRestoresState(t *testing.T) {
+	st, m := setup(t)
+	st.Insert("f", tup(1, 10)) // outside txn: permanent
+	m.Begin()
+	st.Set("f", []types.Value{types.Int(1)}, []types.Value{types.Int(99)})
+	st.Insert("f", tup(2, 20))
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := st.Relation("f")
+	if rel.Len() != 1 || !rel.Contains(tup(1, 10)) {
+		t.Errorf("state after rollback: %s", rel.Rows())
+	}
+}
+
+func TestRollbackCancelsDeltas(t *testing.T) {
+	st, m := setup(t)
+	st.Insert("f", tup(1, 10))
+	d := delta.New()
+	m.SetHooks(func(e storage.Event) {
+		if e.Kind == storage.InsertEvent {
+			d.Insert(e.Tuple)
+		} else {
+			d.Delete(e.Tuple)
+		}
+	}, nil, nil)
+	m.Begin()
+	st.Set("f", []types.Value{types.Int(1)}, []types.Value{types.Int(99)})
+	if d.IsEmpty() {
+		t.Fatal("delta should record the update")
+	}
+	m.Rollback()
+	if !d.IsEmpty() {
+		t.Errorf("rollback must cancel deltas via ∪Δ, got %s", d)
+	}
+}
+
+func TestCommitRunsCheckPhase(t *testing.T) {
+	st, m := setup(t)
+	var checked, ended bool
+	var committedFlag bool
+	m.SetHooks(nil,
+		func() error {
+			checked = true
+			// Check phase may perform further updates (rule actions).
+			st.Insert("f", tup(5, 50))
+			return nil
+		},
+		func(committed bool) { ended = true; committedFlag = committed })
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !checked || !ended || !committedFlag {
+		t.Errorf("hooks: checked=%v ended=%v committed=%v", checked, ended, committedFlag)
+	}
+	rel, _ := st.Relation("f")
+	if !rel.Contains(tup(5, 50)) {
+		t.Error("check-phase update lost")
+	}
+}
+
+func TestFailedCheckPhaseRollsBack(t *testing.T) {
+	st, m := setup(t)
+	var endedCommitted *bool
+	m.SetHooks(nil,
+		func() error { return fmt.Errorf("condition violated") },
+		func(committed bool) { endedCommitted = &committed })
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	err := m.Commit()
+	if err == nil {
+		t.Fatal("commit should surface check-phase failure")
+	}
+	rel, _ := st.Relation("f")
+	if rel.Len() != 0 {
+		t.Errorf("state after failed commit: %s", rel.Rows())
+	}
+	if m.InTransaction() {
+		t.Error("transaction should be finished")
+	}
+	if endedCommitted == nil || *endedCommitted {
+		t.Error("onEnd should report rollback")
+	}
+}
+
+func TestCheckPhaseUpdatesAreUndoneOnRollback(t *testing.T) {
+	// Updates made during a failing check phase must also be rolled
+	// back (they are part of the same transaction).
+	st, m := setup(t)
+	m.SetHooks(nil, func() error {
+		st.Insert("f", tup(7, 70))
+		return fmt.Errorf("fail after action")
+	}, nil)
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	if err := m.Commit(); err == nil {
+		t.Fatal("expected failure")
+	}
+	rel, _ := st.Relation("f")
+	if rel.Len() != 0 {
+		t.Errorf("check-phase update survived rollback: %s", rel.Rows())
+	}
+}
+
+func TestEventsOutsideTransactionStillObserved(t *testing.T) {
+	st, m := setup(t)
+	var n int
+	m.SetHooks(func(storage.Event) { n++ }, nil, nil)
+	st.Insert("f", tup(1, 10))
+	if n != 1 {
+		t.Errorf("events outside txn: %d", n)
+	}
+	if m.UpdateCount() != 0 {
+		t.Error("no undo log outside transaction")
+	}
+}
+
+func TestSequentialTransactions(t *testing.T) {
+	st, m := setup(t)
+	for i := int64(0); i < 3; i++ {
+		if err := m.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		st.Insert("f", tup(i, i*10))
+		if err := m.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel, _ := st.Relation("f")
+	if rel.Len() != 3 {
+		t.Errorf("Len=%d", rel.Len())
+	}
+}

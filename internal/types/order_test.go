@@ -1,0 +1,75 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic laws of the total order on values, checked over random
+// value pools. The set container, index keys and deterministic result
+// ordering all depend on these.
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return Nil()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(9) - 4))
+	case 3:
+		return Float(float64(r.Intn(9)-4) / 2)
+	case 4:
+		return Str(string(rune('a' + r.Intn(3))))
+	default:
+		return Obj(OID(r.Intn(4)))
+	}
+}
+
+func TestCompare_Antisymmetry_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare_Transitivity_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare_ConsistentWithEqual_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		return (a.Compare(b) == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleCompare_ConsistentWithEqual_Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomTuple(r), randomTuple(r)
+		return (a.Compare(b) == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

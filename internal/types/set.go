@@ -1,0 +1,173 @@
+package types
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a set of tuples (set-oriented semantics: no duplicates).
+// The zero Set is empty and ready to use.
+type Set struct {
+	m map[string]Tuple
+}
+
+// NewSet returns an empty set, optionally seeded with tuples.
+func NewSet(tuples ...Tuple) *Set {
+	s := &Set{}
+	for _, t := range tuples {
+		s.Add(t)
+	}
+	return s
+}
+
+// Len returns the number of tuples in the set. Safe on a nil receiver.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.m)
+}
+
+// IsEmpty reports whether the set has no tuples. Safe on a nil receiver.
+func (s *Set) IsEmpty() bool { return s.Len() == 0 }
+
+// Add inserts t into the set; it reports whether the tuple was newly
+// added (false if it was already present).
+func (s *Set) Add(t Tuple) bool {
+	if s.m == nil {
+		s.m = make(map[string]Tuple)
+	}
+	k := t.Key()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = t
+	return true
+}
+
+// Remove deletes t from the set; it reports whether the tuple was present.
+func (s *Set) Remove(t Tuple) bool {
+	if s == nil || s.m == nil {
+		return false
+	}
+	k := t.Key()
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+// Contains reports whether t is in the set. Safe on a nil receiver.
+func (s *Set) Contains(t Tuple) bool {
+	if s == nil || s.m == nil {
+		return false
+	}
+	_, ok := s.m[t.Key()]
+	return ok
+}
+
+// ContainsKey reports whether a tuple with the given canonical key is in
+// the set. Safe on a nil receiver.
+func (s *Set) ContainsKey(key string) bool {
+	if s == nil || s.m == nil {
+		return false
+	}
+	_, ok := s.m[key]
+	return ok
+}
+
+// Each calls fn for every tuple; iteration stops if fn returns false.
+// Safe on a nil receiver. The iteration order is unspecified.
+func (s *Set) Each(fn func(Tuple) bool) {
+	if s == nil {
+		return
+	}
+	for _, t := range s.m {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns the tuples in deterministic (sorted) order.
+func (s *Set) Tuples() []Tuple {
+	if s == nil {
+		return nil
+	}
+	out := make([]Tuple, 0, len(s.m))
+	for _, t := range s.m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns an independent copy of the set (tuples are shared; they
+// are treated as immutable).
+func (s *Set) Clone() *Set {
+	c := &Set{}
+	if s == nil || len(s.m) == 0 {
+		return c
+	}
+	c.m = make(map[string]Tuple, len(s.m))
+	for k, t := range s.m {
+		c.m[k] = t
+	}
+	return c
+}
+
+// AddAll inserts every tuple of o into s and returns s.
+func (s *Set) AddAll(o *Set) *Set {
+	o.Each(func(t Tuple) bool {
+		s.Add(t)
+		return true
+	})
+	return s
+}
+
+// RemoveAll removes every tuple of o from s and returns s.
+func (s *Set) RemoveAll(o *Set) *Set {
+	o.Each(func(t Tuple) bool {
+		s.Remove(t)
+		return true
+	})
+	return s
+}
+
+// Equal reports whether s and o contain exactly the same tuples.
+func (s *Set) Equal(o *Set) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	eq := true
+	s.Each(func(t Tuple) bool {
+		if !o.Contains(t) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+// Clear removes all tuples.
+func (s *Set) Clear() {
+	if s != nil {
+		s.m = nil
+	}
+}
+
+// String renders the set in deterministic order: {(..), (..)}.
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, t := range s.Tuples() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

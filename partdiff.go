@@ -1,0 +1,199 @@
+// Package partdiff is an active main-memory object-relational DBMS with
+// rule condition monitoring by partial differencing — a reproduction of
+// Sköld & Risch, "Using Partial Differencing for Efficient Monitoring of
+// Deferred Complex Rule Conditions" (ICDE 1996).
+//
+// A DB speaks AMOSQL (the query language of AMOS): types, stored and
+// derived functions, declarative select queries, and CA rules whose
+// conditions are monitored incrementally. Rule conditions are compiled
+// to partial differentials — one small query per influent relation and
+// change sign — and changes are propagated at commit time through a
+// breadth-first, bottom-up propagation network, without ever
+// materializing the monitored conditions.
+//
+// Quick start:
+//
+//	db := partdiff.Open()
+//	db.RegisterProcedure("order", func(args []partdiff.Value) error { ... })
+//	db.MustExec(`
+//	    create type item;
+//	    create function quantity(item) -> integer;
+//	    create function low(item i) -> integer as
+//	        select quantity(i) for each item j where j = i;
+//	    ...
+//	    create rule monitor_items() as
+//	        when for each item i where quantity(i) < threshold(i)
+//	        do order(i, max_stock(i) - quantity(i));
+//	    activate monitor_items();
+//	`)
+package partdiff
+
+import (
+	"io"
+
+	"partdiff/internal/amosql"
+	"partdiff/internal/catalog"
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// Value is a database value (nil, bool, int, float, string, or object
+// reference).
+type Value = types.Value
+
+// Tuple is one result row.
+type Tuple = types.Tuple
+
+// OID identifies a database object.
+type OID = types.OID
+
+// Value constructors, re-exported for convenience.
+var (
+	// Int makes an integer value.
+	Int = types.Int
+	// Float makes a floating point value.
+	Float = types.Float
+	// Str makes a string value.
+	Str = types.Str
+	// Bool makes a boolean value.
+	Bool = types.Bool
+	// Obj makes an object reference value.
+	Obj = types.Obj
+)
+
+// Mode selects the rule condition monitoring strategy.
+type Mode = rules.Mode
+
+// The monitoring modes: Incremental is the paper's partial differencing
+// monitor, Naive is the §6 full-recomputation baseline, Hybrid switches
+// between them per transaction (§8 future work).
+const (
+	Incremental = rules.Incremental
+	Naive       = rules.Naive
+	Hybrid      = rules.Hybrid
+)
+
+// Result is the outcome of one executed statement.
+type Result = amosql.Result
+
+// Explanation records why a rule triggered: which partial differentials
+// fired and with which sign (§1 explainability).
+type Explanation = rules.Explanation
+
+// Stats counts monitor work (propagations, differentials executed,
+// naive recomputations, actions run).
+type Stats = rules.Stats
+
+// Procedure is a foreign procedure callable from rule actions.
+type Procedure = catalog.Procedure
+
+// ForeignFunc is a foreign function usable in procedural expressions.
+type ForeignFunc = catalog.ForeignFunc
+
+// DB is an active database instance.
+type DB struct {
+	sess *amosql.Session
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	mode        Mode
+	noDeletions bool
+}
+
+// WithMode selects the condition monitoring strategy (default
+// Incremental).
+func WithMode(m Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithoutDeletionMonitoring disables negative partial differentials —
+// the configuration of the paper's §6 benchmark (insertion monitoring
+// only). Half the differentials execute, at the price that a pending
+// trigger is not withdrawn when a later rule action makes the
+// condition false again within the same check phase.
+func WithoutDeletionMonitoring() Option {
+	return func(c *config) { c.noDeletions = true }
+}
+
+// Open creates an empty in-memory active database.
+func Open(opts ...Option) *DB {
+	cfg := config{mode: Incremental}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db := &DB{sess: amosql.NewSession(cfg.mode)}
+	if cfg.noDeletions {
+		db.sess.Rules().SetMonitorDeletions(false)
+	}
+	return db
+}
+
+// Exec parses and executes AMOSQL statements, returning one result per
+// statement. Statements outside an explicit transaction auto-commit
+// (running the deferred rule check phase immediately).
+func (db *DB) Exec(src string) ([]Result, error) { return db.sess.Exec(src) }
+
+// MustExec is Exec but panics on error — for examples and tests.
+func (db *DB) MustExec(src string) []Result { return db.sess.MustExec(src) }
+
+// Query executes a single select statement.
+func (db *DB) Query(src string) (*Result, error) { return db.sess.Query(src) }
+
+// Begin starts an explicit transaction; rule conditions are monitored
+// deferred, at Commit.
+func (db *DB) Begin() error { return db.sess.Txns().Begin() }
+
+// Commit runs the deferred check phase (change propagation, conflict
+// resolution, set-oriented action execution) and commits.
+func (db *DB) Commit() error { return db.sess.Txns().Commit() }
+
+// Rollback undoes the active transaction; Δ-sets cancel out so no rule
+// sees any net change.
+func (db *DB) Rollback() error { return db.sess.Txns().Rollback() }
+
+// RegisterProcedure exposes a Go function as an AMOSQL procedure for
+// rule actions.
+func (db *DB) RegisterProcedure(name string, p Procedure) error {
+	return db.sess.RegisterProcedure(name, p)
+}
+
+// RegisterFunction exposes a Go function as a foreign AMOSQL function
+// (procedural contexts only; conditions must be declarative).
+func (db *DB) RegisterFunction(name string, paramTypes []string, resultType string, fn ForeignFunc) error {
+	return db.sess.RegisterFunction(name, paramTypes, resultType, fn)
+}
+
+// Var returns the value of a session interface variable (e.g. "item1"
+// after `create item instances :item1`).
+func (db *DB) Var(name string) (Value, bool) { return db.sess.IfaceVar(name) }
+
+// SetVar binds a session interface variable.
+func (db *DB) SetVar(name string, v Value) { db.sess.SetIfaceVar(name, v) }
+
+// Explanations returns the explanations recorded during the most recent
+// check phase: which influents caused each rule to trigger, and whether
+// by insertion or deletion.
+func (db *DB) Explanations() []Explanation { return db.sess.Rules().LastExplanations() }
+
+// Stats returns cumulative monitor statistics.
+func (db *DB) Stats() Stats { return db.sess.Rules().Stats() }
+
+// ResetStats zeroes the monitor statistics.
+func (db *DB) ResetStats() { db.sess.Rules().ResetStats() }
+
+// SetOutput directs the builtin print procedure's output (default:
+// discarded).
+func (db *DB) SetOutput(w io.Writer) { db.sess.Output = w }
+
+// SetDebug directs a human-readable trace of every check phase —
+// accumulated changes, differentials executed, trigger folding,
+// conflict resolution, actions — to w (nil disables).
+func (db *DB) SetDebug(w io.Writer) { db.sess.Rules().SetDebug(w) }
+
+// Session exposes the underlying AMOSQL session for advanced use
+// (direct access to the store, catalog, rule manager and transaction
+// manager).
+func (db *DB) Session() *amosql.Session { return db.sess }
