@@ -1,0 +1,162 @@
+package partdiff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"partdiff/internal/faultinject"
+)
+
+// The fault sweep: for seeded random transaction scripts, inject a
+// fault (error or panic) at every operation index observed during a
+// clean run and assert, for each faulted run, that
+//
+//  1. the failure surfaces as an error from the script,
+//  2. the store equals the pre-transaction snapshot,
+//  3. DB.CheckInvariants reports clean, and
+//  4. replaying the script on the survivor DB fires exactly the rule
+//     instances a fresh DB fires, ending in the same state.
+//
+// One-shot faults do not re-fire during rollback's undo replay, so a
+// forward-phase fault must never poison the DB — corruption here is a
+// sweep failure, not an accepted outcome.
+
+const sweepSchema = `
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < threshold(i)
+    do record(i);
+create item instances :i1, :i2, :i3;
+set threshold(:i1) = 10;
+set threshold(:i2) = 10;
+set threshold(:i3) = 10;
+activate low();
+`
+
+// sweepDB opens a DB with the sweep schema and a record procedure that
+// appends every fired rule instance to *fired.
+func sweepDB(t *testing.T, fired *[]string) *DB {
+	t.Helper()
+	db := Open()
+	db.RegisterProcedure("record", func(args []Value) error {
+		*fired = append(*fired, fmt.Sprintf("%v", args[0]))
+		return nil
+	})
+	db.MustExec(sweepSchema)
+	return db
+}
+
+// genScript draws a random update script: mostly quantity updates with
+// occasional threshold changes, over three items.
+func genScript(rng *rand.Rand, steps int) []string {
+	items := []string{":i1", ":i2", ":i3"}
+	script := make([]string, 0, steps)
+	for j := 0; j < steps; j++ {
+		it := items[rng.Intn(len(items))]
+		if rng.Intn(4) == 0 {
+			script = append(script, fmt.Sprintf("set threshold(%s) = %d;", it, rng.Intn(15)))
+		} else {
+			script = append(script, fmt.Sprintf("set quantity(%s) = %d;", it, rng.Intn(20)))
+		}
+	}
+	return script
+}
+
+// runScript executes the script as one explicit transaction. On a
+// statement error it rolls back and reports the first failure (or the
+// rollback failure, which may be ErrCorrupt).
+func runScript(db *DB, script []string) error {
+	if err := db.Begin(); err != nil {
+		return err
+	}
+	for _, stmt := range script {
+		if _, err := db.Exec(stmt); err != nil {
+			if rbErr := db.Rollback(); rbErr != nil {
+				return rbErr
+			}
+			return err
+		}
+	}
+	return db.Commit()
+}
+
+func TestFaultSweep(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	stride := 1
+	if testing.Short() {
+		seeds = seeds[:1]
+		stride = 3
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			script := genScript(rand.New(rand.NewSource(seed)), 8)
+
+			// Clean run: baseline state, firings, and the operation count
+			// that bounds the sweep.
+			var baseFired []string
+			base := sweepDB(t, &baseFired)
+			inj := faultinject.New()
+			base.Session().SetInjector(inj)
+			baseFired = nil
+			if err := runScript(base, script); err != nil {
+				t.Fatalf("clean run failed: %v", err)
+			}
+			baseState := base.Session().Store().Snapshot()
+			ops := inj.Ops()
+			if ops == 0 {
+				t.Fatal("clean run hit no fault points; sweep is vacuous")
+			}
+
+			for idx := 0; idx < ops; idx += stride {
+				kind := faultinject.Error
+				if idx%2 == 1 {
+					kind = faultinject.Panic
+				}
+				var fired []string
+				db := sweepDB(t, &fired)
+				inj := faultinject.New()
+				db.Session().SetInjector(inj)
+				pre := db.Session().Store().Snapshot()
+				fired = nil
+				inj.ArmIndex(idx, kind)
+
+				err := runScript(db, script)
+				if err == nil {
+					t.Errorf("op %d (%v): injected fault did not surface", idx, kind)
+					continue
+				}
+				if errors.Is(err, ErrCorrupt) {
+					t.Errorf("op %d (%v): forward-phase fault poisoned the DB: %v", idx, kind, err)
+					continue
+				}
+				if got := db.Session().Store().Snapshot(); !reflect.DeepEqual(got, pre) {
+					t.Errorf("op %d (%v): store differs from pre-transaction snapshot\n got: %v\nwant: %v",
+						idx, kind, got, pre)
+				}
+				if ierr := db.CheckInvariants(); ierr != nil {
+					t.Errorf("op %d (%v): invariants after rollback: %v", idx, kind, ierr)
+				}
+
+				// Survivor replay: same firings and final state as the
+				// fresh-DB baseline.
+				fired = nil
+				if rerr := runScript(db, script); rerr != nil {
+					t.Errorf("op %d (%v): survivor replay failed: %v", idx, kind, rerr)
+					continue
+				}
+				if !reflect.DeepEqual(fired, baseFired) {
+					t.Errorf("op %d (%v): survivor fired %v, fresh DB fired %v", idx, kind, fired, baseFired)
+				}
+				if got := db.Session().Store().Snapshot(); !reflect.DeepEqual(got, baseState) {
+					t.Errorf("op %d (%v): survivor state diverges from baseline", idx, kind)
+				}
+			}
+		})
+	}
+}

@@ -3,10 +3,14 @@ package amosql
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"partdiff/internal/catalog"
 	"partdiff/internal/eval"
+	"partdiff/internal/faultinject"
 	"partdiff/internal/objectlog"
 	"partdiff/internal/rules"
 	"partdiff/internal/storage"
@@ -40,6 +44,16 @@ type Session struct {
 	// the transaction (and restored by rollback), but the OID itself
 	// dies only if the transaction commits.
 	pendingDeletes []pendingDelete
+
+	// owner is the id of the goroutine currently inside the session (0
+	// = free) and depth its re-entrancy count. Transactions are serial
+	// (internal/txn), so a second goroutine would race on the store,
+	// the undo log and the Δ-accumulators and is rejected; re-entrant
+	// calls from the SAME goroutine are part of the execution model
+	// (rule actions issue updates that join the committing
+	// transaction) and are admitted.
+	owner atomic.Int64
+	depth int
 
 	// Output receives the output of the builtin print procedure.
 	Output io.Writer
@@ -121,22 +135,89 @@ func (s *Session) RegisterFunction(name string, params []string, result string, 
 	})
 }
 
+// goid returns the current goroutine's id, parsed from runtime.Stack —
+// the standard reentrant-lock trick; only paid on session entry.
+func goid() int64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	f := strings.Fields(string(buf[:n]))
+	if len(f) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}
+
+// enter acquires the session for one call. It fails fast on a poisoned
+// database (sticky ErrCorrupt) and on use from a second goroutine;
+// re-entrant calls on the owning goroutine are admitted (rule actions
+// legitimately issue statements during the check phase).
+func (s *Session) enter() error {
+	if err := s.txns.Corrupt(); err != nil {
+		return err
+	}
+	g := goid()
+	if s.owner.Load() == g {
+		s.depth++
+		return nil
+	}
+	if !s.owner.CompareAndSwap(0, g) {
+		return fmt.Errorf("session busy: concurrent use from another goroutine is not supported (transactions are serial)")
+	}
+	s.depth = 1
+	return nil
+}
+
+func (s *Session) leave() {
+	s.depth--
+	if s.depth == 0 {
+		s.owner.Store(0)
+	}
+}
+
 // Exec parses and executes all statements in src, returning one result
 // per statement. Execution stops at the first error.
 func (s *Session) Exec(src string) ([]Result, error) {
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.leave()
 	stmts, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Result, 0, len(stmts))
 	for _, st := range stmts {
-		r, err := s.execStmt(st)
+		r, err := s.execStmtSafe(st)
 		if err != nil {
 			return out, err
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// execStmtSafe runs one statement with panic containment: a panic (a
+// foreign function in a procedural expression, an injected storage
+// fault) becomes an error, and an implicit transaction the statement
+// opened is rolled back so the store returns to its pre-statement
+// state.
+func (s *Session) execStmtSafe(st Stmt) (res Result, err error) {
+	wasActive := s.txns.InTransaction()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("statement panicked: %v", r)
+			if !wasActive && s.txns.InTransaction() {
+				if rbErr := s.txns.Rollback(); rbErr != nil {
+					err = fmt.Errorf("%v (%w)", err, rbErr)
+				}
+			}
+		}
+	}()
+	return s.execStmt(st)
 }
 
 // MustExec is Exec for tests and examples: it panics on error.
@@ -150,6 +231,10 @@ func (s *Session) MustExec(src string) []Result {
 
 // Query executes a single select statement and returns its rows.
 func (s *Session) Query(src string) (*Result, error) {
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.leave()
 	st, err := ParseOne(src)
 	if err != nil {
 		return nil, err
@@ -157,11 +242,62 @@ func (s *Session) Query(src string) (*Result, error) {
 	if _, ok := st.(SelectStmt); !ok {
 		return nil, fmt.Errorf("Query expects a select statement")
 	}
-	r, err := s.execStmt(st)
+	r, err := s.execStmtSafe(st)
 	if err != nil {
 		return nil, err
 	}
 	return &r, nil
+}
+
+// Begin starts an explicit transaction under the session guard.
+func (s *Session) Begin() error {
+	if err := s.enter(); err != nil {
+		return err
+	}
+	defer s.leave()
+	return s.txns.Begin()
+}
+
+// Commit runs the deferred check phase and commits, under the session
+// guard (a procedure that re-enters the session during the check phase
+// gets a clear "session busy" error instead of racing).
+func (s *Session) Commit() error {
+	if err := s.enter(); err != nil {
+		return err
+	}
+	defer s.leave()
+	return s.txns.Commit()
+}
+
+// Rollback undoes the active transaction under the session guard.
+func (s *Session) Rollback() error {
+	if err := s.enter(); err != nil {
+		return err
+	}
+	defer s.leave()
+	return s.txns.Rollback()
+}
+
+// SetInjector installs a fault injector across the session's storage,
+// propagation and rule layers (nil disables injection).
+func (s *Session) SetInjector(inj *faultinject.Injector) {
+	s.store.SetInjector(inj)
+	s.mgr.SetInjector(inj)
+}
+
+// CheckInvariants verifies cross-layer consistency: storage
+// index↔tuple-set agreement, propagation-network level monotonicity,
+// and — outside a transaction — that every Δ-set and pending trigger
+// set is empty. On a poisoned database it returns the sticky
+// corruption error.
+func (s *Session) CheckInvariants() error {
+	if err := s.txns.Corrupt(); err != nil {
+		return err
+	}
+	if err := s.store.CheckInvariants(); err != nil {
+		return err
+	}
+	return s.mgr.CheckInvariants(!s.txns.InTransaction())
 }
 
 func (s *Session) execStmt(st Stmt) (Result, error) {
@@ -373,14 +509,38 @@ func (s *Session) buildAction(x CreateRule, headNames []string) (rules.Action, e
 			args[i] = v
 		}
 		if p, ok := s.cat.Procedure(proc); ok {
-			return p(args)
+			return callProcedure(proc, p, args)
 		}
 		if f, ok := s.cat.Function(proc); ok && f.Kind == catalog.Foreign {
-			_, err := f.Fn(args)
+			_, err := callForeign(proc, f.Fn, args)
 			return err
 		}
 		return fmt.Errorf("rule %s: unknown procedure %q", x.Name, proc)
 	}, nil
+}
+
+// callProcedure invokes a registered foreign procedure with panic
+// containment: user Go code that panics becomes an error on the normal
+// rollback path, never a process crash. Note that external side effects
+// the procedure performed before failing are NOT undone by rollback.
+func callProcedure(name string, p catalog.Procedure, args []types.Value) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("procedure %s panicked: %v", name, r)
+		}
+	}()
+	return p(args)
+}
+
+// callForeign invokes a registered foreign function with panic
+// containment.
+func callForeign(name string, fn catalog.ForeignFunc, args []types.Value) (rows [][]types.Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, fmt.Errorf("foreign function %s panicked: %v", name, r)
+		}
+	}()
+	return fn(args)
 }
 
 func (s *Session) execUpdate(x UpdateStmt) (Result, error) {
@@ -790,7 +950,7 @@ func (s *Session) evalCall(x Call, binds map[string]types.Value) (types.Value, e
 		}
 		return ts[0][0], nil
 	default: // Foreign
-		rows, err := f.Fn(args)
+		rows, err := callForeign(x.Fn, f.Fn, args)
 		if err != nil {
 			return types.Value{}, err
 		}

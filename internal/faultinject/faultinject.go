@@ -1,0 +1,198 @@
+// Package faultinject provides deterministic fault injection for
+// crash-safety testing of the monitor stack. An Injector is threaded
+// through the storage, propagation, rule and transaction layers; each
+// layer calls Fire at its fault points. When no injector is installed
+// (the nil *Injector), Fire is a nil-check and nothing else, so
+// production paths pay essentially nothing.
+//
+// Faults are armed deterministically: either "the Nth hit of point P"
+// or "the Nth Fire call overall" (the global operation index), and they
+// either return an error or panic. A one-shot armed fault fires exactly
+// once, so an injected failure during the forward phase of a
+// transaction does not re-fire while the rollback replays the undo log
+// — which is exactly what the fault-sweep fuzz test needs to assert
+// that rollback restores the pre-transaction snapshot.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Point names one fault site.
+type Point string
+
+// The fault points instrumented across the stack.
+const (
+	// StoreInsert fires before a tuple is inserted into a relation.
+	StoreInsert Point = "store.insert"
+	// StoreDelete fires before a tuple is removed from a relation.
+	StoreDelete Point = "store.delete"
+	// PropagateNode fires before a changed node's outgoing edges are
+	// processed during propagation.
+	PropagateNode Point = "propnet.node"
+	// Differential fires before one partial differential is executed.
+	Differential Point = "propnet.differential"
+	// RuleAction fires before one rule-action instance is dispatched.
+	RuleAction Point = "rules.action"
+)
+
+// Kind selects how an armed fault manifests.
+type Kind int
+
+// The fault kinds.
+const (
+	// Error makes Fire return an injected error.
+	Error Kind = iota
+	// Panic makes Fire panic with a *Panic value.
+	Panic
+)
+
+// InjectedPanic is the value an armed Panic fault panics with, so
+// recover sites can distinguish injected panics in tests.
+type InjectedPanic struct {
+	Point Point
+	Index int
+}
+
+// Error implements error so a recovered *InjectedPanic reads well in
+// messages.
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("injected panic at %s (op %d)", p.Point, p.Index)
+}
+
+type fault struct {
+	kind Kind
+	// at is the absolute hit number (of the point, or of the global op
+	// counter) the fault fires on.
+	at    int
+	fired bool
+}
+
+// Injector holds armed faults and hit counters. The zero value and the
+// nil pointer are both valid, disabled injectors. All methods are safe
+// for concurrent use.
+type Injector struct {
+	mu sync.Mutex
+	// ops is the global Fire count since New or Reset.
+	ops int
+	// hits counts Fire calls per point.
+	hits map[Point]int
+	// byPoint faults trigger on the Nth hit of their point; byIndex
+	// faults trigger on the Nth Fire call overall.
+	byPoint map[Point][]*fault
+	byIndex map[int]*fault
+}
+
+// New returns an empty, disarmed injector.
+func New() *Injector {
+	return &Injector{
+		hits:    map[Point]int{},
+		byPoint: map[Point][]*fault{},
+		byIndex: map[int]*fault{},
+	}
+}
+
+// Arm schedules a one-shot fault at the nth upcoming hit of point p
+// (n=0 means the very next hit).
+func (i *Injector) Arm(p Point, n int, kind Kind) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.byPoint[p] = append(i.byPoint[p], &fault{kind: kind, at: i.hits[p] + n})
+}
+
+// ArmIndex schedules a one-shot fault at the nth upcoming Fire call
+// overall, regardless of point (n=0 means the very next call). This is
+// the sweep primitive: count a clean run's operations, then re-run the
+// same script once per index.
+func (i *Injector) ArmIndex(n int, kind Kind) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.byIndex[i.ops+n] = &fault{kind: kind}
+}
+
+// Fire reports an armed fault at point p: it returns an injected error,
+// panics with a *InjectedPanic, or returns nil. On a nil or disarmed injector
+// it only bumps counters (nil: nothing at all).
+func (i *Injector) Fire(p Point) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	op := i.ops
+	ph := i.hits[p]
+	i.ops++
+	i.hits[p]++
+	var hit *fault
+	if f, ok := i.byIndex[op]; ok && !f.fired {
+		hit = f
+	}
+	if hit == nil {
+		for _, f := range i.byPoint[p] {
+			if !f.fired && f.at == ph {
+				hit = f
+				break
+			}
+		}
+	}
+	if hit != nil {
+		hit.fired = true
+	}
+	i.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	if hit.kind == Panic {
+		panic(&InjectedPanic{Point: p, Index: op})
+	}
+	return fmt.Errorf("injected fault at %s (op %d)", p, op)
+}
+
+// Ops returns the total number of Fire calls since New or Reset.
+func (i *Injector) Ops() int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// Hits returns the number of Fire calls at point p.
+func (i *Injector) Hits(p Point) int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.hits[p]
+}
+
+// Points returns the points hit so far, sorted.
+func (i *Injector) Points() []Point {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]Point, 0, len(i.hits))
+	for p := range i.hits {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Reset disarms all faults and zeroes all counters.
+func (i *Injector) Reset() {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.ops = 0
+	i.hits = map[Point]int{}
+	i.byPoint = map[Point][]*fault{}
+	i.byIndex = map[int]*fault{}
+}

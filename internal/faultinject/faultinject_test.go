@@ -1,0 +1,85 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if err := inj.Fire(StoreInsert); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if inj.Ops() != 0 || inj.Hits(StoreInsert) != 0 {
+		t.Fatal("nil injector counted")
+	}
+	inj.Reset() // must not panic
+}
+
+func TestArmAtNthHit(t *testing.T) {
+	inj := New()
+	inj.Arm(StoreInsert, 2, Error)
+	if err := inj.Fire(StoreInsert); err != nil {
+		t.Fatalf("hit 0 fired: %v", err)
+	}
+	if err := inj.Fire(StoreDelete); err != nil {
+		t.Fatalf("other point fired: %v", err)
+	}
+	if err := inj.Fire(StoreInsert); err != nil {
+		t.Fatalf("hit 1 fired: %v", err)
+	}
+	if err := inj.Fire(StoreInsert); err == nil {
+		t.Fatal("hit 2 did not fire")
+	}
+	// One-shot: does not re-fire.
+	if err := inj.Fire(StoreInsert); err != nil {
+		t.Fatalf("one-shot fault re-fired: %v", err)
+	}
+	if got := inj.Hits(StoreInsert); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestArmIndexCountsGlobally(t *testing.T) {
+	inj := New()
+	inj.Fire(StoreInsert) // op 0 before arming: ArmIndex is relative to now
+	inj.ArmIndex(1, Error)
+	if err := inj.Fire(RuleAction); err != nil {
+		t.Fatalf("op +0 fired: %v", err)
+	}
+	if err := inj.Fire(Differential); err == nil {
+		t.Fatal("op +1 did not fire")
+	}
+	if err := inj.Fire(Differential); err != nil {
+		t.Fatalf("one-shot re-fired: %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	inj := New()
+	inj.Arm(RuleAction, 0, Panic)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		var p *InjectedPanic
+		if !errors.As(r.(error), &p) || p.Point != RuleAction {
+			t.Fatalf("recovered %v, want *InjectedPanic at %s", r, RuleAction)
+		}
+	}()
+	inj.Fire(RuleAction)
+}
+
+func TestReset(t *testing.T) {
+	inj := New()
+	inj.Arm(StoreInsert, 0, Error)
+	inj.Fire(StoreDelete)
+	inj.Reset()
+	if err := inj.Fire(StoreInsert); err != nil {
+		t.Fatalf("armed fault survived Reset: %v", err)
+	}
+	if inj.Ops() != 1 {
+		t.Fatalf("Ops = %d after Reset+1 fire, want 1", inj.Ops())
+	}
+}

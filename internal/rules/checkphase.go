@@ -2,8 +2,10 @@ package rules
 
 import (
 	"fmt"
+	"time"
 
 	"partdiff/internal/delta"
+	"partdiff/internal/faultinject"
 	"partdiff/internal/objectlog"
 	"partdiff/internal/propnet"
 	"partdiff/internal/types"
@@ -23,17 +25,59 @@ import (
 // Change propagation is performed only when changes affecting activated
 // rules have occurred, so transactions that touch no influent pay
 // nothing.
-func (m *Manager) CheckPhase() error {
+//
+// CheckPhase is crash-safe: a panic anywhere inside it (a foreign
+// procedure, an evaluator bug, an injected fault) is recovered and
+// converted to an error, so it flows through the transaction manager's
+// normal rollback path instead of unwinding through Commit with the
+// transaction half-finished.
+func (m *Manager) CheckPhase() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("check phase panicked: %v", r)
+		}
+	}()
+	return m.checkPhase()
+}
+
+// checkDeadline returns the absolute wall-clock deadline of the check
+// phase starting now, or the zero time when unbudgeted.
+func (m *Manager) checkDeadline() time.Time {
+	if m.CheckBudget <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(m.CheckBudget)
+}
+
+// overBudget reports whether the check phase has exhausted its
+// wall-clock budget or its context.
+func (m *Manager) overBudget(deadline time.Time) error {
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return fmt.Errorf("check phase exceeded budget %v (non-terminating cascade?)", m.CheckBudget)
+	}
+	if m.CheckContext != nil {
+		if err := m.CheckContext.Err(); err != nil {
+			return fmt.Errorf("check phase canceled: %w", err)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) checkPhase() error {
 	if len(m.activations) == 0 {
 		return nil
 	}
 	if err := m.ensureNet(); err != nil {
 		return err
 	}
+	deadline := m.checkDeadline()
 	m.explanations = m.explanations[:0]
 	for round := 1; ; round++ {
 		if round > m.MaxRounds {
 			return fmt.Errorf("rule cascade exceeded %d rounds (non-terminating rule set?)", m.MaxRounds)
+		}
+		if err := m.overBudget(deadline); err != nil {
+			return err
 		}
 		if m.net.HasChanges() {
 			m.stats.CheckRounds++
@@ -83,12 +127,33 @@ func (m *Manager) CheckPhase() error {
 		// Set-oriented action execution over the net changes.
 		for _, inst := range instances {
 			m.debugf("  action %s%s", chosen.Rule.Name, inst)
-			if err := chosen.Rule.Action(inst); err != nil {
-				return fmt.Errorf("rule %s action on %s: %w", chosen.Rule.Name, inst, err)
+			if err := m.overBudget(deadline); err != nil {
+				return err
+			}
+			if err := m.runAction(chosen.Rule, inst); err != nil {
+				return err
 			}
 			m.stats.ActionsExecuted++
 		}
 	}
+}
+
+// runAction dispatches one action instance with panic containment: a
+// panicking foreign procedure becomes an error that rolls the
+// transaction back, it never unwinds through the check phase.
+func (m *Manager) runAction(r *Rule, inst types.Tuple) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("rule %s action on %s panicked: %v", r.Name, inst, rec)
+		}
+	}()
+	if err := m.inj.Fire(faultinject.RuleAction); err != nil {
+		return fmt.Errorf("rule %s action on %s: %w", r.Name, inst, err)
+	}
+	if err := r.Action(inst); err != nil {
+		return fmt.Errorf("rule %s action on %s: %w", r.Name, inst, err)
+	}
+	return nil
 }
 
 // deriveTriggers computes each activated condition's Δ for the current

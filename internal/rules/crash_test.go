@@ -1,0 +1,167 @@
+package rules
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"partdiff/internal/faultinject"
+	"partdiff/internal/types"
+)
+
+// A panicking rule action is contained: Commit reports an error, the
+// transaction rolls back, and the monitor is clean for the next
+// transaction.
+func TestActionPanicRollsBack(t *testing.T) {
+	f := newFixture(t, Incremental)
+	err := f.mgr.DefineRule(&Rule{
+		Name:    "boom",
+		CondDef: lowStockDef("cond_boom", false),
+		Action:  func(inst types.Tuple) error { panic("action exploded") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.Activate("boom"); err != nil {
+		t.Fatal(err)
+	}
+	f.txns.Begin()
+	f.store.Insert("quantity", tup(1, 5))
+	f.store.Insert("threshold", tup(1, 10))
+	cErr := f.txns.Commit()
+	if cErr == nil {
+		t.Fatal("commit should fail")
+	}
+	if !strings.Contains(cErr.Error(), "panicked") {
+		t.Errorf("panic not reported: %v", cErr)
+	}
+	for _, rel := range []string{"quantity", "threshold"} {
+		r, _ := f.store.Relation(rel)
+		if r.Len() != 0 {
+			t.Errorf("%s not rolled back: %s", rel, r.Rows())
+		}
+	}
+	if err := f.mgr.CheckInvariants(true); err != nil {
+		t.Errorf("monitor invariants after rollback: %v", err)
+	}
+}
+
+// Faults injected at each monitor-side point (node propagation,
+// differential execution, action dispatch) all roll the transaction
+// back cleanly.
+func TestMonitorFaultPointsRollBack(t *testing.T) {
+	for _, point := range []faultinject.Point{
+		faultinject.PropagateNode, faultinject.Differential, faultinject.RuleAction,
+	} {
+		for _, kind := range []faultinject.Kind{faultinject.Error, faultinject.Panic} {
+			f := newFixture(t, Incremental)
+			inj := faultinject.New()
+			f.store.SetInjector(inj)
+			f.mgr.SetInjector(inj)
+			f.defineLowStock(t, "watch", true, 0)
+			if _, err := f.mgr.Activate("watch"); err != nil {
+				t.Fatal(err)
+			}
+			f.txns.Begin()
+			f.store.Insert("quantity", tup(1, 5))
+			f.store.Insert("threshold", tup(1, 10))
+			inj.Arm(point, 0, kind)
+			if err := f.txns.Commit(); err == nil {
+				t.Fatalf("%s/%v: commit should fail", point, kind)
+			}
+			for _, rel := range []string{"quantity", "threshold"} {
+				r, _ := f.store.Relation(rel)
+				if r.Len() != 0 {
+					t.Errorf("%s/%v: %s not rolled back", point, kind, rel)
+				}
+			}
+			if err := f.mgr.CheckInvariants(true); err != nil {
+				t.Errorf("%s/%v: invariants: %v", point, kind, err)
+			}
+			if f.txns.Corrupt() != nil {
+				t.Errorf("%s/%v: clean rollback must not poison", point, kind)
+			}
+		}
+	}
+}
+
+// cascadeFixture builds a rule whose action keeps incrementing
+// quantity, so every check round produces a fresh change: without a
+// bound the check phase never terminates.
+func cascadeFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := newFixture(t, Incremental)
+	err := f.mgr.DefineRule(&Rule{
+		Name:    "runaway",
+		CondDef: lowStockDef("cond_runaway", false),
+		Action: func(inst types.Tuple) error {
+			q, err := f.store.Get("quantity", []types.Value{inst[0]})
+			if err != nil || len(q) == 0 {
+				return err
+			}
+			next := q[0][0].I + 1
+			_, err = f.store.Set("quantity", []types.Value{inst[0]}, []types.Value{types.Int(next)})
+			return err
+		},
+		// Nervous semantics: re-derivations keep triggering.
+		Strict: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.Activate("runaway"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// A non-terminating cascade is stopped by the wall-clock budget and
+// aborts through the normal rollback path.
+func TestCheckBudgetAbortsCascade(t *testing.T) {
+	f := cascadeFixture(t)
+	f.mgr.MaxRounds = 1 << 30 // out of the way: budget must trip first
+	f.mgr.CheckBudget = time.Millisecond
+	f.txns.Begin()
+	f.store.Insert("quantity", tup(1, 0))
+	f.store.Insert("threshold", tup(1, 1<<40))
+	err := f.txns.Commit()
+	if err == nil {
+		t.Fatal("budget should abort the cascade")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error should mention the budget: %v", err)
+	}
+	for _, rel := range []string{"quantity", "threshold"} {
+		r, _ := f.store.Relation(rel)
+		if r.Len() != 0 {
+			t.Errorf("%s not rolled back: %s", rel, r.Rows())
+		}
+	}
+	if err := f.mgr.CheckInvariants(true); err != nil {
+		t.Errorf("invariants after budget abort: %v", err)
+	}
+}
+
+// A canceled context aborts the check phase the same way.
+func TestCheckContextAbortsCascade(t *testing.T) {
+	f := cascadeFixture(t)
+	f.mgr.MaxRounds = 1 << 30
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f.mgr.CheckContext = ctx
+	f.txns.Begin()
+	f.store.Insert("quantity", tup(1, 0))
+	f.store.Insert("threshold", tup(1, 1<<40))
+	err := f.txns.Commit()
+	if err == nil {
+		t.Fatal("canceled context should abort the check phase")
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Errorf("error should mention cancellation: %v", err)
+	}
+	r, _ := f.store.Relation("quantity")
+	if r.Len() != 0 {
+		t.Errorf("quantity not rolled back: %s", r.Rows())
+	}
+}

@@ -17,13 +17,16 @@
 package rules
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"partdiff/internal/delta"
 	"partdiff/internal/diff"
+	"partdiff/internal/faultinject"
 	"partdiff/internal/objectlog"
 	"partdiff/internal/propnet"
 	"partdiff/internal/storage"
@@ -171,6 +174,13 @@ type Manager struct {
 	HybridRatio float64
 	// MaxRounds bounds rule-cascade loops in one check phase.
 	MaxRounds int
+	// CheckBudget bounds the wall-clock duration of one check phase
+	// (0 = unlimited). A cascade that exceeds it aborts with an error,
+	// which flows through the normal rollback path.
+	CheckBudget time.Duration
+	// CheckContext, when non-nil, aborts the check phase as soon as the
+	// context is done (same rollback path as CheckBudget).
+	CheckContext context.Context
 	// Resolve is the conflict resolution method.
 	Resolve ConflictResolver
 
@@ -182,6 +192,7 @@ type Manager struct {
 	net      *propnet.Network
 	netDirty bool
 	diffOpts diff.Options
+	inj      *faultinject.Injector
 
 	explanations []Explanation
 	stats        Stats
@@ -196,6 +207,15 @@ type Manager struct {
 // SetDebug directs a human-readable check-phase trace to w (nil
 // disables tracing).
 func (m *Manager) SetDebug(w io.Writer) { m.debug = w }
+
+// SetInjector installs a fault injector on the check-phase paths and on
+// the live propagation network (nil disables injection).
+func (m *Manager) SetInjector(inj *faultinject.Injector) {
+	m.inj = inj
+	if m.net != nil {
+		m.net.SetInjector(inj)
+	}
+}
 
 func (m *Manager) debugf(format string, args ...any) {
 	if m.debug != nil {
@@ -456,6 +476,7 @@ func (m *Manager) ensureNet() error {
 	}
 	old := m.net
 	net := propnet.New(m.store, m.prog, m.diffOpts)
+	net.SetInjector(m.inj)
 	for _, sv := range m.sharedViews {
 		if m.sharedViewUsed(sv.Name) {
 			if err := net.AddView(sv, false); err != nil {
@@ -555,6 +576,28 @@ func (m *Manager) OnEnd(committed bool) {
 	for _, a := range m.activations {
 		a.trigger.Clear()
 	}
+}
+
+// CheckInvariants verifies monitor-level invariants: the propagation
+// network's structure and, with quiescent set (no transaction active),
+// that no base Δ-set, wave-front Δ-set or pending trigger set survived
+// the last check phase — leftovers would surface as phantom changes in
+// the next transaction.
+func (m *Manager) CheckInvariants(quiescent bool) error {
+	if m.net == nil {
+		return nil
+	}
+	if err := m.net.CheckInvariants(quiescent); err != nil {
+		return err
+	}
+	if quiescent {
+		for _, a := range sortedActivations(m.activations) {
+			if !a.trigger.IsEmpty() {
+				return fmt.Errorf("activation %s holds a pending trigger set outside the check phase: %s", a.Key, a.trigger)
+			}
+		}
+	}
+	return nil
 }
 
 // Stats returns cumulative monitor statistics.

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"partdiff/internal/faultinject"
 	"partdiff/internal/types"
 )
 
@@ -219,6 +220,7 @@ type Store struct {
 	mu        sync.RWMutex
 	rels      map[string]*Relation
 	listeners []Listener
+	inj       *faultinject.Injector
 }
 
 // NewStore returns an empty store.
@@ -283,6 +285,14 @@ func (s *Store) emit(e Event) {
 	}
 }
 
+// SetInjector installs a fault injector on the store's update paths
+// (nil disables injection).
+func (s *Store) SetInjector(inj *faultinject.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = inj
+}
+
 // Insert asserts a tuple; it reports whether the tuple was newly added
 // and emits a physical + event if so.
 func (s *Store) Insert(rel string, t types.Tuple) (bool, error) {
@@ -291,6 +301,10 @@ func (s *Store) Insert(rel string, t types.Tuple) (bool, error) {
 	r, ok := s.rels[rel]
 	if !ok {
 		return false, fmt.Errorf("relation %q does not exist", rel)
+	}
+	// Fire before mutating, so an injected error leaves the store clean.
+	if err := s.inj.Fire(faultinject.StoreInsert); err != nil {
+		return false, err
 	}
 	added, err := r.insert(t)
 	if err != nil || !added {
@@ -308,6 +322,9 @@ func (s *Store) Delete(rel string, t types.Tuple) (bool, error) {
 	r, ok := s.rels[rel]
 	if !ok {
 		return false, fmt.Errorf("relation %q does not exist", rel)
+	}
+	if err := s.inj.Fire(faultinject.StoreDelete); err != nil {
+		return false, err
 	}
 	removed, err := r.remove(t)
 	if err != nil || !removed {
@@ -343,9 +360,17 @@ func (s *Store) Set(rel string, key []types.Value, value []types.Value) ([]types
 		return nil, nil
 	}
 	for _, t := range old {
+		// A fault here leaves earlier retractions applied (and their
+		// events emitted), so the undo log can still restore them.
+		if err := s.inj.Fire(faultinject.StoreDelete); err != nil {
+			return nil, err
+		}
 		if removed, _ := r.remove(t); removed {
 			s.emit(Event{Relation: rel, Kind: DeleteEvent, Tuple: t})
 		}
+	}
+	if err := s.inj.Fire(faultinject.StoreInsert); err != nil {
+		return nil, err
 	}
 	if added, _ := r.insert(nt); added {
 		s.emit(Event{Relation: rel, Kind: InsertEvent, Tuple: nt})
@@ -374,6 +399,84 @@ func (s *Store) TuplesReferencing(v types.Value) map[string][]types.Tuple {
 		}
 	}
 	return out
+}
+
+// Snapshot returns every relation's tuples in deterministic order,
+// keyed by relation name — a logical copy for state comparisons in
+// crash-safety tests. Empty relations are included.
+func (s *Store) Snapshot() map[string][]types.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]types.Tuple, len(s.rels))
+	for name, r := range s.rels {
+		out[name] = r.Tuples()
+	}
+	return out
+}
+
+// CheckInvariants verifies index↔tuple-set consistency of every
+// relation: each row is indexed under every column, each index entry
+// points at a live row with the matching column value, and per-column
+// index cardinalities sum to the row count.
+func (s *Store) CheckInvariants() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := s.rels[n].checkConsistency(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Relation) checkConsistency() error {
+	var err error
+	r.rows.Each(func(t types.Tuple) bool {
+		if len(t) != r.arity {
+			err = fmt.Errorf("relation %q: row %s has arity %d, want %d", r.name, t, len(t), r.arity)
+			return false
+		}
+		for col, v := range t {
+			s, ok := r.index[col][v.Key()]
+			if !ok || !s.Contains(t) {
+				err = fmt.Errorf("relation %q: row %s missing from index on column %d", r.name, t, col)
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for col := range r.index {
+		total := 0
+		for key, s := range r.index[col] {
+			total += s.Len()
+			s.Each(func(t types.Tuple) bool {
+				if !r.rows.Contains(t) {
+					err = fmt.Errorf("relation %q: index on column %d holds phantom tuple %s", r.name, col, t)
+					return false
+				}
+				if t[col].Key() != key {
+					err = fmt.Errorf("relation %q: tuple %s indexed under wrong key %q on column %d", r.name, t, key, col)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if total != r.rows.Len() {
+			return fmt.Errorf("relation %q: index on column %d covers %d tuples, rows hold %d", r.name, col, total, r.rows.Len())
+		}
+	}
+	return nil
 }
 
 // Get returns the value columns of the tuples matching key (for a stored

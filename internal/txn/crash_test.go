@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"partdiff/internal/faultinject"
+)
+
+// Regression: a panicking check phase must not leave the manager
+// active with a stale undo log — the transaction is finalized (rolled
+// back) and the panic surfaces as an error.
+func TestCommitPanickingCheckPhaseFinalizes(t *testing.T) {
+	st, m := setup(t)
+	var endedCommitted *bool
+	m.SetHooks(nil,
+		func() error { panic("procedure exploded") },
+		func(committed bool) { endedCommitted = &committed })
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	err := m.Commit()
+	if err == nil {
+		t.Fatal("commit should surface the panic as an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error should mention the panic: %v", err)
+	}
+	if m.InTransaction() {
+		t.Error("manager left active after panicking check phase")
+	}
+	if m.UpdateCount() != 0 {
+		t.Error("stale undo log after panicking check phase")
+	}
+	rel, _ := st.Relation("f")
+	if rel.Len() != 0 {
+		t.Errorf("store not rolled back: %s", rel.Rows())
+	}
+	if endedCommitted == nil || *endedCommitted {
+		t.Error("onEnd should report rollback")
+	}
+	// The manager must be reusable: the next transaction is clean.
+	if err := m.Begin(); err != nil {
+		t.Fatalf("Begin after recovered panic: %v", err)
+	}
+	st.Insert("f", tup(2, 20))
+	m.SetHooks(nil, nil, nil)
+	if err := m.Commit(); err != nil {
+		t.Fatalf("Commit after recovered panic: %v", err)
+	}
+}
+
+// Regression: Rollback used to swallow all but the first undo error
+// and still report the transaction as cleanly ended. Any undo failure
+// now surfaces as corruption and poisons the manager.
+func TestRollbackUndoFailurePoisons(t *testing.T) {
+	st, m := setup(t)
+	inj := faultinject.New()
+	st.SetInjector(inj)
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	st.Insert("f", tup(2, 20))
+	// The two undos replay as deletions; fail both.
+	inj.Arm(faultinject.StoreDelete, 0, faultinject.Error)
+	inj.Arm(faultinject.StoreDelete, 1, faultinject.Error)
+	err := m.Rollback()
+	if err == nil {
+		t.Fatal("rollback with failing undos should error")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("undo failure should wrap ErrCorrupt, got: %v", err)
+	}
+	// Both undo failures are reported, not just the first.
+	if got := strings.Count(err.Error(), "undo "); got != 2 {
+		t.Errorf("want both undo errors surfaced, got %d in: %v", got, err)
+	}
+	// The manager is poisoned: every subsequent call returns ErrCorrupt.
+	if err := m.Begin(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Begin on poisoned manager: %v", err)
+	}
+	if err := m.Commit(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Commit on poisoned manager: %v", err)
+	}
+	if err := m.Rollback(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Rollback on poisoned manager: %v", err)
+	}
+	if m.Corrupt() == nil {
+		t.Error("Corrupt() should report the sticky error")
+	}
+}
+
+// A panic during undo replay (injected at the storage layer) must also
+// finalize the transaction and poison the manager instead of unwinding.
+func TestRollbackUndoPanicPoisons(t *testing.T) {
+	st, m := setup(t)
+	inj := faultinject.New()
+	st.SetInjector(inj)
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	inj.Arm(faultinject.StoreDelete, 0, faultinject.Panic)
+	err := m.Rollback()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("panicking undo should poison: %v", err)
+	}
+	if m.InTransaction() {
+		t.Error("manager left active after panicking undo")
+	}
+}
+
+// A failing check phase whose rollback also fails reports both and
+// poisons the manager.
+func TestCommitRollbackFailureReportsCorruption(t *testing.T) {
+	st, m := setup(t)
+	inj := faultinject.New()
+	st.SetInjector(inj)
+	m.SetHooks(nil, func() error { return errors.New("condition violated") }, nil)
+	m.Begin()
+	st.Insert("f", tup(1, 10))
+	inj.Arm(faultinject.StoreDelete, 0, faultinject.Error)
+	err := m.Commit()
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("double failure should wrap ErrCorrupt: %v", err)
+	}
+	if !strings.Contains(err.Error(), "condition violated") {
+		t.Errorf("original check-phase error lost: %v", err)
+	}
+	if err := m.Begin(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("manager should be poisoned: %v", err)
+	}
+}
+
+// An injected storage fault during the forward phase is a plain
+// statement error; the transaction rolls back cleanly (the one-shot
+// fault does not re-fire during undo replay) and nothing is poisoned.
+func TestForwardFaultRollsBackClean(t *testing.T) {
+	st, m := setup(t)
+	inj := faultinject.New()
+	st.SetInjector(inj)
+	st.Insert("f", tup(1, 10))
+	m.Begin()
+	st.Insert("f", tup(2, 20))
+	inj.Arm(faultinject.StoreInsert, 0, faultinject.Error)
+	if _, err := st.Insert("f", tup(3, 30)); err == nil {
+		t.Fatal("injected fault should surface")
+	}
+	if err := m.Rollback(); err != nil {
+		t.Fatalf("rollback after forward fault: %v", err)
+	}
+	rel, _ := st.Relation("f")
+	if rel.Len() != 1 || !rel.Contains(tup(1, 10)) {
+		t.Errorf("state after rollback: %s", rel.Rows())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Errorf("invariants after rollback: %v", err)
+	}
+	if m.Corrupt() != nil {
+		t.Error("clean rollback must not poison")
+	}
+}

@@ -11,10 +11,17 @@
 package txn
 
 import (
+	"errors"
 	"fmt"
 
 	"partdiff/internal/storage"
 )
+
+// ErrCorrupt is the sticky error a poisoned manager returns from every
+// subsequent call: a rollback failed part-way, so the store may hold a
+// partially undone transaction and no answer derived from it can be
+// trusted. Test with errors.Is.
+var ErrCorrupt = errors.New("database corrupt: rollback failed, store state is not trustworthy")
 
 // Manager coordinates transactions on one store. It is not safe for
 // concurrent use: AMOS-style main-memory transactions are serial.
@@ -24,6 +31,9 @@ type Manager struct {
 	active     bool
 	inRollback bool
 	undo       []storage.Event
+	// corrupt, once set, poisons the manager: Begin, Commit and
+	// Rollback all return it (wrapping ErrCorrupt) forever after.
+	corrupt error
 
 	// onEvent receives every physical event (including inverse events
 	// replayed during rollback) — the rule monitor folds them into
@@ -62,6 +72,9 @@ func (m *Manager) observe(e storage.Event) {
 
 // Begin starts a transaction.
 func (m *Manager) Begin() error {
+	if m.corrupt != nil {
+		return m.corrupt
+	}
 	if m.active {
 		return fmt.Errorf("transaction already active")
 	}
@@ -69,6 +82,10 @@ func (m *Manager) Begin() error {
 	m.undo = m.undo[:0]
 	return nil
 }
+
+// Corrupt returns the sticky corruption error, or nil while the manager
+// is healthy.
+func (m *Manager) Corrupt() error { return m.corrupt }
 
 // InTransaction reports whether a transaction is active.
 func (m *Manager) InTransaction() bool { return m.active }
@@ -78,17 +95,23 @@ func (m *Manager) InTransaction() bool { return m.active }
 func (m *Manager) UpdateCount() int { return len(m.undo) }
 
 // Commit runs the deferred check phase and finishes the transaction.
-// If the check phase fails, the transaction is rolled back and the
-// check-phase error returned.
+// If the check phase fails (by error or by panic), the transaction is
+// rolled back and the check-phase error returned; if that rollback
+// itself fails the manager is poisoned (see ErrCorrupt). The
+// transaction is guaranteed to be finalized either way — a panicking
+// check phase can not leave the manager active with a stale undo log.
 func (m *Manager) Commit() error {
+	if m.corrupt != nil {
+		return m.corrupt
+	}
 	if !m.active {
 		return fmt.Errorf("no active transaction")
 	}
 	if m.onCommit != nil {
-		if err := m.onCommit(); err != nil {
+		if err := m.runCommitHook(); err != nil {
 			rbErr := m.Rollback()
 			if rbErr != nil {
-				return fmt.Errorf("check phase failed: %w (rollback also failed: %v)", err, rbErr)
+				return fmt.Errorf("check phase failed: %v (%w)", err, rbErr)
 			}
 			return fmt.Errorf("check phase failed, transaction rolled back: %w", err)
 		}
@@ -101,31 +124,61 @@ func (m *Manager) Commit() error {
 	return nil
 }
 
+// runCommitHook invokes the check-phase hook, converting a panic into
+// an error so Commit's rollback-and-finalize path runs regardless.
+func (m *Manager) runCommitHook() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("check phase panicked: %v", r)
+		}
+	}()
+	return m.onCommit()
+}
+
 // Rollback undoes every update of the active transaction by replaying
-// the undo log inverted, in reverse order.
+// the undo log inverted, in reverse order. Every undo failure — not
+// just the first — is collected; any failure means the store no longer
+// matches the pre-transaction state, so the manager is poisoned and
+// the returned error wraps ErrCorrupt.
 func (m *Manager) Rollback() error {
+	if m.corrupt != nil {
+		return m.corrupt
+	}
 	if !m.active {
 		return fmt.Errorf("no active transaction")
 	}
 	m.inRollback = true
-	var firstErr error
-	for i := len(m.undo) - 1; i >= 0; i-- {
-		e := m.undo[i]
-		var err error
-		if e.Kind == storage.InsertEvent {
-			_, err = m.store.Delete(e.Relation, e.Tuple)
-		} else {
-			_, err = m.store.Insert(e.Relation, e.Tuple)
+	var undoErrs []error
+	func() {
+		// A panicking undo (e.g. injected at the storage layer) must
+		// still finalize the transaction and poison the manager.
+		defer func() {
+			if r := recover(); r != nil {
+				undoErrs = append(undoErrs, fmt.Errorf("undo panicked: %v", r))
+			}
+		}()
+		for i := len(m.undo) - 1; i >= 0; i-- {
+			e := m.undo[i]
+			var err error
+			if e.Kind == storage.InsertEvent {
+				_, err = m.store.Delete(e.Relation, e.Tuple)
+			} else {
+				_, err = m.store.Insert(e.Relation, e.Tuple)
+			}
+			if err != nil {
+				undoErrs = append(undoErrs, fmt.Errorf("undo %s: %v", e, err))
+			}
 		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("undo %s: %w", e, err)
-		}
-	}
+	}()
 	m.inRollback = false
 	m.active = false
 	m.undo = m.undo[:0]
 	if m.onEnd != nil {
 		m.onEnd(false)
 	}
-	return firstErr
+	if len(undoErrs) > 0 {
+		m.corrupt = fmt.Errorf("%w: %v", ErrCorrupt, errors.Join(undoErrs...))
+		return m.corrupt
+	}
+	return nil
 }

@@ -29,13 +29,22 @@
 package partdiff
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"partdiff/internal/amosql"
 	"partdiff/internal/catalog"
 	"partdiff/internal/rules"
+	"partdiff/internal/txn"
 	"partdiff/internal/types"
 )
+
+// ErrCorrupt is the sticky error a poisoned database returns from every
+// call after a rollback failed part-way: the store may hold a partially
+// undone transaction, so no answer derived from it can be trusted.
+// Test with errors.Is.
+var ErrCorrupt = txn.ErrCorrupt
 
 // Value is a database value (nil, bool, int, float, string, or object
 // reference).
@@ -101,6 +110,8 @@ type Option func(*config)
 type config struct {
 	mode        Mode
 	noDeletions bool
+	budget      time.Duration
+	ctx         context.Context
 }
 
 // WithMode selects the condition monitoring strategy (default
@@ -118,6 +129,22 @@ func WithoutDeletionMonitoring() Option {
 	return func(c *config) { c.noDeletions = true }
 }
 
+// WithCheckBudget bounds the wall-clock duration of each commit-time
+// check phase. A rule cascade that exceeds the budget aborts with an
+// error and the transaction rolls back — Δ-sets cancel, no rule sees a
+// partial cascade. This complements the cascade round bound
+// (rules.Manager.MaxRounds) for rule sets whose rounds are individually
+// expensive rather than numerous. Zero means unlimited.
+func WithCheckBudget(d time.Duration) Option {
+	return func(c *config) { c.budget = d }
+}
+
+// WithCheckContext aborts any check phase as soon as ctx is done, via
+// the same rollback path as WithCheckBudget.
+func WithCheckContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
+}
+
 // Open creates an empty in-memory active database.
 func Open(opts ...Option) *DB {
 	cfg := config{mode: Incremental}
@@ -128,6 +155,8 @@ func Open(opts ...Option) *DB {
 	if cfg.noDeletions {
 		db.sess.Rules().SetMonitorDeletions(false)
 	}
+	db.sess.Rules().CheckBudget = cfg.budget
+	db.sess.Rules().CheckContext = cfg.ctx
 	return db
 }
 
@@ -144,15 +173,25 @@ func (db *DB) Query(src string) (*Result, error) { return db.sess.Query(src) }
 
 // Begin starts an explicit transaction; rule conditions are monitored
 // deferred, at Commit.
-func (db *DB) Begin() error { return db.sess.Txns().Begin() }
+func (db *DB) Begin() error { return db.sess.Begin() }
 
 // Commit runs the deferred check phase (change propagation, conflict
-// resolution, set-oriented action execution) and commits.
-func (db *DB) Commit() error { return db.sess.Txns().Commit() }
+// resolution, set-oriented action execution) and commits. A panic in a
+// registered procedure or anywhere in the check phase is contained and
+// rolls the transaction back; if rollback itself fails the database is
+// poisoned and every later call returns ErrCorrupt.
+func (db *DB) Commit() error { return db.sess.Commit() }
 
 // Rollback undoes the active transaction; Δ-sets cancel out so no rule
 // sees any net change.
-func (db *DB) Rollback() error { return db.sess.Txns().Rollback() }
+func (db *DB) Rollback() error { return db.sess.Rollback() }
+
+// CheckInvariants verifies cross-layer consistency: storage
+// index↔tuple-set agreement, propagation-network level monotonicity,
+// and — outside a transaction — that no Δ-set or pending trigger set
+// survived the last check phase. It returns nil on a healthy database
+// and the first violation (or the sticky ErrCorrupt) otherwise.
+func (db *DB) CheckInvariants() error { return db.sess.CheckInvariants() }
 
 // RegisterProcedure exposes a Go function as an AMOSQL procedure for
 // rule actions.

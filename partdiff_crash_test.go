@@ -1,0 +1,205 @@
+package partdiff
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"partdiff/internal/faultinject"
+)
+
+const crashSchema = `
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < threshold(i)
+    do alarm(i);
+create item instances :i1;
+set quantity(:i1) = 100;
+set threshold(:i1) = 10;
+activate low();
+`
+
+// crashDB opens a DB whose alarm procedure fails the given way the
+// first time it runs and records every invocation.
+func crashDB(t *testing.T, fail func() error, opts ...Option) (*DB, *int) {
+	t.Helper()
+	db := Open(opts...)
+	calls := new(int)
+	first := true
+	db.RegisterProcedure("alarm", func(args []Value) error {
+		*calls++
+		if first && fail != nil {
+			first = false
+			return fail()
+		}
+		return nil
+	})
+	db.MustExec(crashSchema)
+	return db, calls
+}
+
+// triggerLow makes the rule condition true; with a failing alarm the
+// statement's implicit transaction must roll back.
+func triggerLow(db *DB) error {
+	_, err := db.Exec(`set quantity(:i1) = 5;`)
+	return err
+}
+
+func assertHealthyAndUsable(t *testing.T, db *DB, calls *int) {
+	t.Helper()
+	if err := db.CheckInvariants(); err != nil {
+		t.Errorf("invariants after failure: %v", err)
+	}
+	// The update rolled back: quantity is still 100.
+	r, err := db.Query(`select q for each item i, integer q where quantity(i) = q;`)
+	if err != nil || len(r.Tuples) != 1 || r.Tuples[0][0].I != 100 {
+		t.Fatalf("state after failure: %v %v", r, err)
+	}
+	// The DB remains fully usable: the same trigger now succeeds.
+	before := *calls
+	if err := triggerLow(db); err != nil {
+		t.Fatalf("DB unusable after recovered failure: %v", err)
+	}
+	if *calls != before+1 {
+		t.Errorf("alarm calls = %d, want %d", *calls, before+1)
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Errorf("invariants after recovery: %v", err)
+	}
+}
+
+func TestProcedurePanicContained(t *testing.T) {
+	db, calls := crashDB(t, func() error { panic("alarm wiring on fire") })
+	err := triggerLow(db)
+	if err == nil {
+		t.Fatal("panicking procedure should fail the transaction")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("error should mention the panic: %v", err)
+	}
+	assertHealthyAndUsable(t, db, calls)
+}
+
+func TestProcedureErrorRollsBack(t *testing.T) {
+	db, calls := crashDB(t, func() error { return errors.New("pager service down") })
+	err := triggerLow(db)
+	if err == nil || !strings.Contains(err.Error(), "pager service down") {
+		t.Fatalf("procedure error should surface: %v", err)
+	}
+	assertHealthyAndUsable(t, db, calls)
+}
+
+// A panicking registered foreign function used in a procedural
+// expression (an action argument here) is contained the same way.
+func TestForeignFuncPanicContained(t *testing.T) {
+	db := Open()
+	var got []Value
+	db.RegisterProcedure("note", func(args []Value) error {
+		got = append(got, args[0])
+		return nil
+	})
+	boom := true
+	db.RegisterFunction("scale", []string{"integer"}, "integer", func(args []Value) ([][]Value, error) {
+		if boom {
+			boom = false
+			panic("scale exploded")
+		}
+		return [][]Value{{Int(args[0].I * 2)}}, nil
+	})
+	db.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create rule watch() as
+    when for each item i where quantity(i) < 0
+    do note(scale(quantity(i)));
+create item instances :a;
+activate watch();
+`)
+	if _, err := db.Exec(`set quantity(:a) = -3;`); err == nil ||
+		!strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("foreign function panic should surface as error: %v", err)
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	// Second attempt succeeds and the function computes.
+	if _, err := db.Exec(`set quantity(:a) = -3;`); err != nil {
+		t.Fatalf("DB unusable after foreign panic: %v", err)
+	}
+	if len(got) != 1 || got[0].I != -6 {
+		t.Errorf("action args = %v, want [-6]", got)
+	}
+}
+
+// When rollback itself fails, the DB is poisoned: every later call
+// returns the sticky ErrCorrupt rather than serving wrong answers.
+func TestErrCorruptPoisoning(t *testing.T) {
+	db, _ := crashDB(t, func() error { return errors.New("fail the check phase") })
+	inj := faultinject.New()
+	db.Session().SetInjector(inj)
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`set quantity(:i1) = 5;`); err != nil {
+		t.Fatal(err)
+	}
+	// The forward phase emitted −(quantity,i1,100) +(quantity,i1,5); the
+	// failing check phase rolls back and the undo of the deletion (an
+	// insert) is made to fail.
+	inj.Arm(faultinject.StoreInsert, 0, faultinject.Error)
+	err := db.Commit()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("failed rollback should poison the DB: %v", err)
+	}
+	for name, call := range map[string]func() error{
+		"Begin":    db.Begin,
+		"Commit":   db.Commit,
+		"Rollback": db.Rollback,
+		"Exec":     func() error { _, err := db.Exec(`select i for each item i;`); return err },
+		"Query":    func() error { _, err := db.Query(`select i for each item i;`); return err },
+		"CheckInvariants": db.CheckInvariants,
+	} {
+		if err := call(); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s on poisoned DB: %v (want ErrCorrupt)", name, err)
+		}
+	}
+}
+
+// WithCheckBudget stops a non-terminating cascade at the facade level.
+func TestWithCheckBudget(t *testing.T) {
+	db := Open(WithCheckBudget(5 * time.Millisecond))
+	db.RegisterProcedure("bump", func(args []Value) error {
+		db.SetVar("_i", args[0])
+		db.SetVar("_q", Int(args[1].I+1))
+		_, err := db.Exec(`set quantity(:_i) = :_q;`)
+		return err
+	})
+	db.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create nervous rule runaway() as
+    when for each item i, integer q where quantity(i) = q and q > 0
+    do bump(i, q);
+create item instances :a;
+activate runaway();
+`)
+	db.Session().Rules().MaxRounds = 1 << 30
+	_, err := db.Exec(`set quantity(:a) = 1;`)
+	if err == nil {
+		t.Fatal("runaway cascade should exceed the budget")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error should mention the budget: %v", err)
+	}
+	// Rolled back: quantity has no value.
+	r, err := db.Query(`select q for each item i, integer q where quantity(i) = q;`)
+	if err != nil || len(r.Tuples) != 0 {
+		t.Errorf("cascade updates survived: %v %v", r, err)
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
