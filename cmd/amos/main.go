@@ -5,16 +5,20 @@
 //	\stats                show monitor statistics
 //	\explain              show why rules triggered in the last commit
 //	\net                  show the propagation network levels
+//	\lint                 re-run the static analyzer over all definitions
 //	\quit
 //
 // A demo `order` procedure is predefined (it prints the order). Run a
-// script: amos -f script.amosql
+// script: amos -f script.amosql. Statically analyze a script without
+// running its rule actions: amos -lint script.amosql (exits 1 if any
+// error-severity diagnostics are reported).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,6 +28,7 @@ import (
 func main() {
 	modeFlag := flag.String("mode", "incremental", "monitoring mode: incremental, naive, hybrid")
 	file := flag.String("f", "", "execute a script file and exit")
+	lintFile := flag.String("lint", "", "statically analyze a script file and exit (actions are not run)")
 	flag.Parse()
 
 	var mode partdiff.Mode
@@ -38,6 +43,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
 		os.Exit(2)
 	}
+	if *lintFile != "" {
+		os.Exit(lint(mode, *lintFile))
+	}
+
 	db := partdiff.Open(partdiff.WithMode(mode))
 	db.SetOutput(os.Stdout)
 	db.RegisterProcedure("order", func(args []partdiff.Value) error {
@@ -133,6 +142,15 @@ func meta(db *partdiff.DB, cmd string) bool {
 			db.SetDebug(os.Stdout)
 			fmt.Println("check-phase tracing on (\\debug off to disable)")
 		}
+	case "\\lint":
+		rep := db.Session().AnalyzeAll()
+		if len(rep) == 0 {
+			fmt.Println("no diagnostics")
+			break
+		}
+		for _, d := range rep {
+			fmt.Println(d.String())
+		}
 	case "\\dot":
 		net := db.Session().Rules().Network()
 		if net == nil {
@@ -141,9 +159,41 @@ func meta(db *partdiff.DB, cmd string) bool {
 		}
 		fmt.Print(net.Dot())
 	default:
-		fmt.Println("unknown meta command; try \\stats \\explain \\net \\dot \\debug \\mode \\quit")
+		fmt.Println("unknown meta command; try \\stats \\explain \\net \\dot \\debug \\lint \\mode \\quit")
 	}
 	return false
+}
+
+// lint loads a script with rule actions disabled (no foreign
+// procedures run), then re-runs the static analyzer over every
+// definition and rule with full program knowledge and prints the
+// diagnostics. Returns the process exit code: 1 if the script failed
+// to load or any error-severity diagnostic was reported.
+func lint(mode partdiff.Mode, path string) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	db := partdiff.Open(partdiff.WithMode(mode))
+	db.SetOutput(io.Discard)
+	db.Session().SetLintMode(true)
+	failed := false
+	if _, err := db.Exec(string(src)); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		failed = true
+	}
+	rep := db.Session().AnalyzeAll()
+	for _, d := range rep {
+		fmt.Println(d.String())
+	}
+	if !failed && len(rep) == 0 {
+		fmt.Println("no diagnostics")
+	}
+	if failed || rep.HasErrors() {
+		return 1
+	}
+	return 0
 }
 
 func exec(db *partdiff.DB, src string) error {

@@ -153,3 +153,47 @@ func TestMetaNetWithoutActivations(t *testing.T) {
 	// levels is acceptable, but it must not panic.
 	_ = out
 }
+
+// TestLintCommandClean checks the -lint path over a shipped script.
+func TestLintCommandClean(t *testing.T) {
+	var code int
+	out := capture(t, func() {
+		code = lint(partdiff.Incremental, "../../examples/scripts/inventory.amosql")
+	})
+	if code != 0 {
+		t.Fatalf("lint exit code %d for clean script; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no diagnostics") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+// TestLintCommandReportsErrors checks the -lint path exits non-zero on
+// a script whose rule condition is rejected by the analyzer.
+func TestLintCommandReportsErrors(t *testing.T) {
+	path := t.TempDir() + "/bad.amosql"
+	src := `
+create type item;
+create function val(item) -> integer;
+create function bad(item i) -> boolean as
+    select true for each item j where j = i and val(i) > 0 and not bad(i);
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var code int
+	capture(t, func() { code = lint(partdiff.Incremental, path) })
+	if code != 1 {
+		t.Fatalf("lint exit code %d for unstratified script, want 1", code)
+	}
+}
+
+// TestLintMeta checks the \lint meta command prints the analyzer report
+// for the live session.
+func TestLintMeta(t *testing.T) {
+	db := demoDB(t)
+	out := capture(t, func() { meta(db, `\lint`) })
+	if !strings.Contains(out, "no diagnostics") {
+		t.Errorf("output:\n%s", out)
+	}
+}

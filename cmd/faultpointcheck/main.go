@@ -1,0 +1,34 @@
+// Command faultpointcheck runs the repo-local fault point vet check
+// (internal/lint/faultpointcheck) over a module tree and prints its
+// findings, one per line, vet style:
+//
+//	faultpointcheck [-root dir]
+//
+// It exits 1 if any finding is reported and 2 on usage or parse errors,
+// so it can gate CI alongside go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partdiff/internal/lint/faultpointcheck"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to check")
+	flag.Parse()
+
+	findings, err := faultpointcheck.Check(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"partdiff/internal/analyze"
 	"partdiff/internal/catalog"
 	"partdiff/internal/eval"
 	"partdiff/internal/faultinject"
@@ -45,6 +46,11 @@ type Session struct {
 	// dies only if the transaction commits.
 	pendingDeletes []pendingDelete
 
+	// lintMode turns rule actions into no-ops, so a script can be
+	// executed for analysis only (the \lint and -lint paths) without
+	// requiring its foreign procedures or performing their effects.
+	lintMode bool
+
 	// owner is the id of the goroutine currently inside the session (0
 	// = free) and depth its re-entrancy count. Transactions are serial
 	// (internal/txn), so a second goroutine would race on the store,
@@ -80,6 +86,7 @@ func NewSession(mode rules.Mode) *Session {
 	})
 	s.comp = &compiler{cat: s.cat, iface: s.iface}
 	s.ev = eval.New(sessEnv{s})
+	s.mgr.SetAnalyzerOptions(analyze.WithCatalog(s.cat))
 	s.cat.RegisterProcedure("print", func(args []types.Value) error {
 		if s.Output == nil {
 			return nil
@@ -114,6 +121,56 @@ func (s *Session) IfaceVar(name string) (types.Value, bool) {
 
 // SetIfaceVar binds a session interface variable.
 func (s *Session) SetIfaceVar(name string, v types.Value) { s.iface[name] = v }
+
+// SetLazyAnalysis disables (true) or re-enables (false) the eager
+// definition-time static analysis of derived functions and rules,
+// restoring the historical behavior where defects surface at
+// activation or commit time.
+func (s *Session) SetLazyAnalysis(lazy bool) { s.mgr.SetLazyAnalysis(lazy) }
+
+// SetLintMode controls lint mode: rule actions become no-ops, so
+// scripts can be executed for analysis without their foreign
+// procedures being registered or run.
+func (s *Session) SetLintMode(on bool) { s.lintMode = on }
+
+// AnalyzeAll runs the static analyzer over every derived-function
+// definition and every rule condition currently defined, returning the
+// combined report (the \lint command).
+func (s *Session) AnalyzeAll() analyze.Report {
+	an := s.mgr.Analyzer()
+	rep := an.AnalyzeProgram()
+	for _, name := range s.mgr.RuleNames() {
+		r, _ := s.mgr.Rule(name)
+		rep = append(rep, an.AnalyzeRule(r.CondDef, r.NumParams)...)
+	}
+	return rep
+}
+
+// analyzeDef validates a derived-function definition: the full static
+// analyzer when eager (returning its report so warnings can be shown),
+// or the historical per-clause safety check when lazy.
+func (s *Session) analyzeDef(def *objectlog.Def) (analyze.Report, error) {
+	if s.mgr.LazyAnalysis() {
+		for _, c := range def.Clauses {
+			if err := objectlog.CheckSafe(c); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	rep := s.mgr.Analyzer().AnalyzeDef(def)
+	return rep, rep.Err()
+}
+
+// appendWarnings appends warning diagnostics to a statement message,
+// one per line, so eager analysis surfaces them in the shell.
+func appendWarnings(msg string, rep analyze.Report) string {
+	w := rep.Warnings()
+	if len(w) == 0 {
+		return msg
+	}
+	return msg + "\n" + w.String()
+}
 
 // RegisterProcedure exposes a Go function as a foreign procedure
 // callable from rule actions ("foreign functions can be written in Lisp
@@ -402,25 +459,24 @@ func (s *Session) execCreateFunction(x CreateFunction) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		for _, c := range def.Clauses {
-			if err := objectlog.CheckSafe(c); err != nil {
-				return Result{}, err
-			}
+		rep, err := s.analyzeDef(def)
+		if err != nil {
+			return Result{}, err
 		}
 		if err := s.mgr.Program().Define(def); err != nil {
 			return Result{}, err
 		}
 		s.cat.SetBody(x.Name, def)
-		return Result{Message: fmt.Sprintf("aggregate function %s (%s) created", x.Name, op)}, nil
+		msg := fmt.Sprintf("aggregate function %s (%s) created", x.Name, op)
+		return Result{Message: appendWarnings(msg, rep)}, nil
 	}
 	def, _, err := s.comp.compileQuery(x.Name, x.Params, x.Body)
 	if err != nil {
 		return Result{}, err
 	}
-	for _, c := range def.Clauses {
-		if err := objectlog.CheckSafe(c); err != nil {
-			return Result{}, err
-		}
+	rep, err := s.analyzeDef(def)
+	if err != nil {
+		return Result{}, err
 	}
 	def = objectlog.SimplifyDef(def)
 	if err := s.mgr.Program().Define(def); err != nil {
@@ -434,7 +490,7 @@ func (s *Session) execCreateFunction(x CreateFunction) (Result, error) {
 		}
 		kind = "shared derived"
 	}
-	return Result{Message: fmt.Sprintf("%s function %s created", kind, x.Name)}, nil
+	return Result{Message: appendWarnings(fmt.Sprintf("%s function %s created", kind, x.Name), rep)}, nil
 }
 
 func (s *Session) execCreateRule(x CreateRule) (Result, error) {
@@ -447,6 +503,16 @@ func (s *Session) execCreateRule(x CreateRule) (Result, error) {
 	def, headNames, err := s.comp.compileQuery(condName, x.Params, cond)
 	if err != nil {
 		return Result{}, err
+	}
+	// Eager definition-time analysis: reject errors before the rule is
+	// registered, and keep the report so warnings reach the shell. The
+	// manager re-checks errors in DefineRule for direct API users.
+	var rep analyze.Report
+	if !s.mgr.LazyAnalysis() {
+		rep = s.mgr.Analyzer().AnalyzeRule(def, len(x.Params))
+		if err := rep.Err(); err != nil {
+			return Result{}, fmt.Errorf("rule %q: %w", x.Name, err)
+		}
 	}
 	action, err := s.buildAction(x, headNames)
 	if err != nil {
@@ -480,7 +546,7 @@ func (s *Session) execCreateRule(x CreateRule) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Message: fmt.Sprintf("rule %s created", x.Name)}, nil
+	return Result{Message: appendWarnings(fmt.Sprintf("rule %s created", x.Name), rep)}, nil
 }
 
 // buildAction compiles the procedural action of a rule into a callback
@@ -491,6 +557,9 @@ func (s *Session) buildAction(x CreateRule, headNames []string) (rules.Action, e
 	proc := x.ActionProc
 	argExprs := x.ActionArgs
 	return func(inst types.Tuple) error {
+		if s.lintMode {
+			return nil
+		}
 		if len(inst) != len(headNames) {
 			return fmt.Errorf("rule %s: instance arity %d, head %d", x.Name, len(inst), len(headNames))
 		}

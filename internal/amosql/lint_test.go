@@ -1,0 +1,112 @@
+package amosql
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"partdiff/internal/rules"
+)
+
+// TestLintExampleScriptsClean loads every shipped example script in
+// lint mode (rule actions disabled, no foreign procedures needed) and
+// checks the whole-program analysis reports no errors or warnings
+// (informational diagnostics, e.g. re-evaluated aggregates, are fine).
+func TestLintExampleScriptsClean(t *testing.T) {
+	scripts, err := filepath.Glob("../../examples/scripts/*.amosql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no example scripts found")
+	}
+	for _, path := range scripts {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSession(rules.Incremental)
+			s.SetLintMode(true)
+			if _, err := s.Exec(string(src)); err != nil {
+				t.Fatalf("script failed to load: %v", err)
+			}
+			if rep := s.AnalyzeAll(); !rep.Clean() {
+				t.Fatalf("script does not lint clean:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestLintUnstratifiedRejectedAtDefinition is the regression test for
+// eager analysis: an unstratified derived function historically slipped
+// through `create function` and only failed when a rule over it was
+// activated. With eager analysis (the default) the definition itself is
+// rejected with OL002; with lazy analysis the legacy timing still
+// holds, but a later `create rule` referencing the bad view is rejected
+// at definition time — not at activation or commit.
+func TestLintUnstratifiedRejectedAtDefinition(t *testing.T) {
+	setup := `
+		create type item;
+		create function val(item) -> integer;
+	`
+	badDef := `
+		create function bad(item i) -> boolean as
+			select true for each item j where j = i and val(i) > 0 and not bad(i);
+	`
+
+	// Eager (default): create function is rejected with OL002.
+	s := NewSession(rules.Incremental)
+	s.MustExec(setup)
+	_, err := s.Exec(badDef)
+	if err == nil || !strings.Contains(err.Error(), "OL002") {
+		t.Fatalf("eager create function: got %v, want OL002 rejection", err)
+	}
+
+	// Lazy: the definition is accepted (historical behavior) ...
+	s = NewSession(rules.Incremental)
+	s.SetLazyAnalysis(true)
+	s.MustExec(setup)
+	if _, err := s.Exec(badDef); err != nil {
+		t.Fatalf("lazy create function: %v", err)
+	}
+
+	// ... and switching back to eager, a rule over the bad view is
+	// rejected when the rule is created, not when it is activated.
+	s.SetLazyAnalysis(false)
+	_, err = s.Exec(`
+		create rule watch() as
+			when for each item i where bad(i)
+			do print(i);
+	`)
+	if err == nil || !strings.Contains(err.Error(), "OL002") {
+		t.Fatalf("create rule over unstratified view: got %v, want OL002 rejection", err)
+	}
+}
+
+// TestLintCreateWarningsShown checks that non-fatal diagnostics are
+// appended to the statement result message, so the shell surfaces them
+// eagerly.
+func TestLintCreateWarningsShown(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.MustExec(`
+		create type item;
+		create function val(item) -> integer;
+	`)
+	res, err := s.Exec(`
+		create function dup(item i) -> integer as
+			select val(j) for each item j
+			where (j = i and val(j) > 0) or (val(j) > 0 and j = i);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := res[len(res)-1].Message
+	if !strings.Contains(msg, "OL203") {
+		t.Fatalf("duplicate-disjunct warning not surfaced; message: %q", msg)
+	}
+	if !strings.Contains(msg, "function dup") {
+		t.Fatalf("success message missing; got %q", msg)
+	}
+}

@@ -1,0 +1,473 @@
+// Package analyze is the definition-time static analyzer for ObjectLog
+// programs. The paper's correctness guarantees (§4.3–§4.5) hold only
+// for rule conditions that are range restricted, safely negated and
+// stratified; this package verifies those properties — plus catalog
+// type correctness and differencing applicability — when a derived
+// function or rule is defined, instead of when a transaction commits.
+//
+// The analyzer runs five passes over a definition (and, for rules, the
+// program around it):
+//
+//  1. safety/range restriction of every disjunct (OL001);
+//  2. stratification of negation and aggregates over the predicate
+//     dependency graph (OL002, OL003);
+//  3. type checking of literal arguments against catalog signatures
+//     (OL004–OL007);
+//  4. differencing applicability — constructs internal/diff cannot
+//     incrementalize (OL101 annotated literals, OL102 re-evaluated
+//     influents);
+//  5. warnings — dead disjuncts (OL201), conditions with no stored
+//     influent (OL202), duplicate disjuncts (OL203).
+//
+// Diagnostics carry a stable code, a severity and a clause/literal
+// position, so the same defect reports the same code whether it is
+// caught here, in the expander, in the differencing compiler or in the
+// evaluator.
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"partdiff/internal/catalog"
+	"partdiff/internal/objectlog"
+)
+
+// Analyzer holds the context an analysis runs against: the program for
+// dependency and stratification analysis, and optionally the catalog
+// and the store's base relations for type and arity checking.
+type Analyzer struct {
+	prog *objectlog.Program
+	cat  *catalog.Catalog
+	// relArity resolves a base relation name to its arity (the store's
+	// relations, when the caller has one).
+	relArity func(name string) (arity int, ok bool)
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer)
+
+// WithCatalog supplies the schema catalog, enabling the type-checking
+// pass (arity, argument types, builtin comparability).
+func WithCatalog(c *catalog.Catalog) Option {
+	return func(a *Analyzer) { a.cat = c }
+}
+
+// WithRelations supplies a base-relation arity lookup (typically the
+// store), so literals over relations created outside the catalog can
+// be arity-checked and recognized as stored.
+func WithRelations(f func(name string) (int, bool)) Option {
+	return func(a *Analyzer) { a.relArity = f }
+}
+
+// New returns an analyzer over the given program. prog may be nil (an
+// empty program is assumed).
+func New(prog *objectlog.Program, opts ...Option) *Analyzer {
+	if prog == nil {
+		prog = objectlog.NewProgram()
+	}
+	a := &Analyzer{prog: prog}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// AnalyzeDef runs all passes over one derived-predicate definition.
+func (a *Analyzer) AnalyzeDef(def *objectlog.Def) Report {
+	return a.analyze(def, nil, false)
+}
+
+// AnalyzeRule runs all passes over a rule-condition definition. The
+// first numParams head variables are the rule's parameters; activation
+// substitutes them with constants, so safety analysis treats them as
+// pre-bound. Rule-only passes (no stored influent, re-evaluated
+// influents) run in addition to the definition passes.
+func (a *Analyzer) AnalyzeRule(def *objectlog.Def, numParams int) Report {
+	prebound := map[string]bool{}
+	for i, t := range headArgs(def) {
+		if i >= numParams {
+			break
+		}
+		if t.IsVar {
+			prebound[t.Var] = true
+		}
+	}
+	return a.analyze(def, prebound, true)
+}
+
+// AnalyzeProgram runs AnalyzeDef over every definition of the program,
+// in name order.
+func (a *Analyzer) AnalyzeProgram() Report {
+	var out Report
+	for _, name := range a.prog.Names() {
+		def, _ := a.prog.Def(name)
+		out = append(out, a.AnalyzeDef(def)...)
+	}
+	return out
+}
+
+// headArgs returns the head argument terms of the first clause (all
+// clauses of a definition share the head shape).
+func headArgs(def *objectlog.Def) []objectlog.Term {
+	if len(def.Clauses) == 0 {
+		return nil
+	}
+	return def.Clauses[0].Head.Args
+}
+
+func (a *Analyzer) analyze(def *objectlog.Def, prebound map[string]bool, isRule bool) Report {
+	var r Report
+	r = append(r, a.passApplicability(def)...)
+	r = append(r, a.passSafety(def, prebound)...)
+	r = append(r, a.passStratification(def)...)
+	r = append(r, a.passTypes(def)...)
+	r = append(r, a.passWarnings(def)...)
+	if isRule {
+		r = append(r, a.passRule(def)...)
+	}
+	return r
+}
+
+// passSafety checks range restriction of every disjunct (pass 1). A
+// definition with several clauses is the DNF of a disjunctive body;
+// each disjunct must independently be safe.
+func (a *Analyzer) passSafety(def *objectlog.Def, prebound map[string]bool) Report {
+	var r Report
+	for ci, c := range def.Clauses {
+		for _, v := range objectlog.SafetyViolations(c, prebound) {
+			r = append(r, Diagnostic{
+				Code:     CodeUnsafe,
+				Severity: Error,
+				Pred:     def.Name,
+				Clause:   ci,
+				Literal:  -1,
+				Message:  fmt.Sprintf("variable %s in %s is not range restricted", v.Var, v.Where),
+				Hint:     fmt.Sprintf("bind %s with a positive stored or derived literal in the same disjunct", v.Var),
+			})
+		}
+	}
+	return r
+}
+
+// passStratification checks negation and aggregation against the
+// predicate dependency graph (pass 2): a predicate may not negate a
+// member of its own recursive component, and an aggregate view may not
+// be part of one (its fixpoint would aggregate itself).
+func (a *Analyzer) passStratification(def *objectlog.Def) Report {
+	comp, recursive := a.componentsWith(def)
+	var r Report
+	if def.Aggregate != "" && recursive[def.Name] {
+		r = append(r, Diagnostic{
+			Code:     CodeUnstratifiedAggregate,
+			Severity: Error,
+			Pred:     def.Name,
+			Clause:   -1,
+			Literal:  -1,
+			Message:  fmt.Sprintf("aggregate view %q is part of a recursive component: aggregation over its own fixpoint is unstratified", def.Name),
+			Hint:     "aggregate a non-recursive subquery instead",
+		})
+	}
+	for ci, c := range def.Clauses {
+		for li, l := range c.Body {
+			if objectlog.IsBuiltin(l.Pred) {
+				continue
+			}
+			sameComp := comp[l.Pred] != 0 && comp[l.Pred] == comp[def.Name] && recursive[def.Name]
+			if !sameComp {
+				continue
+			}
+			if l.Negated {
+				r = append(r, Diagnostic{
+					Code:     CodeUnstratifiedNegation,
+					Severity: Error,
+					Pred:     def.Name,
+					Clause:   ci,
+					Literal:  li,
+					Message:  fmt.Sprintf("recursive component of %q negates member %q: unstratified negation is not supported", def.Name, l.Pred),
+					Hint:     "negate a predicate from a lower stratum (one that does not depend on " + def.Name + ")",
+				})
+			}
+			if d, ok := a.prog.Def(l.Pred); ok && d.Aggregate != "" {
+				r = append(r, Diagnostic{
+					Code:     CodeUnstratifiedAggregate,
+					Severity: Error,
+					Pred:     def.Name,
+					Clause:   ci,
+					Literal:  li,
+					Message:  fmt.Sprintf("recursive component of %q contains aggregate view %q: aggregation inside recursion is unstratified", def.Name, l.Pred),
+					Hint:     "aggregate outside the recursive component",
+				})
+			}
+		}
+	}
+	return r
+}
+
+// passApplicability flags constructs the differencing compiler cannot
+// incrementalize (pass 4). Annotated (Δ/old) literals are errors: the
+// compiler owns those annotations. Aggregate and recursive definitions
+// are informational — propnet monitors them correctly, but by
+// re-evaluation rather than partial differentials.
+func (a *Analyzer) passApplicability(def *objectlog.Def) Report {
+	var r Report
+	for ci, c := range def.Clauses {
+		for li, l := range c.Body {
+			if l.Delta != objectlog.DeltaNone || l.Old {
+				r = append(r, Diagnostic{
+					Code:     CodeAnnotatedLiteral,
+					Severity: Error,
+					Pred:     def.Name,
+					Clause:   ci,
+					Literal:  li,
+					Message:  fmt.Sprintf("definition contains annotated literal %s; differentials must be generated from plain clauses", l),
+					Hint:     "remove the Δ/old annotation — the differencing compiler introduces these itself",
+				})
+			}
+		}
+	}
+	_, recursive := a.componentsWith(def)
+	switch {
+	case def.Aggregate != "":
+		r = append(r, Diagnostic{
+			Code:     CodeReevaluated,
+			Severity: Info,
+			Pred:     def.Name,
+			Clause:   -1,
+			Literal:  -1,
+			Message:  fmt.Sprintf("aggregate view %q is monitored by re-evaluation (old vs new state), not partial differencing", def.Name),
+		})
+	case recursive[def.Name]:
+		r = append(r, Diagnostic{
+			Code:     CodeReevaluated,
+			Severity: Info,
+			Pred:     def.Name,
+			Clause:   -1,
+			Literal:  -1,
+			Message:  fmt.Sprintf("recursive predicate %q is monitored by fixpoint re-evaluation, not partial differencing", def.Name),
+		})
+	}
+	return r
+}
+
+// passWarnings flags legal but suspicious definitions (pass 5): dead
+// (statically empty) disjuncts and duplicate disjuncts.
+func (a *Analyzer) passWarnings(def *objectlog.Def) Report {
+	var r Report
+	seen := map[string]int{}
+	for ci, c := range def.Clauses {
+		if _, ok := objectlog.Simplify(c); !ok {
+			r = append(r, Diagnostic{
+				Code:     CodeDeadClause,
+				Severity: Warning,
+				Pred:     def.Name,
+				Clause:   ci,
+				Literal:  -1,
+				Message:  fmt.Sprintf("disjunct is statically empty (contradictory ground literals): %s", c),
+				Hint:     "remove the disjunct or fix the contradictory constants",
+			})
+			continue
+		}
+		key := canonClause(c)
+		if prev, dup := seen[key]; dup {
+			r = append(r, Diagnostic{
+				Code:     CodeDuplicateClause,
+				Severity: Warning,
+				Pred:     def.Name,
+				Clause:   ci,
+				Literal:  -1,
+				Message:  fmt.Sprintf("disjunct duplicates disjunct %d (identical up to variable renaming): %s", prev, c),
+				Hint:     "remove the shadowed disjunct",
+			})
+			continue
+		}
+		seen[key] = ci
+	}
+	return r
+}
+
+// passRule runs the rule-only checks: a condition whose transitive
+// influents include no stored function can never be triggered (OL202),
+// and influents that are aggregate or recursive views are monitored by
+// re-evaluation (OL102 info).
+func (a *Analyzer) passRule(def *objectlog.Def) Report {
+	var r Report
+	stored := false
+	var reeval []string
+	seen := map[string]bool{def.Name: true}
+	queue := []string{def.Name}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		d, ok := a.prog.Def(name)
+		if name == def.Name {
+			// The condition definition under analysis is not
+			// registered in the program (rule conditions live on the
+			// rule object until activation specializes them).
+			d, ok = def, true
+		}
+		if !ok {
+			if a.isStored(name) {
+				stored = true
+			}
+			continue
+		}
+		if name != def.Name && (d.Aggregate != "" || a.prog.IsRecursive(name)) {
+			reeval = append(reeval, name)
+		}
+		if name != def.Name {
+			// A defect in a referenced view surfaces when the rule is
+			// activated and the view enters the propagation network;
+			// report it against the rule now (errors only — the view's
+			// own warnings were reported when it was defined).
+			r = append(r, a.passStratification(d).Errors()...)
+		}
+		for _, infl := range d.Influents() {
+			if !seen[infl] {
+				seen[infl] = true
+				queue = append(queue, infl)
+			}
+		}
+	}
+	if !stored {
+		r = append(r, Diagnostic{
+			Code:     CodeNeverTriggered,
+			Severity: Warning,
+			Pred:     def.Name,
+			Clause:   -1,
+			Literal:  -1,
+			Message:  "condition references no stored function: no update can change it, so the rule will never be triggered",
+			Hint:     "reference at least one stored function or type extent in the condition",
+		})
+	}
+	for _, name := range reeval {
+		r = append(r, Diagnostic{
+			Code:     CodeReevaluated,
+			Severity: Info,
+			Pred:     def.Name,
+			Clause:   -1,
+			Literal:  -1,
+			Message:  fmt.Sprintf("condition influent %q is monitored by re-evaluation, not partial differencing", name),
+		})
+	}
+	return r
+}
+
+// isStored reports whether name denotes something updates can change:
+// a base relation, a type extent, or a stored catalog function.
+func (a *Analyzer) isStored(name string) bool {
+	if _, ok := objectlog.IsTypePred(name); ok {
+		return true
+	}
+	if a.relArity != nil {
+		if _, ok := a.relArity(name); ok {
+			return true
+		}
+	}
+	if a.cat != nil {
+		if f, ok := a.cat.Function(name); ok && f.Kind == catalog.Stored {
+			return true
+		}
+	}
+	return false
+}
+
+// componentsWith computes the strongly connected components of the
+// derived-predicate dependency graph, with def added (it may not be
+// registered in the program yet when analysis runs at definition time).
+// comp maps each derived name to a non-zero component id; recursive
+// marks names in a non-trivial component or with a self-loop.
+func (a *Analyzer) componentsWith(def *objectlog.Def) (comp map[string]int, recursive map[string]bool) {
+	defs := map[string]*objectlog.Def{}
+	for _, name := range a.prog.Names() {
+		d, _ := a.prog.Def(name)
+		defs[name] = d
+	}
+	if def != nil {
+		defs[def.Name] = def
+	}
+	// Tarjan's algorithm.
+	comp = map[string]int{}
+	recursive = map[string]bool{}
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next, compID := 0, 0
+	var strong func(string)
+	strong = func(v string) {
+		next++
+		index[v] = next
+		low[v] = next
+		stack = append(stack, v)
+		onStack[v] = true
+		selfLoop := false
+		for _, w := range defs[v].Influents() {
+			if _, derived := defs[w]; !derived {
+				continue
+			}
+			if w == v {
+				selfLoop = true
+				continue
+			}
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			compID++
+			size := 0
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = compID
+				size++
+				if w == v {
+					break
+				}
+			}
+			if size > 1 || selfLoop {
+				for n, id := range comp {
+					if id == compID {
+						recursive[n] = true
+					}
+				}
+			}
+		}
+	}
+	for name := range defs {
+		if index[name] == 0 {
+			strong(name)
+		}
+	}
+	return comp, recursive
+}
+
+// canonClause renders a clause with variables renamed in first-use
+// order, so alpha-equivalent clauses render identically.
+func canonClause(c objectlog.Clause) string {
+	sub := map[string]string{}
+	for i, v := range c.Vars() {
+		sub[v] = fmt.Sprintf("_D%d", i)
+	}
+	canon := c.Rename(sub)
+	// Literal order matters for evaluation but not for set semantics;
+	// sort the body rendering so reordered duplicates are caught too.
+	lits := make([]string, len(canon.Body))
+	for i, l := range canon.Body {
+		lits[i] = l.String()
+	}
+	// Insertion sort keeps this dependency-free.
+	for i := 1; i < len(lits); i++ {
+		for j := i; j > 0 && lits[j] < lits[j-1]; j-- {
+			lits[j], lits[j-1] = lits[j-1], lits[j]
+		}
+	}
+	return canon.Head.String() + "←" + strings.Join(lits, "∧")
+}

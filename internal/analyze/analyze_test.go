@@ -1,0 +1,257 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/catalog"
+	"partdiff/internal/objectlog"
+)
+
+// testCatalog declares the stored functions the typecheck cases rely
+// on: q(integer)->integer and label(charstring)->charstring.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, f := range []*catalog.Function{
+		{Name: "q", Kind: catalog.Stored,
+			Params:  []catalog.Param{{Name: "a", Type: catalog.TypeInteger}},
+			Results: []string{catalog.TypeInteger}},
+		{Name: "label", Kind: catalog.Stored,
+			Params:  []catalog.Param{{Name: "a", Type: catalog.TypeString}},
+			Results: []string{catalog.TypeString}},
+	} {
+		if err := cat.DeclareFunction(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// baseRels resolves the base relations the safety cases range over.
+func baseRels(name string) (int, bool) {
+	switch name {
+	case "b", "g":
+		return 1, true
+	}
+	return 0, false
+}
+
+func def(name string, arity int, clauses ...objectlog.Clause) *objectlog.Def {
+	return &objectlog.Def{Name: name, Arity: arity, Clauses: clauses}
+}
+
+// TestLintDiagnosticCodes drives one negative definition per diagnostic
+// code through the analyzer and checks the code, its severity, and that
+// error codes make the report rejectable.
+func TestLintDiagnosticCodes(t *testing.T) {
+	V, C := objectlog.V, objectlog.CInt
+	lit, not := objectlog.Lit, objectlog.NotLit
+
+	cases := []struct {
+		name     string
+		def      *objectlog.Def
+		rule     bool // analyze as rule condition (numParams 0)
+		prog     []*objectlog.Def
+		want     string
+		severity Severity
+	}{
+		{
+			name: "OL001 unsafe head variable",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")), lit(objectlog.BuiltinLT, V("X"), C(5)))),
+			want:     CodeUnsafe,
+			severity: Error,
+		},
+		{
+			name: "OL002 unstratified negation",
+			def: def("p", 1,
+				objectlog.NewClause(lit("p", V("X")), lit("b", V("X")), not("p", V("X")))),
+			want:     CodeUnstratifiedNegation,
+			severity: Error,
+		},
+		{
+			name: "OL003 recursive aggregate",
+			def: &objectlog.Def{Name: "s", Arity: 1, Aggregate: "sum",
+				Clauses: []objectlog.Clause{
+					objectlog.NewClause(lit("s", V("X")), lit("b", V("X")), lit("s", V("X"))),
+				}},
+			want:     CodeUnstratifiedAggregate,
+			severity: Error,
+		},
+		{
+			name: "OL004 unknown predicate",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")), lit("mystery", V("X")))),
+			want:     CodeUnknownPredicate,
+			severity: Warning,
+		},
+		{
+			name: "OL005 arity mismatch",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")), lit("q", V("X")))),
+			want:     CodeArityMismatch,
+			severity: Error,
+		},
+		{
+			name: "OL006 conflicting types",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")),
+					lit("q", V("X"), V("Y")), lit("label", V("X"), V("Z")))),
+			want:     CodeConflictingTypes,
+			severity: Error,
+		},
+		{
+			name: "OL007 incomparable builtin",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")),
+					lit("q", V("X"), V("Y")), lit("label", V("S"), V("T")),
+					lit(objectlog.BuiltinLT, V("Y"), V("T")))),
+			want:     CodeIncomparable,
+			severity: Error,
+		},
+		{
+			name: "OL101 annotated literal",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")),
+					lit("b", V("X")).WithDelta(objectlog.DeltaPlus))),
+			want:     CodeAnnotatedLiteral,
+			severity: Error,
+		},
+		{
+			name: "OL102 recursive reevaluated",
+			def: def("p", 1,
+				objectlog.NewClause(lit("p", V("X")), lit("b", V("X"))),
+				objectlog.NewClause(lit("p", V("X")), lit("g", V("X")), lit("p", V("X")))),
+			want:     CodeReevaluated,
+			severity: Info,
+		},
+		{
+			name: "OL201 dead clause",
+			def: def("f", 0,
+				objectlog.NewClause(lit("f"), lit(objectlog.BuiltinEQ, C(1), C(2)))),
+			want:     CodeDeadClause,
+			severity: Warning,
+		},
+		{
+			name: "OL202 never triggered",
+			def: def("cnd", 1,
+				objectlog.NewClause(lit("cnd", V("X")), lit("d", V("X")))),
+			rule: true,
+			prog: []*objectlog.Def{
+				def("d", 1, objectlog.NewClause(lit("d", V("X")), lit(objectlog.BuiltinEQ, V("X"), C(5)))),
+			},
+			want:     CodeNeverTriggered,
+			severity: Warning,
+		},
+		{
+			name: "OL203 duplicate clause",
+			def: def("f", 1,
+				objectlog.NewClause(lit("f", V("X")), lit("b", V("X")), lit("g", V("X"))),
+				objectlog.NewClause(lit("f", V("Y")), lit("g", V("Y")), lit("b", V("Y")))),
+			want:     CodeDuplicateClause,
+			severity: Warning,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := objectlog.NewProgram()
+			for _, d := range tc.prog {
+				if err := prog.Define(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a := New(prog, WithCatalog(testCatalog(t)), WithRelations(baseRels))
+			var rep Report
+			if tc.rule {
+				rep = a.AnalyzeRule(tc.def, 0)
+			} else {
+				rep = a.AnalyzeDef(tc.def)
+			}
+			found := false
+			for _, d := range rep {
+				if d.Code == tc.want {
+					found = true
+					if d.Severity != tc.severity {
+						t.Errorf("code %s has severity %s, want %s", tc.want, d.Severity, tc.severity)
+					}
+					if d.Pred == "" || d.Message == "" {
+						t.Errorf("diagnostic missing pred or message: %+v", d)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("missing %s; report:\n%s", tc.want, rep)
+			}
+			if tc.severity == Error && rep.Err() == nil {
+				t.Errorf("report with %s error has nil Err()", tc.want)
+			}
+			if tc.severity != Error && rep.HasErrors() {
+				t.Errorf("unexpected errors in report:\n%s", rep.Errors())
+			}
+		})
+	}
+}
+
+// TestLintCleanDef checks a well-formed definition produces an empty
+// report against the same context the negative cases use.
+func TestLintCleanDef(t *testing.T) {
+	V := objectlog.V
+	lit := objectlog.Lit
+	d := def("f", 1,
+		objectlog.NewClause(lit("f", V("X")),
+			lit("q", V("X"), V("Y")), lit(objectlog.BuiltinGT, V("Y"), objectlog.CInt(0))))
+	a := New(objectlog.NewProgram(), WithCatalog(testCatalog(t)), WithRelations(baseRels))
+	if rep := a.AnalyzeDef(d); len(rep) != 0 {
+		t.Fatalf("clean definition produced diagnostics:\n%s", rep)
+	}
+}
+
+// TestLintRuleParamsPrebound checks that rule parameters count as bound
+// in the safety pass (activation substitutes them with constants).
+func TestLintRuleParamsPrebound(t *testing.T) {
+	V := objectlog.V
+	lit := objectlog.Lit
+	// cnd(P, X) :- q(X, Y), Y > P — P is only used in a comparison, so
+	// the clause is unsafe as a plain definition but safe as a
+	// one-parameter rule condition.
+	d := def("cnd", 2,
+		objectlog.NewClause(lit("cnd", V("P"), V("X")),
+			lit("q", V("X"), V("Y")), lit(objectlog.BuiltinGT, V("Y"), V("P"))))
+	a := New(objectlog.NewProgram(), WithCatalog(testCatalog(t)), WithRelations(baseRels))
+	if rep := a.AnalyzeDef(d); !rep.HasErrors() {
+		t.Fatal("expected OL001 when P is not prebound")
+	}
+	if rep := a.AnalyzeRule(d, 1); rep.HasErrors() {
+		t.Fatalf("rule analysis with prebound parameter reported errors:\n%s", rep.Errors())
+	}
+}
+
+// TestLintReport covers the report helpers the shell relies on.
+func TestLintReport(t *testing.T) {
+	rep := Report{
+		{Code: CodeReevaluated, Severity: Info, Pred: "a", Clause: -1, Literal: -1, Message: "m"},
+		{Code: CodeDeadClause, Severity: Warning, Pred: "b", Clause: 0, Literal: -1, Message: "m"},
+		{Code: CodeUnsafe, Severity: Error, Pred: "c", Clause: 1, Literal: 2, Message: "m", Hint: "h"},
+		{Code: CodeArityMismatch, Severity: Error, Pred: "d", Clause: -1, Literal: -1, Message: "m"},
+	}
+	if !rep.HasErrors() || rep.Clean() {
+		t.Fatal("report with errors should not be clean")
+	}
+	if n := len(rep.Warnings()); n != 1 {
+		t.Fatalf("Warnings() = %d, want 1", n)
+	}
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "(and 1 more errors)") {
+		t.Fatalf("Err() = %v, want first error plus count", err)
+	}
+	got := rep[2].String()
+	want := "error[OL001] c, clause 1, literal 2: m (hint: h)"
+	if got != want {
+		t.Fatalf("Diagnostic.String() = %q, want %q", got, want)
+	}
+	if !(Report{rep[0]}).Clean() {
+		t.Fatal("info-only report should be clean")
+	}
+}

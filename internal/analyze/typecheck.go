@@ -1,0 +1,242 @@
+package analyze
+
+import (
+	"fmt"
+
+	"partdiff/internal/catalog"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/types"
+)
+
+// Type classes used by the checking pass. Checking works on classes —
+// numeric, string, boolean, object — because the value model coerces
+// within a class (Int(2) equals Float(2.0)) but never across classes.
+const (
+	classUnknown = ""
+	clsNumeric   = "numeric"
+	clsString    = "charstring"
+	clsBoolean   = "boolean"
+	clsObject    = "object"
+)
+
+// classOfTypeName maps a declared column type to its class.
+func classOfTypeName(name string) string {
+	switch name {
+	case catalog.TypeInteger, catalog.TypeReal:
+		return clsNumeric
+	case catalog.TypeString:
+		return clsString
+	case catalog.TypeBoolean:
+		return clsBoolean
+	default:
+		return clsObject
+	}
+}
+
+// classOfConst maps a constant's runtime kind to its class.
+func classOfConst(v types.Value) string {
+	switch v.Kind {
+	case types.KindInt, types.KindFloat:
+		return clsNumeric
+	case types.KindString:
+		return clsString
+	case types.KindBool:
+		return clsBoolean
+	case types.KindObject:
+		return clsObject
+	default:
+		return classUnknown
+	}
+}
+
+// varType records what a clause position tells us about a variable.
+type varType struct {
+	class    string
+	typeName string // declared type name, when known ("" otherwise)
+	from     string // human-readable source, e.g. `quantity argument 1 (integer)`
+}
+
+// signature resolves a predicate to its relational arity and (when the
+// catalog knows it) its declared column types. known is false when the
+// predicate cannot be resolved at all.
+func (a *Analyzer) signature(pred string) (arity int, colTypes []string, known bool) {
+	if tn, ok := objectlog.IsTypePred(pred); ok {
+		return 1, []string{tn}, true
+	}
+	if a.cat != nil {
+		if f, ok := a.cat.Function(pred); ok {
+			return f.Arity(), f.ColumnTypes(), true
+		}
+	}
+	if d, ok := a.prog.Def(pred); ok {
+		return d.ExternalArity(), nil, true
+	}
+	if a.relArity != nil {
+		if n, ok := a.relArity(pred); ok {
+			return n, nil, true
+		}
+	}
+	return 0, nil, false
+}
+
+// passTypes checks literal arguments against catalog signatures
+// (pass 3): unknown predicates (OL004), arity (OL005), argument types
+// per variable and constant (OL006), and class compatibility of
+// comparison and arithmetic builtins (OL007).
+func (a *Analyzer) passTypes(def *objectlog.Def) Report {
+	var r Report
+	unknownSeen := map[string]bool{}
+	for ci, c := range def.Clauses {
+		vars := map[string]varType{}
+		// First bind variable classes from relation literals.
+		for li, l := range c.Body {
+			if objectlog.IsBuiltin(l.Pred) {
+				continue
+			}
+			arity, colTypes, known := a.signature(l.Pred)
+			if !known {
+				if !unknownSeen[l.Pred] {
+					unknownSeen[l.Pred] = true
+					r = append(r, Diagnostic{
+						Code:     CodeUnknownPredicate,
+						Severity: Warning,
+						Pred:     def.Name,
+						Clause:   ci,
+						Literal:  li,
+						Message:  fmt.Sprintf("predicate %q is not a builtin, type extent, derived definition, or catalog function", l.Pred),
+						Hint:     "define the function before referencing it, or check the spelling",
+					})
+				}
+				continue
+			}
+			if len(l.Args) != arity {
+				r = append(r, Diagnostic{
+					Code:     CodeArityMismatch,
+					Severity: Error,
+					Pred:     def.Name,
+					Clause:   ci,
+					Literal:  li,
+					Message:  fmt.Sprintf("call to %q with %d arguments, declared with relational arity %d", l.Pred, len(l.Args), arity),
+				})
+				continue
+			}
+			for i, tn := range colTypes {
+				r = a.bindArg(r, def.Name, ci, li, vars, l, i, tn)
+			}
+		}
+		// Then check builtins against the bound classes.
+		for li, l := range c.Body {
+			if !objectlog.IsBuiltin(l.Pred) {
+				continue
+			}
+			r = append(r, a.checkBuiltin(def.Name, ci, li, vars, l)...)
+		}
+	}
+	return r
+}
+
+// bindArg records the declared type of one literal argument, reporting
+// a conflict when the position disagrees with an earlier use of the
+// same variable or with a constant's kind.
+func (a *Analyzer) bindArg(r Report, pred string, ci, li int, vars map[string]varType, l objectlog.Literal, i int, typeName string) Report {
+	cls := classOfTypeName(typeName)
+	from := fmt.Sprintf("%s argument %d (%s)", l.Pred, i, typeName)
+	arg := l.Args[i]
+	if !arg.IsVar {
+		if cc := classOfConst(arg.Const); cc != classUnknown && cc != cls {
+			r = append(r, Diagnostic{
+				Code:     CodeConflictingTypes,
+				Severity: Error,
+				Pred:     pred,
+				Clause:   ci,
+				Literal:  li,
+				Message:  fmt.Sprintf("constant %s is %s but %s expects %s", arg.Const, cc, from, cls),
+			})
+		}
+		return r
+	}
+	prev, seen := vars[arg.Var]
+	if !seen {
+		vars[arg.Var] = varType{class: cls, typeName: typeName, from: from}
+		return r
+	}
+	if prev.class != cls || (cls == clsObject && !a.objectTypesCompatible(prev.typeName, typeName)) {
+		r = append(r, Diagnostic{
+			Code:     CodeConflictingTypes,
+			Severity: Error,
+			Pred:     pred,
+			Clause:   ci,
+			Literal:  li,
+			Message:  fmt.Sprintf("variable %s is used as %s and as %s", arg.Var, prev.from, from),
+			Hint:     "use distinct variables or align the declared types",
+		})
+	}
+	return r
+}
+
+// objectTypesCompatible reports whether two user type names can denote
+// the same object: equal, or related by subtyping.
+func (a *Analyzer) objectTypesCompatible(t1, t2 string) bool {
+	if t1 == t2 || t1 == "" || t2 == "" {
+		return true
+	}
+	if a.cat == nil {
+		return true
+	}
+	ty1, ok1 := a.cat.Type(t1)
+	ty2, ok2 := a.cat.Type(t2)
+	if !ok1 || !ok2 {
+		return true // unknown types: stay quiet
+	}
+	return ty1.IsSubtypeOf(t2) || ty2.IsSubtypeOf(t1)
+}
+
+// checkBuiltin verifies class compatibility of a builtin literal's
+// arguments: comparisons need both sides in one class, arithmetic
+// needs numeric operands and result.
+func (a *Analyzer) checkBuiltin(pred string, ci, li int, vars map[string]varType, l objectlog.Literal) Report {
+	classOf := func(t objectlog.Term) (string, string) {
+		if t.IsVar {
+			if vt, ok := vars[t.Var]; ok {
+				return vt.class, fmt.Sprintf("%s (%s)", t.Var, vt.from)
+			}
+			return classUnknown, t.Var
+		}
+		return classOfConst(t.Const), t.Const.String()
+	}
+	var r Report
+	switch {
+	case objectlog.IsComparison(l.Pred) && len(l.Args) == 2:
+		ca, da := classOf(l.Args[0])
+		cb, db := classOf(l.Args[1])
+		if ca != classUnknown && cb != classUnknown && ca != cb {
+			r = append(r, Diagnostic{
+				Code:     CodeIncomparable,
+				Severity: Error,
+				Pred:     pred,
+				Clause:   ci,
+				Literal:  li,
+				Message:  fmt.Sprintf("comparison %s relates %s with %s: values of different type classes never compare equal or ordered", l, da, db),
+			})
+		}
+	case objectlog.IsArithmetic(l.Pred) && len(l.Args) == 3:
+		for i, t := range l.Args {
+			cls, desc := classOf(t)
+			if cls != classUnknown && cls != clsNumeric {
+				role := "operand"
+				if i == 2 {
+					role = "result"
+				}
+				r = append(r, Diagnostic{
+					Code:     CodeIncomparable,
+					Severity: Error,
+					Pred:     pred,
+					Clause:   ci,
+					Literal:  li,
+					Message:  fmt.Sprintf("arithmetic %s has non-numeric %s %s", l, role, desc),
+				})
+			}
+		}
+	}
+	return r
+}

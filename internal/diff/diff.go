@@ -61,6 +61,59 @@ func (d Differential) String() string {
 	return fmt.Sprintf("%s: %s", d.Name(), d.Clause)
 }
 
+// Plan classifies how a view can be monitored by the propagation
+// network.
+type Plan int
+
+// The monitoring plans.
+const (
+	// Differenced views get one partial differential per (disjunct,
+	// influent occurrence, sign) — the paper's incremental scheme.
+	Differenced Plan = iota
+	// ReevalAggregate views are aggregate views, re-evaluated old vs
+	// new state on any influent change.
+	ReevalAggregate
+	// ReevalRecursive views are members of a recursive component,
+	// recomputed by fixpoint when an influent outside the component
+	// changes.
+	ReevalRecursive
+)
+
+// String names the plan.
+func (p Plan) String() string {
+	switch p {
+	case ReevalAggregate:
+		return "reeval-aggregate"
+	case ReevalRecursive:
+		return "reeval-recursive"
+	default:
+		return "differenced"
+	}
+}
+
+// Classify determines how def can be monitored within prog, before any
+// differentials are generated. It is the single applicability gate
+// shared by the propagation network and the static analyzer: a
+// definition with Δ- or old-annotated literals cannot enter the
+// network at all (error), aggregate and recursive definitions fall
+// back to re-evaluation, and everything else is differenced.
+func Classify(def *objectlog.Def, prog *objectlog.Program) (Plan, error) {
+	for _, c := range def.Clauses {
+		for _, l := range c.Body {
+			if l.Delta != objectlog.DeltaNone || l.Old {
+				return 0, fmt.Errorf("[%s] definition of %s contains annotated literal %s; differentials must be generated from plain clauses", objectlog.CodeAnnotatedLiteral, def.Name, l)
+			}
+		}
+	}
+	if def.Aggregate != "" {
+		return ReevalAggregate, nil
+	}
+	if prog != nil && prog.IsRecursive(def.Name) {
+		return ReevalRecursive, nil
+	}
+	return Differenced, nil
+}
+
 // Options control differential generation.
 type Options struct {
 	// Positive generates insertion-monitoring differentials.
@@ -93,7 +146,7 @@ func Generate(def *objectlog.Def, opts Options) ([]Differential, error) {
 				continue
 			}
 			if l.Delta != objectlog.DeltaNone || l.Old {
-				return nil, fmt.Errorf("definition of %s contains annotated literal %s; differentials must be generated from plain clauses", def.Name, l)
+				return nil, fmt.Errorf("[%s] definition of %s contains annotated literal %s; differentials must be generated from plain clauses", objectlog.CodeAnnotatedLiteral, def.Name, l)
 			}
 			if !l.Negated {
 				if opts.Positive {

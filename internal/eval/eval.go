@@ -91,7 +91,7 @@ func (e *Evaluator) EvalClauseSeeded(c objectlog.Clause, seed map[string]types.V
 		for i, a := range c.Head.Args {
 			v, ok := b.value(a)
 			if !ok {
-				return fmt.Errorf("head variable %s unbound in clause %s (unsafe clause)", a.Var, c)
+				return &objectlog.SafetyError{Var: a.Var, Where: "head", Clause: c.String()}
 			}
 			t[i] = v
 		}
@@ -224,7 +224,7 @@ func (e *Evaluator) pickNext(body []objectlog.Literal, b *bindings) (int, error)
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("no evaluable literal in %v (unsafe clause)", body)
+		return 0, &objectlog.SafetyError{Where: fmt.Sprintf("%v", body)}
 	}
 	return best, nil
 }

@@ -67,7 +67,7 @@ func (e *Evaluator) fixpointComponent(pred string, old bool, depth int) (map[str
 		for _, c := range def.Clauses {
 			for _, l := range c.Body {
 				if l.Negated && exts[l.Pred] != nil {
-					return nil, fmt.Errorf("recursive component of %q negates member %q: unstratified negation is not supported", pred, l.Pred)
+					return nil, fmt.Errorf("[%s] recursive component of %q negates member %q: unstratified negation is not supported", objectlog.CodeUnstratifiedNegation, pred, l.Pred)
 				}
 			}
 		}

@@ -1,0 +1,281 @@
+// Package faultpointcheck is a repo-local vet check for fault injection
+// hygiene. The crash-safety tests (internal/bench fault sweep,
+// rules/checkphase) identify fault sites by faultinject.Point names;
+// the sweep's coverage accounting silently breaks when a site passes an
+// ad-hoc string instead of a declared constant, or when two constants
+// collide on the same name. The check enforces:
+//
+//   - every Point constant declared in internal/faultinject has a
+//     unique string value;
+//   - every declared Point constant is referenced somewhere (a declared
+//     but never-fired point is a stale entry the sweep will wait on);
+//   - call sites pass declared constants: string literals given
+//     directly to Fire/Arm, and faultinject.Point("...") conversions
+//     outside the faultinject package, are flagged.
+//
+// It follows the go/analysis single-checker layout (a Check function
+// producing position-tagged findings) but is built on go/parser and
+// go/ast only, so it runs without golang.org/x/tools; cmd/faultpointcheck
+// is the command wrapper CI runs.
+package faultpointcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Name and Doc identify the check, go/analysis style.
+const (
+	Name = "faultpointcheck"
+	Doc  = "check that faultinject fault points are declared, unique, and passed as constants"
+)
+
+// faultinjectDir is the directory of the faultinject package, relative
+// to the module root.
+const faultinjectDir = "internal/faultinject"
+
+// Finding is one diagnostic, positioned at the offending declaration or
+// call site.
+type Finding struct {
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// pointDecl records one declared Point constant.
+type pointDecl struct {
+	name  string
+	value string
+	pos   token.Position
+}
+
+// Check analyzes the Go module rooted at root and returns its findings,
+// sorted by position. It is an error if the faultinject package cannot
+// be found or any Go file fails to parse.
+func Check(root string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	decls, findings, err := declaredPoints(fset, filepath.Join(root, faultinjectDir))
+	if err != nil {
+		return nil, err
+	}
+	declared := map[string]pointDecl{}
+	for _, d := range decls {
+		declared[d.name] = d
+	}
+
+	used := map[string]bool{}
+	err = walkGoFiles(root, func(path string) error {
+		// The faultinject package declares the points; conversions and
+		// bare strings inside it are its own business.
+		if filepath.Dir(path) == filepath.Join(root, faultinjectDir) {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, checkFile(fset, file, declared, used)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, d := range decls {
+		if !used[d.name] {
+			findings = append(findings, Finding{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("fault point %s (%q) is declared but never referenced outside package faultinject", d.name, d.value),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}
+
+// declaredPoints parses the faultinject package directory and collects
+// its Point constants, flagging duplicate string values in place.
+func declaredPoints(fset *token.FileSet, dir string) ([]pointDecl, []Finding, error) {
+	pkgs, err := parser.ParseDir(fset, dir, nil, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing faultinject package: %w", err)
+	}
+	var decls []pointDecl
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		var paths []string
+		for path := range pkg.Files {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			for _, decl := range pkg.Files[path].Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || !isPointType(vs.Type) {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							continue
+						}
+						val, ok := stringLit(vs.Values[i])
+						if !ok {
+							continue
+						}
+						decls = append(decls, pointDecl{
+							name:  name.Name,
+							value: val,
+							pos:   fset.Position(name.Pos()),
+						})
+					}
+				}
+			}
+		}
+	}
+	byValue := map[string]pointDecl{}
+	for _, d := range decls {
+		if prev, ok := byValue[d.value]; ok {
+			findings = append(findings, Finding{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("fault point %s duplicates the name %q of %s: the sweep cannot tell their hits apart", d.name, d.value, prev.name),
+			})
+			continue
+		}
+		byValue[d.value] = d
+	}
+	return decls, findings, nil
+}
+
+// checkFile inspects one file outside the faultinject package: it flags
+// string-literal fault points at Fire/Arm call sites and Point
+// conversions, and records which declared constants are referenced.
+func checkFile(fset *token.FileSet, file *ast.File, declared map[string]pointDecl, used map[string]bool) []Finding {
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if pkg, ok := x.X.(*ast.Ident); ok && pkg.Name == "faultinject" {
+				if _, ok := declared[x.Sel.Name]; ok {
+					used[x.Sel.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Fire", "Arm", "Hits":
+				if len(x.Args) == 0 {
+					return true
+				}
+				if val, ok := stringLit(x.Args[0]); ok {
+					findings = append(findings, Finding{
+						Pos:     fset.Position(x.Args[0].Pos()),
+						Message: fmt.Sprintf("string literal %q passed as fault point to %s; use a faultinject.Point constant%s", val, sel.Sel.Name, knownAs(declared, val)),
+					})
+				}
+			case "Point":
+				if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "faultinject" {
+					return true
+				}
+				if len(x.Args) != 1 {
+					return true
+				}
+				if val, ok := stringLit(x.Args[0]); ok {
+					findings = append(findings, Finding{
+						Pos:     fset.Position(x.Pos()),
+						Message: fmt.Sprintf("faultinject.Point(%q) conversion outside package faultinject; declare the point as a constant there%s", val, knownAs(declared, val)),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// knownAs names the declared constant for a string value, if any — the
+// usual fix is to use it.
+func knownAs(declared map[string]pointDecl, val string) string {
+	for name, d := range declared {
+		if d.value == val {
+			return fmt.Sprintf(" (faultinject.%s)", name)
+		}
+	}
+	return ""
+}
+
+// isPointType reports whether a const spec's type is the faultinject
+// Point type (written either bare, inside the package, or qualified).
+func isPointType(t ast.Expr) bool {
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name == "Point"
+	case *ast.SelectorExpr:
+		pkg, ok := x.X.(*ast.Ident)
+		return ok && pkg.Name == "faultinject" && x.Sel.Name == "Point"
+	}
+	return false
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// walkGoFiles visits every non-test-data Go file under root.
+func walkGoFiles(root string, visit func(path string) error) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		return visit(path)
+	})
+}

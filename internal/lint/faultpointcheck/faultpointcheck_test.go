@@ -1,0 +1,59 @@
+package faultpointcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintFaultPointsTestdata checks every violation shape against the
+// miniature module under testdata.
+func TestLintFaultPointsTestdata(t *testing.T) {
+	findings, err := Check("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	want := []string{
+		`DupDelete duplicates the name "store.delete" of StoreDelete`,
+		`Orphan ("store.orphan") is declared but never referenced`,
+		`string literal "store.insert" passed as fault point to Fire; use a faultinject.Point constant (faultinject.StoreInsert)`,
+		`string literal "store.undeclared" passed as fault point to Arm`,
+		`faultinject.Point("caller.adhoc") conversion outside package faultinject`,
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding containing %q; got:\n%s", w, strings.Join(got, "\n"))
+		}
+	}
+	// DupDelete is also unreferenced; nothing else should be flagged.
+	if len(findings) != len(want)+1 {
+		t.Errorf("want %d findings, got %d:\n%s", len(want)+1, len(findings), strings.Join(got, "\n"))
+	}
+	for _, f := range findings {
+		if f.Pos.Filename == "" || f.Pos.Line == 0 {
+			t.Errorf("finding without position: %s", f)
+		}
+	}
+}
+
+// TestLintFaultPointsRepo gates the real repository: every fault point
+// is declared once, referenced, and passed as a constant.
+func TestLintFaultPointsRepo(t *testing.T) {
+	findings, err := Check("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

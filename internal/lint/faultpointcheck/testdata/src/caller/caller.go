@@ -1,0 +1,16 @@
+// Package caller exercises the call-site checks: one clean use of a
+// declared constant, plus every violation shape.
+package caller
+
+import "example/internal/faultinject"
+
+func ok(inj *faultinject.Injector) {
+	_ = inj.Fire(faultinject.StoreInsert)
+	inj.Arm(faultinject.StoreDelete, 0, 0)
+}
+
+func bad(inj *faultinject.Injector) {
+	_ = inj.Fire("store.insert")
+	inj.Arm("store.undeclared", 1, 0)
+	_ = inj.Fire(faultinject.Point("caller.adhoc"))
+}

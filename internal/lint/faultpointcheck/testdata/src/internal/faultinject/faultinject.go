@@ -1,0 +1,25 @@
+// Package faultinject is a miniature copy of the real package shape,
+// used to exercise the declaration checks.
+package faultinject
+
+// Point names one fault site.
+type Point string
+
+// The fault points of the fake module.
+const (
+	StoreInsert Point = "store.insert"
+	StoreDelete Point = "store.delete"
+	// DupDelete collides with StoreDelete — must be flagged.
+	DupDelete Point = "store.delete"
+	// Orphan is declared but never referenced — must be flagged.
+	Orphan Point = "store.orphan"
+)
+
+// Injector is the minimal surface the call-site checks look for.
+type Injector struct{}
+
+// Fire reports an armed fault.
+func (i *Injector) Fire(p Point) error { return nil }
+
+// Arm schedules a fault.
+func (i *Injector) Arm(p Point, n int, kind int) {}

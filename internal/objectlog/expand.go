@@ -133,89 +133,3 @@ func inlineBody(def Clause, call Literal) ([]Literal, bool, error) {
 	body = append(body, extra...)
 	return body, true, nil
 }
-
-// CheckSafe verifies range restriction of a conjunctive clause: every
-// head variable, every variable of a negated literal, and every input of
-// a builtin must be bindable from positive relation literals (possibly
-// through chains of arithmetic/eq builtins). It returns an error naming
-// the first unsafe variable found.
-func CheckSafe(c Clause) error {
-	bound := map[string]bool{}
-	// Positive relation (and delta) literals bind their variables.
-	for _, l := range c.Body {
-		if l.Negated || IsBuiltin(l.Pred) {
-			continue
-		}
-		for _, a := range l.Args {
-			if a.IsVar {
-				bound[a.Var] = true
-			}
-		}
-	}
-	// Builtins propagate bindings to a fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for _, l := range c.Body {
-			if l.Negated || !IsBuiltin(l.Pred) {
-				continue
-			}
-			switch {
-			case IsArithmetic(l.Pred) && len(l.Args) == 3:
-				if termBound(l.Args[0], bound) && termBound(l.Args[1], bound) &&
-					l.Args[2].IsVar && !bound[l.Args[2].Var] {
-					bound[l.Args[2].Var] = true
-					changed = true
-				}
-			case l.Pred == BuiltinEQ && len(l.Args) == 2:
-				a, b := l.Args[0], l.Args[1]
-				if termBound(a, bound) && b.IsVar && !bound[b.Var] {
-					bound[b.Var] = true
-					changed = true
-				}
-				if termBound(b, bound) && a.IsVar && !bound[a.Var] {
-					bound[a.Var] = true
-					changed = true
-				}
-			}
-		}
-	}
-	check := func(t Term, where string) error {
-		if t.IsVar && !bound[t.Var] {
-			return fmt.Errorf("unsafe clause %s: variable %s in %s is not range restricted", c, t.Var, where)
-		}
-		return nil
-	}
-	for _, a := range c.Head.Args {
-		if err := check(a, "head"); err != nil {
-			return err
-		}
-	}
-	for _, l := range c.Body {
-		if l.Negated {
-			for _, a := range l.Args {
-				if err := check(a, "negated literal "+l.String()); err != nil {
-					return err
-				}
-			}
-		}
-		if IsComparison(l.Pred) && l.Pred != BuiltinEQ {
-			for _, a := range l.Args {
-				if err := check(a, "comparison "+l.String()); err != nil {
-					return err
-				}
-			}
-		}
-		if IsArithmetic(l.Pred) {
-			for _, a := range l.Args[:2] {
-				if err := check(a, "arithmetic "+l.String()); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
-}
-
-func termBound(t Term, bound map[string]bool) bool {
-	return !t.IsVar || bound[t.Var]
-}

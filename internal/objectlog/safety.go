@@ -1,0 +1,169 @@
+package objectlog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CodeUnsafe is the diagnostic code for range-restriction (safety)
+// violations. It is shared by every layer that can detect an unsafe
+// clause — the static analyzer (internal/analyze), the expander, the
+// differencing compiler and the evaluator — so the same defect reports
+// the same code no matter where it surfaces.
+const CodeUnsafe = "OL001"
+
+// CodeUnstratifiedNegation is the diagnostic code for negation of a
+// member of the predicate's own recursive component. Shared with the
+// evaluator's fixpoint machinery, which re-checks it at run time.
+const CodeUnstratifiedNegation = "OL002"
+
+// CodeAnnotatedLiteral is the diagnostic code for a Δ- or old-annotated
+// literal inside a user definition. Shared with the differencing
+// compiler, which owns those annotations.
+const CodeAnnotatedLiteral = "OL101"
+
+// SafetyError describes one range-restriction violation of a clause:
+// a variable that cannot be bound from the positive relation literals
+// of the body (possibly through chains of arithmetic/eq builtins). The
+// zero Var form reports a body with no evaluable literal at all (the
+// evaluator's runtime manifestation of the same defect).
+type SafetyError struct {
+	// Var is the offending variable ("" when no literal is evaluable).
+	Var string
+	// Where locates the violation: "head", "negated literal ¬p(X)",
+	// "comparison X < Y", "arithmetic Z = X + Y", or a body rendering.
+	Where string
+	// Clause is the rendered clause, when available.
+	Clause string
+}
+
+// Error implements error with the shared OL001 code.
+func (e *SafetyError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%s] unsafe clause", CodeUnsafe)
+	if e.Clause != "" {
+		fmt.Fprintf(&sb, " %s", e.Clause)
+	}
+	if e.Var == "" {
+		fmt.Fprintf(&sb, ": no evaluable literal in %s", e.Where)
+	} else {
+		fmt.Fprintf(&sb, ": variable %s in %s is not range restricted", e.Var, e.Where)
+	}
+	return sb.String()
+}
+
+// BoundVars computes the variables of a body that are bindable from
+// positive relation (and delta) literals, starting from prebound (may
+// be nil) and propagating through eq and arithmetic builtins to a
+// fixpoint. This is the binding analysis behind safety checking; the
+// static analyzer reuses it for its own passes.
+func BoundVars(body []Literal, prebound map[string]bool) map[string]bool {
+	bound := map[string]bool{}
+	for v := range prebound {
+		bound[v] = true
+	}
+	// Positive relation (and delta) literals bind their variables.
+	for _, l := range body {
+		if l.Negated || IsBuiltin(l.Pred) {
+			continue
+		}
+		for _, a := range l.Args {
+			if a.IsVar {
+				bound[a.Var] = true
+			}
+		}
+	}
+	// Builtins propagate bindings to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range body {
+			if l.Negated || !IsBuiltin(l.Pred) {
+				continue
+			}
+			switch {
+			case IsArithmetic(l.Pred) && len(l.Args) == 3:
+				if termBound(l.Args[0], bound) && termBound(l.Args[1], bound) &&
+					l.Args[2].IsVar && !bound[l.Args[2].Var] {
+					bound[l.Args[2].Var] = true
+					changed = true
+				}
+			case l.Pred == BuiltinEQ && len(l.Args) == 2:
+				a, b := l.Args[0], l.Args[1]
+				if termBound(a, bound) && b.IsVar && !bound[b.Var] {
+					bound[b.Var] = true
+					changed = true
+				}
+				if termBound(b, bound) && a.IsVar && !bound[a.Var] {
+					bound[a.Var] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return bound
+}
+
+// SafetyViolations verifies range restriction of a conjunctive clause —
+// every head variable, every variable of a negated literal, and every
+// input of a builtin must be bindable from positive relation literals
+// (possibly through chains of arithmetic/eq builtins) — and returns
+// every violation found, in clause order. Variables listed in prebound
+// (may be nil) are assumed bound at entry; rule parameters use this,
+// since activation substitutes them with constants.
+func SafetyViolations(c Clause, prebound map[string]bool) []*SafetyError {
+	bound := BoundVars(c.Body, prebound)
+	var out []*SafetyError
+	seen := map[string]bool{} // one report per (var, where)
+	check := func(t Term, where string) {
+		if !t.IsVar || bound[t.Var] {
+			return
+		}
+		key := t.Var + "\x00" + where
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, &SafetyError{Var: t.Var, Where: where, Clause: c.String()})
+	}
+	for _, a := range c.Head.Args {
+		check(a, "head")
+	}
+	for _, l := range c.Body {
+		if l.Negated {
+			for _, a := range l.Args {
+				check(a, "negated literal "+l.String())
+			}
+		}
+		if IsComparison(l.Pred) && l.Pred != BuiltinEQ {
+			for _, a := range l.Args {
+				check(a, "comparison "+l.String())
+			}
+		}
+		if IsArithmetic(l.Pred) && len(l.Args) >= 2 {
+			for _, a := range l.Args[:2] {
+				check(a, "arithmetic "+l.String())
+			}
+		}
+	}
+	return out
+}
+
+// CheckSafeAssuming verifies range restriction with the given variables
+// assumed bound at entry, returning the first violation found.
+func CheckSafeAssuming(c Clause, prebound map[string]bool) error {
+	if vs := SafetyViolations(c, prebound); len(vs) > 0 {
+		return vs[0]
+	}
+	return nil
+}
+
+// CheckSafe verifies range restriction of a conjunctive clause. It
+// returns an error (a *SafetyError) naming the first unsafe variable
+// found.
+func CheckSafe(c Clause) error {
+	return CheckSafeAssuming(c, nil)
+}
+
+func termBound(t Term, bound map[string]bool) bool {
+	return !t.IsVar || bound[t.Var]
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"partdiff/internal/analyze"
 	"partdiff/internal/delta"
 	"partdiff/internal/diff"
 	"partdiff/internal/faultinject"
@@ -189,6 +190,14 @@ type Manager struct {
 	sharedViews []*objectlog.Def
 	sharedNames map[string]bool
 
+	// lazyAnalysis disables the eager definition-time static analysis
+	// of rule conditions and shared views, restoring the historical
+	// behavior where defects surface at activation or commit time.
+	lazyAnalysis bool
+	// analyzerOpts is extra analyzer context supplied by the embedding
+	// session (typically the schema catalog).
+	analyzerOpts []analyze.Option
+
 	net      *propnet.Network
 	netDirty bool
 	diffOpts diff.Options
@@ -276,6 +285,45 @@ func (m *Manager) SetMonitorDeletions(on bool) {
 // compiler, which registers derived function definitions here).
 func (m *Manager) Program() *objectlog.Program { return m.prog }
 
+// SetLazyAnalysis controls whether definition-time static analysis is
+// skipped (true restores the historical lazy path, where defects
+// surface at activation or commit time).
+func (m *Manager) SetLazyAnalysis(lazy bool) { m.lazyAnalysis = lazy }
+
+// LazyAnalysis reports whether definition-time analysis is disabled.
+func (m *Manager) LazyAnalysis() bool { return m.lazyAnalysis }
+
+// SetAnalyzerOptions supplies extra context for definition-time
+// analysis (typically analyze.WithCatalog from the embedding session).
+func (m *Manager) SetAnalyzerOptions(opts ...analyze.Option) {
+	m.analyzerOpts = opts
+}
+
+// Analyzer returns a static analyzer over the manager's program and
+// the store's base relations, plus any options set with
+// SetAnalyzerOptions.
+func (m *Manager) Analyzer() *analyze.Analyzer {
+	opts := []analyze.Option{analyze.WithRelations(func(name string) (int, bool) {
+		rel, ok := m.store.Relation(name)
+		if !ok {
+			return 0, false
+		}
+		return rel.Arity(), true
+	})}
+	opts = append(opts, m.analyzerOpts...)
+	return analyze.New(m.prog, opts...)
+}
+
+// RuleNames returns the defined rule names, sorted.
+func (m *Manager) RuleNames() []string {
+	out := make([]string, 0, len(m.rules))
+	for n := range m.rules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // DefineRule registers a rule. The condition definition is validated
 // and kept unexpanded; expansion happens per activation.
 func (m *Manager) DefineRule(r *Rule) error {
@@ -294,6 +342,11 @@ func (m *Manager) DefineRule(r *Rule) error {
 	if r.Action == nil {
 		return fmt.Errorf("rule %q has no action", r.Name)
 	}
+	if !m.lazyAnalysis {
+		if err := m.Analyzer().AnalyzeRule(r.CondDef, r.NumParams).Err(); err != nil {
+			return fmt.Errorf("rule %q: %w", r.Name, err)
+		}
+	}
 	m.rules[r.Name] = r
 	return nil
 }
@@ -311,10 +364,14 @@ func (m *Manager) ShareView(def *objectlog.Def) error {
 	if m.sharedNames[def.Name] {
 		return fmt.Errorf("view %q already shared", def.Name)
 	}
-	for _, c := range def.Clauses {
-		if err := objectlog.CheckSafe(c); err != nil {
-			return err
+	if m.lazyAnalysis {
+		for _, c := range def.Clauses {
+			if err := objectlog.CheckSafe(c); err != nil {
+				return fmt.Errorf("view %s: %w", def.Name, err)
+			}
 		}
+	} else if err := m.Analyzer().AnalyzeDef(def).Err(); err != nil {
+		return fmt.Errorf("view %s: %w", def.Name, err)
 	}
 	m.sharedViews = append(m.sharedViews, def)
 	m.sharedNames[def.Name] = true

@@ -110,6 +110,7 @@ type Option func(*config)
 type config struct {
 	mode        Mode
 	noDeletions bool
+	lazy        bool
 	budget      time.Duration
 	ctx         context.Context
 }
@@ -127,6 +128,17 @@ func WithMode(m Mode) Option {
 // condition false again within the same check phase.
 func WithoutDeletionMonitoring() Option {
 	return func(c *config) { c.noDeletions = true }
+}
+
+// WithLazyAnalysis disables the eager definition-time static analysis
+// of derived functions and rule conditions. By default, `create
+// function` and `create rule` run the internal/analyze passes (range
+// restriction, stratification, type checking, differencing
+// applicability) and reject definitions with error-severity
+// diagnostics; with this option, defects surface at activation or
+// commit time instead, as in earlier releases.
+func WithLazyAnalysis() Option {
+	return func(c *config) { c.lazy = true }
 }
 
 // WithCheckBudget bounds the wall-clock duration of each commit-time
@@ -154,6 +166,9 @@ func Open(opts ...Option) *DB {
 	db := &DB{sess: amosql.NewSession(cfg.mode)}
 	if cfg.noDeletions {
 		db.sess.Rules().SetMonitorDeletions(false)
+	}
+	if cfg.lazy {
+		db.sess.SetLazyAnalysis(true)
 	}
 	db.sess.Rules().CheckBudget = cfg.budget
 	db.sess.Rules().CheckContext = cfg.ctx
