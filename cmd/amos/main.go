@@ -3,6 +3,9 @@
 //
 //	\mode                 show the monitoring mode
 //	\stats                show monitor statistics
+//	\metrics              dump every metric in Prometheus text format
+//	\trace file.json      start a structured trace capture (Chrome trace_event)
+//	\trace stop           stop the capture and write the JSON file
 //	\explain              show why rules triggered in the last commit
 //	\net                  show the propagation network levels
 //	\lint                 re-run the static analyzer over all definitions
@@ -12,6 +15,10 @@
 // script: amos -f script.amosql. Statically analyze a script without
 // running its rule actions: amos -lint script.amosql (exits 1 if any
 // error-severity diagnostics are reported).
+//
+// With -monitor addr (e.g. -monitor localhost:6060) the shell serves a
+// live monitoring endpoint: Prometheus text at /metrics and expvar JSON
+// at /debug/vars.
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 	modeFlag := flag.String("mode", "incremental", "monitoring mode: incremental, naive, hybrid")
 	file := flag.String("f", "", "execute a script file and exit")
 	lintFile := flag.String("lint", "", "statically analyze a script file and exit (actions are not run)")
+	monitor := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var mode partdiff.Mode
@@ -49,6 +57,15 @@ func main() {
 
 	db := partdiff.Open(partdiff.WithMode(mode))
 	db.SetOutput(os.Stdout)
+	if *monitor != "" {
+		srv, err := db.ServeMonitor(*monitor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitor:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monitoring on http://%s/metrics\n", srv.Addr())
+	}
 	db.RegisterProcedure("order", func(args []partdiff.Value) error {
 		parts := make([]string, len(args))
 		for i, v := range args {
@@ -105,11 +122,53 @@ func main() {
 	}
 }
 
+// activeTrace is the shell's in-progress \trace capture and the file it
+// will be written to on \trace stop.
+var (
+	activeTrace     *partdiff.Trace
+	activeTracePath string
+)
+
 // meta handles backslash commands; it reports whether to quit.
 func meta(db *partdiff.DB, cmd string) bool {
 	switch strings.Fields(cmd)[0] {
 	case "\\quit", "\\q":
 		return true
+	case "\\metrics":
+		if err := db.WriteMetrics(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
+	case "\\trace":
+		words := strings.Fields(cmd)
+		switch {
+		case len(words) < 2:
+			fmt.Println("usage: \\trace file.json to start, \\trace stop to write the file")
+		case words[1] == "stop":
+			if activeTrace == nil {
+				fmt.Println("no trace capture active")
+				break
+			}
+			activeTrace.Stop()
+			f, err := os.Create(activeTracePath)
+			if err == nil {
+				err = activeTrace.Export(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("wrote %d event(s) to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+					activeTrace.Len(), activeTracePath)
+			}
+			activeTrace = nil
+		case activeTrace != nil:
+			fmt.Printf("trace capture already active (writing to %s); \\trace stop first\n", activeTracePath)
+		default:
+			activeTrace, activeTracePath = db.StartTrace(), words[1]
+			fmt.Printf("tracing to %s (\\trace stop to write the file)\n", activeTracePath)
+		}
 	case "\\stats":
 		s := db.Stats()
 		fmt.Printf("propagations=%d differentials=%d naive-recomputations=%d triggered=%d actions=%d rounds=%d\n",
@@ -159,7 +218,7 @@ func meta(db *partdiff.DB, cmd string) bool {
 		}
 		fmt.Print(net.Dot())
 	default:
-		fmt.Println("unknown meta command; try \\stats \\explain \\net \\dot \\debug \\lint \\mode \\quit")
+		fmt.Println("unknown meta command; try \\stats \\metrics \\trace \\explain \\net \\dot \\debug \\lint \\mode \\quit")
 	}
 	return false
 }

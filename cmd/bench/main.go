@@ -6,37 +6,63 @@
 //	bench -exp sharing  # §7.1 node sharing ablation
 //	bench -exp hybrid   # §8 hybrid monitor on a mixed workload
 //	bench -exp all
+//
+// With -json, the fig6/fig7 measurements (time per transaction plus the
+// monitor telemetry behind it: differentials executed, tuples scanned,
+// emitted Δ-set sizes) are additionally written to BENCH_<n>.json in the
+// current directory, where <n> is the first unused number — so
+// successive runs accumulate a comparable series of baselines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"partdiff/internal/bench"
 )
+
+// record is one flat measurement in the BENCH_<n>.json output.
+type record struct {
+	Name    string `json:"name"` // experiment/items=N/mode
+	NsPerOp int64  `json:"ns_per_op"`
+	bench.Telemetry
+	MeanDelta float64 `json:"mean_delta_size"`
+}
+
+// report is the BENCH_<n>.json document.
+type report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version,omitempty"`
+	Records   []record `json:"records"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
 	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
 	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
+	jsonOut := flag.Bool("json", false, "also write fig6/fig7 results to BENCH_<n>.json (first unused n)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	var failed bool
+	var rep report
 	if run("fig6") {
 		sizes := parseSizes(*sizesFlag, []int{1, 10, 100, 1000, 10000})
-		if err := runFig6(sizes, *txns); err != nil {
+		if err := runFig6(sizes, *txns, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "fig6:", err)
 			failed = true
 		}
 	}
 	if run("fig7") {
 		sizes := parseSizes(*sizesFlag, []int{10, 100, 1000})
-		if err := runFig7(sizes, *rounds); err != nil {
+		if err := runFig7(sizes, *rounds, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "fig7:", err)
 			failed = true
 		}
@@ -55,8 +81,43 @@ func main() {
 			failed = true
 		}
 	}
+	if *jsonOut && !failed {
+		path, err := writeReport(&rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			failed = true
+		} else {
+			fmt.Printf("wrote %s (%d records)\n", path, len(rep.Records))
+		}
+	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// writeReport writes rep to BENCH_<n>.json for the first n not taken.
+func writeReport(rep *report) (string, error) {
+	rep.Date = time.Now().UTC().Format(time.RFC3339)
+	rep.GoVersion = runtime.Version()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		_, werr := f.Write(append(data, '\n'))
+		cerr := f.Close()
+		if werr != nil {
+			return "", werr
+		}
+		return path, cerr
 	}
 }
 
@@ -76,7 +137,7 @@ func parseSizes(s string, def []int) []int {
 	return out
 }
 
-func runFig6(sizes []int, txns int) error {
+func runFig6(sizes []int, txns int, rep *report) error {
 	fmt.Printf("Fig. 6 — %d transactions, each changing the quantity of one item\n", txns)
 	fmt.Printf("(changes to ONE partial differential; incremental should be ~flat in DB size)\n\n")
 	rows, err := bench.RunFig6(sizes, txns)
@@ -87,12 +148,26 @@ func runFig6(sizes []int, txns int) error {
 	for _, r := range rows {
 		fmt.Printf("%10d %10d %14.2f %14.2f %9.1fx\n",
 			r.DBSize, r.Txns, ms(r.NaiveNs), ms(r.IncrNs), r.Speedup())
+		ops := int64(r.Txns)
+		rep.add(fmt.Sprintf("fig6/items=%d/naive", r.DBSize), r.NaiveNs/ops, r.NaiveTel)
+		rep.add(fmt.Sprintf("fig6/items=%d/incremental", r.DBSize), r.IncrNs/ops, r.IncrTel)
 	}
 	fmt.Println()
 	return nil
 }
 
-func runFig7(sizes []int, rounds int) error {
+// add appends one measurement to the JSON report. A nil report
+// discards measurements (table-only runs).
+func (rep *report) add(name string, nsPerOp int64, tel bench.Telemetry) {
+	if rep == nil {
+		return
+	}
+	rep.Records = append(rep.Records, record{
+		Name: name, NsPerOp: nsPerOp, Telemetry: tel, MeanDelta: tel.MeanDeltaSize(),
+	})
+}
+
+func runFig7(sizes []int, rounds int, rep *report) error {
 	fmt.Printf("Fig. 7 — %d transaction(s), each changing quantity, delivery_time and\n", rounds)
 	fmt.Printf("consume_freq of ALL items (three partial differentials; naive wins by a\n")
 	fmt.Printf("constant factor — the paper measured ~1.6)\n\n")
@@ -103,6 +178,9 @@ func runFig7(sizes []int, rounds int) error {
 	fmt.Printf("%10s %14s %14s %12s\n", "items", "naive ms", "incremental ms", "incr/naive")
 	for _, r := range rows {
 		fmt.Printf("%10d %14.2f %14.2f %11.2fx\n", r.N, ms(r.NaiveNs), ms(r.IncrNs), r.Ratio())
+		ops := int64(rounds)
+		rep.add(fmt.Sprintf("fig7/items=%d/naive", r.N), r.NaiveNs/ops, r.NaiveTel)
+		rep.add(fmt.Sprintf("fig7/items=%d/incremental", r.N), r.IncrNs/ops, r.IncrTel)
 	}
 	fmt.Println()
 	return nil

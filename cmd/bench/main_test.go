@@ -27,7 +27,7 @@ func capture(t *testing.T, fn func() error) string {
 }
 
 func TestRunFig6Table(t *testing.T) {
-	out := capture(t, func() error { return runFig6([]int{4, 16}, 4) })
+	out := capture(t, func() error { return runFig6([]int{4, 16}, 4, nil) })
 	if !strings.Contains(out, "Fig. 6") || !strings.Contains(out, "speedup") {
 		t.Errorf("output:\n%s", out)
 	}
@@ -37,7 +37,7 @@ func TestRunFig6Table(t *testing.T) {
 }
 
 func TestRunFig7Table(t *testing.T) {
-	out := capture(t, func() error { return runFig7([]int{6}, 1) })
+	out := capture(t, func() error { return runFig7([]int{6}, 1, nil) })
 	if !strings.Contains(out, "Fig. 7") || !strings.Contains(out, "incr/naive") {
 		t.Errorf("output:\n%s", out)
 	}

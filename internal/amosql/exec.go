@@ -13,6 +13,7 @@ import (
 	"partdiff/internal/eval"
 	"partdiff/internal/faultinject"
 	"partdiff/internal/objectlog"
+	"partdiff/internal/obs"
 	"partdiff/internal/rules"
 	"partdiff/internal/storage"
 	"partdiff/internal/txn"
@@ -63,6 +64,10 @@ type Session struct {
 
 	// Output receives the output of the builtin print procedure.
 	Output io.Writer
+
+	// obs is the session-wide observability bundle every subsystem
+	// reports into (see NewSession).
+	obs *obs.Observability
 }
 
 type pendingDelete struct {
@@ -87,6 +92,15 @@ func NewSession(mode rules.Mode) *Session {
 	s.comp = &compiler{cat: s.cat, iface: s.iface}
 	s.ev = eval.New(sessEnv{s})
 	s.mgr.SetAnalyzerOptions(analyze.WithCatalog(s.cat))
+	// One observability bundle spans the whole stack: the rule manager
+	// (and through it every propagation network and its evaluator), the
+	// store, the transaction manager, and the session's ad-hoc query
+	// evaluator all report into the same registry and tracer.
+	s.obs = obs.New()
+	s.mgr.SetObservability(s.obs)
+	s.store.SetMetrics(storage.NewMetrics(s.obs.Registry))
+	s.txns.SetObs(txn.NewMetrics(s.obs.Registry), s.obs.Tracer)
+	s.ev.SetMetrics(eval.NewMetrics(s.obs.Registry))
 	s.cat.RegisterProcedure("print", func(args []types.Value) error {
 		if s.Output == nil {
 			return nil
@@ -112,6 +126,9 @@ func (s *Session) Rules() *rules.Manager { return s.mgr }
 
 // Txns returns the transaction manager.
 func (s *Session) Txns() *txn.Manager { return s.txns }
+
+// Observability returns the session-wide registry + tracer bundle.
+func (s *Session) Observability() *obs.Observability { return s.obs }
 
 // IfaceVar returns the value of a session interface variable.
 func (s *Session) IfaceVar(name string) (types.Value, bool) {

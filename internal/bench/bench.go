@@ -201,6 +201,10 @@ type Fig6Row struct {
 	Txns    int
 	NaiveNs int64 // total wall time, naive monitoring
 	IncrNs  int64 // total wall time, incremental monitoring
+
+	// Per-mode monitor telemetry for the measured interval.
+	NaiveTel Telemetry
+	IncrTel  Telemetry
 }
 
 // Speedup returns naive/incremental.
@@ -221,15 +225,17 @@ func RunFig6(sizes []int, txns int) ([]Fig6Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			before := inv.Telemetry()
 			start := time.Now()
 			if err := inv.RunFig6Transactions(txns); err != nil {
 				return nil, err
 			}
 			ns := time.Since(start).Nanoseconds()
+			tel := inv.Telemetry().Sub(before)
 			if mode == rules.Naive {
-				row.NaiveNs = ns
+				row.NaiveNs, row.NaiveTel = ns, tel
 			} else {
-				row.IncrNs = ns
+				row.IncrNs, row.IncrTel = ns, tel
 			}
 			if inv.Orders != 0 {
 				return nil, fmt.Errorf("fig6 workload must not trigger rules, got %d orders", inv.Orders)
@@ -245,6 +251,10 @@ type Fig7Row struct {
 	N       int
 	NaiveNs int64
 	IncrNs  int64
+
+	// Per-mode monitor telemetry for the measured interval.
+	NaiveTel Telemetry
+	IncrTel  Telemetry
 }
 
 // Ratio returns incremental/naive — the paper reports ≈1.6, constant
@@ -268,6 +278,7 @@ func RunFig7(sizes []int, rounds int) ([]Fig7Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			before := inv.Telemetry()
 			start := time.Now()
 			for r := 0; r < rounds; r++ {
 				if err := inv.RunFig7Transaction(int64(r)); err != nil {
@@ -275,10 +286,11 @@ func RunFig7(sizes []int, rounds int) ([]Fig7Row, error) {
 				}
 			}
 			ns := time.Since(start).Nanoseconds()
+			tel := inv.Telemetry().Sub(before)
 			if mode == rules.Naive {
-				row.NaiveNs = ns
+				row.NaiveNs, row.NaiveTel = ns, tel
 			} else {
-				row.IncrNs = ns
+				row.IncrNs, row.IncrTel = ns, tel
 			}
 			if inv.Orders != 0 {
 				return nil, fmt.Errorf("fig7 workload must not trigger rules, got %d orders", inv.Orders)

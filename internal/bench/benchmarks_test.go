@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"testing"
+
+	"partdiff/internal/obs"
+	"partdiff/internal/rules"
+)
+
+// Small-sized counterparts of the root-package fig. 6 / fig. 7
+// benchmarks. They exist so CI can run a one-iteration bench smoke pass
+// against this package (go test -bench . -benchtime 1x -run '^$'): the
+// harness code paths — inventory construction, the two workloads, the
+// telemetry snapshot — are exercised without the multi-second sweeps.
+
+func benchInventory(b *testing.B, mode rules.Mode, n int) *Inventory {
+	b.Helper()
+	inv, err := NewInventory(Config{N: n, Mode: mode, Activate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inv
+}
+
+func BenchmarkFig6Incremental(b *testing.B) {
+	inv := benchInventory(b, rules.Incremental, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := int64(4900 - (i/100)%2*100)
+		if err := inv.Txn(func() error { return inv.SetQuantity(i%100, q) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Naive(b *testing.B) {
+	inv := benchInventory(b, rules.Naive, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := int64(4900 - (i/100)%2*100)
+		if err := inv.Txn(func() error { return inv.SetQuantity(i%100, q) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Incremental(b *testing.B) {
+	inv := benchInventory(b, rules.Incremental, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inv.RunFig7Transaction(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Traced runs the fig. 6 workload with a Chrome trace sink
+// attached, quantifying the cost of tracing ON (compare against
+// BenchmarkFig6Incremental for the tracing-off cost, which must stay
+// within noise of the pre-instrumentation numbers).
+func BenchmarkFig6Traced(b *testing.B) {
+	inv := benchInventory(b, rules.Incremental, 100)
+	sink := obs.NewChromeSink()
+	detach := inv.Sess.Observability().Tracer.Attach(sink)
+	defer detach()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := int64(4900 - (i/100)%2*100)
+		if err := inv.Txn(func() error { return inv.SetQuantity(i%100, q) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sink.Len() == 0 {
+		b.Fatal("trace sink captured no events")
+	}
+}
+
+// BenchmarkTelemetrySnapshot measures the registry read path used by the
+// -json bench output.
+func BenchmarkTelemetrySnapshot(b *testing.B) {
+	inv := benchInventory(b, rules.Incremental, 10)
+	if err := inv.RunFig7Transaction(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv.Telemetry()
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+// Telemetry is a snapshot of the monitor-relevant meters in the
+// inventory session's metrics registry. Subtracting two snapshots
+// (After.Sub(Before)) isolates the work done by a measured interval —
+// the registry itself accumulates from session creation, including
+// schema loading and rule activation.
+type Telemetry struct {
+	Propagations  int64 `json:"propagations"`
+	Differentials int64 `json:"differentials_executed"`
+	NaiveRecomp   int64 `json:"naive_recomputations"`
+	TuplesScanned int64 `json:"tuples_scanned"`
+	// DeltaSets counts Δ-sets emitted by partial differentials;
+	// DeltaTuples is the total tuples across them (their ratio is the
+	// mean Δ size the paper's efficiency argument rests on).
+	DeltaSets   int64 `json:"delta_sets_emitted"`
+	DeltaTuples int64 `json:"delta_tuples_emitted"`
+}
+
+// Telemetry reads the current cumulative meter values.
+func (inv *Inventory) Telemetry() Telemetry {
+	r := inv.Sess.Observability().Registry
+	t := Telemetry{
+		Propagations:  r.CounterValue("partdiff_propnet_propagations_total"),
+		Differentials: r.CounterValue("partdiff_propnet_differentials_total"),
+		NaiveRecomp:   r.CounterValue("partdiff_rules_naive_recomputations_total"),
+		TuplesScanned: r.CounterValue("partdiff_eval_tuples_scanned_total"),
+	}
+	for _, p := range r.Gather() {
+		if p.Name == "partdiff_propnet_differential_emitted_tuples" {
+			t.DeltaSets = p.Count
+			t.DeltaTuples = int64(p.Value)
+		}
+	}
+	return t
+}
+
+// Sub returns the element-wise difference t - o.
+func (t Telemetry) Sub(o Telemetry) Telemetry {
+	return Telemetry{
+		Propagations:  t.Propagations - o.Propagations,
+		Differentials: t.Differentials - o.Differentials,
+		NaiveRecomp:   t.NaiveRecomp - o.NaiveRecomp,
+		TuplesScanned: t.TuplesScanned - o.TuplesScanned,
+		DeltaSets:     t.DeltaSets - o.DeltaSets,
+		DeltaTuples:   t.DeltaTuples - o.DeltaTuples,
+	}
+}
+
+// MeanDeltaSize returns the mean emitted Δ-set size, or 0 when no
+// differential emitted anything.
+func (t Telemetry) MeanDeltaSize() float64 {
+	if t.DeltaSets == 0 {
+		return 0
+	}
+	return float64(t.DeltaTuples) / float64(t.DeltaSets)
+}

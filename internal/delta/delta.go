@@ -73,7 +73,9 @@ func (d *Set) Len() int {
 // a pending deletion of t is cancelled, otherwise t becomes a net
 // insertion.
 func (d *Set) Insert(t types.Tuple) {
+	folds.Add(1)
 	if d.minus.Remove(t) {
+		cancels.Add(1)
 		return
 	}
 	d.plus.Add(t)
@@ -82,7 +84,9 @@ func (d *Set) Insert(t types.Tuple) {
 // Delete folds the physical event −t into the Δ-set: a pending insertion
 // of t is cancelled, otherwise t becomes a net deletion.
 func (d *Set) Delete(t types.Tuple) {
+	folds.Add(1)
 	if d.plus.Remove(t) {
+		cancels.Add(1)
 		return
 	}
 	d.minus.Add(t)
@@ -94,6 +98,7 @@ func (d *Set) UnionInto(o *Set) {
 	if o == nil {
 		return
 	}
+	unionMerges.Add(1)
 	o.plus.Each(func(t types.Tuple) bool { d.Insert(t); return true })
 	o.minus.Each(func(t types.Tuple) bool { d.Delete(t); return true })
 }
@@ -141,6 +146,7 @@ func (d *Set) Invert() *Set {
 // OldState computes S_old = (S_new ∪ Δ−S) − Δ+S — the logical rollback of
 // fig. 3. newState is not modified.
 func (d *Set) OldState(newState *types.Set) *types.Set {
+	rollbacks.Add(1)
 	old := newState.Clone()
 	if d == nil {
 		return old
@@ -153,6 +159,7 @@ func (d *Set) OldState(newState *types.Set) *types.Set {
 // NewState computes S_new = (S_old − Δ−S) ∪ Δ+S, the forward application
 // of the delta (the inverse of OldState). oldState is not modified.
 func (d *Set) NewState(oldState *types.Set) *types.Set {
+	rollbacks.Add(1)
 	nw := oldState.Clone()
 	if d == nil {
 		return nw

@@ -1,0 +1,28 @@
+package delta
+
+import (
+	"sync/atomic"
+
+	"partdiff/internal/obs"
+)
+
+// Δ-sets are value types passed around by every layer, so there is no
+// session handle to hang per-instance meters on. Instead the package
+// keeps process-global atomics (always on — one uncontended atomic add
+// per fold) and exposes them to a session's registry as func-backed
+// counters via RegisterMetrics.
+var (
+	folds       atomic.Int64 // Insert/Delete calls (∪Δ event folds)
+	cancels     atomic.Int64 // folds that cancelled an opposite pending change
+	unionMerges atomic.Int64 // UnionInto/Union calls
+	rollbacks   atomic.Int64 // OldState/NewState materializations
+)
+
+// RegisterMetrics exposes the package-global Δ-set counters in r.
+// Values are cumulative over the process, not per session.
+func RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("partdiff_delta_folds_total", "Physical events folded into Δ-sets with ∪Δ semantics (process-wide).", folds.Load)
+	r.CounterFunc("partdiff_delta_cancellations_total", "Δ-set folds that cancelled an opposite pending change (process-wide).", cancels.Load)
+	r.CounterFunc("partdiff_delta_union_merges_total", "Δ-set ∪Δ merges (UnionInto/Union calls, process-wide).", unionMerges.Load)
+	r.CounterFunc("partdiff_delta_rollbacks_total", "Logical rollback materializations (OldState/NewState, process-wide).", rollbacks.Load)
+}

@@ -32,11 +32,12 @@ type Evaluator struct {
 	// resolve to the current iteration's materialized extents instead
 	// of re-entering recursive evaluation.
 	fixpoint map[string]*types.Set
+	met      *Metrics // never nil; zero-value Metrics when observability is off
 }
 
 // New returns an evaluator over env.
 func New(env Env) *Evaluator {
-	return &Evaluator{env: env, MaxDepth: 64}
+	return &Evaluator{env: env, MaxDepth: 64, met: &Metrics{}}
 }
 
 // bindings maps variable names to values with an undo trail.
@@ -82,6 +83,7 @@ func (e *Evaluator) EvalClause(c objectlog.Clause, out *types.Set) error {
 // EvalClauseSeeded evaluates the clause with initial variable bindings
 // (seed may be nil) and adds head tuples to out.
 func (e *Evaluator) EvalClauseSeeded(c objectlog.Clause, seed map[string]types.Value, out *types.Set) error {
+	e.met.Clauses.Inc()
 	b := newBindings()
 	for v, val := range seed {
 		b.bind(v, val)
@@ -497,6 +499,7 @@ func (e *Evaluator) matchSource(src storage.Source, lit objectlog.Literal, b *bi
 		return err
 	}
 	if allBound {
+		e.met.AnchorProbe.Inc()
 		t := types.Tuple(vals)
 		if src.Contains(t) {
 			return cont()
@@ -504,7 +507,9 @@ func (e *Evaluator) matchSource(src storage.Source, lit objectlog.Literal, b *bi
 		return nil
 	}
 	var iterErr error
+	var scanned int64 // batched into the meter once per literal match
 	visit := func(t types.Tuple) bool {
+		scanned++
 		if err := match(t); err != nil {
 			iterErr = err
 			return false
@@ -512,10 +517,13 @@ func (e *Evaluator) matchSource(src storage.Source, lit objectlog.Literal, b *bi
 		return true
 	}
 	if firstBound >= 0 {
+		e.met.AnchorIndex.Inc()
 		src.Lookup(firstBound, vals[firstBound], visit)
 	} else {
+		e.met.AnchorScan.Inc()
 		src.Each(visit)
 	}
+	e.met.TuplesScanned.Add(scanned)
 	return iterErr
 }
 

@@ -1,0 +1,40 @@
+package eval
+
+import "partdiff/internal/obs"
+
+// Metrics is the evaluator's meter set. The zero value is a valid
+// disabled meter set (nil counters are no-ops).
+type Metrics struct {
+	// Clauses counts clause evaluations (query plans executed).
+	Clauses *obs.Counter
+	// TuplesScanned counts tuples unified against while matching
+	// relational literals.
+	TuplesScanned *obs.Counter
+	// Join-order choice: how each relational literal was anchored once
+	// the greedy planner picked it — full membership probe (all args
+	// bound), index lookup (some bound), or relation scan (none bound).
+	AnchorProbe *obs.Counter
+	AnchorIndex *obs.Counter
+	AnchorScan  *obs.Counter
+}
+
+// NewMetrics registers the evaluator meters in r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	anchors := r.CounterVec("partdiff_eval_literal_anchor_total",
+		"Relational literal anchor choices made by the greedy join orderer.", "kind")
+	return &Metrics{
+		Clauses:       r.Counter("partdiff_eval_clauses_total", "ObjectLog clause evaluations (query plans executed)."),
+		TuplesScanned: r.Counter("partdiff_eval_tuples_scanned_total", "Tuples unified against while matching relational literals."),
+		AnchorProbe:   anchors.With("probe"),
+		AnchorIndex:   anchors.With("index"),
+		AnchorScan:    anchors.With("scan"),
+	}
+}
+
+// SetMetrics installs the meter set (nil restores the disabled set).
+func (e *Evaluator) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	e.met = m
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// ChromeSink accumulates trace events in the Chrome `trace_event` JSON
+// format (the "Trace Event Format" consumed by chrome://tracing and
+// https://ui.perfetto.dev). Spans become complete ("X") events,
+// instants become "i" events; timestamps and durations are in
+// microseconds relative to the sink's creation.
+type ChromeSink struct {
+	mu     sync.Mutex
+	base   time.Time
+	events []chromeEvent
+}
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// NewChromeSink returns an empty sink; attach it to a tracer with
+// Tracer.Attach.
+func NewChromeSink() *ChromeSink {
+	return &ChromeSink{base: time.Now()}
+}
+
+func attrArgs(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Span implements Sink.
+func (c *ChromeSink) Span(cat, name string, start time.Time, dur time.Duration, attrs []Attr) {
+	ev := chromeEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts:  float64(start.Sub(c.base)) / float64(time.Microsecond),
+		Dur: float64(dur) / float64(time.Microsecond),
+		Pid: 1, Tid: 1,
+		Args: attrArgs(attrs),
+	}
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Instant implements Sink.
+func (c *ChromeSink) Instant(cat, name string, ts time.Time, attrs []Attr) {
+	ev := chromeEvent{
+		Name: name, Cat: cat, Ph: "i",
+		Ts:  float64(ts.Sub(c.base)) / float64(time.Microsecond),
+		Pid: 1, Tid: 1, S: "t",
+		Args: attrArgs(attrs),
+	}
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (c *ChromeSink) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Reset discards buffered events.
+func (c *ChromeSink) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}
+
+// Export writes the buffered events as a `{"traceEvents": [...]}` JSON
+// object, loadable by chrome://tracing and Perfetto.
+func (c *ChromeSink) Export(w io.Writer) error {
+	c.mu.Lock()
+	events := append([]chromeEvent{}, c.events...)
+	c.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -1,0 +1,490 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType distinguishes the exposition families.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Label is one key="value" pair attached to a metric child.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-safe: a nil *Counter is a no-op meter, which is how instrumented
+// subsystems run with observability disabled at zero branching cost.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored; counters are monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter (used by rules.Manager.ResetStats; not part
+// of the Prometheus model, but harmless for a single-process registry).
+func (c *Counter) Reset() {
+	if c != nil {
+		c.v.Store(0)
+	}
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (peak tracking).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() {
+	if g != nil {
+		g.v.Store(0)
+	}
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket i counts observations <= Bounds[i], with an
+// implicit +Inf bucket at the end).
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefLatencyBuckets covers 1µs .. ~10s in decades with 1-2.5-5 steps,
+// in seconds (Prometheus convention for *_seconds histograms).
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets covers Δ-set / result sizes 1 .. 100k in powers of ten
+// with a 3x midpoint.
+var DefSizeBuckets = []float64{
+	0, 1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Find the first bound >= v. Bucket lists are short (~20); linear
+	// scan beats sort.SearchFloat64s' call overhead here.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+// snapshot returns (cumulative bucket counts aligned with bounds, count, sum).
+func (h *Histogram) snapshot() ([]int64, int64, float64) {
+	cum := make([]int64, len(h.bounds))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load(), h.Sum()
+}
+
+// metric is the union of child kinds held by a family.
+type metric interface{}
+
+// funcMetric is a read-only metric backed by a closure (used to expose
+// process-global counters, e.g. internal/delta's).
+type funcMetric struct {
+	fn func() int64
+}
+
+type child struct {
+	labels []Label // sorted by construction (caller passes values for fixed keys)
+	m      metric
+}
+
+type family struct {
+	name, help string
+	typ        MetricType
+	labelKeys  []string
+	bounds     []float64 // histograms only
+
+	mu       sync.RWMutex
+	order    []string
+	children map[string]*child
+}
+
+func (f *family) getOrCreate(values []string, mk func(ls []Label) metric) metric {
+	if len(values) != len(f.labelKeys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label value(s), got %d", f.name, len(f.labelKeys), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c := f.children[key]
+	f.mu.RUnlock()
+	if c != nil {
+		return c.m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.children[key]; c != nil {
+		return c.m
+	}
+	ls := make([]Label, len(values))
+	for i, v := range values {
+		ls[i] = Label{Key: f.labelKeys[i], Value: v}
+	}
+	c = &child{labels: ls, m: mk(ls)}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c.m
+}
+
+func labelKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	key := values[0]
+	for _, v := range values[1:] {
+		key += "\x00" + v
+	}
+	return key
+}
+
+// Registry is a get-or-create metric registry. Asking twice for the
+// same family name returns the same underlying metric, so subsystems
+// that are rebuilt (the rules manager recreates its propagation network
+// whenever activations change) keep accumulating into the same meters.
+//
+// All lookup methods are nil-safe: on a nil *Registry they return nil
+// metrics, whose methods are in turn no-ops.
+type Registry struct {
+	mu       sync.RWMutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, typ MetricType, keys []string, bounds []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{
+				name: name, help: help, typ: typ,
+				labelKeys: append([]string(nil), keys...),
+				bounds:    bounds,
+				children:  make(map[string]*child),
+			}
+			r.families[name] = f
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ || len(f.labelKeys) != len(keys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s/%d labels (was %s/%d)",
+			name, typ, len(keys), f.typ, len(f.labelKeys)))
+	}
+	return f
+}
+
+// Counter returns the unlabeled counter for name, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, TypeCounter, nil, nil)
+	return f.getOrCreate(nil, func([]Label) metric { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge for name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, TypeGauge, nil, nil)
+	return f.getOrCreate(nil, func([]Label) metric { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram for name with the given
+// bucket bounds (only the first registration's bounds are used).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, TypeHistogram, nil, bounds)
+	return f.getOrCreate(nil, func([]Label) metric { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterFunc registers a read-only counter backed by fn (e.g. a
+// process-global atomic owned by another package). Re-registering the
+// same name replaces the closure.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, TypeCounter, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[""]; c != nil {
+		if fm, ok := c.m.(*funcMetric); ok {
+			fm.fn = fn
+			return
+		}
+		c.m = &funcMetric{fn: fn}
+		return
+	}
+	f.children[""] = &child{m: &funcMetric{fn: fn}}
+	f.order = append(f.order, "")
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec returns the labeled counter family for name.
+func (r *Registry) CounterVec(name, help string, labelKeys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.family(name, help, TypeCounter, labelKeys, nil)}
+}
+
+// With returns the child counter for the given label values (in the
+// order of the vec's label keys), creating it on first use.
+func (cv *CounterVec) With(values ...string) *Counter {
+	if cv == nil {
+		return nil
+	}
+	return cv.f.getOrCreate(values, func([]Label) metric { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec returns the labeled gauge family for name.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.family(name, help, TypeGauge, labelKeys, nil)}
+}
+
+// With returns the child gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge {
+	if gv == nil {
+		return nil
+	}
+	return gv.f.getOrCreate(values, func([]Label) metric { return new(Gauge) }).(*Gauge)
+}
+
+// Point is one flattened sample in a registry snapshot.
+type Point struct {
+	Name   string
+	Labels []Label
+	Type   MetricType
+	Value  float64 // counter/gauge value; histograms: Sum
+
+	// Histogram detail (Type == TypeHistogram only).
+	Count   int64
+	Bounds  []float64
+	Buckets []int64 // cumulative, aligned with Bounds
+}
+
+// Gather returns a deterministic snapshot of every metric: families in
+// name order, children in creation order.
+func (r *Registry) Gather() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []Point
+	for _, f := range fams {
+		f.mu.RLock()
+		for _, key := range f.order {
+			c := f.children[key]
+			p := Point{Name: f.name, Labels: c.labels, Type: f.typ}
+			switch m := c.m.(type) {
+			case *Counter:
+				p.Value = float64(m.Value())
+			case *Gauge:
+				p.Value = float64(m.Value())
+			case *funcMetric:
+				p.Value = float64(m.fn())
+			case *Histogram:
+				buckets, count, sum := m.snapshot()
+				p.Buckets, p.Count, p.Value = buckets, count, sum
+				p.Bounds = m.bounds
+			}
+			out = append(out, p)
+		}
+		f.mu.RUnlock()
+	}
+	return out
+}
+
+// Total sums every child of the named family: the counter value for a
+// plain counter, the sum over all label children for a vec, and the
+// observation sum for a histogram. Returns 0 for unknown families.
+func (r *Registry) Total(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	var t float64
+	for _, p := range r.Gather() {
+		if p.Name == name {
+			t += p.Value
+		}
+	}
+	return t
+}
+
+// CounterValue returns the value of the unlabeled counter name, or 0 if
+// it does not exist. Convenience for tests and the bench telemetry.
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	c := f.children[""]
+	if c == nil {
+		return 0
+	}
+	switch m := c.m.(type) {
+	case *Counter:
+		return m.Value()
+	case *funcMetric:
+		return m.fn()
+	}
+	return 0
+}

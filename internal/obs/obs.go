@@ -1,0 +1,35 @@
+// Package obs is the observability subsystem: a low-overhead metrics
+// registry (atomic counters, gauges and fixed-bucket histograms, with
+// labeled children), a structured tracing API (spans and instant events
+// with attributes, fanned out to pluggable sinks), and exposition
+// surfaces (Prometheus text format, expvar JSON, and a Chrome
+// `trace_event` exporter so a check phase can be opened in a trace
+// viewer).
+//
+// The package is stdlib-only and dependency-free within the repo: every
+// other internal package may import it. Instrumented subsystems follow
+// two conventions that keep the disabled cost near zero:
+//
+//   - Metric methods are nil-safe: a nil *Counter, *Gauge or *Histogram
+//     is a no-op, so a zero-value Metrics struct (or one built from a
+//     nil *Registry) disables a subsystem's meters without branches at
+//     every call site.
+//   - Tracing is guarded by Tracer.Enabled(): span attribute
+//     construction — the expensive part — only happens when at least
+//     one sink is attached.
+//
+// Metric naming follows the Prometheus convention
+// `partdiff_<subsystem>_<metric>_<unit>`; see DESIGN.md "Observability".
+package obs
+
+// Observability bundles the registry and tracer one session threads
+// through its subsystems.
+type Observability struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// New returns a fresh registry + tracer bundle.
+func New() *Observability {
+	return &Observability{Registry: NewRegistry(), Tracer: NewTracer()}
+}

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every meter and the tracer must be usable as a zero value / nil:
+	// that is the "off by default" mode of instrumented subsystems.
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	g.SetMax(10)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	if r.CounterVec("x", "", "k") != nil || r.GaugeVec("x", "", "k") != nil {
+		t.Fatal("nil registry must return nil vecs")
+	}
+	var cv *CounterVec
+	cv.With("a").Inc()
+	var gv *GaugeVec
+	gv.With("a").Set(1)
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.Begin("c", "n").End()
+	tr.Instant("c", "n")
+	if r.Gather() != nil || r.Total("x") != 0 || r.CounterValue("x") != 0 {
+		t.Fatal("nil registry snapshot")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("partdiff_test_total", "help")
+	b := r.Counter("partdiff_test_total", "other help ignored")
+	if a != b {
+		t.Fatal("same name must return same counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatal("shared state expected")
+	}
+	v1 := r.CounterVec("partdiff_vec_total", "", "node")
+	v2 := r.CounterVec("partdiff_vec_total", "", "node")
+	if v1.With("n1") != v2.With("n1") {
+		t.Fatal("vec children must be shared")
+	}
+	v1.With("n1").Add(2)
+	v1.With("n2").Add(5)
+	if got := r.Total("partdiff_vec_total"); got != 7 {
+		t.Fatalf("Total = %v, want 7", got)
+	}
+	if got := r.CounterValue("partdiff_test_total"); got != 3 {
+		t.Fatalf("CounterValue = %d, want 3", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("partdiff_lat_seconds", "", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5) // above all bounds → only +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.0555) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	pts := r.Gather()
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	p := pts[0]
+	want := []int64{1, 2, 3} // cumulative
+	for i, w := range want {
+		if p.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, p.Buckets[i], w)
+		}
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax = %d", g.Value())
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("partdiff_func_total", "h", func() int64 { return n })
+	n = 42
+	if got := r.CounterValue("partdiff_func_total"); got != 42 {
+		t.Fatalf("func counter = %d", got)
+	}
+	// Re-registering replaces the closure (new sessions re-bind).
+	r.CounterFunc("partdiff_func_total", "h", func() int64 { return 7 })
+	if got := r.CounterValue("partdiff_func_total"); got != 7 {
+		t.Fatalf("re-registered func counter = %d", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("partdiff_b_total", "counts b").Add(2)
+	r.CounterVec("partdiff_a_total", "counts a", "rule").With(`we"ird\`).Add(1)
+	r.Gauge("partdiff_depth", "queue depth").Set(-3)
+	r.Histogram("partdiff_lat_seconds", "latency", []float64{0.01, 0.1}).Observe(0.05)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP partdiff_a_total counts a\n# TYPE partdiff_a_total counter\n",
+		`partdiff_a_total{rule="we\"ird\\"} 1`,
+		"# TYPE partdiff_b_total counter",
+		"partdiff_b_total 2",
+		"# TYPE partdiff_depth gauge",
+		"partdiff_depth -3",
+		"# TYPE partdiff_lat_seconds histogram",
+		`partdiff_lat_seconds_bucket{le="0.01"} 0`,
+		`partdiff_lat_seconds_bucket{le="0.1"} 1`,
+		`partdiff_lat_seconds_bucket{le="+Inf"} 1`,
+		"partdiff_lat_seconds_sum 0.05",
+		"partdiff_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order for deterministic scraping.
+	if strings.Index(out, "partdiff_a_total") > strings.Index(out, "partdiff_b_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestTracerSpansAndInstants(t *testing.T) {
+	tr := NewTracer()
+	if tr.Enabled() {
+		t.Fatal("enabled with no sinks")
+	}
+	if sp := tr.Begin("c", "n"); sp != nil {
+		t.Fatal("Begin must return nil when disabled")
+	}
+	var cs CollectSink
+	detach := tr.Attach(&cs)
+	if !tr.Enabled() {
+		t.Fatal("not enabled after attach")
+	}
+	sp := tr.Begin("propnet", "Δp/Δ+q", Str("view", "p"))
+	sp.End(Int("produced", 3))
+	tr.Instant("rules.debug", "debug", Str("msg", "hello"))
+	spans, insts := cs.Spans(), cs.Instants()
+	if len(spans) != 1 || spans[0].Name != "Δp/Δ+q" || spans[0].Attr("view") != "p" || spans[0].Attr("produced") != "3" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if len(insts) != 1 || insts[0].Attr("msg") != "hello" {
+		t.Fatalf("instants = %+v", insts)
+	}
+	detach()
+	detach() // idempotent
+	if tr.Enabled() {
+		t.Fatal("still enabled after detach")
+	}
+}
+
+func TestTextSinkFilterAndFormat(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer()
+	tr.Attach(NewTextSink(&sb, "rules.debug"))
+	tr.Instant("rules.debug", "debug", Str("msg", "check round 1"))
+	tr.Instant("propnet", "noise", Str("x", "y"))
+	tr.Begin("txn", "commit").End()
+	if got := sb.String(); got != "check round 1\n" {
+		t.Fatalf("text sink output = %q", got)
+	}
+}
+
+func TestChromeSinkExport(t *testing.T) {
+	tr := NewTracer()
+	cs := NewChromeSink()
+	tr.Attach(cs)
+	sp := tr.Begin("propnet", "propagate", Int("round", 1))
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Instant("rules", "trigger", Str("rule", "low"))
+	var sb strings.Builder
+	if err := cs.Export(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	x := doc.TraceEvents[0]
+	if x.Ph != "X" || x.Name != "propagate" || x.Dur <= 0 || x.Args["round"] != "1" {
+		t.Fatalf("span event = %+v", x)
+	}
+	if doc.TraceEvents[1].Ph != "i" || doc.TraceEvents[1].Args["rule"] != "low" {
+		t.Fatalf("instant event = %+v", doc.TraceEvents[1])
+	}
+	if cs.Len() != 2 {
+		t.Fatalf("Len = %d", cs.Len())
+	}
+	cs.Reset()
+	if cs.Len() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("partdiff_storage_tuple_inserts_total", "h").Add(4)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "partdiff_storage_tuple_inserts_total 4") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, `"partdiff"`) ||
+		!strings.Contains(body, "partdiff_storage_tuple_inserts_total") {
+		t.Fatalf("/debug/vars: %d %q", code, body)
+	}
+	code, body = get("/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Fatalf("unknown path = %d", code)
+	}
+}
+
+func TestServeListener(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("partdiff_x_total", "").Inc()
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "partdiff_x_total 1") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestConcurrentMeters(t *testing.T) {
+	// Exercised under -race in CI: concurrent writers + a scraper.
+	r := NewRegistry()
+	vec := r.CounterVec("partdiff_conc_total", "", "w")
+	h := r.Histogram("partdiff_conc_seconds", "", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := vec.With("w")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+				r.Gauge("partdiff_conc_depth", "").Set(int64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Gather()
+			_ = r.WritePrometheus(io.Discard)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := vec.With("w").Value(); got != 4000 {
+		t.Fatalf("counter = %d", got)
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by
+// # HELP / # TYPE, histograms expanded into cumulative _bucket{le=...}
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	var lastName string
+	for _, p := range r.Gather() {
+		if p.Name != lastName {
+			help, typ := r.familyMeta(p.Name)
+			if help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", p.Name, escapeHelp(help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", p.Name, typ)
+			lastName = p.Name
+		}
+		switch p.Type {
+		case TypeHistogram:
+			for i, bound := range p.Bounds {
+				b.WriteString(p.Name)
+				b.WriteString("_bucket")
+				writeLabels(&b, p.Labels, formatBound(bound))
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(p.Buckets[i], 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(p.Name)
+			b.WriteString("_bucket")
+			writeLabels(&b, p.Labels, "+Inf")
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(p.Count, 10))
+			b.WriteByte('\n')
+			fmt.Fprintf(&b, "%s_sum", p.Name)
+			writeLabels(&b, p.Labels, "")
+			fmt.Fprintf(&b, " %s\n", formatValue(p.Value))
+			fmt.Fprintf(&b, "%s_count", p.Name)
+			writeLabels(&b, p.Labels, "")
+			fmt.Fprintf(&b, " %d\n", p.Count)
+		default:
+			b.WriteString(p.Name)
+			writeLabels(&b, p.Labels, "")
+			b.WriteByte(' ')
+			b.WriteString(formatValue(p.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Registry) familyMeta(name string) (help string, typ MetricType) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if f := r.families[name]; f != nil {
+		return f.help, f.typ
+	}
+	return "", TypeCounter
+}
+
+// writeLabels renders {k="v",...}, appending le=bound for histogram
+// buckets. Writes nothing when there are no labels and no bound.
+func writeLabels(b *strings.Builder, labels []Label, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// expvarMap renders the registry as a JSON-friendly map for expvar:
+// plain metrics become numbers keyed by name (label children keyed as
+// name{k=v,...}), histograms become {count,sum} objects.
+func (r *Registry) expvarMap() map[string]any {
+	out := make(map[string]any)
+	for _, p := range r.Gather() {
+		key := p.Name
+		if len(p.Labels) > 0 {
+			parts := make([]string, len(p.Labels))
+			for i, l := range p.Labels {
+				parts[i] = l.Key + "=" + l.Value
+			}
+			key += "{" + strings.Join(parts, ",") + "}"
+		}
+		if p.Type == TypeHistogram {
+			out[key] = map[string]any{"count": p.Count, "sum": p.Value}
+		} else {
+			out[key] = p.Value
+		}
+	}
+	return out
+}

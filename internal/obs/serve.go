@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// expvar.Publish panics on duplicate names, so the partdiff expvar
+// entry is published once per process and indirected through an atomic
+// pointer to whichever registry most recently asked to be served.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("partdiff", expvar.Func(func() any {
+			if reg := expvarReg.Load(); reg != nil {
+				return reg.expvarMap()
+			}
+			return map[string]any{}
+		}))
+	})
+}
+
+// Handler returns the monitoring endpoint for a registry:
+//
+//	/metrics     Prometheus text exposition format
+//	/debug/vars  expvar JSON (stdlib format, partdiff metrics under "partdiff")
+//	/            a small index page
+func Handler(r *Registry) http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><head><title>partdiff monitor</title></head><body>
+<h1>partdiff monitor</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text format</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar JSON</li>
+</ul>
+</body></html>`)
+	})
+	return mux
+}
+
+// Server is a running monitoring endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the monitoring endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") serving the registry's metrics, and returns
+// immediately; the listener runs on a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

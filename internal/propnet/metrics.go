@@ -1,0 +1,60 @@
+package propnet
+
+import "partdiff/internal/obs"
+
+// Metrics is the propagation network's meter set. The zero value is a
+// valid disabled meter set (nil meters are no-ops).
+type Metrics struct {
+	// Propagations counts Propagate runs (one per check round).
+	Propagations *obs.Counter
+	// Differentials counts executed partial differentials.
+	Differentials *obs.Counter
+	// Reevaluations counts aggregate/recursive nodes recomputed by
+	// old-vs-new diffing instead of partial differencing.
+	Reevaluations *obs.Counter
+	// NodeDifferentials / NodeEmitted break differential executions and
+	// emitted Δ tuples down per view node.
+	NodeDifferentials *obs.CounterVec
+	NodeEmitted       *obs.CounterVec
+	// EmittedSize is the distribution of per-differential result sizes
+	// (before §7.2 negative verification).
+	EmittedSize *obs.Histogram
+	// QueueDepth is the number of changed nodes at the level currently
+	// being propagated.
+	QueueDepth *obs.Gauge
+	// WaveFrontPeak is the high-water mark of tuples held in view
+	// Δ-sets (the algorithm's working set, cf. MaxWaveFront).
+	WaveFrontPeak *obs.Gauge
+	// PropagateSeconds is the wall-clock distribution of Propagate runs.
+	PropagateSeconds *obs.Histogram
+}
+
+// NewMetrics registers the propagation-network meters in r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Propagations:  r.Counter("partdiff_propnet_propagations_total", "Breadth-first propagation runs (one per check round with changes)."),
+		Differentials: r.Counter("partdiff_propnet_differentials_total", "Partial differential executions."),
+		Reevaluations: r.Counter("partdiff_propnet_reevaluations_total", "Aggregate/recursive node re-evaluations (old vs new state diff)."),
+		NodeDifferentials: r.CounterVec("partdiff_propnet_node_differentials_total",
+			"Partial differential executions per view node.", "node"),
+		NodeEmitted: r.CounterVec("partdiff_propnet_node_emitted_tuples_total",
+			"Δ tuples emitted per view node (before negative verification).", "node"),
+		EmittedSize:      r.Histogram("partdiff_propnet_differential_emitted_tuples", "Per-differential emitted Δ sizes.", obs.DefSizeBuckets),
+		QueueDepth:       r.Gauge("partdiff_propnet_queue_depth", "Changed nodes at the propagation level currently executing."),
+		WaveFrontPeak:    r.Gauge("partdiff_propnet_wavefront_peak_tuples", "Peak tuples held in view Δ-sets during propagation."),
+		PropagateSeconds: r.Histogram("partdiff_propnet_propagate_seconds", "Wall-clock time per propagation run.", obs.DefLatencyBuckets),
+	}
+}
+
+// SetObs installs the meter set and tracer on the network (nil values
+// restore the disabled defaults). The rules manager calls this every
+// time it rebuilds its networks, passing the same registry-backed
+// meters so counts accumulate across rebuilds. Meters for the network's
+// internal evaluator are installed separately via Evaluator().SetMetrics.
+func (n *Network) SetObs(m *Metrics, tr *obs.Tracer) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	n.met = m
+	n.tracer = tr
+}

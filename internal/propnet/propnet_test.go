@@ -444,3 +444,34 @@ func TestNetEnvErrors(t *testing.T) {
 		t.Error("unknown relation should error")
 	}
 }
+
+// TestTraceReturnsCopy is the regression test for Trace() aliasing: it
+// used to return the network's internal slice, which the next
+// propagation truncated and overwrote in place — silently mutating
+// every saved trace (recorded explanations, debug output).
+func TestTraceReturnsCopy(t *testing.T) {
+	st, n := buildPQR(t)
+	apply(t, st, n, true, "q", tup(1, 2))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Trace()
+	if len(got) == 0 {
+		t.Fatal("expected trace entries from first propagation")
+	}
+	want := append([]TraceEntry(nil), got...)
+	n.ClearBase()
+
+	// A second propagation over a different influent refills the
+	// network's internal buffer; the saved trace must not change.
+	apply(t, st, n, false, "r", tup(1, 2))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("saved trace entry %d mutated by later propagation: got %+v, want %+v",
+				i, got[i], want[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"partdiff/internal/delta"
 	"partdiff/internal/faultinject"
 	"partdiff/internal/objectlog"
+	"partdiff/internal/obs"
 	"partdiff/internal/propnet"
 	"partdiff/internal/types"
 )
@@ -80,14 +81,16 @@ func (m *Manager) checkPhase() error {
 			return err
 		}
 		if m.net.HasChanges() {
-			m.stats.CheckRounds++
-			if m.debug != nil {
+			m.met.CheckRounds.Inc()
+			rsp := m.obs.Tracer.Begin("rules", "check_round", obs.Int("round", round))
+			if m.tracing() {
 				m.debugf("check round %d: changed base relations %v", round, m.net.ChangedBase())
 			}
 			if err := m.deriveTriggers(round); err != nil {
+				rsp.End(obs.Str("error", err.Error()))
 				return err
 			}
-			if m.debug != nil {
+			if m.tracing() {
 				for _, te := range m.net.Trace() {
 					m.debugf("  %s produced %d tuple(s)", te.Differential, te.Produced)
 				}
@@ -98,6 +101,7 @@ func (m *Manager) checkPhase() error {
 				}
 			}
 			m.net.ClearBase()
+			rsp.End()
 		}
 		// Conflict resolution: choose one triggered rule.
 		var cands []*Activation
@@ -115,8 +119,14 @@ func (m *Manager) checkPhase() error {
 		chosen := m.Resolve(cands)
 		instances := chosen.trigger.Plus().Tuples()
 		chosen.trigger.Clear()
-		m.stats.TriggeredInstances += len(instances)
-		if m.debug != nil {
+		m.met.Triggered.Add(int64(len(instances)))
+		m.met.RuleTriggered.With(chosen.Rule.Name).Add(int64(len(instances)))
+		m.obs.Tracer.Instant("rules", "triggered",
+			obs.Str("rule", chosen.Rule.Name),
+			obs.Str("activation", chosen.Key),
+			obs.Int("round", round),
+			obs.Int("instances", len(instances)))
+		if m.tracing() {
 			names := make([]string, len(cands))
 			for i, c := range cands {
 				names[i] = c.Key
@@ -133,7 +143,7 @@ func (m *Manager) checkPhase() error {
 			if err := m.runAction(chosen.Rule, inst); err != nil {
 				return err
 			}
-			m.stats.ActionsExecuted++
+			m.met.Actions.Inc()
 		}
 	}
 }
@@ -142,10 +152,15 @@ func (m *Manager) checkPhase() error {
 // panicking foreign procedure becomes an error that rolls the
 // transaction back, it never unwinds through the check phase.
 func (m *Manager) runAction(r *Rule, inst types.Tuple) (err error) {
+	var sp *obs.Span
+	if m.tracing() {
+		sp = m.obs.Tracer.Begin("rules", "action "+r.Name, obs.Str("instance", inst.String()))
+	}
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("rule %s action on %s panicked: %v", r.Name, inst, rec)
 		}
+		sp.End()
 	}()
 	if err := m.inj.Fire(faultinject.RuleAction); err != nil {
 		return fmt.Errorf("rule %s action on %s: %w", r.Name, inst, err)
@@ -181,8 +196,8 @@ func (m *Manager) deriveIncremental(round int, only map[string]bool) error {
 	if err != nil {
 		return err
 	}
-	m.stats.Propagations++
-	m.stats.DifferentialsExecuted += m.net.Executed()
+	m.met.Propagations.Inc()
+	m.met.Differentials.Add(int64(m.net.Executed()))
 	trace := m.net.Trace()
 	for _, a := range sortedActivations(m.activations) {
 		if only != nil && !only[a.Key] {
@@ -274,7 +289,7 @@ func (m *Manager) deriveNaive() error {
 		if err != nil {
 			return err
 		}
-		m.stats.NaiveRecomputations++
+		m.met.NaiveRecomputations.Inc()
 		d := delta.Diff(a.prevTrue, newTrue)
 		a.prevTrue = newTrue
 		if d.IsEmpty() {
@@ -355,7 +370,7 @@ func (m *Manager) deriveHybrid(round int) error {
 		if err != nil {
 			return err
 		}
-		m.stats.NaiveRecomputations++
+		m.met.NaiveRecomputations.Inc()
 		d := delta.Diff(oldTrue, newTrue)
 		if d.IsEmpty() || !a.Rule.eventMatches(changed) {
 			continue

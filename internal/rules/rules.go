@@ -27,8 +27,10 @@ import (
 	"partdiff/internal/analyze"
 	"partdiff/internal/delta"
 	"partdiff/internal/diff"
+	"partdiff/internal/eval"
 	"partdiff/internal/faultinject"
 	"partdiff/internal/objectlog"
+	"partdiff/internal/obs"
 	"partdiff/internal/propnet"
 	"partdiff/internal/storage"
 	"partdiff/internal/types"
@@ -204,18 +206,38 @@ type Manager struct {
 	inj      *faultinject.Injector
 
 	explanations []Explanation
-	stats        Stats
 	condSeq      int
 
-	// debug, when non-nil, receives a structured trace of every check
-	// phase: accumulated changes, differentials executed, triggers
-	// folded, conflict resolution decisions and actions run.
-	debug io.Writer
+	// Observability: obs is the registry + tracer bundle (never nil;
+	// NewManager installs a private one, the embedding session replaces
+	// it via SetObservability). met backs the Stats view with atomic
+	// counters; netMet/evalMet are handed to every rebuilt network.
+	obs     *obs.Observability
+	met     *Metrics
+	netMet  *propnet.Metrics
+	evalMet *eval.Metrics
+
+	// debug remembers the writer passed to SetDebug; the actual output
+	// path is a TextSink attached to the tracer (debugDetach removes it).
+	debug       io.Writer
+	debugDetach func()
 }
 
 // SetDebug directs a human-readable check-phase trace to w (nil
-// disables tracing).
-func (m *Manager) SetDebug(w io.Writer) { m.debug = w }
+// disables it). The trace is produced by the structured tracing API:
+// each debug line is an instant event in the "rules.debug" category and
+// w receives exactly those events through a filtering text sink — a
+// Chrome trace exporter attached to the same tracer sees them too.
+func (m *Manager) SetDebug(w io.Writer) {
+	if m.debugDetach != nil {
+		m.debugDetach()
+		m.debugDetach = nil
+	}
+	m.debug = w
+	if w != nil {
+		m.debugDetach = m.obs.Tracer.Attach(obs.NewTextSink(w, "rules.debug"))
+	}
+}
 
 // SetInjector installs a fault injector on the check-phase paths and on
 // the live propagation network (nil disables injection).
@@ -227,8 +249,8 @@ func (m *Manager) SetInjector(inj *faultinject.Injector) {
 }
 
 func (m *Manager) debugf(format string, args ...any) {
-	if m.debug != nil {
-		fmt.Fprintf(m.debug, format+"\n", args...)
+	if m.obs.Tracer.Enabled() {
+		m.obs.Tracer.Instant("rules.debug", "debug", obs.Str("msg", fmt.Sprintf(format, args...)))
 	}
 }
 
@@ -247,6 +269,7 @@ func NewManager(store *storage.Store, mode Mode) *Manager {
 		netDirty:    true,
 	}
 	m.Resolve = defaultResolver
+	m.SetObservability(obs.New())
 	return m
 }
 
@@ -423,6 +446,7 @@ func (m *Manager) Activate(ruleName string, args ...types.Value) (string, error)
 		}
 		a.prevTrue = ext
 	}
+	m.met.Activations.Inc()
 	return key, nil
 }
 
@@ -534,6 +558,8 @@ func (m *Manager) ensureNet() error {
 	old := m.net
 	net := propnet.New(m.store, m.prog, m.diffOpts)
 	net.SetInjector(m.inj)
+	net.SetObs(m.netMet, m.obs.Tracer)
+	net.Evaluator().SetMetrics(m.evalMet)
 	for _, sv := range m.sharedViews {
 		if m.sharedViewUsed(sv.Name) {
 			if err := net.AddView(sv, false); err != nil {
@@ -657,11 +683,32 @@ func (m *Manager) CheckInvariants(quiescent bool) error {
 	return nil
 }
 
-// Stats returns cumulative monitor statistics.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns cumulative monitor statistics. It is a compatibility
+// view computed from the atomic metrics registry, so it is safe to call
+// from another goroutine while a check phase runs (each field is an
+// atomic load; the struct as a whole is a consistent-enough snapshot
+// for monitoring, not a linearizable one).
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Propagations:          int(m.met.Propagations.Value()),
+		DifferentialsExecuted: int(m.met.Differentials.Value()),
+		NaiveRecomputations:   int(m.met.NaiveRecomputations.Value()),
+		TriggeredInstances:    int(m.met.Triggered.Value()),
+		ActionsExecuted:       int(m.met.Actions.Value()),
+		CheckRounds:           int(m.met.CheckRounds.Value()),
+	}
+}
 
-// ResetStats zeroes the statistics counters.
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+// ResetStats zeroes the statistics counters (the benchmark harness
+// isolates measurements with this).
+func (m *Manager) ResetStats() {
+	m.met.Propagations.Reset()
+	m.met.Differentials.Reset()
+	m.met.NaiveRecomputations.Reset()
+	m.met.Triggered.Reset()
+	m.met.Actions.Reset()
+	m.met.CheckRounds.Reset()
+}
 
 // LastExplanations returns the explanations recorded during the most
 // recent check phase.

@@ -2,7 +2,9 @@ package rules
 
 import (
 	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"partdiff/internal/objectlog"
@@ -594,5 +596,44 @@ func TestMidTransactionActivationMigratesDeltas(t *testing.T) {
 	}
 	if len(f.fired["early"]) != 1 {
 		t.Errorf("early fired %v; deltas lost in network rebuild", f.fired["early"])
+	}
+}
+
+// TestStatsConcurrentReads: Stats() is a compatibility view computed
+// from atomic registry counters, so a monitoring goroutine (the \stats
+// command, an HTTP scrape) may poll it while transactions commit. Run
+// under -race this catches any regression to plain field increments.
+func TestStatsConcurrentReads(t *testing.T) {
+	f := newFixture(t, Incremental)
+	f.set(t, "quantity", 1, 100)
+	f.set(t, "threshold", 1, 60)
+	f.defineLowStock(t, "low", false, 0)
+	f.mgr.Activate("low")
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = f.mgr.Stats()
+				_ = f.mgr.Observability().Registry.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		q := int64(50 + i%2)
+		f.inTxn(t, func() { f.set(t, "quantity", 1, q) })
+	}
+	close(done)
+	wg.Wait()
+	if f.mgr.Stats().Propagations == 0 {
+		t.Error("expected propagations after 50 transactions")
 	}
 }

@@ -1,0 +1,170 @@
+package rules
+
+import (
+	"testing"
+
+	"partdiff/internal/objectlog"
+	"partdiff/internal/obs"
+	"partdiff/internal/types"
+)
+
+// collect attaches a buffering sink to the manager's tracer and returns
+// it together with the detach func.
+func collect(f *fixture) (*obs.CollectSink, func()) {
+	sink := &obs.CollectSink{}
+	detach := f.mgr.Observability().Tracer.Attach(sink)
+	return sink, detach
+}
+
+// findSpan returns the first propnet span whose attributes match the
+// given view/influent/trigger/effect combination ("" view matches any).
+func findSpan(spans []obs.CollectedEvent, view, influent, trigger, effect string) (obs.CollectedEvent, bool) {
+	for _, s := range spans {
+		if s.Cat == "propnet" &&
+			(view == "" || s.Attr("view") == view) && s.Attr("influent") == influent &&
+			s.Attr("trigger") == trigger && s.Attr("effect") == effect {
+			return s, true
+		}
+	}
+	return obs.CollectedEvent{}, false
+}
+
+// TestStructuredTraceDNFCondition: a disjunctive (two-clause) condition
+// has partial differentials per influent per clause; a transaction
+// touching both influents must surface positive AND negative
+// differential spans for each, attributed to the condition's node.
+func TestStructuredTraceDNFCondition(t *testing.T) {
+	f := newFixture(t, Incremental)
+	f.set(t, "quantity", 1, 100)
+	f.set(t, "threshold", 1, 60)
+
+	// dnf(I) ← quantity(I,Q) ∧ Q < 10   ∨   threshold(I,T) ∧ T > 1000
+	cond := &objectlog.Def{Name: "dnf_cond", Arity: 1, Clauses: []objectlog.Clause{
+		{Head: objectlog.Lit("dnf_cond", objectlog.V("I")), Body: []objectlog.Literal{
+			objectlog.Lit("quantity", objectlog.V("I"), objectlog.V("Q")),
+			objectlog.Lit(objectlog.BuiltinLT, objectlog.V("Q"), objectlog.C(types.Int(10))),
+		}},
+		{Head: objectlog.Lit("dnf_cond", objectlog.V("I")), Body: []objectlog.Literal{
+			objectlog.Lit("threshold", objectlog.V("I"), objectlog.V("T")),
+			objectlog.Lit(objectlog.BuiltinLT, objectlog.C(types.Int(1000)), objectlog.V("T")),
+		}},
+	}}
+	err := f.mgr.DefineRule(&Rule{Name: "dnf", CondDef: cond, Action: f.recorder("dnf")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.Activate("dnf"); err != nil {
+		t.Fatal(err)
+	}
+
+	sink, detach := collect(f)
+	defer detach()
+	// Overwriting stored values produces both Δ+ and Δ− base changes
+	// (Set is delete-then-insert), in both influents; neither clause
+	// becomes true, so this measures pure monitoring.
+	f.inTxn(t, func() {
+		f.set(t, "quantity", 1, 90)
+		f.set(t, "threshold", 1, 70)
+	})
+
+	spans := sink.Spans()
+	// The activation's condition node (cnd_dnf#1, a rewrite of the
+	// definition) must be the view every differential is attributed to.
+	view := ""
+	for _, want := range []struct{ influent, trigger, effect string }{
+		{"quantity", "Δ+", "Δ+"},
+		{"quantity", "Δ-", "Δ-"},
+		{"threshold", "Δ+", "Δ+"},
+		{"threshold", "Δ-", "Δ-"},
+	} {
+		sp, ok := findSpan(spans, view, want.influent, want.trigger, want.effect)
+		if !ok {
+			t.Errorf("no differential span for influent=%s trigger=%s effect=%s\nspans: %+v",
+				want.influent, want.trigger, want.effect, spans)
+			continue
+		}
+		if view == "" {
+			view = sp.Attr("view")
+			if view == "" {
+				t.Fatalf("differential span has no view attribute: %+v", sp)
+			}
+		}
+	}
+	// A propagation round wraps the differentials.
+	var found bool
+	for _, s := range spans {
+		if s.Cat == "propnet" && s.Name == "propagate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no propagate span recorded")
+	}
+}
+
+// TestStructuredTraceNegatedCondition: with a negated influent the
+// trigger and effect signs are opposed — deleting a blocked(I) tuple
+// (Δ−blocked) can make the condition true (Δ+), and inserting one can
+// make it false (Δ−). The structured trace must attribute both
+// cross-sign differentials to the condition node.
+func TestStructuredTraceNegatedCondition(t *testing.T) {
+	f := newFixture(t, Incremental)
+	if _, err := f.store.CreateRelation("blocked", 1, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	f.set(t, "quantity", 1, 100)
+	if _, err := f.store.Insert("blocked", tup(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// neg(I) ← quantity(I,Q) ∧ ¬blocked(I)
+	cond := &objectlog.Def{Name: "neg_cond", Arity: 1, Clauses: []objectlog.Clause{
+		{Head: objectlog.Lit("neg_cond", objectlog.V("I")), Body: []objectlog.Literal{
+			objectlog.Lit("quantity", objectlog.V("I"), objectlog.V("Q")),
+			objectlog.NotLit("blocked", objectlog.V("I")),
+		}},
+	}}
+	err := f.mgr.DefineRule(&Rule{Name: "neg", CondDef: cond, Action: f.recorder("neg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.Activate("neg"); err != nil {
+		t.Fatal(err)
+	}
+
+	sink, detach := collect(f)
+	defer detach()
+	f.inTxn(t, func() {
+		if _, err := f.store.Delete("blocked", tup(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	f.inTxn(t, func() {
+		if _, err := f.store.Insert("blocked", tup(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := len(f.fired["neg"]); got != 1 {
+		t.Fatalf("rule fired %d times, want 1 (unblocking made it true)", got)
+	}
+
+	spans := sink.Spans()
+	// Deletion of the negated influent is a positive trigger (Δ−blocked
+	// → Δ+cnd); insertion a negative one. Both differentials must carry
+	// the same condition-node attribution.
+	plus, ok := findSpan(spans, "", "blocked", "Δ-", "Δ+")
+	if !ok {
+		t.Fatalf("no Δ+cnd/Δ−blocked span; spans: %+v", spans)
+	}
+	if plus.Attr("produced") != "1" {
+		t.Errorf("Δ+cnd/Δ−blocked produced=%q, want 1", plus.Attr("produced"))
+	}
+	minus, ok := findSpan(spans, "", "blocked", "Δ+", "Δ-")
+	if !ok {
+		t.Fatalf("no Δ−cnd/Δ+blocked span; spans: %+v", spans)
+	}
+	if plus.Attr("view") == "" || plus.Attr("view") != minus.Attr("view") {
+		t.Errorf("cross-sign differentials attributed to different nodes: %q vs %q",
+			plus.Attr("view"), minus.Attr("view"))
+	}
+}

@@ -1,0 +1,43 @@
+package storage
+
+import "partdiff/internal/obs"
+
+// Metrics is the storage subsystem's meter set. The zero value is a
+// valid disabled meter set (all counters nil → no-ops), which is what
+// every relation starts with until Store.SetMetrics is called.
+type Metrics struct {
+	// Inserts / Deletes count physical tuples applied to base relations.
+	Inserts *obs.Counter
+	Deletes *obs.Counter
+	// Reads counts tuples handed to readers: the size of the tuple set
+	// visited by a scan or returned by an index probe.
+	Reads *obs.Counter
+	// IndexProbes counts hash-index consultations (Lookup, LookupCount,
+	// Contains).
+	IndexProbes *obs.Counter
+}
+
+// NewMetrics registers the storage meters in r (get-or-create: two
+// calls on the same registry share state).
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Inserts:     r.Counter("partdiff_storage_tuple_inserts_total", "Physical tuple insertions applied to base relations."),
+		Deletes:     r.Counter("partdiff_storage_tuple_deletes_total", "Physical tuple deletions applied to base relations."),
+		Reads:       r.Counter("partdiff_storage_tuple_reads_total", "Tuples visited by relation scans and index probes."),
+		IndexProbes: r.Counter("partdiff_storage_index_probes_total", "Hash-index probes (Lookup, LookupCount, Contains)."),
+	}
+}
+
+// SetMetrics installs the meter set on the store and every existing
+// relation; relations created later inherit it.
+func (s *Store) SetMetrics(m *Metrics) {
+	if m == nil {
+		m = &Metrics{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
+	for _, r := range s.rels {
+		r.met = m
+	}
+}

@@ -85,6 +85,7 @@ type Relation struct {
 	rows    types.Set
 	// index[col][valueKey] is the set of rows with that column value.
 	index []map[string]*types.Set
+	met   *Metrics // never nil; zero-value Metrics when observability is off
 }
 
 // NewRelation creates an empty relation. keyCols are the columns that
@@ -99,7 +100,7 @@ func NewRelation(name string, arity int, keyCols []int) (*Relation, error) {
 			return nil, fmt.Errorf("relation %q: key column %d out of range", name, c)
 		}
 	}
-	r := &Relation{name: name, arity: arity, keyCols: append([]int(nil), keyCols...)}
+	r := &Relation{name: name, arity: arity, keyCols: append([]int(nil), keyCols...), met: &Metrics{}}
 	r.index = make([]map[string]*types.Set, arity)
 	for i := range r.index {
 		r.index[i] = make(map[string]*types.Set)
@@ -120,10 +121,16 @@ func (r *Relation) KeyCols() []int { return r.keyCols }
 func (r *Relation) Len() int { return r.rows.Len() }
 
 // Contains reports whether the relation holds t.
-func (r *Relation) Contains(t types.Tuple) bool { return r.rows.Contains(t) }
+func (r *Relation) Contains(t types.Tuple) bool {
+	r.met.IndexProbes.Inc()
+	return r.rows.Contains(t)
+}
 
 // Each iterates all tuples.
-func (r *Relation) Each(fn func(types.Tuple) bool) { r.rows.Each(fn) }
+func (r *Relation) Each(fn func(types.Tuple) bool) {
+	r.met.Reads.Add(int64(r.rows.Len()))
+	r.rows.Each(fn)
+}
 
 // Tuples returns all tuples in deterministic order.
 func (r *Relation) Tuples() []types.Tuple { return r.rows.Tuples() }
@@ -137,7 +144,9 @@ func (r *Relation) Lookup(col int, v types.Value, fn func(types.Tuple) bool) {
 	if col < 0 || col >= r.arity {
 		return
 	}
+	r.met.IndexProbes.Inc()
 	if s, ok := r.index[col][v.Key()]; ok {
+		r.met.Reads.Add(int64(s.Len()))
 		s.Each(fn)
 	}
 }
@@ -147,6 +156,7 @@ func (r *Relation) LookupCount(col int, v types.Value) int {
 	if col < 0 || col >= r.arity {
 		return 0
 	}
+	r.met.IndexProbes.Inc()
 	if s, ok := r.index[col][v.Key()]; ok {
 		return s.Len()
 	}
@@ -161,6 +171,7 @@ func (r *Relation) insert(t types.Tuple) (bool, error) {
 	if !r.rows.Add(t) {
 		return false, nil
 	}
+	r.met.Inserts.Inc()
 	for col, v := range t {
 		k := v.Key()
 		s, ok := r.index[col][k]
@@ -181,6 +192,7 @@ func (r *Relation) remove(t types.Tuple) (bool, error) {
 	if !r.rows.Remove(t) {
 		return false, nil
 	}
+	r.met.Deletes.Inc()
 	for col, v := range t {
 		k := v.Key()
 		if s, ok := r.index[col][k]; ok {
@@ -221,6 +233,7 @@ type Store struct {
 	rels      map[string]*Relation
 	listeners []Listener
 	inj       *faultinject.Injector
+	met       *Metrics
 }
 
 // NewStore returns an empty store.
@@ -238,6 +251,9 @@ func (s *Store) CreateRelation(name string, arity int, keyCols []int) (*Relation
 	r, err := NewRelation(name, arity, keyCols)
 	if err != nil {
 		return nil, err
+	}
+	if s.met != nil {
+		r.met = s.met
 	}
 	s.rels[name] = r
 	return r, nil

@@ -1,0 +1,45 @@
+package txn
+
+import "partdiff/internal/obs"
+
+// Metrics is the transaction manager's meter set. The zero value is a
+// valid disabled meter set (nil meters are no-ops).
+type Metrics struct {
+	// Begins / Commits / Rollbacks count transaction outcomes. Rollbacks
+	// includes both explicit rollbacks and check-phase-failure rollbacks.
+	Begins    *obs.Counter
+	Commits   *obs.Counter
+	Rollbacks *obs.Counter
+	// CheckFailures counts commits whose deferred check phase failed.
+	CheckFailures *obs.Counter
+	// CommitSeconds times Commit end to end; CheckSeconds times just the
+	// deferred check phase inside it.
+	CommitSeconds *obs.Histogram
+	CheckSeconds  *obs.Histogram
+	// UndoEvents is the distribution of undo-log lengths at commit or
+	// rollback (physical events per transaction).
+	UndoEvents *obs.Histogram
+}
+
+// NewMetrics registers the transaction meters in r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Begins:        r.Counter("partdiff_txn_begins_total", "Transactions started."),
+		Commits:       r.Counter("partdiff_txn_commits_total", "Transactions committed."),
+		Rollbacks:     r.Counter("partdiff_txn_rollbacks_total", "Transactions rolled back (explicit or after check-phase failure)."),
+		CheckFailures: r.Counter("partdiff_txn_check_failures_total", "Commits aborted by a failing deferred check phase."),
+		CommitSeconds: r.Histogram("partdiff_txn_commit_seconds", "Wall-clock time of Commit (including the check phase).", obs.DefLatencyBuckets),
+		CheckSeconds:  r.Histogram("partdiff_txn_check_seconds", "Wall-clock time of the deferred check phase.", obs.DefLatencyBuckets),
+		UndoEvents:    r.Histogram("partdiff_txn_undo_events", "Physical events logged per finished transaction.", obs.DefSizeBuckets),
+	}
+}
+
+// SetObs installs the meter set and tracer (nil values restore the
+// disabled defaults).
+func (m *Manager) SetObs(met *Metrics, tr *obs.Tracer) {
+	if met == nil {
+		met = &Metrics{}
+	}
+	m.met = met
+	m.tracer = tr
+}

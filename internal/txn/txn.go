@@ -13,7 +13,9 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"partdiff/internal/obs"
 	"partdiff/internal/storage"
 )
 
@@ -45,11 +47,14 @@ type Manager struct {
 	// onEnd runs after the transaction finishes (committed reports the
 	// outcome); monitors discard base Δ-sets here.
 	onEnd func(committed bool)
+
+	met    *Metrics // never nil; zero-value Metrics when observability is off
+	tracer *obs.Tracer
 }
 
 // NewManager creates a manager subscribed to the store's event stream.
 func NewManager(store *storage.Store) *Manager {
-	m := &Manager{store: store}
+	m := &Manager{store: store, met: &Metrics{}}
 	store.Subscribe(m.observe)
 	return m
 }
@@ -80,6 +85,7 @@ func (m *Manager) Begin() error {
 	}
 	m.active = true
 	m.undo = m.undo[:0]
+	m.met.Begins.Inc()
 	return nil
 }
 
@@ -107,9 +113,15 @@ func (m *Manager) Commit() error {
 	if !m.active {
 		return fmt.Errorf("no active transaction")
 	}
+	start := time.Now()
+	csp := m.tracer.Begin("txn", "commit", obs.Int("undo_events", len(m.undo)))
+	m.met.UndoEvents.Observe(float64(len(m.undo)))
 	if m.onCommit != nil {
 		if err := m.runCommitHook(); err != nil {
+			m.met.CheckFailures.Inc()
 			rbErr := m.Rollback()
+			m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+			csp.End(obs.Str("outcome", "rolled_back"))
 			if rbErr != nil {
 				return fmt.Errorf("check phase failed: %v (%w)", err, rbErr)
 			}
@@ -121,16 +133,23 @@ func (m *Manager) Commit() error {
 	if m.onEnd != nil {
 		m.onEnd(true)
 	}
+	m.met.Commits.Inc()
+	m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+	csp.End(obs.Str("outcome", "committed"))
 	return nil
 }
 
 // runCommitHook invokes the check-phase hook, converting a panic into
 // an error so Commit's rollback-and-finalize path runs regardless.
 func (m *Manager) runCommitHook() (err error) {
+	start := time.Now()
+	sp := m.tracer.Begin("txn", "check_phase")
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("check phase panicked: %v", r)
 		}
+		m.met.CheckSeconds.Observe(time.Since(start).Seconds())
+		sp.End()
 	}()
 	return m.onCommit()
 }
@@ -173,6 +192,7 @@ func (m *Manager) Rollback() error {
 	m.inRollback = false
 	m.active = false
 	m.undo = m.undo[:0]
+	m.met.Rollbacks.Inc()
 	if m.onEnd != nil {
 		m.onEnd(false)
 	}

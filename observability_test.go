@@ -1,0 +1,224 @@
+package partdiff_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"partdiff"
+)
+
+// obsDB builds a monitored inventory and runs one transaction that
+// fires the rule, so every subsystem has counted work.
+func obsDB(t *testing.T) *partdiff.DB {
+	t.Helper()
+	db := partdiff.Open()
+	db.RegisterProcedure("order", func([]partdiff.Value) error { return nil })
+	db.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create function reorder_at(item) -> integer;
+create rule refill() as
+    when for each item i where quantity(i) < reorder_at(i)
+    do order(i);
+create item instances :a, :b;
+set quantity(:a) = 100;
+set quantity(:b) = 100;
+set reorder_at(:a) = 25;
+set reorder_at(:b) = 25;
+activate refill();
+`)
+	return db
+}
+
+// chromeDoc mirrors the Chrome trace_event JSON object format.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestTraceExportsChromeJSON is the tracing acceptance test: a traced
+// check phase must export valid Chrome trace_event JSON containing
+// spans for the commit, the propagation run, and the individual partial
+// differentials with their view/influent/sign attribution.
+func TestTraceExportsChromeJSON(t *testing.T) {
+	db := obsDB(t)
+	tr := db.StartTrace()
+	db.MustExec(`
+begin;
+set quantity(:a) = 10;
+set quantity(:b) = 90;
+commit;
+`)
+	tr.Stop()
+	if tr.Len() == 0 {
+		t.Fatal("traced commit captured no events")
+	}
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	var commit, propagate, round bool
+	var differentials []string
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" && e.Ph != "i" {
+			t.Errorf("unexpected event phase %q in %+v", e.Ph, e)
+		}
+		switch {
+		case e.Cat == "txn" && e.Name == "commit" && e.Ph == "X":
+			commit = true
+		case e.Cat == "propnet" && e.Name == "propagate" && e.Ph == "X":
+			propagate = true
+		case e.Cat == "rules" && e.Name == "check_round" && e.Ph == "X":
+			round = true
+		case e.Cat == "propnet" && strings.Contains(e.Name, "/Δ"):
+			if e.Args["view"] == "" || e.Args["influent"] != "quantity" {
+				t.Errorf("differential span missing attribution: %+v", e)
+			}
+			differentials = append(differentials, e.Name)
+		}
+	}
+	if !commit || !propagate || !round {
+		t.Errorf("missing spans: commit=%v propagate=%v check_round=%v", commit, propagate, round)
+	}
+	if len(differentials) == 0 {
+		t.Errorf("no partial-differential spans in export:\n%s", buf.String())
+	}
+
+	// After Stop, further work must not grow the capture.
+	n := tr.Len()
+	db.MustExec(`set quantity(:a) = 80;`)
+	if tr.Len() != n {
+		t.Error("trace capture grew after Stop")
+	}
+}
+
+// TestMetricsEndpoint is the metrics acceptance test: GET /metrics must
+// serve Prometheus text including at least one counter from every
+// instrumented subsystem with work recorded.
+func TestMetricsEndpoint(t *testing.T) {
+	db := obsDB(t)
+	db.MustExec(`
+begin;
+set quantity(:a) = 10;
+commit;
+`)
+	srv := httptest.NewServer(db.MonitorHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, counter := range []string{
+		"partdiff_storage_tuple_inserts_total", // storage
+		"partdiff_eval_tuples_scanned_total",   // eval
+		"partdiff_propnet_differentials_total", // propnet
+		"partdiff_txn_commits_total",           // txn
+		"partdiff_rules_actions_total",         // rules
+	} {
+		idx := strings.Index(text, "\n"+counter+" ")
+		if idx < 0 {
+			t.Errorf("/metrics missing %s", counter)
+			continue
+		}
+		var v float64
+		line := text[idx+1:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+		}
+		if _, err := fmt.Sscanf(line, counter+" %g", &v); err != nil || v <= 0 {
+			t.Errorf("%s: want positive value, got %q (err %v)", counter, line, err)
+		}
+	}
+	if !strings.Contains(text, "# TYPE partdiff_txn_commit_seconds histogram") {
+		t.Error("/metrics missing commit latency histogram")
+	}
+
+	// expvar surface serves JSON.
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var parsed map[string]any
+	if err := json.Unmarshal(vars, &parsed); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+}
+
+// TestServeMonitorLoopback exercises the real listener path behind the
+// amos -monitor flag.
+func TestServeMonitorLoopback(t *testing.T) {
+	db := obsDB(t)
+	srv, err := db.ServeMonitor("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "partdiff_rules_activations_total") {
+		t.Error("live endpoint missing rules activation counter")
+	}
+}
+
+// TestStatsMatchesRegistry pins the compatibility view: DB.Stats() and
+// the registry must agree on the monitor counters.
+func TestStatsMatchesRegistry(t *testing.T) {
+	db := obsDB(t)
+	db.MustExec(`
+begin;
+set quantity(:a) = 10;
+commit;
+`)
+	st := db.Stats()
+	reg := db.Observability().Registry
+	if got := reg.CounterValue("partdiff_rules_actions_total"); got != int64(st.ActionsExecuted) {
+		t.Errorf("actions: registry %d, stats %d", got, st.ActionsExecuted)
+	}
+	if got := reg.CounterValue("partdiff_rules_differentials_total"); got != int64(st.DifferentialsExecuted) {
+		t.Errorf("differentials: registry %d, stats %d", got, st.DifferentialsExecuted)
+	}
+	db.ResetStats()
+	if db.Stats() != (partdiff.Stats{}) {
+		t.Error("ResetStats did not zero the view")
+	}
+}

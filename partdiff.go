@@ -31,10 +31,12 @@ package partdiff
 import (
 	"context"
 	"io"
+	"net/http"
 	"time"
 
 	"partdiff/internal/amosql"
 	"partdiff/internal/catalog"
+	"partdiff/internal/obs"
 	"partdiff/internal/rules"
 	"partdiff/internal/txn"
 	"partdiff/internal/types"
@@ -246,6 +248,58 @@ func (db *DB) SetOutput(w io.Writer) { db.sess.Output = w }
 // accumulated changes, differentials executed, trigger folding,
 // conflict resolution, actions — to w (nil disables).
 func (db *DB) SetDebug(w io.Writer) { db.sess.Rules().SetDebug(w) }
+
+// Observability returns the database's metrics registry and tracer
+// bundle. Every subsystem — storage, evaluator, Δ-sets, propagation
+// network, transactions, rule monitor — reports into it.
+func (db *DB) Observability() *obs.Observability { return db.sess.Observability() }
+
+// WriteMetrics writes every registered metric in Prometheus text
+// exposition format (version 0.0.4).
+func (db *DB) WriteMetrics(w io.Writer) error {
+	return db.sess.Observability().Registry.WritePrometheus(w)
+}
+
+// MonitorHandler returns an http.Handler serving the database's live
+// monitoring surface: Prometheus text at /metrics and expvar JSON at
+// /debug/vars.
+func (db *DB) MonitorHandler() http.Handler {
+	return obs.Handler(db.sess.Observability().Registry)
+}
+
+// ServeMonitor starts an HTTP monitoring server on addr (e.g.
+// "localhost:6060") serving MonitorHandler. Close the returned server
+// when done.
+func (db *DB) ServeMonitor(addr string) (*obs.Server, error) {
+	return obs.Serve(addr, db.sess.Observability().Registry)
+}
+
+// Trace is an in-progress structured trace capture. Stop it, then
+// Export the collected events as Chrome trace_event JSON loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+type Trace struct {
+	sink   *obs.ChromeSink
+	detach func()
+}
+
+// StartTrace begins capturing structured trace events — commit and
+// check-phase spans, propagation rounds, every individual partial
+// differential execution with its view/influent/sign attribution, rule
+// triggerings and action executions.
+func (db *DB) StartTrace() *Trace {
+	sink := obs.NewChromeSink()
+	detach := db.sess.Observability().Tracer.Attach(sink)
+	return &Trace{sink: sink, detach: detach}
+}
+
+// Stop detaches the capture from the tracer. Idempotent.
+func (t *Trace) Stop() { t.detach() }
+
+// Len returns the number of events captured so far.
+func (t *Trace) Len() int { return t.sink.Len() }
+
+// Export writes the captured events as Chrome trace_event JSON.
+func (t *Trace) Export(w io.Writer) error { return t.sink.Export(w) }
 
 // Session exposes the underlying AMOSQL session for advanced use
 // (direct access to the store, catalog, rule manager and transaction

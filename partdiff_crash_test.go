@@ -155,11 +155,11 @@ func TestErrCorruptPoisoning(t *testing.T) {
 		t.Fatalf("failed rollback should poison the DB: %v", err)
 	}
 	for name, call := range map[string]func() error{
-		"Begin":    db.Begin,
-		"Commit":   db.Commit,
-		"Rollback": db.Rollback,
-		"Exec":     func() error { _, err := db.Exec(`select i for each item i;`); return err },
-		"Query":    func() error { _, err := db.Query(`select i for each item i;`); return err },
+		"Begin":           db.Begin,
+		"Commit":          db.Commit,
+		"Rollback":        db.Rollback,
+		"Exec":            func() error { _, err := db.Exec(`select i for each item i;`); return err },
+		"Query":           func() error { _, err := db.Query(`select i for each item i;`); return err },
 		"CheckInvariants": db.CheckInvariants,
 	} {
 		if err := call(); !errors.Is(err, ErrCorrupt) {
