@@ -9,12 +9,20 @@
 //	\explain              show why rules triggered in the last commit
 //	\net                  show the propagation network levels
 //	\lint                 re-run the static analyzer over all definitions
+//	\checkpoint           snapshot the data directory and truncate the log (-data only)
+//	\save dir             write a standalone snapshot of the database into dir
 //	\quit
 //
 // A demo `order` procedure is predefined (it prints the order). Run a
 // script: amos -f script.amosql. Statically analyze a script without
 // running its rule actions: amos -lint script.amosql (exits 1 if any
 // error-severity diagnostics are reported).
+//
+// With -data dir the database is durable: it recovers from dir on
+// startup (snapshot + write-ahead log replay) and logs every committed
+// transaction before acknowledging it. -sync selects the fsync policy
+// (always, group, none — none survives a process kill but not an OS
+// crash).
 //
 // With -monitor addr (e.g. -monitor localhost:6060) the shell serves a
 // live monitoring endpoint: Prometheus text at /metrics and expvar JSON
@@ -37,6 +45,8 @@ func main() {
 	file := flag.String("f", "", "execute a script file and exit")
 	lintFile := flag.String("lint", "", "statically analyze a script file and exit (actions are not run)")
 	monitor := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. localhost:6060)")
+	dataDir := flag.String("data", "", "durable data directory (recover on start, write-ahead log every commit)")
+	syncFlag := flag.String("sync", "always", "WAL fsync policy with -data: always, group, none")
 	flag.Parse()
 
 	var mode partdiff.Mode
@@ -55,7 +65,34 @@ func main() {
 		os.Exit(lint(mode, *lintFile))
 	}
 
-	db := partdiff.Open(partdiff.WithMode(mode))
+	var db *partdiff.DB
+	if *dataDir != "" {
+		var policy partdiff.SyncPolicy
+		switch *syncFlag {
+		case "always":
+			policy = partdiff.SyncAlways
+		case "group":
+			policy = partdiff.SyncGrouped
+		case "none":
+			policy = partdiff.SyncNone
+		default:
+			fmt.Fprintf(os.Stderr, "unknown sync policy %q\n", *syncFlag)
+			os.Exit(2)
+		}
+		var err error
+		db, err = partdiff.OpenDir(*dataDir,
+			partdiff.WithMode(mode),
+			partdiff.WithSyncPolicy(policy),
+			partdiff.WithProcedure("order", orderProc))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+	} else {
+		db = partdiff.Open(partdiff.WithMode(mode))
+		db.RegisterProcedure("order", orderProc)
+	}
 	db.SetOutput(os.Stdout)
 	if *monitor != "" {
 		srv, err := db.ServeMonitor(*monitor)
@@ -66,15 +103,6 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "monitoring on http://%s/metrics\n", srv.Addr())
 	}
-	db.RegisterProcedure("order", func(args []partdiff.Value) error {
-		parts := make([]string, len(args))
-		for i, v := range args {
-			parts[i] = v.String()
-		}
-		fmt.Printf(">> order(%s)\n", strings.Join(parts, ", "))
-		return nil
-	})
-
 	if *file != "" {
 		src, err := os.ReadFile(*file)
 		if err != nil {
@@ -120,6 +148,16 @@ func main() {
 			fmt.Println("error:", err)
 		}
 	}
+}
+
+// orderProc is the demo `order` procedure (it prints the order).
+func orderProc(args []partdiff.Value) error {
+	parts := make([]string, len(args))
+	for i, v := range args {
+		parts[i] = v.String()
+	}
+	fmt.Printf(">> order(%s)\n", strings.Join(parts, ", "))
+	return nil
 }
 
 // activeTrace is the shell's in-progress \trace capture and the file it
@@ -217,8 +255,25 @@ func meta(db *partdiff.DB, cmd string) bool {
 			break
 		}
 		fmt.Print(net.Dot())
+	case "\\checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("checkpoint written")
+		}
+	case "\\save":
+		words := strings.Fields(cmd)
+		if len(words) < 2 {
+			fmt.Println("usage: \\save dir")
+			break
+		}
+		if err := db.SaveTo(words[1]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("saved to %s\n", words[1])
+		}
 	default:
-		fmt.Println("unknown meta command; try \\stats \\metrics \\trace \\explain \\net \\dot \\debug \\lint \\mode \\quit")
+		fmt.Println("unknown meta command; try \\stats \\metrics \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\quit")
 	}
 	return false
 }

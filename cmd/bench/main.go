@@ -3,15 +3,17 @@
 //
 //	bench -exp fig6     # fig. 6: 100 txns × 1 quantity update, size sweep
 //	bench -exp fig7     # fig. 7: 1 txn updating 3 influents of all items
-//	bench -exp sharing  # §7.1 node sharing ablation
-//	bench -exp hybrid   # §8 hybrid monitor on a mixed workload
+//	bench -exp sharing     # §7.1 node sharing ablation
+//	bench -exp hybrid      # §8 hybrid monitor on a mixed workload
+//	bench -exp durability  # commit latency with WAL at sync=always/group/none
 //	bench -exp all
 //
-// With -json, the fig6/fig7 measurements (time per transaction plus the
-// monitor telemetry behind it: differentials executed, tuples scanned,
-// emitted Δ-set sizes) are additionally written to BENCH_<n>.json in the
-// current directory, where <n> is the first unused number — so
-// successive runs accumulate a comparable series of baselines.
+// With -json, the fig6/fig7/durability measurements (time per
+// transaction plus the monitor telemetry behind it: differentials
+// executed, tuples scanned, emitted Δ-set sizes, log fsyncs) are
+// additionally written to BENCH_<n>.json in the current directory,
+// where <n> is the first unused number — so successive runs accumulate
+// a comparable series of baselines.
 package main
 
 import (
@@ -33,6 +35,7 @@ type record struct {
 	NsPerOp int64  `json:"ns_per_op"`
 	bench.Telemetry
 	MeanDelta float64 `json:"mean_delta_size"`
+	Fsyncs    int64   `json:"fsyncs,omitempty"` // durability experiment only
 }
 
 // report is the BENCH_<n>.json document.
@@ -43,7 +46,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, or all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
 	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
 	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
@@ -78,6 +81,12 @@ func main() {
 		sizes := parseSizes(*sizesFlag, []int{100, 1000})
 		if err := runHybrid(sizes, *txns, *rounds); err != nil {
 			fmt.Fprintln(os.Stderr, "hybrid:", err)
+			failed = true
+		}
+	}
+	if run("durability") {
+		if err := runDurability(*txns, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "durability:", err)
 			failed = true
 		}
 	}
@@ -211,6 +220,27 @@ func runHybrid(sizes []int, smallTxns, massiveTxns int) error {
 	fmt.Printf("%10s %12s %14s %12s\n", "items", "naive ms", "incremental ms", "hybrid ms")
 	for _, r := range rows {
 		fmt.Printf("%10d %12.2f %14.2f %12.2f\n", r.N, ms(r.NaiveNs), ms(r.IncrNs), ms(r.HybridNs))
+	}
+	fmt.Println()
+	return nil
+}
+
+func runDurability(txns int, rep *report) error {
+	fmt.Printf("Durability — %d single-update commits, write-ahead logged, per fsync policy\n", txns)
+	fmt.Printf("(latency includes fsync-before-ack; 'none' leaves records in the page cache)\n\n")
+	rows, err := bench.RunDurability(100, txns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %12s %14s %10s\n", "sync", "total ms", "µs/commit", "fsyncs")
+	for _, r := range rows {
+		fmt.Printf("%10s %12.2f %14.1f %10d\n",
+			r.Policy, ms(r.Ns), float64(r.NsPerOp())/1e3, r.Fsyncs)
+		if rep != nil {
+			rep.Records = append(rep.Records, record{
+				Name: fmt.Sprintf("durability/sync=%s", r.Policy), NsPerOp: r.NsPerOp(), Fsyncs: r.Fsyncs,
+			})
+		}
 	}
 	fmt.Println()
 	return nil

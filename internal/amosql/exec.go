@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"partdiff/internal/analyze"
@@ -18,6 +19,7 @@ import (
 	"partdiff/internal/storage"
 	"partdiff/internal/txn"
 	"partdiff/internal/types"
+	"partdiff/internal/wal"
 )
 
 // Result is the outcome of one executed statement.
@@ -68,6 +70,33 @@ type Session struct {
 	// obs is the session-wide observability bundle every subsystem
 	// reports into (see NewSession).
 	obs *obs.Observability
+
+	// Durability state (zero until AttachDir; see durab.go). wal is the
+	// open log, walDir its directory, walSeq the seq of the last record
+	// appended (or covered by the loaded snapshot), ddl the journal of
+	// every schema statement's source text in execution order (replayed
+	// before a snapshot's tables are loaded), and recovering is true
+	// while replay is re-executing logged work, which suppresses
+	// re-logging and makes unknown action procedures no-ops.
+	wal        *wal.Log
+	walDir     string
+	walSeq     uint64
+	walMet     *wal.Metrics
+	ddl        []string
+	recovering bool
+	inj        *faultinject.Injector
+	// Per-transaction capture for the commit record, cleared by the wal
+	// hook's OnEnd: objects created/deleted and interface variables
+	// bound by the transaction.
+	walObjNews []wal.ObjectRec
+	walObjDels []types.OID
+	walBinds   []wal.Bind
+	// Automatic checkpointing: every N commits (0 = never) and/or a
+	// background ticker goroutine.
+	checkpointEvery  int
+	commitsSinceCkpt int
+	ckptStop         chan struct{}
+	ckptWG           sync.WaitGroup
 }
 
 type pendingDelete struct {
@@ -85,9 +114,18 @@ func NewSession(mode rules.Mode) *Session {
 		iface: map[string]types.Value{},
 	}
 	s.txns = txn.NewManager(st)
-	s.txns.SetHooks(s.mgr.OnEvent, s.mgr.CheckPhase, func(committed bool) {
-		s.mgr.OnEnd(committed)
-		s.finishDeletes(committed)
+	// The rules hook precedes the wal hook (added by AttachDir): Δ-sets
+	// and deferred deletions settle before the wal hook's bookkeeping,
+	// and the documented commit order (check → persist → ack → OnEnd →
+	// metrics) puts the fsync strictly before the ack either way.
+	s.txns.AddHook(txn.Hook{
+		Name:     "rules",
+		OnEvent:  s.mgr.OnEvent,
+		OnCommit: s.mgr.CheckPhase,
+		OnEnd: func(committed bool) {
+			s.mgr.OnEnd(committed)
+			s.finishDeletes(committed)
+		},
 	})
 	s.comp = &compiler{cat: s.cat, iface: s.iface}
 	s.ev = eval.New(sessEnv{s})
@@ -136,8 +174,23 @@ func (s *Session) IfaceVar(name string) (types.Value, bool) {
 	return v, ok
 }
 
-// SetIfaceVar binds a session interface variable.
-func (s *Session) SetIfaceVar(name string, v types.Value) { s.iface[name] = v }
+// SetIfaceVar binds a session interface variable. With a data directory
+// attached, a binding made outside a transaction is logged immediately
+// (RecIface); one made inside a transaction rides in the commit record.
+func (s *Session) SetIfaceVar(name string, v types.Value) {
+	s.iface[name] = v
+	if !s.walOn() {
+		return
+	}
+	if s.txns.InTransaction() {
+		s.walBinds = append(s.walBinds, wal.Bind{Name: name, Value: v})
+		return
+	}
+	s.walSeq++
+	// Best effort: an append failure poisons the log, and the next
+	// commit surfaces it through the persist hook.
+	_ = s.wal.Append(&wal.Record{Seq: s.walSeq, Kind: wal.RecIface, Binds: []wal.Bind{{Name: name, Value: v}}})
+}
 
 // SetLazyAnalysis disables (true) or re-enables (false) the eager
 // definition-time static analysis of derived functions and rules,
@@ -259,13 +312,13 @@ func (s *Session) Exec(src string) ([]Result, error) {
 		return nil, err
 	}
 	defer s.leave()
-	stmts, err := Parse(src)
+	stmts, srcs, err := ParseWithSources(src)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Result, 0, len(stmts))
-	for _, st := range stmts {
-		r, err := s.execStmtSafe(st)
+	for i, st := range stmts {
+		r, err := s.execStmtSafe(st, srcs[i])
 		if err != nil {
 			return out, err
 		}
@@ -279,7 +332,7 @@ func (s *Session) Exec(src string) ([]Result, error) {
 // fault) becomes an error, and an implicit transaction the statement
 // opened is rolled back so the store returns to its pre-statement
 // state.
-func (s *Session) execStmtSafe(st Stmt) (res Result, err error) {
+func (s *Session) execStmtSafe(st Stmt, src string) (res Result, err error) {
 	wasActive := s.txns.InTransaction()
 	defer func() {
 		if r := recover(); r != nil {
@@ -291,7 +344,7 @@ func (s *Session) execStmtSafe(st Stmt) (res Result, err error) {
 			}
 		}
 	}()
-	return s.execStmt(st)
+	return s.execStmt(st, src)
 }
 
 // MustExec is Exec for tests and examples: it panics on error.
@@ -316,7 +369,7 @@ func (s *Session) Query(src string) (*Result, error) {
 	if _, ok := st.(SelectStmt); !ok {
 		return nil, fmt.Errorf("Query expects a select statement")
 	}
-	r, err := s.execStmtSafe(st)
+	r, err := s.execStmtSafe(st, "")
 	if err != nil {
 		return nil, err
 	}
@@ -353,10 +406,14 @@ func (s *Session) Rollback() error {
 }
 
 // SetInjector installs a fault injector across the session's storage,
-// propagation and rule layers (nil disables injection).
+// propagation, rule and durability layers (nil disables injection).
 func (s *Session) SetInjector(inj *faultinject.Injector) {
+	s.inj = inj
 	s.store.SetInjector(inj)
 	s.mgr.SetInjector(inj)
+	if s.wal != nil {
+		s.wal.SetInjector(inj)
+	}
 }
 
 // CheckInvariants verifies cross-layer consistency: storage
@@ -374,16 +431,25 @@ func (s *Session) CheckInvariants() error {
 	return s.mgr.CheckInvariants(!s.txns.InTransaction())
 }
 
-func (s *Session) execStmt(st Stmt) (Result, error) {
+// execStmt dispatches one statement; src is its source text (empty for
+// statements built without ParseWithSources), journaled and logged for
+// the schema statements so recovery can re-execute them.
+func (s *Session) execStmt(st Stmt, src string) (Result, error) {
+	var res Result
+	var err error
 	switch x := st.(type) {
 	case CreateType:
-		return s.execCreateType(x)
+		res, err = s.execCreateType(x)
+	case CreateFunction:
+		res, err = s.execCreateFunction(x)
+	case CreateRule:
+		res, err = s.execCreateRule(x)
+	case ActivateStmt:
+		res, err = s.execActivate(x)
+	case DeactivateStmt:
+		res, err = s.execDeactivate(x)
 	case CreateInstances:
 		return s.execCreateInstances(x)
-	case CreateFunction:
-		return s.execCreateFunction(x)
-	case CreateRule:
-		return s.execCreateRule(x)
 	case UpdateStmt:
 		return s.execUpdate(x)
 	case SelectStmt:
@@ -392,15 +458,19 @@ func (s *Session) execStmt(st Stmt) (Result, error) {
 		return s.execDeleteInstances(x)
 	case ExplainStmt:
 		return s.execExplain(x)
-	case ActivateStmt:
-		return s.execActivate(x)
-	case DeactivateStmt:
-		return s.execDeactivate(x)
 	case TxnStmt:
 		return s.execTxn(x)
 	default:
 		return Result{}, fmt.Errorf("unhandled statement %T", st)
 	}
+	// The first group are the schema statements: journal and log their
+	// source on success so recovery can re-execute them.
+	if err == nil {
+		if lerr := s.logDDL(src); lerr != nil {
+			return res, lerr
+		}
+	}
+	return res, err
 }
 
 func (s *Session) execCreateType(x CreateType) (Result, error) {
@@ -434,6 +504,10 @@ func (s *Session) execCreateInstances(x CreateInstances) (Result, error) {
 			}
 		}
 		s.iface[v] = types.Obj(oid)
+		if s.walOn() {
+			s.walObjNews = append(s.walObjNews, wal.ObjectRec{OID: oid, Type: x.TypeName})
+			s.walBinds = append(s.walBinds, wal.Bind{Name: v, Value: types.Obj(oid)})
+		}
 	}
 	if err := s.autoCommit(commit); err != nil {
 		return Result{}, err
@@ -601,6 +675,13 @@ func (s *Session) buildAction(x CreateRule, headNames []string) (rules.Action, e
 			_, err := callForeign(proc, f.Fn, args)
 			return err
 		}
+		if s.recovering {
+			// Recovery replay: the embedding app has not (re-)registered
+			// this procedure. The action's database updates are already in
+			// the commit record being replayed (and are reconciled after
+			// it), so the dispatch is skipped rather than failing recovery.
+			return nil
+		}
 		return fmt.Errorf("rule %s: unknown procedure %q", x.Name, proc)
 	}, nil
 }
@@ -712,6 +793,9 @@ func (s *Session) execDeleteInstances(x DeleteInstances) (Result, error) {
 			}
 		}
 		s.pendingDeletes = append(s.pendingDeletes, pendingDelete{varName: v, oid: val.O})
+		if s.walOn() {
+			s.walObjDels = append(s.walObjDels, val.O)
+		}
 		n++
 	}
 	if err := s.autoCommit(commit); err != nil {

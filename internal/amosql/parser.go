@@ -16,27 +16,39 @@ type parser struct {
 
 // Parse parses a sequence of semicolon-terminated statements.
 func Parse(src string) ([]Stmt, error) {
+	out, _, err := ParseWithSources(src)
+	return out, err
+}
+
+// ParseWithSources parses like Parse and additionally returns, for each
+// statement, its exact source text (semicolon included) — the session
+// journals schema statements verbatim for snapshot/WAL recovery.
+func ParseWithSources(src string) ([]Stmt, []string, error) {
 	toks, err := tokenize(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := &parser{toks: toks}
 	var out []Stmt
+	var srcs []string
 	for !p.atEOF() {
 		if p.peekSym(";") {
 			p.advance() // stray semicolon
 			continue
 		}
+		start := p.peek().pos
 		s, err := p.statement()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := p.expectSym(";"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		semi := p.toks[p.pos-1] // the semicolon just consumed
 		out = append(out, s)
+		srcs = append(srcs, src[start:semi.pos+1])
 	}
-	return out, nil
+	return out, srcs, nil
 }
 
 // ParseOne parses exactly one statement (trailing semicolon optional).

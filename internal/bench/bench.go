@@ -22,6 +22,7 @@ import (
 	"partdiff/internal/amosql"
 	"partdiff/internal/rules"
 	"partdiff/internal/types"
+	"partdiff/internal/wal"
 )
 
 // Inventory is a populated §3.1 benchmark database.
@@ -73,6 +74,13 @@ type Config struct {
 	// configuration of the paper's §6 benchmark, which monitored
 	// insertions only (five positive differentials, fig. 2).
 	PositiveOnly bool
+	// Dir, when non-empty, attaches a durable data directory: every
+	// measured commit is write-ahead logged under the Sync fsync policy
+	// before it is acknowledged — the durability benchmark
+	// configuration. (Bulk population bypasses the transaction layer
+	// and is not logged; only the measured workload is.)
+	Dir  string
+	Sync wal.SyncPolicy
 }
 
 // NewInventory builds and populates a benchmark database. Each item i
@@ -87,6 +95,11 @@ func NewInventory(cfg Config) (*Inventory, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Dir != "" {
+		if err := inv.Sess.AttachDir(cfg.Dir, amosql.DirConfig{Policy: cfg.Sync}); err != nil {
+			return nil, err
+		}
 	}
 	if _, err := inv.Sess.Exec(schema(cfg.SharedThreshold)); err != nil {
 		return nil, err

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"os"
+	"time"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/wal"
+)
+
+// DurRow is one measured point of the durability experiment: the fig. 6
+// single-update commit workload against a write-ahead-logged database
+// under one fsync policy.
+type DurRow struct {
+	Policy string
+	Txns   int
+	Ns     int64 // total wall time for all transactions
+	Fsyncs int64 // log fsyncs issued during the measured interval
+}
+
+// NsPerOp returns the mean commit latency.
+func (r DurRow) NsPerOp() int64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return r.Ns / int64(r.Txns)
+}
+
+// RunDurability measures commit latency with write-ahead logging under
+// every sync policy: always (fsync before each ack), group (coalesced
+// fsyncs), none (page cache only). Each run uses a fresh temporary data
+// directory, discarded afterwards.
+func RunDurability(n, txns int) ([]DurRow, error) {
+	out := make([]DurRow, 0, 3)
+	for _, p := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncGrouped, wal.SyncNone} {
+		row, err := runDurabilityOne(n, txns, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runDurabilityOne(n, txns int, p wal.SyncPolicy) (DurRow, error) {
+	dir, err := os.MkdirTemp("", "partdiff-bench-")
+	if err != nil {
+		return DurRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true, Dir: dir, Sync: p})
+	if err != nil {
+		return DurRow{}, err
+	}
+	defer inv.Sess.Close()
+	reg := inv.Sess.Observability().Registry
+	fsyncs := reg.CounterValue("partdiff_wal_fsyncs_total")
+	start := time.Now()
+	if err := inv.RunFig6Transactions(txns); err != nil {
+		return DurRow{}, err
+	}
+	return DurRow{
+		Policy: p.String(),
+		Txns:   txns,
+		Ns:     time.Since(start).Nanoseconds(),
+		Fsyncs: reg.CounterValue("partdiff_wal_fsyncs_total") - fsyncs,
+	}, nil
+}

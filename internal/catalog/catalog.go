@@ -260,6 +260,65 @@ func (c *Catalog) NewObject(typeName string) (types.OID, error) {
 	return oid, nil
 }
 
+// RestoreObject re-creates an object with an explicit OID — the
+// recovery path, replaying object births from a snapshot or the
+// write-ahead log. The OID allocator is bumped past the restored OID so
+// later NewObject calls cannot collide.
+func (c *Catalog) RestoreObject(oid types.OID, typeName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.types[typeName]; !ok {
+		return fmt.Errorf("type %q does not exist", typeName)
+	}
+	if have, ok := c.objType[oid]; ok {
+		if have != typeName {
+			return fmt.Errorf("object #%d already exists with type %s", uint64(oid), have)
+		}
+		return nil
+	}
+	c.extent[typeName][oid] = true
+	c.objType[oid] = typeName
+	if oid >= c.nextOID {
+		c.nextOID = oid + 1
+	}
+	return nil
+}
+
+// NextOID returns the next OID the allocator would hand out.
+func (c *Catalog) NextOID() types.OID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nextOID
+}
+
+// SetNextOID restores the allocator position (never backwards).
+func (c *Catalog) SetNextOID(oid types.OID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if oid > c.nextOID {
+		c.nextOID = oid
+	}
+}
+
+// Objects returns every live object with its direct type, sorted by
+// OID — the serializable object universe for snapshots.
+func (c *Catalog) Objects() []ObjectRecord {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ObjectRecord, 0, len(c.objType))
+	for oid, tn := range c.objType {
+		out = append(out, ObjectRecord{OID: oid, Type: tn})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}
+
+// ObjectRecord is one entry of the serializable object universe.
+type ObjectRecord struct {
+	OID  types.OID
+	Type string
+}
+
 // DeleteObject removes an instance from its type extent.
 func (c *Catalog) DeleteObject(oid types.OID) error {
 	c.mu.Lock()

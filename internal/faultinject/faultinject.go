@@ -36,6 +36,14 @@ const (
 	Differential Point = "propnet.differential"
 	// RuleAction fires before one rule-action instance is dispatched.
 	RuleAction Point = "rules.action"
+	// WalAppend fires before a record frame is written to the write-ahead
+	// log (nothing has reached the file yet when it fires).
+	WalAppend Point = "wal.append"
+	// WalFsync fires before the write-ahead log is fsynced; a fault here
+	// models the record being in the file but its durability unknown.
+	WalFsync Point = "wal.fsync"
+	// WalCheckpoint fires before a snapshot (checkpoint) is written.
+	WalCheckpoint Point = "wal.checkpoint"
 )
 
 // Kind selects how an armed fault manifests.

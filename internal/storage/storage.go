@@ -350,6 +350,47 @@ func (s *Store) Delete(rel string, t types.Tuple) (bool, error) {
 	return true, nil
 }
 
+// LoadTuples bulk-inserts tuples into rel WITHOUT emitting physical
+// events or firing fault points — the snapshot-restore path, which must
+// not feed Δ-sets, undo logs or the write-ahead log while rebuilding
+// the pre-crash state. Outside recovery, use Insert.
+func (s *Store) LoadTuples(rel string, ts []types.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rels[rel]
+	if !ok {
+		return fmt.Errorf("relation %q does not exist", rel)
+	}
+	for _, t := range ts {
+		if _, err := r.insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyLogged applies one logged physical event WITHOUT emitting events
+// or firing fault points — the recovery reconciliation path, which
+// converges the store on the logged post-commit state after replay
+// (idempotent under set semantics: re-inserting a present tuple or
+// deleting an absent one is a no-op). Outside recovery, use
+// Insert/Delete.
+func (s *Store) ApplyLogged(e Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rels[e.Relation]
+	if !ok {
+		return fmt.Errorf("relation %q does not exist", e.Relation)
+	}
+	var err error
+	if e.Kind == InsertEvent {
+		_, err = r.insert(e.Tuple)
+	} else {
+		_, err = r.remove(e.Tuple)
+	}
+	return err
+}
+
 // Set performs a stored-function update: it retracts every tuple whose
 // key columns equal key, then asserts key ++ value. Physical events are
 // emitted in paper order (− before +). It returns the retracted tuples.

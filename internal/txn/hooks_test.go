@@ -1,0 +1,191 @@
+package txn
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"partdiff/internal/obs"
+	"partdiff/internal/storage"
+)
+
+// TestCommitHookOrder pins the documented commit sequence: every hook's
+// OnCommit in registration order, then every OnPersist, then every
+// OnEnd — and the commit metrics are observed only after the persist
+// phase, so a durability fsync can never be reordered behind
+// bookkeeping.
+func TestCommitHookOrder(t *testing.T) {
+	st, m := setup(t)
+	reg := obs.NewRegistry()
+	m.SetObs(NewMetrics(reg), nil)
+
+	var trace []string
+	record := func(step string) { trace = append(trace, step) }
+	hook := func(name string) Hook {
+		return Hook{
+			Name:     name,
+			OnCommit: func() error { record(name + ".commit"); return nil },
+			OnPersist: func(user, action []storage.Event) error {
+				record(name + ".persist")
+				// Metrics are step 5: at persist time nothing about this
+				// commit has been counted yet.
+				if n := reg.CounterValue("partdiff_txn_commits_total"); n != 0 {
+					t.Errorf("%s: commits counter already %d during persist", name, n)
+				}
+				return nil
+			},
+			OnEnd: func(committed bool) { record(fmt.Sprintf("%s.end(%v)", name, committed)) },
+		}
+	}
+	m.AddHook(hook("a"))
+	m.AddHook(hook("b"))
+
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	st.Insert("f", tup(1, 10))
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"a.commit", "b.commit",
+		"a.persist", "b.persist",
+		"a.end(true)", "b.end(true)",
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("hook order:\n got %v\nwant %v", trace, want)
+	}
+	if n := reg.CounterValue("partdiff_txn_commits_total"); n != 1 {
+		t.Errorf("commits counter after commit = %d", n)
+	}
+}
+
+// TestPersistSplitsUserAndActionEvents verifies that OnPersist receives
+// the forward event log split at the check-phase boundary: updates made
+// by the transaction body land in user, updates issued during OnCommit
+// (rule actions) land in action.
+func TestPersistSplitsUserAndActionEvents(t *testing.T) {
+	st, m := setup(t)
+	m.AddHook(Hook{
+		Name: "rules",
+		OnCommit: func() error {
+			_, err := st.Insert("f", tup(2, 20)) // a rule-action update
+			return err
+		},
+	})
+	var user, action []storage.Event
+	m.AddHook(Hook{
+		Name: "wal",
+		OnPersist: func(u, a []storage.Event) error {
+			user = append([]storage.Event(nil), u...)
+			action = append([]storage.Event(nil), a...)
+			return nil
+		},
+	})
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	st.Insert("f", tup(1, 10))
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(user) != 1 || user[0].Tuple[0] != tup(1)[0] {
+		t.Errorf("user events = %v", user)
+	}
+	if len(action) != 1 || action[0].Tuple[0] != tup(2)[0] {
+		t.Errorf("action events = %v", action)
+	}
+}
+
+// TestPersistFailureRollsBack pins the fsync-before-ack contract: a
+// failing persist hook aborts the commit, the transaction is rolled
+// back, and both hooks observe OnEnd(false).
+func TestPersistFailureRollsBack(t *testing.T) {
+	st, m := setup(t)
+	reg := obs.NewRegistry()
+	m.SetObs(NewMetrics(reg), nil)
+	var ends []bool
+	m.AddHook(Hook{
+		Name:      "wal",
+		OnPersist: func(user, action []storage.Event) error { return fmt.Errorf("disk gone") },
+		OnEnd:     func(committed bool) { ends = append(ends, committed) },
+	})
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	st.Insert("f", tup(1, 10))
+	err := m.Commit()
+	if err == nil {
+		t.Fatal("commit with failing persist hook succeeded")
+	}
+	if got := err.Error(); got != "persist failed, transaction rolled back: disk gone" {
+		t.Errorf("error = %q", got)
+	}
+	if rows, err := st.Get("f", tup(1)); err != nil {
+		t.Fatal(err)
+	} else if len(rows) != 0 {
+		t.Errorf("unpersisted insert visible after rollback: %v", rows)
+	}
+	if !reflect.DeepEqual(ends, []bool{false}) {
+		t.Errorf("OnEnd calls = %v", ends)
+	}
+	if n := reg.CounterValue("partdiff_txn_persist_failures_total"); n != 1 {
+		t.Errorf("persist failures counter = %d", n)
+	}
+	if n := reg.CounterValue("partdiff_txn_commits_total"); n != 0 {
+		t.Errorf("commits counter = %d after failed persist", n)
+	}
+	// The manager is healthy: the next transaction proceeds normally.
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistPanicRollsBack: a panicking persist hook is contained and
+// treated as a persist failure.
+func TestPersistPanicRollsBack(t *testing.T) {
+	st, m := setup(t)
+	m.AddHook(Hook{
+		Name:      "wal",
+		OnPersist: func(user, action []storage.Event) error { panic("boom") },
+	})
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	st.Insert("f", tup(1, 10))
+	if err := m.Commit(); err == nil {
+		t.Fatal("commit with panicking persist hook succeeded")
+	}
+	if rows, err := st.Get("f", tup(1)); err != nil {
+		t.Fatal(err)
+	} else if len(rows) != 0 {
+		t.Errorf("unpersisted insert visible after rollback: %v", rows)
+	}
+}
+
+// TestAddHookReplacesInPlace: replacing a named hook keeps its position
+// in the order.
+func TestAddHookReplacesInPlace(t *testing.T) {
+	_, m := setup(t)
+	var trace []string
+	mk := func(label string) Hook {
+		name := label[:1] // "a1" and "a2" share the name "a"
+		return Hook{Name: name, OnCommit: func() error { trace = append(trace, label); return nil }}
+	}
+	m.AddHook(mk("a1"))
+	m.AddHook(mk("b1"))
+	m.AddHook(mk("a2")) // replaces a1, stays first
+	if err := m.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a2", "b1"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("hook order after replace:\n got %v\nwant %v", trace, want)
+	}
+}

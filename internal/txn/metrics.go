@@ -10,8 +10,11 @@ type Metrics struct {
 	Begins    *obs.Counter
 	Commits   *obs.Counter
 	Rollbacks *obs.Counter
-	// CheckFailures counts commits whose deferred check phase failed.
-	CheckFailures *obs.Counter
+	// CheckFailures counts commits whose deferred check phase failed;
+	// PersistFailures counts commits rolled back because a persist hook
+	// (the write-ahead log's fsync-before-ack) failed.
+	CheckFailures   *obs.Counter
+	PersistFailures *obs.Counter
 	// CommitSeconds times Commit end to end; CheckSeconds times just the
 	// deferred check phase inside it.
 	CommitSeconds *obs.Histogram
@@ -24,13 +27,14 @@ type Metrics struct {
 // NewMetrics registers the transaction meters in r.
 func NewMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
-		Begins:        r.Counter("partdiff_txn_begins_total", "Transactions started."),
-		Commits:       r.Counter("partdiff_txn_commits_total", "Transactions committed."),
-		Rollbacks:     r.Counter("partdiff_txn_rollbacks_total", "Transactions rolled back (explicit or after check-phase failure)."),
-		CheckFailures: r.Counter("partdiff_txn_check_failures_total", "Commits aborted by a failing deferred check phase."),
-		CommitSeconds: r.Histogram("partdiff_txn_commit_seconds", "Wall-clock time of Commit (including the check phase).", obs.DefLatencyBuckets),
-		CheckSeconds:  r.Histogram("partdiff_txn_check_seconds", "Wall-clock time of the deferred check phase.", obs.DefLatencyBuckets),
-		UndoEvents:    r.Histogram("partdiff_txn_undo_events", "Physical events logged per finished transaction.", obs.DefSizeBuckets),
+		Begins:          r.Counter("partdiff_txn_begins_total", "Transactions started."),
+		Commits:         r.Counter("partdiff_txn_commits_total", "Transactions committed."),
+		Rollbacks:       r.Counter("partdiff_txn_rollbacks_total", "Transactions rolled back (explicit or after check-phase failure)."),
+		CheckFailures:   r.Counter("partdiff_txn_check_failures_total", "Commits aborted by a failing deferred check phase."),
+		PersistFailures: r.Counter("partdiff_txn_persist_failures_total", "Commits rolled back by a failing persist (WAL) hook."),
+		CommitSeconds:   r.Histogram("partdiff_txn_commit_seconds", "Wall-clock time of Commit (including the check phase).", obs.DefLatencyBuckets),
+		CheckSeconds:    r.Histogram("partdiff_txn_check_seconds", "Wall-clock time of the deferred check phase.", obs.DefLatencyBuckets),
+		UndoEvents:      r.Histogram("partdiff_txn_undo_events", "Physical events logged per finished transaction.", obs.DefSizeBuckets),
 	}
 }
 

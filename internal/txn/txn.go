@@ -8,6 +8,27 @@
 // accumulators as the original ones and cancel out under ∪Δ — after a
 // rollback no rule sees any net change, with no special-casing in the
 // monitor.
+//
+// # Commit hook ordering
+//
+// Hooks are named and ordered; Commit runs their callbacks in a fixed,
+// documented sequence so that durability can never be reordered behind
+// bookkeeping:
+//
+//  1. check phase   — every hook's OnCommit, in registration order
+//     (the rules hook runs the deferred condition check here; action
+//     updates join the transaction's undo log).
+//  2. persist phase — every hook's OnPersist, in registration order,
+//     receiving the full forward event log. The wal hook appends and
+//     fsyncs here: fsync-before-ack. A persist error or panic rolls
+//     the transaction back exactly like a failed check phase.
+//  3. ack           — the transaction is finalized (active=false).
+//  4. OnEnd(true)   — every hook, in registration order (monitors
+//     discard Δ-sets, the session applies deferred object deletions,
+//     the wal hook clears its per-transaction capture).
+//  5. metrics       — Commits / CommitSeconds are observed last, after
+//     the fsync, so the commit-latency histogram includes durability
+//     and a metric update can never precede the ack it describes.
 package txn
 
 import (
@@ -25,6 +46,33 @@ import (
 // trusted. Test with errors.Is.
 var ErrCorrupt = errors.New("database corrupt: rollback failed, store state is not trustworthy")
 
+// Hook is one named participant in the transaction lifecycle. Any
+// callback may be nil. See the package comment for the exact order in
+// which Commit invokes them.
+type Hook struct {
+	// Name identifies the hook; AddHook replaces a same-named hook in
+	// place, keeping its position in the order.
+	Name string
+	// OnEvent receives every physical event (including inverse events
+	// replayed during rollback) — the rule monitor folds them into
+	// Δ-sets here.
+	OnEvent func(storage.Event)
+	// OnCommit runs the deferred check phase. Updates performed by rule
+	// actions during the check phase are part of the same transaction.
+	OnCommit func() error
+	// OnPersist runs after a successful check phase and before the
+	// commit is acknowledged, receiving the transaction's forward event
+	// log split at the check-phase boundary: user holds the events of
+	// the transaction body, action the events issued by rule actions
+	// during the check phase. Both are read-only views of the undo log
+	// and must not be retained past the call. An error rolls the
+	// transaction back: fsync-before-ack.
+	OnPersist func(user, action []storage.Event) error
+	// OnEnd runs after the transaction finishes (committed reports the
+	// outcome); monitors discard base Δ-sets here.
+	OnEnd func(committed bool)
+}
+
 // Manager coordinates transactions on one store. It is not safe for
 // concurrent use: AMOS-style main-memory transactions are serial.
 type Manager struct {
@@ -37,16 +85,7 @@ type Manager struct {
 	// Rollback all return it (wrapping ErrCorrupt) forever after.
 	corrupt error
 
-	// onEvent receives every physical event (including inverse events
-	// replayed during rollback) — the rule monitor folds them into
-	// Δ-sets here.
-	onEvent func(storage.Event)
-	// onCommit runs the deferred check phase. Updates performed by rule
-	// actions during the check phase are part of the same transaction.
-	onCommit func() error
-	// onEnd runs after the transaction finishes (committed reports the
-	// outcome); monitors discard base Δ-sets here.
-	onEnd func(committed bool)
+	hooks []Hook
 
 	met    *Metrics // never nil; zero-value Metrics when observability is off
 	tracer *obs.Tracer
@@ -59,19 +98,34 @@ func NewManager(store *storage.Store) *Manager {
 	return m
 }
 
-// SetHooks installs the monitor callbacks. Any hook may be nil.
+// AddHook installs h at the end of the hook order, or — when a hook
+// with the same name exists — replaces it in place.
+func (m *Manager) AddHook(h Hook) {
+	for i := range m.hooks {
+		if m.hooks[i].Name == h.Name {
+			m.hooks[i] = h
+			return
+		}
+	}
+	m.hooks = append(m.hooks, h)
+}
+
+// SetHooks installs a single anonymous monitor hook (replacing any
+// previous SetHooks installation). Any callback may be nil. Kept for
+// direct users of the manager; the session layer uses AddHook with
+// named hooks.
 func (m *Manager) SetHooks(onEvent func(storage.Event), onCommit func() error, onEnd func(committed bool)) {
-	m.onEvent = onEvent
-	m.onCommit = onCommit
-	m.onEnd = onEnd
+	m.AddHook(Hook{Name: "monitor", OnEvent: onEvent, OnCommit: onCommit, OnEnd: onEnd})
 }
 
 func (m *Manager) observe(e storage.Event) {
 	if m.active && !m.inRollback {
 		m.undo = append(m.undo, e)
 	}
-	if m.onEvent != nil {
-		m.onEvent(e)
+	for i := range m.hooks {
+		if m.hooks[i].OnEvent != nil {
+			m.hooks[i].OnEvent(e)
+		}
 	}
 }
 
@@ -100,12 +154,13 @@ func (m *Manager) InTransaction() bool { return m.active }
 // active transaction.
 func (m *Manager) UpdateCount() int { return len(m.undo) }
 
-// Commit runs the deferred check phase and finishes the transaction.
-// If the check phase fails (by error or by panic), the transaction is
-// rolled back and the check-phase error returned; if that rollback
-// itself fails the manager is poisoned (see ErrCorrupt). The
+// Commit runs the deferred check phase, persists, and finishes the
+// transaction — in the fixed order documented in the package comment.
+// If the check or persist phase fails (by error or by panic), the
+// transaction is rolled back and the causing error returned; if that
+// rollback itself fails the manager is poisoned (see ErrCorrupt). The
 // transaction is guaranteed to be finalized either way — a panicking
-// check phase can not leave the manager active with a stale undo log.
+// hook can not leave the manager active with a stale undo log.
 func (m *Manager) Commit() error {
 	if m.corrupt != nil {
 		return m.corrupt
@@ -115,33 +170,52 @@ func (m *Manager) Commit() error {
 	}
 	start := time.Now()
 	csp := m.tracer.Begin("txn", "commit", obs.Int("undo_events", len(m.undo)))
-	m.met.UndoEvents.Observe(float64(len(m.undo)))
-	if m.onCommit != nil {
-		if err := m.runCommitHook(); err != nil {
-			m.met.CheckFailures.Inc()
-			rbErr := m.Rollback()
-			m.met.CommitSeconds.Observe(time.Since(start).Seconds())
-			csp.End(obs.Str("outcome", "rolled_back"))
-			if rbErr != nil {
-				return fmt.Errorf("check phase failed: %v (%w)", err, rbErr)
-			}
-			return fmt.Errorf("check phase failed, transaction rolled back: %w", err)
+	// Everything logged before the check phase is a user update;
+	// everything appended during it is a rule-action update. Persist
+	// hooks get the log split at this boundary so recovery can replay
+	// the user part and re-derive the action part through a fresh check
+	// phase.
+	userLen := len(m.undo)
+	m.met.UndoEvents.Observe(float64(userLen))
+	if err := m.runCommitHooks(); err != nil {
+		m.met.CheckFailures.Inc()
+		rbErr := m.Rollback()
+		m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+		csp.End(obs.Str("outcome", "rolled_back"))
+		if rbErr != nil {
+			return fmt.Errorf("check phase failed: %v (%w)", err, rbErr)
 		}
+		return fmt.Errorf("check phase failed, transaction rolled back: %w", err)
+	}
+	if err := m.runPersistHooks(userLen); err != nil {
+		m.met.PersistFailures.Inc()
+		rbErr := m.Rollback()
+		m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+		csp.End(obs.Str("outcome", "persist_failed"))
+		if rbErr != nil {
+			return fmt.Errorf("persist failed: %v (%w)", err, rbErr)
+		}
+		return fmt.Errorf("persist failed, transaction rolled back: %w", err)
 	}
 	m.active = false
 	m.undo = m.undo[:0]
-	if m.onEnd != nil {
-		m.onEnd(true)
+	for i := range m.hooks {
+		if m.hooks[i].OnEnd != nil {
+			m.hooks[i].OnEnd(true)
+		}
 	}
+	// Metrics last (step 5): the observed latency includes the fsync,
+	// and no metric update precedes durability.
 	m.met.Commits.Inc()
 	m.met.CommitSeconds.Observe(time.Since(start).Seconds())
 	csp.End(obs.Str("outcome", "committed"))
 	return nil
 }
 
-// runCommitHook invokes the check-phase hook, converting a panic into
-// an error so Commit's rollback-and-finalize path runs regardless.
-func (m *Manager) runCommitHook() (err error) {
+// runCommitHooks invokes every check-phase callback in registration
+// order, converting a panic into an error so Commit's
+// rollback-and-finalize path runs regardless.
+func (m *Manager) runCommitHooks() (err error) {
 	start := time.Now()
 	sp := m.tracer.Begin("txn", "check_phase")
 	defer func() {
@@ -151,7 +225,37 @@ func (m *Manager) runCommitHook() (err error) {
 		m.met.CheckSeconds.Observe(time.Since(start).Seconds())
 		sp.End()
 	}()
-	return m.onCommit()
+	for i := range m.hooks {
+		if m.hooks[i].OnCommit == nil {
+			continue
+		}
+		if err := m.hooks[i].OnCommit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPersistHooks invokes every persist callback in registration order
+// with the transaction's forward event log split at the check-phase
+// boundary, converting a panic into an error. The slices are views of
+// the live undo log — hooks must treat them as read-only and not
+// retain them past the call.
+func (m *Manager) runPersistHooks(userLen int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("persist panicked: %v", r)
+		}
+	}()
+	for i := range m.hooks {
+		if m.hooks[i].OnPersist == nil {
+			continue
+		}
+		if err := m.hooks[i].OnPersist(m.undo[:userLen], m.undo[userLen:]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Rollback undoes every update of the active transaction by replaying
@@ -193,8 +297,10 @@ func (m *Manager) Rollback() error {
 	m.active = false
 	m.undo = m.undo[:0]
 	m.met.Rollbacks.Inc()
-	if m.onEnd != nil {
-		m.onEnd(false)
+	for i := range m.hooks {
+		if m.hooks[i].OnEnd != nil {
+			m.hooks[i].OnEnd(false)
+		}
 	}
 	if len(undoErrs) > 0 {
 		m.corrupt = fmt.Errorf("%w: %v", ErrCorrupt, errors.Join(undoErrs...))

@@ -1,0 +1,286 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// The binary codec for values, tuples, events and records. Everything
+// is length-prefixed with uvarints; values carry an explicit kind byte
+// so the encoding is lossless (unlike types.Value.Key, which normalizes
+// integral floats for set semantics).
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v types.Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case types.KindNil:
+	case types.KindBool, types.KindInt:
+		b = binary.AppendVarint(b, v.I)
+	case types.KindFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case types.KindString:
+		b = appendString(b, v.S)
+	case types.KindObject:
+		b = binary.AppendUvarint(b, uint64(v.O))
+	}
+	return b
+}
+
+func appendTuple(b []byte, t types.Tuple) []byte {
+	b = binary.AppendUvarint(b, uint64(len(t)))
+	for _, v := range t {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func appendEvent(b []byte, e storage.Event) []byte {
+	b = append(b, byte(e.Kind))
+	b = appendString(b, e.Relation)
+	return appendTuple(b, e.Tuple)
+}
+
+// marshal renders the record payload (the CRC-protected part of a
+// frame).
+func (r *Record) marshal() []byte {
+	b := binary.AppendUvarint(nil, r.Seq)
+	b = append(b, byte(r.Kind))
+	switch r.Kind {
+	case RecDDL:
+		b = appendString(b, r.Stmt)
+	case RecCommit:
+		b = binary.AppendUvarint(b, uint64(len(r.Events)))
+		for _, e := range r.Events {
+			b = appendEvent(b, e)
+		}
+		b = binary.AppendUvarint(b, uint64(len(r.ActEvents)))
+		for _, e := range r.ActEvents {
+			b = appendEvent(b, e)
+		}
+		b = binary.AppendUvarint(b, uint64(len(r.ObjNews)))
+		for _, o := range r.ObjNews {
+			b = binary.AppendUvarint(b, uint64(o.OID))
+			b = appendString(b, o.Type)
+		}
+		b = binary.AppendUvarint(b, uint64(len(r.ObjDels)))
+		for _, oid := range r.ObjDels {
+			b = binary.AppendUvarint(b, uint64(oid))
+		}
+		b = appendBinds(b, r.Binds)
+	case RecIface:
+		b = appendBinds(b, r.Binds)
+	}
+	return b
+}
+
+func appendBinds(b []byte, binds []Bind) []byte {
+	b = binary.AppendUvarint(b, uint64(len(binds)))
+	for _, bd := range binds {
+		b = appendString(b, bd.Name)
+		b = appendValue(b, bd.Value)
+	}
+	return b
+}
+
+// reader decodes the codec with sticky error handling: after the first
+// failure every accessor returns zero values and err() is non-nil.
+type reader struct {
+	b   []byte
+	off int
+	e   error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.e == nil {
+		r.e = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) err() error { return r.e }
+
+func (r *reader) done() bool { return r.off >= len(r.b) }
+
+func (r *reader) byte() byte {
+	if r.e != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("wal: truncated payload (byte at %d)", r.off)
+		return 0
+	}
+	c := r.b[r.off]
+	r.off++
+	return c
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.e != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("wal: bad uvarint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return u
+}
+
+func (r *reader) varint() int64 {
+	if r.e != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("wal: bad varint at %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a collection length and bounds it by the bytes left, so a
+// corrupt length cannot drive a huge allocation.
+func (r *reader) count() int {
+	n := r.uvarint()
+	if r.e == nil && n > uint64(len(r.b)-r.off) {
+		r.fail("wal: implausible count %d at %d", n, r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) string() string {
+	n := r.count()
+	if r.e != nil {
+		return ""
+	}
+	if r.off+n > len(r.b) {
+		r.fail("wal: truncated string at %d", r.off)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) value() types.Value {
+	k := types.Kind(r.byte())
+	switch k {
+	case types.KindNil:
+		return types.Value{}
+	case types.KindBool, types.KindInt:
+		return types.Value{Kind: k, I: r.varint()}
+	case types.KindFloat:
+		if r.e != nil {
+			return types.Value{}
+		}
+		if r.off+8 > len(r.b) {
+			r.fail("wal: truncated float at %d", r.off)
+			return types.Value{}
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+		return types.Float(f)
+	case types.KindString:
+		return types.Str(r.string())
+	case types.KindObject:
+		return types.Obj(types.OID(r.uvarint()))
+	default:
+		r.fail("wal: unknown value kind %d", k)
+		return types.Value{}
+	}
+}
+
+func (r *reader) tuple() types.Tuple {
+	n := r.count()
+	if r.e != nil {
+		return nil
+	}
+	t := make(types.Tuple, n)
+	for i := range t {
+		t[i] = r.value()
+	}
+	return t
+}
+
+func (r *reader) event() storage.Event {
+	k := storage.EventKind(r.byte())
+	if r.e == nil && k != storage.InsertEvent && k != storage.DeleteEvent {
+		r.fail("wal: unknown event kind %d", k)
+	}
+	return storage.Event{Kind: k, Relation: r.string(), Tuple: r.tuple()}
+}
+
+func (r *reader) binds() []Bind {
+	n := r.count()
+	if r.e != nil || n == 0 {
+		return nil
+	}
+	out := make([]Bind, n)
+	for i := range out {
+		out[i] = Bind{Name: r.string(), Value: r.value()}
+	}
+	return out
+}
+
+// decodeRecord parses one CRC-verified payload. Any structural problem
+// is an error — the caller treats it as a torn/corrupt tail.
+func decodeRecord(payload []byte) (Record, error) {
+	r := &reader{b: payload}
+	rec := Record{Seq: r.uvarint(), Kind: RecordKind(r.byte())}
+	switch rec.Kind {
+	case RecDDL:
+		rec.Stmt = r.string()
+	case RecCommit:
+		n := r.count()
+		if r.err() == nil && n > 0 {
+			rec.Events = make([]storage.Event, n)
+			for i := range rec.Events {
+				rec.Events[i] = r.event()
+			}
+		}
+		n = r.count()
+		if r.err() == nil && n > 0 {
+			rec.ActEvents = make([]storage.Event, n)
+			for i := range rec.ActEvents {
+				rec.ActEvents[i] = r.event()
+			}
+		}
+		n = r.count()
+		if r.err() == nil && n > 0 {
+			rec.ObjNews = make([]ObjectRec, n)
+			for i := range rec.ObjNews {
+				rec.ObjNews[i] = ObjectRec{OID: types.OID(r.uvarint()), Type: r.string()}
+			}
+		}
+		n = r.count()
+		if r.err() == nil && n > 0 {
+			rec.ObjDels = make([]types.OID, n)
+			for i := range rec.ObjDels {
+				rec.ObjDels[i] = types.OID(r.uvarint())
+			}
+		}
+		rec.Binds = r.binds()
+	case RecIface:
+		rec.Binds = r.binds()
+	default:
+		r.fail("wal: unknown record kind %d", rec.Kind)
+	}
+	if err := r.err(); err != nil {
+		return Record{}, err
+	}
+	if !r.done() {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes in record payload", len(payload)-r.off)
+	}
+	return rec, nil
+}

@@ -1,0 +1,371 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"partdiff/internal/faultinject"
+)
+
+// logMagic is the log file header; the trailing digit is the format
+// version. A file with a different magic is rejected, not guessed at.
+const logMagic = "AMOSWAL1"
+
+// frameHeaderLen is the per-record frame overhead: u32 payload length +
+// u32 CRC32-C of the payload, both little-endian.
+const frameHeaderLen = 8
+
+// maxRecordLen bounds a single record payload; a larger length field is
+// treated as a torn/corrupt tail rather than an allocation request.
+const maxRecordLen = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only write-ahead log on one file. Appends and syncs
+// are safe for concurrent use (the group-commit batcher syncs from a
+// background goroutine).
+//
+// Failure semantics follow the fsync rules of modern kernels: a failed
+// write is cut back off the file and retried-able, but a failed fsync
+// poisons the log (the page cache state is unknowable afterwards), and
+// every later call returns the sticky error.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	policy SyncPolicy
+	inj    *faultinject.Injector
+	met    *Metrics // never nil; zero-value Metrics when observability is off
+	err    error    // sticky
+	closed bool
+
+	// Group-commit batcher state (SyncGrouped only).
+	reqCh  chan syncReq
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type syncReq struct {
+	done chan error
+}
+
+// Open opens (or creates) the log at path, scans every valid record and
+// returns them for replay. A torn or corrupt tail — a partial frame, a
+// CRC mismatch, or an undecodable payload — is detected, counted in
+// met.TornRecords, and truncated off so the log is clean for appends;
+// everything before it is returned intact. inj and met may be nil.
+func Open(path string, policy SyncPolicy, inj *faultinject.Injector, met *Metrics) (*Log, []Record, error) {
+	if met == nil {
+		met = &Metrics{}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, policy: policy, inj: inj, met: met}
+	if len(data) == 0 {
+		if _, err := f.Write([]byte(logMagic)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync header: %w", err)
+		}
+		l.size = int64(len(logMagic))
+	} else {
+		if len(data) < len(logMagic) || string(data[:len(logMagic)]) != logMagic {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %s is not a version-%q log", path, logMagic)
+		}
+		recs, goodEnd, torn := scanRecords(data)
+		if torn {
+			met.TornRecords.Inc()
+		}
+		if int64(goodEnd) < int64(len(data)) {
+			if err := f.Truncate(int64(goodEnd)); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			if _, err := f.Seek(int64(goodEnd), io.SeekStart); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+		}
+		l.size = int64(goodEnd)
+		l.met.LogBytes.Set(l.size)
+		if policy == SyncGrouped {
+			l.startBatcher()
+		}
+		return l, recs, nil
+	}
+	l.met.LogBytes.Set(l.size)
+	if policy == SyncGrouped {
+		l.startBatcher()
+	}
+	return l, nil, nil
+}
+
+// scanRecords walks the frames after the header. It returns the decoded
+// records, the offset just past the last valid frame, and whether any
+// trailing bytes were discarded.
+func scanRecords(data []byte) (recs []Record, goodEnd int, torn bool) {
+	off := len(logMagic)
+	for {
+		if off+frameHeaderLen > len(data) {
+			return recs, off, off != len(data)
+		}
+		ln := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if ln > maxRecordLen || off+frameHeaderLen+int(ln) > len(data) {
+			return recs, off, true
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(ln)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return recs, off, true
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return recs, off, true
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + int(ln)
+	}
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Err returns the sticky failure, nil while the log is healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// SetInjector installs a fault injector (nil disables injection).
+func (l *Log) SetInjector(inj *faultinject.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inj = inj
+}
+
+// Append writes one record frame and applies the sync policy: under
+// SyncAlways it returns only after an fsync covering the record; under
+// SyncGrouped it returns after the background batcher's next fsync;
+// under SyncNone it returns after the write. An error means the record
+// is NOT durably committed and the caller must treat the transaction as
+// failed.
+func (l *Log) Append(r *Record) error {
+	if err := l.write(r); err != nil {
+		return err
+	}
+	switch l.policy {
+	case SyncAlways:
+		return l.Sync()
+	case SyncGrouped:
+		return l.groupSync()
+	default:
+		return nil
+	}
+}
+
+func (l *Log) write(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	// Fire before writing: an injected append fault leaves the file
+	// byte-identical (an injected panic unlocks via the deferred Unlock).
+	if err := l.inj.Fire(faultinject.WalAppend); err != nil {
+		return fmt.Errorf("wal append: %w", err)
+	}
+	payload := r.marshal()
+	frame := make([]byte, 0, frameHeaderLen+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial frame may be on disk; cut it back off so the log
+		// stays clean. Only an unremovable partial frame poisons.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.err = fmt.Errorf("wal: append failed (%v), truncate failed (%v): log poisoned", err, terr)
+			return l.err
+		}
+		if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			l.err = fmt.Errorf("wal: append failed (%v), reseek failed (%v): log poisoned", err, serr)
+			return l.err
+		}
+		return fmt.Errorf("wal append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.met.Appends.Inc()
+	l.met.Bytes.Add(int64(len(frame)))
+	l.met.LogBytes.Set(l.size)
+	return nil
+}
+
+// Sync fsyncs the log. A failed (or injected-failed) fsync poisons the
+// log: after fsync returns an error the page cache state is unknowable,
+// so no later success can be trusted (the "fsyncgate" rule). An
+// injected panic also poisons before propagating to the commit path's
+// containment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			l.err = fmt.Errorf("wal fsync panicked: %v", r)
+			panic(r)
+		}
+	}()
+	if err := l.inj.Fire(faultinject.WalFsync); err != nil {
+		l.err = fmt.Errorf("wal fsync: %w", err)
+		return l.err
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal fsync: %w", err)
+		return l.err
+	}
+	l.met.Fsyncs.Inc()
+	l.met.FsyncSeconds.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Reset truncates the log back to its header — called after a snapshot
+// has been durably written, so every logged record is covered by it.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Truncate(int64(len(logMagic))); err != nil {
+		l.err = fmt.Errorf("wal: reset: %w", err)
+		return l.err
+	}
+	if _, err := l.f.Seek(int64(len(logMagic)), io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: reset seek: %w", err)
+		return l.err
+	}
+	l.size = int64(len(logMagic))
+	l.met.LogBytes.Set(l.size)
+	return l.syncLocked()
+}
+
+// startBatcher launches the group-commit goroutine.
+func (l *Log) startBatcher() {
+	l.reqCh = make(chan syncReq, 64)
+	l.stopCh = make(chan struct{})
+	l.wg.Add(1)
+	go l.batcher()
+}
+
+func (l *Log) batcher() {
+	defer l.wg.Done()
+	for {
+		var first syncReq
+		select {
+		case first = <-l.reqCh:
+		case <-l.stopCh:
+			return
+		}
+		batch := []syncReq{first}
+	drain:
+		for {
+			select {
+			case r := <-l.reqCh:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		// The whole batch shares one fsync: every batched record was
+		// written before its committer blocked on done, so the fsync
+		// covers them all. An injected panic must not kill the process
+		// from this goroutine — it is contained into the error every
+		// waiter receives (the log is already poisoned by syncLocked).
+		err := l.syncContained()
+		for _, r := range batch {
+			r.done <- err
+		}
+	}
+}
+
+func (l *Log) syncContained() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("wal fsync panicked: %v", r)
+		}
+	}()
+	return l.Sync()
+}
+
+func (l *Log) groupSync() error {
+	req := syncReq{done: make(chan error, 1)}
+	select {
+	case l.reqCh <- req:
+	case <-l.stopCh:
+		return fmt.Errorf("wal: log closed")
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-l.stopCh:
+		return fmt.Errorf("wal: log closed")
+	}
+}
+
+// Close stops the batcher, fsyncs once more (best effort on a healthy
+// log) and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stopCh
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		l.wg.Wait()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var syncErr error
+	if l.err == nil {
+		syncErr = l.f.Sync()
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}

@@ -1,0 +1,42 @@
+package wal
+
+import "partdiff/internal/obs"
+
+// Metrics is the durability subsystem's meter set. The zero value is a
+// valid disabled meter set (nil meters are no-ops).
+type Metrics struct {
+	// Appends counts record frames written; Bytes the frame bytes.
+	Appends *obs.Counter
+	Bytes   *obs.Counter
+	// Fsyncs counts log fsyncs; FsyncSeconds times each one — the
+	// dominant term of commit latency under SyncAlways.
+	Fsyncs       *obs.Counter
+	FsyncSeconds *obs.Histogram
+	// Checkpoints counts snapshots written; CheckpointSeconds times the
+	// whole write-fsync-rename sequence.
+	Checkpoints       *obs.Counter
+	CheckpointSeconds *obs.Histogram
+	// LogBytes / SnapshotBytes gauge the current on-disk sizes.
+	LogBytes      *obs.Gauge
+	SnapshotBytes *obs.Gauge
+	// RecoveredRecords counts log records replayed at open;
+	// TornRecords counts discarded torn/corrupt log tails.
+	RecoveredRecords *obs.Counter
+	TornRecords      *obs.Counter
+}
+
+// NewMetrics registers the durability meters in r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends:           r.Counter("partdiff_wal_appends_total", "Write-ahead log records appended."),
+		Bytes:             r.Counter("partdiff_wal_bytes_total", "Write-ahead log bytes written (frames incl. headers)."),
+		Fsyncs:            r.Counter("partdiff_wal_fsyncs_total", "Write-ahead log fsyncs."),
+		FsyncSeconds:      r.Histogram("partdiff_wal_fsync_seconds", "Wall-clock time of one log fsync.", obs.DefLatencyBuckets),
+		Checkpoints:       r.Counter("partdiff_wal_checkpoints_total", "Snapshots (checkpoints) written."),
+		CheckpointSeconds: r.Histogram("partdiff_wal_checkpoint_seconds", "Wall-clock time of one checkpoint (marshal, write, fsync, rename).", obs.DefLatencyBuckets),
+		LogBytes:          r.Gauge("partdiff_wal_log_bytes", "Current write-ahead log size in bytes."),
+		SnapshotBytes:     r.Gauge("partdiff_wal_snapshot_bytes", "Size in bytes of the last snapshot written."),
+		RecoveredRecords:  r.Counter("partdiff_wal_recovered_records_total", "Log records replayed during recovery."),
+		TornRecords:       r.Counter("partdiff_wal_torn_records_total", "Torn or corrupt log tails discarded at open."),
+	}
+}

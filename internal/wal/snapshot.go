@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"partdiff/internal/faultinject"
+	"partdiff/internal/types"
+)
+
+// snapMagic is the snapshot file header; the trailing digit is the
+// format version.
+const snapMagic = "AMOSNAP1"
+
+// snapKeep is how many snapshot generations a checkpoint retains.
+const snapKeep = 2
+
+// Table is one serialized base relation.
+type Table struct {
+	Name    string
+	Arity   int
+	KeyCols []int
+	Tuples  []types.Tuple
+}
+
+// State is a complete logical snapshot of the database: the DDL journal
+// (source text of every schema statement in execution order — types,
+// functions, rules, activations), the object universe, the interface
+// variables, and every base relation's tuples. Seq is the last log
+// sequence number the snapshot covers; recovery replays only records
+// with a higher seq.
+type State struct {
+	Seq     uint64
+	DDL     []string
+	NextOID types.OID
+	Objects []ObjectRec
+	Iface   []Bind
+	Tables  []Table
+}
+
+// MarshalState renders the snapshot file image: magic, payload, and a
+// trailing CRC32-C of the payload.
+func MarshalState(st *State) []byte {
+	b := []byte(snapMagic)
+	b = binary.AppendUvarint(b, st.Seq)
+	b = binary.AppendUvarint(b, uint64(len(st.DDL)))
+	for _, s := range st.DDL {
+		b = appendString(b, s)
+	}
+	b = binary.AppendUvarint(b, uint64(st.NextOID))
+	b = binary.AppendUvarint(b, uint64(len(st.Objects)))
+	for _, o := range st.Objects {
+		b = binary.AppendUvarint(b, uint64(o.OID))
+		b = appendString(b, o.Type)
+	}
+	b = appendBinds(b, st.Iface)
+	b = binary.AppendUvarint(b, uint64(len(st.Tables)))
+	for _, t := range st.Tables {
+		b = appendString(b, t.Name)
+		b = binary.AppendUvarint(b, uint64(t.Arity))
+		b = binary.AppendUvarint(b, uint64(len(t.KeyCols)))
+		for _, c := range t.KeyCols {
+			b = binary.AppendUvarint(b, uint64(c))
+		}
+		b = binary.AppendUvarint(b, uint64(len(t.Tuples)))
+		for _, tp := range t.Tuples {
+			b = appendTuple(b, tp)
+		}
+	}
+	crc := crc32.Checksum(b[len(snapMagic):], castagnoli)
+	return binary.LittleEndian.AppendUint32(b, crc)
+}
+
+// UnmarshalState parses and CRC-verifies a snapshot image.
+func UnmarshalState(data []byte) (*State, error) {
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: not a version-%q snapshot", snapMagic)
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	r := &reader{b: payload}
+	st := &State{Seq: r.uvarint()}
+	n := r.count()
+	for i := 0; i < n && r.err() == nil; i++ {
+		st.DDL = append(st.DDL, r.string())
+	}
+	st.NextOID = types.OID(r.uvarint())
+	n = r.count()
+	for i := 0; i < n && r.err() == nil; i++ {
+		st.Objects = append(st.Objects, ObjectRec{OID: types.OID(r.uvarint()), Type: r.string()})
+	}
+	st.Iface = r.binds()
+	n = r.count()
+	for i := 0; i < n && r.err() == nil; i++ {
+		t := Table{Name: r.string(), Arity: int(r.uvarint())}
+		kn := r.count()
+		for k := 0; k < kn && r.err() == nil; k++ {
+			t.KeyCols = append(t.KeyCols, int(r.uvarint()))
+		}
+		tn := r.count()
+		for k := 0; k < tn && r.err() == nil; k++ {
+			t.Tuples = append(t.Tuples, r.tuple())
+		}
+		st.Tables = append(st.Tables, t)
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("wal: trailing bytes in snapshot")
+	}
+	return st, nil
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// WriteSnapshot durably writes st into dir (write to a temp file, fsync
+// it, rename into place, fsync the directory) and prunes old snapshot
+// generations, keeping the newest snapKeep. The log must be truncated
+// only AFTER this returns: a crash between the two leaves records the
+// snapshot already covers, which replay skips by seq.
+func WriteSnapshot(dir string, st *State, inj *faultinject.Injector, met *Metrics) error {
+	if met == nil {
+		met = &Metrics{}
+	}
+	if err := inj.Fire(faultinject.WalCheckpoint); err != nil {
+		return fmt.Errorf("wal checkpoint: %w", err)
+	}
+	start := time.Now()
+	data := MarshalState(st)
+	final := filepath.Join(dir, snapName(st.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	met.Checkpoints.Inc()
+	met.CheckpointSeconds.Observe(time.Since(start).Seconds())
+	met.SnapshotBytes.Set(int64(len(data)))
+	pruneSnapshots(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// listSnapshots returns the snapshot files in dir, newest (highest seq)
+// first.
+func listSnapshots(dir string) []string {
+	names, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		return nil
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	return names
+}
+
+// pruneSnapshots removes all but the newest snapKeep snapshots and any
+// leftover temp files. Best effort.
+func pruneSnapshots(dir string) {
+	snaps := listSnapshots(dir)
+	for i, p := range snaps {
+		if i >= snapKeep {
+			os.Remove(p)
+		}
+	}
+	if tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.tmp")); err == nil {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+}
+
+// ReadLatestSnapshot loads the newest valid snapshot in dir, or (nil,
+// nil) when none exists. A snapshot failing its CRC is skipped in favor
+// of the previous generation — snapshots are renamed into place
+// atomically, so this only happens under media corruption, and the
+// older generation is the best remaining truth.
+func ReadLatestSnapshot(dir string) (*State, error) {
+	var firstErr error
+	for _, p := range listSnapshots(dir) {
+		data, err := os.ReadFile(p)
+		if err == nil {
+			var st *State
+			if st, err = UnmarshalState(data); err == nil {
+				return st, nil
+			}
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", filepath.Base(p), err)
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("wal: no readable snapshot: %w", firstErr)
+	}
+	return nil, nil
+}
+
+// IsSnapshotFile reports whether name looks like a snapshot file —
+// used by SaveTo to refuse clobbering an unrelated directory. Exported
+// for the session layer.
+func IsSnapshotFile(name string) bool {
+	return strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap")
+}

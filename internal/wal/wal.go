@@ -1,0 +1,122 @@
+// Package wal is the durability subsystem: a binary, CRC-framed
+// write-ahead log of committed transactions plus snapshot (checkpoint)
+// files, giving the otherwise main-memory database crash recovery.
+//
+// The log records each committed transaction as its physical update
+// events — the same storage events that feed the Δ-sets of the rule
+// monitor — so recovery can replay the tail through the normal commit
+// machinery and the propagation network re-derives ΔP and re-fires
+// deferred rules deterministically (the §4.5 propagation algorithm is
+// also the redo algorithm). Catalog DDL (create type/function/rule,
+// activate/deactivate) is logged as source text and re-executed on
+// recovery, which rebuilds the compiled condition definitions and rule
+// actions that cannot be serialized.
+//
+// On-disk formats are versioned by their 8-byte magic ("AMOSWAL1",
+// "AMOSNAP1"); a future format bumps the trailing digit. See DESIGN.md
+// "Durability & recovery" for the byte-level layouts.
+package wal
+
+import (
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// SyncPolicy selects when the log is fsynced relative to commit
+// acknowledgement.
+type SyncPolicy int
+
+// The sync policies.
+const (
+	// SyncAlways fsyncs the log before every commit acknowledgement:
+	// full durability, one fsync per commit.
+	SyncAlways SyncPolicy = iota
+	// SyncGrouped acknowledges a commit after a background batcher has
+	// fsynced past its record; concurrent committers share one fsync
+	// (group commit). Durability is identical to SyncAlways — a commit
+	// is never acknowledged before its record is on stable storage —
+	// only the fsyncs are coalesced.
+	SyncGrouped
+	// SyncNone never fsyncs on the commit path. Committed records are in
+	// the OS page cache: they survive a process crash (kill -9) but not
+	// an OS crash or power loss.
+	SyncNone
+)
+
+// String returns the policy name as used by the bench harness.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncGrouped:
+		return "group"
+	case SyncNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// RecordKind discriminates log record types.
+type RecordKind byte
+
+// The record kinds.
+const (
+	// RecDDL is a schema statement logged as source text, re-executed
+	// verbatim on recovery (create type/function/rule, activate,
+	// deactivate). DDL is logged at execution time: like the in-memory
+	// catalog it survives a surrounding transaction rollback.
+	RecDDL RecordKind = 1
+	// RecCommit is one committed transaction: its physical update
+	// events split into user updates and check-phase action updates,
+	// plus the objects it created/deleted and the interface variables
+	// it bound. Replay applies the user events and commits — the check
+	// phase re-derives and re-fires the actions — then reconciles the
+	// logged action events so the final state is reached even when an
+	// action's procedure is not registered at recovery time.
+	RecCommit RecordKind = 2
+	// RecIface is an interface-variable binding made outside any
+	// transaction (the embedding API's SetVar).
+	RecIface RecordKind = 3
+)
+
+// ObjectRec is one object birth in a commit record: recovery restores
+// the exact OID so replayed events referencing it stay meaningful.
+type ObjectRec struct {
+	OID  types.OID
+	Type string
+}
+
+// Bind is one interface-variable binding.
+type Bind struct {
+	Name  string
+	Value types.Value
+}
+
+// Record is one write-ahead log record. Seq numbers are assigned by the
+// session, strictly increasing across DDL and commit records; a
+// snapshot stores the last seq it covers, so replay after a checkpoint
+// skips records the snapshot already contains (which also makes the
+// post-checkpoint log truncation safe to lose to a crash).
+type Record struct {
+	Seq  uint64
+	Kind RecordKind
+
+	// RecDDL
+	Stmt string
+
+	// RecCommit
+	Events    []storage.Event // user updates (transaction body)
+	ActEvents []storage.Event // check-phase rule-action updates
+	ObjNews   []ObjectRec
+	ObjDels   []types.OID
+	Binds     []Bind // also the payload of RecIface (single element)
+}
+
+// Empty reports whether a commit record carries no changes at all (an
+// empty transaction — not worth a log record).
+func (r *Record) Empty() bool {
+	return r.Kind == RecCommit &&
+		len(r.Events) == 0 && len(r.ActEvents) == 0 &&
+		len(r.ObjNews) == 0 && len(r.ObjDels) == 0 && len(r.Binds) == 0
+}

@@ -1,0 +1,423 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"partdiff/internal/faultinject"
+	"partdiff/internal/obs"
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// testRecords covers every record kind and every value kind, including
+// a non-integral and an integral float (the codec must be lossless
+// where types.Value.Key normalizes).
+func testRecords() []Record {
+	return []Record{
+		{Seq: 1, Kind: RecDDL, Stmt: "create type item;"},
+		{Seq: 2, Kind: RecCommit,
+			Events: []storage.Event{
+				{Kind: storage.InsertEvent, Relation: "quantity", Tuple: types.Tuple{types.Obj(7), types.Int(42)}},
+				{Kind: storage.DeleteEvent, Relation: "quantity", Tuple: types.Tuple{types.Obj(7), types.Float(2.5)}},
+				{Kind: storage.InsertEvent, Relation: "price", Tuple: types.Tuple{types.Obj(7), types.Float(3)}},
+			},
+			ActEvents: []storage.Event{
+				{Kind: storage.InsertEvent, Relation: "log", Tuple: types.Tuple{types.Str("refill"), types.Bool(true)}},
+			},
+			ObjNews: []ObjectRec{{OID: 7, Type: "item"}},
+			ObjDels: []types.OID{3},
+			Binds:   []Bind{{Name: "a", Value: types.Obj(7)}, {Name: "nil", Value: types.Value{}}},
+		},
+		{Seq: 3, Kind: RecIface, Binds: []Bind{{Name: "x", Value: types.Int(-9)}}},
+		{Seq: 4, Kind: RecCommit, Events: []storage.Event{
+			{Kind: storage.InsertEvent, Relation: "s", Tuple: types.Tuple{types.Str("")}},
+		}},
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for _, want := range testRecords() {
+		got, err := decodeRecord(want.marshal())
+		if err != nil {
+			t.Fatalf("decode seq %d: %v", want.Seq, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip seq %d:\n got %+v\nwant %+v", want.Seq, got, want)
+		}
+	}
+}
+
+func TestRecordCodecRejectsCorruption(t *testing.T) {
+	rec := testRecords()[1]
+	payload := rec.marshal()
+	if _, err := decodeRecord(payload[:len(payload)-1]); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+	if _, err := decodeRecord(append(payload, 0)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+	bad := append([]byte(nil), payload...)
+	bad[1] = 99 // record kind
+	if _, err := decodeRecord(bad); err == nil {
+		t.Error("unknown record kind decoded without error")
+	}
+}
+
+func openLog(t *testing.T, path string, policy SyncPolicy) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, policy, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+func TestLogAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, recs := openLog(t, path, SyncAlways)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	want := testRecords()
+	for i := range want {
+		if err := l.Append(&want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openLog(t, path, SyncAlways)
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reopen:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLogTornTail is the acceptance criterion: a torn final record —
+// cut short or bit-flipped — is detected via CRC framing, discarded,
+// and the log is clean for appends afterwards.
+func TestLogTornTail(t *testing.T) {
+	recs := testRecords()
+	lastFrame := frameHeaderLen + len(recs[len(recs)-1].marshal())
+	for _, tc := range []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"partial payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"partial frame header", func(b []byte) []byte { return b[:len(b)-lastFrame+4] }},
+		{"flipped payload byte", func(b []byte) []byte {
+			b[len(b)-2] ^= 0x40
+			return b
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			l, _ := openLog(t, path, SyncAlways)
+			want := testRecords()
+			for i := range want {
+				if err := l.Append(&want[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			met := NewMetrics(obs.NewRegistry())
+			l2, got, err := Open(path, SyncAlways, nil, met)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want)-1 || !reflect.DeepEqual(got, want[:len(want)-1]) {
+				t.Fatalf("want %d intact records, got %+v", len(want)-1, got)
+			}
+			if met.TornRecords.Value() != 1 {
+				t.Errorf("TornRecords = %d, want 1", met.TornRecords.Value())
+			}
+			// The log is clean: a new append replaces the torn tail.
+			last := want[len(want)-1]
+			if err := l2.Append(&last); err != nil {
+				t.Fatal(err)
+			}
+			l2.Close()
+			l3, got3 := openLog(t, path, SyncAlways)
+			l3.Close()
+			if !reflect.DeepEqual(got3, want) {
+				t.Errorf("after re-append:\n got %+v\nwant %+v", got3, want)
+			}
+		})
+	}
+}
+
+func TestLogRejectsWrongMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTALOG0 extra"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, SyncAlways, nil, nil); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func TestLogReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openLog(t, path, SyncAlways)
+	rec := testRecords()[0]
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Size(); got != int64(len(logMagic)) {
+		t.Errorf("size after reset = %d", got)
+	}
+	// Appends continue after a reset and survive a reopen.
+	rec2 := testRecords()[2]
+	if err := l.Append(&rec2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, got := openLog(t, path, SyncAlways)
+	l2.Close()
+	if len(got) != 1 || !reflect.DeepEqual(got[0], rec2) {
+		t.Errorf("after reset+append: %+v", got)
+	}
+}
+
+// TestFsyncFailurePoisons pins the fsyncgate rule: one failed fsync
+// makes every later operation fail with the sticky error.
+func TestFsyncFailurePoisons(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	inj := faultinject.New()
+	l, _, err := Open(path, SyncAlways, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inj.Arm(faultinject.WalFsync, 0, faultinject.Error)
+	rec := testRecords()[0]
+	if err := l.Append(&rec); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	if l.Err() == nil {
+		t.Fatal("log not poisoned after fsync failure")
+	}
+	// The armed fault is one-shot and spent — only the sticky error
+	// remains.
+	if err := l.Append(&rec); err == nil {
+		t.Error("poisoned log accepted an append")
+	}
+	if err := l.Reset(); err == nil {
+		t.Error("poisoned log accepted a reset")
+	}
+}
+
+// TestAppendFaultLeavesLogClean: an injected append error fires before
+// the write, so the file stays byte-identical and is NOT poisoned.
+func TestAppendFaultLeavesLogClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	inj := faultinject.New()
+	l, _, err := Open(path, SyncAlways, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rec := testRecords()[0]
+	if err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Size()
+	inj.Arm(faultinject.WalAppend, 0, faultinject.Error)
+	rec2 := testRecords()[2]
+	if err := l.Append(&rec2); err == nil {
+		t.Fatal("append with injected fault succeeded")
+	}
+	if l.Err() != nil {
+		t.Fatalf("append fault poisoned the log: %v", l.Err())
+	}
+	if l.Size() != before {
+		t.Errorf("size changed across failed append: %d -> %d", before, l.Size())
+	}
+	if err := l.Append(&rec2); err != nil {
+		t.Fatalf("append after recovered fault: %v", err)
+	}
+}
+
+// TestGroupCommitConcurrent drives concurrent committers through the
+// group-commit batcher; every acknowledged append must be durable in
+// the reopened log.
+func TestGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openLog(t, path, SyncGrouped)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := Record{Seq: uint64(i + 1), Kind: RecDDL, Stmt: "stmt"}
+			errs[i] = l.Append(&rec)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openLog(t, path, SyncGrouped)
+	l2.Close()
+	if len(got) != n {
+		t.Fatalf("reopened log has %d records, want %d", len(got), n)
+	}
+}
+
+func TestGroupCommitClosedLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openLog(t, path, SyncGrouped)
+	l.Close()
+	rec := testRecords()[0]
+	if err := l.Append(&rec); err == nil {
+		t.Error("closed log accepted an append")
+	}
+}
+
+func testState() *State {
+	return &State{
+		Seq:     12,
+		DDL:     []string{"create type item;", "activate r();"},
+		NextOID: 9,
+		Objects: []ObjectRec{{OID: 7, Type: "item"}, {OID: 8, Type: "item"}},
+		Iface:   []Bind{{Name: "a", Value: types.Obj(7)}},
+		Tables: []Table{
+			{Name: "quantity", Arity: 2, KeyCols: []int{0}, Tuples: []types.Tuple{
+				{types.Obj(7), types.Int(10)}, {types.Obj(8), types.Float(1.5)},
+			}},
+			{Name: "type:item", Arity: 1, Tuples: []types.Tuple{{types.Obj(7)}, {types.Obj(8)}}},
+		},
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	want := testState()
+	got, err := UnmarshalState(MarshalState(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// Marshalling is deterministic — the property tests compare bytes.
+	if !bytes.Equal(MarshalState(want), MarshalState(got)) {
+		t.Error("MarshalState is not deterministic")
+	}
+}
+
+func TestStateCodecRejectsCorruption(t *testing.T) {
+	data := MarshalState(testState())
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x10
+	if _, err := UnmarshalState(flip); err == nil {
+		t.Error("corrupt snapshot unmarshalled without error")
+	}
+	if _, err := UnmarshalState(data[:len(data)-2]); err == nil {
+		t.Error("truncated snapshot unmarshalled without error")
+	}
+}
+
+func TestSnapshotWriteReadPrune(t *testing.T) {
+	dir := t.TempDir()
+	if st, err := ReadLatestSnapshot(dir); err != nil || st != nil {
+		t.Fatalf("empty dir: st=%v err=%v", st, err)
+	}
+	// Three generations; the newest wins and only snapKeep remain.
+	for seq := uint64(1); seq <= 3; seq++ {
+		st := testState()
+		st.Seq = seq
+		if err := WriteSnapshot(dir, st, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadLatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 {
+		t.Errorf("latest snapshot seq = %d, want 3", got.Seq)
+	}
+	snaps := listSnapshots(dir)
+	if len(snaps) != snapKeep {
+		t.Errorf("%d snapshots retained, want %d: %v", len(snaps), snapKeep, snaps)
+	}
+}
+
+// TestSnapshotCorruptNewestFallsBack: a snapshot failing its CRC is
+// skipped in favor of the previous generation.
+func TestSnapshotCorruptNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	for seq := uint64(1); seq <= 2; seq++ {
+		st := testState()
+		st.Seq = seq
+		if err := WriteSnapshot(dir, st, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := listSnapshots(dir)[0]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 {
+		t.Errorf("fallback snapshot seq = %d, want 1", got.Seq)
+	}
+	// With every generation corrupt, the failure is reported rather
+	// than silently starting empty.
+	older := listSnapshots(dir)[1]
+	if err := os.WriteFile(older, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLatestSnapshot(dir); err == nil {
+		t.Error("all-corrupt dir read as empty")
+	}
+}
+
+func TestSnapshotCheckpointFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New()
+	inj.Arm(faultinject.WalCheckpoint, 0, faultinject.Error)
+	err := WriteSnapshot(dir, testState(), inj, nil)
+	if err == nil {
+		t.Fatal("injected checkpoint fault ignored")
+	}
+	if !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := listSnapshots(dir); len(got) != 0 {
+		t.Errorf("failed checkpoint left files: %v", got)
+	}
+}

@@ -13,12 +13,17 @@ import (
 	"partdiff"
 )
 
-// obsDB builds a monitored inventory and runs one transaction that
-// fires the rule, so every subsystem has counted work.
+// obsDB builds a monitored inventory in a durable data directory and
+// runs one transaction that fires the rule, so every subsystem —
+// including the write-ahead log — has counted work.
 func obsDB(t *testing.T) *partdiff.DB {
 	t.Helper()
-	db := partdiff.Open()
-	db.RegisterProcedure("order", func([]partdiff.Value) error { return nil })
+	db, err := partdiff.OpenDir(t.TempDir(),
+		partdiff.WithProcedure("order", func([]partdiff.Value) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
 	db.MustExec(`
 create type item;
 create function quantity(item) -> integer;
@@ -148,6 +153,7 @@ commit;
 		"partdiff_propnet_differentials_total", // propnet
 		"partdiff_txn_commits_total",           // txn
 		"partdiff_rules_actions_total",         // rules
+		"partdiff_wal_appends_total",           // wal
 	} {
 		idx := strings.Index(text, "\n"+counter+" ")
 		if idx < 0 {

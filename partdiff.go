@@ -40,6 +40,7 @@ import (
 	"partdiff/internal/rules"
 	"partdiff/internal/txn"
 	"partdiff/internal/types"
+	"partdiff/internal/wal"
 )
 
 // ErrCorrupt is the sticky error a poisoned database returns from every
@@ -95,6 +96,20 @@ type Explanation = rules.Explanation
 // naive recomputations, actions run).
 type Stats = rules.Stats
 
+// SyncPolicy selects when the write-ahead log is fsynced relative to
+// commit acknowledgement (see OpenDir and WithSyncPolicy).
+type SyncPolicy = wal.SyncPolicy
+
+// The sync policies: SyncAlways fsyncs before every commit ack,
+// SyncGrouped coalesces concurrent committers into shared fsyncs with
+// identical durability, SyncNone leaves records in the OS page cache
+// (surviving a process crash but not an OS crash).
+const (
+	SyncAlways  = wal.SyncAlways
+	SyncGrouped = wal.SyncGrouped
+	SyncNone    = wal.SyncNone
+)
+
 // Procedure is a foreign procedure callable from rule actions.
 type Procedure = catalog.Procedure
 
@@ -115,6 +130,27 @@ type config struct {
 	lazy        bool
 	budget      time.Duration
 	ctx         context.Context
+
+	// Durability knobs (OpenDir only).
+	sync       SyncPolicy
+	ckptEvery  int
+	ckptEveryD time.Duration
+	// Procedures/functions to register before recovery replays the log,
+	// so recovered rule actions re-fire through them.
+	procs []namedProc
+	ffns  []namedFFn
+}
+
+type namedProc struct {
+	name string
+	p    Procedure
+}
+
+type namedFFn struct {
+	name   string
+	params []string
+	result string
+	fn     ForeignFunc
 }
 
 // WithMode selects the condition monitoring strategy (default
@@ -159,8 +195,50 @@ func WithCheckContext(ctx context.Context) Option {
 	return func(c *config) { c.ctx = ctx }
 }
 
+// WithSyncPolicy selects the write-ahead log's fsync policy (default
+// SyncAlways). Only meaningful with OpenDir.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *config) { c.sync = p }
+}
+
+// WithCheckpointEvery takes an automatic checkpoint after every n
+// committed transactions (0, the default, disables commit-count
+// checkpointing). Only meaningful with OpenDir.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) { c.ckptEvery = n }
+}
+
+// WithCheckpointInterval runs a background checkpointer every d
+// (0 disables it). Ticks that find the database busy or inside a
+// transaction are skipped. Only meaningful with OpenDir.
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(c *config) { c.ckptEveryD = d }
+}
+
+// WithProcedure registers a foreign procedure before recovery runs, so
+// rule actions re-fired while replaying the log dispatch through it.
+// Actions whose procedure is not registered at recovery time are
+// skipped during replay (their database updates are still recovered
+// from the log).
+func WithProcedure(name string, p Procedure) Option {
+	return func(c *config) { c.procs = append(c.procs, namedProc{name, p}) }
+}
+
+// WithForeignFunc registers a foreign function before recovery runs
+// (the function-as-action counterpart of WithProcedure).
+func WithForeignFunc(name string, paramTypes []string, resultType string, fn ForeignFunc) Option {
+	return func(c *config) {
+		c.ffns = append(c.ffns, namedFFn{name, paramTypes, resultType, fn})
+	}
+}
+
 // Open creates an empty in-memory active database.
 func Open(opts ...Option) *DB {
+	db, _ := open(opts)
+	return db
+}
+
+func open(opts []Option) (*DB, *config) {
 	cfg := config{mode: Incremental}
 	for _, o := range opts {
 		o(&cfg)
@@ -174,8 +252,55 @@ func Open(opts ...Option) *DB {
 	}
 	db.sess.Rules().CheckBudget = cfg.budget
 	db.sess.Rules().CheckContext = cfg.ctx
-	return db
+	return db, &cfg
 }
+
+// OpenDir opens a durable active database backed by the data directory
+// dir (created if missing): the latest snapshot is loaded, the
+// write-ahead log tail is replayed through the normal commit machinery
+// — rebuilding the propagation network and re-firing deferred rule
+// checks — and every later committed transaction is logged under the
+// configured sync policy before it is acknowledged. Register the rule
+// actions' procedures with WithProcedure so replayed rules dispatch
+// through them. Close the database when done.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	db, cfg := open(opts)
+	for _, np := range cfg.procs {
+		if err := db.RegisterProcedure(np.name, np.p); err != nil {
+			return nil, err
+		}
+	}
+	for _, nf := range cfg.ffns {
+		if err := db.RegisterFunction(nf.name, nf.params, nf.result, nf.fn); err != nil {
+			return nil, err
+		}
+	}
+	err := db.sess.AttachDir(dir, amosql.DirConfig{
+		Policy:             cfg.sync,
+		CheckpointEvery:    cfg.ckptEvery,
+		CheckpointInterval: cfg.ckptEveryD,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Checkpoint snapshots the database into its data directory and
+// truncates the write-ahead log. It fails on an in-memory database
+// (use SaveTo for those) and inside a transaction.
+func (db *DB) Checkpoint() error { return db.sess.Checkpoint() }
+
+// SaveTo writes a standalone snapshot of the current database state
+// into dir — a backup, loadable later with OpenDir. It refuses a
+// directory that already contains database files (other than the
+// database's own data directory, where it is equivalent to
+// Checkpoint).
+func (db *DB) SaveTo(dir string) error { return db.sess.SaveTo(dir) }
+
+// Close stops background checkpointing and closes the write-ahead log.
+// A no-op for in-memory databases.
+func (db *DB) Close() error { return db.sess.Close() }
 
 // Exec parses and executes AMOSQL statements, returning one result per
 // statement. Statements outside an explicit transaction auto-commit
