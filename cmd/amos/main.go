@@ -3,11 +3,15 @@
 //
 //	\mode                 show the monitoring mode
 //	\stats                show monitor statistics
-//	\metrics              dump every metric in Prometheus text format
+//	\metrics [prefix]     dump metrics in Prometheus text format (prefix filters,
+//	                      e.g. \metrics propnet)
+//	\profile on|off       turn the propagation profiler on or off
+//	\profile report [k]   report the k most expensive differentials (default 10)
 //	\trace file.json      start a structured trace capture (Chrome trace_event)
 //	\trace stop           stop the capture and write the JSON file
 //	\explain              show why rules triggered in the last commit
 //	\net                  show the propagation network levels
+//	\dot [heat]           Graphviz export (heat: profiler-annotated costs)
 //	\lint                 re-run the static analyzer over all definitions
 //	\checkpoint           snapshot the data directory and truncate the log (-data only)
 //	\save dir             write a standalone snapshot of the database into dir
@@ -25,8 +29,9 @@
 // crash).
 //
 // With -monitor addr (e.g. -monitor localhost:6060) the shell serves a
-// live monitoring endpoint: Prometheus text at /metrics and expvar JSON
-// at /debug/vars.
+// live monitoring endpoint: Prometheus text at /metrics, expvar JSON at
+// /debug/vars, and Go runtime profiles at /debug/pprof/ (usable with
+// `go tool pprof http://addr/debug/pprof/profile`).
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"partdiff"
@@ -173,8 +179,46 @@ func meta(db *partdiff.DB, cmd string) bool {
 	case "\\quit", "\\q":
 		return true
 	case "\\metrics":
-		if err := db.WriteMetrics(os.Stdout); err != nil {
+		words := strings.Fields(cmd)
+		var err error
+		if len(words) > 1 {
+			err = db.WriteMetricsPrefix(os.Stdout, words[1])
+		} else {
+			err = db.WriteMetrics(os.Stdout)
+		}
+		if err != nil {
 			fmt.Println("error:", err)
+		}
+	case "\\profile":
+		words := strings.Fields(cmd)
+		switch {
+		case len(words) < 2:
+			state := "off"
+			if db.Session().Profiling() {
+				state = "on"
+			}
+			fmt.Printf("profiling is %s; usage: \\profile on|off|report [topK]\n", state)
+		case words[1] == "on":
+			db.SetProfiling(true)
+			fmt.Println("propagation profiling on (\\profile report to inspect)")
+		case words[1] == "off":
+			db.SetProfiling(false)
+			fmt.Println("propagation profiling off (accumulated profile kept)")
+		case words[1] == "report":
+			topK := 10
+			if len(words) > 2 {
+				if k, err := strconv.Atoi(words[2]); err == nil {
+					topK = k
+				} else {
+					fmt.Printf("bad topK %q; usage: \\profile report [topK]\n", words[2])
+					break
+				}
+			}
+			if err := db.ProfileReport(os.Stdout, topK); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			fmt.Println("usage: \\profile on|off|report [topK]")
 		}
 	case "\\trace":
 		words := strings.Fields(cmd)
@@ -254,7 +298,11 @@ func meta(db *partdiff.DB, cmd string) bool {
 			fmt.Println("no active network (no activated rules)")
 			break
 		}
-		fmt.Print(net.Dot())
+		if words := strings.Fields(cmd); len(words) > 1 && words[1] == "heat" {
+			fmt.Print(net.DotHeat())
+		} else {
+			fmt.Print(net.Dot())
+		}
 	case "\\checkpoint":
 		if err := db.Checkpoint(); err != nil {
 			fmt.Println("error:", err)
@@ -273,7 +321,7 @@ func meta(db *partdiff.DB, cmd string) bool {
 			fmt.Printf("saved to %s\n", words[1])
 		}
 	default:
-		fmt.Println("unknown meta command; try \\stats \\metrics \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\quit")
+		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\quit")
 	}
 	return false
 }

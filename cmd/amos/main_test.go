@@ -197,3 +197,78 @@ func TestLintMeta(t *testing.T) {
 		t.Errorf("output:\n%s", out)
 	}
 }
+
+// TestProfileMeta exercises the \profile shell surface: toggling,
+// reporting with and without topK, and bad arguments.
+func TestProfileMeta(t *testing.T) {
+	db := demoDB(t)
+	cases := []struct {
+		cmd  string
+		want string
+	}{
+		{`\profile`, "profiling is off; usage"},
+		{`\profile report`, "no differential executions profiled"},
+		{`\profile on`, "propagation profiling on"},
+		{`\profile bogus`, "usage: \\profile"},
+	}
+	for _, tc := range cases {
+		out := capture(t, func() {
+			if meta(db, tc.cmd) {
+				t.Errorf("%s should not quit", tc.cmd)
+			}
+		})
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%s output %q, want substring %q", tc.cmd, out, tc.want)
+		}
+	}
+
+	db.MustExec("begin; set quantity(:a) = 50; commit;")
+	out := capture(t, func() { meta(db, `\profile report`) })
+	for _, want := range []string{"propagation profile —", "zero-effect executions by source:", "low"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\profile report output %q missing %q", out, want)
+		}
+	}
+	out = capture(t, func() { meta(db, `\profile report 1`) })
+	if !strings.Contains(out, "rank") {
+		t.Errorf("\\profile report 1 output %q", out)
+	}
+	out = capture(t, func() { meta(db, `\profile report x`) })
+	if !strings.Contains(out, "bad topK") {
+		t.Errorf("bad topK output %q", out)
+	}
+	out = capture(t, func() { meta(db, `\profile off`) })
+	if !strings.Contains(out, "propagation profiling off") {
+		t.Errorf("\\profile off output %q", out)
+	}
+}
+
+// TestMetricsMetaPrefix exercises the \metrics prefix filter.
+func TestMetricsMetaPrefix(t *testing.T) {
+	db := demoDB(t)
+	db.MustExec("begin; set quantity(:a) = 50; commit;")
+	out := capture(t, func() { meta(db, `\metrics propnet_`) })
+	if !strings.Contains(out, "partdiff_propnet_propagations_total") {
+		t.Errorf("\\metrics propnet_ missing propnet counters:\n%s", out)
+	}
+	if strings.Contains(out, "partdiff_txn_commits_total") {
+		t.Errorf("\\metrics propnet_ leaked txn counters:\n%s", out)
+	}
+	out = capture(t, func() { meta(db, `\metrics`) })
+	if !strings.Contains(out, "partdiff_txn_commits_total") {
+		t.Errorf("unfiltered \\metrics missing txn counters:\n%s", out)
+	}
+}
+
+// TestDotHeatMeta exercises the \dot heat export.
+func TestDotHeatMeta(t *testing.T) {
+	db := demoDB(t)
+	db.SetProfiling(true)
+	db.MustExec("begin; set quantity(:a) = 50; commit;")
+	out := capture(t, func() { meta(db, `\dot heat`) })
+	for _, want := range []string{"digraph propagation", "style=filled", "scanned "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\dot heat output missing %q:\n%s", want, out)
+		}
+	}
+}

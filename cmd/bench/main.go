@@ -6,6 +6,7 @@
 //	bench -exp sharing     # §7.1 node sharing ablation
 //	bench -exp hybrid      # §8 hybrid monitor on a mixed workload
 //	bench -exp durability  # commit latency with WAL at sync=always/group/none
+//	bench -exp profile     # profiler on/off A/B + adaptive-statistics skew
 //	bench -exp all
 //
 // With -json, the fig6/fig7/durability measurements (time per
@@ -36,6 +37,12 @@ type record struct {
 	bench.Telemetry
 	MeanDelta float64 `json:"mean_delta_size"`
 	Fsyncs    int64   `json:"fsyncs,omitempty"` // durability experiment only
+	// Profile experiment only: profiler A/B overhead and its own
+	// accounting, and the adaptive-statistics speedup.
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+	Execs       int64   `json:"differential_execs,omitempty"`
+	ZeroEffect  int64   `json:"zero_effect_execs,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
 }
 
 // report is the BENCH_<n>.json document.
@@ -50,6 +57,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
 	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
 	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
+	reps := flag.Int("reps", 7, "repetitions per profile measurement (medians reported)")
 	jsonOut := flag.Bool("json", false, "also write fig6/fig7 results to BENCH_<n>.json (first unused n)")
 	flag.Parse()
 
@@ -87,6 +95,12 @@ func main() {
 	if run("durability") {
 		if err := runDurability(*txns, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "durability:", err)
+			failed = true
+		}
+	}
+	if run("profile") {
+		if err := runProfile(*reps, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
 			failed = true
 		}
 	}
@@ -240,6 +254,57 @@ func runDurability(txns int, rep *report) error {
 			rep.Records = append(rep.Records, record{
 				Name: fmt.Sprintf("durability/sync=%s", r.Policy), NsPerOp: r.NsPerOp(), Fsyncs: r.Fsyncs,
 			})
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runProfile(reps int, rep *report) error {
+	// The overhead A/B needs runs long enough (tens of ms) that the
+	// median beats scheduler noise, so it uses its own workload sizes
+	// rather than the fig6/fig7 flags.
+	const n, txns, rounds = 100, 400, 5
+	fmt.Printf("Propagation profiler — median-of-%d A/B: fig6/fig7 workloads with\n", reps)
+	fmt.Printf("profiling off vs on (the profiler is meant to be cheap enough to keep on)\n\n")
+	rows, err := bench.RunProfilerOverhead(n, txns, rounds, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %8s %6s %12s %12s %10s %8s %8s\n",
+		"experiment", "items", "txns", "off ms", "on ms", "overhead", "execs", "zero")
+	for _, r := range rows {
+		fmt.Printf("%10s %8d %6d %12.2f %12.2f %9.1f%% %8d %8d\n",
+			r.Experiment, r.DBSize, r.Txns, ms(r.OffNs), ms(r.OnNs), r.OverheadPct, r.Execs, r.ZeroEffect)
+		if rep != nil {
+			ops := int64(r.Txns)
+			rep.Records = append(rep.Records,
+				record{Name: fmt.Sprintf("profile/%s/items=%d/off", r.Experiment, r.DBSize), NsPerOp: r.OffNs / ops},
+				record{Name: fmt.Sprintf("profile/%s/items=%d/on", r.Experiment, r.DBSize), NsPerOp: r.OnNs / ops,
+					OverheadPct: r.OverheadPct, Execs: r.Execs, ZeroEffect: r.ZeroEffect})
+		}
+	}
+
+	// Adaptive statistics: a skewed join where the static cost model
+	// anchors on a massive Δ and probes a tiny derived function per
+	// tuple; the observed cardinalities flip the plan.
+	const adaptiveTxns = 10
+	sizes := []int{100, 400, 1000}
+	fmt.Printf("\nAdaptive statistics — skewed workload (%d txns updating attr of all\n", adaptiveTxns)
+	fmt.Printf("items; pick() derived from %d rows): static cost model vs observed feedback\n\n", bench.SkewPopulated)
+	arows, err := bench.RunAdaptive(sizes, adaptiveTxns, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %6s %12s %12s %10s\n", "items", "txns", "static ms", "adaptive ms", "speedup")
+	for _, r := range arows {
+		fmt.Printf("%10d %6d %12.2f %12.2f %9.1fx\n",
+			r.DBSize, r.Txns, ms(r.StaticNs), ms(r.AdaptiveNs), r.Speedup)
+		if rep != nil {
+			ops := int64(r.Txns)
+			rep.Records = append(rep.Records,
+				record{Name: fmt.Sprintf("adaptive/items=%d/static", r.DBSize), NsPerOp: r.StaticNs / ops},
+				record{Name: fmt.Sprintf("adaptive/items=%d/adaptive", r.DBSize), NsPerOp: r.AdaptiveNs / ops, Speedup: r.Speedup})
 		}
 	}
 	fmt.Println()

@@ -168,6 +168,29 @@ func (s *Session) Txns() *txn.Manager { return s.txns }
 // Observability returns the session-wide registry + tracer bundle.
 func (s *Session) Observability() *obs.Observability { return s.obs }
 
+// SetProfiling turns the propagation profiler on or off. Accumulated
+// entries are kept when turning it off (reports stay available).
+func (s *Session) SetProfiling(on bool) { s.obs.Profiler.Enable(on) }
+
+// Profiling reports whether the propagation profiler is on.
+func (s *Session) Profiling() bool { return s.obs.Profiler.Enabled() }
+
+// ProfileReport writes the propagation profiler's report — the topK
+// most expensive partial differentials with per-rule attribution and
+// zero-effect counts (topK <= 0 writes all).
+func (s *Session) ProfileReport(w io.Writer, topK int) error {
+	return s.mgr.ProfileReport(w, topK)
+}
+
+// EnableAdaptiveStats switches both evaluators the session owns — the
+// rule manager's propagation evaluator and the ad-hoc query evaluator —
+// from the static join-cost model to observed workload statistics.
+// Both share one table, so cardinalities learned during propagation
+// also improve ad-hoc queries (and vice versa). Idempotent.
+func (s *Session) EnableAdaptiveStats() {
+	s.ev.SetStats(s.mgr.EnableAdaptiveStats())
+}
+
 // IfaceVar returns the value of a session interface variable.
 func (s *Session) IfaceVar(name string) (types.Value, bool) {
 	v, ok := s.iface[name]

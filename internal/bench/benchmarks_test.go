@@ -88,3 +88,51 @@ func BenchmarkTelemetrySnapshot(b *testing.B) {
 		inv.Telemetry()
 	}
 }
+
+// BenchmarkFig6Profiled runs the fig. 6 workload with the propagation
+// profiler enabled — compare against BenchmarkFig6Incremental for the
+// profiling-on overhead (the acceptance bar is single-digit percent).
+func BenchmarkFig6Profiled(b *testing.B) {
+	inv := benchInventory(b, rules.Incremental, 100)
+	inv.Sess.SetProfiling(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := int64(4900 - (i/100)%2*100)
+		if err := inv.Txn(func() error { return inv.SetQuantity(i%100, q) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var execs int64
+	for _, pt := range inv.Sess.Observability().Profiler.Snapshot() {
+		execs += pt.Execs
+	}
+	if execs == 0 {
+		b.Fatal("profiler captured no differential executions")
+	}
+}
+
+// BenchmarkSkewStatic and BenchmarkSkewAdaptive are the per-transaction
+// counterparts of the -exp profile adaptive experiment: a massive Δ+attr
+// joined against a tiny derived extent, planned by the static cost model
+// vs by observed-statistics feedback.
+func benchSkew(b *testing.B, adaptive bool) {
+	b.Helper()
+	sk, err := newSkewDB(200, adaptive)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sk.runOne(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sk.Orders != 0 {
+		b.Fatalf("skew workload triggered %d orders", sk.Orders)
+	}
+}
+
+func BenchmarkSkewStatic(b *testing.B)   { benchSkew(b, false) }
+func BenchmarkSkewAdaptive(b *testing.B) { benchSkew(b, true) }

@@ -33,12 +33,36 @@ type Evaluator struct {
 	// of re-entering recursive evaluation.
 	fixpoint map[string]*types.Set
 	met      *Metrics // never nil; zero-value Metrics when observability is off
+	// scanned mirrors met.TuplesScanned as a plain field the propagation
+	// profiler can snapshot around a single differential without a
+	// registry read. Plain (non-atomic) on purpose: a session's
+	// evaluator runs on one goroutine (enforced by the session guard).
+	scanned int64
+	// stats, when set, feeds and is consulted by the adaptive join
+	// optimizer (see literalCost); nil keeps the static cost model.
+	stats *Stats
 }
 
 // New returns an evaluator over env.
 func New(env Env) *Evaluator {
 	return &Evaluator{env: env, MaxDepth: 64, met: &Metrics{}}
 }
+
+// ScannedTuples returns the cumulative number of tuples this evaluator
+// has iterated while matching literals (the same events counted by the
+// TuplesScanned meter). The propagation profiler diffs it around each
+// differential execution. Must be read from the evaluating goroutine.
+func (e *Evaluator) ScannedTuples() int64 { return e.scanned }
+
+// SetStats installs (or, with nil, removes) the observed-statistics
+// table: evaluation starts recording observed cardinalities and scan
+// volumes into it, and literalCost starts preferring them over its
+// static guesses.
+func (e *Evaluator) SetStats(s *Stats) { e.stats = s }
+
+// Stats returns the installed observed-statistics table (nil when the
+// static cost model is in use).
+func (e *Evaluator) Stats() *Stats { return e.stats }
 
 // bindings maps variable names to values with an undo trail.
 type bindings struct {
@@ -119,6 +143,9 @@ func (e *Evaluator) EvalPred(pred string, old bool) (*types.Set, error) {
 			if err := e.EvalClause(objectlog.Clause{Head: head, Body: []objectlog.Literal{body}}, out); err != nil {
 				return nil, err
 			}
+			if !old {
+				e.stats.RecordPred(pred, out.Len())
+			}
 			return out, nil
 		}
 		for _, c := range def.Clauses {
@@ -129,6 +156,9 @@ func (e *Evaluator) EvalPred(pred string, old bool) (*types.Set, error) {
 			if err := e.EvalClause(cc, out); err != nil {
 				return nil, err
 			}
+		}
+		if !old {
+			e.stats.RecordPred(pred, out.Len())
 		}
 		return out, nil
 	}
@@ -232,17 +262,26 @@ func (e *Evaluator) pickNext(body []objectlog.Literal, b *bindings) (int, error)
 }
 
 // literalCost estimates the cost of evaluating lit next given the
-// current bindings. Lower is better.
+// current bindings. Lower is better. With an observed-statistics table
+// installed (SetStats), two static guesses are replaced by workload
+// history: the flat "derived subqueries cost 10000" becomes the
+// observed (or structurally estimated, see derivedPrior) extent
+// cardinality, and the index-selectivity formula becomes the observed
+// scan volume of this exact literal shape. Δ-set costs stay static —
+// wave fronts change every round, so history carries no signal.
 func (e *Evaluator) literalCost(lit objectlog.Literal, b *bindings) (cost int, ready bool) {
 	boundArgs, totalVars := 0, 0
-	for _, a := range lit.Args {
+	var mask uint32
+	for i, a := range lit.Args {
 		if !a.IsVar {
 			boundArgs++
+			mask |= 1 << uint(i%32)
 			continue
 		}
 		totalVars++
 		if _, ok := b.value(a); ok {
 			boundArgs++
+			mask |= 1 << uint(i%32)
 		}
 	}
 	allBound := boundArgs == len(lit.Args)
@@ -273,9 +312,18 @@ func (e *Evaluator) literalCost(lit objectlog.Literal, b *bindings) (cost int, r
 	}
 	// Relational literal (base, derived, delta, old, type extent).
 	var size int
-	if lit.Delta == objectlog.DeltaNone && e.env.Program().IsDerived(lit.Pred) {
-		// Derived subquery: guess moderately expensive.
+	derived := lit.Delta == objectlog.DeltaNone && e.env.Program().IsDerived(lit.Pred)
+	if derived {
+		// Derived subquery: guess moderately expensive — unless the
+		// workload has shown otherwise.
 		size = 10000
+		if e.stats != nil {
+			if c, ok := e.stats.PredCard(lit.Pred); ok {
+				size = c
+			} else {
+				size = e.derivedPrior(lit.Pred)
+			}
+		}
 	} else if src, err := e.env.Source(lit.Pred, lit.Delta, lit.Old); err == nil {
 		size = src.Len()
 	} else {
@@ -299,10 +347,58 @@ func (e *Evaluator) literalCost(lit objectlog.Literal, b *bindings) (cost int, r
 	case allBound:
 		return 3, true // membership probe
 	case boundArgs > 0:
+		if e.stats != nil && !derived {
+			// Prefer the observed scan volume of this exact shape
+			// (predicate + bound positions) over the blind selectivity
+			// formula: a "selective-looking" index probe that in fact
+			// matches half the relation gets re-ranked accordingly.
+			if s, ok := e.stats.LitScanned(lit.Pred, lit.Delta, mask); ok {
+				return 8 + s, true
+			}
+		}
 		return 8 + size/(boundArgs*8+1), true // index lookup estimate
 	default:
 		return 16 + size*4, true // full scan
 	}
+}
+
+// derivedPrior estimates a derived predicate's extent before any full
+// enumeration has been observed: per clause, the smallest live extent
+// among its non-derived relational body literals (a conjunctive clause
+// that joins on shared variables rarely yields more head tuples than
+// its most selective relation holds), summed over clauses. The point is
+// not precision — it is to break the chicken-and-egg of the static
+// model: with a flat 10000 the optimizer never anchors on a small
+// derived view, so the view is never fully enumerated, so no observed
+// cardinality ever replaces the 10000. Clauses with no usable source
+// fall back to the static guess.
+func (e *Evaluator) derivedPrior(pred string) int {
+	def, ok := e.env.Program().Def(pred)
+	if !ok {
+		return 10000
+	}
+	total := 0
+	for _, c := range def.Clauses {
+		best := -1
+		for _, l := range c.Body {
+			if l.Negated || l.Delta != objectlog.DeltaNone ||
+				objectlog.IsBuiltin(l.Pred) || e.env.Program().IsDerived(l.Pred) {
+				continue
+			}
+			src, err := e.env.Source(l.Pred, objectlog.DeltaNone, false)
+			if err != nil {
+				continue
+			}
+			if n := src.Len(); best < 0 || n < best {
+				best = n
+			}
+		}
+		if best < 0 {
+			best = 10000
+		}
+		total += best
+	}
+	return total
 }
 
 // evalBuiltin evaluates a comparison or arithmetic literal.
@@ -524,6 +620,16 @@ func (e *Evaluator) matchSource(src storage.Source, lit objectlog.Literal, b *bi
 		src.Each(visit)
 	}
 	e.met.TuplesScanned.Add(scanned)
+	e.scanned += scanned
+	if e.stats != nil && lit.Delta == objectlog.DeltaNone {
+		var mask uint32
+		for i, bd := range bound {
+			if bd {
+				mask |= 1 << uint(i%32)
+			}
+		}
+		e.stats.RecordLiteral(lit.Pred, lit.Delta, mask, scanned)
+	}
 	return iterErr
 }
 
@@ -542,6 +648,15 @@ func (e *Evaluator) evalDerived(def *objectlog.Def, call objectlog.Literal, b *b
 	}
 	// Deduplicate result tuples across clauses (set semantics).
 	seen := types.NewSet()
+	// An unbound, new-state call enumerates the full extent: that makes
+	// seen the predicate's observed cardinality when the loop finishes.
+	unboundCall := e.stats != nil && !call.Old
+	for _, ca := range call.Args {
+		if _, ok := b.value(ca); ok {
+			unboundCall = false
+			break
+		}
+	}
 	for _, dc := range def.Clauses {
 		fresh := dc.RenameApart(&e.counter)
 		if call.Old {
@@ -615,6 +730,9 @@ func (e *Evaluator) evalDerived(def *objectlog.Def, call objectlog.Literal, b *b
 		if err != nil {
 			return err
 		}
+	}
+	if unboundCall {
+		e.stats.RecordPred(def.Name, seen.Len())
 	}
 	return nil
 }

@@ -22,14 +22,16 @@
 // `partdiff_<subsystem>_<metric>_<unit>`; see DESIGN.md "Observability".
 package obs
 
-// Observability bundles the registry and tracer one session threads
-// through its subsystems.
+// Observability bundles the registry, tracer and propagation profiler
+// one session threads through its subsystems.
 type Observability struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Profiler *Profiler
 }
 
-// New returns a fresh registry + tracer bundle.
+// New returns a fresh registry + tracer + profiler bundle (the profiler
+// starts disabled).
 func New() *Observability {
-	return &Observability{Registry: NewRegistry(), Tracer: NewTracer()}
+	return &Observability{Registry: NewRegistry(), Tracer: NewTracer(), Profiler: NewProfiler()}
 }

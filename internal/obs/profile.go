@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profiler is the propagation profiler's accounting store: one entry
+// per (view, partial differential), accumulated across propagations and
+// network rebuilds — the registry pattern applied to per-differential
+// cost attribution. It answers the question PR 3's aggregate counters
+// cannot: where does the remaining check-phase work go, and which
+// differentials run without producing any Δ (the paper's wasted-work
+// signal — a differential that executed but emitted an empty Δ did cost
+// evaluation time yet moved no change upward).
+//
+// The profiler is always available but disabled by default: when
+// disabled, instrumented call sites pay one atomic load. When enabled,
+// per-execution counts (executions, seed Δ-cardinality, produced
+// Δ-cardinality, tuples scanned, zero-effect executions) are recorded
+// unconditionally with a handful of atomic adds, while wall-clock
+// timing — the only part that needs time.Now — is sampled 1-in-N
+// (SetSampleEvery; default every execution) and scaled up in reports.
+//
+// All entry fields are atomics, so a report can be rendered from
+// another goroutine while a propagation is running.
+type Profiler struct {
+	enabled atomic.Bool
+	sampleN atomic.Int64
+	seq     atomic.Uint64
+
+	// propagations counts profiled Propagate runs (the denominator the
+	// report header shows).
+	propagations atomic.Int64
+
+	mu      sync.RWMutex
+	entries map[string]*DiffProf
+	order   []*DiffProf
+}
+
+// NewProfiler returns a disabled profiler with sampling rate 1 (time
+// every execution once enabled).
+func NewProfiler() *Profiler {
+	p := &Profiler{entries: map[string]*DiffProf{}}
+	p.sampleN.Store(1)
+	return p
+}
+
+// Enabled reports whether profiling is on. Nil-safe (a nil *Profiler is
+// permanently disabled), so instrumented code needs no nil checks.
+func (p *Profiler) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.enabled.Load()
+}
+
+// Enable turns profiling on or off. Accumulated entries are kept when
+// profiling is turned off (the report remains available); use Reset to
+// discard them.
+func (p *Profiler) Enable(on bool) {
+	if p != nil {
+		p.enabled.Store(on)
+	}
+}
+
+// SetSampleEvery makes only one in every n executions wall-clock timed
+// (n <= 1 times every execution). Counts are always exact; timings are
+// scaled by the sampling ratio in reports.
+func (p *Profiler) SetSampleEvery(n int) {
+	if p == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	p.sampleN.Store(int64(n))
+}
+
+// SampleTick reports whether the next execution should be timed.
+func (p *Profiler) SampleTick() bool {
+	if p == nil {
+		return false
+	}
+	n := p.sampleN.Load()
+	if n <= 1 {
+		return true
+	}
+	return p.seq.Add(1)%uint64(n) == 0
+}
+
+// PropagationTick counts one profiled propagation run.
+func (p *Profiler) PropagationTick() {
+	if p != nil {
+		p.propagations.Add(1)
+	}
+}
+
+// Propagations returns the number of profiled propagation runs.
+func (p *Profiler) Propagations() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.propagations.Load()
+}
+
+// Reset discards all accumulated entries and the propagation count (the
+// enabled flag and sampling rate are kept).
+func (p *Profiler) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.entries = map[string]*DiffProf{}
+	p.order = nil
+	p.mu.Unlock()
+	p.propagations.Store(0)
+}
+
+// DiffProf accumulates the cost of one partial differential (or one
+// re-evaluated node, whose influent is "*"). All counters are atomics;
+// a consistent-enough snapshot can be taken while propagation runs.
+type DiffProf struct {
+	View         string // the affected view node
+	Differential string // paper-notation name, e.g. "Δcnd/Δ+quantity"
+	Influent     string
+	Trigger      string // triggering sign ("+", "−", or "*" for re-evaluation)
+	Effect       string // effect sign
+
+	execs      atomic.Int64
+	zeroEffect atomic.Int64
+	seedTuples atomic.Int64
+	produced   atomic.Int64
+	scanned    atomic.Int64
+	timeNs     atomic.Int64
+	timed      atomic.Int64
+}
+
+// Record accounts one execution: the seed Δ-cardinality it was
+// triggered with, the Δ-cardinality it produced, the tuples the
+// evaluator scanned on its behalf, and — when this execution was
+// sampled — its wall-clock duration. An execution that produced no
+// tuples is a zero-effect execution. Record performs only atomic adds,
+// in an order that keeps invariants (zeroEffect <= execs, timed <=
+// execs) monotone even if the run is abandoned between executions.
+func (d *DiffProf) Record(seed, produced, scanned int64, timed bool, dt time.Duration) {
+	d.execs.Add(1)
+	d.seedTuples.Add(seed)
+	d.produced.Add(produced)
+	d.scanned.Add(scanned)
+	if produced == 0 {
+		d.zeroEffect.Add(1)
+	}
+	if timed {
+		d.timeNs.Add(int64(dt))
+		d.timed.Add(1)
+	}
+}
+
+// Differential returns (creating on first use) the entry for one
+// partial differential of a view. The caller should cache the pointer
+// (the propagation network keeps it on the edge) — the map lookup here
+// is only paid once per differential per network build.
+func (p *Profiler) Differential(view, name, influent, trigger, effect string) *DiffProf {
+	if p == nil {
+		return nil
+	}
+	key := view + "\x00" + name
+	p.mu.RLock()
+	d := p.entries[key]
+	p.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d = p.entries[key]; d != nil {
+		return d
+	}
+	d = &DiffProf{View: view, Differential: name, Influent: influent, Trigger: trigger, Effect: effect}
+	p.entries[key] = d
+	p.order = append(p.order, d)
+	return d
+}
+
+// ProfPoint is one flattened entry in a profiler snapshot.
+type ProfPoint struct {
+	View         string
+	Differential string
+	Influent     string
+	Trigger      string
+	Effect       string
+
+	Execs      int64
+	ZeroEffect int64
+	SeedTuples int64 // Δ-cardinality in (sum over executions)
+	Produced   int64 // Δ-cardinality out
+	Scanned    int64 // tuples the evaluator scanned
+	TimeNs     int64 // wall time over the Timed sampled executions
+	Timed      int64
+}
+
+// EstTimeNs returns the estimated total wall time: the sampled time
+// scaled by the sampling ratio (TimeNs when every execution was timed).
+func (pt ProfPoint) EstTimeNs() int64 {
+	if pt.Timed == 0 {
+		return 0
+	}
+	return pt.TimeNs * pt.Execs / pt.Timed
+}
+
+// Snapshot returns a copy of every entry, ranked most expensive first.
+// The rank key is deterministic for a deterministic workload — tuples
+// scanned (the dominant cost driver), then produced tuples, executions
+// and name — so reports are golden-testable; wall time is shown for
+// reference but never used for ordering.
+func (p *Profiler) Snapshot() []ProfPoint {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	out := make([]ProfPoint, 0, len(p.order))
+	for _, d := range p.order {
+		out = append(out, ProfPoint{
+			View: d.View, Differential: d.Differential, Influent: d.Influent,
+			Trigger: d.Trigger, Effect: d.Effect,
+			Execs: d.execs.Load(), ZeroEffect: d.zeroEffect.Load(),
+			SeedTuples: d.seedTuples.Load(), Produced: d.produced.Load(),
+			Scanned: d.scanned.Load(), TimeNs: d.timeNs.Load(), Timed: d.timed.Load(),
+		})
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Scanned != b.Scanned {
+			return a.Scanned > b.Scanned
+		}
+		if a.Produced != b.Produced {
+			return a.Produced > b.Produced
+		}
+		if a.Execs != b.Execs {
+			return a.Execs > b.Execs
+		}
+		if a.View != b.View {
+			return a.View < b.View
+		}
+		return a.Differential < b.Differential
+	})
+	return out
+}
+
+// WriteReport renders the profile as a stable text table: one row per
+// differential ranked most expensive first (see Snapshot for the rank
+// key), a totals row, and a per-source zero-effect summary. resolve
+// maps a view node name to its attribution label (the rules layer maps
+// condition functions to their rule); nil uses the view name itself.
+// topK <= 0 means all rows.
+func (p *Profiler) WriteReport(w io.Writer, topK int, resolve func(view string) string) error {
+	if resolve == nil {
+		resolve = func(v string) string { return v }
+	}
+	snap := p.Snapshot()
+	var totExecs, totZero, totSeed, totProd, totScan, totTime int64
+	for _, pt := range snap {
+		totExecs += pt.Execs
+		totZero += pt.ZeroEffect
+		totSeed += pt.SeedTuples
+		totProd += pt.Produced
+		totScan += pt.Scanned
+		totTime += pt.EstTimeNs()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "propagation profile — %d profiled propagation(s), %d differential execution(s), %d zero-effect (%s)\n",
+		p.Propagations(), totExecs, totZero, pct(totZero, totExecs))
+	if len(snap) == 0 {
+		b.WriteString("no differential executions profiled (\\profile on, then run transactions)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	shown := snap
+	if topK > 0 && topK < len(shown) {
+		shown = shown[:topK]
+	}
+	fmt.Fprintf(&b, "%4s  %-22s %-34s %7s %6s %7s %7s %9s %10s\n",
+		"rank", "source", "differential", "execs", "zero", "Δin", "Δout", "scanned", "time")
+	for i, pt := range shown {
+		fmt.Fprintf(&b, "%4d  %-22s %-34s %7d %6d %7d %7d %9d %10s\n",
+			i+1, resolve(pt.View), pt.Differential,
+			pt.Execs, pt.ZeroEffect, pt.SeedTuples, pt.Produced, pt.Scanned,
+			fmtNs(pt.EstTimeNs(), pt.Timed))
+	}
+	if len(shown) < len(snap) {
+		fmt.Fprintf(&b, "      … %d more differential(s); \\profile report %d to widen\n", len(snap)-len(shown), len(snap))
+	}
+	fmt.Fprintf(&b, "%4s  %-22s %-34s %7d %6d %7d %7d %9d %10s\n",
+		"", "total", "", totExecs, totZero, totSeed, totProd, totScan, fmtNs(totTime, totExecs))
+
+	// Zero-effect executions per source (per rule once resolved): the
+	// paper's wasted-work signal, aggregated where action can be taken.
+	type srcAgg struct {
+		execs, zero int64
+	}
+	bySrc := map[string]*srcAgg{}
+	var srcOrder []string
+	for _, pt := range snap {
+		s := resolve(pt.View)
+		a := bySrc[s]
+		if a == nil {
+			a = &srcAgg{}
+			bySrc[s] = a
+			srcOrder = append(srcOrder, s)
+		}
+		a.execs += pt.Execs
+		a.zero += pt.ZeroEffect
+	}
+	sort.Strings(srcOrder)
+	b.WriteString("zero-effect executions by source:\n")
+	for _, s := range srcOrder {
+		a := bySrc[s]
+		fmt.Fprintf(&b, "  %-22s %d of %d (%s)\n", s, a.zero, a.execs, pct(a.zero, a.execs))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pct renders num/den as a percentage ("0.0%" when den is 0).
+func pct(num, den int64) string {
+	if den == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// fmtNs renders an estimated duration, "-" when nothing was timed.
+func fmtNs(ns, timed int64) string {
+	if timed == 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

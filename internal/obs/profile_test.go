@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	if p.Enabled() {
+		t.Error("nil profiler enabled")
+	}
+	p.Enable(true)
+	p.SetSampleEvery(10)
+	if p.SampleTick() {
+		t.Error("nil profiler sampled")
+	}
+	p.PropagationTick()
+	if p.Propagations() != 0 {
+		t.Error("nil propagations")
+	}
+	if d := p.Differential("v", "Δv/Δ+x", "x", "+", "+"); d != nil {
+		t.Error("nil profiler returned an entry")
+	}
+	if s := p.Snapshot(); s != nil {
+		t.Error("nil snapshot non-nil")
+	}
+	p.Reset()
+	// A nil entry is also recordable (callers skip nil checks).
+	var d *DiffProf
+	_ = d // Record on nil would panic; propnet only records when profiling is on.
+}
+
+func TestProfilerSampling(t *testing.T) {
+	p := NewProfiler()
+	p.Enable(true)
+	// Default: every execution is timed.
+	for i := 0; i < 5; i++ {
+		if !p.SampleTick() {
+			t.Fatal("sampleN=1 must time every execution")
+		}
+	}
+	p.SetSampleEvery(4)
+	timed := 0
+	for i := 0; i < 400; i++ {
+		if p.SampleTick() {
+			timed++
+		}
+	}
+	if timed != 100 {
+		t.Errorf("1-in-4 sampling: timed %d of 400", timed)
+	}
+	p.SetSampleEvery(0) // clamped to 1
+	if !p.SampleTick() {
+		t.Error("SetSampleEvery(0) must clamp to always-on")
+	}
+}
+
+func TestProfilerEstTimeScalesBySampling(t *testing.T) {
+	p := NewProfiler()
+	d := p.Differential("v", "Δv/Δ+x", "x", "+", "+")
+	// 4 executions, only 1 timed at 100ns → estimate 400ns.
+	d.Record(1, 1, 10, true, 100*time.Nanosecond)
+	d.Record(1, 1, 10, false, 0)
+	d.Record(1, 0, 10, false, 0)
+	d.Record(1, 0, 10, false, 0)
+	snap := p.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	pt := snap[0]
+	if pt.Execs != 4 || pt.ZeroEffect != 2 || pt.Scanned != 40 {
+		t.Errorf("counts: %+v", pt)
+	}
+	if got := pt.EstTimeNs(); got != 400 {
+		t.Errorf("EstTimeNs=%d want 400", got)
+	}
+}
+
+func TestProfilerSnapshotRanking(t *testing.T) {
+	p := NewProfiler()
+	p.Differential("b", "Δb/Δ+x", "x", "+", "+").Record(1, 1, 50, false, 0)
+	p.Differential("a", "Δa/Δ+x", "x", "+", "+").Record(1, 1, 100, false, 0)
+	p.Differential("c", "Δc/Δ+x", "x", "+", "+").Record(1, 1, 50, false, 0)
+	snap := p.Snapshot()
+	if snap[0].View != "a" {
+		t.Errorf("rank 1 = %s, want a (most scanned)", snap[0].View)
+	}
+	// b and c tie on every cost key; name breaks the tie.
+	if snap[1].View != "b" || snap[2].View != "c" {
+		t.Errorf("tie broken wrong: %s, %s", snap[1].View, snap[2].View)
+	}
+}
+
+func TestProfilerResetAndReportHeader(t *testing.T) {
+	p := NewProfiler()
+	p.Enable(true)
+	p.PropagationTick()
+	p.Differential("v", "Δv/Δ+x", "x", "+", "+").Record(2, 0, 7, false, 0)
+	var b strings.Builder
+	if err := p.WriteReport(&b, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"1 profiled propagation(s), 1 differential execution(s), 1 zero-effect (100.0%)",
+		"zero-effect executions by source:",
+		"  v                      1 of 1 (100.0%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	p.Reset()
+	if p.Propagations() != 0 || len(p.Snapshot()) != 0 {
+		t.Error("Reset left state behind")
+	}
+	if !p.Enabled() {
+		t.Error("Reset must keep the enabled flag")
+	}
+	b.Reset()
+	if err := p.WriteReport(&b, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no differential executions profiled") {
+		t.Errorf("empty report:\n%s", b.String())
+	}
+}
+
+func TestFmtNsAndPct(t *testing.T) {
+	cases := []struct {
+		ns, timed int64
+		want      string
+	}{
+		{0, 0, "-"},
+		{500, 1, "500ns"},
+		{2500, 1, "2.5µs"},
+		{3_500_000, 1, "3.5ms"},
+		{2_000_000_000, 1, "2.00s"},
+	}
+	for _, c := range cases {
+		if got := fmtNs(c.ns, c.timed); got != c.want {
+			t.Errorf("fmtNs(%d,%d)=%q want %q", c.ns, c.timed, got, c.want)
+		}
+	}
+	if pct(0, 0) != "0.0%" || pct(1, 2) != "50.0%" {
+		t.Error("pct")
+	}
+}
+
+func TestWritePrometheusPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("partdiff_propnet_zero_effect_total", "x").Inc()
+	r.Counter("partdiff_txn_commits_total", "x").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheusPrefix(&b, "partdiff_propnet_"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "partdiff_propnet_zero_effect_total 1") {
+		t.Errorf("prefix output missing matching counter:\n%s", out)
+	}
+	if strings.Contains(out, "partdiff_txn_commits_total") {
+		t.Errorf("prefix output leaked non-matching counter:\n%s", out)
+	}
+	// The partdiff_ namespace is implicit: "propnet_" matches too.
+	b.Reset()
+	if err := r.WritePrometheusPrefix(&b, "propnet_"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "partdiff_propnet_zero_effect_total 1") {
+		t.Errorf("implicit-namespace prefix did not match:\n%s", b.String())
+	}
+}

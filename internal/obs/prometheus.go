@@ -13,12 +13,30 @@ import (
 // # HELP / # TYPE, histograms expanded into cumulative _bucket{le=...}
 // series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writePrometheus(w, nil)
+}
+
+// WritePrometheusPrefix writes only the metric families whose name
+// starts with prefix. The repo's naming convention is
+// partdiff_<subsystem>_..., so the bare subsystem name ("propnet",
+// "eval", ...) also matches with the partdiff_ part implied.
+func (r *Registry) WritePrometheusPrefix(w io.Writer, prefix string) error {
+	full := "partdiff_" + prefix
+	return r.writePrometheus(w, func(name string) bool {
+		return strings.HasPrefix(name, prefix) || strings.HasPrefix(name, full)
+	})
+}
+
+func (r *Registry) writePrometheus(w io.Writer, match func(name string) bool) error {
 	if r == nil {
 		return nil
 	}
 	var b strings.Builder
 	var lastName string
 	for _, p := range r.Gather() {
+		if match != nil && !match(p.Name) {
+			continue
+		}
 		if p.Name != lastName {
 			help, typ := r.familyMeta(p.Name)
 			if help != "" {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -31,17 +32,33 @@ func publishExpvar(r *Registry) {
 
 // Handler returns the monitoring endpoint for a registry:
 //
-//	/metrics     Prometheus text exposition format
-//	/debug/vars  expvar JSON (stdlib format, partdiff metrics under "partdiff")
-//	/            a small index page
+//	/metrics       Prometheus text exposition format (?prefix=propnet filters)
+//	/debug/vars    expvar JSON (stdlib format, partdiff metrics under "partdiff")
+//	/debug/pprof/  Go runtime profiles (CPU, heap, goroutine, block, mutex, trace)
+//	/              a small index page
+//
+// The pprof handlers are registered explicitly on this mux (not via the
+// net/http/pprof import side effect, which only touches
+// http.DefaultServeMux), so a propagation hot spot found in the
+// profiler's report can be drilled into with `go tool pprof` against
+// the same endpoint.
 func Handler(r *Registry) http.Handler {
 	publishExpvar(r)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if p := req.URL.Query().Get("prefix"); p != "" {
+			_ = r.WritePrometheusPrefix(w, p)
+			return
+		}
 		_ = r.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
@@ -51,8 +68,9 @@ func Handler(r *Registry) http.Handler {
 		fmt.Fprint(w, `<html><head><title>partdiff monitor</title></head><body>
 <h1>partdiff monitor</h1>
 <ul>
-<li><a href="/metrics">/metrics</a> — Prometheus text format</li>
+<li><a href="/metrics">/metrics</a> — Prometheus text format (<a href="/metrics?prefix=propnet">?prefix=propnet</a> filters)</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar JSON</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul>
 </body></html>`)
 	})

@@ -12,10 +12,16 @@ type Metrics struct {
 	// Reevaluations counts aggregate/recursive nodes recomputed by
 	// old-vs-new diffing instead of partial differencing.
 	Reevaluations *obs.Counter
-	// NodeDifferentials / NodeEmitted break differential executions and
-	// emitted Δ tuples down per view node.
+	// ZeroEffect counts differential executions that ran with a
+	// non-empty seed Δ but emitted nothing — the paper's wasted-work
+	// signal (the change did not affect the view through this path).
+	ZeroEffect *obs.Counter
+	// NodeDifferentials / NodeEmitted / NodeZeroEffect break differential
+	// executions, emitted Δ tuples and zero-effect executions down per
+	// view node.
 	NodeDifferentials *obs.CounterVec
 	NodeEmitted       *obs.CounterVec
+	NodeZeroEffect    *obs.CounterVec
 	// EmittedSize is the distribution of per-differential result sizes
 	// (before §7.2 negative verification).
 	EmittedSize *obs.Histogram
@@ -39,6 +45,9 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Partial differential executions per view node.", "node"),
 		NodeEmitted: r.CounterVec("partdiff_propnet_node_emitted_tuples_total",
 			"Δ tuples emitted per view node (before negative verification).", "node"),
+		ZeroEffect: r.Counter("partdiff_propnet_zero_effect_total", "Differential executions that emitted an empty Δ (wasted work)."),
+		NodeZeroEffect: r.CounterVec("partdiff_propnet_node_zero_effect_total",
+			"Zero-effect differential executions per view node.", "node"),
 		EmittedSize:      r.Histogram("partdiff_propnet_differential_emitted_tuples", "Per-differential emitted Δ sizes.", obs.DefSizeBuckets),
 		QueueDepth:       r.Gauge("partdiff_propnet_queue_depth", "Changed nodes at the propagation level currently executing."),
 		WaveFrontPeak:    r.Gauge("partdiff_propnet_wavefront_peak_tuples", "Peak tuples held in view Δ-sets during propagation."),

@@ -1,0 +1,223 @@
+package propnet
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/obs"
+)
+
+// TestExecutedResetsPerPropagation pins the documented reset semantics:
+// Executed and MaxWaveFront describe only the most recent Propagate
+// call, while TotalExecuted and PeakWaveFront accumulate over the
+// network's lifetime.
+func TestExecutedResetsPerPropagation(t *testing.T) {
+	st, n := buildPQR(t)
+	if n.Executed() != 0 || n.TotalExecuted() != 0 {
+		t.Fatalf("fresh network: executed=%d total=%d", n.Executed(), n.TotalExecuted())
+	}
+
+	apply(t, st, n, true, "q", tup(1, 2))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	first := n.Executed()
+	if first == 0 {
+		t.Fatal("first propagation executed nothing")
+	}
+	if n.TotalExecuted() != int64(first) {
+		t.Errorf("total=%d want %d", n.TotalExecuted(), first)
+	}
+	wf := n.MaxWaveFront()
+	if wf == 0 || n.PeakWaveFront() != wf {
+		t.Errorf("wavefront=%d peak=%d", wf, n.PeakWaveFront())
+	}
+	n.ClearBase()
+
+	// An empty propagation resets the per-run counters to zero but must
+	// not disturb the cumulative ones.
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Executed() != 0 || n.MaxWaveFront() != 0 {
+		t.Errorf("empty run: executed=%d wavefront=%d, want 0", n.Executed(), n.MaxWaveFront())
+	}
+	if n.TotalExecuted() != int64(first) || n.PeakWaveFront() != wf {
+		t.Errorf("cumulative counters moved on empty run: total=%d peak=%d", n.TotalExecuted(), n.PeakWaveFront())
+	}
+
+	apply(t, st, n, false, "q", tup(1, 2))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Executed() == 0 {
+		t.Error("third propagation executed nothing")
+	}
+	if n.TotalExecuted() != int64(first+n.Executed()) {
+		t.Errorf("total=%d want %d", n.TotalExecuted(), first+n.Executed())
+	}
+}
+
+// TestAdoptCountersSurvivesRebuild pins the rebuild contract used by
+// the rules manager: a freshly built replacement network starts its
+// per-run counters at zero but adopts the predecessor's cumulative
+// counters, so TotalExecuted never goes backwards across ensureNet.
+func TestAdoptCountersSurvivesRebuild(t *testing.T) {
+	st, old := buildPQR(t)
+	apply(t, st, old, true, "q", tup(1, 2))
+	if _, err := old.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	total, peak := old.TotalExecuted(), old.PeakWaveFront()
+	if total == 0 {
+		t.Fatal("no executions before rebuild")
+	}
+
+	n := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	if err := n.AddView(pqrDef(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	n.AdoptCounters(old)
+	if n.Executed() != 0 || n.MaxWaveFront() != 0 {
+		t.Errorf("rebuilt network per-run counters: executed=%d wavefront=%d", n.Executed(), n.MaxWaveFront())
+	}
+	if n.TotalExecuted() != total || n.PeakWaveFront() != peak {
+		t.Errorf("adopted total=%d peak=%d, want %d/%d", n.TotalExecuted(), n.PeakWaveFront(), total, peak)
+	}
+
+	apply(t, st, n, true, "q", tup(5, 5))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.TotalExecuted() <= total {
+		t.Errorf("total did not grow past adopted value: %d", n.TotalExecuted())
+	}
+
+	// Adopting from nil is a no-op (the first build).
+	n.AdoptCounters(nil)
+	if n.TotalExecuted() <= total {
+		t.Error("AdoptCounters(nil) reset the cumulative counters")
+	}
+}
+
+// TestProfilerEntriesSurviveRebuild checks that the same profiler
+// carried to a replacement network keeps accumulating into the same
+// per-differential entries (they are keyed by view and name, not by
+// network identity).
+func TestProfilerEntriesSurviveRebuild(t *testing.T) {
+	p := obs.NewProfiler()
+	p.Enable(true)
+
+	st, old := buildPQR(t)
+	old.SetProfiler(p)
+	apply(t, st, old, true, "q", tup(1, 2))
+	if _, err := old.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	var execs int64
+	for _, pt := range p.Snapshot() {
+		execs += pt.Execs
+	}
+	if execs == 0 {
+		t.Fatal("profiler recorded nothing")
+	}
+
+	n := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	if err := n.AddView(pqrDef(), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	n.SetProfiler(p)
+	apply(t, st, n, false, "q", tup(1, 2))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot()
+	var execs2 int64
+	seen := map[string]bool{}
+	for _, pt := range snap {
+		execs2 += pt.Execs
+		key := pt.View + "/" + pt.Differential
+		if seen[key] {
+			t.Errorf("duplicate entry after rebuild: %s", key)
+		}
+		seen[key] = true
+	}
+	if execs2 <= execs {
+		t.Errorf("profile did not accumulate across rebuild: %d -> %d", execs, execs2)
+	}
+}
+
+// TestZeroEffectMetering checks the zero-effect meters: a base change
+// that joins to nothing executes differentials but produces no Δ.
+func TestZeroEffectMetering(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, n := buildPQR(t)
+	n.SetObs(NewMetrics(reg), nil)
+	// q(9,9) joins no r tuple: both Δp differentials run empty.
+	apply(t, st, n, true, "q", tup(9, 9))
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("partdiff_propnet_zero_effect_total"); got == 0 {
+		t.Error("zero-effect counter did not move")
+	}
+}
+
+// TestDotHeatAnnotatesProfile checks the heat-annotated export: same
+// structure as Dot, plus fill colors and scanned/zero-effect labels
+// from the profiler, and Δ-weighted edges.
+func TestDotHeatAnnotatesProfile(t *testing.T) {
+	p := obs.NewProfiler()
+	p.Enable(true)
+	st, n := buildPQR(t)
+	n.SetProfiler(p)
+
+	// Unprofiled (empty profile) heat export keeps the plain structure.
+	cold := n.DotHeat()
+	for _, want := range []string{"digraph propagation", "nq -> np", "penwidth=1.00"} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold DotHeat missing %q:\n%s", want, cold)
+		}
+	}
+
+	apply(t, st, n, true, "q", tup(1, 2)) // joins r(2,3): produces Δ+p
+	if _, err := n.Propagate(); err != nil {
+		t.Fatal(err)
+	}
+	hot := n.DotHeat()
+	for _, want := range []string{
+		"scanned ",           // node annotation
+		"zero-effect ",       // node annotation
+		"\\nΔ ",              // edge flow label
+		"fillcolor=\"0.000 ", // heat color
+		"style=filled",
+	} {
+		if !strings.Contains(hot, want) {
+			t.Errorf("DotHeat missing %q:\n%s", want, hot)
+		}
+	}
+	// The hot q→p edge must be wider than the cold baseline.
+	if !strings.Contains(hot, "nq -> np") {
+		t.Fatalf("structure changed:\n%s", hot)
+	}
+	if strings.Count(hot, "penwidth=1.00]") == strings.Count(hot, "penwidth=") {
+		t.Errorf("no edge gained width:\n%s", hot)
+	}
+}
+
+// TestDotHeatNilProfiler: a network that never had a profiler renders
+// without panicking (nil-safe snapshot).
+func TestDotHeatNilProfiler(t *testing.T) {
+	_, n := buildPQR(t)
+	if out := n.DotHeat(); !strings.Contains(out, "digraph propagation") {
+		t.Errorf("DotHeat on unprofiled network:\n%s", out)
+	}
+}

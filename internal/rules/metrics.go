@@ -57,6 +57,7 @@ func (m *Manager) SetObservability(o *obs.Observability) {
 	delta.RegisterMetrics(o.Registry)
 	if m.net != nil {
 		m.net.SetObs(m.netMet, o.Tracer)
+		m.net.SetProfiler(o.Profiler)
 		m.net.Evaluator().SetMetrics(m.evalMet)
 	}
 	// Re-attach the debug writer's text sink to the new tracer.

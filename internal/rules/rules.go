@@ -205,6 +205,11 @@ type Manager struct {
 	diffOpts diff.Options
 	inj      *faultinject.Injector
 
+	// stats, when non-nil (EnableAdaptiveStats), is the observed
+	// workload statistics table shared by every rebuilt network's
+	// evaluator — the adaptive join optimizer's memory.
+	stats *eval.Stats
+
 	explanations []Explanation
 	condSeq      int
 
@@ -559,7 +564,9 @@ func (m *Manager) ensureNet() error {
 	net := propnet.New(m.store, m.prog, m.diffOpts)
 	net.SetInjector(m.inj)
 	net.SetObs(m.netMet, m.obs.Tracer)
+	net.SetProfiler(m.obs.Profiler)
 	net.Evaluator().SetMetrics(m.evalMet)
+	net.Evaluator().SetStats(m.stats)
 	for _, sv := range m.sharedViews {
 		if m.sharedViewUsed(sv.Name) {
 			if err := net.AddView(sv, false); err != nil {
@@ -581,6 +588,7 @@ func (m *Manager) ensureNet() error {
 				d.UnionInto(old.BaseDelta(pred))
 			}
 		}
+		net.AdoptCounters(old)
 	}
 	m.net = net
 	m.netDirty = false

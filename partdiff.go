@@ -128,6 +128,7 @@ type config struct {
 	mode        Mode
 	noDeletions bool
 	lazy        bool
+	adaptive    bool
 	budget      time.Duration
 	ctx         context.Context
 
@@ -195,6 +196,19 @@ func WithCheckContext(ctx context.Context) Option {
 	return func(c *config) { c.ctx = ctx }
 }
 
+// WithAdaptiveStats switches the join optimizer from its static cost
+// model to observed workload statistics: every full enumeration of a
+// derived function feeds its observed cardinality (and every literal
+// match its observed scan volume) into an EWMA table that the greedy
+// join-order ranking consults, so the plans of rule-condition
+// differentials and ad-hoc queries adapt to the data actually seen.
+// Most useful for workloads where a derived function is far smaller (or
+// larger) than the static guess assumes — see DESIGN.md "Profiling &
+// adaptive statistics".
+func WithAdaptiveStats() Option {
+	return func(c *config) { c.adaptive = true }
+}
+
 // WithSyncPolicy selects the write-ahead log's fsync policy (default
 // SyncAlways). Only meaningful with OpenDir.
 func WithSyncPolicy(p SyncPolicy) Option {
@@ -249,6 +263,9 @@ func open(opts []Option) (*DB, *config) {
 	}
 	if cfg.lazy {
 		db.sess.SetLazyAnalysis(true)
+	}
+	if cfg.adaptive {
+		db.sess.EnableAdaptiveStats()
 	}
 	db.sess.Rules().CheckBudget = cfg.budget
 	db.sess.Rules().CheckContext = cfg.ctx
@@ -385,9 +402,32 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	return db.sess.Observability().Registry.WritePrometheus(w)
 }
 
+// WriteMetricsPrefix writes only the metric families matching prefix
+// (the partdiff_ namespace part may be omitted: "propnet" matches
+// partdiff_propnet_...).
+func (db *DB) WriteMetricsPrefix(w io.Writer, prefix string) error {
+	return db.sess.Observability().Registry.WritePrometheusPrefix(w, prefix)
+}
+
+// SetProfiling turns the propagation profiler on or off: per-rule,
+// per-differential accounting of executions, Δ-cardinalities, tuples
+// scanned, wall time and zero-effect executions, reported by
+// ProfileReport. Off by default; accumulated entries survive turning it
+// off.
+func (db *DB) SetProfiling(on bool) { db.sess.SetProfiling(on) }
+
+// ProfileReport writes the propagation profiler's report: the topK most
+// expensive partial differentials ranked by observed cost, attributed
+// to their rules, with zero-effect execution counts per source (topK <=
+// 0 writes all).
+func (db *DB) ProfileReport(w io.Writer, topK int) error {
+	return db.sess.ProfileReport(w, topK)
+}
+
 // MonitorHandler returns an http.Handler serving the database's live
-// monitoring surface: Prometheus text at /metrics and expvar JSON at
-// /debug/vars.
+// monitoring surface: Prometheus text at /metrics (filterable with
+// ?prefix=), expvar JSON at /debug/vars, and Go runtime profiles at
+// /debug/pprof/.
 func (db *DB) MonitorHandler() http.Handler {
 	return obs.Handler(db.sess.Observability().Registry)
 }

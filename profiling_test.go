@@ -1,0 +1,340 @@
+package partdiff
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"partdiff/internal/faultinject"
+)
+
+// profDB builds a small monitored database with profiling on and
+// wall-clock sampling effectively disabled, so every report column is
+// deterministic (the time column prints "-" when nothing was sampled).
+func profDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.RegisterProcedure("order", func([]Value) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create function reorder_at(item) -> integer;
+create rule refill() as
+    when for each item i where quantity(i) < reorder_at(i)
+    do order(i);
+create item instances :a, :b;
+set quantity(:a) = 100;
+set quantity(:b) = 100;
+set reorder_at(:a) = 25;
+set reorder_at(:b) = 25;
+activate refill();
+`)
+	db.Observability().Profiler.SetSampleEvery(1 << 30)
+	db.SetProfiling(true)
+	return db
+}
+
+// TestProfileReportGolden pins the \profile report format end to end:
+// per-differential rows attributed to their rule, ranked by scanned
+// tuples, the totals row, and the per-rule zero-effect summary the
+// paper's wasted-work argument calls for. The workload is fixed and
+// timing is unsampled, so the report is byte-stable.
+func TestProfileReportGolden(t *testing.T) {
+	db := profDB(t)
+	// Txn 1 fires the rule (quantity drops below the threshold); txn 2
+	// reverts it; txn 3 touches the other influent without ever making
+	// the condition true — pure zero-effect work.
+	db.MustExec("begin; set quantity(:a) = 10; commit;")
+	db.MustExec("begin; set quantity(:a) = 90; commit;")
+	db.MustExec("begin; set reorder_at(:b) = 30; commit;")
+
+	var buf bytes.Buffer
+	if err := db.ProfileReport(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := `propagation profile — 3 profiled propagation(s), 6 differential execution(s), 4 zero-effect (66.7%)
+rank  source                 differential                         execs   zero     Δin    Δout   scanned       time
+   1  refill                 Δcnd_refill#1/Δ+quantity                 2      1       2       1         4          -
+   2  refill                 Δcnd_refill#1/Δ-quantity                 2      1       2       1         4          -
+   3  refill                 Δcnd_refill#1/Δ+reorder_at               1      1       1       0         2          -
+   4  refill                 Δcnd_refill#1/Δ-reorder_at               1      1       1       0         2          -
+      total                                                           6      4       6       2        12        0ns
+zero-effect executions by source:
+  refill                 4 of 6 (66.7%)
+`
+	if got := buf.String(); got != want {
+		t.Errorf("report mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// topK truncation keeps the totals and summary and says what it hid.
+	buf.Reset()
+	if err := db.ProfileReport(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, frag := range []string{
+		"… 2 more differential(s); \\profile report 4 to widen",
+		"zero-effect executions by source:",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("topK report missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "Δ+reorder_at") {
+		t.Errorf("topK=2 report still shows rank-3 row:\n%s", got)
+	}
+
+	// Turning profiling off keeps the accumulated profile readable.
+	db.SetProfiling(false)
+	db.MustExec("begin; set quantity(:a) = 95; commit;")
+	buf.Reset()
+	if err := db.ProfileReport(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6 differential execution(s)") {
+		t.Errorf("profile changed while off:\n%s", buf.String())
+	}
+}
+
+// TestProfileReportEmpty pins the never-profiled message.
+func TestProfileReportEmpty(t *testing.T) {
+	db := Open()
+	var buf bytes.Buffer
+	if err := db.ProfileReport(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := "propagation profile — 0 profiled propagation(s), 0 differential execution(s), 0 zero-effect (0.0%)\n" +
+		"no differential executions profiled (\\profile on, then run transactions)\n"
+	if buf.String() != want {
+		t.Errorf("empty report:\n%s", buf.String())
+	}
+}
+
+// TestProfilingConcurrent hammers the read surfaces — ProfileReport,
+// /metrics with a prefix filter, and the pprof index — from other
+// goroutines while commits propagate. Run under -race this is the
+// proof that profiling can be inspected live.
+func TestProfilingConcurrent(t *testing.T) {
+	db := profDB(t)
+	srv := httptest.NewServer(db.MonitorHandler())
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	get := func(path string) (string, error) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return "", err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body), err
+	}
+	var readerErr error
+	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if readerErr == nil {
+			readerErr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := db.ProfileReport(io.Discard, 5); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var body string
+			var err error
+			if i%2 == 0 {
+				body, err = get("/metrics?prefix=partdiff_propnet_")
+				if err == nil && strings.Contains(body, "partdiff_txn_commits_total") {
+					err = fmt.Errorf("prefix filter leaked txn counters")
+				}
+			} else {
+				_, err = get("/debug/pprof/")
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		db.MustExec(fmt.Sprintf("begin; set quantity(:a) = %d; commit;", 90-i%2))
+	}
+	close(done)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+
+	var buf bytes.Buffer
+	if err := db.ProfileReport(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50 profiled propagation(s)") {
+		t.Errorf("expected 50 propagations in final report:\n%s", buf.String())
+	}
+}
+
+// TestProfilingFaultConsistency injects a panic into a differential
+// execution mid-commit and checks the profiler's books stay consistent:
+// profiling records only after a successful evaluation, so the aborted
+// execution leaves the invariants (zero-effect <= execs, timed <=
+// execs) intact — the rollback's own undo propagation is real, profiled
+// work — and profiling keeps accumulating on later commits.
+func TestProfilingFaultConsistency(t *testing.T) {
+	db := profDB(t)
+	db.MustExec("begin; set quantity(:a) = 90; commit;")
+	before := snapshotTotals(db)
+	if before.execs == 0 {
+		t.Fatal("no executions profiled before fault")
+	}
+
+	inj := faultinject.New()
+	db.Session().SetInjector(inj)
+	inj.Arm(faultinject.Differential, 1, faultinject.Panic)
+	if err := func() (err error) {
+		if err := db.Begin(); err != nil {
+			return err
+		}
+		db.MustExec("set quantity(:a) = 80;")
+		return db.Commit()
+	}(); err == nil {
+		t.Fatal("commit with injected panic should fail")
+	}
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after injected panic: %v", err)
+	}
+	mid := snapshotTotals(db)
+	if mid.execs < before.execs {
+		t.Errorf("profile went backwards: execs %d -> %d", before.execs, mid.execs)
+	}
+	if mid.zero > mid.execs || mid.timed > mid.execs {
+		t.Errorf("invariants violated: %+v", mid)
+	}
+
+	db.Session().SetInjector(nil)
+	db.MustExec("begin; set quantity(:a) = 85; commit;")
+	after := snapshotTotals(db)
+	if after.execs <= mid.execs {
+		t.Errorf("profiling stopped accumulating after fault: execs %d -> %d", mid.execs, after.execs)
+	}
+}
+
+type profTotals struct {
+	execs, zero, timed int64
+}
+
+func snapshotTotals(db *DB) profTotals {
+	var t profTotals
+	for _, pt := range db.Observability().Profiler.Snapshot() {
+		t.execs += pt.Execs
+		t.zero += pt.ZeroEffect
+		t.timed += pt.Timed
+	}
+	return t
+}
+
+// TestAdaptiveStatsEquivalence runs the same skewed workload — a rule
+// joining a wide stored function against a tiny derived function —
+// with and without WithAdaptiveStats and checks the observed feedback
+// changes only the cost, never the answers: both databases fire the
+// same rule instances in the same states.
+func TestAdaptiveStatsEquivalence(t *testing.T) {
+	build := func(adaptive bool, fired *[]string) *DB {
+		var db *DB
+		if adaptive {
+			db = Open(WithAdaptiveStats())
+		} else {
+			db = Open()
+		}
+		if err := db.RegisterProcedure("note", func(args []Value) error {
+			*fired = append(*fired, fmt.Sprintf("%v", args))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		db.MustExec(`
+create type item;
+create function attr(item) -> integer;
+create function seldom(item) -> integer;
+create function pick(item i) -> integer as
+    select seldom(i) * 2 for each item j where j = i;
+create rule watch() as
+    when for each item i where attr(i) < pick(i)
+    do note(i, attr(i));
+create item instances :a, :b, :c, :d;
+set attr(:a) = 100; set attr(:b) = 100; set attr(:c) = 100; set attr(:d) = 100;
+set seldom(:a) = 10;
+activate watch();
+`)
+		return db
+	}
+	script := []string{
+		"begin; set attr(:a) = 15; set attr(:b) = 15; commit;", // :a fires (pick=20)
+		"begin; set attr(:a) = 100; commit;",                   // leaves the condition
+		"begin; set seldom(:b) = 50; commit;",                  // :b now below pick=100
+		"begin; set attr(:c) = 99; commit;",                    // no seldom(:c): stays out
+	}
+	var staticFired, adaptiveFired []string
+	dbS := build(false, &staticFired)
+	dbA := build(true, &adaptiveFired)
+	for _, stmt := range script {
+		dbS.MustExec(stmt)
+		dbA.MustExec(stmt)
+	}
+	if fmt.Sprintf("%v", staticFired) != fmt.Sprintf("%v", adaptiveFired) {
+		t.Errorf("adaptive stats changed rule semantics:\n static: %v\nadaptive: %v", staticFired, adaptiveFired)
+	}
+	if len(staticFired) == 0 {
+		t.Fatal("workload fired no rules; equivalence check is vacuous")
+	}
+
+	// The adaptive session must actually have observed something (the
+	// propagation plans here probe pick bound, so the observations are
+	// the literal scan volumes of the stored functions).
+	st := dbA.Session().Rules().AdaptiveStats()
+	if st == nil {
+		t.Fatal("WithAdaptiveStats left no stats table")
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "attr") {
+		t.Errorf("stats table observed nothing:\n%s", buf.String())
+	}
+	if dbS.Session().Rules().AdaptiveStats() != nil {
+		t.Error("static session unexpectedly has adaptive stats")
+	}
+}
