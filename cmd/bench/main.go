@@ -7,6 +7,7 @@
 //	bench -exp hybrid      # §8 hybrid monitor on a mixed workload
 //	bench -exp durability  # commit latency with WAL at sync=always/group/none
 //	bench -exp profile     # profiler on/off A/B + adaptive-statistics skew
+//	bench -exp concurrency # snapshot-read scaling + group-commit write scaling
 //	bench -exp all
 //
 // With -json, the fig6/fig7/durability measurements (time per
@@ -43,6 +44,12 @@ type record struct {
 	Execs       int64   `json:"differential_execs,omitempty"`
 	ZeroEffect  int64   `json:"zero_effect_execs,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
+	// Concurrency experiment only: aggregate throughput and the
+	// writer-gate admission wait percentiles.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	WaitP50Us float64 `json:"gate_wait_p50_us,omitempty"`
+	WaitP95Us float64 `json:"gate_wait_p95_us,omitempty"`
+	WaitP99Us float64 `json:"gate_wait_p99_us,omitempty"`
 }
 
 // report is the BENCH_<n>.json document.
@@ -53,7 +60,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, or all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, profile, concurrency, or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
 	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
 	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
@@ -101,6 +108,12 @@ func main() {
 	if run("profile") {
 		if err := runProfile(*reps, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "profile:", err)
+			failed = true
+		}
+	}
+	if run("concurrency") {
+		if err := runConcurrency(&rep); err != nil {
+			fmt.Fprintln(os.Stderr, "concurrency:", err)
 			failed = true
 		}
 	}
@@ -309,6 +322,61 @@ func runProfile(reps int, rep *report) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+func runConcurrency(rep *report) error {
+	const items = 100
+	fmt.Printf("Concurrency — snapshot read scaling: 1 writer committing continuously +\n")
+	fmt.Printf("R readers on MVCC snapshots for a fixed window (%d items)\n\n", items)
+	rrows, err := bench.RunReadScaling(items, []int{1, 2, 4, 8}, time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %14s %14s\n", "readers", "queries/s", "commits/s")
+	for _, r := range rrows {
+		fmt.Printf("%10d %14.0f %14.0f\n", r.Readers, r.QueriesPerSec(), r.CommitsPerSec())
+		if rep != nil {
+			rep.Records = append(rep.Records, record{
+				Name:      fmt.Sprintf("concurrency/read/readers=%d", r.Readers),
+				NsPerOp:   int64(r.Window) / max64(r.Queries, 1),
+				OpsPerSec: r.QueriesPerSec(),
+			})
+		}
+	}
+
+	const txns = 1600
+	fmt.Printf("\nGroup commit — %d durable commits split over W writers: serial\n", txns)
+	fmt.Printf("sync=always baseline vs sync=group with shared batched fsyncs\n\n")
+	wrows, err := bench.RunWriteScaling(items, txns, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %8s %12s %8s %10s %10s %10s\n",
+		"writers", "sync", "commits/s", "fsyncs", "p50 wait", "p95 wait", "p99 wait")
+	for _, r := range wrows {
+		fmt.Printf("%10d %8s %12.0f %8d %10s %10s %10s\n",
+			r.Writers, r.Policy, r.CommitsPerSec(), r.Fsyncs, r.WaitP50, r.WaitP95, r.WaitP99)
+		if rep != nil {
+			rep.Records = append(rep.Records, record{
+				Name:      fmt.Sprintf("concurrency/write/writers=%d/sync=%s", r.Writers, r.Policy),
+				NsPerOp:   r.NsPerOp(),
+				Fsyncs:    r.Fsyncs,
+				OpsPerSec: r.CommitsPerSec(),
+				WaitP50Us: float64(r.WaitP50) / 1e3,
+				WaitP95Us: float64(r.WaitP95) / 1e3,
+				WaitP99Us: float64(r.WaitP99) / 1e3,
+			})
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func ms(ns int64) float64 { return float64(ns) / 1e6 }

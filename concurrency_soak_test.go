@@ -1,0 +1,421 @@
+package partdiff
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"partdiff/internal/faultinject"
+	"partdiff/internal/wal"
+)
+
+// The concurrency soak: one DB, many goroutines — writers committing
+// explicit transactions through the admission gate, readers running on
+// MVCC snapshots, an Atomic session validating optimistically — under
+// -race with deterministic seeds. The soak asserts:
+//
+//  1. no writer ever sees ErrSessionBusy (none carries a deadline, so
+//     writers must QUEUE, never be rejected),
+//  2. readers never observe a torn transaction (two functions updated
+//     together never disagree) and Atomic bodies see one stable
+//     snapshot,
+//  3. DB.CheckInvariants is clean afterwards, and
+//  4. the final state is byte-identical to a fresh DB serially
+//     replaying the committed transaction schedule.
+//
+// The committed schedule is recorded while each writer still holds the
+// writer gate (between its statements and its Commit), so the log
+// order IS the commit order.
+
+const soakSchema = `
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create function x(item) -> integer;
+create function y(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < threshold(i)
+    do record(i);
+create item instances :i0, :i1, :i2, :i3, :i4, :i5;
+set threshold(:i0) = 10;
+set threshold(:i1) = 10;
+set threshold(:i2) = 10;
+set threshold(:i3) = 10;
+set threshold(:i4) = 10;
+set threshold(:i5) = 10;
+set x(:i0) = 0;
+set y(:i0) = 0;
+activate low();
+`
+
+// soakOpenDB opens a DB with the soak schema; fired counts rule-action
+// firings (a counter, not a list: firing order across concurrent
+// committers is real nondeterminism, state equivalence is not).
+func soakOpenDB(t *testing.T, fired *atomic.Int64) *DB {
+	t.Helper()
+	db := Open()
+	if err := db.RegisterProcedure("record", func(args []Value) error {
+		fired.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(soakSchema)
+	return db
+}
+
+// genTxn draws one writer transaction: 1–3 statements, mostly
+// quantity/threshold updates, with an occasional paired x/y update that
+// readers check for tearing. All statements target pre-created
+// instances so OID allocation stays deterministic for the replay.
+func genTxn(rng *rand.Rand, tag int) []string {
+	n := 1 + rng.Intn(3)
+	stmts := make([]string, 0, n+1)
+	for j := 0; j < n; j++ {
+		it := fmt.Sprintf(":i%d", rng.Intn(6))
+		switch rng.Intn(4) {
+		case 0:
+			stmts = append(stmts, fmt.Sprintf("set threshold(%s) = %d;", it, rng.Intn(15)))
+		case 1:
+			// x and y move together; a reader seeing them disagree on
+			// any item has observed a torn transaction.
+			v := tag*1000 + j
+			stmts = append(stmts,
+				fmt.Sprintf("set x(%s) = %d;", it, v),
+				fmt.Sprintf("set y(%s) = %d;", it, v))
+		default:
+			stmts = append(stmts, fmt.Sprintf("set quantity(%s) = %d;", it, rng.Intn(20)))
+		}
+	}
+	return stmts
+}
+
+func TestConcurrentSoak(t *testing.T) {
+	const (
+		writers  = 8
+		readers  = 3
+		txnsEach = 25
+	)
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			var fired atomic.Int64
+			db := soakOpenDB(t, &fired)
+
+			var (
+				logMu     sync.Mutex
+				committed []string // one entry per committed transaction, in commit order
+			)
+			done := make(chan struct{})
+			var wg, writerWG sync.WaitGroup
+
+			// Readers count completed queries; writers keep committing past
+			// their quota (bounded) until every reader got at least one
+			// query in, so the soak genuinely interleaves even on a box
+			// where txnsEach transactions drain faster than one query.
+			var reads atomic.Int64
+
+			// Writers: explicit transactions through the gate. No call
+			// carries a deadline, so ErrSessionBusy is always a failure.
+			for w := 0; w < writers; w++ {
+				w := w
+				writerWG.Add(1)
+				go func() {
+					defer writerWG.Done()
+					rng := rand.New(rand.NewSource(seed*100 + int64(w)))
+					for i := 0; i < txnsEach || (reads.Load() < int64(readers) && i < txnsEach*40); i++ {
+						stmts := genTxn(rng, w*100000+i)
+						if err := db.Begin(); err != nil {
+							t.Errorf("writer %d begin: %v (ErrSessionBusy=%v)", w, err, errors.Is(err, ErrSessionBusy))
+							return
+						}
+						ok := true
+						for _, stmt := range stmts {
+							if _, err := db.Exec(stmt); err != nil {
+								t.Errorf("writer %d: %q: %v", w, stmt, err)
+								ok = false
+								break
+							}
+						}
+						if !ok {
+							_ = db.Rollback()
+							return
+						}
+						// Still holding the writer gate (explicit lease):
+						// append before Commit so log order == commit order.
+						logMu.Lock()
+						committed = append(committed, strings.Join(stmts, " "))
+						logMu.Unlock()
+						if err := db.Commit(); err != nil {
+							t.Errorf("writer %d commit: %v (ErrSessionBusy=%v)", w, err, errors.Is(err, ErrSessionBusy))
+							return
+						}
+					}
+				}()
+			}
+
+			// Readers: snapshot queries, never waiting on the gate. The
+			// x/y join must agree on every row, always.
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						res, err := db.Query(`select a, b for each item i, integer a, integer b where x(i) = a and y(i) = b;`)
+						if err != nil {
+							t.Errorf("reader: %v", err)
+							return
+						}
+						for _, tp := range res.Tuples {
+							if !tp[0].Equal(tp[1]) {
+								t.Errorf("torn read: x=%v y=%v", tp[0], tp[1])
+								return
+							}
+						}
+						reads.Add(1)
+					}
+				}()
+			}
+
+			// One Atomic session: a read-only body whose two reads must
+			// return the same multiset even as commits land between them.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					err := db.Atomic(context.Background(), func(tx *Tx) error {
+						const q = `select a, b for each item i, integer a, integer b where x(i) = a and y(i) = b;`
+						r1, err := tx.Query(q)
+						if err != nil {
+							return err
+						}
+						r2, err := tx.Query(q)
+						if err != nil {
+							return err
+						}
+						if !reflect.DeepEqual(sortedRows(r1), sortedRows(r2)) {
+							t.Errorf("Atomic snapshot moved between reads:\n %v\n %v", r1.Tuples, r2.Tuples)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("read-only Atomic: %v", err)
+						return
+					}
+				}
+			}()
+
+			// Writers are bounded (txnsEach transactions each); readers
+			// loop until the writer pool drains.
+			writerWG.Wait()
+			close(done)
+			wg.Wait()
+
+			if reads.Load() == 0 {
+				t.Error("readers never completed a query during the soak")
+			}
+			if err := db.CheckInvariants(); err != nil {
+				t.Errorf("invariants after soak: %v", err)
+			}
+			logMu.Lock()
+			schedule := append([]string(nil), committed...)
+			logMu.Unlock()
+			if len(schedule) < writers*txnsEach {
+				t.Fatalf("committed %d transactions, want at least %d", len(schedule), writers*txnsEach)
+			}
+
+			// Serial replay of the committed schedule on a fresh DB must
+			// reproduce the exact same state, byte for byte.
+			var replayFired atomic.Int64
+			replay := soakOpenDB(t, &replayFired)
+			for _, txn := range schedule {
+				replay.MustExec("begin; " + txn + " commit;")
+			}
+			live := wal.MarshalState(db.Session().CaptureState())
+			want := wal.MarshalState(replay.Session().CaptureState())
+			if !bytes.Equal(live, want) {
+				t.Errorf("final state diverges from serial replay of the committed schedule (%d vs %d bytes)",
+					len(live), len(want))
+			}
+		})
+	}
+}
+
+// sortedRows renders a result's tuples as a sorted multiset of strings
+// (row iteration order within one snapshot is not specified).
+func sortedRows(r *Result) []string {
+	out := make([]string, len(r.Tuples))
+	for i, tp := range r.Tuples {
+		out[i] = fmt.Sprint(tp)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+}
+
+// TestAtomicRetriesConflict exercises the facade's automatic retry: the
+// first attempt's read set is invalidated by a concurrent commit, the
+// re-run against a fresh snapshot succeeds.
+func TestAtomicRetriesConflict(t *testing.T) {
+	var fired atomic.Int64
+	db := soakOpenDB(t, &fired)
+	db.MustExec(`set quantity(:i0) = 50;`)
+	attempts := 0
+	err := db.Atomic(context.Background(), func(tx *Tx) error {
+		attempts++
+		if _, err := tx.Query(`select quantity(i) for each item i;`); err != nil {
+			return err
+		}
+		if err := tx.Exec(`set threshold(:i0) = 7;`); err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// Invalidate the read set — once. The retry must go through.
+			if _, err := db.Exec(`set quantity(:i0) = 60;`); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic with one transient conflict: %v", err)
+	}
+	if attempts != 2 {
+		t.Errorf("body ran %d times, want 2 (one conflict, one retry)", attempts)
+	}
+	r, err := db.Query(`select threshold(i) for each item i where threshold(i) = 7;`)
+	if err != nil || len(r.Tuples) != 1 {
+		t.Errorf("retried write not applied: %v %v", r, err)
+	}
+}
+
+// TestFaultSweepUnderConcurrentReaders re-runs the PR 1 fault sweep
+// with snapshot readers hammering the DB throughout each faulted run:
+// the rollback guarantees must hold identically, and no reader may ever
+// error or block on the recovering writer.
+func TestFaultSweepUnderConcurrentReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep under load skipped in -short")
+	}
+	script := genScript(rand.New(rand.NewSource(1)), 8)
+
+	var baseFired []string
+	base := sweepDB(t, &baseFired)
+	inj := faultinject.New()
+	base.Session().SetInjector(inj)
+	baseFired = nil
+	if err := runScript(base, script); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	baseState := base.Session().Store().Snapshot()
+	ops := inj.Ops()
+	if ops == 0 {
+		t.Fatal("clean run hit no fault points; sweep is vacuous")
+	}
+
+	for idx := 0; idx < ops; idx += 2 {
+		kind := faultinject.Error
+		if idx%4 == 1 {
+			kind = faultinject.Panic
+		}
+		var fired []string
+		db := sweepDB(t, &fired)
+		inj := faultinject.New()
+		db.Session().SetInjector(inj)
+		pre := db.Session().Store().Snapshot()
+		fired = nil
+		inj.ArmIndex(idx, kind)
+
+		stop := hammerReads(t, db, 3)
+		err := runScript(db, script)
+		if err == nil {
+			stop()
+			t.Errorf("op %d (%v): injected fault did not surface", idx, kind)
+			continue
+		}
+		if errors.Is(err, ErrCorrupt) {
+			stop()
+			t.Errorf("op %d (%v): forward-phase fault poisoned the DB under load: %v", idx, kind, err)
+			continue
+		}
+		// Rollback left the store at the pre-transaction state (readers
+		// only observe, never mutate, so this holds under load too).
+		if got := db.Session().Store().Snapshot(); !reflect.DeepEqual(got, pre) {
+			t.Errorf("op %d (%v): store differs from pre-transaction snapshot under load", idx, kind)
+		}
+		if ierr := db.CheckInvariants(); ierr != nil {
+			t.Errorf("op %d (%v): invariants after rollback under load: %v", idx, kind, ierr)
+		}
+		// Survivor replay still under reader load.
+		fired = nil
+		rerr := runScript(db, script)
+		stop()
+		if rerr != nil {
+			t.Errorf("op %d (%v): survivor replay failed: %v", idx, kind, rerr)
+			continue
+		}
+		if !reflect.DeepEqual(fired, baseFired) {
+			t.Errorf("op %d (%v): survivor fired %v, fresh DB fired %v", idx, kind, fired, baseFired)
+		}
+		if got := db.Session().Store().Snapshot(); !reflect.DeepEqual(got, baseState) {
+			t.Errorf("op %d (%v): survivor state diverges from baseline", idx, kind)
+		}
+	}
+}
+
+// hammerReads runs n snapshot readers against db until the returned
+// stop function is called. A reader error is a test failure: snapshot
+// reads must succeed regardless of what the writer is doing.
+func hammerReads(t *testing.T, db *DB, n int) (stop func()) {
+	t.Helper()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := db.Query(`select quantity(i) for each item i;`); err != nil {
+					t.Errorf("concurrent reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	return func() { close(done); wg.Wait() }
+}

@@ -1,0 +1,339 @@
+package amosql
+
+// Concurrent sessions. Writers stay serial — the paper's execution
+// model, which the undo log, Δ-accumulators and deferred check phase
+// all assume — but concurrency is no longer rejected:
+//
+//   - Writers QUEUE on a fair FIFO admission gate (txn.Gate) bounded by
+//     a context deadline; ErrSessionBusy is returned only when that
+//     deadline expires. An explicit transaction holds the gate as a
+//     lease from Begin to Commit/Rollback, so its statements cannot
+//     interleave with another writer's.
+//   - Readers never touch the gate: Query from a non-owning goroutine
+//     pins an MVCC snapshot (storage.SnapshotView) and evaluates
+//     against it with a private compiler and evaluator, seeing exactly
+//     the commits sequenced before the pin.
+//   - Atomic runs an optimistic transaction: reads on a snapshot with
+//     the read set recorded, writes buffered, then validated and
+//     applied under the gate — ErrConflict when a commit invalidated
+//     the read set (the facade retries with jittered backoff).
+//
+// Shared compile-time state is split by lock: schemaMu orders DDL
+// (which mutates the ObjectLog program) against snapshot compiles and
+// evaluations; ifaceMu guards the interface-variable map.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"partdiff/internal/eval"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+	"partdiff/internal/txn"
+	"partdiff/internal/types"
+)
+
+// defaultWriterWait bounds writer admission for calls without their own
+// context deadline. Generous: under a healthy load the queue drains in
+// microseconds, and a stuck explicit transaction should surface as a
+// timeout, not a hang.
+const defaultWriterWait = 30 * time.Second
+
+// SetWriterWait sets the default admission deadline applied to calls
+// that carry no context deadline of their own (<= 0 waits forever).
+func (s *Session) SetWriterWait(d time.Duration) { s.writerWait.Store(int64(d)) }
+
+// enter acquires the writer gate with the default deadline; see
+// enterCtx.
+func (s *Session) enter() error { return s.enterCtx(context.Background()) }
+
+// enterCtx admits the calling goroutine as the session's writer. It
+// fails fast on a poisoned database (sticky ErrCorrupt); re-entrant
+// calls on the owning goroutine are admitted immediately (rule actions
+// legitimately issue statements during the check phase, and an explicit
+// transaction's statements re-enter its lease). Other goroutines queue
+// FIFO until the gate frees or ctx expires (ErrSessionBusy).
+func (s *Session) enterCtx(ctx context.Context) error {
+	if err := s.txns.Corrupt(); err != nil {
+		return err
+	}
+	g := goid()
+	if s.owner.Load() == g {
+		s.depth++
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, has := ctx.Deadline(); !has {
+		if w := time.Duration(s.writerWait.Load()); w > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, w)
+			defer cancel()
+		}
+	}
+	if err := s.gate.Acquire(ctx); err != nil {
+		return err
+	}
+	s.owner.Store(g)
+	s.depth = 1
+	return nil
+}
+
+// leave exits one nesting level. At depth zero the gate is released —
+// unless an explicit transaction is open, whose lease persists until
+// Commit/Rollback. A group-commit fsync wait armed by the wal hook is
+// drained AFTER the release, so the next writer appends its record
+// behind ours and shares the fsync; the commit is acknowledged to the
+// caller only once durable (fsync-before-ack, now batched). errp
+// receives the durability failure if the call itself succeeded.
+func (s *Session) leave(errp *error) {
+	s.depth--
+	if s.depth > 0 {
+		return
+	}
+	if s.explicit && s.txns.InTransaction() {
+		return
+	}
+	s.explicit = false
+	wait := s.syncWait
+	s.syncWait = nil
+	s.owner.Store(0)
+	s.gate.Release()
+	if wait != nil {
+		if err := wait(); err != nil && errp != nil && *errp == nil {
+			*errp = fmt.Errorf("commit applied but not durable: %w", err)
+		}
+	}
+}
+
+// --- interface-variable map (shared with gate-free readers) ---
+
+func (s *Session) getIface(name string) (types.Value, bool) {
+	s.ifaceMu.RLock()
+	defer s.ifaceMu.RUnlock()
+	v, ok := s.iface[name]
+	return v, ok
+}
+
+func (s *Session) setIface(name string, v types.Value) {
+	s.ifaceMu.Lock()
+	s.iface[name] = v
+	s.ifaceMu.Unlock()
+}
+
+// delIfaceObj unbinds name if it still refers to oid.
+func (s *Session) delIfaceObj(name string, oid types.OID) {
+	s.ifaceMu.Lock()
+	if cur, ok := s.iface[name]; ok && cur.Kind == types.KindObject && cur.O == oid {
+		delete(s.iface, name)
+	}
+	s.ifaceMu.Unlock()
+}
+
+// copyIface snapshots the interface variables for a reader's private
+// compiler.
+func (s *Session) copyIface() map[string]types.Value {
+	s.ifaceMu.RLock()
+	defer s.ifaceMu.RUnlock()
+	out := make(map[string]types.Value, len(s.iface))
+	for k, v := range s.iface {
+		out[k] = v
+	}
+	return out
+}
+
+// ifaceNames returns the bound variable names in sorted order.
+func (s *Session) ifaceNames() []string {
+	s.ifaceMu.RLock()
+	names := make([]string, 0, len(s.iface))
+	for n := range s.iface {
+		names = append(names, n)
+	}
+	s.ifaceMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// --- snapshot reads ---
+
+// snapEnv resolves predicates for a snapshot query: base relations come
+// from the pinned view, and when reads is non-nil every base predicate
+// touched is recorded (the optimistic read set). Δ-sets and old states
+// exist only inside the check phase, which runs on the live store.
+type snapEnv struct {
+	prog  *objectlog.Program
+	view  *storage.SnapshotView
+	reads map[string]bool
+}
+
+func (e snapEnv) Program() *objectlog.Program { return e.prog }
+
+func (e snapEnv) Source(pred string, dk objectlog.DeltaKind, old bool) (storage.Source, error) {
+	if dk != objectlog.DeltaNone || old {
+		return nil, fmt.Errorf("Δ-sets and old states are only available during the check phase")
+	}
+	src, ok := e.view.Source(pred)
+	if !ok {
+		return nil, fmt.Errorf("relation %q does not exist", pred)
+	}
+	if e.reads != nil {
+		e.reads[pred] = true
+	}
+	return src, nil
+}
+
+// snapshotQuery evaluates one select against a freshly pinned snapshot,
+// without the writer gate. Aggregate selects register a program
+// definition and therefore fall back to the gated path.
+func (s *Session) snapshotQuery(ctx context.Context, sel SelectStmt) (*Result, error) {
+	if err := s.txns.Corrupt(); err != nil {
+		return nil, err
+	}
+	if _, _, ok := (&compiler{cat: s.cat}).aggregateCall(&sel.Query); ok {
+		return s.gatedQuery(ctx, sel)
+	}
+	view := s.store.PinSnapshot()
+	defer view.Close()
+	return s.snapshotSelect(sel, view, nil)
+}
+
+// snapshotSelect compiles and evaluates sel against view with a private
+// compiler and evaluator. schemaMu (R) is held for the duration so no
+// DDL mutates the program or catalog mid-evaluation; base predicates
+// resolved are recorded in reads when non-nil.
+func (s *Session) snapshotSelect(sel SelectStmt, view *storage.SnapshotView, reads map[string]bool) (*Result, error) {
+	s.schemaMu.RLock()
+	defer s.schemaMu.RUnlock()
+	comp := &compiler{cat: s.cat, iface: s.copyIface()}
+	if _, _, ok := comp.aggregateCall(&sel.Query); ok {
+		return nil, fmt.Errorf("aggregate selects are not supported on snapshot reads; run them through Exec or outside Atomic")
+	}
+	name := fmt.Sprintf("_snap%d", s.snapGensym.Add(1))
+	def, _, err := comp.compileQuery(name, nil, &sel.Query)
+	if err != nil {
+		return nil, err
+	}
+	ev := eval.New(snapEnv{prog: s.mgr.Program(), view: view, reads: reads})
+	ev.SetMetrics(s.evMet)
+	out := types.NewSet()
+	for _, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return nil, err
+		}
+		sc, ok := objectlog.Simplify(c)
+		if !ok {
+			continue
+		}
+		if err := ev.EvalClause(sc, out); err != nil {
+			return nil, err
+		}
+	}
+	cols := make([]string, len(sel.Query.Exprs))
+	for i, e := range sel.Query.Exprs {
+		cols[i] = e.String()
+	}
+	return &Result{Columns: cols, Tuples: out.Tuples()}, nil
+}
+
+// gatedQuery runs a select on the live store under the writer gate (the
+// aggregate fallback).
+func (s *Session) gatedQuery(ctx context.Context, sel SelectStmt) (r *Result, err error) {
+	if err = s.enterCtx(ctx); err != nil {
+		return nil, err
+	}
+	defer s.leave(&err)
+	res, err := s.execStmtSafe(sel, "")
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// --- optimistic transactions ---
+
+// AtomicTx is the handle an optimistic transaction body works through:
+// Query runs on the transaction's pinned snapshot and records the read
+// set; Exec buffers statements that are validated and applied at
+// commit. A body's reads never see its own buffered writes.
+type AtomicTx struct {
+	s     *Session
+	view  *storage.SnapshotView
+	reads map[string]bool
+	stmts []string
+}
+
+// Query evaluates a select against the transaction's snapshot,
+// recording the base relations it touched for commit-time validation.
+func (tx *AtomicTx) Query(src string) (*Result, error) {
+	st, err := ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("Query expects a select statement")
+	}
+	return tx.s.snapshotSelect(sel, tx.view, tx.reads)
+}
+
+// Exec buffers src for commit. It is parsed now, so malformed input
+// fails inside the body; transaction-control statements are rejected —
+// the optimistic commit is the transaction.
+func (tx *AtomicTx) Exec(src string) error {
+	stmts, _, err := ParseWithSources(src)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if t, ok := st.(TxnStmt); ok {
+			return fmt.Errorf("%s is not allowed inside Atomic (the optimistic commit is the transaction)", t.Kind)
+		}
+	}
+	tx.stmts = append(tx.stmts, src)
+	return nil
+}
+
+// Atomic runs fn as ONE optimistic transaction: reads on a pinned
+// snapshot, buffered writes applied under the writer gate after
+// validating that no commit touched a relation the body read since the
+// snapshot was pinned. On invalidation it returns ErrConflict without
+// having written anything — fn is safe to re-run against a fresh
+// snapshot (the facade's Atomic does so with bounded retries). A
+// read-only body (no Exec calls) never takes the gate at all.
+func (s *Session) Atomic(ctx context.Context, fn func(*AtomicTx) error) (err error) {
+	if err := s.txns.Corrupt(); err != nil {
+		return err
+	}
+	view := s.store.PinSnapshot()
+	defer view.Close()
+	tx := &AtomicTx{s: s, view: view, reads: make(map[string]bool)}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if len(tx.stmts) == 0 {
+		return nil
+	}
+	if err = s.enterCtx(ctx); err != nil {
+		return err
+	}
+	defer s.leave(&err)
+	if s.store.WriteSince(view.Seq(), tx.reads) {
+		s.txns.MarkConflict()
+		return fmt.Errorf("%w (snapshot %d)", txn.ErrConflict, view.Seq())
+	}
+	if err = s.txns.Begin(); err != nil {
+		return err
+	}
+	for _, src := range tx.stmts {
+		if _, err = s.execScript(src); err != nil {
+			if rbErr := s.txns.Rollback(); rbErr != nil {
+				return fmt.Errorf("%v (%w)", err, rbErr)
+			}
+			return err
+		}
+	}
+	return s.txns.Commit()
+}

@@ -15,10 +15,12 @@ package amosql
 // a crash.
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"partdiff/internal/obs"
@@ -46,11 +48,11 @@ type DirConfig struct {
 // tail, then installs the wal commit hook so every later transaction is
 // logged (fsync-before-ack under the configured policy). It must be
 // called on a fresh session, before any statements.
-func (s *Session) AttachDir(dir string, cfg DirConfig) error {
-	if err := s.enter(); err != nil {
+func (s *Session) AttachDir(dir string, cfg DirConfig) (err error) {
+	if err = s.enter(); err != nil {
 		return err
 	}
-	defer s.leave()
+	defer s.leave(&err)
 	if s.wal != nil {
 		return fmt.Errorf("session already attached to %s", s.walDir)
 	}
@@ -138,7 +140,7 @@ func (s *Session) loadState(st *wal.State) error {
 		}
 	}
 	for _, b := range st.Iface {
-		s.iface[b.Name] = b.Value
+		s.setIface(b.Name, b.Value)
 	}
 	for _, t := range st.Tables {
 		if _, ok := s.store.Relation(t.Name); !ok {
@@ -167,7 +169,7 @@ func (s *Session) replayRecord(r *wal.Record) error {
 		return err
 	case wal.RecIface:
 		for _, b := range r.Binds {
-			s.iface[b.Name] = b.Value
+			s.setIface(b.Name, b.Value)
 		}
 		return nil
 	case wal.RecCommit:
@@ -216,15 +218,17 @@ func (s *Session) replayCommit(r *wal.Record) error {
 		}
 	}
 	for _, b := range r.Binds {
-		s.iface[b.Name] = b.Value
+		s.setIface(b.Name, b.Value)
 	}
 	for _, oid := range r.ObjDels {
 		s.cat.DeleteObject(oid)
+		s.ifaceMu.Lock()
 		for name, v := range s.iface {
 			if v.Kind == types.KindObject && v.O == oid {
 				delete(s.iface, name)
 			}
 		}
+		s.ifaceMu.Unlock()
 	}
 	return nil
 }
@@ -254,9 +258,16 @@ func (s *Session) logDDL(src string) error {
 }
 
 // walPersist is the wal hook's persist callback (see the commit order
-// in internal/txn): it appends the commit record and — under SyncAlways
-// and SyncGrouped — returns only after an fsync covers it. An error
-// rolls the transaction back: no acknowledged commit is ever lost.
+// in internal/txn): it appends the commit record, and the commit is
+// acknowledged to the caller only after an fsync covers it. Under
+// SyncAlways the fsync happens here, and an error rolls the transaction
+// back — no acknowledged commit is ever lost. Under SyncGrouped only
+// the append happens inside the writer gate; the fsync wait is armed on
+// the session and drained by leave() AFTER the gate is released, so
+// concurrent committers append behind each other and share one batched
+// fsync (group commit). A grouped fsync failure therefore surfaces as
+// "commit applied but not durable" from the committing call — the log
+// is poisoned and every later commit fails — instead of a rollback.
 func (s *Session) walPersist(user, action []storage.Event) error {
 	if !s.walOn() {
 		return nil
@@ -273,6 +284,23 @@ func (s *Session) walPersist(user, action []storage.Event) error {
 		return nil
 	}
 	rec.Seq = s.walSeq + 1
+	if s.wal.Policy() == wal.SyncGrouped {
+		if err := s.wal.Write(rec); err != nil {
+			return err
+		}
+		s.walSeq++
+		if s.owner.Load() == goid() {
+			// Gated commit: arm the fsync wait for leave() to drain
+			// after the gate is released, so concurrent committers
+			// share one batched fsync.
+			s.syncWait = s.wal.AwaitSync
+			return nil
+		}
+		// Direct transaction-manager commit (no gate, nothing will run
+		// leave()): wait for the group fsync here to keep the
+		// fsync-before-ack guarantee.
+		return s.wal.AwaitSync()
+	}
 	if err := s.wal.Append(rec); err != nil {
 		return err
 	}
@@ -301,10 +329,17 @@ func (s *Session) walEnd(committed bool) {
 // full log win; between rename and reset, replay skips the records the
 // new snapshot covers (by seq).
 func (s *Session) Checkpoint() error {
-	if err := s.enter(); err != nil {
+	return s.CheckpointContext(context.Background())
+}
+
+// CheckpointContext is Checkpoint bounded by ctx for writer admission
+// (the background checkpointer uses a short deadline so a busy session
+// costs a retry, not a stall).
+func (s *Session) CheckpointContext(ctx context.Context) (err error) {
+	if err = s.enterCtx(ctx); err != nil {
 		return err
 	}
-	defer s.leave()
+	defer s.leave(&err)
 	return s.checkpointLocked()
 }
 
@@ -330,11 +365,11 @@ func (s *Session) checkpointLocked() error {
 // on-demand backup, also usable from a purely in-memory session. A
 // directory already holding database files is refused, except the
 // session's own data directory, where SaveTo is just Checkpoint.
-func (s *Session) SaveTo(dir string) error {
-	if err := s.enter(); err != nil {
+func (s *Session) SaveTo(dir string) (err error) {
+	if err = s.enter(); err != nil {
 		return err
 	}
-	defer s.leave()
+	defer s.leave(&err)
 	if s.txns.InTransaction() {
 		return fmt.Errorf("cannot save inside a transaction")
 	}
@@ -369,13 +404,9 @@ func (s *Session) CaptureState() *wal.State {
 	for _, o := range s.cat.Objects() {
 		st.Objects = append(st.Objects, wal.ObjectRec{OID: o.OID, Type: o.Type})
 	}
-	names := make([]string, 0, len(s.iface))
-	for n := range s.iface {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		st.Iface = append(st.Iface, wal.Bind{Name: n, Value: s.iface[n]})
+	for _, n := range s.ifaceNames() {
+		v, _ := s.getIface(n)
+		st.Iface = append(st.Iface, wal.Bind{Name: n, Value: v})
 	}
 	for _, rn := range s.store.RelationNames() {
 		rel, _ := s.store.Relation(rn)
@@ -397,15 +428,49 @@ func (s *Session) startCheckpointer(interval time.Duration) {
 		for {
 			select {
 			case <-t.C:
-				// Best effort: a "session busy" tick (the owning
-				// goroutine is mid-call) is skipped and retried on the
-				// next one.
-				_ = s.Checkpoint()
+				s.tickCheckpoint(interval)
 			case <-s.ckptStop:
 				return
 			}
 		}
 	}()
+}
+
+// tickCheckpoint attempts one background checkpoint. A busy session
+// (writers holding the gate past the admission deadline) is retried a
+// few times with jittered backoff rather than silently skipping the
+// whole tick; contention retries and abandoned ticks are counted in
+// the wal metrics. Non-contention failures (poisoned log, checkpoint
+// I/O errors) stay best-effort: the log just grows until a later tick
+// or commit-count checkpoint succeeds.
+func (s *Session) tickCheckpoint(interval time.Duration) {
+	wait := interval / 4
+	if wait <= 0 || wait > 2*time.Second {
+		wait = 2 * time.Second
+	}
+	const attempts = 3
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			s.walMet.CkptBusyRetries.Inc()
+			d := time.Duration(i) * 5 * time.Millisecond
+			d += time.Duration(rand.Int63n(int64(d)))
+			select {
+			case <-time.After(d):
+			case <-s.ckptStop:
+				return
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), wait)
+		err := s.CheckpointContext(ctx)
+		cancel()
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, txn.ErrSessionBusy) {
+			return
+		}
+	}
+	s.walMet.CkptSkippedTicks.Inc()
 }
 
 // Close stops the background checkpointer and closes the write-ahead

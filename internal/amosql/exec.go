@@ -1,6 +1,7 @@
 package amosql
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -54,15 +55,30 @@ type Session struct {
 	// requiring its foreign procedures or performing their effects.
 	lintMode bool
 
-	// owner is the id of the goroutine currently inside the session (0
-	// = free) and depth its re-entrancy count. Transactions are serial
-	// (internal/txn), so a second goroutine would race on the store,
-	// the undo log and the Δ-accumulators and is rejected; re-entrant
-	// calls from the SAME goroutine are part of the execution model
-	// (rule actions issue updates that join the committing
-	// transaction) and are admitted.
-	owner atomic.Int64
-	depth int
+	// Concurrency control (see concurrency.go). Transactions are serial
+	// (internal/txn): gate is the fair FIFO writer-admission gate,
+	// owner the id of the goroutine currently holding it (0 = free) and
+	// depth its re-entrancy count — re-entrant calls from the owning
+	// goroutine are part of the execution model (rule actions issue
+	// updates that join the committing transaction). explicit marks a
+	// gate lease held across calls by an open explicit transaction;
+	// writerWait (ns) is the default admission deadline. syncWait,
+	// armed by the wal hook under SyncGrouped, is the pending group
+	// fsync the session drains after releasing the gate. Readers run
+	// on MVCC snapshots and never touch the gate: snapGensym names
+	// their private query predicates, schemaMu orders DDL (W) against
+	// snapshot compiles/evaluations (R), ifaceMu guards the
+	// interface-variable map against gate-free readers.
+	gate       *txn.Gate
+	owner      atomic.Int64
+	depth      int
+	explicit   bool
+	writerWait atomic.Int64
+	syncWait   func() error
+	snapGensym atomic.Int64
+	schemaMu   sync.RWMutex
+	ifaceMu    sync.RWMutex
+	evMet      *eval.Metrics
 
 	// Output receives the output of the builtin print procedure.
 	Output io.Writer
@@ -114,6 +130,8 @@ func NewSession(mode rules.Mode) *Session {
 		iface: map[string]types.Value{},
 	}
 	s.txns = txn.NewManager(st)
+	s.gate = txn.NewGate()
+	s.writerWait.Store(int64(defaultWriterWait))
 	// The rules hook precedes the wal hook (added by AttachDir): Δ-sets
 	// and deferred deletions settle before the wal hook's bookkeeping,
 	// and the documented commit order (check → persist → ack → OnEnd →
@@ -137,8 +155,11 @@ func NewSession(mode rules.Mode) *Session {
 	s.obs = obs.New()
 	s.mgr.SetObservability(s.obs)
 	s.store.SetMetrics(storage.NewMetrics(s.obs.Registry))
-	s.txns.SetObs(txn.NewMetrics(s.obs.Registry), s.obs.Tracer)
-	s.ev.SetMetrics(eval.NewMetrics(s.obs.Registry))
+	tm := txn.NewMetrics(s.obs.Registry)
+	s.txns.SetObs(tm, s.obs.Tracer)
+	s.gate.SetMetrics(tm)
+	s.evMet = eval.NewMetrics(s.obs.Registry)
+	s.ev.SetMetrics(s.evMet)
 	s.cat.RegisterProcedure("print", func(args []types.Value) error {
 		if s.Output == nil {
 			return nil
@@ -191,17 +212,26 @@ func (s *Session) EnableAdaptiveStats() {
 	s.ev.SetStats(s.mgr.EnableAdaptiveStats())
 }
 
-// IfaceVar returns the value of a session interface variable.
+// IfaceVar returns the value of a session interface variable. Safe for
+// concurrent use.
 func (s *Session) IfaceVar(name string) (types.Value, bool) {
-	v, ok := s.iface[name]
-	return v, ok
+	return s.getIface(name)
 }
 
 // SetIfaceVar binds a session interface variable. With a data directory
 // attached, a binding made outside a transaction is logged immediately
 // (RecIface); one made inside a transaction rides in the commit record.
+// Logging rides the writer gate; if admission fails (deadline expiry on
+// a stuck session) the binding still lands in memory — the historical
+// best-effort contract — but is not logged.
 func (s *Session) SetIfaceVar(name string, v types.Value) {
-	s.iface[name] = v
+	if err := s.enterCtx(context.Background()); err != nil {
+		s.setIface(name, v)
+		return
+	}
+	var err error
+	defer s.leave(&err)
+	s.setIface(name, v)
 	if !s.walOn() {
 		return
 	}
@@ -301,44 +331,40 @@ func goid() int64 {
 	return id
 }
 
-// enter acquires the session for one call. It fails fast on a poisoned
-// database (sticky ErrCorrupt) and on use from a second goroutine;
-// re-entrant calls on the owning goroutine are admitted (rule actions
-// legitimately issue statements during the check phase).
-func (s *Session) enter() error {
-	if err := s.txns.Corrupt(); err != nil {
-		return err
-	}
-	g := goid()
-	if s.owner.Load() == g {
-		s.depth++
-		return nil
-	}
-	if !s.owner.CompareAndSwap(0, g) {
-		return fmt.Errorf("session busy: concurrent use from another goroutine is not supported (transactions are serial)")
-	}
-	s.depth = 1
-	return nil
-}
-
-func (s *Session) leave() {
-	s.depth--
-	if s.depth == 0 {
-		s.owner.Store(0)
-	}
-}
-
 // Exec parses and executes all statements in src, returning one result
-// per statement. Execution stops at the first error.
+// per statement. Execution stops at the first error. Concurrent callers
+// queue for the writer gate (see concurrency.go).
 func (s *Session) Exec(src string) ([]Result, error) {
-	if err := s.enter(); err != nil {
-		return nil, err
-	}
-	defer s.leave()
+	return s.ExecContext(context.Background(), src)
+}
+
+// ExecContext is Exec bounded by ctx: the deadline (or, absent one, the
+// session's writer-wait default) caps the wait for writer admission.
+// Expiry returns an error wrapping txn.ErrSessionBusy.
+func (s *Session) ExecContext(ctx context.Context, src string) (out []Result, err error) {
+	// Parse outside the gate: malformed input never queues.
 	stmts, srcs, err := ParseWithSources(src)
 	if err != nil {
 		return nil, err
 	}
+	if err = s.enterCtx(ctx); err != nil {
+		return nil, err
+	}
+	defer s.leave(&err)
+	return s.execStmts(stmts, srcs)
+}
+
+// execScript parses and runs src under an already-held gate (the
+// optimistic-transaction apply path).
+func (s *Session) execScript(src string) ([]Result, error) {
+	stmts, srcs, err := ParseWithSources(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmts(stmts, srcs)
+}
+
+func (s *Session) execStmts(stmts []Stmt, srcs []string) ([]Result, error) {
 	out := make([]Result, 0, len(stmts))
 	for i, st := range stmts {
 		r, err := s.execStmtSafe(st, srcs[i])
@@ -379,52 +405,80 @@ func (s *Session) MustExec(src string) []Result {
 	return out
 }
 
-// Query executes a single select statement and returns its rows.
+// Query executes a single select statement and returns its rows. From
+// the goroutine that already holds the session (a rule action querying
+// mid-commit) it runs on the live store inside the transaction; from
+// any other goroutine it runs against a pinned MVCC snapshot WITHOUT
+// waiting for the writer gate, seeing exactly the committed state.
 func (s *Session) Query(src string) (*Result, error) {
-	if err := s.enter(); err != nil {
-		return nil, err
-	}
-	defer s.leave()
+	return s.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query with a context; the deadline only matters on
+// the gated paths (re-entrant live queries and the aggregate fallback).
+func (s *Session) QueryContext(ctx context.Context, src string) (*Result, error) {
 	st, err := ParseOne(src)
 	if err != nil {
 		return nil, err
 	}
-	if _, ok := st.(SelectStmt); !ok {
+	sel, ok := st.(SelectStmt)
+	if !ok {
 		return nil, fmt.Errorf("Query expects a select statement")
 	}
-	r, err := s.execStmtSafe(st, "")
-	if err != nil {
-		return nil, err
+	if s.owner.Load() == goid() {
+		return s.gatedQuery(ctx, sel)
 	}
-	return &r, nil
+	return s.snapshotQuery(ctx, sel)
 }
 
-// Begin starts an explicit transaction under the session guard.
+// Begin starts an explicit transaction. The session's writer gate is
+// held as a lease until Commit or Rollback, so the transaction's
+// statements (from this goroutine) never interleave with anyone
+// else's — concurrent callers queue and are admitted afterwards.
 func (s *Session) Begin() error {
-	if err := s.enter(); err != nil {
-		return err
-	}
-	defer s.leave()
-	return s.txns.Begin()
+	return s.BeginContext(context.Background())
 }
 
-// Commit runs the deferred check phase and commits, under the session
-// guard (a procedure that re-enters the session during the check phase
-// gets a clear "session busy" error instead of racing).
-func (s *Session) Commit() error {
-	if err := s.enter(); err != nil {
+// BeginContext is Begin bounded by ctx for writer admission.
+func (s *Session) BeginContext(ctx context.Context) (err error) {
+	if err = s.enterCtx(ctx); err != nil {
 		return err
 	}
-	defer s.leave()
+	defer s.leave(&err)
+	if err = s.txns.Begin(); err == nil {
+		s.explicit = true
+	}
+	return err
+}
+
+// Commit runs the deferred check phase and commits; it releases the
+// explicit transaction's gate lease.
+func (s *Session) Commit() error {
+	return s.CommitContext(context.Background())
+}
+
+// CommitContext is Commit bounded by ctx for writer admission (only
+// relevant when called without an open lease).
+func (s *Session) CommitContext(ctx context.Context) (err error) {
+	if err = s.enterCtx(ctx); err != nil {
+		return err
+	}
+	defer s.leave(&err)
 	return s.txns.Commit()
 }
 
-// Rollback undoes the active transaction under the session guard.
+// Rollback undoes the active transaction and releases the explicit
+// transaction's gate lease.
 func (s *Session) Rollback() error {
-	if err := s.enter(); err != nil {
+	return s.RollbackContext(context.Background())
+}
+
+// RollbackContext is Rollback bounded by ctx for writer admission.
+func (s *Session) RollbackContext(ctx context.Context) (err error) {
+	if err = s.enterCtx(ctx); err != nil {
 		return err
 	}
-	defer s.leave()
+	defer s.leave(&err)
 	return s.txns.Rollback()
 }
 
@@ -440,14 +494,16 @@ func (s *Session) SetInjector(inj *faultinject.Injector) {
 }
 
 // CheckInvariants verifies cross-layer consistency: storage
-// index↔tuple-set agreement, propagation-network level monotonicity,
-// and — outside a transaction — that every Δ-set and pending trigger
-// set is empty. On a poisoned database it returns the sticky
-// corruption error.
-func (s *Session) CheckInvariants() error {
-	if err := s.txns.Corrupt(); err != nil {
+// index↔tuple-set agreement and version-sidecar sanity, propagation-
+// network level monotonicity, and — outside a transaction — that every
+// Δ-set and pending trigger set is empty. It takes the writer gate so
+// the state it inspects is quiescent; on a poisoned database it
+// returns the sticky corruption error.
+func (s *Session) CheckInvariants() (err error) {
+	if err = s.enterCtx(context.Background()); err != nil {
 		return err
 	}
+	defer s.leave(&err)
 	if err := s.store.CheckInvariants(); err != nil {
 		return err
 	}
@@ -460,17 +516,30 @@ func (s *Session) CheckInvariants() error {
 func (s *Session) execStmt(st Stmt, src string) (Result, error) {
 	var res Result
 	var err error
+	// The schema statements mutate the ObjectLog program (and the rule
+	// manager's networks), which gate-free snapshot readers compile and
+	// evaluate against under schemaMu (R) — so they run under schemaMu (W).
 	switch x := st.(type) {
 	case CreateType:
+		s.schemaMu.Lock()
 		res, err = s.execCreateType(x)
+		s.schemaMu.Unlock()
 	case CreateFunction:
+		s.schemaMu.Lock()
 		res, err = s.execCreateFunction(x)
+		s.schemaMu.Unlock()
 	case CreateRule:
+		s.schemaMu.Lock()
 		res, err = s.execCreateRule(x)
+		s.schemaMu.Unlock()
 	case ActivateStmt:
+		s.schemaMu.Lock()
 		res, err = s.execActivate(x)
+		s.schemaMu.Unlock()
 	case DeactivateStmt:
+		s.schemaMu.Lock()
 		res, err = s.execDeactivate(x)
+		s.schemaMu.Unlock()
 	case CreateInstances:
 		return s.execCreateInstances(x)
 	case UpdateStmt:
@@ -526,7 +595,7 @@ func (s *Session) execCreateInstances(x CreateInstances) (Result, error) {
 				return Result{}, s.autoAbort(commit, err)
 			}
 		}
-		s.iface[v] = types.Obj(oid)
+		s.setIface(v, types.Obj(oid))
 		if s.walOn() {
 			s.walObjNews = append(s.walObjNews, wal.ObjectRec{OID: oid, Type: x.TypeName})
 			s.walBinds = append(s.walBinds, wal.Bind{Name: v, Value: types.Obj(oid)})
@@ -795,7 +864,7 @@ func (s *Session) execDeleteInstances(x DeleteInstances) (Result, error) {
 	}
 	n := 0
 	for _, v := range x.Vars {
-		val, ok := s.iface[v]
+		val, ok := s.getIface(v)
 		if !ok {
 			return Result{}, s.autoAbort(commit, fmt.Errorf("undefined interface variable :%s", v))
 		}
@@ -880,9 +949,7 @@ func (s *Session) finishDeletes(committed bool) {
 	if committed {
 		for _, pd := range s.pendingDeletes {
 			s.cat.DeleteObject(pd.oid)
-			if cur, ok := s.iface[pd.varName]; ok && cur.Kind == types.KindObject && cur.O == pd.oid {
-				delete(s.iface, pd.varName)
-			}
+			s.delIfaceObj(pd.varName, pd.oid)
 		}
 	}
 	s.pendingDeletes = s.pendingDeletes[:0]
@@ -897,7 +964,10 @@ func (s *Session) execSelect(x SelectStmt) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if err := s.mgr.Program().Define(def); err != nil {
+		s.schemaMu.Lock()
+		err = s.mgr.Program().Define(def)
+		s.schemaMu.Unlock()
+		if err != nil {
 			return Result{}, err
 		}
 		ev := eval.New(sessEnv{s})
@@ -974,7 +1044,11 @@ func (s *Session) execTxn(x TxnStmt) (Result, error) {
 	var err error
 	switch x.Kind {
 	case "begin":
-		err = s.txns.Begin()
+		if err = s.txns.Begin(); err == nil {
+			// The surrounding gate hold becomes the transaction's lease
+			// (released by leave once the transaction ends).
+			s.explicit = true
+		}
 	case "commit":
 		err = s.txns.Commit()
 	case "rollback":
@@ -1016,7 +1090,7 @@ func (s *Session) evalExpr(e Expr, binds map[string]types.Value) (types.Value, e
 	case ConstExpr:
 		return x.Value, nil
 	case IfaceRef:
-		v, ok := s.iface[x.Name]
+		v, ok := s.getIface(x.Name)
 		if !ok {
 			return types.Value{}, fmt.Errorf("undefined interface variable :%s", x.Name)
 		}

@@ -1,0 +1,202 @@
+package amosql
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/txn"
+	"partdiff/internal/types"
+)
+
+// execFrom runs src on s from a fresh goroutine and waits for it — the
+// "another session" shape the isolation tests interleave with.
+func execFrom(t *testing.T, s *Session, src string) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Exec(src)
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("interleaved exec %q: %v", src, err)
+	}
+}
+
+// A long reader (an Atomic body) sees ONE consistent snapshot: a write
+// committed between its reads does not leak in, and becomes visible
+// only to queries that start afterwards.
+func TestSnapshotStableAcrossInterleavedCommit(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create item instances :a;
+set quantity(:a) = 1;
+`)
+	read := func(tx *AtomicTx) types.Value {
+		r, err := tx.Query(`select quantity(i) for each item i;`)
+		if err != nil {
+			t.Fatalf("snapshot read: %v", err)
+		}
+		if len(r.Tuples) != 1 {
+			t.Fatalf("snapshot read rows = %d, want 1", len(r.Tuples))
+		}
+		return r.Tuples[0][0]
+	}
+	err := s.Atomic(context.Background(), func(tx *AtomicTx) error {
+		before := read(tx)
+		// Another goroutine commits a write between the two reads. It
+		// does not block: the reader holds no gate, only a snapshot pin.
+		execFrom(t, s, `set quantity(:a) = 2;`)
+		after := read(tx)
+		if !before.Equal(types.Int(1)) || !after.Equal(types.Int(1)) {
+			t.Errorf("snapshot moved mid-transaction: before=%v after=%v, want 1 and 1", before, after)
+		}
+		return nil
+	})
+	// Read-only body: no writes buffered, so no validation, no conflict.
+	if err != nil {
+		t.Fatalf("read-only Atomic: %v", err)
+	}
+	// A fresh query starts after the commit and sees it.
+	r, err := s.Query(`select quantity(i) for each item i;`)
+	if err != nil || len(r.Tuples) != 1 || !r.Tuples[0][0].Equal(types.Int(2)) {
+		t.Errorf("fresh query after commit: %v %v, want quantity 2", r, err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// An Atomic body that read a relation a concurrent commit then touched
+// must fail validation with the typed ErrConflict — and must not have
+// applied any of its buffered writes.
+func TestAtomicConflictDetected(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create function audit(item) -> integer;
+create item instances :a;
+set quantity(:a) = 1;
+`)
+	err := s.Atomic(context.Background(), func(tx *AtomicTx) error {
+		if _, err := tx.Query(`select quantity(i) for each item i;`); err != nil {
+			return err
+		}
+		if err := tx.Exec(`set audit(:a) = 99;`); err != nil {
+			return err
+		}
+		// Invalidate the read set before the optimistic commit.
+		execFrom(t, s, `set quantity(:a) = 5;`)
+		return nil
+	})
+	if !errors.Is(err, txn.ErrConflict) {
+		t.Fatalf("want ErrConflict, got: %v", err)
+	}
+	r, err := s.Query(`select audit(i) for each item i;`)
+	if err != nil || len(r.Tuples) != 0 {
+		t.Errorf("conflicted transaction leaked writes: %v %v", r, err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+// Without interference the buffered writes apply as one transaction,
+// and the body's reads never see its own writes (they run on the
+// snapshot pinned at the start).
+func TestAtomicAppliesBufferedWrites(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.MustExec(`
+create type item;
+create function quantity(item) -> integer;
+create item instances :a;
+set quantity(:a) = 1;
+`)
+	err := s.Atomic(context.Background(), func(tx *AtomicTx) error {
+		if err := tx.Exec(`set quantity(:a) = 10;`); err != nil {
+			return err
+		}
+		r, err := tx.Query(`select quantity(i) for each item i;`)
+		if err != nil {
+			return err
+		}
+		if len(r.Tuples) != 1 || !r.Tuples[0][0].Equal(types.Int(1)) {
+			t.Errorf("body saw its own buffered write: %v", r.Tuples)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	r, _ := s.Query(`select quantity(i) for each item i;`)
+	if len(r.Tuples) != 1 || !r.Tuples[0][0].Equal(types.Int(10)) {
+		t.Errorf("buffered write not applied: %v", r.Tuples)
+	}
+	// Transaction-control statements are rejected inside a body.
+	err = s.Atomic(context.Background(), func(tx *AtomicTx) error {
+		return tx.Exec(`commit;`)
+	})
+	if err == nil {
+		t.Error("txn statement inside Atomic must be rejected")
+	}
+}
+
+// A reader joining two functions updated together in one transaction
+// must never observe the pair torn apart: each query runs on one
+// snapshot, and snapshots only ever hold whole commits.
+func TestReaderNeverSeesPartialTransaction(t *testing.T) {
+	s := NewSession(rules.Incremental)
+	s.MustExec(`
+create type item;
+create function x(item) -> integer;
+create function y(item) -> integer;
+create item instances :a;
+set x(:a) = 0;
+set y(:a) = 0;
+`)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 200; i++ {
+			// x and y move together inside one explicit transaction.
+			if err := s.Begin(); err != nil {
+				t.Errorf("begin: %v", err)
+				return
+			}
+			s.MustExec(`set x(:a) = ` + types.Int(int64(i)).String() + `;`)
+			s.MustExec(`set y(:a) = ` + types.Int(int64(i)).String() + `;`)
+			if err := s.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			if err := s.CheckInvariants(); err != nil {
+				t.Errorf("invariants: %v", err)
+			}
+			return
+		default:
+		}
+		r, err := s.Query(`select a, b for each item i, integer a, integer b where x(i) = a and y(i) = b;`)
+		if err != nil {
+			t.Fatalf("reader query: %v", err)
+		}
+		for _, tp := range r.Tuples {
+			if !tp[0].Equal(tp[1]) {
+				t.Fatalf("torn read: x=%v y=%v", tp[0], tp[1])
+			}
+		}
+	}
+}

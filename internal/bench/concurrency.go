@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partdiff/internal/rules"
+	"partdiff/internal/wal"
+)
+
+// The concurrency experiment measures the two claims of the concurrent
+// session layer:
+//
+//   - snapshot reads scale: R readers querying MVCC snapshots while one
+//     writer commits continuously should deliver ~R× the single-reader
+//     query throughput (readers never touch the writer gate);
+//
+//   - group commit pays: W concurrent writers under SyncGrouped share
+//     batched fsyncs (the append happens inside the gate, the fsync
+//     wait outside it), so commit throughput at W ≥ 4 should exceed
+//     the serial SyncAlways baseline where every commit fsyncs alone.
+
+// ConcReadRow is one point of the read-scaling measurement.
+type ConcReadRow struct {
+	Readers int
+	Window  time.Duration
+	Queries int64 // snapshot queries completed inside the window
+	Commits int64 // writer commits landed inside the window
+}
+
+// QueriesPerSec returns aggregate snapshot-read throughput.
+func (r ConcReadRow) QueriesPerSec() float64 {
+	return float64(r.Queries) / r.Window.Seconds()
+}
+
+// CommitsPerSec returns the background writer's commit throughput.
+func (r ConcReadRow) CommitsPerSec() float64 {
+	return float64(r.Commits) / r.Window.Seconds()
+}
+
+// RunReadScaling runs, for each reader count, one background writer
+// (fig. 6 single-item updates through the session gate) plus R
+// snapshot readers for a fixed wall-clock window against an n-item
+// inventory, and reports both throughputs.
+func RunReadScaling(n int, readerCounts []int, window time.Duration) ([]ConcReadRow, error) {
+	const readQ = `select quantity(i) for each item i where quantity(i) < 140;`
+	out := make([]ConcReadRow, 0, len(readerCounts))
+	for _, readers := range readerCounts {
+		inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true})
+		if err != nil {
+			return nil, err
+		}
+		sess := inv.Sess
+		var (
+			queries, commits atomic.Int64
+			firstErr         error
+			errOnce          sync.Once
+			wg               sync.WaitGroup
+		)
+		fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+		done := make(chan struct{})
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := 0; ; t++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := t % n
+				q := int64(4900 - (t/n)%2*100)
+				if err := sess.Begin(); err != nil {
+					fail(err)
+					return
+				}
+				if err := inv.SetQuantity(i, q); err != nil {
+					_ = sess.Rollback()
+					fail(err)
+					return
+				}
+				if err := sess.Commit(); err != nil {
+					fail(err)
+					return
+				}
+				commits.Add(1)
+			}
+		}()
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if _, err := sess.Query(readQ); err != nil {
+						fail(err)
+						return
+					}
+					queries.Add(1)
+				}
+			}()
+		}
+		time.Sleep(window)
+		close(done)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		out = append(out, ConcReadRow{
+			Readers: readers, Window: window,
+			Queries: queries.Load(), Commits: commits.Load(),
+		})
+	}
+	return out, nil
+}
+
+// ConcWriteRow is one point of the write-scaling measurement: txns
+// commits split across W writers against a write-ahead-logged database.
+type ConcWriteRow struct {
+	Writers int
+	Policy  string
+	Txns    int
+	Ns      int64 // total wall time for all commits
+	Fsyncs  int64 // log fsyncs issued during the measured interval
+
+	// Writer-gate admission wait percentiles (the latency of Begin).
+	WaitP50, WaitP95, WaitP99 time.Duration
+}
+
+// CommitsPerSec returns aggregate commit throughput.
+func (r ConcWriteRow) CommitsPerSec() float64 {
+	if r.Ns == 0 {
+		return 0
+	}
+	return float64(r.Txns) / (float64(r.Ns) / 1e9)
+}
+
+// NsPerOp returns the mean wall time per commit.
+func (r ConcWriteRow) NsPerOp() int64 {
+	if r.Txns == 0 {
+		return 0
+	}
+	return r.Ns / int64(r.Txns)
+}
+
+// RunWriteScaling measures durable commit throughput for the serial
+// SyncAlways baseline (one writer, one fsync per commit) and for
+// SyncGrouped at each concurrent writer count. Each point uses a fresh
+// temporary data directory, discarded afterwards.
+func RunWriteScaling(n, txns int, writerCounts []int) ([]ConcWriteRow, error) {
+	type point struct {
+		writers int
+		policy  wal.SyncPolicy
+	}
+	points := []point{{1, wal.SyncAlways}}
+	for _, w := range writerCounts {
+		points = append(points, point{w, wal.SyncGrouped})
+	}
+	out := make([]ConcWriteRow, 0, len(points))
+	for _, pt := range points {
+		row, err := runWriteScalingOne(n, txns, pt.writers, pt.policy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runWriteScalingOne(n, txns, writers int, policy wal.SyncPolicy) (ConcWriteRow, error) {
+	dir, err := os.MkdirTemp("", "partdiff-bench-")
+	if err != nil {
+		return ConcWriteRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true, Dir: dir, Sync: policy})
+	if err != nil {
+		return ConcWriteRow{}, err
+	}
+	defer inv.Sess.Close()
+	sess := inv.Sess
+	reg := sess.Observability().Registry
+	fsyncs := reg.CounterValue("partdiff_wal_fsyncs_total")
+
+	per := txns / writers
+	waits := make([][]time.Duration, writers)
+	var (
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := make([]time.Duration, 0, per)
+			for t := 0; t < per; t++ {
+				// Spread writers over the items; every value is unique
+				// within the run so each commit is a real update (an
+				// unchanged set logs nothing), and stays far above the
+				// threshold so the rule never fires.
+				i := (w + t*writers) % n
+				q := int64(3000 + w*per + t)
+				b := time.Now()
+				if err := sess.Begin(); err != nil {
+					fail(err)
+					return
+				}
+				ws = append(ws, time.Since(b))
+				if err := inv.SetQuantity(i, q); err != nil {
+					_ = sess.Rollback()
+					fail(err)
+					return
+				}
+				if err := sess.Commit(); err != nil {
+					fail(err)
+					return
+				}
+			}
+			waits[w] = ws
+		}()
+	}
+	wg.Wait()
+	ns := time.Since(start).Nanoseconds()
+	if firstErr != nil {
+		return ConcWriteRow{}, firstErr
+	}
+	var all []time.Duration
+	for _, ws := range waits {
+		all = append(all, ws...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	row := ConcWriteRow{
+		Writers: writers, Policy: policy.String(), Txns: per * writers, Ns: ns,
+		Fsyncs:  reg.CounterValue("partdiff_wal_fsyncs_total") - fsyncs,
+		WaitP50: pctDur(all, 0.50), WaitP95: pctDur(all, 0.95), WaitP99: pctDur(all, 0.99),
+	}
+	if inv.Orders != 0 {
+		return ConcWriteRow{}, fmt.Errorf("concurrency workload must not trigger rules, got %d orders", inv.Orders)
+	}
+	return row, nil
+}
+
+// pctDur returns the p-th percentile of sorted durations.
+func pctDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -135,8 +135,8 @@ func RunProfilerOverhead(n, txns, rounds, reps int) ([]ProfileOverheadRow, error
 // experiment: the skewed workload under the static cost model vs with
 // observed-statistics feedback enabled.
 type AdaptiveRow struct {
-	DBSize int   `json:"db_size"`
-	Txns   int   `json:"txns"`
+	DBSize int `json:"db_size"`
+	Txns   int `json:"txns"`
 	// StaticNs and AdaptiveNs are median total wall times over reps.
 	StaticNs   int64   `json:"static_ns"`
 	AdaptiveNs int64   `json:"adaptive_ns"`

@@ -15,16 +15,23 @@ type Metrics struct {
 	// IndexProbes counts hash-index consultations (Lookup, LookupCount,
 	// Contains).
 	IndexProbes *obs.Counter
+	// SnapshotPins counts snapshot views pinned; PinnedSnapshots gauges
+	// the ones currently open (each retains version metadata until
+	// closed).
+	SnapshotPins    *obs.Counter
+	PinnedSnapshots *obs.Gauge
 }
 
 // NewMetrics registers the storage meters in r (get-or-create: two
 // calls on the same registry share state).
 func NewMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
-		Inserts:     r.Counter("partdiff_storage_tuple_inserts_total", "Physical tuple insertions applied to base relations."),
-		Deletes:     r.Counter("partdiff_storage_tuple_deletes_total", "Physical tuple deletions applied to base relations."),
-		Reads:       r.Counter("partdiff_storage_tuple_reads_total", "Tuples visited by relation scans and index probes."),
-		IndexProbes: r.Counter("partdiff_storage_index_probes_total", "Hash-index probes (Lookup, LookupCount, Contains)."),
+		Inserts:         r.Counter("partdiff_storage_tuple_inserts_total", "Physical tuple insertions applied to base relations."),
+		Deletes:         r.Counter("partdiff_storage_tuple_deletes_total", "Physical tuple deletions applied to base relations."),
+		Reads:           r.Counter("partdiff_storage_tuple_reads_total", "Tuples visited by relation scans and index probes."),
+		IndexProbes:     r.Counter("partdiff_storage_index_probes_total", "Hash-index probes (Lookup, LookupCount, Contains)."),
+		SnapshotPins:    r.Counter("partdiff_storage_snapshot_pins_total", "Snapshot read views pinned."),
+		PinnedSnapshots: r.Gauge("partdiff_storage_pinned_snapshots", "Snapshot read views currently open."),
 	}
 }
 

@@ -1,0 +1,500 @@
+package storage
+
+// Multi-version concurrency control for snapshot reads.
+//
+// Writers are serialized by the session's admission gate (internal/txn),
+// so at any moment there is at most one transaction in flight; it writes
+// at sequence commitSeq+1. Readers pin the current commitSeq and see
+// exactly the rows committed at or before it: a row is visible at
+// snapshot S iff it was added at addSeq <= S and not deleted at delSeq
+// <= S. Version metadata lives in a per-relation sidecar — `added`
+// records the write sequence of recently-added live rows, `dead` holds
+// tombstones of recently-deleted ones — and is garbage-collected at
+// every commit down to the oldest pinned snapshot. With no snapshots
+// pinned the sidecar drains to empty and the MVCC layer costs a map
+// probe per mutation.
+//
+// Rollback replays the undo log inverted through the normal update path
+// (internal/txn), and the sidecar rules below make that replay exact:
+// re-inserting a tuple the same transaction deleted resurrects its
+// tombstone (restoring the original addSeq), and deleting a tuple the
+// same transaction added removes it without a tombstone. After a
+// rollback the sidecar is byte-identical to its pre-transaction state,
+// so the aborted transaction's write sequence can be reused safely.
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"partdiff/internal/types"
+)
+
+// rwlatch is a tiny writer-preference spin latch guarding one
+// relation's rows, indexes and version sidecar. A fresh reader waits
+// while a writer is queued (wantw > 0), so continuous read traffic can
+// never starve the writer; the writer holds it for one physical row
+// mutation, so readers wait microseconds, not query-lengths.
+//
+// Writer preference is safe against reader recursion (a self-join calls
+// Lookup while inside Each on the same relation) because recursive
+// acquisition never reaches the latch: snapshot readers skip
+// re-latching via the view's held set, and the live read path runs only
+// in the serialized writer's own goroutine, where wantw is necessarily
+// zero (the admission gate allows one writer at a time, and it cannot
+// be spinning in lock() while evaluating).
+type rwlatch struct {
+	// state >= 0: number of readers; -1: writer.
+	state atomic.Int32
+	// wantw counts writers spinning in lock(). Fresh readers wait while
+	// it is nonzero so the writer's CAS window opens.
+	wantw atomic.Int32
+}
+
+func (l *rwlatch) rlock() {
+	for {
+		if l.wantw.Load() == 0 {
+			s := l.state.Load()
+			if s >= 0 && l.state.CompareAndSwap(s, s+1) {
+				return
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+func (l *rwlatch) runlock() { l.state.Add(-1) }
+
+func (l *rwlatch) lock() {
+	l.wantw.Add(1)
+	for !l.state.CompareAndSwap(0, -1) {
+		runtime.Gosched()
+	}
+	l.wantw.Add(-1)
+}
+
+func (l *rwlatch) unlock() { l.state.Store(0) }
+
+// deadRow is a tombstone: a tuple deleted at delSeq that snapshots
+// pinned before it must still see. addSeq is the sequence the row was
+// added at (0 when it predates the sidecar, e.g. recovery-loaded rows).
+type deadRow struct {
+	t      types.Tuple
+	addSeq uint64
+	delSeq uint64
+}
+
+// writeSeq returns the sequence the in-flight transaction writes at.
+func (s *Store) writeSeq() uint64 { return s.commitSeq.Load() + 1 }
+
+// CommitSeq returns the sequence of the last committed transaction.
+func (s *Store) CommitSeq() uint64 { return s.commitSeq.Load() }
+
+// AdvanceCommit publishes a committed transaction's writes: it bumps
+// the commit sequence (rows written at the new sequence become visible
+// to snapshots pinned from now on), stamps every touched relation for
+// conflict validation, and garbage-collects version metadata older than
+// the oldest pinned snapshot. The caller (the transaction manager, at
+// ack) must be the serialized writer.
+func (s *Store) AdvanceCommit(touched []string) uint64 {
+	s.pinMu.Lock()
+	seq := s.commitSeq.Load() + 1
+	s.commitSeq.Store(seq)
+	min := seq
+	for p := range s.pins {
+		if p < min {
+			min = p
+		}
+	}
+	s.pinMu.Unlock()
+	s.mu.Lock()
+	for _, n := range touched {
+		if r, ok := s.rels[n]; ok {
+			r.latch.lock()
+			r.lastWrite = seq
+			r.latch.unlock()
+		}
+	}
+	s.purgeDirtyLocked(min)
+	s.mu.Unlock()
+	return seq
+}
+
+// purgeDirtyLocked drops version metadata no snapshot at or after min
+// needs. Caller holds s.mu.
+func (s *Store) purgeDirtyLocked(min uint64) {
+	for n := range s.dirty {
+		r, ok := s.rels[n]
+		if !ok || r.purge(min) {
+			delete(s.dirty, n)
+		}
+	}
+}
+
+// purge removes sidecar entries covered by every snapshot >= min; it
+// reports whether the sidecar is now empty.
+func (r *Relation) purge(min uint64) bool {
+	r.latch.lock()
+	defer r.latch.unlock()
+	for k, a := range r.added {
+		if a <= min {
+			delete(r.added, k)
+		}
+	}
+	for k, ds := range r.dead {
+		keep := ds[:0]
+		for _, d := range ds {
+			if d.delSeq > min {
+				keep = append(keep, d)
+			}
+		}
+		if len(keep) == 0 {
+			delete(r.dead, k)
+		} else {
+			r.dead[k] = keep
+		}
+	}
+	return len(r.added) == 0 && len(r.dead) == 0
+}
+
+// SnapshotView is a pinned read view of the store at one commit
+// sequence. It is safe for concurrent use with the writer, but serves
+// ONE reading goroutine at a time (each query pins its own view; an
+// Atomic transaction's single goroutine reuses one); Close releases the
+// pin (idempotent) so version metadata can be collected.
+//
+// rels is copied out of the store at pin time so Source never takes the
+// store lock: a snapshot evaluator resolves predicates from inside
+// latched row callbacks (mid-join), and going back to store.mu there
+// deadlocks against a writer that takes store.mu before the row latch.
+//
+// held counts, per relation, how many of the view's sources currently
+// hold its read latch. A nested acquire (self-join: Lookup from inside
+// Each's row callback) sees held > 0 and skips the latch — the outer
+// call already holds it — which is what lets the latch itself give
+// writers strict preference without deadlocking reader recursion.
+// Single-goroutine use (above) is what makes the plain map safe.
+type SnapshotView struct {
+	st     *Store
+	seq    uint64
+	rels   map[string]*Relation
+	held   map[*Relation]int
+	closed atomic.Bool
+}
+
+// PinSnapshot pins the current commit sequence and returns a consistent
+// read view over it.
+func (s *Store) PinSnapshot() *SnapshotView {
+	s.pinMu.Lock()
+	seq := s.commitSeq.Load()
+	s.pins[seq]++
+	s.pinMu.Unlock()
+	s.mu.RLock()
+	rels := make(map[string]*Relation, len(s.rels))
+	for n, r := range s.rels {
+		rels[n] = r
+	}
+	s.mu.RUnlock()
+	s.met.SnapshotPins.Inc()
+	s.met.PinnedSnapshots.Add(1)
+	return &SnapshotView{st: s, seq: seq, rels: rels, held: make(map[*Relation]int)}
+}
+
+// Seq returns the pinned commit sequence.
+func (v *SnapshotView) Seq() uint64 { return v.seq }
+
+// Close releases the pin. When the last pin drops, retained version
+// metadata is collected immediately rather than waiting for the next
+// commit.
+func (v *SnapshotView) Close() {
+	if v.closed.Swap(true) {
+		return
+	}
+	s := v.st
+	s.pinMu.Lock()
+	s.pins[v.seq]--
+	if s.pins[v.seq] <= 0 {
+		delete(s.pins, v.seq)
+	}
+	idle := len(s.pins) == 0
+	min := s.commitSeq.Load()
+	s.pinMu.Unlock()
+	s.met.PinnedSnapshots.Add(-1)
+	if idle {
+		s.mu.Lock()
+		s.purgeDirtyLocked(min)
+		s.mu.Unlock()
+	}
+}
+
+// Source returns a Source reading the named relation as of the pinned
+// sequence, or false if the relation did not exist at pin time. The
+// lookup runs on the view's own relation map — never the store lock —
+// so it is safe to call from inside another Source's row callback.
+func (v *SnapshotView) Source(name string) (Source, bool) {
+	r, ok := v.rels[name]
+	if !ok {
+		return nil, false
+	}
+	return snapSource{r: r, seq: v.seq, view: v}, true
+}
+
+// WriteSince reports whether any of the named relations was touched by
+// a commit after seq — the read-set validation of an optimistic
+// transaction. Callers must hold the writer gate, so no commit can race
+// the check.
+func (s *Store) WriteSince(seq uint64, rels map[string]bool) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for n := range rels {
+		if r, ok := s.rels[n]; ok {
+			r.latch.rlock()
+			lw := r.lastWrite
+			r.latch.runlock()
+			if lw > seq {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// snapSource adapts one relation to a Source at a fixed snapshot
+// sequence: live rows added after the snapshot are filtered out, and
+// tombstoned rows still visible at it are merged back in.
+type snapSource struct {
+	r    *Relation
+	seq  uint64
+	view *SnapshotView
+}
+
+func (v snapSource) Arity() int { return v.r.arity }
+
+// acquire read-latches the relation through the view's held set: a
+// nested call on a relation the view already holds (self-join) skips
+// the latch, so the writer-preference latch cannot deadlock reader
+// recursion. Returns the matching release.
+func (v snapSource) acquire() func() {
+	if v.view.held[v.r] > 0 {
+		v.view.held[v.r]++
+	} else {
+		v.r.latch.rlock()
+		v.view.held[v.r] = 1
+	}
+	return v.release
+}
+
+func (v snapSource) release() {
+	if n := v.view.held[v.r] - 1; n > 0 {
+		v.view.held[v.r] = n
+	} else {
+		delete(v.view.held, v.r)
+		v.r.latch.runlock()
+	}
+}
+
+// hidden reports whether the live row with this key is too new for the
+// snapshot. Caller holds the latch.
+func (v snapSource) hidden(key string) bool {
+	a, ok := v.r.added[key]
+	return ok && a > v.seq
+}
+
+// deadVisible reports whether tombstone d is visible at the snapshot.
+func (v snapSource) deadVisible(d deadRow) bool {
+	return d.addSeq <= v.seq && d.delSeq > v.seq
+}
+
+func (v snapSource) Len() int {
+	defer v.acquire()()
+	if len(v.r.added) == 0 && len(v.r.dead) == 0 {
+		return v.r.rows.Len()
+	}
+	n := 0
+	v.r.rows.Each(func(t types.Tuple) bool {
+		if !v.hidden(t.Key()) {
+			n++
+		}
+		return true
+	})
+	for _, ds := range v.r.dead {
+		for _, d := range ds {
+			if v.deadVisible(d) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (v snapSource) Each(fn func(types.Tuple) bool) {
+	defer v.acquire()()
+	v.r.met.Reads.Add(int64(v.r.rows.Len()))
+	stopped := false
+	v.r.rows.Each(func(t types.Tuple) bool {
+		if v.hidden(t.Key()) {
+			return true
+		}
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, ds := range v.r.dead {
+		for _, d := range ds {
+			if v.deadVisible(d) && !fn(d.t) {
+				return
+			}
+		}
+	}
+}
+
+func (v snapSource) Lookup(col int, val types.Value, fn func(types.Tuple) bool) {
+	if col < 0 || col >= v.r.arity {
+		return
+	}
+	defer v.acquire()()
+	v.r.met.IndexProbes.Inc()
+	stopped := false
+	if s, ok := v.r.index[col][val.Key()]; ok {
+		v.r.met.Reads.Add(int64(s.Len()))
+		s.Each(func(t types.Tuple) bool {
+			if v.hidden(t.Key()) {
+				return true
+			}
+			if !fn(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+	if stopped || len(v.r.dead) == 0 {
+		return
+	}
+	vk := val.Key()
+	for _, ds := range v.r.dead {
+		for _, d := range ds {
+			if v.deadVisible(d) && d.t[col].Key() == vk && !fn(d.t) {
+				return
+			}
+		}
+	}
+}
+
+func (v snapSource) Contains(t types.Tuple) bool {
+	defer v.acquire()()
+	v.r.met.IndexProbes.Inc()
+	key := t.Key()
+	if v.r.rows.ContainsKey(key) && !v.hidden(key) {
+		return true
+	}
+	for _, d := range v.r.dead[key] {
+		if v.deadVisible(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertAt adds t at write sequence seq, recording it in the version
+// sidecar; it reports whether the tuple was newly added. Re-inserting a
+// tuple the same transaction deleted resurrects its tombstone so a
+// rollback's inverse replay restores the sidecar exactly.
+func (r *Relation) insertAt(t types.Tuple, seq uint64) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
+	}
+	r.latch.lock()
+	defer r.latch.unlock()
+	key := t.Key()
+	if ds, ok := r.dead[key]; ok {
+		for i, d := range ds {
+			if d.delSeq != seq {
+				continue
+			}
+			ds = append(ds[:i], ds[i+1:]...)
+			if len(ds) == 0 {
+				delete(r.dead, key)
+			} else {
+				r.dead[key] = ds
+			}
+			if !r.rows.Add(t) {
+				return false, nil
+			}
+			r.indexAdd(t)
+			if d.addSeq > 0 {
+				r.addedSet(key, d.addSeq)
+			}
+			r.met.Inserts.Inc()
+			return true, nil
+		}
+	}
+	if !r.rows.Add(t) {
+		return false, nil
+	}
+	r.met.Inserts.Inc()
+	r.indexAdd(t)
+	r.addedSet(key, seq)
+	return true, nil
+}
+
+func (r *Relation) addedSet(key string, seq uint64) {
+	if r.added == nil {
+		r.added = make(map[string]uint64)
+	}
+	r.added[key] = seq
+}
+
+// removeAt deletes t at write sequence seq, leaving a tombstone for
+// older snapshots — unless the same transaction added the row, in which
+// case it was never visible outside the transaction and is removed
+// without a trace.
+func (r *Relation) removeAt(t types.Tuple, seq uint64) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
+	}
+	r.latch.lock()
+	defer r.latch.unlock()
+	key := t.Key()
+	if !r.rows.Remove(t) {
+		return false, nil
+	}
+	r.met.Deletes.Inc()
+	r.indexRemove(t)
+	a := r.added[key]
+	delete(r.added, key)
+	if a != seq {
+		if r.dead == nil {
+			r.dead = make(map[string][]deadRow)
+		}
+		r.dead[key] = append(r.dead[key], deadRow{t: t, addSeq: a, delSeq: seq})
+	}
+	return true, nil
+}
+
+// checkVersions verifies sidecar sanity: every `added` entry names a
+// live row, and every tombstone's lifetime is well-formed. Caller holds
+// the latch or is the quiesced writer.
+func (r *Relation) checkVersions() error {
+	for k, a := range r.added {
+		if !r.rows.ContainsKey(k) {
+			return fmt.Errorf("relation %q: version sidecar marks missing row %q as added at %d", r.name, k, a)
+		}
+	}
+	for k, ds := range r.dead {
+		for _, d := range ds {
+			if d.t.Key() != k {
+				return fmt.Errorf("relation %q: tombstone keyed %q holds tuple %s", r.name, k, d.t)
+			}
+			if d.delSeq <= d.addSeq {
+				return fmt.Errorf("relation %q: tombstone %s deleted at %d before added at %d", r.name, d.t, d.delSeq, d.addSeq)
+			}
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"partdiff/internal/faultinject"
 	"partdiff/internal/types"
@@ -86,6 +87,16 @@ type Relation struct {
 	// index[col][valueKey] is the set of rows with that column value.
 	index []map[string]*types.Set
 	met   *Metrics // never nil; zero-value Metrics when observability is off
+
+	// MVCC sidecar (see mvcc.go), guarded by latch: added maps the key
+	// of each recently-added live row to its write sequence, dead holds
+	// tombstones snapshots may still need, lastWrite is the commit
+	// sequence of the last committed write (conflict validation). Both
+	// maps drain to nil/empty whenever no snapshot is pinned.
+	latch     rwlatch
+	added     map[string]uint64
+	dead      map[string][]deadRow
+	lastWrite uint64
 }
 
 // NewRelation creates an empty relation. keyCols are the columns that
@@ -163,15 +174,42 @@ func (r *Relation) LookupCount(col int, v types.Value) int {
 	return 0
 }
 
-// insert adds t; reports whether it was newly added.
+// insert adds t with no version bookkeeping — the recovery path, which
+// runs before any snapshot can be pinned; reports whether it was newly
+// added. Transactional writers use insertAt (mvcc.go).
 func (r *Relation) insert(t types.Tuple) (bool, error) {
 	if len(t) != r.arity {
 		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
 	}
+	r.latch.lock()
+	defer r.latch.unlock()
 	if !r.rows.Add(t) {
 		return false, nil
 	}
 	r.met.Inserts.Inc()
+	r.indexAdd(t)
+	return true, nil
+}
+
+// remove deletes t with no version bookkeeping (recovery path); reports
+// whether it was present. Transactional writers use removeAt (mvcc.go).
+func (r *Relation) remove(t types.Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
+	}
+	r.latch.lock()
+	defer r.latch.unlock()
+	if !r.rows.Remove(t) {
+		return false, nil
+	}
+	r.met.Deletes.Inc()
+	r.indexRemove(t)
+	return true, nil
+}
+
+// indexAdd indexes t under every column. Caller holds the latch and has
+// added t to rows.
+func (r *Relation) indexAdd(t types.Tuple) {
 	for col, v := range t {
 		k := v.Key()
 		s, ok := r.index[col][k]
@@ -181,18 +219,11 @@ func (r *Relation) insert(t types.Tuple) (bool, error) {
 		}
 		s.Add(t)
 	}
-	return true, nil
 }
 
-// remove deletes t; reports whether it was present.
-func (r *Relation) remove(t types.Tuple) (bool, error) {
-	if len(t) != r.arity {
-		return false, fmt.Errorf("relation %q: tuple arity %d, want %d", r.name, len(t), r.arity)
-	}
-	if !r.rows.Remove(t) {
-		return false, nil
-	}
-	r.met.Deletes.Inc()
+// indexRemove unindexes t from every column. Caller holds the latch and
+// has removed t from rows.
+func (r *Relation) indexRemove(t types.Tuple) {
 	for col, v := range t {
 		k := v.Key()
 		if s, ok := r.index[col][k]; ok {
@@ -202,7 +233,6 @@ func (r *Relation) remove(t types.Tuple) (bool, error) {
 			}
 		}
 	}
-	return true, nil
 }
 
 // keyMatches returns the tuples whose key columns equal key, using the
@@ -234,11 +264,41 @@ type Store struct {
 	listeners []Listener
 	inj       *faultinject.Injector
 	met       *Metrics
+
+	// MVCC state (see mvcc.go): commitSeq is the sequence of the last
+	// committed transaction (the in-flight writer writes at commitSeq+1),
+	// pins refcounts the snapshots readers hold (guarded by pinMu, which
+	// also serializes pinning against AdvanceCommit), and dirty names the
+	// relations whose version sidecars await garbage collection (guarded
+	// by mu).
+	commitSeq atomic.Uint64
+	pinMu     sync.Mutex
+	pins      map[uint64]int
+	dirty     map[string]struct{}
+	// txnDepth counts open transaction scopes (see BeginTxnScope). A
+	// write outside any scope advances the commit sequence itself, so
+	// direct store use — population loops, tests — stays visible to
+	// snapshot readers without a transaction layer above it.
+	txnDepth atomic.Int32
 }
+
+// BeginTxnScope and EndTxnScope bracket a transaction: writes inside a
+// scope become snapshot-visible only when the transaction layer calls
+// AdvanceCommit at commit; writes outside any scope advance the commit
+// sequence themselves, each its own atomic unit.
+func (s *Store) BeginTxnScope() { s.txnDepth.Add(1) }
+
+// EndTxnScope closes the scope opened by BeginTxnScope.
+func (s *Store) EndTxnScope() { s.txnDepth.Add(-1) }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{rels: make(map[string]*Relation)}
+	return &Store{
+		rels:  make(map[string]*Relation),
+		pins:  make(map[uint64]int),
+		dirty: make(map[string]struct{}),
+		met:   &Metrics{},
+	}
 }
 
 // CreateRelation creates and registers a new base relation.
@@ -312,6 +372,14 @@ func (s *Store) SetInjector(inj *faultinject.Injector) {
 // Insert asserts a tuple; it reports whether the tuple was newly added
 // and emits a physical + event if so.
 func (s *Store) Insert(rel string, t types.Tuple) (bool, error) {
+	added, err := s.insertTx(rel, t)
+	if err == nil && added && s.txnDepth.Load() == 0 {
+		s.AdvanceCommit([]string{rel})
+	}
+	return added, err
+}
+
+func (s *Store) insertTx(rel string, t types.Tuple) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.rels[rel]
@@ -322,10 +390,11 @@ func (s *Store) Insert(rel string, t types.Tuple) (bool, error) {
 	if err := s.inj.Fire(faultinject.StoreInsert); err != nil {
 		return false, err
 	}
-	added, err := r.insert(t)
+	added, err := r.insertAt(t, s.writeSeq())
 	if err != nil || !added {
 		return added, err
 	}
+	s.dirty[rel] = struct{}{}
 	s.emit(Event{Relation: rel, Kind: InsertEvent, Tuple: t})
 	return true, nil
 }
@@ -333,6 +402,14 @@ func (s *Store) Insert(rel string, t types.Tuple) (bool, error) {
 // Delete retracts a tuple; it reports whether the tuple was present and
 // emits a physical − event if so.
 func (s *Store) Delete(rel string, t types.Tuple) (bool, error) {
+	removed, err := s.deleteTx(rel, t)
+	if err == nil && removed && s.txnDepth.Load() == 0 {
+		s.AdvanceCommit([]string{rel})
+	}
+	return removed, err
+}
+
+func (s *Store) deleteTx(rel string, t types.Tuple) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.rels[rel]
@@ -342,10 +419,11 @@ func (s *Store) Delete(rel string, t types.Tuple) (bool, error) {
 	if err := s.inj.Fire(faultinject.StoreDelete); err != nil {
 		return false, err
 	}
-	removed, err := r.remove(t)
+	removed, err := r.removeAt(t, s.writeSeq())
 	if err != nil || !removed {
 		return removed, err
 	}
+	s.dirty[rel] = struct{}{}
 	s.emit(Event{Relation: rel, Kind: DeleteEvent, Tuple: t})
 	return true, nil
 }
@@ -395,44 +473,60 @@ func (s *Store) ApplyLogged(e Event) error {
 // key columns equal key, then asserts key ++ value. Physical events are
 // emitted in paper order (− before +). It returns the retracted tuples.
 func (s *Store) Set(rel string, key []types.Value, value []types.Value) ([]types.Tuple, error) {
+	old, changed, err := s.setTx(rel, key, value)
+	// Advance even on a mid-Set fault: outside a transaction nothing
+	// undoes the retractions already applied, so they must be visible.
+	if changed && s.txnDepth.Load() == 0 {
+		s.AdvanceCommit([]string{rel})
+	}
+	return old, err
+}
+
+func (s *Store) setTx(rel string, key []types.Value, value []types.Value) ([]types.Tuple, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.rels[rel]
 	if !ok {
-		return nil, fmt.Errorf("relation %q does not exist", rel)
+		return nil, false, fmt.Errorf("relation %q does not exist", rel)
 	}
 	if len(key) != len(r.keyCols) {
-		return nil, fmt.Errorf("relation %q: key arity %d, want %d", rel, len(key), len(r.keyCols))
+		return nil, false, fmt.Errorf("relation %q: key arity %d, want %d", rel, len(key), len(r.keyCols))
 	}
 	nt := make(types.Tuple, 0, len(key)+len(value))
 	nt = append(nt, key...)
 	nt = append(nt, value...)
 	if len(nt) != r.arity {
-		return nil, fmt.Errorf("relation %q: set arity %d, want %d", rel, len(nt), r.arity)
+		return nil, false, fmt.Errorf("relation %q: set arity %d, want %d", rel, len(nt), r.arity)
 	}
 	old := r.keyMatches(key)
 	// If the new tuple is already the (only) current value, Set is a
 	// no-op and emits nothing — there is no physical change.
 	if len(old) == 1 && old[0].Equal(nt) {
-		return nil, nil
+		return nil, false, nil
 	}
+	changed := false
+	seq := s.writeSeq()
 	for _, t := range old {
 		// A fault here leaves earlier retractions applied (and their
 		// events emitted), so the undo log can still restore them.
 		if err := s.inj.Fire(faultinject.StoreDelete); err != nil {
-			return nil, err
+			return nil, changed, err
 		}
-		if removed, _ := r.remove(t); removed {
+		if removed, _ := r.removeAt(t, seq); removed {
+			s.dirty[rel] = struct{}{}
+			changed = true
 			s.emit(Event{Relation: rel, Kind: DeleteEvent, Tuple: t})
 		}
 	}
 	if err := s.inj.Fire(faultinject.StoreInsert); err != nil {
-		return nil, err
+		return nil, changed, err
 	}
-	if added, _ := r.insert(nt); added {
+	if added, _ := r.insertAt(nt, seq); added {
+		s.dirty[rel] = struct{}{}
+		changed = true
 		s.emit(Event{Relation: rel, Kind: InsertEvent, Tuple: nt})
 	}
-	return old, nil
+	return old, changed, nil
 }
 
 // TuplesReferencing returns, per relation, the tuples in which value v
@@ -466,7 +560,9 @@ func (s *Store) Snapshot() map[string][]types.Tuple {
 	defer s.mu.RUnlock()
 	out := make(map[string][]types.Tuple, len(s.rels))
 	for name, r := range s.rels {
-		out[name] = r.Tuples()
+		r.latch.rlock()
+		out[name] = r.rows.Tuples()
+		r.latch.runlock()
 	}
 	return out
 }
@@ -492,6 +588,11 @@ func (s *Store) CheckInvariants() error {
 }
 
 func (r *Relation) checkConsistency() error {
+	r.latch.rlock()
+	defer r.latch.runlock()
+	if err := r.checkVersions(); err != nil {
+		return err
+	}
 	var err error
 	r.rows.Each(func(t types.Tuple) bool {
 		if len(t) != r.arity {

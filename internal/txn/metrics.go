@@ -22,6 +22,19 @@ type Metrics struct {
 	// UndoEvents is the distribution of undo-log lengths at commit or
 	// rollback (physical events per transaction).
 	UndoEvents *obs.Histogram
+	// Writer-admission contention: GateDepth gauges the waiter queue,
+	// GateWaitSeconds times each admission, GateTimeouts counts waiters
+	// whose deadline expired (ErrSessionBusy), GateBackoffs counts
+	// jittered sleeps behind a full queue.
+	GateDepth       *obs.Gauge
+	GateWaitSeconds *obs.Histogram
+	GateTimeouts    *obs.Counter
+	GateBackoffs    *obs.Counter
+	// Conflicts counts optimistic transactions whose read set was
+	// invalidated (ErrConflict); ConflictRetries counts the automatic
+	// re-runs the facade performed.
+	Conflicts       *obs.Counter
+	ConflictRetries *obs.Counter
 }
 
 // NewMetrics registers the transaction meters in r.
@@ -35,8 +48,22 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		CommitSeconds:   r.Histogram("partdiff_txn_commit_seconds", "Wall-clock time of Commit (including the check phase).", obs.DefLatencyBuckets),
 		CheckSeconds:    r.Histogram("partdiff_txn_check_seconds", "Wall-clock time of the deferred check phase.", obs.DefLatencyBuckets),
 		UndoEvents:      r.Histogram("partdiff_txn_undo_events", "Physical events logged per finished transaction.", obs.DefSizeBuckets),
+		GateDepth:       r.Gauge("partdiff_txn_gate_depth", "Writers currently queued on the admission gate."),
+		GateWaitSeconds: r.Histogram("partdiff_txn_gate_wait_seconds", "Wall-clock wait for writer admission.", obs.DefLatencyBuckets),
+		GateTimeouts:    r.Counter("partdiff_txn_gate_timeouts_total", "Writer admissions abandoned on deadline (ErrSessionBusy)."),
+		GateBackoffs:    r.Counter("partdiff_txn_gate_backoffs_total", "Jittered backoff sleeps behind a full admission queue."),
+		Conflicts:       r.Counter("partdiff_txn_conflicts_total", "Optimistic transactions aborted by read-set invalidation (ErrConflict)."),
+		ConflictRetries: r.Counter("partdiff_txn_conflict_retries_total", "Automatic re-runs of conflicted optimistic transactions."),
 	}
 }
+
+// MarkConflict records an optimistic transaction aborted by read-set
+// invalidation; MarkConflictRetry records an automatic re-run.
+func (m *Manager) MarkConflict() { m.met.Conflicts.Inc() }
+
+// MarkConflictRetry records one automatic re-run of a conflicted
+// optimistic transaction.
+func (m *Manager) MarkConflictRetry() { m.met.ConflictRetries.Inc() }
 
 // SetObs installs the meter set and tracer (nil values restore the
 // disabled defaults).

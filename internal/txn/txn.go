@@ -34,6 +34,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"partdiff/internal/obs"
@@ -73,8 +74,10 @@ type Hook struct {
 	OnEnd func(committed bool)
 }
 
-// Manager coordinates transactions on one store. It is not safe for
-// concurrent use: AMOS-style main-memory transactions are serial.
+// Manager coordinates transactions on one store. AMOS-style main-memory
+// transactions are serial: callers must hold the session's writer gate
+// (see Gate) around every Begin/Commit/Rollback. Corrupt alone is safe
+// to call concurrently — snapshot readers poll it without the gate.
 type Manager struct {
 	store *storage.Store
 
@@ -83,6 +86,8 @@ type Manager struct {
 	undo       []storage.Event
 	// corrupt, once set, poisons the manager: Begin, Commit and
 	// Rollback all return it (wrapping ErrCorrupt) forever after.
+	// Guarded by cmu: it is read by gate-free snapshot readers.
+	cmu     sync.Mutex
 	corrupt error
 
 	hooks []Hook
@@ -131,21 +136,35 @@ func (m *Manager) observe(e storage.Event) {
 
 // Begin starts a transaction.
 func (m *Manager) Begin() error {
-	if m.corrupt != nil {
-		return m.corrupt
+	if err := m.Corrupt(); err != nil {
+		return err
 	}
 	if m.active {
 		return fmt.Errorf("transaction already active")
 	}
 	m.active = true
 	m.undo = m.undo[:0]
+	// Inside the scope the store defers snapshot visibility to the
+	// AdvanceCommit call at commit (rollback publishes nothing).
+	m.store.BeginTxnScope()
 	m.met.Begins.Inc()
 	return nil
 }
 
 // Corrupt returns the sticky corruption error, or nil while the manager
-// is healthy.
-func (m *Manager) Corrupt() error { return m.corrupt }
+// is healthy. Safe for concurrent use (snapshot readers fail fast on a
+// poisoned database without taking the writer gate).
+func (m *Manager) Corrupt() error {
+	m.cmu.Lock()
+	defer m.cmu.Unlock()
+	return m.corrupt
+}
+
+func (m *Manager) setCorrupt(err error) {
+	m.cmu.Lock()
+	m.corrupt = err
+	m.cmu.Unlock()
+}
 
 // InTransaction reports whether a transaction is active.
 func (m *Manager) InTransaction() bool { return m.active }
@@ -162,8 +181,8 @@ func (m *Manager) UpdateCount() int { return len(m.undo) }
 // transaction is guaranteed to be finalized either way — a panicking
 // hook can not leave the manager active with a stale undo log.
 func (m *Manager) Commit() error {
-	if m.corrupt != nil {
-		return m.corrupt
+	if err := m.Corrupt(); err != nil {
+		return err
 	}
 	if !m.active {
 		return fmt.Errorf("no active transaction")
@@ -197,8 +216,17 @@ func (m *Manager) Commit() error {
 		}
 		return fmt.Errorf("persist failed, transaction rolled back: %w", err)
 	}
+	// Ack (step 3): finalize, then publish the write set — the commit
+	// sequence advances and new snapshot pins see the transaction's
+	// rows. Touched relations are stamped for optimistic read-set
+	// validation; an empty transaction publishes nothing.
 	m.active = false
+	touched := touchedRelations(m.undo)
 	m.undo = m.undo[:0]
+	m.store.EndTxnScope()
+	if len(touched) > 0 {
+		m.store.AdvanceCommit(touched)
+	}
 	for i := range m.hooks {
 		if m.hooks[i].OnEnd != nil {
 			m.hooks[i].OnEnd(true)
@@ -264,8 +292,8 @@ func (m *Manager) runPersistHooks(userLen int) (err error) {
 // matches the pre-transaction state, so the manager is poisoned and
 // the returned error wraps ErrCorrupt.
 func (m *Manager) Rollback() error {
-	if m.corrupt != nil {
-		return m.corrupt
+	if err := m.Corrupt(); err != nil {
+		return err
 	}
 	if !m.active {
 		return fmt.Errorf("no active transaction")
@@ -296,6 +324,7 @@ func (m *Manager) Rollback() error {
 	m.inRollback = false
 	m.active = false
 	m.undo = m.undo[:0]
+	m.store.EndTxnScope()
 	m.met.Rollbacks.Inc()
 	for i := range m.hooks {
 		if m.hooks[i].OnEnd != nil {
@@ -303,8 +332,26 @@ func (m *Manager) Rollback() error {
 		}
 	}
 	if len(undoErrs) > 0 {
-		m.corrupt = fmt.Errorf("%w: %v", ErrCorrupt, errors.Join(undoErrs...))
-		return m.corrupt
+		err := fmt.Errorf("%w: %v", ErrCorrupt, errors.Join(undoErrs...))
+		m.setCorrupt(err)
+		return err
 	}
 	return nil
+}
+
+// touchedRelations returns the distinct relation names in the event
+// log, in first-touch order.
+func touchedRelations(events []storage.Event) []string {
+	if len(events) == 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, 4)
+	var out []string
+	for _, e := range events {
+		if _, ok := seen[e.Relation]; !ok {
+			seen[e.Relation] = struct{}{}
+			out = append(out, e.Relation)
+		}
+	}
+	return out
 }

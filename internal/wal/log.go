@@ -45,14 +45,20 @@ type Log struct {
 	err    error    // sticky
 	closed bool
 
-	// Group-commit batcher state (SyncGrouped only).
-	reqCh  chan syncReq
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	// Group-commit state (SyncGrouped only): whether a leader's fsync is
+	// in flight, and the round of committers gathered behind it. gmu is
+	// ordered before mu and never held across an fsync.
+	gmu      sync.Mutex
+	inFlight bool
+	round    *syncRound
 }
 
-type syncReq struct {
-	done chan error
+// syncRound collects committers that arrived while an fsync was in
+// flight (that fsync may not cover their records). The round's leader
+// runs one fsync for all of them, then closes done.
+type syncRound struct {
+	done chan struct{}
+	err  error
 }
 
 // Open opens (or creates) the log at path, scans every valid record and
@@ -105,15 +111,9 @@ func Open(path string, policy SyncPolicy, inj *faultinject.Injector, met *Metric
 		}
 		l.size = int64(goodEnd)
 		l.met.LogBytes.Set(l.size)
-		if policy == SyncGrouped {
-			l.startBatcher()
-		}
 		return l, recs, nil
 	}
 	l.met.LogBytes.Set(l.size)
-	if policy == SyncGrouped {
-		l.startBatcher()
-	}
 	return l, nil, nil
 }
 
@@ -143,6 +143,9 @@ func scanRecords(data []byte) (recs []Record, goodEnd int, torn bool) {
 		off += frameHeaderLen + int(ln)
 	}
 }
+
+// Policy returns the log's sync policy (fixed at Open).
+func (l *Log) Policy() SyncPolicy { return l.policy }
 
 // Size returns the current log size in bytes.
 func (l *Log) Size() int64 {
@@ -175,6 +178,28 @@ func (l *Log) Append(r *Record) error {
 	if err := l.write(r); err != nil {
 		return err
 	}
+	switch l.policy {
+	case SyncAlways:
+		return l.Sync()
+	case SyncGrouped:
+		return l.groupSync()
+	default:
+		return nil
+	}
+}
+
+// Write appends one record frame WITHOUT applying the sync policy.
+// Callers split append from durability so a committer can write its
+// record while holding the writer gate and wait for the group fsync
+// after releasing it — later writers append behind it and share the
+// same fsync. Pair with AwaitSync before acknowledging the commit.
+func (l *Log) Write(r *Record) error { return l.write(r) }
+
+// AwaitSync applies the sync policy to everything written so far: an
+// immediate fsync under SyncAlways, the group-commit batcher's next
+// fsync under SyncGrouped, a no-op under SyncNone. Returns when the
+// records are durable (or the log is poisoned).
+func (l *Log) AwaitSync() error {
 	switch l.policy {
 	case SyncAlways:
 		return l.Sync()
@@ -239,6 +264,11 @@ func (l *Log) syncLocked() error {
 	if l.err != nil {
 		return l.err
 	}
+	if l.closed {
+		// Not sticky: a straggling group-commit waiter after Close gets
+		// an error without poisoning the (cleanly closed) log.
+		return fmt.Errorf("wal: log closed")
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			l.err = fmt.Errorf("wal fsync panicked: %v", r)
@@ -280,45 +310,6 @@ func (l *Log) Reset() error {
 	return l.syncLocked()
 }
 
-// startBatcher launches the group-commit goroutine.
-func (l *Log) startBatcher() {
-	l.reqCh = make(chan syncReq, 64)
-	l.stopCh = make(chan struct{})
-	l.wg.Add(1)
-	go l.batcher()
-}
-
-func (l *Log) batcher() {
-	defer l.wg.Done()
-	for {
-		var first syncReq
-		select {
-		case first = <-l.reqCh:
-		case <-l.stopCh:
-			return
-		}
-		batch := []syncReq{first}
-	drain:
-		for {
-			select {
-			case r := <-l.reqCh:
-				batch = append(batch, r)
-			default:
-				break drain
-			}
-		}
-		// The whole batch shares one fsync: every batched record was
-		// written before its committer blocked on done, so the fsync
-		// covers them all. An injected panic must not kill the process
-		// from this goroutine — it is contained into the error every
-		// waiter receives (the log is already poisoned by syncLocked).
-		err := l.syncContained()
-		for _, r := range batch {
-			r.done <- err
-		}
-	}
-}
-
 func (l *Log) syncContained() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -328,38 +319,52 @@ func (l *Log) syncContained() (err error) {
 	return l.Sync()
 }
 
+// groupSync implements leader-based group commit. The first committer
+// to arrive leads: it fsyncs inline, so a solo committer pays exactly
+// what SyncAlways pays — no handoff to a background goroutine.
+// Committers arriving while that fsync is in flight CANNOT be covered
+// by it (their append may have raced past its start), so they gather
+// into a round; when the leader's own fsync finishes it runs ONE more
+// fsync covering the whole round and wakes every member. An injected
+// fsync panic is contained into the error each waiter receives (the
+// log is already poisoned by syncLocked).
 func (l *Log) groupSync() error {
-	req := syncReq{done: make(chan error, 1)}
-	select {
-	case l.reqCh <- req:
-	case <-l.stopCh:
-		return fmt.Errorf("wal: log closed")
+	l.gmu.Lock()
+	if l.inFlight {
+		if l.round == nil {
+			l.round = &syncRound{done: make(chan struct{})}
+		}
+		r := l.round
+		l.gmu.Unlock()
+		<-r.done
+		return r.err
 	}
-	select {
-	case err := <-req.done:
-		return err
-	case <-l.stopCh:
-		return fmt.Errorf("wal: log closed")
+	l.inFlight = true
+	l.gmu.Unlock()
+	err := l.syncContained()
+	l.gmu.Lock()
+	for l.round != nil {
+		r := l.round
+		l.round = nil
+		l.gmu.Unlock()
+		r.err = l.syncContained()
+		close(r.done)
+		l.gmu.Lock()
 	}
+	l.inFlight = false
+	l.gmu.Unlock()
+	return err
 }
 
-// Close stops the batcher, fsyncs once more (best effort on a healthy
-// log) and closes the file.
+// Close fsyncs once more (best effort on a healthy log) and closes the
+// file. Outstanding group-commit rounds drain through the sticky error.
 func (l *Log) Close() error {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
-		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
-	stop := l.stopCh
-	l.mu.Unlock()
-	if stop != nil {
-		close(stop)
-		l.wg.Wait()
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var syncErr error
 	if l.err == nil {
 		syncErr = l.f.Sync()

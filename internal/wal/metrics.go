@@ -23,6 +23,11 @@ type Metrics struct {
 	// TornRecords counts discarded torn/corrupt log tails.
 	RecoveredRecords *obs.Counter
 	TornRecords      *obs.Counter
+	// CkptBusyRetries counts background-checkpoint attempts that found
+	// the session busy and retried with backoff; CkptSkippedTicks counts
+	// ticks abandoned after the retry budget (or inside a transaction).
+	CkptBusyRetries  *obs.Counter
+	CkptSkippedTicks *obs.Counter
 }
 
 // NewMetrics registers the durability meters in r.
@@ -38,5 +43,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		SnapshotBytes:     r.Gauge("partdiff_wal_snapshot_bytes", "Size in bytes of the last snapshot written."),
 		RecoveredRecords:  r.Counter("partdiff_wal_recovered_records_total", "Log records replayed during recovery."),
 		TornRecords:       r.Counter("partdiff_wal_torn_records_total", "Torn or corrupt log tails discarded at open."),
+		CkptBusyRetries:   r.Counter("partdiff_wal_ckpt_busy_retries_total", "Background checkpoint attempts retried because the session was busy."),
+		CkptSkippedTicks:  r.Counter("partdiff_wal_ckpt_skipped_ticks_total", "Background checkpoint ticks abandoned (retry budget exhausted or transaction active)."),
 	}
 }

@@ -30,7 +30,9 @@ package partdiff
 
 import (
 	"context"
+	"errors"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
@@ -48,6 +50,21 @@ import (
 // undone transaction, so no answer derived from it can be trusted.
 // Test with errors.Is.
 var ErrCorrupt = txn.ErrCorrupt
+
+// ErrSessionBusy is returned when a writer's admission to the database
+// timed out: another writer (typically an open explicit transaction)
+// held the session past the call's context deadline — or past the
+// WithWriterWait default when the call carries no deadline. Writers
+// otherwise QUEUE rather than fail; reads never wait at all (they run
+// on MVCC snapshots). Test with errors.Is.
+var ErrSessionBusy = txn.ErrSessionBusy
+
+// ErrConflict is returned by Atomic when commit-time validation found
+// that a concurrent transaction changed a relation the body had read
+// from its snapshot. DB.Atomic retries a few times automatically; the
+// error escapes only when the retries are exhausted. Test with
+// errors.Is.
+var ErrConflict = txn.ErrConflict
 
 // Value is a database value (nil, bool, int, float, string, or object
 // reference).
@@ -131,6 +148,8 @@ type config struct {
 	adaptive    bool
 	budget      time.Duration
 	ctx         context.Context
+	writerWait  time.Duration
+	wwSet       bool
 
 	// Durability knobs (OpenDir only).
 	sync       SyncPolicy
@@ -209,6 +228,15 @@ func WithAdaptiveStats() Option {
 	return func(c *config) { c.adaptive = true }
 }
 
+// WithWriterWait sets the default deadline a writer waits for admission
+// when its call carries no context deadline of its own (default 30s;
+// <= 0 waits forever). Concurrent writers queue FIFO; a waiter whose
+// deadline expires gets ErrSessionBusy. Calls made through the
+// *Context variants are bounded by their context instead.
+func WithWriterWait(d time.Duration) Option {
+	return func(c *config) { c.writerWait, c.wwSet = d, true }
+}
+
 // WithSyncPolicy selects the write-ahead log's fsync policy (default
 // SyncAlways). Only meaningful with OpenDir.
 func WithSyncPolicy(p SyncPolicy) Option {
@@ -269,6 +297,9 @@ func open(opts []Option) (*DB, *config) {
 	}
 	db.sess.Rules().CheckBudget = cfg.budget
 	db.sess.Rules().CheckContext = cfg.ctx
+	if cfg.wwSet {
+		db.sess.SetWriterWait(cfg.writerWait)
+	}
 	return db, &cfg
 }
 
@@ -321,18 +352,38 @@ func (db *DB) Close() error { return db.sess.Close() }
 
 // Exec parses and executes AMOSQL statements, returning one result per
 // statement. Statements outside an explicit transaction auto-commit
-// (running the deferred rule check phase immediately).
+// (running the deferred rule check phase immediately). Concurrent
+// writers queue FIFO for admission; see ErrSessionBusy.
 func (db *DB) Exec(src string) ([]Result, error) { return db.sess.Exec(src) }
+
+// ExecContext is Exec with the wait for writer admission bounded by
+// ctx's deadline (expiry returns ErrSessionBusy).
+func (db *DB) ExecContext(ctx context.Context, src string) ([]Result, error) {
+	return db.sess.ExecContext(ctx, src)
+}
 
 // MustExec is Exec but panics on error — for examples and tests.
 func (db *DB) MustExec(src string) []Result { return db.sess.MustExec(src) }
 
-// Query executes a single select statement.
+// Query executes a single select statement. From goroutines that do not
+// hold the session (everything except a rule action querying
+// mid-commit) it runs against a pinned MVCC snapshot of the last
+// committed state, without waiting for writers at all.
 func (db *DB) Query(src string) (*Result, error) { return db.sess.Query(src) }
 
+// QueryContext is Query with a context (the deadline matters only on
+// the gated paths: re-entrant live queries and aggregate selects).
+func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return db.sess.QueryContext(ctx, src)
+}
+
 // Begin starts an explicit transaction; rule conditions are monitored
-// deferred, at Commit.
+// deferred, at Commit. The session is held (leased) until Commit or
+// Rollback: concurrent writers queue, snapshot reads proceed.
 func (db *DB) Begin() error { return db.sess.Begin() }
+
+// BeginContext is Begin with writer admission bounded by ctx.
+func (db *DB) BeginContext(ctx context.Context) error { return db.sess.BeginContext(ctx) }
 
 // Commit runs the deferred check phase (change propagation, conflict
 // resolution, set-oriented action execution) and commits. A panic in a
@@ -344,6 +395,42 @@ func (db *DB) Commit() error { return db.sess.Commit() }
 // Rollback undoes the active transaction; Δ-sets cancel out so no rule
 // sees any net change.
 func (db *DB) Rollback() error { return db.sess.Rollback() }
+
+// Tx is the handle an Atomic body works through: Query reads from the
+// transaction's pinned snapshot (recording the read set), Exec buffers
+// writes for the optimistic commit.
+type Tx = amosql.AtomicTx
+
+// Atomic runs fn as one optimistic transaction: its Queries all see the
+// same pinned snapshot of the last committed state, its Execs are
+// buffered, and at the end the buffered writes are validated and
+// applied as a single transaction — provided no concurrent commit
+// touched a relation the body read. On conflict the body is re-run
+// against a fresh snapshot, up to a few attempts with jittered backoff;
+// if the last attempt still conflicts, the ErrConflict escapes. fn must
+// therefore be safe to call multiple times (pure reads + buffered
+// writes are; side effects outside the database are not rolled back).
+// A read-only body never waits on writers at all.
+func (db *DB) Atomic(ctx context.Context, fn func(*Tx) error) error {
+	const attempts = 4
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			db.sess.Txns().MarkConflictRetry()
+			d := time.Duration(i) * 500 * time.Microsecond
+			d += time.Duration(rand.Int63n(int64(d)))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return err
+			}
+		}
+		if err = db.sess.Atomic(ctx, fn); !errors.Is(err, ErrConflict) {
+			return err
+		}
+	}
+	return err
+}
 
 // CheckInvariants verifies cross-layer consistency: storage
 // index↔tuple-set agreement, propagation-network level monotonicity,
