@@ -1,0 +1,30 @@
+// Command diagcheck runs the diagnostic-code hygiene check over a
+// module tree and prints its findings, one per line. It exits 1 when
+// findings exist and 2 on analysis errors, mirroring go vet, so CI can
+// gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"partdiff/internal/lint/diagcheck"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze")
+	flag.Parse()
+
+	findings, err := diagcheck.Check(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", diagcheck.Name, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

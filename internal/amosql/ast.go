@@ -108,6 +108,17 @@ type DeleteInstances struct {
 	Vars []string
 }
 
+// DeclareStmt is: declare NAME readonly|append only|delete only|read-write;
+// It restricts the admitted change kinds of a stored function (or a
+// type's extent, named by type), enforced by the store and exploited by
+// the whole-network Δ-effect analysis to prune differentials the
+// restriction makes impossible. Capability holds the raw capability
+// text for storage.ParseCapability.
+type DeclareStmt struct {
+	Name       string
+	Capability string
+}
+
 // ExplainStmt is: explain select ...; | explain rule NAME;
 // It renders the compiled ObjectLog (and, for activated rules, the
 // generated partial differentials) instead of executing.
@@ -130,6 +141,7 @@ func (UpdateStmt) stmt()      {}
 func (ActivateStmt) stmt()    {}
 func (DeactivateStmt) stmt()  {}
 func (DeleteInstances) stmt() {}
+func (DeclareStmt) stmt()     {}
 func (ExplainStmt) stmt()     {}
 func (TxnStmt) stmt()         {}
 

@@ -256,6 +256,30 @@ func (s *Session) SetLazyAnalysis(lazy bool) { s.mgr.SetLazyAnalysis(lazy) }
 // procedures being registered or run.
 func (s *Session) SetLintMode(on bool) { s.lintMode = on }
 
+// SetStaticPruning controls whether rebuilt propagation networks run
+// the whole-network Δ-effect analysis and drop provably zero-effect
+// differentials from scheduling (default on; turn off for A/B
+// comparison).
+func (s *Session) SetStaticPruning(on bool) {
+	s.schemaMu.Lock()
+	defer s.schemaMu.Unlock()
+	s.mgr.SetStaticPruning(on)
+}
+
+// StaticPruning reports whether static differential pruning is on.
+func (s *Session) StaticPruning() bool { return s.mgr.StaticPruning() }
+
+// DeclareCapability is the Go-API form of the `declare` statement: it
+// restricts the admitted change kinds of a base relation. Unlike the
+// statement it is not journaled — embedders of durable sessions should
+// execute `declare <name> <capability>;` instead so recovery replays
+// the restriction.
+func (s *Session) DeclareCapability(rel string, c storage.Capability) error {
+	s.schemaMu.Lock()
+	defer s.schemaMu.Unlock()
+	return s.mgr.DeclareCapability(rel, c)
+}
+
 // AnalyzeAll runs the static analyzer over every derived-function
 // definition and every rule condition currently defined, returning the
 // combined report (the \lint command).
@@ -266,6 +290,9 @@ func (s *Session) AnalyzeAll() analyze.Report {
 		r, _ := s.mgr.Rule(name)
 		rep = append(rep, an.AnalyzeRule(r.CondDef, r.NumParams)...)
 	}
+	// The whole-network pass (OL3xx): trigger-impossible differentials,
+	// interprocedurally dead disjuncts, shared-subnetwork candidates.
+	rep = append(rep, s.mgr.AnalyzeNetwork().Report...)
 	return rep
 }
 
@@ -281,7 +308,7 @@ func (s *Session) analyzeDef(def *objectlog.Def) (analyze.Report, error) {
 		}
 		return nil, nil
 	}
-	rep := s.mgr.Analyzer().AnalyzeDef(def)
+	rep := s.mgr.AnalyzeViewDef(def)
 	return rep, rep.Err()
 }
 
@@ -540,6 +567,10 @@ func (s *Session) execStmt(st Stmt, src string) (Result, error) {
 		s.schemaMu.Lock()
 		res, err = s.execDeactivate(x)
 		s.schemaMu.Unlock()
+	case DeclareStmt:
+		s.schemaMu.Lock()
+		res, err = s.execDeclare(x)
+		s.schemaMu.Unlock()
 	case CreateInstances:
 		return s.execCreateInstances(x)
 	case UpdateStmt:
@@ -574,7 +605,33 @@ func (s *Session) execCreateType(x CreateType) (Result, error) {
 	if _, err := s.store.CreateRelation(objectlog.TypePred(x.Name), 1, nil); err != nil {
 		return Result{}, err
 	}
+	// A new schema epoch: memoized "unknown predicate" verdicts can flip.
+	s.mgr.InvalidateAnalysis()
 	return Result{Message: fmt.Sprintf("type %s created", x.Name)}, nil
+}
+
+// execDeclare restricts the admitted change kinds of a stored function
+// or a type extent. The restriction is enforced by the store from here
+// on and rebuilds the propagation network, so the whole-network
+// Δ-effect analysis prunes the differentials it makes impossible.
+// Journaled like the other schema statements: recovery re-executes it
+// before the snapshot's tables are loaded (the load paths bypass
+// enforcement, so a populated-then-frozen relation restores cleanly).
+func (s *Session) execDeclare(x DeclareStmt) (Result, error) {
+	c, ok := storage.ParseCapability(x.Capability)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown capability %q (want readonly, append only, delete only or read-write)", x.Capability)
+	}
+	rel := x.Name
+	if _, ok := s.store.Relation(rel); !ok {
+		if _, ok := s.cat.Type(x.Name); ok {
+			rel = objectlog.TypePred(x.Name)
+		}
+	}
+	if err := s.mgr.DeclareCapability(rel, c); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("%s declared %s", x.Name, c)}, nil
 }
 
 func (s *Session) execCreateInstances(x CreateInstances) (Result, error) {
@@ -623,6 +680,7 @@ func (s *Session) execCreateFunction(x CreateFunction) (Result, error) {
 		if _, err := s.store.CreateRelation(x.Name, f.Arity(), f.KeyCols()); err != nil {
 			return Result{}, err
 		}
+		s.mgr.InvalidateAnalysis()
 		return Result{Message: fmt.Sprintf("stored function %s created", x.Name)}, nil
 	}
 	f.Kind = catalog.Derived
@@ -692,7 +750,7 @@ func (s *Session) execCreateRule(x CreateRule) (Result, error) {
 	// manager re-checks errors in DefineRule for direct API users.
 	var rep analyze.Report
 	if !s.mgr.LazyAnalysis() {
-		rep = s.mgr.Analyzer().AnalyzeRule(def, len(x.Params))
+		rep = s.mgr.AnalyzeRuleDef(def, len(x.Params))
 		if err := rep.Err(); err != nil {
 			return Result{}, fmt.Errorf("rule %q: %w", x.Name, err)
 		}

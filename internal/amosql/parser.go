@@ -198,12 +198,46 @@ func (p *parser) statement() (Stmt, error) {
 			}
 		}
 		return DeleteInstances{Vars: vars}, nil
+	case p.peekKw("declare"):
+		return p.declareStmt()
 	case p.peekKw("begin"), p.peekKw("commit"), p.peekKw("rollback"):
 		kw := strings.ToLower(p.advance().text)
 		return TxnStmt{Kind: kw}, nil
 	default:
 		return nil, p.errf("unexpected %s at start of statement", p.peek())
 	}
+}
+
+// declareStmt parses: declare NAME CAPABILITY; — the capability is the
+// remaining token run before the semicolon ("readonly", "append only",
+// "read-write", ...), validated by the executor via
+// storage.ParseCapability.
+func (p *parser) declareStmt() (Stmt, error) {
+	p.advance() // declare
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for !p.peekSym(";") && !p.atEOF() {
+		t := p.peek()
+		if t.kind != tokIdent && !(t.kind == tokSymbol && t.text == "-") {
+			return nil, p.errf("unexpected %s in capability", t)
+		}
+		p.advance()
+		if t.text == "-" {
+			sb.WriteString("-")
+			continue
+		}
+		if sb.Len() > 0 && !strings.HasSuffix(sb.String(), "-") {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(strings.ToLower(t.text))
+	}
+	if sb.Len() == 0 {
+		return nil, p.errf("expected a capability after \"declare %s\"", name)
+	}
+	return DeclareStmt{Name: name, Capability: sb.String()}, nil
 }
 
 func (p *parser) createStmt() (Stmt, error) {

@@ -27,7 +27,6 @@ package analyze
 
 import (
 	"fmt"
-	"strings"
 
 	"partdiff/internal/catalog"
 	"partdiff/internal/objectlog"
@@ -452,22 +451,5 @@ func (a *Analyzer) componentsWith(def *objectlog.Def) (comp map[string]int, recu
 // canonClause renders a clause with variables renamed in first-use
 // order, so alpha-equivalent clauses render identically.
 func canonClause(c objectlog.Clause) string {
-	sub := map[string]string{}
-	for i, v := range c.Vars() {
-		sub[v] = fmt.Sprintf("_D%d", i)
-	}
-	canon := c.Rename(sub)
-	// Literal order matters for evaluation but not for set semantics;
-	// sort the body rendering so reordered duplicates are caught too.
-	lits := make([]string, len(canon.Body))
-	for i, l := range canon.Body {
-		lits[i] = l.String()
-	}
-	// Insertion sort keeps this dependency-free.
-	for i := 1; i < len(lits); i++ {
-		for j := i; j > 0 && lits[j] < lits[j-1]; j-- {
-			lits[j], lits[j-1] = lits[j-1], lits[j]
-		}
-	}
-	return canon.Head.String() + "←" + strings.Join(lits, "∧")
+	return objectlog.CanonicalClause(c)
 }

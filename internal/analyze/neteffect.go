@@ -1,0 +1,320 @@
+// Whole-network Δ-effect analysis: an interprocedural,
+// abstract-interpretation-style pass over the compiled program that
+// classifies every partial differential before it ever runs.
+//
+// The analysis works on a two-bit change-capability lattice per
+// predicate (can it gain tuples? can it lose tuples?). Base relations
+// start from their declared storage capabilities (insert-only,
+// delete-only, frozen, both — enforced by the store, so a declaration
+// is a proof, not a hint); view capabilities are the least fixpoint of
+// propagating trigger→effect signs through the compiled differentials.
+// A differential whose trigger Δ-set is provably always empty (OL301),
+// or whose disjunct is unsatisfiable once constants are propagated
+// through view composition (OL302), is recorded as prunable: the
+// propagation network drops it from scheduling without changing any
+// observable Δ-set, state, or rule firing. Structurally identical
+// differentials compiled under different views are reported as
+// shared-subnetwork candidates (OL303) but never pruned.
+//
+// Soundness: a differential is pruned only on a proof that its output
+// is empty in every reachable database state — never on statistics or
+// heuristics. OL301 rests on store-enforced capability declarations
+// (which are restriction-only, so a proof can never be invalidated
+// later); OL302 rests on constant contradictions that hold in all
+// states; Δ-substitution preserves both proofs because Δ+P ⊆ P_new and
+// Δ−P ⊆ P_old.
+
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+)
+
+// Cap is the change-capability lattice element of one predicate: which
+// signs of change its extent can undergo. It mirrors
+// storage.Capability bit-for-bit but is defined here independently so
+// the analyzer does not depend on the storage layer.
+type Cap uint8
+
+// The capability lattice. CapNone (frozen) is bottom, CapBoth is top.
+const (
+	CapNone   Cap = 0
+	CapInsert Cap = 1 << 0
+	CapDelete Cap = 1 << 1
+	CapBoth       = CapInsert | CapDelete
+)
+
+// Has reports whether the capability admits the given change sign.
+func (c Cap) Has(k objectlog.DeltaKind) bool { return c&capBit(k) != 0 }
+
+// String names the lattice element.
+func (c Cap) String() string {
+	switch c {
+	case CapNone:
+		return "frozen"
+	case CapInsert:
+		return "insert-only"
+	case CapDelete:
+		return "delete-only"
+	default:
+		return "insert+delete"
+	}
+}
+
+// capBit maps a Δ-sign to its capability bit.
+func capBit(k objectlog.DeltaKind) Cap {
+	if k == objectlog.DeltaPlus {
+		return CapInsert
+	}
+	return CapDelete
+}
+
+// NetResult is the outcome of a whole-network analysis.
+type NetResult struct {
+	// Report holds the OL3xx diagnostics, ordered by pass (OL302
+	// warnings, then OL301 infos, then OL303 infos), each pass in view
+	// order.
+	Report Report
+	// Caps is the fixpoint change capability of every analyzed view.
+	Caps map[string]Cap
+	// Pruned maps each provably zero-effect differential to the
+	// diagnostic code justifying the prune (OL301, OL302, or OL201 for
+	// disjuncts that are already dead intraprocedurally).
+	Pruned map[diff.Key]string
+}
+
+// PruneCode returns the diagnostic code under which the differential
+// was pruned, if it was.
+func (r *NetResult) PruneCode(k diff.Key) (string, bool) {
+	code, ok := r.Pruned[k]
+	return code, ok
+}
+
+// AnalyzeNet runs the whole-network Δ-effect analysis over the given
+// views (typically the full view set of a propagation network, closed
+// over derived influents). baseCap reports the declared change
+// capability of a base relation (nil, or any name it does not know,
+// means unrestricted). opts must match the differential-generation
+// options the network uses, so the analysis sees exactly the
+// differentials that would be scheduled.
+//
+// Views that fail classification or generation are skipped: their
+// defects are definition-time errors reported by AnalyzeDef, not
+// network-level facts.
+func (a *Analyzer) AnalyzeNet(views []*objectlog.Def, baseCap func(string) Cap, opts diff.Options) *NetResult {
+	res := &NetResult{Caps: map[string]Cap{}, Pruned: map[diff.Key]string{}}
+	sorted := make([]*objectlog.Def, len(views))
+	copy(sorted, views)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	// Classify and compile once, up front.
+	plans := map[string]diff.Plan{}
+	diffs := map[string][]diff.Differential{}
+	for _, def := range sorted {
+		plan, err := diff.Classify(def, a.prog)
+		if err != nil {
+			continue
+		}
+		if plan == diff.Differenced {
+			ds, err := diff.Generate(def, opts)
+			if err != nil {
+				continue
+			}
+			diffs[def.Name] = ds
+		}
+		plans[def.Name] = plan
+	}
+	analyzed := func(name string) bool { _, ok := plans[name]; return ok }
+
+	// Pass 1: interprocedural dead disjuncts (OL302). A disjunct dead
+	// before expansion is OL201 territory (reported by the per-def
+	// analyzer); here we only warn when the contradiction needs
+	// constants propagated through the views the disjunct joins.
+	dead := map[string]map[int]string{} // view → disjunct → prune code
+	for _, def := range sorted {
+		if plans[def.Name] != diff.Differenced {
+			continue
+		}
+		for ci, c := range def.Clauses {
+			if _, ok := objectlog.Simplify(c); !ok {
+				markDead(dead, def.Name, ci, CodeDeadClause)
+				continue
+			}
+			if a.prog == nil || !deadAcrossViews(c, a.prog) {
+				continue
+			}
+			markDead(dead, def.Name, ci, CodeDeadAcrossViews)
+			res.Report = append(res.Report, Diagnostic{
+				Code:     CodeDeadAcrossViews,
+				Severity: Warning,
+				Pred:     def.Name,
+				Clause:   ci,
+				Literal:  -1,
+				Message:  "disjunct is statically empty once the views it joins are expanded; its differentials can never produce tuples and are pruned",
+				Hint:     "constants flowing through the view composition contradict — fix the disjunct or drop it",
+			})
+		}
+	}
+
+	// Pass 2: change-capability fixpoint. Views start at bottom; each
+	// round a view gains the effect sign of every live differential
+	// whose trigger sign its influent can produce. Monotone over a
+	// finite lattice, so it terminates.
+	for _, def := range sorted {
+		if analyzed(def.Name) {
+			res.Caps[def.Name] = CapNone
+		}
+	}
+	capOf := func(name string) Cap {
+		if c, ok := res.Caps[name]; ok {
+			return c
+		}
+		if a.prog != nil && a.prog.IsDerived(name) {
+			return CapBoth // derived but outside the analyzed set: unknown
+		}
+		if baseCap == nil {
+			return CapBoth
+		}
+		return baseCap(name)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, def := range sorted {
+			if !analyzed(def.Name) {
+				continue
+			}
+			var c Cap
+			if plans[def.Name] == diff.Differenced {
+				for _, d := range diffs[def.Name] {
+					if _, isDead := dead[def.Name][d.Disjunct]; isDead {
+						continue
+					}
+					if capOf(d.Influent).Has(d.TriggerSign) {
+						c |= capBit(d.EffectSign)
+					}
+				}
+			} else {
+				// Re-evaluated views (aggregates, recursive components)
+				// are recomputed wholesale: any influent change can move
+				// their extent either way.
+				for _, infl := range def.Influents() {
+					if infl != def.Name && capOf(infl) != CapNone {
+						c = CapBoth
+						break
+					}
+				}
+			}
+			if c != res.Caps[def.Name] {
+				res.Caps[def.Name] = c
+				changed = true
+			}
+		}
+	}
+
+	// Pass 3: prune verdicts. Dead disjuncts prune all their
+	// differentials; live differentials prune when the influent can
+	// never produce the trigger sign (OL301).
+	for _, def := range sorted {
+		for _, d := range diffs[def.Name] {
+			if code, isDead := dead[def.Name][d.Disjunct]; isDead {
+				res.Pruned[d.Key()] = code
+				continue
+			}
+			if capOf(d.Influent).Has(d.TriggerSign) {
+				continue
+			}
+			res.Pruned[d.Key()] = CodeUnreachableDelta
+			word := "insertions"
+			if d.TriggerSign == objectlog.DeltaMinus {
+				word = "deletions"
+			}
+			res.Report = append(res.Report, Diagnostic{
+				Code:     CodeUnreachableDelta,
+				Severity: Info,
+				Pred:     def.Name,
+				Clause:   d.Disjunct,
+				Literal:  d.Occurrence,
+				Message:  fmt.Sprintf("differential %s can never fire: %s admits no %s (capability %s)", d.Name(), d.Influent, word, capOf(d.Influent)),
+				Hint:     "pruned from scheduling; the network stays equivalent",
+			})
+		}
+	}
+
+	// Pass 4: duplicate differentials across views (OL303). Group live
+	// differentials by trigger/effect signs and the canonical rendering
+	// of their clause with the head predicate anonymized; a group
+	// spanning several views marks a shared-subnetwork candidate.
+	type group struct{ views []string }
+	groups := map[string]*group{}
+	var keys []string
+	for _, def := range sorted {
+		for _, d := range diffs[def.Name] {
+			if _, isPruned := res.Pruned[d.Key()]; isPruned {
+				continue
+			}
+			k := fmt.Sprintf("%s|%s|%s", d.TriggerSign, d.EffectSign, objectlog.CanonicalBody(d.Clause))
+			g, ok := groups[k]
+			if !ok {
+				g = &group{}
+				groups[k] = g
+				keys = append(keys, k)
+			}
+			if len(g.views) == 0 || g.views[len(g.views)-1] != def.Name {
+				g.views = append(g.views, def.Name)
+			}
+		}
+	}
+	reported := map[string]bool{} // view pair → already diagnosed
+	for _, k := range keys {
+		g := groups[k]
+		for i := 1; i < len(g.views); i++ {
+			pair := g.views[0] + "↔" + g.views[i]
+			if reported[pair] {
+				continue
+			}
+			reported[pair] = true
+			res.Report = append(res.Report, Diagnostic{
+				Code:     CodeDuplicateDifferential,
+				Severity: Info,
+				Pred:     g.views[i],
+				Clause:   -1,
+				Literal:  -1,
+				Message:  fmt.Sprintf("compiles differentials structurally identical to those of %s", g.views[0]),
+				Hint:     "share the condition via `create shared function` so the subnetwork is computed once",
+			})
+		}
+	}
+	return res
+}
+
+func markDead(dead map[string]map[int]string, view string, disjunct int, code string) {
+	m, ok := dead[view]
+	if !ok {
+		m = map[int]string{}
+		dead[view] = m
+	}
+	m[disjunct] = code
+}
+
+// deadAcrossViews reports whether the clause is unsatisfiable in every
+// database state once the derived predicates it references are inlined:
+// every expansion either dies on a head-unification constant conflict
+// or simplifies to a static contradiction. Expansion failures (e.g.
+// arity defects, which per-definition analysis reports separately)
+// yield no proof, so the answer is false.
+func deadAcrossViews(c objectlog.Clause, prog *objectlog.Program) bool {
+	expanded, err := objectlog.Expand(c, prog, nil)
+	if err != nil {
+		return false
+	}
+	for _, ec := range expanded {
+		if _, ok := objectlog.Simplify(ec); ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+)
+
+// netAnalyzer builds an analyzer over the given views (all defined in
+// the program) and runs AnalyzeNet with the given base capabilities.
+func netAnalyzer(t *testing.T, caps map[string]Cap, views ...*objectlog.Def) *NetResult {
+	t.Helper()
+	prog := objectlog.NewProgram()
+	for _, d := range views {
+		if err := prog.Define(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := New(prog, WithRelations(func(name string) (int, bool) {
+		switch name {
+		case "b", "g", "status":
+			return 1, true
+		}
+		return 0, false
+	}))
+	baseCap := func(name string) Cap {
+		if c, ok := caps[name]; ok {
+			return c
+		}
+		return CapBoth
+	}
+	return a.AnalyzeNet(views, baseCap, diff.DefaultOptions())
+}
+
+func hasCode(rep Report, code string) bool {
+	for _, d := range rep {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func prunedCodes(r *NetResult) map[string]int {
+	out := map[string]int{}
+	for _, code := range r.Pruned {
+		out[code]++
+	}
+	return out
+}
+
+func TestNetCapabilityFixpoint(t *testing.T) {
+	V, lit := objectlog.V, objectlog.Lit
+	v := def("v", 1, objectlog.NewClause(lit("v", V("X")), lit("b", V("X"))))
+	w := def("w", 1, objectlog.NewClause(lit("w", V("X")), lit("g", V("X"))))
+	u := def("u", 1, objectlog.NewClause(lit("u", V("X")), lit("v", V("X"))))
+	res := netAnalyzer(t, map[string]Cap{"b": CapInsert, "g": CapNone}, v, w, u)
+	want := map[string]Cap{"v": CapInsert, "w": CapNone, "u": CapInsert}
+	for name, c := range want {
+		if got := res.Caps[name]; got != c {
+			t.Errorf("cap(%s) = %s, want %s", name, got, c)
+		}
+	}
+}
+
+func TestNetNegatedOccurrenceCrossesSigns(t *testing.T) {
+	V, lit, not := objectlog.V, objectlog.Lit, objectlog.NotLit
+	// v gains when g loses (trigger Δ−g) and loses when g gains. With g
+	// append-only the Δ−g trigger is impossible, so only the Δ+g-
+	// triggered (deletion-effect) differential of the ¬g occurrence
+	// survives.
+	v := def("v", 1, objectlog.NewClause(lit("v", V("X")), lit("b", V("X")), not("g", V("X"))))
+	res := netAnalyzer(t, map[string]Cap{"g": CapInsert}, v)
+	if got := res.Caps["v"]; got != CapBoth {
+		t.Fatalf("cap(v) = %s, want insert+delete (b unrestricted)", got)
+	}
+	pruned := 0
+	for k, code := range res.Pruned {
+		if code != CodeUnreachableDelta {
+			t.Errorf("pruned %s under %s, want OL301", k, code)
+		}
+		pruned++
+	}
+	// Occurrence b: both signs live. Occurrence ¬g: Δ−g trigger pruned.
+	if pruned != 1 {
+		t.Fatalf("pruned %d differentials, want 1:\n%v", pruned, res.Pruned)
+	}
+}
+
+func TestNetOL301(t *testing.T) {
+	V, lit := objectlog.V, objectlog.Lit
+	v := def("v", 1, objectlog.NewClause(lit("v", V("X")), lit("b", V("X"))))
+
+	res := netAnalyzer(t, map[string]Cap{"b": CapInsert}, v)
+	if !hasCode(res.Report, CodeUnreachableDelta) {
+		t.Fatalf("append-only influent produced no OL301:\n%s", res.Report)
+	}
+	for _, d := range res.Report {
+		if d.Code == CodeUnreachableDelta && d.Severity != Info {
+			t.Errorf("OL301 severity = %s, want info", d.Severity)
+		}
+	}
+	key := diff.Key{View: "v", Disjunct: 0, Occurrence: 0, Trigger: objectlog.DeltaMinus}
+	if code, ok := res.PruneCode(key); !ok || code != CodeUnreachableDelta {
+		t.Fatalf("Δ− differential of v not pruned under OL301: %v %v", code, ok)
+	}
+	if _, ok := res.PruneCode(diff.Key{View: "v", Disjunct: 0, Occurrence: 0, Trigger: objectlog.DeltaPlus}); ok {
+		t.Fatal("Δ+ differential of v pruned despite insert capability")
+	}
+
+	// Negative fixture: unrestricted base → nothing pruned, no OL301.
+	res = netAnalyzer(t, nil, v)
+	if hasCode(res.Report, CodeUnreachableDelta) || len(res.Pruned) != 0 {
+		t.Fatalf("unrestricted base still pruned:\n%s\n%v", res.Report, res.Pruned)
+	}
+}
+
+func TestNetOL302(t *testing.T) {
+	V, C, lit := objectlog.V, objectlog.CInt, objectlog.Lit
+	// sv constrains its second column to 3; c asks for 9 — a
+	// contradiction visible only after expanding sv.
+	sv := def("sv", 2, objectlog.NewClause(lit("sv", V("I"), V("S")),
+		lit("status", V("I")), lit(objectlog.BuiltinEQ, V("S"), C(3))))
+	c := def("c", 1, objectlog.NewClause(lit("c", V("I")), lit("sv", V("I"), C(9))))
+
+	res := netAnalyzer(t, nil, sv, c)
+	if !hasCode(res.Report, CodeDeadAcrossViews) {
+		t.Fatalf("interprocedural contradiction produced no OL302:\n%s", res.Report)
+	}
+	for _, d := range res.Report {
+		if d.Code == CodeDeadAcrossViews {
+			if d.Severity != Warning {
+				t.Errorf("OL302 severity = %s, want warning", d.Severity)
+			}
+			if d.Pred != "c" {
+				t.Errorf("OL302 on %s, want c", d.Pred)
+			}
+		}
+	}
+	// All of c's differentials (one occurrence, two signs) are pruned.
+	for _, trig := range []objectlog.DeltaKind{objectlog.DeltaPlus, objectlog.DeltaMinus} {
+		k := diff.Key{View: "c", Disjunct: 0, Occurrence: 0, Trigger: trig}
+		if code, ok := res.PruneCode(k); !ok || code != CodeDeadAcrossViews {
+			t.Errorf("differential %s not pruned under OL302: %v %v", k, code, ok)
+		}
+	}
+	// A dead view contributes no change capability.
+	if got := res.Caps["c"]; got != CapNone {
+		t.Errorf("cap(c) = %s, want frozen", got)
+	}
+
+	// Negative fixture: asking for the admitted constant is satisfiable.
+	c2 := def("c2", 1, objectlog.NewClause(lit("c2", V("I")), lit("sv", V("I"), C(3))))
+	res = netAnalyzer(t, nil, sv, c2)
+	if hasCode(res.Report, CodeDeadAcrossViews) || len(res.Pruned) != 0 {
+		t.Fatalf("satisfiable composition flagged dead:\n%s\n%v", res.Report, res.Pruned)
+	}
+}
+
+func TestNetOL303(t *testing.T) {
+	V, lit := objectlog.V, objectlog.Lit
+	mk := func(name string) *objectlog.Def {
+		return def(name, 1, objectlog.NewClause(lit(name, V("A")), lit("b", V("A")), lit("g", V("A"))))
+	}
+	r1, r2 := mk("cnd_r1"), mk("cnd_r2")
+
+	res := netAnalyzer(t, nil, r1, r2)
+	if !hasCode(res.Report, CodeDuplicateDifferential) {
+		t.Fatalf("identical conditions produced no OL303:\n%s", res.Report)
+	}
+	found := false
+	for _, d := range res.Report {
+		if d.Code != CodeDuplicateDifferential {
+			continue
+		}
+		if d.Severity != Info {
+			t.Errorf("OL303 severity = %s, want info", d.Severity)
+		}
+		if d.Pred == "cnd_r2" && strings.Contains(d.Message, "cnd_r1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("OL303 does not name the duplicated view:\n%s", res.Report)
+	}
+	if len(res.Pruned) != 0 {
+		t.Fatalf("OL303 must not prune, got %v", res.Pruned)
+	}
+
+	// Negative fixture: structurally different conditions.
+	other := def("cnd_r3", 1, objectlog.NewClause(lit("cnd_r3", V("A")), lit("b", V("A"))))
+	res = netAnalyzer(t, nil, r1, other)
+	if hasCode(res.Report, CodeDuplicateDifferential) {
+		t.Fatalf("distinct conditions flagged OL303:\n%s", res.Report)
+	}
+}
+
+func TestNetAggregateReevalCapability(t *testing.T) {
+	V, lit := objectlog.V, objectlog.Lit
+	agg := &objectlog.Def{Name: "s", Arity: 2, Aggregate: "sum", GroupCols: 1,
+		Clauses: []objectlog.Clause{
+			objectlog.NewClause(lit("s", V("X"), V("X")), lit("b", V("X"))),
+		}}
+	frozenAgg := &objectlog.Def{Name: "sg", Arity: 2, Aggregate: "sum", GroupCols: 1,
+		Clauses: []objectlog.Clause{
+			objectlog.NewClause(lit("sg", V("X"), V("X")), lit("g", V("X"))),
+		}}
+	res := netAnalyzer(t, map[string]Cap{"b": CapInsert, "g": CapNone}, agg, frozenAgg)
+	// Any admitted influent change can move a re-evaluated extent both
+	// ways; a fully frozen influent set freezes the aggregate too.
+	if got := res.Caps["s"]; got != CapBoth {
+		t.Errorf("cap(s) = %s, want insert+delete", got)
+	}
+	if got := res.Caps["sg"]; got != CapNone {
+		t.Errorf("cap(sg) = %s, want frozen", got)
+	}
+}
+
+func TestNetIntraproceduralDeadDisjunctPrunes(t *testing.T) {
+	V, C, lit := objectlog.V, objectlog.CInt, objectlog.Lit
+	// The second disjunct is dead without any expansion (OL201 is the
+	// per-definition diagnostic); the network analysis still prunes its
+	// differentials but does not re-report it as OL302.
+	v := &objectlog.Def{Name: "v", Arity: 1, Clauses: []objectlog.Clause{
+		objectlog.NewClause(lit("v", V("X")), lit("b", V("X"))),
+		objectlog.NewClause(lit("v", V("X")), lit("b", V("X")), lit(objectlog.BuiltinEQ, C(1), C(2))),
+	}}
+	res := netAnalyzer(t, nil, v)
+	if hasCode(res.Report, CodeDeadAcrossViews) {
+		t.Fatalf("intraprocedurally dead disjunct re-reported as OL302:\n%s", res.Report)
+	}
+	codes := prunedCodes(res)
+	if codes[CodeDeadClause] != 2 {
+		t.Fatalf("dead disjunct differentials pruned = %v, want 2×OL201", codes)
+	}
+}

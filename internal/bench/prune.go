@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"partdiff/internal/amosql"
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// This file holds the static-pruning experiment (`bench -exp prune`):
+// the whole-network Δ-effect analyzer off vs on, over three workloads.
+//
+//   - fig6 — the fig. 6 workload after sealing every dimension relation
+//     (`declare min_stock readonly; ...`). Only quantity ever changes,
+//     so the analyzer proves most of the compiled differentials
+//     trigger-impossible (OL301) and drops them from the schedule.
+//   - fig7 — the fig. 7 workload, which updates three influents; only
+//     the relations it leaves alone are sealed, so a smaller share of
+//     the network is provably dead.
+//   - deadbranch — a rule with a live disjunct plus a second disjunct
+//     that joins a shared view on a constant the view's body
+//     contradicts. Differencing stops specializing at shared views, so
+//     without the interprocedural pass (OL302) the dead disjunct's
+//     differentials run on every quantity update and never produce a
+//     tuple; with it they are pruned and the runtime differential count
+//     drops.
+//
+// Each workload runs on twin databases (pruning off / pruning on) and
+// the harness asserts observable equivalence: identical rule firings
+// and byte-identical final store snapshots. A workload whose pruned
+// twin prunes nothing fails the run — the experiment must never
+// silently measure two identical networks.
+
+// PruneRow is one measured point of the static-pruning A/B.
+type PruneRow struct {
+	Workload string `json:"workload"`
+	DBSize   int    `json:"db_size"`
+	Txns     int    `json:"txns"`
+	OffNs    int64  `json:"off_ns"` // total wall time, pruning off
+	OnNs     int64  `json:"on_ns"`  // total wall time, pruning on
+
+	// Network shape, from the pruned twin: Compiled = Scheduled +
+	// Pruned. The off twin schedules all Compiled differentials.
+	Compiled  int `json:"compiled_differentials"`
+	Scheduled int `json:"scheduled_differentials"`
+	Pruned    int `json:"pruned_differentials"`
+
+	// Runtime differential executions over the measured interval.
+	OffDiffs int64 `json:"off_differential_execs"`
+	OnDiffs  int64 `json:"on_differential_execs"`
+
+	// Profiler zero-effect executions — differentials that ran but
+	// produced an empty Δ. Static pruning eliminates the provable subset
+	// before it runs, so OnZero ≤ OffZero, strictly on deadbranch.
+	OffZero int64 `json:"off_zero_effect_execs"`
+	OnZero  int64 `json:"on_zero_effect_execs"`
+}
+
+// pruneDB is one twin: a session, its workload, and the firing counter.
+type pruneDB struct {
+	inv  *Inventory
+	run  func() error
+	name string
+}
+
+// pruneWorkload builds one twin of a named workload at size n. The
+// declare statements run after population (capabilities only restrict)
+// and before activation, though the manager would also rebuild the
+// network on a later declaration.
+type pruneWorkload struct {
+	name  string
+	build func(n, txns int, pruned bool) (*pruneDB, error)
+}
+
+// sealedInventory builds the §3.1 inventory, seals the given relations
+// read-only, then activates the monitor.
+func sealedInventory(n int, pruned bool, sealed []string) (*Inventory, error) {
+	inv, err := NewInventory(Config{N: n, Mode: rules.Incremental})
+	if err != nil {
+		return nil, err
+	}
+	inv.Sess.SetStaticPruning(pruned)
+	for _, rel := range sealed {
+		if _, err := inv.Sess.Exec(fmt.Sprintf("declare %s readonly;", rel)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := inv.Sess.Exec("activate monitor_items();"); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// fig6Sealed seals every relation the fig. 6 workload never touches.
+var fig6Sealed = []string{
+	"min_stock", "max_stock", "consume_freq", "supplies", "delivery_time",
+	"item", "supplier",
+}
+
+// fig7Sealed seals only what the fig. 7 workload leaves alone (it
+// updates quantity, delivery_time and consume_freq).
+var fig7Sealed = []string{"min_stock", "max_stock", "supplies", "item", "supplier"}
+
+// deadbranchDB builds the OL302 workload: rule watch_dead has a live
+// low-stock disjunct plus a dead one — flagged/2 constrains its result
+// to 3 inside the shared view, and the disjunct asks for 9.
+func deadbranchDB(n int, pruned bool) (*Inventory, error) {
+	inv := &Inventory{Sess: amosql.NewSession(rules.Incremental), N: n}
+	err := inv.Sess.RegisterProcedure("order", func(args []types.Value) error {
+		inv.Orders++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	inv.Sess.SetStaticPruning(pruned)
+	_, err = inv.Sess.Exec(`
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create function status(item) -> integer;
+create shared function flagged(item i) -> integer
+    as select s for each integer s where status(i) = s and s = 3;
+create rule watch_dead() as
+    when for each item i
+    where quantity(i) < threshold(i)
+       or (quantity(i) < -1000 and flagged(i) = 9)
+    do order(i, quantity(i));
+`)
+	if err != nil {
+		return nil, err
+	}
+	cat, st := inv.Sess.Catalog(), inv.Sess.Store()
+	for i := 0; i < n; i++ {
+		oid, err := cat.NewObject("item")
+		if err != nil {
+			return nil, err
+		}
+		item := types.Obj(oid)
+		inv.Items = append(inv.Items, item)
+		st.Insert("type:item", types.Tuple{item})
+		for rel, v := range map[string]int64{
+			"quantity": 5000, "threshold": 100, "status": 3,
+		} {
+			if _, err := st.Set(rel, []types.Value{item}, []types.Value{types.Int(v)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := inv.Sess.Exec("activate watch_dead();"); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+func pruneWorkloads() []pruneWorkload {
+	return []pruneWorkload{
+		{"fig6", func(n, txns int, pruned bool) (*pruneDB, error) {
+			inv, err := sealedInventory(n, pruned, fig6Sealed)
+			if err != nil {
+				return nil, err
+			}
+			return &pruneDB{inv: inv, name: "fig6",
+				run: func() error { return inv.RunFig6Transactions(txns) }}, nil
+		}},
+		{"fig7", func(n, txns int, pruned bool) (*pruneDB, error) {
+			inv, err := sealedInventory(n, pruned, fig7Sealed)
+			if err != nil {
+				return nil, err
+			}
+			// Scale the massive transactions down: each touches all n
+			// items three times, so a handful suffices.
+			rounds := txns/10 + 1
+			return &pruneDB{inv: inv, name: "fig7", run: func() error {
+				for r := 0; r < rounds; r++ {
+					if err := inv.RunFig7Transaction(int64(r)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}}, nil
+		}},
+		{"deadbranch", func(n, txns int, pruned bool) (*pruneDB, error) {
+			inv, err := deadbranchDB(n, pruned)
+			if err != nil {
+				return nil, err
+			}
+			return &pruneDB{inv: inv, name: "deadbranch",
+				run: func() error { return inv.RunFig6Transactions(txns) }}, nil
+		}},
+	}
+}
+
+// RunPrune measures every pruning workload at every database size. It
+// fails if the pruned twin of any workload prunes nothing (the A/B
+// would be vacuous) or if the twins observably diverge.
+func RunPrune(sizes []int, txns int) ([]PruneRow, error) {
+	out := make([]PruneRow, 0, len(sizes)*3)
+	for _, n := range sizes {
+		for _, w := range pruneWorkloads() {
+			row := PruneRow{Workload: w.name, DBSize: n, Txns: txns}
+			var snaps []map[string][]types.Tuple
+			var orders []int
+			for _, pruned := range []bool{false, true} {
+				db, err := w.build(n, txns, pruned)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", w.name, err)
+				}
+				// Profile both twins (same overhead on both sides of the
+				// A/B) so zero-effect executions reconcile with pruning.
+				db.inv.Sess.SetProfiling(true)
+				net := db.inv.Sess.Rules().Network()
+				if pruned {
+					row.Compiled = net.CompiledDiffs()
+					row.Scheduled = net.ScheduledDiffs()
+					row.Pruned = net.PrunedCount()
+				} else if got := net.PrunedCount(); got != 0 {
+					return nil, fmt.Errorf("%s: pruning disabled yet %d differentials pruned", w.name, got)
+				}
+				before := db.inv.Telemetry()
+				start := time.Now()
+				if err := db.run(); err != nil {
+					return nil, fmt.Errorf("%s: %w", w.name, err)
+				}
+				ns := time.Since(start).Nanoseconds()
+				diffs := db.inv.Telemetry().Sub(before).Differentials
+				var zero int64
+				for _, pt := range db.inv.Sess.Observability().Profiler.Snapshot() {
+					zero += pt.ZeroEffect
+				}
+				if pruned {
+					row.OnNs, row.OnDiffs, row.OnZero = ns, diffs, zero
+				} else {
+					row.OffNs, row.OffDiffs, row.OffZero = ns, diffs, zero
+				}
+				snaps = append(snaps, db.inv.Sess.Store().Snapshot())
+				orders = append(orders, db.inv.Orders)
+			}
+			if row.Pruned == 0 {
+				return nil, fmt.Errorf("%s/items=%d: analyzer pruned nothing; the A/B is vacuous", w.name, n)
+			}
+			if orders[0] != orders[1] {
+				return nil, fmt.Errorf("%s/items=%d: firings diverged: off=%d on=%d", w.name, n, orders[0], orders[1])
+			}
+			if !reflect.DeepEqual(snaps[0], snaps[1]) {
+				return nil, fmt.Errorf("%s/items=%d: final states diverged between pruned and unpruned twins", w.name, n)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

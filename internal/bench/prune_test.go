@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestRunPruneSmoke runs the static-pruning A/B at a small size.
+// RunPrune carries its own gates — non-vacuous pruning and twin
+// equivalence — so a passing run is already meaningful; the assertions
+// here pin the per-workload shape the experiment's argument rests on.
+func TestRunPruneSmoke(t *testing.T) {
+	rows, err := RunPrune([]int{16}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%+v", rows)
+	}
+	byName := map[string]PruneRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		if r.OffNs <= 0 || r.OnNs <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+		if r.Compiled != r.Scheduled+r.Pruned {
+			t.Errorf("%s: compiled %d != scheduled %d + pruned %d",
+				r.Workload, r.Compiled, r.Scheduled, r.Pruned)
+		}
+		if r.Pruned <= 0 {
+			t.Errorf("%s: nothing pruned", r.Workload)
+		}
+	}
+	// Sealing more dimensions proves more differentials dead: the fig. 6
+	// configuration must prune strictly more than fig. 7's.
+	if byName["fig6"].Pruned <= byName["fig7"].Pruned {
+		t.Errorf("fig6 pruned %d, fig7 pruned %d; want fig6 > fig7",
+			byName["fig6"].Pruned, byName["fig7"].Pruned)
+	}
+	// The dead disjunct executes on every update when not pruned, so the
+	// deadbranch workload must show a runtime reduction, not just a
+	// smaller schedule.
+	db := byName["deadbranch"]
+	if db.OnDiffs >= db.OffDiffs {
+		t.Errorf("deadbranch runtime differentials: off=%d on=%d; want a reduction",
+			db.OffDiffs, db.OnDiffs)
+	}
+	if db.OnZero >= db.OffZero {
+		t.Errorf("deadbranch zero-effect executions: off=%d on=%d; want a reduction",
+			db.OffZero, db.OnZero)
+	}
+}

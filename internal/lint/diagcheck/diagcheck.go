@@ -1,0 +1,333 @@
+// Package diagcheck is a repo-local vet check for diagnostic-code
+// hygiene. The static analyzer's OLxxx codes (internal/objectlog,
+// internal/analyze) are a stable public surface: scripts grep shell
+// output for them, DESIGN.md documents them, and golden tests pin each
+// one's behavior. That contract silently rots when a code is declared
+// twice, mentioned in the docs but never declared, or shipped without a
+// test fixture. The check enforces, over the whole module:
+//
+//   - every OLxxx code is declared exactly once, as a string constant
+//     (two constants with the same code value cannot be told apart in
+//     reports);
+//   - every bare "OLxxx" string literal outside a constant declaration
+//     in non-test code is flagged — emit sites must use the declared
+//     constant;
+//   - every declared code is documented in DESIGN.md (code ranges like
+//     "OL004–OL007" count for every code inside the range), and every
+//     code DESIGN.md mentions is declared (no stale documentation);
+//   - every declared code is covered by at least one test, either by
+//     referencing its constant or by naming the code literally.
+//
+// Like faultpointcheck it follows the go/analysis single-checker layout
+// but is built on go/parser and go/ast only, so it runs without
+// golang.org/x/tools; cmd/diagcheck is the command wrapper CI runs.
+package diagcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Name and Doc identify the check, go/analysis style.
+const (
+	Name = "diagcheck"
+	Doc  = "check that OLxxx diagnostic codes are declared once, documented in DESIGN.md, and covered by tests"
+)
+
+// docFile is the documentation file every declared code must appear in,
+// relative to the module root.
+const docFile = "DESIGN.md"
+
+// codeRe matches one diagnostic code. Anchored variants derive from it.
+var (
+	codeRe     = regexp.MustCompile(`OL[0-9]{3}`)
+	codeOnlyRe = regexp.MustCompile(`^OL[0-9]{3}$`)
+	rangeRe    = regexp.MustCompile(`OL([0-9]{3})\s*[-–]\s*OL([0-9]{3})`)
+)
+
+// Finding is one diagnostic, positioned at the offending declaration,
+// literal, or documentation file.
+type Finding struct {
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s", f.Pos, f.Message)
+}
+
+// codeDecl records one declared diagnostic-code constant.
+type codeDecl struct {
+	constName string
+	code      string
+	pos       token.Position
+}
+
+// Check analyzes the Go module rooted at root and returns its findings,
+// sorted by position. It is an error if no diagnostic codes are
+// declared at all (the usual cause is a wrong root), if DESIGN.md is
+// missing, or if any Go file fails to parse.
+func Check(root string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var decls []codeDecl
+	var findings []Finding
+	covered := map[string]bool{}        // code -> referenced from a test
+	constCodes := map[string][]string{} // const name -> codes it declares
+
+	// First pass: declarations and bare literals in non-test files.
+	// Test files are collected for the coverage pass, which needs the
+	// declaration table.
+	var testFiles []*ast.File
+	err := walkGoFiles(root, func(path string) error {
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			testFiles = append(testFiles, file)
+			return nil
+		}
+		ds, fs := checkSourceFile(fset, file)
+		decls = append(decls, ds...)
+		findings = append(findings, fs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(decls) == 0 {
+		return nil, fmt.Errorf("no OLxxx code constants found under %s; wrong module root?", root)
+	}
+	for _, d := range decls {
+		constCodes[d.constName] = append(constCodes[d.constName], d.code)
+	}
+
+	// Exactly-once: two constants sharing a code value are
+	// indistinguishable in reports.
+	byCode := map[string]codeDecl{}
+	sort.Slice(decls, func(i, j int) bool { return posLess(decls[i].pos, decls[j].pos) })
+	for _, d := range decls {
+		if prev, ok := byCode[d.code]; ok {
+			findings = append(findings, Finding{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("constant %s duplicates diagnostic code %s of %s: reports cannot tell them apart", d.constName, d.code, prev.constName),
+			})
+			continue
+		}
+		byCode[d.code] = d
+	}
+
+	// Coverage pass over the test files.
+	for _, file := range testFiles {
+		coverFile(file, byCode, constCodes, covered)
+	}
+
+	// Documentation pass.
+	documented, docPos, err := documentedCodes(root)
+	if err != nil {
+		return nil, err
+	}
+
+	codes := make([]string, 0, len(byCode))
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		d := byCode[c]
+		if !documented[c] {
+			findings = append(findings, Finding{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("diagnostic code %s (%s) is not documented in %s", c, d.constName, docFile),
+			})
+		}
+		if !covered[c] {
+			findings = append(findings, Finding{
+				Pos:     d.pos,
+				Message: fmt.Sprintf("diagnostic code %s (%s) is not covered by any test", c, d.constName),
+			})
+		}
+	}
+	var stale []string
+	for c := range documented {
+		if _, ok := byCode[c]; !ok {
+			stale = append(stale, c)
+		}
+	}
+	sort.Strings(stale)
+	for _, c := range stale {
+		findings = append(findings, Finding{
+			Pos:     docPos,
+			Message: fmt.Sprintf("%s documents diagnostic code %s, which is not declared anywhere", docFile, c),
+		})
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if !posEq(findings[i].Pos, findings[j].Pos) {
+			return posLess(findings[i].Pos, findings[j].Pos)
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}
+
+// checkSourceFile collects code-constant declarations from one non-test
+// file and flags bare OLxxx literals outside those declarations.
+func checkSourceFile(fset *token.FileSet, file *ast.File) ([]codeDecl, []Finding) {
+	var decls []codeDecl
+	declLits := map[ast.Expr]bool{}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				val, ok := stringLit(vs.Values[i])
+				if !ok || !codeOnlyRe.MatchString(val) {
+					continue
+				}
+				declLits[vs.Values[i]] = true
+				decls = append(decls, codeDecl{
+					constName: name.Name,
+					code:      val,
+					pos:       fset.Position(name.Pos()),
+				})
+			}
+		}
+	}
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || declLits[lit] {
+			return true
+		}
+		val, ok := stringLit(lit)
+		if !ok || !codeOnlyRe.MatchString(val) {
+			return true
+		}
+		findings = append(findings, Finding{
+			Pos:     fset.Position(lit.Pos()),
+			Message: fmt.Sprintf("bare diagnostic code literal %q; use the declared constant", val),
+		})
+		return true
+	})
+	return decls, findings
+}
+
+// coverFile records which declared codes a test file exercises: string
+// literals containing a code, and identifier or selector references to
+// a code constant.
+func coverFile(file *ast.File, byCode map[string]codeDecl, constCodes map[string][]string, covered map[string]bool) {
+	mark := func(name string) {
+		for _, c := range constCodes[name] {
+			covered[c] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BasicLit:
+			if x.Kind != token.STRING {
+				return true
+			}
+			if val, ok := stringLit(x); ok {
+				for _, c := range codeRe.FindAllString(val, -1) {
+					if _, ok := byCode[c]; ok {
+						covered[c] = true
+					}
+				}
+			}
+		case *ast.Ident:
+			mark(x.Name)
+		case *ast.SelectorExpr:
+			mark(x.Sel.Name)
+		}
+		return true
+	})
+}
+
+// documentedCodes scans DESIGN.md for code mentions. Ranges written as
+// "OL004–OL007" (hyphen or en dash) count for every code inside.
+func documentedCodes(root string) (map[string]bool, token.Position, error) {
+	path := filepath.Join(root, docFile)
+	pos := token.Position{Filename: path, Line: 1}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, pos, fmt.Errorf("reading %s: %w", docFile, err)
+	}
+	out := map[string]bool{}
+	for _, m := range rangeRe.FindAllStringSubmatch(string(data), -1) {
+		lo, _ := strconv.Atoi(m[1])
+		hi, _ := strconv.Atoi(m[2])
+		for n := lo; n <= hi; n++ {
+			out[fmt.Sprintf("OL%03d", n)] = true
+		}
+	}
+	for _, c := range codeRe.FindAllString(string(data), -1) {
+		out[c] = true
+	}
+	return out, pos, nil
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func posEq(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// walkGoFiles visits every non-test-data Go file under root.
+func walkGoFiles(root string, visit func(path string) error) error {
+	return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		return visit(path)
+	})
+}

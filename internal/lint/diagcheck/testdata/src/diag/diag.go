@@ -1,0 +1,16 @@
+// Package diag is a fixture for the diagcheck lint test. It declares a
+// small code inventory exercising every violation shape: an undocumented
+// code, an untested code, and (in dup.go) a duplicated code value.
+package diag
+
+// The diagnostic codes.
+const (
+	// CodeGood is documented in DESIGN.md and referenced from the test.
+	CodeGood = "OL001"
+	// CodeUndoc is tested but missing from DESIGN.md.
+	CodeUndoc = "OL002"
+	// CodeUntested is documented but no test mentions it.
+	CodeUntested = "OL003"
+	// CodeDupA is fine on its own; dup.go declares its value again.
+	CodeDupA = "OL004"
+)

@@ -1,0 +1,15 @@
+package diag
+
+import "testing"
+
+// TestCodes covers CodeGood by constant reference and CodeUndoc by
+// naming its code literally; CodeUntested and the OL004 pair stay
+// uncovered on purpose.
+func TestCodes(t *testing.T) {
+	if CodeGood != "OL00"+"1" {
+		t.Fatal("CodeGood changed")
+	}
+	if got := Emit("boom"); got != "OL002 is not what Emit returns" && got == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,5 @@
+package diag
+
+// CodeDupB re-declares the code value of CodeDupA — reports carrying
+// "OL004" can no longer be told apart.
+const CodeDupB = "OL004"

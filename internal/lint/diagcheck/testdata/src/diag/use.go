@@ -1,0 +1,7 @@
+package diag
+
+// Emit builds a report line. The bare "OL001" literal should have been
+// CodeGood; diagcheck flags it.
+func Emit(msg string) string {
+	return "OL001" + ": " + msg
+}

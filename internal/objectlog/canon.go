@@ -1,0 +1,68 @@
+package objectlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonicalization renders clauses and definitions into strings in
+// which alpha-equivalent structures compare equal: variables are
+// renamed in first-use order and body literals are sorted (literal
+// order matters for evaluation but not for set semantics). The
+// renderings are used as identity keys — duplicate-disjunct detection,
+// duplicate-differential grouping, and definition-analysis caching.
+
+// CanonicalClause renders c with variables renamed in first-use order
+// and the body literal renderings sorted, so alpha-equivalent clauses
+// render identically.
+func CanonicalClause(c Clause) string {
+	return canonicalClause(c, false)
+}
+
+// CanonicalBody is CanonicalClause with the head predicate name
+// anonymized, so clauses that differ only in what their head is called
+// — e.g. the same rule condition compiled under two rule names —
+// render identically.
+func CanonicalBody(c Clause) string {
+	return canonicalClause(c, true)
+}
+
+func canonicalClause(c Clause, anonHead bool) string {
+	sub := map[string]string{}
+	for i, v := range c.Vars() {
+		sub[v] = fmt.Sprintf("_D%d", i)
+	}
+	canon := c.Rename(sub)
+	if anonHead {
+		canon.Head.Pred = "_"
+	}
+	lits := make([]string, len(canon.Body))
+	for i, l := range canon.Body {
+		lits[i] = l.String()
+	}
+	sort.Strings(lits)
+	return canon.Head.String() + "←" + strings.Join(lits, "∧")
+}
+
+// CanonicalDef renders a whole definition: the sorted canonical
+// renderings of its clauses (disjunct order is irrelevant to set
+// semantics), prefixed with the aggregate marker when present. Two
+// definitions with equal canonical renderings and arities are
+// structurally identical, which makes the rendering a sound cache key
+// for definition-time analysis.
+func CanonicalDef(d *Def) string {
+	cls := make([]string, len(d.Clauses))
+	for i, c := range d.Clauses {
+		cls[i] = CanonicalClause(c)
+	}
+	sort.Strings(cls)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/%d", d.Name, d.Arity)
+	if d.Aggregate != "" {
+		fmt.Fprintf(&sb, "[%s/%d]", d.Aggregate, d.GroupCols)
+	}
+	sb.WriteByte(':')
+	sb.WriteString(strings.Join(cls, "∨"))
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package propnet
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/analyze"
+	"partdiff/internal/diff"
+	"partdiff/internal/objectlog"
+	"partdiff/internal/storage"
+)
+
+// buildPruned builds the §4.3 network with a declared capability on r
+// and returns it alongside an unpruned twin over the same store.
+func buildPruned(t *testing.T, rCap storage.Capability) (*storage.Store, *Network, *Network) {
+	t.Helper()
+	st := storage.NewStore()
+	st.CreateRelation("q", 2, nil)
+	st.CreateRelation("r", 2, nil)
+	st.Insert("q", tup(1, 1))
+	st.Insert("r", tup(1, 2))
+	if err := st.DeclareCapability("r", rCap); err != nil {
+		t.Fatal(err)
+	}
+	pruned := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	plain := New(st, objectlog.NewProgram(), diff.DefaultOptions())
+	plain.SetStaticPruning(false)
+	for _, n := range []*Network{pruned, plain} {
+		if err := n.AddView(pqrDef(), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, pruned, plain
+}
+
+func TestStaticPruningDropsImpossibleTriggers(t *testing.T) {
+	_, pruned, plain := buildPruned(t, storage.CapInserts)
+	// p has two occurrences × two signs = 4 differentials; with r
+	// append-only its Δ−r trigger is impossible.
+	if got := pruned.CompiledDiffs(); got != 4 {
+		t.Fatalf("CompiledDiffs = %d, want 4", got)
+	}
+	if got := pruned.ScheduledDiffs(); got != 3 {
+		t.Fatalf("ScheduledDiffs = %d, want 3", got)
+	}
+	if got := pruned.PrunedCount(); got != 1 {
+		t.Fatalf("PrunedCount = %d, want 1", got)
+	}
+	pd := pruned.PrunedDiffs()
+	if len(pd) != 1 || pd[0].Code != analyze.CodeUnreachableDelta || pd[0].Diff.Influent != "r" {
+		t.Fatalf("PrunedDiffs = %+v, want one OL301 on r", pd)
+	}
+	if res := pruned.Analysis(); res == nil || len(res.Pruned) != 1 {
+		t.Fatal("Analysis() does not expose the prune verdicts")
+	}
+
+	// The unpruned twin schedules everything and carries no analysis.
+	if plain.ScheduledDiffs() != 4 || plain.PrunedCount() != 0 || plain.Analysis() != nil {
+		t.Fatalf("unpruned network: scheduled %d pruned %d analysis %v",
+			plain.ScheduledDiffs(), plain.PrunedCount(), plain.Analysis())
+	}
+}
+
+func TestStaticPruningEquivalence(t *testing.T) {
+	st, pruned, plain := buildPruned(t, storage.CapInserts)
+	both := func(insert bool, rel string, vs ...int64) {
+		tp := tup(vs...)
+		var changed bool
+		if insert {
+			changed, _ = st.Insert(rel, tp)
+		} else {
+			changed, _ = st.Delete(rel, tp)
+		}
+		if !changed {
+			t.Fatalf("mutation %v %s%v had no effect", insert, rel, vs)
+		}
+		for _, n := range []*Network{pruned, plain} {
+			d := n.BaseDelta(rel)
+			if insert {
+				d.Insert(tp)
+			} else {
+				d.Delete(tp)
+			}
+		}
+	}
+	both(true, "q", 2, 1)
+	both(true, "r", 1, 3)
+	both(false, "q", 1, 1)
+
+	resP, err := pruned.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := plain.Propagate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, du := resP["p"], resU["p"]
+	if dp == nil || du == nil {
+		t.Fatal("missing Δp")
+	}
+	if !dp.Plus().Equal(du.Plus()) || !dp.Minus().Equal(du.Minus()) {
+		t.Fatalf("pruned Δp = <%s, %s>, unpruned <%s, %s>",
+			dp.Plus(), dp.Minus(), du.Plus(), du.Minus())
+	}
+}
+
+func TestStaticPruningDotRendering(t *testing.T) {
+	_, pruned, _ := buildPruned(t, storage.CapFrozen)
+	// Frozen r prunes both r-triggered differentials; the r→p edge
+	// renders dashed with the OL code, in Dot and DotHeat alike.
+	for name, out := range map[string]string{"Dot": pruned.Dot(), "DotHeat": pruned.DotHeat()} {
+		if !strings.Contains(out, "style=dashed") || !strings.Contains(out, analyze.CodeUnreachableDelta) {
+			t.Errorf("%s output misses dashed pruned edge:\n%s", name, out)
+		}
+	}
+	// The unpruned q→p edge still renders solid.
+	if !strings.Contains(pruned.Dot(), "Δp/Δ+q") {
+		t.Errorf("Dot output lost the live edge:\n%s", pruned.Dot())
+	}
+}

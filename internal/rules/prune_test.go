@@ -1,0 +1,112 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"partdiff/internal/storage"
+	"partdiff/internal/types"
+)
+
+// TestAnalysisCacheSingleRunPerDef asserts the per-definition analysis
+// cache: analyzing the same (unchanged) rule condition repeatedly —
+// e.g. the session's eager create-rule pass followed by DefineRule's
+// own validation, or repeated \lint sweeps — runs the analyzer once.
+func TestAnalysisCacheSingleRunPerDef(t *testing.T) {
+	f := newFixture(t, Incremental)
+	def := lowStockDef("cond_watch", false)
+
+	rep1 := f.mgr.AnalyzeRuleDef(def, 0)
+	if err := rep1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.mgr.AnalysisRuns(); got != 1 {
+		t.Fatalf("AnalysisRuns after first analysis = %d, want 1", got)
+	}
+	// DefineRule re-validates the identical definition: cache hit.
+	if err := f.mgr.DefineRule(&Rule{Name: "watch", CondDef: def, Action: f.recorder("watch")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.mgr.AnalysisRuns(); got != 1 {
+		t.Fatalf("AnalysisRuns after DefineRule = %d, want 1 (cache miss on unchanged def)", got)
+	}
+	// A structurally changed definition under the same name re-runs.
+	changed := lowStockDef("cond_watch", true)
+	f.mgr.AnalyzeRuleDef(changed, 1)
+	if got := f.mgr.AnalysisRuns(); got != 2 {
+		t.Fatalf("AnalysisRuns after changed def = %d, want 2", got)
+	}
+	// Invalidation drops the memo: the next analysis runs again.
+	f.mgr.InvalidateAnalysis()
+	f.mgr.AnalyzeRuleDef(changed, 1)
+	if got := f.mgr.AnalysisRuns(); got != 3 {
+		t.Fatalf("AnalysisRuns after invalidation = %d, want 3", got)
+	}
+}
+
+// TestManagerStaticPruning declares threshold read-only and checks the
+// rebuilt network prunes its differentials while the rule still fires
+// on quantity changes.
+func TestManagerStaticPruning(t *testing.T) {
+	f := newFixture(t, Incremental)
+	f.set(t, "quantity", 1, 10)
+	f.set(t, "threshold", 1, 5)
+	if err := f.mgr.DeclareCapability("threshold", storage.CapFrozen); err != nil {
+		t.Fatal(err)
+	}
+	f.defineLowStock(t, "low", true, 0)
+	if _, err := f.mgr.Activate("low"); err != nil {
+		t.Fatal(err)
+	}
+	net := f.mgr.Network()
+	if net.PrunedCount() == 0 {
+		t.Fatalf("frozen threshold pruned nothing (scheduled %d of %d)",
+			net.ScheduledDiffs(), net.CompiledDiffs())
+	}
+	for _, p := range net.PrunedDiffs() {
+		if p.Diff.Influent != "threshold" {
+			t.Errorf("pruned %s, expected only threshold-triggered differentials", p.Diff.Name())
+		}
+	}
+	f.inTxn(t, func() { f.set(t, "quantity", 1, 3) })
+	if len(f.fired["low"]) != 1 {
+		t.Fatalf("rule fired %d times with pruning on, want 1", len(f.fired["low"]))
+	}
+	// The profile report separates the statically pruned differentials.
+	var sb strings.Builder
+	if err := f.mgr.ProfileReport(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "statically pruned") {
+		t.Fatalf("profile report misses the statically-pruned section:\n%s", sb.String())
+	}
+
+	// Enforcement: mutating the frozen relation is rejected.
+	if _, err := f.store.Set("threshold", []types.Value{types.Int(1)}, []types.Value{types.Int(9)}); err == nil {
+		t.Fatal("mutation of frozen relation admitted")
+	}
+}
+
+// TestManagerStaticPruningOptOut checks the A/B switch: with pruning
+// off the full differential set schedules and behavior is unchanged.
+func TestManagerStaticPruningOptOut(t *testing.T) {
+	f := newFixture(t, Incremental)
+	f.set(t, "quantity", 1, 10)
+	f.set(t, "threshold", 1, 5)
+	if err := f.mgr.DeclareCapability("threshold", storage.CapFrozen); err != nil {
+		t.Fatal(err)
+	}
+	f.mgr.SetStaticPruning(false)
+	f.defineLowStock(t, "low", true, 0)
+	if _, err := f.mgr.Activate("low"); err != nil {
+		t.Fatal(err)
+	}
+	net := f.mgr.Network()
+	if net.PrunedCount() != 0 || net.ScheduledDiffs() != net.CompiledDiffs() {
+		t.Fatalf("pruning off but scheduled %d of %d", net.ScheduledDiffs(), net.CompiledDiffs())
+	}
+	f.inTxn(t, func() { f.set(t, "quantity", 1, 3) })
+	if len(f.fired["low"]) != 1 {
+		t.Fatalf("rule fired %d times with pruning off, want 1", len(f.fired["low"]))
+	}
+}

@@ -204,6 +204,16 @@ type Manager struct {
 	netDirty bool
 	diffOpts diff.Options
 	inj      *faultinject.Injector
+	// staticPruning enables the whole-network Δ-effect analysis on every
+	// rebuilt network (on by default; opt-out for A/B comparison).
+	staticPruning bool
+
+	// analysisCache memoizes definition-time analysis per definition
+	// name, keyed by the canonical rendering (so an unchanged definition
+	// is analyzed once, however many times `create rule` / \lint walk
+	// it). analysisRuns counts actual (cache-missing) analyzer runs.
+	analysisCache map[string]analysisEntry
+	analysisRuns  int64
 
 	// stats, when non-nil (EnableAdaptiveStats), is the observed
 	// workload statistics table shared by every rebuilt network's
@@ -262,16 +272,18 @@ func (m *Manager) debugf(format string, args ...any) {
 // NewManager creates a rule manager in the given monitoring mode.
 func NewManager(store *storage.Store, mode Mode) *Manager {
 	m := &Manager{
-		store:       store,
-		prog:        objectlog.NewProgram(),
-		mode:        mode,
-		HybridRatio: 0.5,
-		MaxRounds:   100,
-		rules:       map[string]*Rule{},
-		activations: map[string]*Activation{},
-		sharedNames: map[string]bool{},
-		diffOpts:    diff.DefaultOptions(),
-		netDirty:    true,
+		store:         store,
+		prog:          objectlog.NewProgram(),
+		mode:          mode,
+		HybridRatio:   0.5,
+		MaxRounds:     100,
+		rules:         map[string]*Rule{},
+		activations:   map[string]*Activation{},
+		sharedNames:   map[string]bool{},
+		diffOpts:      diff.DefaultOptions(),
+		netDirty:      true,
+		staticPruning: true,
+		analysisCache: map[string]analysisEntry{},
 	}
 	m.Resolve = defaultResolver
 	m.SetObservability(obs.New())
@@ -309,6 +321,33 @@ func (m *Manager) SetMonitorDeletions(on bool) {
 	m.netDirty = true
 }
 
+// SetStaticPruning controls whether rebuilt networks run the
+// whole-network Δ-effect analysis and drop provably zero-effect
+// differentials from scheduling (default on). The network is rebuilt
+// on change.
+func (m *Manager) SetStaticPruning(on bool) {
+	if m.staticPruning == on {
+		return
+	}
+	m.staticPruning = on
+	m.netDirty = true
+}
+
+// StaticPruning reports whether static differential pruning is enabled.
+func (m *Manager) StaticPruning() bool { return m.staticPruning }
+
+// DeclareCapability restricts the admitted change kinds of a base
+// relation (enforced by the store) and rebuilds the network so the
+// static analysis can prune differentials the restriction makes
+// impossible.
+func (m *Manager) DeclareCapability(rel string, cap storage.Capability) error {
+	if err := m.store.DeclareCapability(rel, cap); err != nil {
+		return err
+	}
+	m.netDirty = true
+	return nil
+}
+
 // Program returns the derived-predicate program (shared with the AMOSQL
 // compiler, which registers derived function definitions here).
 func (m *Manager) Program() *objectlog.Program { return m.prog }
@@ -342,6 +381,76 @@ func (m *Manager) Analyzer() *analyze.Analyzer {
 	return analyze.New(m.prog, opts...)
 }
 
+// analysisEntry is one memoized definition analysis.
+type analysisEntry struct {
+	canon     string // canonical rendering of the analyzed definition
+	numParams int
+	rule      bool
+	rep       analyze.Report
+}
+
+// AnalyzeRuleDef analyzes a rule condition definition through the
+// per-definition cache: an unchanged definition (same name, same
+// canonical rendering, same parameter count) reuses the memoized
+// report instead of re-running the analyzer.
+func (m *Manager) AnalyzeRuleDef(def *objectlog.Def, numParams int) analyze.Report {
+	return m.analyzeCached(def, numParams, true)
+}
+
+// AnalyzeViewDef analyzes a view definition through the per-definition
+// cache.
+func (m *Manager) AnalyzeViewDef(def *objectlog.Def) analyze.Report {
+	return m.analyzeCached(def, 0, false)
+}
+
+func (m *Manager) analyzeCached(def *objectlog.Def, numParams int, rule bool) analyze.Report {
+	canon := objectlog.CanonicalDef(def)
+	if e, ok := m.analysisCache[def.Name]; ok &&
+		e.canon == canon && e.numParams == numParams && e.rule == rule {
+		return e.rep
+	}
+	m.analysisRuns++
+	var rep analyze.Report
+	if rule {
+		rep = m.Analyzer().AnalyzeRule(def, numParams)
+	} else {
+		rep = m.Analyzer().AnalyzeDef(def)
+	}
+	m.analysisCache[def.Name] = analysisEntry{canon: canon, numParams: numParams, rule: rule, rep: rep}
+	return rep
+}
+
+// AnalysisRuns returns how many definition analyses actually ran (cache
+// misses) over the manager's lifetime.
+func (m *Manager) AnalysisRuns() int64 { return m.analysisRuns }
+
+// InvalidateAnalysis drops every memoized definition analysis. The
+// embedding session calls this after schema changes (new types,
+// functions, relations): a verdict like "unknown predicate" can flip
+// when the context grows, so cached reports are only valid within one
+// schema epoch.
+func (m *Manager) InvalidateAnalysis() {
+	m.analysisCache = map[string]analysisEntry{}
+}
+
+// AnalyzeNetwork runs the whole-network Δ-effect analysis (the OL3xx
+// diagnostics) over every derived definition currently in the program,
+// using the store's declared base-relation capabilities — the \lint
+// view of what a rebuilt propagation network would prune. It is not
+// cached: the verdicts depend on the whole program and the capability
+// declarations, not on any single definition.
+func (m *Manager) AnalyzeNetwork() *analyze.NetResult {
+	var views []*objectlog.Def
+	for _, name := range m.prog.Names() {
+		if d, ok := m.prog.Def(name); ok {
+			views = append(views, d)
+		}
+	}
+	return m.Analyzer().AnalyzeNet(views, func(name string) analyze.Cap {
+		return analyze.Cap(m.store.Capability(name))
+	}, m.diffOpts)
+}
+
 // RuleNames returns the defined rule names, sorted.
 func (m *Manager) RuleNames() []string {
 	out := make([]string, 0, len(m.rules))
@@ -371,7 +480,7 @@ func (m *Manager) DefineRule(r *Rule) error {
 		return fmt.Errorf("rule %q has no action", r.Name)
 	}
 	if !m.lazyAnalysis {
-		if err := m.Analyzer().AnalyzeRule(r.CondDef, r.NumParams).Err(); err != nil {
+		if err := m.AnalyzeRuleDef(r.CondDef, r.NumParams).Err(); err != nil {
 			return fmt.Errorf("rule %q: %w", r.Name, err)
 		}
 	}
@@ -398,7 +507,7 @@ func (m *Manager) ShareView(def *objectlog.Def) error {
 				return fmt.Errorf("view %s: %w", def.Name, err)
 			}
 		}
-	} else if err := m.Analyzer().AnalyzeDef(def).Err(); err != nil {
+	} else if err := m.AnalyzeViewDef(def).Err(); err != nil {
 		return fmt.Errorf("view %s: %w", def.Name, err)
 	}
 	m.sharedViews = append(m.sharedViews, def)
@@ -562,6 +671,7 @@ func (m *Manager) ensureNet() error {
 	}
 	old := m.net
 	net := propnet.New(m.store, m.prog, m.diffOpts)
+	net.SetStaticPruning(m.staticPruning)
 	net.SetInjector(m.inj)
 	net.SetObs(m.netMet, m.obs.Tracer)
 	net.SetProfiler(m.obs.Profiler)

@@ -264,6 +264,11 @@ type Store struct {
 	listeners []Listener
 	inj       *faultinject.Injector
 	met       *Metrics
+	// caps holds declared change capabilities (capability.go); relations
+	// absent from the map admit both signs. Guarded by mu. capSuspend
+	// counts open SuspendEnforcement scopes (rollback's inverse replay).
+	caps       map[string]Capability
+	capSuspend atomic.Int32
 
 	// MVCC state (see mvcc.go): commitSeq is the sequence of the last
 	// committed transaction (the in-flight writer writes at commitSeq+1),
@@ -386,6 +391,9 @@ func (s *Store) insertTx(rel string, t types.Tuple) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("relation %q does not exist", rel)
 	}
+	if err := s.checkCapability(rel, InsertEvent); err != nil {
+		return false, err
+	}
 	// Fire before mutating, so an injected error leaves the store clean.
 	if err := s.inj.Fire(faultinject.StoreInsert); err != nil {
 		return false, err
@@ -415,6 +423,9 @@ func (s *Store) deleteTx(rel string, t types.Tuple) (bool, error) {
 	r, ok := s.rels[rel]
 	if !ok {
 		return false, fmt.Errorf("relation %q does not exist", rel)
+	}
+	if err := s.checkCapability(rel, DeleteEvent); err != nil {
+		return false, err
 	}
 	if err := s.inj.Fire(faultinject.StoreDelete); err != nil {
 		return false, err
@@ -503,6 +514,17 @@ func (s *Store) setTx(rel string, key []types.Value, value []types.Value) ([]typ
 	// no-op and emits nothing — there is no physical change.
 	if len(old) == 1 && old[0].Equal(nt) {
 		return nil, false, nil
+	}
+	// Capability enforcement happens before any mutation so a rejected
+	// Set leaves the store clean: the insert bit is always needed, the
+	// delete bit only when old values must be retracted.
+	if err := s.checkCapability(rel, InsertEvent); err != nil {
+		return nil, false, err
+	}
+	if len(old) > 0 {
+		if err := s.checkCapability(rel, DeleteEvent); err != nil {
+			return nil, false, err
+		}
 	}
 	changed := false
 	seq := s.writeSeq()

@@ -301,6 +301,11 @@ func (m *Manager) Rollback() error {
 	m.inRollback = true
 	var undoErrs []error
 	func() {
+		// Inverse replay restores the pre-transaction state even where a
+		// declared capability forbids the inverse operation for users
+		// (undoing an insert into an append-only relation is a delete).
+		m.store.SuspendEnforcement()
+		defer m.store.ResumeEnforcement()
 		// A panicking undo (e.g. injected at the storage layer) must
 		// still finalize the transaction and poison the manager.
 		defer func() {

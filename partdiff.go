@@ -40,6 +40,7 @@ import (
 	"partdiff/internal/catalog"
 	"partdiff/internal/obs"
 	"partdiff/internal/rules"
+	"partdiff/internal/storage"
 	"partdiff/internal/txn"
 	"partdiff/internal/types"
 	"partdiff/internal/wal"
@@ -146,6 +147,7 @@ type config struct {
 	noDeletions bool
 	lazy        bool
 	adaptive    bool
+	noPruning   bool
 	budget      time.Duration
 	ctx         context.Context
 	writerWait  time.Duration
@@ -197,6 +199,19 @@ func WithoutDeletionMonitoring() Option {
 // commit time instead, as in earlier releases.
 func WithLazyAnalysis() Option {
 	return func(c *config) { c.lazy = true }
+}
+
+// WithoutStaticPruning disables the whole-network Δ-effect analysis
+// that runs when a propagation network is built. By default (pruning
+// on), differentials whose trigger Δ-set is provably always empty —
+// e.g. the Δ− differentials of a relation declared `append only` — or
+// whose disjunct is unsatisfiable across view boundaries are compiled
+// but dropped from scheduling; the analysis is sound, so pruned and
+// unpruned monitoring are observably identical. This option keeps every
+// compiled differential scheduled, for A/B comparison (the `bench -exp
+// prune` experiment) and for debugging the analysis itself.
+func WithoutStaticPruning() Option {
+	return func(c *config) { c.noPruning = true }
 }
 
 // WithCheckBudget bounds the wall-clock duration of each commit-time
@@ -294,6 +309,9 @@ func open(opts []Option) (*DB, *config) {
 	}
 	if cfg.adaptive {
 		db.sess.EnableAdaptiveStats()
+	}
+	if cfg.noPruning {
+		db.sess.SetStaticPruning(false)
 	}
 	db.sess.Rules().CheckBudget = cfg.budget
 	db.sess.Rules().CheckContext = cfg.ctx
@@ -449,6 +467,32 @@ func (db *DB) RegisterProcedure(name string, p Procedure) error {
 // (procedural contexts only; conditions must be declarative).
 func (db *DB) RegisterFunction(name string, paramTypes []string, resultType string, fn ForeignFunc) error {
 	return db.sess.RegisterFunction(name, paramTypes, resultType, fn)
+}
+
+// Capability restricts the admitted change kinds of a base relation
+// (see DeclareCapability and the AMOSQL `declare` statement).
+type Capability = storage.Capability
+
+// The capabilities: CapFrozen admits no changes, CapInserts only
+// insertions ("append only"), CapDeletes only deletions, CapAll any
+// change (every relation's default).
+const (
+	CapFrozen  = storage.CapFrozen
+	CapInserts = storage.CapInserts
+	CapDeletes = storage.CapDeletes
+	CapAll     = storage.CapAll
+)
+
+// DeclareCapability restricts the admitted change kinds of a stored
+// function's relation (or a type extent, via its type:NAME relation).
+// The store rejects excluded updates from then on, and the static
+// network analysis prunes the partial differentials the restriction
+// makes impossible. Capabilities only narrow: widening a declared
+// capability is an error. Equivalent to the AMOSQL statement
+// `declare NAME readonly|append only|delete only|read-write;` — prefer
+// the statement on durable databases, which journals it for recovery.
+func (db *DB) DeclareCapability(rel string, c Capability) error {
+	return db.sess.DeclareCapability(rel, c)
 }
 
 // Var returns the value of a session interface variable (e.g. "item1"

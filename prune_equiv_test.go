@@ -1,0 +1,302 @@
+package partdiff
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"partdiff/internal/faultinject"
+)
+
+// The static-pruning equivalence property: the whole-network Δ-effect
+// analysis only removes differentials it has PROVED can never produce a
+// tuple, so monitoring with pruning on and off must be observably
+// identical — same stored state, same rule firings in the same order,
+// same query results — on every workload. These tests drive the
+// property over the shipped example scripts and seeded random
+// workloads; `bench -exp prune` asserts it again on the paper's §6
+// benchmark database.
+
+// twinDBs opens a pruned/unpruned DB pair with identical recording
+// procedures and print outputs.
+func twinDBs(t *testing.T, procs []string) (on, off *DB, firedOn, firedOff *[]string, outOn, outOff *bytes.Buffer) {
+	t.Helper()
+	var fOn, fOff []string
+	mk := func(fired *[]string, opts ...Option) *DB {
+		db := Open(opts...)
+		for _, p := range procs {
+			p := p
+			if err := db.RegisterProcedure(p, func(args []Value) error {
+				*fired = append(*fired, fmt.Sprintf("%s%v", p, args))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+	on = mk(&fOn)
+	off = mk(&fOff, WithoutStaticPruning())
+	var bOn, bOff bytes.Buffer
+	on.SetOutput(&bOn)
+	off.SetOutput(&bOff)
+	return on, off, &fOn, &fOff, &bOn, &bOff
+}
+
+// assertTwinsEqual compares the observable state of the twin DBs.
+func assertTwinsEqual(t *testing.T, on, off *DB, firedOn, firedOff *[]string, outOn, outOff *bytes.Buffer) {
+	t.Helper()
+	if !reflect.DeepEqual(*firedOn, *firedOff) {
+		t.Errorf("firings diverge:\npruned:   %v\nunpruned: %v", *firedOn, *firedOff)
+	}
+	sOn, sOff := on.Session().Store().Snapshot(), off.Session().Store().Snapshot()
+	if !reflect.DeepEqual(sOn, sOff) {
+		t.Errorf("stored state diverges:\npruned:   %v\nunpruned: %v", sOn, sOff)
+	}
+	if outOn.String() != outOff.String() {
+		t.Errorf("print output diverges:\npruned:   %q\nunpruned: %q", outOn.String(), outOff.String())
+	}
+	if err := on.CheckInvariants(); err != nil {
+		t.Errorf("pruned DB invariants: %v", err)
+	}
+}
+
+// TestPruningEquivalenceScripts replays every shipped example script on
+// a pruned and an unpruned database and compares everything observable.
+func TestPruningEquivalenceScripts(t *testing.T) {
+	scripts, err := filepath.Glob("examples/scripts/*.amosql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no example scripts found")
+	}
+	for _, path := range scripts {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, off, fOn, fOff, bOn, bOff := twinDBs(t, []string{"order"})
+			resOn, errOn := on.Exec(string(src))
+			resOff, errOff := off.Exec(string(src))
+			if (errOn == nil) != (errOff == nil) {
+				t.Fatalf("script errors diverge: pruned %v, unpruned %v", errOn, errOff)
+			}
+			if errOn != nil {
+				t.Fatalf("script failed: %v", errOn)
+			}
+			if !reflect.DeepEqual(resOn, resOff) {
+				t.Errorf("statement results diverge:\npruned:   %v\nunpruned: %v", resOn, resOff)
+			}
+			assertTwinsEqual(t, on, off, fOn, fOff, bOn, bOff)
+		})
+	}
+}
+
+// pruneSchema extends the fault-sweep schema with an append-only event
+// log monitored by a second rule, so the capability declarations make
+// the analysis actually prune differentials (Δ− of events is
+// impossible) while random updates still flow through both networks.
+const pruneSchema = `
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create function events(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < threshold(i)
+    do record(i);
+create rule busy() as
+    when for each item i, integer n where events(i) = n and n > 2
+    do record2(i);
+create item instances :i1, :i2, :i3;
+set threshold(:i1) = 10;
+set threshold(:i2) = 10;
+set threshold(:i3) = 10;
+declare threshold readonly;
+declare events append only;
+activate low();
+activate busy();
+`
+
+// genPruneScript draws a random update script that respects the
+// declared capabilities: quantity updates plus event-log appends.
+func genPruneScript(rng *rand.Rand, steps int) []string {
+	items := []string{":i1", ":i2", ":i3"}
+	script := make([]string, 0, steps)
+	for j := 0; j < steps; j++ {
+		it := items[rng.Intn(len(items))]
+		if rng.Intn(3) == 0 {
+			script = append(script, fmt.Sprintf("add events(%s) = %d;", it, rng.Intn(6)))
+		} else {
+			script = append(script, fmt.Sprintf("set quantity(%s) = %d;", it, rng.Intn(20)))
+		}
+	}
+	return script
+}
+
+// TestPruningEquivalenceRandom runs seeded random workloads through a
+// pruned/unpruned twin pair, comparing state and firings after every
+// transaction, and asserts the pruned network actually dropped
+// differentials (the property must not hold vacuously).
+func TestPruningEquivalenceRandom(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			on, off, fOn, fOff, bOn, bOff := twinDBs(t, []string{"record", "record2"})
+			on.MustExec(pruneSchema)
+			off.MustExec(pruneSchema)
+			net := on.Session().Rules().Network()
+			if net == nil || net.PrunedCount() == 0 {
+				t.Fatal("schema declarations pruned nothing; the equivalence check is vacuous")
+			}
+			if offNet := off.Session().Rules().Network(); offNet.PrunedCount() != 0 {
+				t.Fatalf("unpruned twin pruned %d differentials", offNet.PrunedCount())
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for txn := 0; txn < 8; txn++ {
+				script := genPruneScript(rng, 1+rng.Intn(6))
+				errOn := runScript(on, script)
+				errOff := runScript(off, script)
+				if (errOn == nil) != (errOff == nil) {
+					t.Fatalf("txn %d: errors diverge: pruned %v, unpruned %v", txn, errOn, errOff)
+				}
+				assertTwinsEqual(t, on, off, fOn, fOff, bOn, bOff)
+			}
+		})
+	}
+}
+
+// TestFaultSweepPruned re-runs the fault-sweep discipline with static
+// pruning active (capability declarations in the schema): a fault at
+// every operation index must surface, roll back cleanly, and leave a
+// survivor that replays to the same state and firings as a fresh DB.
+func TestFaultSweepPruned(t *testing.T) {
+	seeds := []int64{1, 2}
+	stride := 1
+	if testing.Short() {
+		seeds = seeds[:1]
+		stride = 3
+	}
+	mkDB := func(fired *[]string) *DB {
+		db := Open()
+		for _, p := range []string{"record", "record2"} {
+			p := p
+			db.RegisterProcedure(p, func(args []Value) error {
+				*fired = append(*fired, fmt.Sprintf("%s%v", p, args[0]))
+				return nil
+			})
+		}
+		db.MustExec(pruneSchema)
+		return db
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			script := genPruneScript(rand.New(rand.NewSource(seed)), 8)
+
+			var baseFired []string
+			base := mkDB(&baseFired)
+			if n := base.Session().Rules().Network().PrunedCount(); n == 0 {
+				t.Fatal("sweep schema pruned nothing")
+			}
+			inj := faultinject.New()
+			base.Session().SetInjector(inj)
+			baseFired = nil
+			if err := runScript(base, script); err != nil {
+				t.Fatalf("clean run failed: %v", err)
+			}
+			baseState := base.Session().Store().Snapshot()
+			ops := inj.Ops()
+			if ops == 0 {
+				t.Fatal("clean run hit no fault points; sweep is vacuous")
+			}
+
+			for idx := 0; idx < ops; idx += stride {
+				kind := faultinject.Error
+				if idx%2 == 1 {
+					kind = faultinject.Panic
+				}
+				var fired []string
+				db := mkDB(&fired)
+				inj := faultinject.New()
+				db.Session().SetInjector(inj)
+				pre := db.Session().Store().Snapshot()
+				fired = nil
+				inj.ArmIndex(idx, kind)
+
+				err := runScript(db, script)
+				if err == nil {
+					t.Errorf("op %d (%v): injected fault did not surface", idx, kind)
+					continue
+				}
+				if errors.Is(err, ErrCorrupt) {
+					t.Errorf("op %d (%v): forward-phase fault poisoned the DB: %v", idx, kind, err)
+					continue
+				}
+				if got := db.Session().Store().Snapshot(); !reflect.DeepEqual(got, pre) {
+					t.Errorf("op %d (%v): store differs from pre-transaction snapshot", idx, kind)
+				}
+				if ierr := db.CheckInvariants(); ierr != nil {
+					t.Errorf("op %d (%v): invariants after rollback: %v", idx, kind, ierr)
+				}
+				fired = nil
+				if rerr := runScript(db, script); rerr != nil {
+					t.Errorf("op %d (%v): survivor replay failed: %v", idx, kind, rerr)
+					continue
+				}
+				if !reflect.DeepEqual(fired, baseFired) {
+					t.Errorf("op %d (%v): survivor fired %v, fresh DB fired %v", idx, kind, fired, baseFired)
+				}
+				if got := db.Session().Store().Snapshot(); !reflect.DeepEqual(got, baseState) {
+					t.Errorf("op %d (%v): survivor state diverges from baseline", idx, kind)
+				}
+			}
+		})
+	}
+}
+
+// TestDeclareSurvivesReopen checks the `declare` statement is journaled
+// like other DDL: after reopening from the data directory the
+// restriction is still enforced and the rebuilt network still prunes.
+func TestDeclareSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	var fired []string
+	rec := func(args []Value) error {
+		fired = append(fired, fmt.Sprintf("%v", args[0]))
+		return nil
+	}
+	db, err := OpenDir(dir, WithProcedure("record", rec), WithProcedure("record2", rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(pruneSchema)
+	db.MustExec(`set quantity(:i1) = 3;`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := OpenDir(dir, WithProcedure("record", rec), WithProcedure("record2", rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Exec(`set threshold(:i1) = 3;`); err == nil {
+		t.Fatal("readonly declaration lost across reopen")
+	}
+	if _, err := db2.Exec(`remove events(:i1) = 3;`); err == nil {
+		t.Fatal("append-only declaration lost across reopen")
+	}
+	db2.MustExec(`set quantity(:i2) = 3;`)
+	if net := db2.Session().Rules().Network(); net == nil || net.PrunedCount() == 0 {
+		t.Fatal("recovered network prunes nothing")
+	}
+}
