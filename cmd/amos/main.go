@@ -15,6 +15,8 @@
 //	\lint                 re-run the static analyzer over all definitions
 //	\checkpoint           snapshot the data directory and truncate the log (-data only)
 //	\save dir             write a standalone snapshot of the database into dir
+//	\subscribe [types]    stream live events to the terminal (comma-separated
+//	                      filter, e.g. \subscribe rule_firing,txn); \subscribe stop
 //	\quit
 //
 // A demo `order` procedure is predefined (it prints the order). Run a
@@ -36,6 +38,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +47,7 @@ import (
 	"strings"
 
 	"partdiff"
+	"partdiff/internal/obs"
 )
 
 func main() {
@@ -171,6 +175,13 @@ func orderProc(args []partdiff.Value) error {
 var (
 	activeTrace     *partdiff.Trace
 	activeTracePath string
+)
+
+// activeSub is the shell's live \subscribe stream; activeSubDone closes
+// when its printer goroutine has drained.
+var (
+	activeSub     *partdiff.Subscription
+	activeSubDone chan struct{}
 )
 
 // meta handles backslash commands; it reports whether to quit.
@@ -320,8 +331,45 @@ func meta(db *partdiff.DB, cmd string) bool {
 		} else {
 			fmt.Printf("saved to %s\n", words[1])
 		}
+	case "\\subscribe", "\\sub":
+		words := strings.Fields(cmd)
+		switch {
+		case len(words) > 1 && words[1] == "stop":
+			if activeSub == nil {
+				fmt.Println("no subscription active")
+				break
+			}
+			activeSub.Close()
+			<-activeSubDone
+			activeSub, activeSubDone = nil, nil
+			fmt.Println("subscription closed")
+		case activeSub != nil:
+			fmt.Println("subscription already active; \\subscribe stop first")
+		default:
+			var types []partdiff.EventType
+			if len(words) > 1 {
+				var err error
+				if types, err = obs.ParseEventTypes(words[1]); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			}
+			activeSub = db.Subscribe(types...)
+			activeSubDone = make(chan struct{})
+			go func(sub *partdiff.Subscription, done chan struct{}) {
+				defer close(done)
+				for {
+					e, err := sub.Next(context.Background())
+					if err != nil {
+						return
+					}
+					fmt.Printf("!! %s\n", e.String())
+				}
+			}(activeSub, activeSubDone)
+			fmt.Println("subscribed (events print as they commit; \\subscribe stop to end)")
+		}
 	default:
-		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\quit")
+		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\subscribe \\quit")
 	}
 	return false
 }

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"partdiff"
+	"partdiff/internal/obs"
+)
+
+const smokeSchema = `
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < threshold(i)
+    do log_order(i);
+create item instances :i1;
+set threshold(:i1) = 10;
+activate low();
+`
+
+// TestAmosdSmoke is the end-to-end smoke: start the server, execute a
+// schema, subscribe over SSE, commit an update that fires a rule,
+// observe the firing on the stream, query the state, and shut down
+// cleanly on SIGTERM.
+func TestAmosdSmoke(t *testing.T) {
+	var stderr bytes.Buffer
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{"-addr", "127.0.0.1:0", "-slow-commit", "24h"}, &stderr, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not come up; stderr:\n%s", stderr.String())
+	}
+
+	post := func(body string) apiResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/exec", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out apiResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("exec status %d: %s", resp.StatusCode, out.Error)
+		}
+		return out
+	}
+
+	// amosd registers no foreign procedures, so the rule action uses the
+	// builtin print.
+	post(strings.ReplaceAll(smokeSchema, "log_order", "print"))
+
+	// Health before traffic.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+
+	// Subscribe to the firehose before committing the triggering write.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events?types=rule_firing,system", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+
+	// Fire the rule: quantity below threshold.
+	post("set quantity(:i1) = 3;")
+
+	// One rule_firing frame (and, thanks to -slow-commit being
+	// impossible to exceed, no spurious system frames before it).
+	br := bufio.NewReader(stream.Body)
+	var firing *obs.Event
+	deadline := time.After(10 * time.Second)
+	frames := make(chan obs.Event, 16)
+	go func() {
+		for {
+			e, err := readSSEEvent(br)
+			if err != nil {
+				close(frames)
+				return
+			}
+			frames <- e
+		}
+	}()
+waitFiring:
+	for {
+		select {
+		case e, ok := <-frames:
+			if !ok {
+				t.Fatal("event stream closed before a firing arrived")
+			}
+			if e.Type == obs.EventRuleFiring {
+				firing = &e
+				break waitFiring
+			}
+		case <-deadline:
+			t.Fatal("no rule_firing event within 10s")
+		}
+	}
+	if firing.Rule != "low" || firing.CommitSeq == 0 {
+		t.Fatalf("firing event = %+v", firing)
+	}
+
+	// Snapshot query through /v1/query.
+	resp, err := http.Get(base + "/v1/query?q=" + "select%20quantity(i)%20for%20each%20item%20i%3B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr apiResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(qr.Results) != 1 || len(qr.Results[0].Rows) != 1 || qr.Results[0].Rows[0][0] != "3" {
+		t.Fatalf("query response = %+v (err %q)", qr.Results, qr.Error)
+	}
+
+	// Metrics include the event accounting.
+	resp, err = http.Get(base + "/metrics?prefix=events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "partdiff_events_published_total") {
+		t.Fatalf("metrics missing event counters:\n%s", body)
+	}
+
+	// Clean shutdown on SIGTERM.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d; stderr:\n%s", c, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not shut down; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "amosd stopped") {
+		t.Fatalf("no clean shutdown message:\n%s", stderr.String())
+	}
+}
+
+// readSSEEvent parses SSE frames until a data-bearing one arrives,
+// skipping heartbeats.
+func readSSEEvent(br *bufio.Reader) (obs.Event, error) {
+	var data string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return obs.Event{}, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = line[6:]
+		case line == "" && data != "":
+			var e obs.Event
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				return obs.Event{}, err
+			}
+			return e, nil
+		}
+	}
+}
+
+func TestExecRejectsNonPost(t *testing.T) {
+	db := partdiff.Open()
+	mux := newMux(db)
+	req, _ := http.NewRequest(http.MethodGet, "/v1/exec", nil)
+	rec := newRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.status != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/exec = %d, want 405", rec.status)
+	}
+}
+
+func TestExecJSONBody(t *testing.T) {
+	db := partdiff.Open()
+	mux := newMux(db)
+	req, _ := http.NewRequest(http.MethodPost, "/v1/exec",
+		strings.NewReader(`{"src": "create type item;"}`))
+	req.Header.Set("Content-Type", "application/json")
+	rec := newRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.status != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.status, rec.body.String())
+	}
+	var out apiResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Error != "" {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+func TestExecErrorSurfacesAsJSON(t *testing.T) {
+	db := partdiff.Open()
+	mux := newMux(db)
+	req, _ := http.NewRequest(http.MethodPost, "/v1/exec", strings.NewReader("not amosql;"))
+	rec := newRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", rec.status)
+	}
+	var out apiResponse
+	if err := json.Unmarshal(rec.body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == "" {
+		t.Fatal("error missing from response")
+	}
+}
+
+// recorder is a minimal ResponseWriter (httptest.NewRecorder works too,
+// but this keeps the status default explicit).
+type recorder struct {
+	status int
+	hdr    http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{status: http.StatusOK, hdr: http.Header{}} }
+
+func (r *recorder) Header() http.Header         { return r.hdr }
+func (r *recorder) WriteHeader(code int)        { r.status = code }
+func (r *recorder) Write(b []byte) (int, error) { return r.body.Write(b) }

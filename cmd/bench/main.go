@@ -9,6 +9,7 @@
 //	bench -exp profile     # profiler on/off A/B + adaptive-statistics skew
 //	bench -exp concurrency # snapshot-read scaling + group-commit write scaling
 //	bench -exp prune       # static differential pruning off/on A/B
+//	bench -exp events      # event bus armed/disarmed A/B + subscriber fan-out
 //	bench -exp all
 //
 // With -json, the fig6/fig7/durability measurements (time per
@@ -55,6 +56,10 @@ type record struct {
 	Compiled  int `json:"compiled_differentials,omitempty"`
 	Scheduled int `json:"scheduled_differentials,omitempty"`
 	Pruned    int `json:"pruned_differentials,omitempty"`
+	// Events experiment only: bus accounting for the fan-out rows.
+	Published int64 `json:"events_published,omitempty"`
+	Delivered int64 `json:"events_delivered,omitempty"`
+	Dropped   int64 `json:"events_dropped,omitempty"`
 }
 
 // report is the BENCH_<n>.json document.
@@ -65,7 +70,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, profile, concurrency, prune, or all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, profile, concurrency, prune, events, or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
 	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
 	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
@@ -126,6 +131,12 @@ func main() {
 		sizes := parseSizes(*sizesFlag, []int{100, 1000})
 		if err := runPrune(sizes, *txns, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "prune:", err)
+			failed = true
+		}
+	}
+	if run("events") {
+		if err := runEvents(*reps, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "events:", err)
 			failed = true
 		}
 	}
@@ -409,6 +420,58 @@ func runPrune(sizes []int, txns int, rep *report) error {
 				record{Name: fmt.Sprintf("prune/%s/items=%d/on", r.Workload, r.DBSize),
 					NsPerOp: r.OnNs / ops, Execs: r.OnDiffs, ZeroEffect: r.OnZero,
 					Compiled: r.Compiled, Scheduled: r.Scheduled, Pruned: r.Pruned})
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runEvents(reps int, rep *report) error {
+	// Like the profiler A/B, the overhead measurement needs runs long
+	// enough that the median beats scheduler noise; the per-event cost
+	// is far below the noise floor of short runs, so these are longer
+	// than the profiler's.
+	const n, txns, rounds = 100, 2000, 25
+	fmt.Printf("Event bus — median-of-%d A/B: fig6/fig7 workloads with the bus\n", reps)
+	fmt.Printf("disarmed vs armed with zero subscribers (the serving default)\n\n")
+	rows, err := bench.RunEventOverhead(n, txns, rounds, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %8s %6s %12s %12s %10s %10s\n",
+		"experiment", "items", "txns", "off ms", "armed ms", "overhead", "events")
+	for _, r := range rows {
+		fmt.Printf("%10s %8d %6d %12.2f %12.2f %9.1f%% %10d\n",
+			r.Experiment, r.DBSize, r.Txns, ms(r.OffNs), ms(r.OnNs), r.OverheadPct, r.Published)
+		if rep != nil {
+			ops := int64(r.Txns)
+			rep.Records = append(rep.Records,
+				record{Name: fmt.Sprintf("events/%s/items=%d/off", r.Experiment, r.DBSize), NsPerOp: r.OffNs / ops},
+				record{Name: fmt.Sprintf("events/%s/items=%d/armed", r.Experiment, r.DBSize), NsPerOp: r.OnNs / ops,
+					OverheadPct: r.OverheadPct, Published: r.Published})
+		}
+	}
+
+	subCounts := []int{1, 4, 16}
+	fmt.Printf("\nSubscriber fan-out — fig6 workload (%d items, %d txns) with S\n", n, txns)
+	fmt.Printf("concurrent subscribers draining the firehose; every published event is\n")
+	fmt.Printf("either delivered to or explicitly dropped for each subscriber\n\n")
+	frows, err := bench.RunEventFanout(n, txns, subCounts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %10s %12s %12s %10s %14s\n",
+		"subscribers", "wall ms", "published", "delivered", "dropped", "delivered/s")
+	for _, r := range frows {
+		fmt.Printf("%12d %10.2f %12d %12d %10d %14.0f\n",
+			r.Subscribers, ms(r.Ns), r.Published, r.Delivered, r.Dropped, r.DeliveredPerSec)
+		if rep != nil {
+			rep.Records = append(rep.Records, record{
+				Name:      fmt.Sprintf("events/fanout/subs=%d", r.Subscribers),
+				NsPerOp:   r.Ns / int64(r.Txns),
+				OpsPerSec: r.DeliveredPerSec,
+				Published: r.Published, Delivered: r.Delivered, Dropped: r.Dropped,
+			})
 		}
 	}
 	fmt.Println()

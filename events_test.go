@@ -1,0 +1,486 @@
+package partdiff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"partdiff/internal/faultinject"
+	"partdiff/internal/obs"
+)
+
+// drain pops every buffered event from sub without blocking.
+func drain(sub *Subscription) []Event {
+	var out []Event
+	for {
+		e, ok := sub.TryNext()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// TestEventCommitPointContract is the core ordering guarantee: events
+// describing a transaction's work (rule firings, Δ summaries) are
+// published only after the commit point, stamped with the commit
+// sequence, and a rolled-back transaction publishes nothing but its
+// begin/rollback lifecycle.
+func TestEventCommitPointContract(t *testing.T) {
+	var fired []string
+	db := sweepDB(t, &fired)
+	sub := db.Subscribe()
+	defer sub.Close()
+
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("set quantity(:i1) = 1;")
+	// Mid-transaction: only the begin lifecycle event may be visible.
+	for _, e := range drain(sub) {
+		if e.Type != EventTxn || e.Op != "begin" {
+			t.Fatalf("pre-commit event leaked: %+v", e)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := drain(sub)
+	var haveFiring, haveDelta bool
+	var commitSeq uint64
+	for _, e := range events {
+		switch {
+		case e.Type == EventTxn && e.Op == "commit":
+			commitSeq = e.CommitSeq
+		case e.Type == EventRuleFiring:
+			haveFiring = true
+			if e.Rule != "low" || len(e.Instances) == 0 {
+				t.Errorf("firing event incomplete: %+v", e)
+			}
+		case e.Type == EventDelta:
+			haveDelta = true
+			if len(e.Deltas) == 0 {
+				t.Errorf("delta event has no entries: %+v", e)
+			}
+		}
+	}
+	if !haveFiring || !haveDelta || commitSeq == 0 {
+		t.Fatalf("missing events (firing=%v delta=%v commitSeq=%d) in %v", haveFiring, haveDelta, commitSeq, events)
+	}
+	// Everything transactional carries the same commit sequence, and the
+	// commit lifecycle event comes last.
+	for i, e := range events {
+		if (e.Type == EventRuleFiring || e.Type == EventDelta) && e.CommitSeq != commitSeq {
+			t.Errorf("event %d has commit seq %d, want %d: %+v", i, e.CommitSeq, commitSeq, e)
+		}
+	}
+	if last := events[len(events)-1]; last.Type != EventTxn || last.Op != "commit" {
+		t.Errorf("last event is %+v, want the txn commit", last)
+	}
+
+	// Rolled-back transaction: lifecycle only.
+	if err := db.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("set quantity(:i2) = 1;")
+	if err := db.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, e := range drain(sub) {
+		if e.Type != EventTxn {
+			t.Fatalf("rolled-back transaction published %+v", e)
+		}
+		ops = append(ops, e.Op)
+	}
+	if fmt.Sprint(ops) != "[begin rollback]" {
+		t.Fatalf("rollback lifecycle = %v, want [begin rollback]", ops)
+	}
+}
+
+// TestEventStreamSoak is the -race subscription soak: concurrent
+// writers (some rolling back) against several subscribers, one
+// deliberately slow. Asserts no torn events, commit-order publication,
+// and that every loss is accounted in the metrics.
+func TestEventStreamSoak(t *testing.T) {
+	const (
+		writers  = 4
+		txnsEach = 25
+	)
+	var fired atomic.Int64
+	db := soakOpenDB(t, &fired)
+	reg := db.Observability().Registry
+
+	// Subscriber 1: lossless (buffer large enough for everything).
+	lossless := db.EventBus().Subscribe(writers*txnsEach*8 + 64)
+	// Subscriber 2: filtered to commits only.
+	commits := db.Subscribe(EventTxn)
+	// Subscriber 3: deliberately slow, tiny buffer — must lose events,
+	// and every loss must be accounted.
+	slow := db.EventBus().Subscribe(8)
+
+	var slowReal, slowGapped uint64
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		for {
+			e, err := slow.Next(context.Background())
+			if err != nil {
+				return
+			}
+			if e.Type == EventGap {
+				slowGapped += e.Missed
+			} else {
+				slowReal++
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var committed, rolledBack atomic.Int64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 7))
+			for i := 0; i < txnsEach; i++ {
+				stmts := genTxn(rng, w*100000+i)
+				if err := db.Begin(); err != nil {
+					t.Errorf("writer %d begin: %v", w, err)
+					return
+				}
+				for _, stmt := range stmts {
+					if _, err := db.Exec(stmt); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						_ = db.Rollback()
+						return
+					}
+				}
+				if i%3 == 2 {
+					if err := db.Rollback(); err != nil {
+						t.Errorf("writer %d rollback: %v", w, err)
+						return
+					}
+					rolledBack.Add(1)
+					continue
+				}
+				if err := db.Commit(); err != nil {
+					t.Errorf("writer %d commit: %v", w, err)
+					return
+				}
+				committed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Lossless subscriber: full history, in publication order.
+	events := drain(lossless)
+	var (
+		lastID       uint64
+		lastSeq      uint64
+		commitEvents int64
+		rollbackEvts int64
+		firingEvents int64
+	)
+	for _, e := range events {
+		if e.Type == EventGap {
+			t.Fatalf("lossless subscriber saw a gap: %+v", e)
+		}
+		if e.ID <= lastID {
+			t.Fatalf("event IDs not increasing: %d after %d", e.ID, lastID)
+		}
+		lastID = e.ID
+		if e.CommitSeq != 0 {
+			if e.CommitSeq < lastSeq {
+				t.Fatalf("commit sequence regressed: %d after %d (%+v)", e.CommitSeq, lastSeq, e)
+			}
+			lastSeq = e.CommitSeq
+		}
+		switch {
+		case e.Type == EventTxn && e.Op == "commit":
+			commitEvents++
+		case e.Type == EventTxn && e.Op == "rollback":
+			rollbackEvts++
+		case e.Type == EventRuleFiring:
+			// One firing event covers every instance the chosen
+			// activation fired for; each instance ran one action.
+			firingEvents += int64(len(e.Instances))
+		}
+	}
+	if commitEvents != committed.Load() {
+		t.Errorf("commit events %d != committed transactions %d", commitEvents, committed.Load())
+	}
+	if rollbackEvts != rolledBack.Load() {
+		t.Errorf("rollback events %d != rolled-back transactions %d", rollbackEvts, rolledBack.Load())
+	}
+	if firingEvents != fired.Load() {
+		t.Errorf("rule firing instances %d != rule actions fired %d", firingEvents, fired.Load())
+	}
+
+	// Commit-filtered subscriber: exactly the commits, seq increasing.
+	lastSeq = 0
+	var filtered int64
+	for _, e := range drain(commits) {
+		if e.Type == EventGap {
+			continue
+		}
+		if e.Type != EventTxn {
+			t.Fatalf("filter leaked %+v", e)
+		}
+		if e.Op != "commit" {
+			continue
+		}
+		filtered++
+		// Non-decreasing: a commit with no net physical writes does not
+		// advance the store's commit sequence.
+		if e.CommitSeq < lastSeq {
+			t.Fatalf("filtered commit seq regressed: %d after %d", e.CommitSeq, lastSeq)
+		}
+		lastSeq = e.CommitSeq
+	}
+	if filtered+int64(commits.Dropped()) < commitEvents {
+		t.Errorf("commit subscriber saw %d + dropped %d < %d commits", filtered, commits.Dropped(), commitEvents)
+	}
+
+	// Slow subscriber: close, wait for its goroutine to drain what is
+	// buffered (Next keeps returning buffered events after Close), then
+	// check the loss accounting: real + gapped must equal everything
+	// published.
+	slow.Close()
+	<-slowDone
+	published := uint64(reg.Total("partdiff_events_published_total"))
+	if slowReal+slowGapped != published {
+		t.Errorf("slow subscriber: real %d + gapped %d != published %d", slowReal, slowGapped, published)
+	}
+	if slowGapped == 0 {
+		t.Logf("note: slow subscriber kept up (no drops exercised this run)")
+	}
+	if slowGapped != slow.Dropped() {
+		t.Errorf("gap accounting %d != Dropped() %d", slowGapped, slow.Dropped())
+	}
+	if dropped := reg.CounterValue("partdiff_events_dropped_total"); uint64(dropped) != slow.Dropped()+commits.Dropped() {
+		t.Errorf("dropped metric %d != subscriber losses %d+%d", dropped, slow.Dropped(), commits.Dropped())
+	}
+	lossless.Close()
+	commits.Close()
+
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventsUnderFaultSweep extends the PR 1 fault sweep to the event
+// stream: a transaction that fails (via an injected error or panic at
+// any operation index) must publish no rule firing or Δ events — its
+// staged events are discarded — while the survivor replay publishes the
+// full committed set.
+func TestEventsUnderFaultSweep(t *testing.T) {
+	script := genScript(rand.New(rand.NewSource(4)), 8)
+
+	var baseFired []string
+	base := sweepDB(t, &baseFired)
+	inj := faultinject.New()
+	base.Session().SetInjector(inj)
+	if err := runScript(base, script); err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	ops := inj.Ops()
+	if ops == 0 {
+		t.Fatal("clean run hit no fault points; sweep is vacuous")
+	}
+
+	for idx := 0; idx < ops; idx++ {
+		kind := faultinject.Error
+		if idx%2 == 1 {
+			kind = faultinject.Panic
+		}
+		var fired []string
+		db := sweepDB(t, &fired)
+		inj := faultinject.New()
+		db.Session().SetInjector(inj)
+		sub := db.Subscribe()
+		reg := db.Observability().Registry
+		inj.ArmIndex(idx, kind)
+
+		if err := runScript(db, script); err == nil {
+			t.Errorf("op %d (%v): injected fault did not surface", idx, kind)
+			continue
+		} else if errors.Is(err, ErrCorrupt) {
+			t.Errorf("op %d (%v): fault poisoned the DB: %v", idx, kind, err)
+			continue
+		}
+		staged := reg.CounterValue("partdiff_events_discarded_total")
+		for _, e := range drain(sub) {
+			switch e.Type {
+			case EventRuleFiring, EventDelta:
+				t.Errorf("op %d (%v): failed transaction published %+v", idx, kind, e)
+			case EventTxn:
+				if e.Op == "commit" {
+					t.Errorf("op %d (%v): failed transaction published a commit event", idx, kind)
+				}
+			}
+		}
+
+		// Survivor replay: the committed run publishes its full set.
+		fired = nil
+		if err := runScript(db, script); err != nil {
+			t.Errorf("op %d (%v): survivor replay failed: %v", idx, kind, err)
+			sub.Close()
+			continue
+		}
+		var firingInstances int
+		var sawCommit bool
+		for _, e := range drain(sub) {
+			switch {
+			case e.Type == EventRuleFiring:
+				// One firing event per chosen activation; one action ran
+				// per instance it fired for.
+				firingInstances += len(e.Instances)
+			case e.Type == EventTxn && e.Op == "commit":
+				sawCommit = true
+			}
+		}
+		if !sawCommit {
+			t.Errorf("op %d (%v): survivor commit published no commit event", idx, kind)
+		}
+		if firingInstances != len(fired) {
+			t.Errorf("op %d (%v): %d firing instances for %d fired actions (discarded before fault: %d)",
+				idx, kind, firingInstances, len(fired), staged)
+		}
+		sub.Close()
+	}
+}
+
+// TestSlowCommitEvent covers WithSlowCommitThreshold: a commit slower
+// than the threshold emits a system event with per-phase timings and
+// bumps the slow-commit counter.
+func TestSlowCommitEvent(t *testing.T) {
+	db := Open(WithSlowCommitThreshold(time.Nanosecond))
+	db.RegisterProcedure("record", func([]Value) error { return nil })
+	db.MustExec(sweepSchema)
+	sub := db.Subscribe(EventSystem)
+	defer sub.Close()
+
+	db.MustExec("set quantity(:i1) = 1;")
+
+	var slow *Event
+	for _, e := range drain(sub) {
+		if e.Op == "slow_commit" {
+			e := e
+			slow = &e
+		}
+	}
+	if slow == nil {
+		t.Fatal("no slow_commit event for a commit over the 1ns threshold")
+	}
+	if slow.Ms <= 0 {
+		t.Errorf("slow_commit total %v ms, want > 0", slow.Ms)
+	}
+	if slow.CheckMs < 0 || slow.PersistMs < 0 || slow.AckMs < 0 {
+		t.Errorf("negative phase timing: %+v", slow)
+	}
+	if slow.Detail == "" {
+		t.Error("slow_commit event has no detail")
+	}
+	if got := db.Observability().Registry.CounterValue("partdiff_txn_slow_commits_total"); got == 0 {
+		t.Error("slow-commit counter not bumped")
+	}
+}
+
+// TestHealthEndpoints covers /healthz and /readyz on MonitorHandler: a
+// healthy durable database serves 200/200; a sticky-poisoned WAL flips
+// readiness (but not liveness) to 503.
+func TestHealthEndpoints(t *testing.T) {
+	db, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := httptest.NewServer(db.MonitorHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+
+	// Poison the WAL: an injected fsync failure is sticky.
+	inj := faultinject.New()
+	db.Session().SetInjector(inj)
+	inj.Arm(faultinject.WalFsync, 1, faultinject.Error)
+	if _, err := db.Exec("create type item; create item instances :x;"); err == nil {
+		t.Fatal("commit with failing fsync succeeded")
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after wal poison = %d, want 200 (liveness unaffected)", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "fsync") {
+		t.Fatalf("/readyz after wal poison = %d %q, want 503 with the sticky error", code, body)
+	}
+}
+
+// TestBuildInfoMetrics covers the amos_build_info gauge and uptime
+// counter in both exposition surfaces.
+func TestBuildInfoMetrics(t *testing.T) {
+	db := Open()
+	var prom strings.Builder
+	if err := db.WriteMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	if !strings.Contains(text, "amos_build_info{") || !strings.Contains(text, `goversion="go`) {
+		t.Fatalf("Prometheus output missing amos_build_info:\n%s", firstLines(text, 20))
+	}
+	if !strings.Contains(text, "amos_uptime_seconds_total") {
+		t.Fatal("Prometheus output missing amos_uptime_seconds_total")
+	}
+
+	srv := httptest.NewServer(db.MonitorHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "amos_build_info") {
+		t.Fatal("expvar output missing amos_build_info")
+	}
+	if obs.Version() == "" {
+		t.Fatal("Version() is empty")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

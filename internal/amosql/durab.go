@@ -71,8 +71,10 @@ func (s *Session) AttachDir(dir string, cfg DirConfig) (err error) {
 	if err != nil {
 		return err
 	}
+	log.SetBus(s.obs.Bus, 0)
 	span := s.obs.Tracer.Begin("wal", "recovery", obs.Int("log_records", len(recs)))
-	s.recovering = true
+	recStart := time.Now()
+	s.recovering.Store(true)
 	err = func() error {
 		if st != nil {
 			if err := s.loadState(st); err != nil {
@@ -92,7 +94,7 @@ func (s *Session) AttachDir(dir string, cfg DirConfig) (err error) {
 		}
 		return nil
 	}()
-	s.recovering = false
+	s.recovering.Store(false)
 	span.End()
 	if err != nil {
 		log.Close()
@@ -100,10 +102,40 @@ func (s *Session) AttachDir(dir string, cfg DirConfig) (err error) {
 	}
 	s.wal = log
 	s.walDir = dir
+	s.walLive.Store(log)
 	s.checkpointEvery = cfg.CheckpointEvery
 	s.txns.AddHook(txn.Hook{Name: "wal", OnPersist: s.walPersist, OnEnd: s.walEnd})
 	if cfg.CheckpointInterval > 0 {
 		s.startCheckpointer(cfg.CheckpointInterval)
+	}
+	if s.obs.Bus.Active() {
+		s.obs.Bus.Publish(obs.Event{
+			Type: obs.EventSystem, Op: "recovery",
+			Ms:     float64(time.Since(recStart)) / float64(time.Millisecond),
+			Detail: fmt.Sprintf("recovered %s: %d log record(s) replayed", dir, len(recs)),
+		})
+	}
+	return nil
+}
+
+// Live reports process liveness: nil unless the database is poisoned
+// (a failed rollback left the store untrustworthy). Safe to call from
+// any goroutine without holding the session.
+func (s *Session) Live() error { return s.txns.Corrupt() }
+
+// Ready reports readiness to serve: recovery is complete, the database
+// is not poisoned, and — when a data directory is attached — the
+// write-ahead log is not sticky-poisoned by a failed append or fsync.
+// Safe to call from any goroutine without holding the session.
+func (s *Session) Ready() error {
+	if err := s.Live(); err != nil {
+		return err
+	}
+	if s.recovering.Load() {
+		return fmt.Errorf("recovery in progress")
+	}
+	if l := s.walLive.Load(); l != nil {
+		return l.Err()
 	}
 	return nil
 }
@@ -234,7 +266,7 @@ func (s *Session) replayCommit(r *wal.Record) error {
 }
 
 // walOn reports whether commit capture for the write-ahead log is live.
-func (s *Session) walOn() bool { return s.wal != nil && !s.recovering }
+func (s *Session) walOn() bool { return s.wal != nil && !s.recovering.Load() }
 
 // logDDL journals one schema statement's source text and, with a data
 // directory attached, appends it to the write-ahead log. DDL is logged
@@ -243,7 +275,7 @@ func (s *Session) walOn() bool { return s.wal != nil && !s.recovering }
 // statement's error: the change is applied in memory but will not
 // survive a crash.
 func (s *Session) logDDL(src string) error {
-	if s.recovering || src == "" {
+	if s.recovering.Load() || src == "" {
 		return nil
 	}
 	s.ddl = append(s.ddl, src)
@@ -353,11 +385,23 @@ func (s *Session) checkpointLocked() error {
 	if err := s.wal.Err(); err != nil {
 		return err
 	}
+	ckptStart := time.Now()
 	if err := wal.WriteSnapshot(s.walDir, s.CaptureState(), s.inj, s.walMet); err != nil {
 		return err
 	}
 	s.commitsSinceCkpt = 0
-	return s.wal.Reset()
+	if err := s.wal.Reset(); err != nil {
+		return err
+	}
+	if s.obs.Bus.Active() {
+		s.obs.Bus.Publish(obs.Event{
+			Type: obs.EventSystem, Op: "checkpoint",
+			CommitSeq: s.store.CommitSeq(),
+			Ms:        float64(time.Since(ckptStart)) / float64(time.Millisecond),
+			Detail:    fmt.Sprintf("snapshot through wal seq %d", s.walSeq),
+		})
+	}
+	return nil
 }
 
 // SaveTo writes a standalone snapshot of the current database into dir

@@ -93,14 +93,18 @@ type Session struct {
 	// every schema statement's source text in execution order (replayed
 	// before a snapshot's tables are loaded), and recovering is true
 	// while replay is re-executing logged work, which suppresses
-	// re-logging and makes unknown action procedures no-ops.
+	// re-logging and makes unknown action procedures no-ops (atomic so
+	// the gate-free Ready health probe can read it).
 	wal        *wal.Log
 	walDir     string
 	walSeq     uint64
 	walMet     *wal.Metrics
 	ddl        []string
-	recovering bool
+	recovering atomic.Bool
 	inj        *faultinject.Injector
+	// walLive mirrors wal for gate-free readers (the Ready health
+	// probe); it is published only after recovery completes.
+	walLive atomic.Pointer[wal.Log]
 	// Per-transaction capture for the commit record, cleared by the wal
 	// hook's OnEnd: objects created/deleted and interface variables
 	// bound by the transaction.
@@ -155,8 +159,10 @@ func NewSession(mode rules.Mode) *Session {
 	s.obs = obs.New()
 	s.mgr.SetObservability(s.obs)
 	s.store.SetMetrics(storage.NewMetrics(s.obs.Registry))
+	s.store.SetBus(s.obs.Bus)
 	tm := txn.NewMetrics(s.obs.Registry)
 	s.txns.SetObs(tm, s.obs.Tracer)
+	s.txns.SetBus(s.obs.Bus)
 	s.gate.SetMetrics(tm)
 	s.evMet = eval.NewMetrics(s.obs.Registry)
 	s.ev.SetMetrics(s.evMet)
@@ -825,7 +831,7 @@ func (s *Session) buildAction(x CreateRule, headNames []string) (rules.Action, e
 			_, err := callForeign(proc, f.Fn, args)
 			return err
 		}
-		if s.recovering {
+		if s.recovering.Load() {
 			// Recovery replay: the embedding app has not (re-)registered
 			// this procedure. The action's database updates are already in
 			// the commit record being replayed (and are reconciled after

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"partdiff/internal/obs"
+	"partdiff/internal/rules"
+)
+
+// This file holds the event-streaming experiments:
+//
+//   - Zero-subscriber overhead A/B: the fig. 6 and fig. 7 workloads
+//     with the event bus disarmed (the default: one atomic load per
+//     emit site) versus armed with no subscribers (events staged,
+//     published and retained in the resume ring, but fanned out to
+//     nobody). The bus is meant to be cheap enough to leave armed on a
+//     serving database, so the acceptance bar is a small
+//     single-digit-percent median overhead.
+//
+//   - Fan-out throughput: the fig. 6 workload with 1/4/16 concurrent
+//     subscribers draining the firehose, measuring aggregate delivery
+//     rate and the drop counts the overflow policy produced.
+
+// EventOverheadRow is one bus A/B measurement: median total wall time
+// for a workload with the bus disarmed vs armed (zero subscribers).
+type EventOverheadRow struct {
+	Experiment string `json:"experiment"`
+	DBSize     int    `json:"db_size"`
+	Txns       int    `json:"txns"`
+	OffNs      int64  `json:"off_ns"` // median over reps, bus disarmed
+	OnNs       int64  `json:"on_ns"`  // median over reps, bus armed
+	// OverheadPct is (on-off)/off in percent; negative values are
+	// measurement noise, not a speedup.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Published is the number of events the armed run recorded — a
+	// sanity check that the bus actually observed the workload.
+	Published int64 `json:"events_published"`
+}
+
+// RunEventOverhead measures bus-disarmed vs bus-armed medians over reps
+// repetitions of the fig. 6 (txns small transactions) and fig. 7
+// (rounds massive transactions) workloads at database size n.
+func RunEventOverhead(n, txns, rounds, reps int) ([]EventOverheadRow, error) {
+	type workload struct {
+		name string
+		txns int
+		run  func(inv *Inventory) error
+	}
+	workloads := []workload{
+		{"fig6", txns, func(inv *Inventory) error { return inv.RunFig6Transactions(txns) }},
+		{"fig7", rounds, func(inv *Inventory) error {
+			for r := 0; r < rounds; r++ {
+				if err := inv.RunFig7Transaction(int64(r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	measure := func(w workload, armed bool, row *EventOverheadRow) (int64, error) {
+		inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true})
+		if err != nil {
+			return 0, err
+		}
+		bus := inv.Sess.Observability().Bus
+		if armed {
+			bus.Arm()
+		}
+		start := time.Now()
+		if err := w.run(inv); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if inv.Orders != 0 {
+			return 0, fmt.Errorf("%s workload must not trigger rules, got %d orders", w.name, inv.Orders)
+		}
+		if armed {
+			row.Published = int64(bus.Seq())
+			if row.Published == 0 {
+				return 0, fmt.Errorf("%s: armed bus observed no events", w.name)
+			}
+		} else if bus.Active() {
+			return 0, fmt.Errorf("%s: baseline bus armed itself", w.name)
+		}
+		return ns, nil
+	}
+	out := make([]EventOverheadRow, 0, len(workloads))
+	for _, w := range workloads {
+		row := EventOverheadRow{Experiment: w.name, DBSize: n, Txns: w.txns}
+		// One warm-up round, then off/on interleaved within each rep
+		// (order alternating per rep) so slow drift — page-cache and
+		// allocator warm-up, CPU frequency scaling — cancels out of the
+		// A/B instead of loading onto whichever side runs first.
+		if _, err := measure(w, false, &row); err != nil {
+			return nil, err
+		}
+		var offTimes, onTimes []int64
+		for rep := 0; rep < reps; rep++ {
+			for pass := 0; pass < 2; pass++ {
+				armed := (rep+pass)%2 == 1
+				ns, err := measure(w, armed, &row)
+				if err != nil {
+					return nil, err
+				}
+				if armed {
+					onTimes = append(onTimes, ns)
+				} else {
+					offTimes = append(offTimes, ns)
+				}
+			}
+		}
+		row.OffNs, row.OnNs = median(offTimes), median(onTimes)
+		if row.OffNs > 0 {
+			row.OverheadPct = 100 * float64(row.OnNs-row.OffNs) / float64(row.OffNs)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// EventFanoutRow is one fan-out measurement: the fig. 6 workload with a
+// fixed number of concurrent subscribers draining the stream.
+type EventFanoutRow struct {
+	Subscribers int   `json:"subscribers"`
+	DBSize      int   `json:"db_size"`
+	Txns        int   `json:"txns"`
+	Ns          int64 `json:"ns"` // workload wall time
+	// Published is the number of events the bus emitted; Delivered the
+	// aggregate count received across all subscribers; Dropped the
+	// aggregate count evicted by the per-subscriber overflow policy
+	// (every drop was surfaced to its subscriber as a gap event).
+	Published int64 `json:"events_published"`
+	Delivered int64 `json:"events_delivered"`
+	Dropped   int64 `json:"events_dropped"`
+	// DeliveredPerSec is the aggregate delivery rate over the workload
+	// window.
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+}
+
+// RunEventFanout runs the fig. 6 workload (txns transactions at
+// database size n) once per entry of subCounts, with that many
+// concurrent subscribers draining the full firehose, and verifies the
+// accounting: every published event is either delivered to or
+// explicitly dropped for each subscriber.
+func RunEventFanout(n, txns int, subCounts []int) ([]EventFanoutRow, error) {
+	out := make([]EventFanoutRow, 0, len(subCounts))
+	for _, count := range subCounts {
+		inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true})
+		if err != nil {
+			return nil, err
+		}
+		bus := inv.Sess.Observability().Bus
+		var delivered, gapped int64
+		var wg sync.WaitGroup
+		subs := make([]*obs.Subscription, count)
+		for i := range subs {
+			sub := bus.Subscribe(0)
+			subs[i] = sub
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					e, err := sub.Next(context.Background())
+					if err != nil {
+						return
+					}
+					if e.Type == obs.EventGap {
+						atomic.AddInt64(&gapped, int64(e.Missed))
+						continue
+					}
+					atomic.AddInt64(&delivered, 1)
+				}
+			}()
+		}
+		start := time.Now()
+		if err := inv.RunFig6Transactions(txns); err != nil {
+			return nil, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		for _, sub := range subs {
+			sub.Close() // drains buffered events, then unblocks Next
+		}
+		wg.Wait()
+		row := EventFanoutRow{
+			Subscribers: count, DBSize: n, Txns: txns, Ns: ns,
+			Published: int64(bus.Seq()), Delivered: atomic.LoadInt64(&delivered),
+		}
+		for _, sub := range subs {
+			row.Dropped += int64(sub.Dropped())
+		}
+		if g := atomic.LoadInt64(&gapped); g != row.Dropped {
+			return nil, fmt.Errorf("subs=%d: %d dropped events but %d surfaced via gaps", count, row.Dropped, g)
+		}
+		if got, want := row.Delivered+row.Dropped, row.Published*int64(count); got != want {
+			return nil, fmt.Errorf("subs=%d: delivered+dropped = %d, want published×subs = %d", count, got, want)
+		}
+		if ns > 0 {
+			row.DeliveredPerSec = float64(row.Delivered) / (float64(ns) / 1e9)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

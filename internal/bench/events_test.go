@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+func TestRunEventOverheadSmoke(t *testing.T) {
+	rows, err := RunEventOverhead(10, 20, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want fig6 and fig7", len(rows))
+	}
+	for _, r := range rows {
+		if r.OffNs <= 0 || r.OnNs <= 0 {
+			t.Fatalf("%s: non-positive timings %+v", r.Experiment, r)
+		}
+		if r.Published == 0 {
+			t.Fatalf("%s: armed run observed no events", r.Experiment)
+		}
+	}
+}
+
+func TestRunEventFanoutSmokeAndAccounting(t *testing.T) {
+	// RunEventFanout verifies delivered+dropped == published×subs and
+	// drop/gap agreement internally; a returned row means the
+	// accounting held.
+	rows, err := RunEventFanout(10, 50, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Published == 0 || r.Delivered == 0 {
+			t.Fatalf("subs=%d: published=%d delivered=%d", r.Subscribers, r.Published, r.Delivered)
+		}
+	}
+}

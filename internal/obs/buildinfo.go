@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// buildVersion is the fallback version string; release builds override
+// it with `-ldflags "-X partdiff/internal/obs.buildVersion=v1.2.3"`.
+var buildVersion = "dev"
+
+// Version returns the build version: the module version stamped by the
+// Go toolchain when available, otherwise the -ldflags override.
+func Version() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if v := info.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return buildVersion
+}
+
+// registerBuildInfo publishes the build-info gauge and uptime counter
+// on r. The gauge follows the Prometheus build_info idiom: constant 1
+// with the interesting values as labels, so dashboards join on it. The
+// uptime counter is closure-backed and counts seconds since the
+// registry bundle was created (one bundle per session/process).
+func registerBuildInfo(r *Registry) {
+	r.GaugeVec("amos_build_info",
+		"Build metadata; constant 1 with version labels.",
+		"version", "goversion").With(Version(), runtime.Version()).Set(1)
+	start := time.Now()
+	r.CounterFunc("amos_uptime_seconds_total",
+		"Seconds since this observability bundle was created.",
+		func() int64 { return int64(time.Since(start) / time.Second) })
+}

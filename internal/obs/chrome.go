@@ -47,7 +47,7 @@ func attrArgs(attrs []Attr) map[string]string {
 	return m
 }
 
-// Span implements Sink.
+// Span implements TraceSink.
 func (c *ChromeSink) Span(cat, name string, start time.Time, dur time.Duration, attrs []Attr) {
 	ev := chromeEvent{
 		Name: name, Cat: cat, Ph: "X",
@@ -61,7 +61,7 @@ func (c *ChromeSink) Span(cat, name string, start time.Time, dur time.Duration, 
 	c.mu.Unlock()
 }
 
-// Instant implements Sink.
+// Instant implements TraceSink.
 func (c *ChromeSink) Instant(cat, name string, ts time.Time, attrs []Attr) {
 	ev := chromeEvent{
 		Name: name, Cat: cat, Ph: "i",

@@ -1,0 +1,593 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType classifies bus events. The taxonomy follows the
+// event/action/state split: production-rule firings, state-change (Δ)
+// summaries, transaction lifecycle, and system lifecycle are distinct
+// kinds a consumer subscribes to independently.
+type EventType string
+
+const (
+	// EventRuleFiring is one rule activation firing during a check
+	// phase: rule + activation names, the check round, the triggering
+	// Δ-entries and the condition bindings (instances) it fired for.
+	EventRuleFiring EventType = "rule_firing"
+	// EventDelta is a per-commit Δ-set summary: for each propagation
+	// wave (check round), the net insert/delete counts per relation.
+	EventDelta EventType = "delta"
+	// EventTxn is transaction lifecycle: Op is one of begin, commit,
+	// rollback, conflict.
+	EventTxn EventType = "txn"
+	// EventSystem is system lifecycle: Op is one of checkpoint,
+	// recovery, fsync_stall, capability_violation, slow_commit.
+	EventSystem EventType = "system"
+	// EventGap is synthesized per subscriber, never published on the
+	// bus: it marks a point where Missed events were dropped (slow
+	// consumer) or evicted from the resume ring before a reconnect.
+	EventGap EventType = "gap"
+)
+
+// EventTypes lists the publishable types (excludes the synthetic gap).
+var EventTypes = []EventType{EventRuleFiring, EventDelta, EventTxn, EventSystem}
+
+// ParseEventTypes parses a comma-separated filter ("rule_firing,txn").
+// An empty string means no filter (all types). Unknown names error.
+func ParseEventTypes(s string) ([]EventType, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []EventType
+	for _, part := range strings.Split(s, ",") {
+		name := EventType(strings.TrimSpace(part))
+		if name == "" {
+			continue
+		}
+		ok := false
+		for _, t := range EventTypes {
+			if name == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("obs: unknown event type %q (want one of rule_firing, delta, txn, system)", name)
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// DeltaEntry is one relation's contribution to a Δ summary or a rule
+// firing's trigger set.
+type DeltaEntry struct {
+	Relation string `json:"relation"`
+	Plus     int    `json:"plus,omitempty"`
+	Minus    int    `json:"minus,omitempty"`
+}
+
+// Event is one bus event. It is a flat union: the populated fields
+// depend on Type (see the EventType docs). IDs are monotonically
+// increasing per bus and assigned at publish time, so they double as
+// SSE event IDs for Last-Event-ID resume.
+type Event struct {
+	ID        uint64    `json:"id,omitempty"`
+	Type      EventType `json:"type"`
+	Time      time.Time `json:"time"`
+	CommitSeq uint64    `json:"commit_seq,omitempty"`
+
+	// Op is the specific kind within the type: txn events use
+	// begin|commit|rollback|conflict, system events use
+	// checkpoint|recovery|fsync_stall|capability_violation|slow_commit.
+	Op string `json:"op,omitempty"`
+
+	// Rule firing payload.
+	Rule       string   `json:"rule,omitempty"`
+	Activation string   `json:"activation,omitempty"`
+	Round      int      `json:"round,omitempty"`
+	Instances  []string `json:"instances,omitempty"`
+
+	// Δ payload: triggering differentials for a firing, or the
+	// per-relation net change for a delta summary (Round = wave).
+	Deltas []DeltaEntry `json:"deltas,omitempty"`
+
+	// Txn commit payload: user write-set size and rule actions run.
+	Writes int `json:"writes,omitempty"`
+	Fired  int `json:"fired,omitempty"`
+
+	// Free-form detail for system events (error text, paths, …).
+	Detail string `json:"detail,omitempty"`
+
+	// Duration for fsync_stall / checkpoint; per-phase timings for
+	// slow_commit, in milliseconds.
+	Ms        float64 `json:"ms,omitempty"`
+	CheckMs   float64 `json:"check_ms,omitempty"`
+	PersistMs float64 `json:"persist_ms,omitempty"`
+	AckMs     float64 `json:"ack_ms,omitempty"`
+
+	// Gap payload: how many events were lost (gap events only).
+	Missed uint64 `json:"missed,omitempty"`
+}
+
+// String renders a compact single-line form for shells and logs.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s", e.ID, e.Type)
+	if e.Op != "" {
+		fmt.Fprintf(&b, "/%s", e.Op)
+	}
+	if e.CommitSeq != 0 {
+		fmt.Fprintf(&b, " seq=%d", e.CommitSeq)
+	}
+	switch e.Type {
+	case EventRuleFiring:
+		fmt.Fprintf(&b, " rule=%s round=%d instances=%d", e.Rule, e.Round, len(e.Instances))
+	case EventDelta:
+		fmt.Fprintf(&b, " round=%d", e.Round)
+		for _, d := range e.Deltas {
+			fmt.Fprintf(&b, " %s(+%d,-%d)", d.Relation, d.Plus, d.Minus)
+		}
+	case EventTxn:
+		if e.Op == "commit" {
+			fmt.Fprintf(&b, " writes=%d fired=%d", e.Writes, e.Fired)
+		}
+	case EventGap:
+		fmt.Fprintf(&b, " missed=%d", e.Missed)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " detail=%q", e.Detail)
+	}
+	if e.Ms != 0 {
+		fmt.Fprintf(&b, " ms=%.1f", e.Ms)
+	}
+	return b.String()
+}
+
+// JSON renders the event as a single JSON object (one JSONL line,
+// without trailing newline).
+func (e Event) JSON() []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Event is a plain struct of marshalable fields; this is
+		// unreachable, but never panic an emitter.
+		b = []byte(fmt.Sprintf(`{"type":"system","op":"marshal_error","detail":%q}`, err))
+	}
+	return b
+}
+
+// ErrSubscriptionClosed is returned by Next once a subscription has
+// been closed and its buffer drained.
+var ErrSubscriptionClosed = errors.New("obs: subscription closed")
+
+// DefaultRingSize is the central resume ring capacity.
+const DefaultRingSize = 4096
+
+// DefaultSubBuffer is the per-subscriber ring capacity.
+const DefaultSubBuffer = 256
+
+// Bus is a bounded, lock-light event bus. Publishers append typed
+// events; each subscriber has its own bounded ring buffer with a
+// drop-oldest overflow policy (a slow consumer loses its oldest
+// undelivered events, never blocks a publisher, and observes a
+// synthetic gap event accounting for the loss). A central ring of the
+// most recent events supports Last-Event-ID resume for reconnecting
+// SSE clients.
+//
+// The bus starts inactive: every publish/stage call is a single atomic
+// load until Arm (or the first Subscribe) activates it, which keeps the
+// zero-subscriber cost on the commit path negligible. Once armed it
+// stays armed — events keep flowing into the resume ring between
+// subscriber reconnects so resume works across disconnects.
+//
+// Transactional staging: events describing a transaction's work (rule
+// firings, Δ summaries) are staged during the check phase and only
+// published by CommitStaged after the commit point, or dropped by
+// DiscardStaged on rollback — subscribers never observe events from
+// rolled-back work. Writers are serialized by the session gate, so at
+// most one transaction stages at a time and publication order is
+// commit-sequence order.
+type Bus struct {
+	active atomic.Bool
+
+	mu     sync.Mutex
+	seq    uint64
+	ring   []Event // fixed capacity circular buffer
+	head   int     // index of the oldest entry
+	count  int
+	subs   []*Subscription
+	staged []Event
+
+	published   *CounterVec
+	dropped     *Counter
+	discarded   *Counter
+	subscribers *Gauge
+	depth       *Gauge
+	lag         *Gauge
+}
+
+// NewBus returns a bus whose resume ring holds ringSize events
+// (DefaultRingSize when <= 0). The bus starts inactive.
+func NewBus(ringSize int) *Bus {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	return &Bus{ring: make([]Event, ringSize)}
+}
+
+// bindMetrics registers the bus meters in r. Nil-safe on both sides.
+func (b *Bus) bindMetrics(r *Registry) {
+	if b == nil || r == nil {
+		return
+	}
+	b.published = r.CounterVec("partdiff_events_published_total",
+		"Events published on the bus, by type.", "type")
+	b.dropped = r.Counter("partdiff_events_dropped_total",
+		"Events evicted from subscriber buffers by the drop-oldest overflow policy.")
+	b.discarded = r.Counter("partdiff_events_discarded_total",
+		"Staged events discarded because their transaction rolled back.")
+	b.subscribers = r.Gauge("partdiff_events_subscribers",
+		"Currently attached bus subscribers.")
+	b.depth = r.Gauge("partdiff_events_depth",
+		"Largest subscriber queue depth at the last publish.")
+	b.lag = r.Gauge("partdiff_events_lag",
+		"Largest subscriber lag (events behind the bus head) at the last publish.")
+}
+
+// Active reports whether the bus has been armed. Emitters guard
+// payload construction behind this so an inactive bus costs one atomic
+// load.
+func (b *Bus) Active() bool { return b != nil && b.active.Load() }
+
+// Arm activates the bus: from now on published events are retained in
+// the resume ring even with zero subscribers attached. Subscribe arms
+// implicitly; servers arm at startup so pre-subscription history is
+// resumable.
+func (b *Bus) Arm() {
+	if b != nil {
+		b.active.Store(true)
+	}
+}
+
+// Seq returns the ID of the most recently published event.
+func (b *Bus) Seq() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Publish assigns the next event ID and delivers e to the resume ring
+// and every matching subscriber. Returns the assigned ID (0 when the
+// bus is nil or inactive). Lifecycle and system events publish
+// directly; transactional payload events go through Stage/CommitStaged.
+func (b *Bus) Publish(e Event) uint64 {
+	if !b.Active() {
+		return 0
+	}
+	b.mu.Lock()
+	id := b.publishLocked(e)
+	b.mu.Unlock()
+	return id
+}
+
+func (b *Bus) publishLocked(e Event) uint64 {
+	b.seq++
+	e.ID = b.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	// Central resume ring: overwrite the oldest entry when full.
+	if b.count == len(b.ring) {
+		b.ring[b.head] = e
+		b.head = (b.head + 1) % len(b.ring)
+	} else {
+		b.ring[(b.head+b.count)%len(b.ring)] = e
+		b.count++
+	}
+	var maxDepth, maxLag int64
+	for _, s := range b.subs {
+		if s.matches(e.Type) {
+			s.offer(e, b.dropped)
+		}
+		d, seen := s.queued()
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if l := int64(b.seq - seen); l > maxLag {
+			maxLag = l
+		}
+	}
+	b.published.With(string(e.Type)).Inc()
+	b.depth.Set(maxDepth)
+	b.lag.Set(maxLag)
+	return e.ID
+}
+
+// Stage buffers a transactional event for publication at the commit
+// point. Staging happens during the check phase under the session's
+// writer gate, so at most one transaction's events are staged at a
+// time.
+func (b *Bus) Stage(e Event) {
+	if !b.Active() {
+		return
+	}
+	b.mu.Lock()
+	b.staged = append(b.staged, e)
+	b.mu.Unlock()
+}
+
+// StagedLen returns the number of currently staged events.
+func (b *Bus) StagedLen() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.staged)
+}
+
+// CommitStaged publishes every staged event, stamped with the
+// transaction's commit sequence number, in staging order. Called after
+// the commit point (ack) so subscribers only ever observe committed
+// work, in commit-sequence order (writers are serialized).
+// Returns the number of events published.
+func (b *Bus) CommitStaged(commitSeq uint64) int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	n := len(b.staged)
+	for _, e := range b.staged {
+		e.CommitSeq = commitSeq
+		b.publishLocked(e)
+	}
+	b.staged = b.staged[:0]
+	b.mu.Unlock()
+	return n
+}
+
+// DiscardStaged drops every staged event (transaction rolled back).
+// Returns the number discarded.
+func (b *Bus) DiscardStaged() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	n := len(b.staged)
+	b.staged = b.staged[:0]
+	b.mu.Unlock()
+	b.discarded.Add(int64(n))
+	return n
+}
+
+// Subscribe attaches a new live subscriber (no history replay). buf is
+// the subscriber ring capacity (DefaultSubBuffer when <= 0); types
+// filters delivery (empty = all types). Arms the bus.
+func (b *Bus) Subscribe(buf int, types ...EventType) *Subscription {
+	sub, _ := b.subscribe(buf, types, 0, false)
+	return sub
+}
+
+// SubscribeFrom attaches a subscriber resuming after lastID: every
+// ring-retained event with ID > lastID (matching the filter) is
+// pre-loaded into the subscriber buffer, atomically with attachment,
+// so no concurrently published event is missed or duplicated. missed
+// reports how many events after lastID had already been evicted from
+// the ring (0 when the full suffix was still available); the
+// subscriber's first delivered event is a synthetic gap event when
+// missed > 0. Arms the bus.
+func (b *Bus) SubscribeFrom(lastID uint64, buf int, types ...EventType) (sub *Subscription, missed uint64) {
+	return b.subscribe(buf, types, lastID, true)
+}
+
+func (b *Bus) subscribe(buf int, types []EventType, lastID uint64, replay bool) (*Subscription, uint64) {
+	if b == nil {
+		return nil, 0
+	}
+	b.Arm()
+	if buf <= 0 {
+		buf = DefaultSubBuffer
+	}
+	s := &Subscription{
+		bus:    b,
+		buf:    make([]Event, buf),
+		notify: make(chan struct{}, 1),
+	}
+	if len(types) > 0 {
+		s.filter = make(map[EventType]bool, len(types))
+		for _, t := range types {
+			s.filter[t] = true
+		}
+	}
+	var missed uint64
+	b.mu.Lock()
+	if replay && lastID < b.seq {
+		// Oldest resumable ID in the ring. Everything in (lastID,
+		// oldest) is gone; everything in [max(oldest, lastID+1), seq]
+		// replays into the subscriber buffer.
+		oldest := b.seq - uint64(b.count) + 1
+		if b.count == 0 {
+			oldest = b.seq + 1
+		}
+		if lastID+1 < oldest {
+			missed = oldest - lastID - 1
+			s.lost += missed
+			s.gapped += missed
+		}
+		for i := 0; i < b.count; i++ {
+			e := b.ring[(b.head+i)%len(b.ring)]
+			if e.ID > lastID && s.matches(e.Type) {
+				s.offer(e, b.dropped)
+			}
+		}
+	}
+	b.subs = append(b.subs, s)
+	b.subscribers.Set(int64(len(b.subs)))
+	b.mu.Unlock()
+	return s, missed
+}
+
+// remove detaches s from the bus subscriber list.
+func (b *Bus) remove(s *Subscription) {
+	b.mu.Lock()
+	for i, have := range b.subs {
+		if have == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.subscribers.Set(int64(len(b.subs)))
+	b.mu.Unlock()
+}
+
+// Subscription is one subscriber's bounded event queue. Safe for one
+// consumer goroutine; producers are the bus.
+type Subscription struct {
+	bus    *Bus
+	filter map[EventType]bool // nil = all types
+	notify chan struct{}      // capacity 1: wake a blocked Next
+
+	mu     sync.Mutex
+	buf    []Event // fixed capacity circular buffer
+	head   int
+	count  int
+	seen   uint64 // highest event ID handed to the consumer
+	lost   uint64 // cumulative losses: drop-oldest evictions + resume ring misses
+	gapped uint64 // losses not yet surfaced as a gap event
+	closed bool
+}
+
+func (s *Subscription) matches(t EventType) bool {
+	return s.filter == nil || s.filter[t]
+}
+
+// offer enqueues e, evicting the oldest buffered event when full
+// (drop-oldest). Called with the bus lock held.
+func (s *Subscription) offer(e Event, droppedMeter *Counter) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.count == len(s.buf) {
+		s.head = (s.head + 1) % len(s.buf)
+		s.count--
+		s.lost++
+		s.gapped++
+		droppedMeter.Inc()
+	}
+	s.buf[(s.head+s.count)%len(s.buf)] = e
+	s.count++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// queued returns (buffered count, highest delivered-or-buffered ID).
+func (s *Subscription) queued() (int64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := s.seen
+	if s.count > 0 {
+		if last := s.buf[(s.head+s.count-1)%len(s.buf)].ID; last > seen {
+			seen = last
+		}
+	}
+	return int64(s.count), seen
+}
+
+// Dropped returns the cumulative number of events this subscriber lost
+// (drop-oldest evictions plus ring-evicted history at resume).
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lost
+}
+
+// TryNext pops the next event without blocking. A pending loss is
+// surfaced first as a synthetic gap event.
+func (s *Subscription) TryNext() (Event, bool) {
+	if s == nil {
+		return Event{}, false
+	}
+	s.mu.Lock()
+	if s.gapped > 0 {
+		n := s.gapped
+		s.gapped = 0
+		s.mu.Unlock()
+		return Event{Type: EventGap, Time: time.Now(), Missed: n}, true
+	}
+	if s.count == 0 {
+		s.mu.Unlock()
+		return Event{}, false
+	}
+	e := s.buf[s.head]
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+	if e.ID > s.seen {
+		s.seen = e.ID
+	}
+	s.mu.Unlock()
+	return e, true
+}
+
+// Next blocks until an event is available, the context is done, or the
+// subscription is closed and drained. Losses (slow-consumer drops or
+// ring eviction at resume) surface as a synthetic gap event ahead of
+// the first event that follows them.
+func (s *Subscription) Next(ctx context.Context) (Event, error) {
+	if s == nil {
+		return Event{}, ErrSubscriptionClosed
+	}
+	for {
+		if e, ok := s.TryNext(); ok {
+			return e, nil
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, ErrSubscriptionClosed
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		case <-s.notify:
+		}
+	}
+}
+
+// Close detaches the subscription from the bus. A consumer blocked in
+// Next is woken; buffered events remain drainable via TryNext.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.bus.remove(s)
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestBus returns an armed bus with metrics bound to a fresh
+// registry.
+func newTestBus(ring int) (*Bus, *Registry) {
+	r := NewRegistry()
+	b := NewBus(ring)
+	b.bindMetrics(r)
+	b.Arm()
+	return b, r
+}
+
+func TestBusInactiveIsNoop(t *testing.T) {
+	b := NewBus(0)
+	if b.Active() {
+		t.Fatal("fresh bus must start inactive")
+	}
+	if id := b.Publish(Event{Type: EventTxn, Op: "begin"}); id != 0 {
+		t.Fatalf("publish on inactive bus assigned id %d", id)
+	}
+	b.Stage(Event{Type: EventDelta})
+	if n := b.StagedLen(); n != 0 {
+		t.Fatalf("stage on inactive bus buffered %d events", n)
+	}
+	var nilBus *Bus
+	if nilBus.Active() {
+		t.Fatal("nil bus must report inactive")
+	}
+	nilBus.Publish(Event{})
+	nilBus.Stage(Event{})
+	nilBus.Arm()
+}
+
+func TestSubscribeArmsAndStaysArmed(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe(0)
+	if !b.Active() {
+		t.Fatal("Subscribe must arm the bus")
+	}
+	sub.Close()
+	if !b.Active() {
+		t.Fatal("bus must stay armed after the last subscriber leaves")
+	}
+	// Events published with zero subscribers still land in the resume
+	// ring so a reconnect can recover them.
+	id := b.Publish(Event{Type: EventTxn, Op: "commit"})
+	resumed, missed := b.SubscribeFrom(0, 0)
+	if missed != 0 {
+		t.Fatalf("missed = %d, want 0", missed)
+	}
+	e, err := resumed.Next(context.Background())
+	if err != nil || e.ID != id {
+		t.Fatalf("resume got (%v, %v), want event %d", e, err, id)
+	}
+}
+
+func TestPublishDeliveryAndFilter(t *testing.T) {
+	b, r := newTestBus(0)
+	all := b.Subscribe(0)
+	onlyTxn := b.Subscribe(0, EventTxn)
+	defer all.Close()
+	defer onlyTxn.Close()
+
+	b.Publish(Event{Type: EventTxn, Op: "begin"})
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"})
+	b.Publish(Event{Type: EventTxn, Op: "commit"})
+
+	var allTypes, txnOps []string
+	for {
+		e, ok := all.TryNext()
+		if !ok {
+			break
+		}
+		allTypes = append(allTypes, string(e.Type))
+	}
+	for {
+		e, ok := onlyTxn.TryNext()
+		if !ok {
+			break
+		}
+		txnOps = append(txnOps, e.Op)
+	}
+	if fmt.Sprint(allTypes) != "[txn system txn]" {
+		t.Fatalf("unfiltered subscriber got %v", allTypes)
+	}
+	if fmt.Sprint(txnOps) != "[begin commit]" {
+		t.Fatalf("txn-filtered subscriber got %v", txnOps)
+	}
+	if got := int64(r.Total("partdiff_events_published_total")); got != 3 {
+		t.Fatalf("published counter = %d, want 3", got)
+	}
+	if got := b.Seq(); got != 3 {
+		t.Fatalf("bus seq = %d, want 3", got)
+	}
+}
+
+func TestDropOldestSurfacesGap(t *testing.T) {
+	b, r := newTestBus(0)
+	sub := b.Subscribe(2)
+	defer sub.Close()
+
+	for i := 1; i <= 5; i++ {
+		b.Publish(Event{Type: EventTxn, Op: "commit", Writes: i})
+	}
+	// Buffer held 2: events 1-3 were evicted oldest-first.
+	e, ok := sub.TryNext()
+	if !ok || e.Type != EventGap || e.Missed != 3 {
+		t.Fatalf("first event = (%+v, %v), want gap with missed=3", e, ok)
+	}
+	if e.ID != 0 {
+		t.Fatalf("gap event carries bus ID %d; it must be unnumbered", e.ID)
+	}
+	var ids []uint64
+	for {
+		e, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		ids = append(ids, e.ID)
+	}
+	if fmt.Sprint(ids) != "[4 5]" {
+		t.Fatalf("surviving events %v, want [4 5]", ids)
+	}
+	if got := sub.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if got := r.CounterValue("partdiff_events_dropped_total"); got != 3 {
+		t.Fatalf("dropped counter = %d, want 3", got)
+	}
+}
+
+func TestSubscribeFromReplaysExactSuffix(t *testing.T) {
+	b, _ := newTestBus(0)
+	for i := 1; i <= 10; i++ {
+		b.Publish(Event{Type: EventDelta, Round: i})
+	}
+	sub, missed := b.SubscribeFrom(4, 0)
+	defer sub.Close()
+	if missed != 0 {
+		t.Fatalf("missed = %d, want 0 (full suffix in ring)", missed)
+	}
+	var ids []uint64
+	for {
+		e, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		ids = append(ids, e.ID)
+	}
+	if fmt.Sprint(ids) != "[5 6 7 8 9 10]" {
+		t.Fatalf("replayed %v, want exactly the missed suffix [5..10]", ids)
+	}
+}
+
+func TestSubscribeFromAfterRingEviction(t *testing.T) {
+	b, _ := newTestBus(4)
+	for i := 1; i <= 10; i++ {
+		b.Publish(Event{Type: EventDelta, Round: i})
+	}
+	// Ring holds [7..10]; resuming from 2 lost events 3-6.
+	sub, missed := b.SubscribeFrom(2, 0)
+	defer sub.Close()
+	if missed != 4 {
+		t.Fatalf("missed = %d, want 4", missed)
+	}
+	e, ok := sub.TryNext()
+	if !ok || e.Type != EventGap || e.Missed != 4 {
+		t.Fatalf("first event = (%+v, %v), want gap with missed=4", e, ok)
+	}
+	var ids []uint64
+	for {
+		e, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		ids = append(ids, e.ID)
+	}
+	if fmt.Sprint(ids) != "[7 8 9 10]" {
+		t.Fatalf("replayed %v, want ring contents [7..10]", ids)
+	}
+	if got := sub.Dropped(); got != 4 {
+		t.Fatalf("Dropped() = %d, want 4", got)
+	}
+}
+
+func TestSubscribeFromFilterApplies(t *testing.T) {
+	b, _ := newTestBus(0)
+	b.Publish(Event{Type: EventTxn, Op: "begin"})
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"})
+	b.Publish(Event{Type: EventTxn, Op: "commit"})
+	sub, _ := b.SubscribeFrom(0, 0, EventSystem)
+	defer sub.Close()
+	e, ok := sub.TryNext()
+	if !ok || e.Op != "checkpoint" {
+		t.Fatalf("got (%+v, %v), want the checkpoint event only", e, ok)
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("filter leaked a non-matching replayed event")
+	}
+}
+
+func TestStagingPublishesOnCommitOnly(t *testing.T) {
+	b, r := newTestBus(0)
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	b.Stage(Event{Type: EventRuleFiring, Rule: "low"})
+	b.Stage(Event{Type: EventDelta, Round: 1})
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("staged events visible before the commit point")
+	}
+	if n := b.StagedLen(); n != 2 {
+		t.Fatalf("StagedLen = %d, want 2", n)
+	}
+	if n := b.CommitStaged(42); n != 2 {
+		t.Fatalf("CommitStaged = %d, want 2", n)
+	}
+	first, _ := sub.TryNext()
+	second, _ := sub.TryNext()
+	if first.Rule != "low" || first.CommitSeq != 42 {
+		t.Fatalf("first committed event = %+v", first)
+	}
+	if second.Type != EventDelta || second.CommitSeq != 42 {
+		t.Fatalf("second committed event = %+v", second)
+	}
+	if first.ID >= second.ID {
+		t.Fatalf("staging order not preserved: ids %d, %d", first.ID, second.ID)
+	}
+
+	// Rollback path: staged events vanish and are accounted.
+	b.Stage(Event{Type: EventRuleFiring, Rule: "low"})
+	if n := b.DiscardStaged(); n != 1 {
+		t.Fatalf("DiscardStaged = %d, want 1", n)
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Fatal("discarded event reached a subscriber")
+	}
+	if got := r.CounterValue("partdiff_events_discarded_total"); got != 1 {
+		t.Fatalf("discarded counter = %d, want 1", got)
+	}
+}
+
+func TestSubscriberGaugeTracksAttachment(t *testing.T) {
+	b, r := newTestBus(0)
+	s1 := b.Subscribe(0)
+	s2 := b.Subscribe(0)
+	if got := r.Total("partdiff_events_subscribers"); got != 2 {
+		t.Fatalf("subscribers gauge = %v, want 2", got)
+	}
+	s1.Close()
+	s2.Close()
+	if got := r.Total("partdiff_events_subscribers"); got != 0 {
+		t.Fatalf("subscribers gauge after close = %v, want 0", got)
+	}
+}
+
+func TestNextBlocksAndWakes(t *testing.T) {
+	b, _ := newTestBus(0)
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	got := make(chan Event, 1)
+	go func() {
+		e, err := sub.Next(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- e
+	}()
+	time.Sleep(5 * time.Millisecond)
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"})
+	select {
+	case e := <-got:
+		if e.Op != "checkpoint" {
+			t.Fatalf("woke with %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not wake on publish")
+	}
+
+	// Context cancellation unblocks.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := sub.Next(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Next under expired context = %v", err)
+	}
+
+	// Close unblocks and drains.
+	done := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(context.Background())
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	sub.Close()
+	select {
+	case err := <-done:
+		if err != ErrSubscriptionClosed {
+			t.Fatalf("Next after Close = %v, want ErrSubscriptionClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not wake on Close")
+	}
+}
+
+func TestBusConcurrentPublishAndDrain(t *testing.T) {
+	const (
+		publishers = 4
+		perPub     = 500
+	)
+	b, r := newTestBus(0)
+	sub := b.Subscribe(64) // deliberately small: drops must be accounted
+	var (
+		wg       sync.WaitGroup
+		received int
+		gapped   uint64
+		lastID   uint64
+	)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			e, err := sub.Next(context.Background())
+			if err != nil {
+				return
+			}
+			if e.Type == EventGap {
+				gapped += e.Missed
+				continue
+			}
+			if e.ID <= lastID {
+				t.Errorf("event IDs not increasing: %d after %d", e.ID, lastID)
+				return
+			}
+			lastID = e.ID
+			received++
+		}
+	}()
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				b.Publish(Event{Type: EventTxn, Op: "commit", Writes: p})
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Let the drainer catch up with everything still buffered, then
+	// close to stop it.
+	for {
+		if n, _ := sub.queued(); n == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sub.Close()
+	<-drained
+
+	total := publishers * perPub
+	if received+int(gapped) != total {
+		t.Fatalf("received %d + gapped %d != published %d", received, gapped, total)
+	}
+	if got := r.CounterValue("partdiff_events_dropped_total"); uint64(got) != sub.Dropped() {
+		t.Fatalf("dropped counter %d != subscription Dropped %d", got, sub.Dropped())
+	}
+	if got := int64(r.Total("partdiff_events_published_total")); got != int64(total) {
+		t.Fatalf("published counter = %d, want %d", got, total)
+	}
+}
+
+func TestParseEventTypes(t *testing.T) {
+	got, err := ParseEventTypes(" rule_firing, txn ")
+	if err != nil || fmt.Sprint(got) != "[rule_firing txn]" {
+		t.Fatalf("ParseEventTypes = (%v, %v)", got, err)
+	}
+	if got, err := ParseEventTypes(""); err != nil || got != nil {
+		t.Fatalf("empty filter = (%v, %v), want (nil, nil)", got, err)
+	}
+	if _, err := ParseEventTypes("rule_firing,bogus"); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := ParseEventTypes("gap"); err == nil {
+		t.Fatal("the synthetic gap type must not be subscribable")
+	}
+}
+
+func TestEventStringAndJSON(t *testing.T) {
+	e := Event{
+		ID: 7, Type: EventRuleFiring, CommitSeq: 3, Rule: "low",
+		Activation: "low()", Round: 1, Instances: []string{"#1"},
+		Deltas: []DeltaEntry{{Relation: "quantity", Plus: 1}},
+	}
+	s := e.String()
+	for _, want := range []string{"#7", "rule_firing", "seq=3", "rule=low"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(e.JSON(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 7 || back.Rule != "low" || len(back.Deltas) != 1 {
+		t.Fatalf("JSON round trip = %+v", back)
+	}
+}

@@ -22,16 +22,23 @@
 // `partdiff_<subsystem>_<metric>_<unit>`; see DESIGN.md "Observability".
 package obs
 
-// Observability bundles the registry, tracer and propagation profiler
-// one session threads through its subsystems.
+// Observability bundles the registry, tracer, propagation profiler and
+// event bus one session threads through its subsystems.
 type Observability struct {
 	Registry *Registry
 	Tracer   *Tracer
 	Profiler *Profiler
+	Bus      *Bus
 }
 
-// New returns a fresh registry + tracer + profiler bundle (the profiler
-// starts disabled).
+// New returns a fresh registry + tracer + profiler + event bus bundle
+// (the profiler starts disabled, the bus inactive). Build info and the
+// uptime counter are pre-registered so every exposition surface
+// carries them.
 func New() *Observability {
-	return &Observability{Registry: NewRegistry(), Tracer: NewTracer(), Profiler: NewProfiler()}
+	r := NewRegistry()
+	registerBuildInfo(r)
+	b := NewBus(0)
+	b.bindMetrics(r)
+	return &Observability{Registry: r, Tracer: NewTracer(), Profiler: NewProfiler(), Bus: b}
 }

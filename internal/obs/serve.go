@@ -30,9 +30,28 @@ func publishExpvar(r *Registry) {
 	})
 }
 
+// HealthFunc reports one health aspect; nil error means healthy. Used
+// by HandlerOpts to wire /healthz and /readyz to session state.
+type HealthFunc func() error
+
+// HandlerOpts customizes the monitoring handler. The zero value gives
+// always-healthy /healthz and /readyz (suitable for a bare registry
+// with no session behind it).
+type HandlerOpts struct {
+	// Live backs /healthz: non-nil error means the process is broken
+	// (e.g. the database is sticky-poisoned) and responds 503.
+	Live HealthFunc
+	// Ready backs /readyz: non-nil error means the server must not
+	// receive traffic yet or anymore (recovery incomplete, WAL
+	// poisoned) and responds 503.
+	Ready HealthFunc
+}
+
 // Handler returns the monitoring endpoint for a registry:
 //
 //	/metrics       Prometheus text exposition format (?prefix=propnet filters)
+//	/healthz       liveness (200, or 503 + reason when poisoned)
+//	/readyz        readiness (200, or 503 + reason)
 //	/debug/vars    expvar JSON (stdlib format, partdiff metrics under "partdiff")
 //	/debug/pprof/  Go runtime profiles (CPU, heap, goroutine, block, mutex, trace)
 //	/              a small index page
@@ -42,9 +61,14 @@ func publishExpvar(r *Registry) {
 // http.DefaultServeMux), so a propagation hot spot found in the
 // profiler's report can be drilled into with `go tool pprof` against
 // the same endpoint.
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry) http.Handler { return HandlerWith(r, HandlerOpts{}) }
+
+// HandlerWith is Handler with health checks wired in.
+func HandlerWith(r *Registry, opts HandlerOpts) http.Handler {
 	publishExpvar(r)
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", healthEndpoint(opts.Live))
+	mux.HandleFunc("/readyz", healthEndpoint(opts.Ready))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if p := req.URL.Query().Get("prefix"); p != "" {
@@ -69,12 +93,29 @@ func Handler(r *Registry) http.Handler {
 <h1>partdiff monitor</h1>
 <ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text format (<a href="/metrics?prefix=propnet">?prefix=propnet</a> filters)</li>
+<li><a href="/healthz">/healthz</a> — liveness, <a href="/readyz">/readyz</a> — readiness</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar JSON</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul>
 </body></html>`)
 	})
 	return mux
+}
+
+// healthEndpoint renders one HealthFunc as an HTTP endpoint: "ok" on
+// 200, the error text on 503. A nil check is always healthy.
+func healthEndpoint(check HealthFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, err.Error())
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 // Server is a running monitoring endpoint.
@@ -93,11 +134,17 @@ func (s *Server) Close() error { return s.srv.Close() }
 // "127.0.0.1:0") serving the registry's metrics, and returns
 // immediately; the listener runs on a background goroutine until Close.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(r))
+}
+
+// ServeHandler is Serve for a pre-built handler (e.g. HandlerWith plus
+// extra routes).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

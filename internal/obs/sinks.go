@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// Sink consumes bus events. Implementations must tolerate being called
+// from a single pump goroutine; Emit returning an error stops the
+// pump. (The tracer's sink interface is the separate TraceSink.)
+type Sink interface {
+	Emit(e Event) error
+	Close() error
+}
+
+// AttachSink subscribes to the bus and pumps matching events into sink
+// on a background goroutine. buf and types are as for Subscribe; a
+// sink that falls behind sees the normal drop-oldest policy (gap
+// events included). The returned detach stops the pump, waits for it
+// to finish, and closes the sink.
+func (b *Bus) AttachSink(sink Sink, buf int, types ...EventType) (detach func()) {
+	if b == nil || sink == nil {
+		return func() {}
+	}
+	sub := b.Subscribe(buf, types...)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			e, err := sub.Next(ctx)
+			if err != nil {
+				return
+			}
+			if sink.Emit(e) != nil {
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			sub.Close()
+			cancel()
+			<-done
+			_ = sink.Close()
+		})
+	}
+}
+
+// ChannelSink delivers events on an in-process channel. Emit blocks
+// when the channel is full (the pump goroutine absorbs the stall and
+// the subscription's drop-oldest policy bounds the loss) unless the
+// sink has been closed, in which case Emit discards.
+type ChannelSink struct {
+	C    chan Event
+	done chan struct{}
+	once sync.Once
+}
+
+// NewChannelSink returns a channel sink with the given buffer.
+func NewChannelSink(buf int) *ChannelSink {
+	if buf < 0 {
+		buf = 0
+	}
+	return &ChannelSink{C: make(chan Event, buf), done: make(chan struct{})}
+}
+
+// Emit implements Sink.
+func (c *ChannelSink) Emit(e Event) error {
+	select {
+	case <-c.done:
+		return nil
+	default:
+	}
+	select {
+	case c.C <- e:
+	case <-c.done:
+	}
+	return nil
+}
+
+// Close implements Sink; it unblocks any pending Emit and closes C so
+// range loops over the channel terminate.
+func (c *ChannelSink) Close() error {
+	c.once.Do(func() {
+		close(c.done)
+		close(c.C)
+	})
+	return nil
+}
+
+// JSONLSink writes one JSON object per event, newline-terminated, to a
+// writer (a log file, a pipe, a shell's stdout).
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit implements Sink.
+func (j *JSONLSink) Emit(e Event) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(e.JSON(), '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close implements Sink; closes the underlying writer when it is a
+// Closer (files), otherwise a no-op.
+func (j *JSONLSink) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Publisher is the MQTT/Kafka-shaped transport a TopicSink publishes
+// through: a topic string and an opaque payload. Real brokers need a
+// third-party client; tests fake this with a few lines of stdlib.
+type Publisher interface {
+	Publish(topic string, payload []byte) error
+}
+
+// TopicSink adapts a Publisher into a Sink: each event is published as
+// JSON on "<prefix>/<type>" (gap events included, so a broker consumer
+// can account for its losses too).
+type TopicSink struct {
+	p      Publisher
+	prefix string
+}
+
+// NewTopicSink returns a topic sink over p; prefix defaults to
+// "amos/events".
+func NewTopicSink(p Publisher, prefix string) *TopicSink {
+	if prefix == "" {
+		prefix = "amos/events"
+	}
+	return &TopicSink{p: p, prefix: prefix}
+}
+
+// Emit implements Sink.
+func (t *TopicSink) Emit(e Event) error {
+	return t.p.Publish(t.prefix+"/"+string(e.Type), e.JSON())
+}
+
+// Close implements Sink; closes the publisher when it is a Closer.
+func (t *TopicSink) Close() error {
+	if c, ok := t.p.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChannelSinkDeliversAndCloses(t *testing.T) {
+	b, _ := newTestBus(0)
+	sink := NewChannelSink(8)
+	detach := b.AttachSink(sink, 0)
+
+	b.Publish(Event{Type: EventTxn, Op: "begin"})
+	b.Publish(Event{Type: EventTxn, Op: "commit"})
+
+	var ops []string
+	for i := 0; i < 2; i++ {
+		select {
+		case e := <-sink.C:
+			ops = append(ops, e.Op)
+		case <-time.After(2 * time.Second):
+			t.Fatal("sink did not receive events")
+		}
+	}
+	if fmt.Sprint(ops) != "[begin commit]" {
+		t.Fatalf("sink received %v", ops)
+	}
+	detach()
+	detach() // idempotent
+	// The channel is closed after detach so range loops terminate.
+	if _, ok := <-sink.C; ok {
+		t.Fatal("channel still open after detach")
+	}
+}
+
+func TestJSONLSinkWritesOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	if err := sink.Emit(Event{ID: 1, Type: EventSystem, Op: "checkpoint"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(Event{ID: 2, Type: EventTxn, Op: "commit"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if e.ID != uint64(i+1) {
+			t.Fatalf("line %d has id %d", i, e.ID)
+		}
+	}
+}
+
+// fakeBroker is the stdlib stand-in for an MQTT/Kafka client: it
+// records every published message by topic.
+type fakeBroker struct {
+	mu     sync.Mutex
+	msgs   map[string][][]byte
+	closed bool
+}
+
+func (f *fakeBroker) Publish(topic string, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.msgs == nil {
+		f.msgs = map[string][][]byte{}
+	}
+	f.msgs[topic] = append(f.msgs[topic], append([]byte(nil), payload...))
+	return nil
+}
+
+func (f *fakeBroker) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+func TestTopicSinkRoutesByType(t *testing.T) {
+	broker := &fakeBroker{}
+	sink := NewTopicSink(broker, "")
+	b, _ := newTestBus(0)
+	detach := b.AttachSink(sink, 0, EventTxn, EventSystem)
+
+	b.Publish(Event{Type: EventTxn, Op: "commit"})
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"})
+	b.Publish(Event{Type: EventDelta, Round: 1}) // filtered out
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		broker.mu.Lock()
+		n := len(broker.msgs["amos/events/txn"]) + len(broker.msgs["amos/events/system"])
+		broker.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("broker received %d messages, want 2", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	detach()
+
+	broker.mu.Lock()
+	defer broker.mu.Unlock()
+	if len(broker.msgs["amos/events/delta"]) != 0 {
+		t.Fatal("filtered event type reached the broker")
+	}
+	var e Event
+	if err := json.Unmarshal(broker.msgs["amos/events/txn"][0], &e); err != nil || e.Op != "commit" {
+		t.Fatalf("txn payload = %s (%v)", broker.msgs["amos/events/txn"][0], err)
+	}
+	if !broker.closed {
+		t.Fatal("detach did not close the publisher")
+	}
+}
+
+func TestAttachSinkNilSafe(t *testing.T) {
+	var b *Bus
+	detach := b.AttachSink(NewChannelSink(1), 0)
+	detach()
+	b2, _ := newTestBus(0)
+	b2.AttachSink(nil, 0)()
+}

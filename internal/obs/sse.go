@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// SSEHeartbeat is the idle keep-alive interval for SSE streams: a
+// comment frame is written when no event arrives for this long, so
+// proxies keep the connection open and dead clients are detected.
+// Package-level so tests can shrink it.
+var SSEHeartbeat = 15 * time.Second
+
+// SSEHandler streams bus events as Server-Sent Events
+// (text/event-stream):
+//
+//   - `?types=rule_firing,txn` filters by event type (default all).
+//   - Each frame carries the monotonic event ID (`id:`), the event
+//     type (`event:`) and the JSON payload (`data:`).
+//   - A reconnecting client sends `Last-Event-ID` (header, or the
+//     `last_event_id` query parameter for clients that cannot set
+//     headers): the stream resumes with the exact missed suffix while
+//     it is still in the bus's resume ring, or starts with an explicit
+//     `gap` event carrying the number of evicted events otherwise.
+//   - Slow consumers see the bus's drop-oldest policy: lost events
+//     surface as a `gap` frame (no `id:` line, so the client's
+//     Last-Event-ID still names the last real event it saw).
+//   - `?buffer=N` sizes the per-subscriber ring (clamped to the bus
+//     default when out of range).
+func SSEHandler(b *Bus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		types, err := ParseEventTypes(req.URL.Query().Get("types"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		buf := 0
+		if s := req.URL.Query().Get("buffer"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 && n <= DefaultRingSize {
+				buf = n
+			}
+		}
+		lastRaw := req.Header.Get("Last-Event-ID")
+		if lastRaw == "" {
+			lastRaw = req.URL.Query().Get("last_event_id")
+		}
+
+		var sub *Subscription
+		if lastRaw != "" {
+			lastID, err := strconv.ParseUint(lastRaw, 10, 64)
+			if err != nil {
+				http.Error(w, "invalid Last-Event-ID", http.StatusBadRequest)
+				return
+			}
+			sub, _ = b.SubscribeFrom(lastID, buf, types...)
+		} else {
+			sub = b.Subscribe(buf, types...)
+		}
+		defer sub.Close()
+
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		h.Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+
+		ctx := req.Context()
+		for {
+			// Wait for the next event, bounded by the heartbeat
+			// interval so idle streams still emit keep-alives.
+			waitCtx, cancel := context.WithTimeout(ctx, SSEHeartbeat)
+			e, err := sub.Next(waitCtx)
+			cancel()
+			if err != nil {
+				if ctx.Err() != nil || err == ErrSubscriptionClosed {
+					return
+				}
+				// Heartbeat deadline fired with no event pending.
+				if _, werr := fmt.Fprint(w, ": ping\n\n"); werr != nil {
+					return
+				}
+				flusher.Flush()
+				continue
+			}
+			if writeSSE(w, e) != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	})
+}
+
+// writeSSE renders one event frame. Gap events carry no id line so the
+// client's Last-Event-ID keeps naming the last real event delivered.
+func writeSSE(w http.ResponseWriter, e Event) error {
+	if e.ID != 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", e.ID); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, e.JSON())
+	return err
+}

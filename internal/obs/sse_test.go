@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed SSE frame.
+type sseFrame struct {
+	id      string
+	event   string
+	data    string
+	comment bool
+}
+
+// readFrame parses the next SSE frame (terminated by a blank line).
+func readFrame(br *bufio.Reader) (sseFrame, error) {
+	var f sseFrame
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if seen {
+				return f, nil
+			}
+			continue
+		}
+		seen = true
+		switch {
+		case strings.HasPrefix(line, ":"):
+			f.comment = true
+		case strings.HasPrefix(line, "id: "):
+			f.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[6:]
+		}
+	}
+}
+
+// sseGet opens an SSE stream against srv; the caller cancels ctx to
+// disconnect.
+func sseGet(t *testing.T, ctx context.Context, url string, hdr map[string]string) (*bufio.Reader, func()) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	return bufio.NewReader(resp.Body), func() { resp.Body.Close() }
+}
+
+func TestSSEStreamsPublishedEvents(t *testing.T) {
+	b, _ := newTestBus(0)
+	srv := httptest.NewServer(SSEHandler(b))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br, done := sseGet(t, ctx, srv.URL+"?types=txn", nil)
+	defer done()
+
+	// Wait until the subscriber is attached before publishing.
+	waitForSubscribers(t, b, 1)
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"}) // filtered out
+	b.Publish(Event{Type: EventTxn, Op: "commit", Writes: 3})
+
+	f, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.event != "txn" || f.id == "" {
+		t.Fatalf("frame = %+v, want a txn frame with an id", f)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(f.data), &e); err != nil || e.Op != "commit" || e.Writes != 3 {
+		t.Fatalf("data = %q (%v)", f.data, err)
+	}
+}
+
+// TestSSEResumeExactSuffix covers the reconnect contract: a client that
+// disconnects and resumes with Last-Event-ID receives exactly the
+// events it missed, when they are still in the resume ring.
+func TestSSEResumeExactSuffix(t *testing.T) {
+	b, _ := newTestBus(0)
+	srv := httptest.NewServer(SSEHandler(b))
+	defer srv.Close()
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	br, done1 := sseGet(t, ctx1, srv.URL, nil)
+	waitForSubscribers(t, b, 1)
+	b.Publish(Event{Type: EventDelta, Round: 1})
+	b.Publish(Event{Type: EventDelta, Round: 2})
+	var lastID string
+	for i := 0; i < 2; i++ {
+		f, err := readFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastID = f.id
+	}
+	// Disconnect, miss two events, reconnect with Last-Event-ID.
+	cancel1()
+	done1()
+	waitForSubscribers(t, b, 0)
+	b.Publish(Event{Type: EventDelta, Round: 3})
+	b.Publish(Event{Type: EventDelta, Round: 4})
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	br2, done2 := sseGet(t, ctx2, srv.URL, map[string]string{"Last-Event-ID": lastID})
+	defer done2()
+	var rounds []int
+	for i := 0; i < 2; i++ {
+		f, err := readFrame(br2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.event == "gap" {
+			t.Fatalf("unexpected gap frame on an in-ring resume: %+v", f)
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(f.data), &e); err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, e.Round)
+	}
+	if fmt.Sprint(rounds) != "[3 4]" {
+		t.Fatalf("resumed rounds %v, want exactly the missed suffix [3 4]", rounds)
+	}
+}
+
+// TestSSEResumeGapWhenEvicted covers the other half of the contract:
+// when the missed suffix has been evicted from the ring, the stream
+// starts with an explicit gap event (with no id line) carrying the
+// eviction count.
+func TestSSEResumeGapWhenEvicted(t *testing.T) {
+	b, _ := newTestBus(4)
+	b.Arm()
+	srv := httptest.NewServer(SSEHandler(b))
+	defer srv.Close()
+
+	for i := 1; i <= 10; i++ {
+		b.Publish(Event{Type: EventDelta, Round: i})
+	}
+	// Ring holds events 7-10; a client that saw event 2 lost 3-6.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br, done := sseGet(t, ctx, srv.URL+"?last_event_id=2", nil)
+	defer done()
+
+	f, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.event != "gap" {
+		t.Fatalf("first frame = %+v, want an explicit gap event", f)
+	}
+	if f.id != "" {
+		t.Fatalf("gap frame carries id %q; it must be unnumbered", f.id)
+	}
+	var gap Event
+	if err := json.Unmarshal([]byte(f.data), &gap); err != nil || gap.Missed != 4 {
+		t.Fatalf("gap data = %q (%v), want missed=4", f.data, err)
+	}
+	f, err = readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.id != "7" {
+		t.Fatalf("first real frame has id %q, want 7 (oldest ring survivor)", f.id)
+	}
+}
+
+func TestSSERejectsBadRequests(t *testing.T) {
+	b, _ := newTestBus(0)
+	srv := httptest.NewServer(SSEHandler(b))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?types=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad types filter: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "?last_event_id=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSSEHeartbeat(t *testing.T) {
+	old := SSEHeartbeat
+	SSEHeartbeat = 20 * time.Millisecond
+	defer func() { SSEHeartbeat = old }()
+
+	b, _ := newTestBus(0)
+	srv := httptest.NewServer(SSEHandler(b))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	br, done := sseGet(t, ctx, srv.URL, nil)
+	defer done()
+
+	f, err := readFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.comment {
+		t.Fatalf("idle stream produced a non-heartbeat frame: %+v", f)
+	}
+}
+
+// waitForSubscribers blocks until the bus has n attached subscribers.
+func waitForSubscribers(t *testing.T, b *Bus, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		have := len(b.subs)
+		b.mu.Unlock()
+		if have == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bus has %d subscribers, want %d", have, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

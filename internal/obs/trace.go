@@ -20,9 +20,10 @@ func Str(k, v string) Attr { return Attr{Key: k, Value: v} }
 // Int builds an integer attribute.
 func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
 
-// Sink receives completed trace events. Sinks must be safe for
+// TraceSink receives completed trace events. Sinks must be safe for
 // concurrent use; the tracer calls them inline from instrumented code.
-type Sink interface {
+// (The event-bus sink interface is the separate Sink in events.go.)
+type TraceSink interface {
 	// Span is called once per span, at End time.
 	Span(cat, name string, start time.Time, dur time.Duration, attrs []Attr)
 	// Instant is called for point-in-time events.
@@ -35,7 +36,7 @@ type Sink interface {
 // Enabled() so disabled tracing costs one atomic load.
 type Tracer struct {
 	mu    sync.RWMutex
-	sinks []Sink
+	sinks []TraceSink
 	n     atomic.Int32
 }
 
@@ -46,7 +47,7 @@ func NewTracer() *Tracer { return &Tracer{} }
 func (t *Tracer) Enabled() bool { return t != nil && t.n.Load() > 0 }
 
 // Attach adds a sink and returns a function that detaches it again.
-func (t *Tracer) Attach(s Sink) (detach func()) {
+func (t *Tracer) Attach(s TraceSink) (detach func()) {
 	if t == nil || s == nil {
 		return func() {}
 	}
@@ -136,7 +137,7 @@ func NewTextSink(w io.Writer, onlyCat string) *TextSink {
 	return &TextSink{w: w, only: onlyCat}
 }
 
-// Span implements Sink; spans print as "name (dur) attrs".
+// Span implements TraceSink; spans print as "name (dur) attrs".
 func (ts *TextSink) Span(cat, name string, _ time.Time, dur time.Duration, attrs []Attr) {
 	if ts.only != "" && cat != ts.only {
 		return
@@ -146,7 +147,7 @@ func (ts *TextSink) Span(cat, name string, _ time.Time, dur time.Duration, attrs
 	ts.mu.Unlock()
 }
 
-// Instant implements Sink. An event with a single "msg" attribute
+// Instant implements TraceSink. An event with a single "msg" attribute
 // prints as the bare message (legacy debug format); anything else as
 // "name attrs".
 func (ts *TextSink) Instant(cat, name string, _ time.Time, attrs []Attr) {
@@ -197,14 +198,14 @@ func (e CollectedEvent) Attr(key string) string {
 	return ""
 }
 
-// Span implements Sink.
+// Span implements TraceSink.
 func (c *CollectSink) Span(cat, name string, _ time.Time, dur time.Duration, attrs []Attr) {
 	c.mu.Lock()
 	c.spans = append(c.spans, CollectedEvent{Cat: cat, Name: name, Dur: dur, Attrs: append([]Attr(nil), attrs...)})
 	c.mu.Unlock()
 }
 
-// Instant implements Sink.
+// Instant implements TraceSink.
 func (c *CollectSink) Instant(cat, name string, _ time.Time, attrs []Attr) {
 	c.mu.Lock()
 	c.insts = append(c.insts, CollectedEvent{Cat: cat, Name: name, Attrs: append([]Attr(nil), attrs...)})

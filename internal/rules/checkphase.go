@@ -126,6 +126,9 @@ func (m *Manager) checkPhase() error {
 			obs.Str("activation", chosen.Key),
 			obs.Int("round", round),
 			obs.Int("instances", len(instances)))
+		if m.obs.Bus.Active() {
+			m.stageFiring(chosen, round, instances)
+		}
 		if m.tracing() {
 			names := make([]string, len(cands))
 			for i, c := range cands {
@@ -146,6 +149,40 @@ func (m *Manager) checkPhase() error {
 			m.met.Actions.Inc()
 		}
 	}
+}
+
+// maxEventInstances bounds the condition bindings carried on one
+// firing event: a set-oriented firing over a huge extent must not
+// inflate the bus (the count survives in the activation's metrics).
+const maxEventInstances = 64
+
+// stageFiring stages one rule-firing event on the bus: rule +
+// activation, check round, the condition bindings it fires for, and
+// the triggering differentials recorded for the activation so far in
+// this check phase. Staged events publish only after the commit point;
+// a rollback discards them.
+func (m *Manager) stageFiring(a *Activation, round int, instances []types.Tuple) {
+	ev := obs.Event{
+		Type:       obs.EventRuleFiring,
+		Rule:       a.Rule.Name,
+		Activation: a.Key,
+		Round:      round,
+	}
+	for i, inst := range instances {
+		if i == maxEventInstances {
+			ev.Detail = fmt.Sprintf("instances truncated to %d of %d", maxEventInstances, len(instances))
+			break
+		}
+		ev.Instances = append(ev.Instances, inst.String())
+	}
+	for _, x := range m.explanations {
+		if x.Activation == a.Key {
+			for _, te := range x.Entries {
+				ev.Deltas = append(ev.Deltas, obs.DeltaEntry{Relation: te.Differential, Plus: te.Produced})
+			}
+		}
+	}
+	m.obs.Bus.Stage(ev)
 }
 
 // runAction dispatches one action instance with panic containment: a

@@ -675,6 +675,7 @@ func (m *Manager) ensureNet() error {
 	net.SetInjector(m.inj)
 	net.SetObs(m.netMet, m.obs.Tracer)
 	net.SetProfiler(m.obs.Profiler)
+	net.SetBus(m.obs.Bus)
 	net.Evaluator().SetMetrics(m.evalMet)
 	net.Evaluator().SetStats(m.stats)
 	for _, sv := range m.sharedViews {

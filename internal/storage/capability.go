@@ -1,6 +1,10 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+
+	"partdiff/internal/obs"
+)
 
 // Capability describes which physical changes a base relation admits.
 // It is a two-bit lattice: the default CapAll admits both signs, and
@@ -119,10 +123,20 @@ func (s *Store) checkCapability(rel string, kind EventKind) error {
 		return nil
 	}
 	if kind == InsertEvent && !c.CanInsert() {
-		return fmt.Errorf("relation %q is declared %s: insertions are not admitted", rel, c)
+		return s.capViolation(fmt.Errorf("relation %q is declared %s: insertions are not admitted", rel, c))
 	}
 	if kind == DeleteEvent && !c.CanDelete() {
-		return fmt.Errorf("relation %q is declared %s: deletions are not admitted", rel, c)
+		return s.capViolation(fmt.Errorf("relation %q is declared %s: deletions are not admitted", rel, c))
 	}
 	return nil
+}
+
+// capViolation reports a rejected mutation on the event bus. Published
+// directly (not staged): the violation describes an attempt that never
+// becomes part of any committed state.
+func (s *Store) capViolation(err error) error {
+	if s.bus.Active() {
+		s.bus.Publish(obs.Event{Type: obs.EventSystem, Op: "capability_violation", Detail: err.Error()})
+	}
+	return err
 }

@@ -48,3 +48,11 @@ func (s *Store) SetMetrics(m *Metrics) {
 		r.met = m
 	}
 }
+
+// SetBus installs the event bus capability violations are reported on
+// (nil disables). Install before concurrent use, alongside SetMetrics.
+func (s *Store) SetBus(b *obs.Bus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bus = b
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"partdiff/internal/faultinject"
+	"partdiff/internal/obs"
 	"partdiff/internal/types"
 )
 
@@ -264,6 +265,9 @@ type Store struct {
 	listeners []Listener
 	inj       *faultinject.Injector
 	met       *Metrics
+	// bus, when active, receives a system/capability_violation event
+	// for every update rejected by a declared capability (SetBus).
+	bus *obs.Bus
 	// caps holds declared change capabilities (capability.go); relations
 	// absent from the map admit both signs. Guarded by mu. capSuspend
 	// counts open SuspendEnforcement scopes (rollback's inverse replay).

@@ -1,6 +1,10 @@
 package txn
 
-import "partdiff/internal/obs"
+import (
+	"time"
+
+	"partdiff/internal/obs"
+)
 
 // Metrics is the transaction manager's meter set. The zero value is a
 // valid disabled meter set (nil meters are no-ops).
@@ -35,6 +39,9 @@ type Metrics struct {
 	// re-runs the facade performed.
 	Conflicts       *obs.Counter
 	ConflictRetries *obs.Counter
+	// SlowCommits counts commits that exceeded the configured
+	// slow-commit threshold (see Manager.SetSlowCommitThreshold).
+	SlowCommits *obs.Counter
 }
 
 // NewMetrics registers the transaction meters in r.
@@ -54,12 +61,18 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		GateBackoffs:    r.Counter("partdiff_txn_gate_backoffs_total", "Jittered backoff sleeps behind a full admission queue."),
 		Conflicts:       r.Counter("partdiff_txn_conflicts_total", "Optimistic transactions aborted by read-set invalidation (ErrConflict)."),
 		ConflictRetries: r.Counter("partdiff_txn_conflict_retries_total", "Automatic re-runs of conflicted optimistic transactions."),
+		SlowCommits:     r.Counter("partdiff_txn_slow_commits_total", "Commits slower than the configured slow-commit threshold."),
 	}
 }
 
 // MarkConflict records an optimistic transaction aborted by read-set
 // invalidation; MarkConflictRetry records an automatic re-run.
-func (m *Manager) MarkConflict() { m.met.Conflicts.Inc() }
+func (m *Manager) MarkConflict() {
+	m.met.Conflicts.Inc()
+	if m.bus.Active() {
+		m.bus.Publish(obs.Event{Type: obs.EventTxn, Op: "conflict"})
+	}
+}
 
 // MarkConflictRetry records one automatic re-run of a conflicted
 // optimistic transaction.
@@ -74,3 +87,17 @@ func (m *Manager) SetObs(met *Metrics, tr *obs.Tracer) {
 	m.met = met
 	m.tracer = tr
 }
+
+// SetBus installs the event bus transaction lifecycle events are
+// published on. The commit-point contract: events a transaction staged
+// (rule firings, Δ summaries) are published by Commit only after the
+// ack — CommitStaged after AdvanceCommit — and discarded by Rollback,
+// so subscribers never observe rolled-back work. Publication happens
+// under the writer gate, so bus order is commit-sequence order.
+func (m *Manager) SetBus(b *obs.Bus) { m.bus = b }
+
+// SetSlowCommitThreshold arms the slow-commit detector: a commit whose
+// end-to-end latency exceeds d publishes a system/slow_commit event
+// with per-phase (check/persist/ack) timings and bumps the SlowCommits
+// counter. d <= 0 disables.
+func (m *Manager) SetSlowCommitThreshold(d time.Duration) { m.slow = d }

@@ -26,7 +26,12 @@
 //  4. OnEnd(true)   — every hook, in registration order (monitors
 //     discard Δ-sets, the session applies deferred object deletions,
 //     the wal hook clears its per-transaction capture).
-//  5. metrics       — Commits / CommitSeconds are observed last, after
+//  5. events        — events the check phase staged on the bus (rule
+//     firings, Δ summaries) are published, stamped with the commit
+//     sequence, followed by the txn/commit lifecycle event: the bus
+//     never carries uncommitted work, and because publication happens
+//     under the writer gate, bus order is commit-sequence order.
+//  6. metrics       — Commits / CommitSeconds are observed last, after
 //     the fsync, so the commit-latency histogram includes durability
 //     and a metric update can never precede the ack it describes.
 package txn
@@ -94,6 +99,11 @@ type Manager struct {
 
 	met    *Metrics // never nil; zero-value Metrics when observability is off
 	tracer *obs.Tracer
+	// bus carries lifecycle and staged payload events; nil-safe (a nil
+	// or inactive bus costs one atomic load per publish site). slow is
+	// the slow-commit threshold (0 = disabled).
+	bus  *obs.Bus
+	slow time.Duration
 }
 
 // NewManager creates a manager subscribed to the store's event stream.
@@ -148,6 +158,9 @@ func (m *Manager) Begin() error {
 	// AdvanceCommit call at commit (rollback publishes nothing).
 	m.store.BeginTxnScope()
 	m.met.Begins.Inc()
+	if m.bus.Active() {
+		m.bus.Publish(obs.Event{Type: obs.EventTxn, Op: "begin"})
+	}
 	return nil
 }
 
@@ -196,6 +209,7 @@ func (m *Manager) Commit() error {
 	// phase.
 	userLen := len(m.undo)
 	m.met.UndoEvents.Observe(float64(userLen))
+	checkStart := time.Now()
 	if err := m.runCommitHooks(); err != nil {
 		m.met.CheckFailures.Inc()
 		rbErr := m.Rollback()
@@ -206,6 +220,8 @@ func (m *Manager) Commit() error {
 		}
 		return fmt.Errorf("check phase failed, transaction rolled back: %w", err)
 	}
+	checkDur := time.Since(checkStart)
+	persistStart := time.Now()
 	if err := m.runPersistHooks(userLen); err != nil {
 		m.met.PersistFailures.Inc()
 		rbErr := m.Rollback()
@@ -216,11 +232,14 @@ func (m *Manager) Commit() error {
 		}
 		return fmt.Errorf("persist failed, transaction rolled back: %w", err)
 	}
+	persistDur := time.Since(persistStart)
+	ackStart := time.Now()
 	// Ack (step 3): finalize, then publish the write set — the commit
 	// sequence advances and new snapshot pins see the transaction's
 	// rows. Touched relations are stamped for optimistic read-set
 	// validation; an empty transaction publishes nothing.
 	m.active = false
+	actionLen := len(m.undo) - userLen
 	touched := touchedRelations(m.undo)
 	m.undo = m.undo[:0]
 	m.store.EndTxnScope()
@@ -232,10 +251,36 @@ func (m *Manager) Commit() error {
 			m.hooks[i].OnEnd(true)
 		}
 	}
+	ackDur := time.Since(ackStart)
+	// Event publication sits after the ack — the commit point — so
+	// subscribers only ever see committed work: first the events the
+	// check phase staged (rule firings, Δ summaries), then the commit
+	// lifecycle event closing the batch. Writers are serialized, so
+	// bus order is commit-sequence order.
+	if m.bus.Active() {
+		seq := m.store.CommitSeq()
+		m.bus.CommitStaged(seq)
+		m.bus.Publish(obs.Event{
+			Type: obs.EventTxn, Op: "commit", CommitSeq: seq,
+			Writes: userLen, Fired: actionLen,
+		})
+	}
+	total := time.Since(start)
+	if m.slow > 0 && total > m.slow {
+		m.met.SlowCommits.Inc()
+		m.bus.Publish(obs.Event{
+			Type: obs.EventSystem, Op: "slow_commit", CommitSeq: m.store.CommitSeq(),
+			Ms:        float64(total) / float64(time.Millisecond),
+			CheckMs:   float64(checkDur) / float64(time.Millisecond),
+			PersistMs: float64(persistDur) / float64(time.Millisecond),
+			AckMs:     float64(ackDur) / float64(time.Millisecond),
+			Detail:    fmt.Sprintf("commit exceeded slow threshold (%s > %s)", total, m.slow),
+		})
+	}
 	// Metrics last (step 5): the observed latency includes the fsync,
 	// and no metric update precedes durability.
 	m.met.Commits.Inc()
-	m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+	m.met.CommitSeconds.Observe(total.Seconds())
 	csp.End(obs.Str("outcome", "committed"))
 	return nil
 }
@@ -335,6 +380,12 @@ func (m *Manager) Rollback() error {
 		if m.hooks[i].OnEnd != nil {
 			m.hooks[i].OnEnd(false)
 		}
+	}
+	// Rolled-back work must never reach subscribers: drop whatever the
+	// check phase staged, then announce the rollback itself.
+	if m.bus.Active() {
+		m.bus.DiscardStaged()
+		m.bus.Publish(obs.Event{Type: obs.EventTxn, Op: "rollback"})
 	}
 	if len(undoErrs) > 0 {
 		err := fmt.Errorf("%w: %v", ErrCorrupt, errors.Join(undoErrs...))

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"partdiff/internal/faultinject"
+	"partdiff/internal/obs"
 )
 
 // logMagic is the log file header; the trailing digit is the format
@@ -44,6 +45,11 @@ type Log struct {
 	met    *Metrics // never nil; zero-value Metrics when observability is off
 	err    error    // sticky
 	closed bool
+
+	// bus, when active, receives a system/fsync_stall event for every
+	// fsync slower than stall (SetBus; 0 keeps the default).
+	bus   *obs.Bus
+	stall time.Duration
 
 	// Group-commit state (SyncGrouped only): whether a leader's fsync is
 	// in flight, and the round of committers gathered behind it. gmu is
@@ -159,6 +165,23 @@ func (l *Log) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.err
+}
+
+// DefaultFsyncStall is the latency above which an fsync publishes a
+// system/fsync_stall event (a stalling disk shows up on the bus before
+// it shows up as commit latency complaints).
+const DefaultFsyncStall = 100 * time.Millisecond
+
+// SetBus installs the event bus fsync stalls are reported on; stall
+// overrides the detection threshold (<= 0 keeps DefaultFsyncStall).
+func (l *Log) SetBus(b *obs.Bus, stall time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if stall <= 0 {
+		stall = DefaultFsyncStall
+	}
+	l.bus = b
+	l.stall = stall
 }
 
 // SetInjector installs a fault injector (nil disables injection).
@@ -284,8 +307,16 @@ func (l *Log) syncLocked() error {
 		l.err = fmt.Errorf("wal fsync: %w", err)
 		return l.err
 	}
+	dur := time.Since(start)
 	l.met.Fsyncs.Inc()
-	l.met.FsyncSeconds.Observe(time.Since(start).Seconds())
+	l.met.FsyncSeconds.Observe(dur.Seconds())
+	if l.bus.Active() && l.stall > 0 && dur > l.stall {
+		l.bus.Publish(obs.Event{
+			Type: obs.EventSystem, Op: "fsync_stall",
+			Ms:     float64(dur) / float64(time.Millisecond),
+			Detail: fmt.Sprintf("wal fsync took %s (threshold %s)", dur, l.stall),
+		})
+	}
 	return nil
 }
 

@@ -152,6 +152,7 @@ type config struct {
 	ctx         context.Context
 	writerWait  time.Duration
 	wwSet       bool
+	slowCommit  time.Duration
 
 	// Durability knobs (OpenDir only).
 	sync       SyncPolicy
@@ -252,6 +253,14 @@ func WithWriterWait(d time.Duration) Option {
 	return func(c *config) { c.writerWait, c.wwSet = d, true }
 }
 
+// WithSlowCommitThreshold emits a structured system event (op
+// "slow_commit", with per-phase check/persist/ack timings) and bumps
+// partdiff_txn_slow_commits_total whenever a commit takes longer than d
+// end to end. Zero (the default) disables slow-commit reporting.
+func WithSlowCommitThreshold(d time.Duration) Option {
+	return func(c *config) { c.slowCommit = d }
+}
+
 // WithSyncPolicy selects the write-ahead log's fsync policy (default
 // SyncAlways). Only meaningful with OpenDir.
 func WithSyncPolicy(p SyncPolicy) Option {
@@ -317,6 +326,9 @@ func open(opts []Option) (*DB, *config) {
 	db.sess.Rules().CheckContext = cfg.ctx
 	if cfg.wwSet {
 		db.sess.SetWriterWait(cfg.writerWait)
+	}
+	if cfg.slowCommit > 0 {
+		db.sess.Txns().SetSlowCommitThreshold(cfg.slowCommit)
 	}
 	return db, &cfg
 }
@@ -555,19 +567,76 @@ func (db *DB) ProfileReport(w io.Writer, topK int) error {
 	return db.sess.ProfileReport(w, topK)
 }
 
+// Event is one structured observability event: a rule firing with its
+// triggering Δ-sets, a per-commit Δ summary, a transaction lifecycle
+// transition, or a system occurrence (checkpoint, recovery, fsync
+// stall, capability violation, slow commit).
+type Event = obs.Event
+
+// EventType classifies events; see the Event* constants.
+type EventType = obs.EventType
+
+// The event types a subscription can filter on.
+const (
+	// EventRuleFiring: a rule activation fired during a committed check
+	// phase, with its condition bindings and triggering differentials.
+	EventRuleFiring = obs.EventRuleFiring
+	// EventDelta: the per-relation Δ summary of one committed
+	// propagation wave.
+	EventDelta = obs.EventDelta
+	// EventTxn: transaction lifecycle (begin, commit, rollback,
+	// conflict).
+	EventTxn = obs.EventTxn
+	// EventSystem: checkpoint, recovery, wal fsync stalls, capability
+	// violations, slow commits.
+	EventSystem = obs.EventSystem
+	// EventGap: synthesized locally on a subscription whose buffer
+	// overflowed, carrying the count of missed events.
+	EventGap = obs.EventGap
+)
+
+// Subscription is an in-process event subscription; consume it with
+// Next/TryNext and Close it when done. A slow consumer loses oldest
+// events first and sees an EventGap marker in their place.
+type Subscription = obs.Subscription
+
+// DeltaEntry is one relation's contribution to an event's Δ summary.
+type DeltaEntry = obs.DeltaEntry
+
+// Subscribe opens an in-process subscription to the database's event
+// stream, filtered to the given event types (none = all). The first
+// subscription arms the bus; it stays armed for the lifetime of the
+// database so reconnecting subscribers can resume from the event ring.
+// Events describing transactional work (rule firings, Δ summaries) are
+// published only after their transaction's commit point, in commit
+// order; rolled-back transactions publish nothing but the rollback.
+func (db *DB) Subscribe(types ...EventType) *Subscription {
+	return db.sess.Observability().Bus.Subscribe(0, types...)
+}
+
+// EventBus exposes the underlying event bus for advanced use: resuming
+// from a known event ID (SubscribeFrom), attaching sinks, or publishing
+// application events.
+func (db *DB) EventBus() *obs.Bus { return db.sess.Observability().Bus }
+
 // MonitorHandler returns an http.Handler serving the database's live
 // monitoring surface: Prometheus text at /metrics (filterable with
-// ?prefix=), expvar JSON at /debug/vars, and Go runtime profiles at
-// /debug/pprof/.
+// ?prefix=), expvar JSON at /debug/vars, Go runtime profiles at
+// /debug/pprof/, and the /healthz and /readyz probes (liveness fails
+// once the database is poisoned; readiness additionally requires
+// recovery to be complete and the write-ahead log healthy).
 func (db *DB) MonitorHandler() http.Handler {
-	return obs.Handler(db.sess.Observability().Registry)
+	return obs.HandlerWith(db.sess.Observability().Registry, obs.HandlerOpts{
+		Live:  db.sess.Live,
+		Ready: db.sess.Ready,
+	})
 }
 
 // ServeMonitor starts an HTTP monitoring server on addr (e.g.
 // "localhost:6060") serving MonitorHandler. Close the returned server
 // when done.
 func (db *DB) ServeMonitor(addr string) (*obs.Server, error) {
-	return obs.Serve(addr, db.sess.Observability().Registry)
+	return obs.ServeHandler(addr, db.MonitorHandler())
 }
 
 // Trace is an in-progress structured trace capture. Stop it, then
