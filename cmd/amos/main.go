@@ -7,6 +7,8 @@
 //	                      e.g. \metrics propnet)
 //	\profile on|off       turn the propagation profiler on or off
 //	\profile report [k]   report the k most expensive differentials (default 10)
+//	\hybrid on|off        counting maintenance + cost-based hybrid propagation
+//	\hybrid report        per-view strategies, counts and recent decisions
 //	\trace file.json      start a structured trace capture (Chrome trace_event)
 //	\trace stop           stop the capture and write the JSON file
 //	\explain              show why rules triggered in the last commit
@@ -231,6 +233,27 @@ func meta(db *partdiff.DB, cmd string) bool {
 		default:
 			fmt.Println("usage: \\profile on|off|report [topK]")
 		}
+	case "\\hybrid":
+		words := strings.Fields(cmd)
+		switch {
+		case len(words) < 2:
+			fmt.Printf("counting is %s, hybrid is %s; usage: \\hybrid on|off|report\n",
+				onOff(db.Counting()), onOff(db.Hybrid()))
+		case words[1] == "on":
+			db.SetCounting(true)
+			db.SetHybrid(true)
+			fmt.Println("counting maintenance + cost-based hybrid propagation on (\\hybrid report to inspect)")
+		case words[1] == "off":
+			db.SetCounting(false)
+			db.SetHybrid(false)
+			fmt.Println("counting maintenance + cost-based hybrid propagation off")
+		case words[1] == "report":
+			if err := db.HybridReport(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			fmt.Println("usage: \\hybrid on|off|report")
+		}
 	case "\\trace":
 		words := strings.Fields(cmd)
 		switch {
@@ -369,7 +392,7 @@ func meta(db *partdiff.DB, cmd string) bool {
 			fmt.Println("subscribed (events print as they commit; \\subscribe stop to end)")
 		}
 	default:
-		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\subscribe \\quit")
+		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\hybrid \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\subscribe \\quit")
 	}
 	return false
 }
@@ -424,4 +447,12 @@ func exec(db *partdiff.DB, src string) error {
 		}
 	}
 	return err
+}
+
+// onOff renders a boolean as "on"/"off" for meta-command status lines.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }

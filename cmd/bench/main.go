@@ -60,13 +60,19 @@ type record struct {
 	Published int64 `json:"events_published,omitempty"`
 	Delivered int64 `json:"events_delivered,omitempty"`
 	Dropped   int64 `json:"events_dropped,omitempty"`
+	// Hybrid/counting experiment only: rule firings (equal across
+	// twins by the equivalence gate) and chooser strategy switches.
+	Orders   int    `json:"orders,omitempty"`
+	Switches uint64 `json:"strategy_switches,omitempty"`
 }
 
 // report is the BENCH_<n>.json document.
 type report struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version,omitempty"`
-	Records   []record `json:"records"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	Records    []record `json:"records"`
 }
 
 func main() {
@@ -104,7 +110,7 @@ func main() {
 	}
 	if run("hybrid") {
 		sizes := parseSizes(*sizesFlag, []int{100, 1000})
-		if err := runHybrid(sizes, *txns, *rounds); err != nil {
+		if err := runHybrid(sizes, *txns, *rounds, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "hybrid:", err)
 			failed = true
 		}
@@ -158,6 +164,8 @@ func main() {
 func writeReport(rep *report) (string, error) {
 	rep.Date = time.Now().UTC().Format(time.RFC3339)
 	rep.GoVersion = runtime.Version()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.NumCPU = runtime.NumCPU()
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return "", err
@@ -260,7 +268,7 @@ func runSharing(sizes []int, txns int) error {
 	return nil
 }
 
-func runHybrid(sizes []int, smallTxns, massiveTxns int) error {
+func runHybrid(sizes []int, smallTxns, massiveTxns int, rep *report) error {
 	fmt.Printf("Hybrid monitor (§8 future work) — mixed workload: %d small txns +\n", smallTxns)
 	fmt.Printf("%d massive txns; the hybrid monitor should approach the best column\n\n", massiveTxns)
 	rows, err := bench.RunHybrid(sizes, smallTxns, massiveTxns)
@@ -270,6 +278,33 @@ func runHybrid(sizes []int, smallTxns, massiveTxns int) error {
 	fmt.Printf("%10s %12s %14s %12s\n", "items", "naive ms", "incremental ms", "hybrid ms")
 	for _, r := range rows {
 		fmt.Printf("%10d %12.2f %14.2f %12.2f\n", r.N, ms(r.NaiveNs), ms(r.IncrNs), ms(r.HybridNs))
+	}
+
+	fmt.Printf("\nCounting maintenance & hybrid chooser — delete-skewed twins: standard\n")
+	fmt.Printf("incremental (minus differentials + §7.2 probes) vs counting maintenance;\n")
+	fmt.Printf("tinyextent runs the cost-based chooser against massive Δ waves and must\n")
+	fmt.Printf("switch to recompute. All rows equivalence-gated (firings + snapshots)\n\n")
+	crows, err := bench.RunCounting([]int{100, 400}, smallTxns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %8s %6s %10s %10s %10s %10s %9s %9s %8s\n",
+		"workload", "items", "txns", "off ms", "on ms", "off scan", "on scan",
+		"off zero", "on zero", "switches")
+	for _, r := range crows {
+		fmt.Printf("%12s %8d %6d %10.2f %10.2f %10d %10d %9d %9d %8d\n",
+			r.Workload, r.DBSize, r.Txns, ms(r.OffNs), ms(r.OnNs),
+			r.OffTel.TuplesScanned, r.OnTel.TuplesScanned, r.OffZero, r.OnZero, r.Switches)
+		if rep != nil {
+			ops := int64(r.Txns)
+			rep.Records = append(rep.Records,
+				record{Name: fmt.Sprintf("hybrid/%s/items=%d/off", r.Workload, r.DBSize),
+					NsPerOp: r.OffNs / ops, Telemetry: r.OffTel, MeanDelta: r.OffTel.MeanDeltaSize(),
+					ZeroEffect: r.OffZero, Orders: r.Orders},
+				record{Name: fmt.Sprintf("hybrid/%s/items=%d/on", r.Workload, r.DBSize),
+					NsPerOp: r.OnNs / ops, Telemetry: r.OnTel, MeanDelta: r.OnTel.MeanDeltaSize(),
+					ZeroEffect: r.OnZero, Orders: r.Orders, Switches: r.Switches})
+		}
 	}
 	fmt.Println()
 	return nil

@@ -51,7 +51,7 @@ func TestRunSharingTable(t *testing.T) {
 }
 
 func TestRunHybridTable(t *testing.T) {
-	out := capture(t, func() error { return runHybrid([]int{6}, 3, 1) })
+	out := capture(t, func() error { return runHybrid([]int{6}, 40, 1, nil) })
 	if !strings.Contains(out, "Hybrid monitor") || !strings.Contains(out, "hybrid ms") {
 		t.Errorf("output:\n%s", out)
 	}

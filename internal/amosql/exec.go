@@ -275,6 +275,40 @@ func (s *Session) SetStaticPruning(on bool) {
 // StaticPruning reports whether static differential pruning is on.
 func (s *Session) StaticPruning() bool { return s.mgr.StaticPruning() }
 
+// SetCounting enables or disables counting maintenance: differenced
+// condition views carry per-derived-tuple derivation counts, so
+// deletions decrement support and retract only at count zero — no
+// recomputation and no §7.2 membership probes on deletes. The network
+// is rebuilt on change.
+func (s *Session) SetCounting(on bool) {
+	s.schemaMu.Lock()
+	defer s.schemaMu.Unlock()
+	s.mgr.SetCounting(on)
+}
+
+// Counting reports whether counting maintenance is on.
+func (s *Session) Counting() bool { return s.mgr.Counting() }
+
+// SetHybrid enables or disables cost-based hybrid propagation: a
+// per-view, per-wave chooser between incremental partial differencing
+// and naive recomputation, driven by observed scan-cost EWMAs with
+// hysteresis (§8). The network is rebuilt on change.
+func (s *Session) SetHybrid(on bool) {
+	s.schemaMu.Lock()
+	defer s.schemaMu.Unlock()
+	s.mgr.SetHybrid(on)
+}
+
+// Hybrid reports whether cost-based hybrid propagation is on.
+func (s *Session) Hybrid() bool { return s.mgr.Hybrid() }
+
+// HybridReport writes the maintenance subsystem's state: per-view
+// strategies, count-store sizes, cost EWMAs and the recent decision
+// journal (the shell's \hybrid report).
+func (s *Session) HybridReport(w io.Writer) error {
+	return s.mgr.HybridReport(w)
+}
+
 // DeclareCapability is the Go-API form of the `declare` statement: it
 // restricts the admitted change kinds of a base relation. Unlike the
 // statement it is not journaled — embedders of durable sessions should

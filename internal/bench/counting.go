@@ -1,0 +1,475 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"partdiff/internal/amosql"
+	"partdiff/internal/maint"
+	"partdiff/internal/rules"
+	"partdiff/internal/types"
+)
+
+// This file holds the counting-maintenance / hybrid-chooser experiment
+// (the new half of `bench -exp hybrid`): twin databases per workload —
+// the standard incremental monitor (which handles deletions with minus
+// differentials plus the §7.2 derivability probe) against the counting
+// maintainer (which decrements per-tuple support and retracts only at
+// zero) and, on the chooser workload, the cost-based hybrid mode.
+//
+//   - fig6del — fig. 6-shaped small transactions, skewed toward
+//     deletions: each pair of transactions deletes one of an item's K
+//     duplicate supplier derivations and then restores it. The deleted
+//     derivation is never the last one, so the standard monitor's minus
+//     candidate is still derivable: it pays a probe per delete and a
+//     spurious re-insert Δ per restore (whose downstream differentials
+//     run and emit nothing); counting pays a K↔K−1 support decrement
+//     and emits no Δ at all.
+//   - fig7del — fig. 7-shaped massive transactions alternating
+//     delete-all / restore-all of every item's duplicate supplier:
+//     the same probe and spurious-Δ cost at wave scale.
+//   - deleteheavy — deletions that genuinely retract: a shared view
+//     with one witness derivation per item, where deleting the witness
+//     retracts all N derived tuples. The standard monitor must prove
+//     each of the N minus candidates underivable — N probes that each
+//     exhaust the W-row witness table fruitlessly (Derivable
+//     short-circuits on success, so only failed probes pay full price);
+//     counting sees N support counts reach zero and retracts with no
+//     probes. This is the recompute-on-delete pathology the counting
+//     subsystem exists to kill, and the ≥2x gate lives here.
+//   - tinyextent — fig. 7 massive update waves against views whose
+//     extents are far smaller than the triggering Δ (the monitored
+//     condition is empty throughout): the paper's case for naive
+//     recompute. The hybrid twin must observably switch at least one
+//     view to the recompute strategy.
+//
+// Every workload warms up first (paying the one-time lazy count
+// reseeds and firing the rule once so the equivalence gate covers
+// firings) and then measures a steady-state interval. The harness
+// asserts observable equivalence — identical rule firings and
+// byte-identical final store snapshots — plus the non-vacuity gates:
+// fewer zero-effect executions under counting on the duplicate-support
+// delete workloads, ≥2x fewer tuples scanned on deleteheavy, and ≥1
+// strategy switch on the chooser workload.
+
+// CountingRow is one measured point of the counting/hybrid A/B. Off is
+// the standard incremental twin, On the counting (and, for tinyextent,
+// hybrid) twin.
+type CountingRow struct {
+	Workload string `json:"workload"`
+	DBSize   int    `json:"db_size"`
+	Txns     int    `json:"txns"`
+
+	OffNs int64 `json:"off_ns"`
+	OnNs  int64 `json:"on_ns"`
+
+	// Monitor telemetry over the measured (post-warmup) interval.
+	OffTel Telemetry `json:"off_telemetry"`
+	OnTel  Telemetry `json:"on_telemetry"`
+
+	// Zero-effect differential executions (ran, emitted nothing).
+	OffZero int64 `json:"off_zero_effect_execs"`
+	OnZero  int64 `json:"on_zero_effect_execs"`
+
+	// Orders is the rule-firing count — identical across twins by the
+	// equivalence gate.
+	Orders int `json:"orders"`
+
+	// Switches counts hybrid strategy switches on the On twin
+	// (tinyextent only; the delete twins run with hybrid off so the
+	// A/B isolates counting).
+	Switches uint64 `json:"strategy_switches,omitempty"`
+}
+
+// countingInv is one twin of the counting workloads. For the inventory
+// workloads it is the shared-threshold §3.1 database with K suppliers
+// per item, all at the same delivery time — every derived threshold
+// tuple has support K, so deleting one supplier is a support
+// decrement, not a retraction. For deleteheavy it is the witness
+// database instead (Wits set, Sups nil).
+type countingInv struct {
+	*Inventory
+	K    int
+	Sups [][]types.Value // per-item suppliers; [i][0] is the original
+	Wits []types.Value   // deleteheavy witnesses; [0] carries wit=1
+}
+
+// countingInventory builds one inventory twin: n items × k suppliers,
+// counting and hybrid as given, monitor activated last so the network
+// compiles with the requested maintenance configuration.
+func countingInventory(n, k int, counting, hybrid bool) (*countingInv, error) {
+	inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, SharedThreshold: true})
+	if err != nil {
+		return nil, err
+	}
+	ci := &countingInv{Inventory: inv, K: k, Sups: make([][]types.Value, n)}
+	cat, st := inv.Sess.Catalog(), inv.Sess.Store()
+	for i := 0; i < n; i++ {
+		ci.Sups[i] = append(ci.Sups[i], inv.Sups[i])
+		for j := 1; j < k; j++ {
+			oid, err := cat.NewObject("supplier")
+			if err != nil {
+				return nil, err
+			}
+			sup := types.Obj(oid)
+			st.Insert("type:supplier", types.Tuple{sup})
+			if _, err := st.Set("supplies", []types.Value{sup}, []types.Value{inv.Items[i]}); err != nil {
+				return nil, err
+			}
+			if _, err := st.Set("delivery_time", []types.Value{inv.Items[i], sup}, []types.Value{types.Int(2)}); err != nil {
+				return nil, err
+			}
+			ci.Sups[i] = append(ci.Sups[i], sup)
+		}
+	}
+	inv.Sess.SetCounting(counting)
+	inv.Sess.SetHybrid(hybrid)
+	if _, err := inv.Sess.Exec("activate monitor_items();"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+// witnessDB builds one deleteheavy twin: n items, w witnesses of which
+// only the first derives the shared view — so deleting its wit row
+// retracts tagged(x) for every item, and re-proving underivability
+// costs the standard monitor a fruitless scan of all w witnesses per
+// item.
+func witnessDB(n, w int, counting, hybrid bool) (*countingInv, error) {
+	inv := &Inventory{Sess: amosql.NewSession(rules.Incremental), N: n}
+	err := inv.Sess.RegisterProcedure("order", func(args []types.Value) error {
+		inv.Orders++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, err = inv.Sess.Exec(`
+create type item;
+create type witness;
+create function stock(item) -> integer;
+create function alive(item) -> integer;
+create function wit(witness) -> integer;
+create shared function tagged(item x) -> integer
+    as select v for each witness w, integer v
+    where alive(x) = v and wit(w) < v;
+create rule watch_tagged() as
+    when for each item i
+    where tagged(i) = 1 and stock(i) < 10
+    do order(i, stock(i));
+`)
+	if err != nil {
+		return nil, err
+	}
+	ci := &countingInv{Inventory: inv, K: w}
+	cat, st := inv.Sess.Catalog(), inv.Sess.Store()
+	for i := 0; i < n; i++ {
+		oid, err := cat.NewObject("item")
+		if err != nil {
+			return nil, err
+		}
+		item := types.Obj(oid)
+		inv.Items = append(inv.Items, item)
+		st.Insert("type:item", types.Tuple{item})
+		for rel, v := range map[string]int64{"stock": 5000, "alive": 1} {
+			if _, err := st.Set(rel, []types.Value{item}, []types.Value{types.Int(v)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for j := 0; j < w; j++ {
+		oid, err := cat.NewObject("witness")
+		if err != nil {
+			return nil, err
+		}
+		wt := types.Obj(oid)
+		ci.Wits = append(ci.Wits, wt)
+		st.Insert("type:witness", types.Tuple{wt})
+		v := int64(5)
+		if j == 0 {
+			v = 0 // the sole witness below every alive(x)=1 bound
+		}
+		if _, err := st.Set("wit", []types.Value{wt}, []types.Value{types.Int(v)}); err != nil {
+			return nil, err
+		}
+	}
+	inv.Sess.SetCounting(counting)
+	inv.Sess.SetHybrid(hybrid)
+	if _, err := inv.Sess.Exec("activate watch_tagged();"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+// warmupInventory pays the one-time lazy count reseeds of both
+// differenced views (threshold via a supplies delete/restore, the
+// condition via a below/above threshold quantity swing) and fires the
+// rule once so the twin-equivalence gate covers firings.
+func (ci *countingInv) warmupInventory() error {
+	st := ci.Sess.Store()
+	steps := []func() error{
+		func() error {
+			_, err := st.Delete("supplies", types.Tuple{ci.Sups[0][1], ci.Items[0]})
+			return err
+		},
+		func() error {
+			_, err := st.Insert("supplies", types.Tuple{ci.Sups[0][1], ci.Items[0]})
+			return err
+		},
+		func() error { return ci.SetQuantity(0, 100) },
+		func() error { return ci.SetQuantity(0, 5000) },
+	}
+	for _, s := range steps {
+		if err := ci.Txn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warmupWitness is the deleteheavy analogue: a witness delete/restore
+// cycle reseeds tagged's counts, a stock swing reseeds the condition's
+// and fires the rule once.
+func (ci *countingInv) warmupWitness() error {
+	st := ci.Sess.Store()
+	steps := []func() error{
+		func() error {
+			_, err := st.Set("wit", []types.Value{ci.Wits[0]}, []types.Value{types.Int(5)})
+			return err
+		},
+		func() error {
+			_, err := st.Set("wit", []types.Value{ci.Wits[0]}, []types.Value{types.Int(0)})
+			return err
+		},
+		func() error {
+			_, err := st.Set("stock", []types.Value{ci.Items[0]}, []types.Value{types.Int(5)})
+			return err
+		},
+		func() error {
+			_, err := st.Set("stock", []types.Value{ci.Items[0]}, []types.Value{types.Int(5000)})
+			return err
+		},
+	}
+	for _, s := range steps {
+		if err := ci.Txn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunDeleteTxns runs txns small transactions: pair t deletes item
+// (t/2)%N's duplicate supplier derivation, the next restores it.
+func (ci *countingInv) RunDeleteTxns(txns int) error {
+	st := ci.Sess.Store()
+	for t := 0; t < txns; t++ {
+		i := (t / 2) % ci.N
+		sup := ci.Sups[i][1]
+		del := t%2 == 0
+		err := ci.Txn(func() error {
+			if del {
+				_, err := st.Delete("supplies", types.Tuple{sup, ci.Items[i]})
+				return err
+			}
+			_, err := st.Insert("supplies", types.Tuple{sup, ci.Items[i]})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMassDeleteTxns runs rounds massive transactions alternating
+// delete-all / restore-all of every item's duplicate supplier — the
+// fig. 7 shape with deletion waves.
+func (ci *countingInv) RunMassDeleteTxns(rounds int) error {
+	st := ci.Sess.Store()
+	for r := 0; r < rounds; r++ {
+		del := r%2 == 0
+		err := ci.Txn(func() error {
+			for i, item := range ci.Items {
+				sup := ci.Sups[i][1]
+				if del {
+					if _, err := st.Delete("supplies", types.Tuple{sup, item}); err != nil {
+						return err
+					}
+				} else if _, err := st.Insert("supplies", types.Tuple{sup, item}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunWitnessTxns runs txns transactions alternating delete/restore of
+// the sole deriving witness: every delete retracts tagged(x) for all N
+// items, every restore re-derives them.
+func (ci *countingInv) RunWitnessTxns(txns int) error {
+	st := ci.Sess.Store()
+	for t := 0; t < txns; t++ {
+		v := int64(5) // above the bound: retracts tagged(x) for all x
+		if t%2 == 1 {
+			v = 0 // back below: re-derives them
+		}
+		err := ci.Txn(func() error {
+			_, err := st.Set("wit", []types.Value{ci.Wits[0]}, []types.Value{types.Int(v)})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// zeroEffect reads the cumulative zero-effect execution counter.
+func zeroEffect(inv *Inventory) int64 {
+	return inv.Sess.Observability().Registry.CounterValue("partdiff_propnet_zero_effect_total")
+}
+
+// countingWorkload is one twin-measured workload of RunCounting.
+type countingWorkload struct {
+	name   string
+	hybrid bool // hybrid chooser on the On twin (tinyextent)
+	build  func(n int, on bool) (*countingInv, error)
+	warmup func(ci *countingInv) error // nil: measure cold
+	txns   func(txns int) int
+	run    func(ci *countingInv, txns int) error
+}
+
+func countingWorkloads(txns int) []countingWorkload {
+	return []countingWorkload{
+		{name: "fig6del",
+			build:  func(n int, on bool) (*countingInv, error) { return countingInventory(n, 6, on, false) },
+			warmup: (*countingInv).warmupInventory,
+			txns:   func(int) int { return txns },
+			run:    (*countingInv).RunDeleteTxns},
+		{name: "fig7del",
+			build:  func(n int, on bool) (*countingInv, error) { return countingInventory(n, 6, on, false) },
+			warmup: (*countingInv).warmupInventory,
+			txns:   func(int) int { return 6 },
+			run:    (*countingInv).RunMassDeleteTxns},
+		{name: "deleteheavy",
+			build:  func(n int, on bool) (*countingInv, error) { return witnessDB(n, 16, on, false) },
+			warmup: (*countingInv).warmupWitness,
+			txns:   func(int) int { return txns },
+			run:    (*countingInv).RunWitnessTxns},
+		{name: "tinyextent", hybrid: true,
+			// Counting stays off on both twins: the A/B isolates the
+			// chooser, whose recompute decision is what's under test.
+			// The condition is flat (fully expanded, the paper's fig. 7
+			// configuration): one view over three updated influents, so
+			// one recompute per wave replaces six seeded differentials.
+			build: func(n int, on bool) (*countingInv, error) {
+				inv, err := NewInventory(Config{N: n, Mode: rules.Incremental})
+				if err != nil {
+					return nil, err
+				}
+				inv.Sess.SetHybrid(on)
+				if _, err := inv.Sess.Exec("activate monitor_items();"); err != nil {
+					return nil, err
+				}
+				return &countingInv{Inventory: inv, K: 1}, nil
+			},
+			txns: func(int) int { return 8 },
+			run: func(ci *countingInv, t int) error {
+				for r := 0; r < t; r++ {
+					if err := ci.RunFig7Transaction(int64(r)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+	}
+}
+
+// RunCounting measures every counting workload at every database size.
+// It fails if the twins observably diverge, if counting does not reduce
+// zero-effect executions on the duplicate-support delete workloads, if
+// it does not beat the probe-based baseline by ≥2x scanned tuples on
+// deleteheavy, or if the hybrid twin of the chooser workload never
+// switches to recompute — the A/B must never be vacuous.
+func RunCounting(sizes []int, txns int) ([]CountingRow, error) {
+	out := make([]CountingRow, 0, len(sizes)*4)
+	for _, n := range sizes {
+		for _, w := range countingWorkloads(txns) {
+			wt := w.txns(txns)
+			row := CountingRow{Workload: w.name, DBSize: n, Txns: wt}
+			var snaps []map[string][]types.Tuple
+			var orders []int
+			for _, on := range []bool{false, true} {
+				ci, err := w.build(n, on)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", w.name, err)
+				}
+				if w.warmup != nil {
+					if err := w.warmup(ci); err != nil {
+						return nil, fmt.Errorf("%s warmup: %w", w.name, err)
+					}
+				}
+				before := ci.Telemetry()
+				zero0 := zeroEffect(ci.Inventory)
+				start := time.Now()
+				if err := w.run(ci, wt); err != nil {
+					return nil, fmt.Errorf("%s: %w", w.name, err)
+				}
+				ns := time.Since(start).Nanoseconds()
+				tel := ci.Telemetry().Sub(before)
+				zero := zeroEffect(ci.Inventory) - zero0
+				if on {
+					row.OnNs, row.OnTel, row.OnZero = ns, tel, zero
+					row.Switches = ci.Sess.Rules().Maintainer().Switches()
+					if w.hybrid {
+						if row.Switches == 0 {
+							return nil, fmt.Errorf("%s/items=%d: hybrid twin never switched strategy; the chooser demonstration is vacuous", w.name, n)
+						}
+						recomp := false
+						for _, d := range ci.Sess.Rules().Maintainer().Decisions() {
+							if d.Strategy == maint.Recompute {
+								recomp = true
+								break
+							}
+						}
+						if !recomp {
+							return nil, fmt.Errorf("%s/items=%d: hybrid twin never chose recompute on a tiny-extent workload", w.name, n)
+						}
+					}
+				} else {
+					row.OffNs, row.OffTel, row.OffZero = ns, tel, zero
+				}
+				snaps = append(snaps, ci.Sess.Store().Snapshot())
+				orders = append(orders, ci.Orders)
+			}
+			if orders[0] != orders[1] {
+				return nil, fmt.Errorf("%s/items=%d: firings diverged: off=%d on=%d", w.name, n, orders[0], orders[1])
+			}
+			row.Orders = orders[0]
+			if !reflect.DeepEqual(snaps[0], snaps[1]) {
+				return nil, fmt.Errorf("%s/items=%d: final states diverged between counting and standard twins", w.name, n)
+			}
+			if w.warmup != nil && row.Orders == 0 {
+				return nil, fmt.Errorf("%s/items=%d: no rule firings; the equivalence gate is vacuous", w.name, n)
+			}
+			if w.name == "fig6del" || w.name == "fig7del" {
+				if row.OnZero >= row.OffZero {
+					return nil, fmt.Errorf("%s/items=%d: counting did not reduce zero-effect executions (off=%d on=%d)",
+						w.name, n, row.OffZero, row.OnZero)
+				}
+			}
+			if w.name == "deleteheavy" && row.OnTel.TuplesScanned*2 > row.OffTel.TuplesScanned {
+				return nil, fmt.Errorf("deleteheavy/items=%d: counting under 2x on scanned tuples (off=%d on=%d)",
+					n, row.OffTel.TuplesScanned, row.OnTel.TuplesScanned)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -48,11 +48,19 @@ type Differential struct {
 	// from (for explainability, §1).
 	Disjunct   int
 	Occurrence int
+	// Counting marks a triangle-form differential produced by
+	// GenerateCounting: evaluated under bag semantics its results are
+	// exact signed derivation-count deltas, not an over-approximation.
+	Counting bool
 }
 
 // Name renders the paper's notation, e.g.
-// "Δcnd_monitor_items/Δ+quantity".
+// "Δcnd_monitor_items/Δ+quantity". Counting differentials carry a "#"
+// marker so profiler entries never collide with the standard form.
 func (d Differential) Name() string {
+	if d.Counting {
+		return fmt.Sprintf("Δ#%s/%s%s", d.View, d.TriggerSign, d.Influent)
+	}
 	return fmt.Sprintf("Δ%s/%s%s", d.View, d.TriggerSign, d.Influent)
 }
 
@@ -225,6 +233,84 @@ func makeDifferential(view string, c objectlog.Clause, disjunct, idx int,
 		Clause:      cc,
 		Disjunct:    disjunct,
 		Occurrence:  idx,
+	}
+}
+
+// GenerateCounting compiles the triangle-form (exact) differentials of
+// a derived predicate definition, used by counting maintenance. Where
+// Generate evaluates the non-occurrence literals uniformly (all NEW on
+// the plus side, all OLD on the minus side) — an over-approximation
+// that can claim the same derivation from two occurrences — the
+// triangle form evaluates literals BEFORE occurrence i in the NEW
+// state and literals AFTER it in the OLD state. Summed over all
+// occurrences with their signs, the results telescope:
+//
+//	P_new − P_old = Σ_i  (new₁…new_{i-1}, ΔXᵢ, old_{i+1}…old_k)
+//
+// an identity over signed multisets (Z-relations) because every body
+// literal is set-valued here (base relations and deduplicated derived
+// sub-queries; a negated literal is the 0/1 factor 1−X, whose delta is
+// −ΔX — the usual sign crossing with multiplicity one). Evaluated
+// under bag semantics (eval.EvalClauseBag) each produced head tuple is
+// one derivation gained (EffectSign Δ+) or lost (Δ−), so folding the
+// results into a per-tuple support count maintains the exact
+// derivation count of every view tuple.
+func GenerateCounting(def *objectlog.Def) ([]Differential, error) {
+	if def.Aggregate != "" {
+		return nil, fmt.Errorf("definition of %s is an aggregate view; aggregates are monitored by re-evaluation, not counting differentials", def.Name)
+	}
+	var out []Differential
+	for ci, c := range def.Clauses {
+		if err := objectlog.CheckSafe(c); err != nil {
+			return nil, fmt.Errorf("definition of %s: %w", def.Name, err)
+		}
+		for li, l := range c.Body {
+			if objectlog.IsBuiltin(l.Pred) {
+				continue
+			}
+			if l.Delta != objectlog.DeltaNone || l.Old {
+				return nil, fmt.Errorf("[%s] definition of %s contains annotated literal %s; differentials must be generated from plain clauses", objectlog.CodeAnnotatedLiteral, def.Name, l)
+			}
+			if !l.Negated {
+				out = append(out,
+					makeCounting(def.Name, c, ci, li, objectlog.DeltaPlus, objectlog.DeltaPlus),
+					makeCounting(def.Name, c, ci, li, objectlog.DeltaMinus, objectlog.DeltaMinus))
+			} else {
+				// Sign crossing: Δ(1−X) = −ΔX, multiplicity one.
+				out = append(out,
+					makeCounting(def.Name, c, ci, li, objectlog.DeltaMinus, objectlog.DeltaPlus),
+					makeCounting(def.Name, c, ci, li, objectlog.DeltaPlus, objectlog.DeltaMinus))
+			}
+		}
+	}
+	return out, nil
+}
+
+// makeCounting builds one triangle-form differential: occurrence idx
+// becomes a positive Δ-literal, literals before it stay in the new
+// state, literals after it are marked old. Builtins are rigid (state-
+// independent), so marking them old is harmless.
+func makeCounting(view string, c objectlog.Clause, disjunct, idx int,
+	trigger, effect objectlog.DeltaKind) Differential {
+
+	cc := c.Clone()
+	occ := cc.Body[idx]
+	occ.Negated = false // Δ-sets are consulted positively
+	occ.Delta = trigger
+	occ.Old = false
+	cc.Body[idx] = occ
+	for i := idx + 1; i < len(cc.Body); i++ {
+		cc.Body[i] = cc.Body[i].WithOld()
+	}
+	return Differential{
+		View:        view,
+		Influent:    c.Body[idx].Pred,
+		TriggerSign: trigger,
+		EffectSign:  effect,
+		Clause:      cc,
+		Disjunct:    disjunct,
+		Occurrence:  idx,
+		Counting:    true,
 	}
 }
 

@@ -126,6 +126,72 @@ func (e *Evaluator) EvalClauseSeeded(c objectlog.Clause, seed map[string]types.V
 	})
 }
 
+// EvalClauseBag evaluates the clause under bag semantics: emit is
+// called once per complete body solution (derivation) with the
+// projected head tuple, without deduplication. Derived sub-literals
+// still deduplicate internally (evalDerived's set semantics below the
+// top level), so over a stratified program the number of emissions of
+// a head tuple t is exactly t's derivation count under this clause —
+// the quantity counting maintenance tracks.
+func (e *Evaluator) EvalClauseBag(c objectlog.Clause, seed map[string]types.Value, emit func(types.Tuple) error) error {
+	e.met.Clauses.Inc()
+	b := newBindings()
+	for v, val := range seed {
+		b.bind(v, val)
+	}
+	return e.evalBody(c.Body, b, 0, func() error {
+		t := make(types.Tuple, len(c.Head.Args))
+		for i, a := range c.Head.Args {
+			v, ok := b.value(a)
+			if !ok {
+				return &objectlog.SafetyError{Var: a.Var, Where: "head", Clause: c.String()}
+			}
+			t[i] = v
+		}
+		return emit(t)
+	})
+}
+
+// EvalDefBag enumerates the bag extent of a non-aggregate derived
+// definition: every derivation of every clause, one emit per derivation
+// (clauses are summed, not deduplicated — the bag union counting
+// maintenance seeds from). With old set the definition is evaluated in
+// the rolled-back state (rollback is compositional, like EvalPred).
+func (e *Evaluator) EvalDefBag(def *objectlog.Def, old bool, emit func(types.Tuple) error) error {
+	if def.Aggregate != "" {
+		return fmt.Errorf("definition of %s is an aggregate view; it has no bag extent", def.Name)
+	}
+	for _, c := range def.Clauses {
+		cc := c
+		if old {
+			cc = oldClause(c)
+		}
+		if err := e.EvalClauseBag(cc, nil, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtentEstimate estimates a predicate's extent cardinality without
+// evaluating it: the observed EWMA cardinality when the adaptive-stats
+// table has seen a full enumeration, the structural derivedPrior
+// otherwise, and the live source length for base relations. The hybrid
+// propagation chooser uses it as the cold-start proxy for the cost of a
+// full recomputation.
+func (e *Evaluator) ExtentEstimate(pred string) int {
+	if e.env.Program().IsDerived(pred) {
+		if c, ok := e.stats.PredCard(pred); ok {
+			return c
+		}
+		return e.derivedPrior(pred)
+	}
+	if src, err := e.env.Source(pred, objectlog.DeltaNone, false); err == nil {
+		return src.Len()
+	}
+	return 10000
+}
+
 // EvalPred computes the full extent of a predicate (base or derived)
 // in the new or old state — naive evaluation.
 func (e *Evaluator) EvalPred(pred string, old bool) (*types.Set, error) {

@@ -1,0 +1,581 @@
+// Package maint is the dynamic maintenance subsystem: the runtime
+// counterpart of the static differential pruning in internal/analyze.
+// It bundles two cooperating pieces the propagation network consults
+// during every wave:
+//
+//   - Counting maintenance: a per-derived-tuple derivation-count
+//     sidecar (a compact multiset keyed by types.Tuple.Key, like the
+//     MVCC version sidecar in internal/storage). The network executes
+//     triangle-form differentials (diff.GenerateCounting) under bag
+//     semantics and folds the signed per-derivation deltas through the
+//     count store; only 0↔positive support transitions surface as node
+//     Δ-changes. A deletion that removes one of several derivations
+//     decrements support and emits nothing — no recomputation of the
+//     defining condition and no §7.2 membership probe are needed,
+//     because the maintained counts make the node's Δ exact by
+//     construction.
+//
+//   - A cost-based strategy chooser (the paper's §8 Hybrid mode made
+//     real): per view and per propagation wave it decides between
+//     incremental partial-differencing propagation and naive full
+//     recomputation of the view (old vs new state diff), from observed
+//     per-view cost EWMAs (tuples scanned per seed tuple incrementally,
+//     tuples scanned per recomputation) seeded by the adaptive-stats
+//     extent estimate, with hysteresis so the choice doesn't flap.
+//
+// Counts are transactional: every mutation is journaled (first touch
+// per transaction) and rolled back exactly on abort. Crash recovery
+// needs no count persistence at all — the invariant "counts equal the
+// bag evaluation of the current state" makes a lazy reseed after
+// recovery (or after any strategy switch that left them stale) produce
+// exactly the counts an uninterrupted history would have.
+package maint
+
+import (
+	"fmt"
+	"sync"
+
+	"partdiff/internal/delta"
+	"partdiff/internal/obs"
+	"partdiff/internal/types"
+)
+
+// Strategy is the per-view, per-wave propagation choice.
+type Strategy uint8
+
+// The strategies.
+const (
+	// Incremental propagates partial differentials (with counting when
+	// enabled) — the paper's scheme.
+	Incremental Strategy = iota
+	// Recompute derives the view's Δ by evaluating it in the old and
+	// new states and diffing — the naive method, which wins for tiny
+	// extents under massive updates.
+	Recompute
+)
+
+// String names the strategy as shown in reports.
+func (s Strategy) String() string {
+	if s == Recompute {
+		return "recomp"
+	}
+	return "incr"
+}
+
+// Config controls the maintainer.
+type Config struct {
+	// Counting enables derivation-count maintenance for differenced
+	// views.
+	Counting bool
+	// Hybrid enables the cost-based per-wave strategy chooser; off, every
+	// differenced view always propagates incrementally.
+	Hybrid bool
+	// HysteresisRuns is how many consecutive waves must favor the
+	// alternative strategy before the chooser flips (default 2; the
+	// first decision for a view is taken cold, without hysteresis).
+	HysteresisRuns int
+	// HysteresisFactor is the cost advantage the alternative must show,
+	// as a multiplier, to count as favoring a flip (default 2).
+	HysteresisFactor float64
+}
+
+// DefaultConfig enables counting and hybrid with default hysteresis.
+func DefaultConfig() Config {
+	return Config{Counting: true, Hybrid: true, HysteresisRuns: 2, HysteresisFactor: 2}
+}
+
+// BagDelta is one tuple's signed derivation-count change accumulated
+// over a wave's triangle-differential executions.
+type BagDelta struct {
+	Tuple types.Tuple
+	N     int64
+}
+
+// centry is one counted tuple: the tuple and its derivation count.
+type centry struct {
+	tuple types.Tuple
+	n     int64
+}
+
+// viewState is the maintainer's per-view record: the count store and
+// the chooser's cost memory. Chooser state survives count reseeds and
+// network rebuilds (it is workload history, not derived data).
+type viewState struct {
+	name  string
+	canon string // canonical definition fingerprint at registration
+
+	counts map[string]centry
+	seeded bool // counts reflect some consistent state
+	dirty  bool // counts are stale (a recompute wave bypassed them)
+
+	// Chooser state.
+	decided     bool
+	cur         Strategy
+	pending     Strategy
+	pendingRuns int
+
+	// Cost EWMAs (α as in eval.Stats): tuples scanned per seed tuple on
+	// incremental waves, tuples scanned per full recomputation.
+	incrPerSeed float64
+	incrSeen    bool
+	recompScan  float64
+	recompSeen  bool
+}
+
+// ewmaAlpha matches eval.Stats: recent waves dominate without one
+// anomalous wave wiping the history.
+const ewmaAlpha = 0.3
+
+func ewma(old, observed float64, seen bool) float64 {
+	if !seen {
+		return observed
+	}
+	return old + ewmaAlpha*(observed-old)
+}
+
+// Cold-start cost constants: with no observations yet, an incremental
+// wave is assumed to scan defaultIncrPerSeed tuples per seed tuple and
+// a recomputation recompFactor tuples per estimated extent tuple.
+const (
+	defaultIncrPerSeed = 16
+	recompFactor       = 4
+)
+
+// undoKind discriminates journal entries.
+type undoKind uint8
+
+const (
+	undoCount undoKind = iota // one tuple's count (first touch per txn)
+	undoState                 // whole count store (reseed / registration)
+	undoDirty                 // the dirty flag alone (MarkDirty)
+)
+
+// undoEntry restores one piece of maintainer state on rollback. Entries
+// are replayed in reverse journal order.
+type undoEntry struct {
+	kind undoKind
+	vs   *viewState
+
+	key     string // undoCount
+	old     centry
+	present bool
+
+	oldCounts map[string]centry // undoState
+	oldSeeded bool
+	oldDirty  bool
+}
+
+// Decision is one journaled chooser decision.
+type Decision struct {
+	Seq        uint64
+	View       string
+	Strategy   Strategy
+	Switched   bool
+	SeedTotal  int
+	IncrCost   float64
+	RecompCost float64
+}
+
+// decisionRing bounds the decision journal.
+const decisionRing = 128
+
+// Maintainer owns the count stores and the strategy chooser for one
+// rules manager. It outlives propagation-network rebuilds (the manager
+// passes the same maintainer to every rebuilt network), so counts and
+// cost history survive definition changes that don't touch a view.
+//
+// All methods are nil-safe where the propagation hot path calls them,
+// and internally locked: invariant checks and reports may run from a
+// monitoring goroutine while a check phase is propagating.
+type Maintainer struct {
+	cfg Config
+	met *Metrics
+	bus *obs.Bus
+
+	mu    sync.Mutex
+	views map[string]*viewState
+
+	// undo is the transaction journal; touched/stateTouched implement
+	// first-touch-per-transaction semantics.
+	undo         []undoEntry
+	touched      map[*viewState]map[string]bool
+	stateTouched map[*viewState]bool
+
+	decSeq    uint64
+	decisions []Decision // ring, most recent last
+	switches  uint64
+}
+
+// New returns a maintainer with the given configuration (zero
+// hysteresis fields are defaulted).
+func New(cfg Config) *Maintainer {
+	if cfg.HysteresisRuns <= 0 {
+		cfg.HysteresisRuns = 2
+	}
+	if cfg.HysteresisFactor <= 1 {
+		cfg.HysteresisFactor = 2
+	}
+	return &Maintainer{
+		cfg:   cfg,
+		met:   &Metrics{},
+		views: map[string]*viewState{},
+	}
+}
+
+// Counting reports whether derivation-count maintenance is enabled.
+func (m *Maintainer) Counting() bool { return m != nil && m.cfg.Counting }
+
+// Hybrid reports whether the cost-based strategy chooser is enabled.
+func (m *Maintainer) Hybrid() bool { return m != nil && m.cfg.Hybrid }
+
+// SetCounting toggles derivation-count maintenance. Turning it on
+// invalidates every view's counts (journaled): while it was off the
+// network propagated without maintaining them, so whatever they say is
+// stale — each view reseeds lazily on its next counted wave.
+func (m *Maintainer) SetCounting(on bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.Counting == on {
+		return
+	}
+	m.cfg.Counting = on
+	if on {
+		for _, vs := range m.views {
+			if vs.seeded {
+				m.recordStateUndo(vs)
+				vs.seeded = false
+			}
+		}
+	}
+}
+
+// SetHybrid toggles the cost-based strategy chooser. Turning it off
+// resets every view's decision back to incremental (the only strategy
+// the scheduler will use); cost EWMAs are kept, so a later re-enable
+// starts warm.
+func (m *Maintainer) SetHybrid(on bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.Hybrid == on {
+		return
+	}
+	m.cfg.Hybrid = on
+	if !on {
+		for _, vs := range m.views {
+			vs.decided = false
+			vs.cur = Incremental
+			vs.pendingRuns = 0
+		}
+	}
+}
+
+// SetMetrics installs the registry-backed meter set (nil restores the
+// disabled default).
+func (m *Maintainer) SetMetrics(met *Metrics) {
+	if met == nil {
+		met = &Metrics{}
+	}
+	m.met = met
+}
+
+// SetBus installs the event bus strategy-switch system events are
+// published on (nil disables).
+func (m *Maintainer) SetBus(b *obs.Bus) { m.bus = b }
+
+// Register (re)declares a counted view. When the canonical definition
+// matches the registration the counts were built under, they are kept;
+// a changed definition drops them (journaled — a mid-transaction
+// redefinition that rolls back gets its counts back), so the next wave
+// reseeds against the new definition. Chooser state is always kept.
+func (m *Maintainer) Register(view, canon string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	if !ok {
+		m.views[view] = &viewState{name: view, canon: canon}
+		return
+	}
+	if vs.canon == canon {
+		return
+	}
+	m.recordStateUndo(vs)
+	vs.canon = canon
+	vs.counts = nil
+	vs.seeded = false
+	vs.dirty = false
+}
+
+// NeedsReseed reports whether the view's counts must be rebuilt before
+// the next Apply (never seeded, dropped at registration, or marked
+// stale by a recompute wave).
+func (m *Maintainer) NeedsReseed(view string) bool {
+	if m == nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	return ok && (!vs.seeded || vs.dirty)
+}
+
+// Reseed rebuilds the view's counts from scratch: enumerate must yield
+// the view's bag extent (one emit per derivation) in the state the
+// counts should reflect — the propagation network passes the OLD state
+// of the current change window, so applying the window's deltas on top
+// lands on the new state. The replaced store is journaled whole (one
+// pointer swap), so an abort restores the previous counts and flags.
+func (m *Maintainer) Reseed(view string, enumerate func(emit func(types.Tuple) error) error) error {
+	if m == nil {
+		return fmt.Errorf("maint: no maintainer")
+	}
+	counts := map[string]centry{}
+	if err := enumerate(func(t types.Tuple) error {
+		k := t.Key()
+		e := counts[k]
+		counts[k] = centry{tuple: t, n: e.n + 1}
+		return nil
+	}); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	if !ok {
+		return fmt.Errorf("maint: view %q not registered", view)
+	}
+	m.recordStateUndo(vs)
+	vs.counts = counts
+	vs.seeded = true
+	vs.dirty = false
+	m.met.Reseeds.Inc()
+	m.met.CountedTuples.Set(m.countedTuplesLocked())
+	return nil
+}
+
+// MarkDirty flags the view's counts as stale — a recompute wave derived
+// the node's Δ without going through them. Cheap and journaled; the
+// counts themselves are kept in case the transaction aborts.
+func (m *Maintainer) MarkDirty(view string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	if !ok || vs.dirty || !vs.seeded {
+		return
+	}
+	if !m.stateTouched[vs] {
+		m.undo = append(m.undo, undoEntry{kind: undoDirty, vs: vs, oldDirty: vs.dirty})
+		m.markStateTouched(vs)
+	}
+	vs.dirty = true
+}
+
+// Apply folds one wave's signed derivation-count deltas into the
+// view's count store and returns the exact node Δ: a tuple whose
+// support crossed 0→positive is a net insertion, positive→0 a net
+// deletion, every other change is support-only and emits nothing. A
+// support underflow means the triangle differentials and the store
+// disagree — a bug, surfaced as an error so the transaction rolls back
+// rather than silently corrupting the monitor.
+func (m *Maintainer) Apply(view string, bag map[string]*BagDelta) (*delta.Set, error) {
+	if m == nil {
+		return nil, fmt.Errorf("maint: no maintainer")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	if !ok {
+		return nil, fmt.Errorf("maint: view %q not registered", view)
+	}
+	if !vs.seeded || vs.dirty {
+		return nil, fmt.Errorf("maint: counts of %q not seeded", view)
+	}
+	out := delta.New()
+	var applied, retracted int64
+	for key, bd := range bag {
+		if bd.N == 0 {
+			continue
+		}
+		old, present := vs.counts[key]
+		n := old.n + bd.N
+		if n < 0 {
+			return nil, fmt.Errorf("maint: support of %s%s would drop to %d (counts out of sync)", view, bd.Tuple, n)
+		}
+		m.recordCountUndo(vs, key, old, present)
+		if n == 0 {
+			delete(vs.counts, key)
+		} else {
+			vs.counts[key] = centry{tuple: bd.Tuple, n: n}
+		}
+		applied++
+		switch {
+		case old.n == 0 && n > 0:
+			out.Insert(bd.Tuple)
+		case old.n > 0 && n == 0:
+			out.Delete(bd.Tuple)
+			retracted++
+		}
+	}
+	m.met.Applied.Add(applied)
+	m.met.Retractions.Add(retracted)
+	m.met.CountedTuples.Set(m.countedTuplesLocked())
+	return out, nil
+}
+
+// Support returns a tuple's current derivation count (0 when untracked)
+// and whether the view has seeded, clean counts at all.
+func (m *Maintainer) Support(view string, t types.Tuple) (int64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs, ok := m.views[view]
+	if !ok || !vs.seeded || vs.dirty {
+		return 0, false
+	}
+	return vs.counts[t.Key()].n, true
+}
+
+// VerifyCounts checks the counting invariant for one view: the
+// maintained counts must equal a fresh bag enumeration of the current
+// state. Views that are unseeded or dirty are vacuously consistent
+// (they reseed before their next use). enumerate yields the view's
+// current-state bag extent.
+func (m *Maintainer) VerifyCounts(view string, enumerate func(emit func(types.Tuple) error) error) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	vs, ok := m.views[view]
+	if !ok || !vs.seeded || vs.dirty {
+		m.mu.Unlock()
+		return nil
+	}
+	have := make(map[string]centry, len(vs.counts))
+	for k, e := range vs.counts {
+		have[k] = e
+	}
+	m.mu.Unlock()
+	fresh := map[string]int64{}
+	if err := enumerate(func(t types.Tuple) error {
+		fresh[t.Key()]++
+		return nil
+	}); err != nil {
+		return err
+	}
+	for k, n := range fresh {
+		if have[k].n != n {
+			return fmt.Errorf("maint: %s support of %q is %d, fresh evaluation derives it %d time(s)", view, k, have[k].n, n)
+		}
+	}
+	for k, e := range have {
+		if fresh[k] == 0 {
+			return fmt.Errorf("maint: %s carries support %d for %s, which is no longer derivable", view, e.n, e.tuple)
+		}
+	}
+	return nil
+}
+
+// OnEnd closes the transaction journal: on commit the journal is simply
+// discarded (the counts already reflect the committed state); on abort
+// it is replayed in reverse, restoring every touched count, store and
+// flag to its pre-transaction value.
+func (m *Maintainer) OnEnd(committed bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !committed {
+		for i := len(m.undo) - 1; i >= 0; i-- {
+			u := m.undo[i]
+			switch u.kind {
+			case undoCount:
+				if u.present {
+					u.vs.counts[u.key] = u.old
+				} else {
+					delete(u.vs.counts, u.key)
+				}
+			case undoState:
+				u.vs.counts = u.oldCounts
+				u.vs.seeded = u.oldSeeded
+				u.vs.dirty = u.oldDirty
+			case undoDirty:
+				u.vs.dirty = u.oldDirty
+			}
+		}
+		m.met.Rollbacks.Inc()
+		m.met.CountedTuples.Set(m.countedTuplesLocked())
+	}
+	m.undo = nil
+	m.touched = nil
+	m.stateTouched = nil
+}
+
+// recordCountUndo journals one tuple's pre-image, first touch per
+// transaction. A whole-store undo recorded earlier in the same
+// transaction subsumes later key entries only for the replaced map;
+// key undos always refer to the live map, and reverse-order replay
+// keeps the two consistent. Caller holds m.mu.
+func (m *Maintainer) recordCountUndo(vs *viewState, key string, old centry, present bool) {
+	if m.touched == nil {
+		m.touched = map[*viewState]map[string]bool{}
+	}
+	tk := m.touched[vs]
+	if tk == nil {
+		tk = map[string]bool{}
+		m.touched[vs] = tk
+	}
+	if tk[key] {
+		return
+	}
+	tk[key] = true
+	m.undo = append(m.undo, undoEntry{kind: undoCount, vs: vs, key: key, old: old, present: present})
+}
+
+// recordStateUndo journals the whole count store (pointer swap), first
+// touch per transaction. Caller holds m.mu.
+func (m *Maintainer) recordStateUndo(vs *viewState) {
+	if m.stateTouched[vs] {
+		return
+	}
+	m.markStateTouched(vs)
+	m.undo = append(m.undo, undoEntry{
+		kind: undoState, vs: vs,
+		oldCounts: vs.counts, oldSeeded: vs.seeded, oldDirty: vs.dirty,
+	})
+	// The store is about to be replaced wholesale: per-key touch marks
+	// for the old map no longer apply to the new one.
+	if m.touched != nil {
+		delete(m.touched, vs)
+	}
+}
+
+func (m *Maintainer) markStateTouched(vs *viewState) {
+	if m.stateTouched == nil {
+		m.stateTouched = map[*viewState]bool{}
+	}
+	m.stateTouched[vs] = true
+}
+
+// countedTuplesLocked sums the live count-store sizes. Caller holds
+// m.mu.
+func (m *Maintainer) countedTuplesLocked() int64 {
+	var n int64
+	for _, vs := range m.views {
+		n += int64(len(vs.counts))
+	}
+	return n
+}

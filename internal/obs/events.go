@@ -206,6 +206,15 @@ type Bus struct {
 	subs   []*Subscription
 	staged []Event
 
+	// typeHist records each published event's type as a compact code,
+	// indexed by (ID-1) mod len, over a window several times longer than
+	// the event ring. A filtered resume consults it to count only
+	// filter-matching missed events once the events themselves have been
+	// evicted — a narrow subscription is not told it missed events its
+	// filter would have excluded anyway. Beyond the history window the
+	// count falls back to conservative (every evicted ID counts).
+	typeHist []uint8
+
 	published   *CounterVec
 	dropped     *Counter
 	discarded   *Counter
@@ -220,7 +229,41 @@ func NewBus(ringSize int) *Bus {
 	if ringSize <= 0 {
 		ringSize = DefaultRingSize
 	}
-	return &Bus{ring: make([]Event, ringSize)}
+	return &Bus{
+		ring:     make([]Event, ringSize),
+		typeHist: make([]uint8, 8*ringSize),
+	}
+}
+
+// typeCode maps a publishable event type to its type-history code
+// (0 = unknown, which resume counting treats conservatively).
+func typeCode(t EventType) uint8 {
+	switch t {
+	case EventRuleFiring:
+		return 1
+	case EventDelta:
+		return 2
+	case EventTxn:
+		return 3
+	case EventSystem:
+		return 4
+	}
+	return 0
+}
+
+// codeType is the inverse of typeCode ("" for unknown).
+func codeType(c uint8) EventType {
+	switch c {
+	case 1:
+		return EventRuleFiring
+	case 2:
+		return EventDelta
+	case 3:
+		return EventTxn
+	case 4:
+		return EventSystem
+	}
+	return ""
 }
 
 // bindMetrics registers the bus meters in r. Nil-safe on both sides.
@@ -295,10 +338,20 @@ func (b *Bus) publishLocked(e Event) uint64 {
 		b.ring[(b.head+b.count)%len(b.ring)] = e
 		b.count++
 	}
+	b.typeHist[int((e.ID-1)%uint64(len(b.typeHist)))] = typeCode(e.Type)
 	var maxDepth, maxLag int64
 	for _, s := range b.subs {
 		if s.matches(e.Type) {
 			s.offer(e, b.dropped)
+		} else {
+			// A filtered-out event is not lag for this subscriber:
+			// advance its skip watermark so the lag gauge measures only
+			// deliverable events it is behind on. Without this, a narrow
+			// subscription on a chatty bus reports ever-growing lag (and
+			// previously, before filtering moved into the publish path,
+			// such events also consumed its ring slots and caused
+			// spurious gap accounting).
+			s.skip(e.ID)
 		}
 		d, seen := s.queued()
 		if d > maxDepth {
@@ -421,7 +474,7 @@ func (b *Bus) subscribe(buf int, types []EventType, lastID uint64, replay bool) 
 			oldest = b.seq + 1
 		}
 		if lastID+1 < oldest {
-			missed = oldest - lastID - 1
+			missed = b.countMissedLocked(lastID+1, oldest-1, s)
 			s.lost += missed
 			s.gapped += missed
 		}
@@ -436,6 +489,37 @@ func (b *Bus) subscribe(buf int, types []EventType, lastID uint64, replay bool) 
 	b.subscribers.Set(int64(len(b.subs)))
 	b.mu.Unlock()
 	return s, missed
+}
+
+// countMissedLocked counts the evicted event IDs in [from, to] that
+// subscriber s would actually have received: within the type-history
+// window only filter-matching types count; beyond it every ID counts
+// (conservative — better to report a possible gap than hide a real
+// one). Caller holds b.mu.
+func (b *Bus) countMissedLocked(from, to uint64, s *Subscription) uint64 {
+	if from > to {
+		return 0
+	}
+	if s.filter == nil {
+		return to - from + 1
+	}
+	var missed uint64
+	histLen := uint64(len(b.typeHist))
+	histOldest := uint64(1)
+	if b.seq > histLen {
+		histOldest = b.seq - histLen + 1
+	}
+	if from < histOldest {
+		missed += histOldest - from
+		from = histOldest
+	}
+	for id := from; id <= to; id++ {
+		c := b.typeHist[int((id-1)%histLen)]
+		if c == 0 || s.matches(codeType(c)) {
+			missed++
+		}
+	}
+	return missed
 }
 
 // remove detaches s from the bus subscriber list.
@@ -463,6 +547,7 @@ type Subscription struct {
 	head   int
 	count  int
 	seen   uint64 // highest event ID handed to the consumer
+	skipTo uint64 // highest event ID the filter excluded (not lag)
 	lost   uint64 // cumulative losses: drop-oldest evictions + resume ring misses
 	gapped uint64 // losses not yet surfaced as a gap event
 	closed bool
@@ -496,7 +581,20 @@ func (s *Subscription) offer(e Event, droppedMeter *Counter) {
 	}
 }
 
-// queued returns (buffered count, highest delivered-or-buffered ID).
+// skip records that the event with the given ID was excluded by the
+// subscriber's filter, so lag accounting does not count it as
+// undelivered. Called with the bus lock held.
+func (s *Subscription) skip(id uint64) {
+	s.mu.Lock()
+	if id > s.skipTo {
+		s.skipTo = id
+	}
+	s.mu.Unlock()
+}
+
+// queued returns (buffered count, highest delivered, buffered or
+// filter-skipped ID) — the second value is the subscriber's effective
+// position on the bus for lag purposes.
 func (s *Subscription) queued() (int64, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -505,6 +603,9 @@ func (s *Subscription) queued() (int64, uint64) {
 		if last := s.buf[(s.head+s.count-1)%len(s.buf)].ID; last > seen {
 			seen = last
 		}
+	}
+	if s.skipTo > seen {
+		seen = s.skipTo
 	}
 	return int64(s.count), seen
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestFilteredSubscriberNoSpuriousGap: events a subscriber's filter
+// excludes must not consume its ring slots — a narrow subscription on a
+// chatty bus sees neither drops nor synthetic gap events, no matter how
+// far the bus outruns its buffer.
+func TestFilteredSubscriberNoSpuriousGap(t *testing.T) {
+	b, _ := newTestBus(64)
+	sub := b.Subscribe(4, EventSystem) // buffer far smaller than the traffic
+	defer sub.Close()
+
+	for i := 0; i < 100; i++ {
+		b.Publish(Event{Type: EventTxn, Op: "commit"})
+	}
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"})
+
+	e, ok := sub.TryNext()
+	if !ok {
+		t.Fatal("matching event not delivered")
+	}
+	if e.Type == EventGap {
+		t.Fatalf("filtered-out traffic surfaced a spurious gap: %+v", e)
+	}
+	if e.Type != EventSystem || e.Op != "checkpoint" {
+		t.Fatalf("delivered %+v, want the system event", e)
+	}
+	if d := sub.Dropped(); d != 0 {
+		t.Errorf("Dropped = %d, want 0 (no matching event was lost)", d)
+	}
+	if _, ok := sub.TryNext(); ok {
+		t.Error("unexpected second delivery")
+	}
+}
+
+// TestFilteredSubscriberLagGauge: the lag gauge measures deliverable
+// events only. A filtered subscriber that has consumed everything its
+// filter admits reports zero lag even when the bus head is far ahead.
+func TestFilteredSubscriberLagGauge(t *testing.T) {
+	b, r := newTestBus(64)
+	sub := b.Subscribe(8, EventSystem)
+	defer sub.Close()
+
+	for i := 0; i < 50; i++ {
+		b.Publish(Event{Type: EventTxn, Op: "commit"})
+	}
+	if lag := r.Total("partdiff_events_lag"); lag != 0 {
+		t.Errorf("lag = %v with only filtered-out traffic, want 0", lag)
+	}
+
+	// Matching traffic lands in the buffer at publish time, so the
+	// subscriber's effective position tracks the bus head either way.
+	b.Publish(Event{Type: EventSystem, Op: "checkpoint"})
+	b.Publish(Event{Type: EventTxn, Op: "commit"})
+	if lag := r.Total("partdiff_events_lag"); lag != 0 {
+		t.Errorf("lag = %v after mixed traffic, want 0", lag)
+	}
+}
+
+// TestResumeMissedCountRespectsFilter: when a filtered subscriber
+// resumes past ring-evicted history, the missed count includes only
+// events its filter would have delivered — the type history remembers
+// what the evicted IDs were.
+func TestResumeMissedCountRespectsFilter(t *testing.T) {
+	b, _ := newTestBus(4)
+	// IDs 1..12: system events at 3, 6, 9, 12; txn elsewhere.
+	for i := 1; i <= 12; i++ {
+		typ := EventTxn
+		if i%3 == 0 {
+			typ = EventSystem
+		}
+		b.Publish(Event{Type: typ})
+	}
+	// Ring holds IDs 9..12; IDs 1..8 are evicted (system: 3 and 6).
+
+	sub, missed := b.SubscribeFrom(0, 16, EventSystem)
+	defer sub.Close()
+	if missed != 2 {
+		t.Errorf("missed = %d, want 2 (only the evicted system events count)", missed)
+	}
+	e, ok := sub.TryNext()
+	if !ok || e.Type != EventGap || e.Missed != 2 {
+		t.Fatalf("first delivery = %+v, %v; want gap with missed=2", e, ok)
+	}
+	var got []uint64
+	for {
+		e, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		if e.Type != EventSystem {
+			t.Errorf("filter leaked %+v", e)
+		}
+		got = append(got, e.ID)
+	}
+	if len(got) != 2 || got[0] != 9 || got[1] != 12 {
+		t.Errorf("replayed IDs = %v, want [9 12]", got)
+	}
+
+	// An unfiltered resume over the same history counts every evicted ID.
+	sub2, missed2 := b.SubscribeFrom(0, 16)
+	defer sub2.Close()
+	if missed2 != 8 {
+		t.Errorf("unfiltered missed = %d, want 8", missed2)
+	}
+}

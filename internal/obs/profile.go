@@ -259,10 +259,26 @@ func (p *Profiler) Snapshot() []ProfPoint {
 // key), a totals row, and a per-source zero-effect summary. resolve
 // maps a view node name to its attribution label (the rules layer maps
 // condition functions to their rule); nil uses the view name itself.
-// topK <= 0 means all rows.
-func (p *Profiler) WriteReport(w io.Writer, topK int, resolve func(view string) string) error {
+// strategy labels each view's current maintenance strategy ("count",
+// "incr", "recomp"); nil omits the column entirely, an empty label
+// renders as "-". topK <= 0 means all rows.
+func (p *Profiler) WriteReport(w io.Writer, topK int, resolve func(view string) string, strategy func(view string) string) error {
 	if resolve == nil {
 		resolve = func(v string) string { return v }
+	}
+	stratCol := func(view string) string {
+		if strategy == nil {
+			return ""
+		}
+		if s := strategy(view); s != "" {
+			return fmt.Sprintf(" %-8s", s)
+		}
+		return fmt.Sprintf(" %-8s", "-")
+	}
+	stratHead, stratBlank := "", ""
+	if strategy != nil {
+		stratHead = fmt.Sprintf(" %-8s", "strategy")
+		stratBlank = fmt.Sprintf(" %-8s", "")
 	}
 	snap := p.Snapshot()
 	var totExecs, totZero, totSeed, totProd, totScan, totTime int64
@@ -286,19 +302,19 @@ func (p *Profiler) WriteReport(w io.Writer, topK int, resolve func(view string) 
 	if topK > 0 && topK < len(shown) {
 		shown = shown[:topK]
 	}
-	fmt.Fprintf(&b, "%4s  %-22s %-34s %7s %6s %7s %7s %9s %10s\n",
-		"rank", "source", "differential", "execs", "zero", "Δin", "Δout", "scanned", "time")
+	fmt.Fprintf(&b, "%4s  %-22s %-34s%s %7s %6s %7s %7s %9s %10s\n",
+		"rank", "source", "differential", stratHead, "execs", "zero", "Δin", "Δout", "scanned", "time")
 	for i, pt := range shown {
-		fmt.Fprintf(&b, "%4d  %-22s %-34s %7d %6d %7d %7d %9d %10s\n",
-			i+1, resolve(pt.View), pt.Differential,
+		fmt.Fprintf(&b, "%4d  %-22s %-34s%s %7d %6d %7d %7d %9d %10s\n",
+			i+1, resolve(pt.View), pt.Differential, stratCol(pt.View),
 			pt.Execs, pt.ZeroEffect, pt.SeedTuples, pt.Produced, pt.Scanned,
 			fmtNs(pt.EstTimeNs(), pt.Timed))
 	}
 	if len(shown) < len(snap) {
 		fmt.Fprintf(&b, "      … %d more differential(s); \\profile report %d to widen\n", len(snap)-len(shown), len(snap))
 	}
-	fmt.Fprintf(&b, "%4s  %-22s %-34s %7d %6d %7d %7d %9d %10s\n",
-		"", "total", "", totExecs, totZero, totSeed, totProd, totScan, fmtNs(totTime, totExecs))
+	fmt.Fprintf(&b, "%4s  %-22s %-34s%s %7d %6d %7d %7d %9d %10s\n",
+		"", "total", "", stratBlank, totExecs, totZero, totSeed, totProd, totScan, fmtNs(totTime, totExecs))
 
 	// Zero-effect executions per source (per rule once resolved): the
 	// paper's wasted-work signal, aggregated where action can be taken.

@@ -99,7 +99,7 @@ func TestProfilerResetAndReportHeader(t *testing.T) {
 	p.PropagationTick()
 	p.Differential("v", "Δv/Δ+x", "x", "+", "+").Record(2, 0, 7, false, 0)
 	var b strings.Builder
-	if err := p.WriteReport(&b, 0, nil); err != nil {
+	if err := p.WriteReport(&b, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -120,7 +120,7 @@ func TestProfilerResetAndReportHeader(t *testing.T) {
 		t.Error("Reset must keep the enabled flag")
 	}
 	b.Reset()
-	if err := p.WriteReport(&b, 0, nil); err != nil {
+	if err := p.WriteReport(&b, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "no differential executions profiled") {

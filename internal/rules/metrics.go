@@ -3,6 +3,7 @@ package rules
 import (
 	"partdiff/internal/delta"
 	"partdiff/internal/eval"
+	"partdiff/internal/maint"
 	"partdiff/internal/obs"
 	"partdiff/internal/propnet"
 )
@@ -55,6 +56,10 @@ func (m *Manager) SetObservability(o *obs.Observability) {
 	m.netMet = propnet.NewMetrics(o.Registry)
 	m.evalMet = eval.NewMetrics(o.Registry)
 	delta.RegisterMetrics(o.Registry)
+	if m.maintainer != nil {
+		m.maintainer.SetMetrics(maint.NewMetrics(o.Registry))
+		m.maintainer.SetBus(o.Bus)
+	}
 	if m.net != nil {
 		m.net.SetObs(m.netMet, o.Tracer)
 		m.net.SetProfiler(o.Profiler)

@@ -52,7 +52,7 @@ func (m *Manager) ProfileSource(view string) string {
 // and the two measurements reconcile: zero-effect work eliminated at
 // compile time shows here, what remains shows above.
 func (m *Manager) ProfileReport(w io.Writer, topK int) error {
-	if err := m.obs.Profiler.WriteReport(w, topK, m.ProfileSource); err != nil {
+	if err := m.obs.Profiler.WriteReport(w, topK, m.ProfileSource, m.StrategyOf); err != nil {
 		return err
 	}
 	if m.net == nil {

@@ -29,6 +29,7 @@ import (
 	"partdiff/internal/diff"
 	"partdiff/internal/eval"
 	"partdiff/internal/faultinject"
+	"partdiff/internal/maint"
 	"partdiff/internal/objectlog"
 	"partdiff/internal/obs"
 	"partdiff/internal/propnet"
@@ -202,8 +203,21 @@ type Manager struct {
 
 	net      *propnet.Network
 	netDirty bool
+	// pending holds physical events observed while the network was dirty.
+	// OnEvent runs under the store's write lock (emit → txn observe), and
+	// a rebuild there would re-run the Δ-effect analysis — which reads
+	// store capabilities and extents and so self-deadlocks on that lock.
+	// Dirty-network events are buffered here and folded into the base
+	// Δ-sets by the next ensureNet at a safe point (a toggle, activation,
+	// or the check phase, none of which hold the store lock).
+	pending  []storage.Event
 	diffOpts diff.Options
 	inj      *faultinject.Injector
+	// maintainer is the counting/hybrid maintenance subsystem (nil until
+	// SetCounting or SetHybrid first enables it). It outlives network
+	// rebuilds: derivation counts and chooser cost history survive
+	// redefinitions that don't change a view.
+	maintainer *maint.Maintainer
 	// staticPruning enables the whole-network Δ-effect analysis on every
 	// rebuilt network (on by default; opt-out for A/B comparison).
 	staticPruning bool
@@ -335,6 +349,73 @@ func (m *Manager) SetStaticPruning(on bool) {
 
 // StaticPruning reports whether static differential pruning is enabled.
 func (m *Manager) StaticPruning() bool { return m.staticPruning }
+
+// ensureMaintainer lazily creates the maintenance subsystem (with both
+// features off) and binds it to the manager's observability bundle.
+func (m *Manager) ensureMaintainer() *maint.Maintainer {
+	if m.maintainer == nil {
+		cfg := maint.DefaultConfig()
+		cfg.Counting, cfg.Hybrid = false, false
+		m.maintainer = maint.New(cfg)
+		m.maintainer.SetMetrics(maint.NewMetrics(m.obs.Registry))
+		m.maintainer.SetBus(m.obs.Bus)
+	}
+	return m.maintainer
+}
+
+// SetCounting enables or disables counting maintenance: differenced
+// views carry a per-derived-tuple derivation count, so a deletion
+// decrements support and retracts the tuple only at count zero — no
+// recomputation of the defining condition and no §7.2 verification on
+// deletes. Counting needs both differencing signs; with deletion
+// monitoring off it compiles but stays inactive. The network is rebuilt
+// on change (counting differentials are compiled at Finalize).
+func (m *Manager) SetCounting(on bool) {
+	if m.Counting() == on {
+		return
+	}
+	m.ensureMaintainer().SetCounting(on)
+	m.netDirty = true
+}
+
+// Counting reports whether counting maintenance is enabled.
+func (m *Manager) Counting() bool { return m.maintainer.Counting() }
+
+// SetHybrid enables or disables the cost-based hybrid propagation mode:
+// a per-view, per-wave chooser that routes propagation through either
+// partial differentials or naive full recomputation, whichever the
+// observed cost EWMAs predict is cheaper (§8), with hysteresis. This is
+// orthogonal to the manager-level Mode (Incremental/Naive/Hybrid),
+// which picks the check-phase derivation scheme per activation; the
+// maintainer's chooser acts inside the propagation network per view.
+func (m *Manager) SetHybrid(on bool) {
+	if m.Hybrid() == on {
+		return
+	}
+	m.ensureMaintainer().SetHybrid(on)
+	m.netDirty = true
+}
+
+// Hybrid reports whether cost-based hybrid propagation is enabled.
+func (m *Manager) Hybrid() bool { return m.maintainer.Hybrid() }
+
+// Maintainer returns the maintenance subsystem (nil until SetCounting
+// or SetHybrid first enables it).
+func (m *Manager) Maintainer() *maint.Maintainer { return m.maintainer }
+
+// HybridReport writes the maintenance subsystem's state — per-view
+// strategies, count-store sizes, cost EWMAs and the recent decision
+// journal (the shell's \hybrid report).
+func (m *Manager) HybridReport(w io.Writer) error {
+	return m.maintainer.WriteReport(w)
+}
+
+// StrategyOf labels a view's current maintenance strategy for the
+// profiler report ("count", "incr", "recomp"; empty means the default
+// incremental scheme with no maintainer involvement).
+func (m *Manager) StrategyOf(view string) string {
+	return m.maintainer.StrategyLabel(view)
+}
 
 // DeclareCapability restricts the admitted change kinds of a base
 // relation (enforced by the store) and rebuilds the network so the
@@ -676,6 +757,7 @@ func (m *Manager) ensureNet() error {
 	net.SetObs(m.netMet, m.obs.Tracer)
 	net.SetProfiler(m.obs.Profiler)
 	net.SetBus(m.obs.Bus)
+	net.SetMaintainer(m.maintainer)
 	net.Evaluator().SetMetrics(m.evalMet)
 	net.Evaluator().SetStats(m.stats)
 	for _, sv := range m.sharedViews {
@@ -703,6 +785,12 @@ func (m *Manager) ensureNet() error {
 	}
 	m.net = net
 	m.netDirty = false
+	// Fold in events that arrived while the network was dirty (OnEvent
+	// cannot rebuild under the store lock, so it buffers them instead).
+	for _, e := range m.pending {
+		m.fold(e)
+	}
+	m.pending = m.pending[:0]
 	return nil
 }
 
@@ -749,15 +837,27 @@ func sortedActivations(m map[string]*Activation) []*Activation {
 }
 
 // OnEvent folds a physical update event into the network's base Δ-sets.
-// Relations that influence no activated rule have no Δ-set, so
-// unmonitored updates carry no overhead (§1).
+// It never rebuilds the network: it is called with the store's write
+// lock held, and a rebuild runs the Δ-effect analysis, which reads
+// store capabilities — a self-deadlock. While the network is dirty (a
+// runtime toggle such as SetCounting/SetHybrid/SetStaticPruning, a
+// capability declaration, or a late shared-view definition), events are
+// buffered and folded in by the next safe rebuild.
 func (m *Manager) OnEvent(e storage.Event) {
 	if len(m.activations) == 0 {
 		return
 	}
-	if err := m.ensureNet(); err != nil {
+	if m.netDirty || m.net == nil {
+		m.pending = append(m.pending, e)
 		return
 	}
+	m.fold(e)
+}
+
+// fold applies one physical event to the live network's base Δ-sets.
+// Relations that influence no activated rule have no Δ-set, so
+// unmonitored updates carry no overhead (§1).
+func (m *Manager) fold(e storage.Event) {
 	d := m.net.BaseDelta(e.Relation)
 	if d == nil {
 		return
@@ -769,8 +869,13 @@ func (m *Manager) OnEvent(e storage.Event) {
 	}
 }
 
-// OnEnd discards all monitor state at transaction end.
+// OnEnd discards all monitor state at transaction end. The maintenance
+// subsystem closes its undo journal first: on abort every derivation
+// count, reseed and dirty flag touched this transaction is restored to
+// its pre-transaction value.
 func (m *Manager) OnEnd(committed bool) {
+	m.maintainer.OnEnd(committed)
+	m.pending = m.pending[:0]
 	if m.net == nil {
 		return
 	}
@@ -797,6 +902,9 @@ func (m *Manager) CheckInvariants(quiescent bool) error {
 			if !a.trigger.IsEmpty() {
 				return fmt.Errorf("activation %s holds a pending trigger set outside the check phase: %s", a.Key, a.trigger)
 			}
+		}
+		if len(m.pending) > 0 {
+			return fmt.Errorf("%d buffered event(s) survived transaction end", len(m.pending))
 		}
 	}
 	return nil

@@ -148,6 +148,8 @@ type config struct {
 	lazy        bool
 	adaptive    bool
 	noPruning   bool
+	counting    bool
+	hybrid      bool
 	budget      time.Duration
 	ctx         context.Context
 	writerWait  time.Duration
@@ -213,6 +215,35 @@ func WithLazyAnalysis() Option {
 // prune` experiment) and for debugging the analysis itself.
 func WithoutStaticPruning() Option {
 	return func(c *config) { c.noPruning = true }
+}
+
+// WithCounting enables counting maintenance: every differenced
+// condition view carries a per-derived-tuple derivation count
+// maintained by triangle-form counting differentials, so a deletion
+// decrements support and retracts the tuple only when its count reaches
+// zero — no recomputation of the defining condition and no §7.2
+// membership probes on deletes. Counts are transactional (rolled back
+// exactly on abort) and rebuilt lazily after recovery or redefinition.
+// Requires deletion monitoring (the default); with
+// WithoutDeletionMonitoring it compiles but stays inactive. See
+// DESIGN.md "Counting maintenance & hybrid propagation".
+func WithCounting() Option {
+	return func(c *config) { c.counting = true }
+}
+
+// WithHybridMode enables cost-based hybrid propagation (the paper's §8
+// observation made operational): per view and per propagation wave, a
+// chooser compares the predicted scan cost of incremental partial
+// differencing against naive full recomputation — from observed
+// per-view cost EWMAs, seeded by the evaluator's extent estimates — and
+// routes the wave through whichever is cheaper, with hysteresis so the
+// choice doesn't flap. Decisions are journaled (`\hybrid report`, the
+// profiler's strategy column), metered, and announced as system bus
+// events on every switch. Orthogonal to WithMode(Hybrid), which picks
+// the per-activation check-phase scheme; this chooser acts inside the
+// propagation network per view. Usually combined with WithCounting.
+func WithHybridMode() Option {
+	return func(c *config) { c.hybrid = true }
 }
 
 // WithCheckBudget bounds the wall-clock duration of each commit-time
@@ -321,6 +352,12 @@ func open(opts []Option) (*DB, *config) {
 	}
 	if cfg.noPruning {
 		db.sess.SetStaticPruning(false)
+	}
+	if cfg.counting {
+		db.sess.SetCounting(true)
+	}
+	if cfg.hybrid {
+		db.sess.SetHybrid(true)
 	}
 	db.sess.Rules().CheckBudget = cfg.budget
 	db.sess.Rules().CheckContext = cfg.ctx
@@ -566,6 +603,26 @@ func (db *DB) SetProfiling(on bool) { db.sess.SetProfiling(on) }
 func (db *DB) ProfileReport(w io.Writer, topK int) error {
 	return db.sess.ProfileReport(w, topK)
 }
+
+// SetCounting enables or disables counting maintenance at runtime (see
+// WithCounting). The propagation network is rebuilt on change; counts
+// reseed lazily on the next propagation.
+func (db *DB) SetCounting(on bool) { db.sess.SetCounting(on) }
+
+// Counting reports whether counting maintenance is on.
+func (db *DB) Counting() bool { return db.sess.Counting() }
+
+// SetHybrid enables or disables cost-based hybrid propagation at
+// runtime (see WithHybridMode).
+func (db *DB) SetHybrid(on bool) { db.sess.SetHybrid(on) }
+
+// Hybrid reports whether cost-based hybrid propagation is on.
+func (db *DB) Hybrid() bool { return db.sess.Hybrid() }
+
+// HybridReport writes the maintenance subsystem's report: per-view
+// strategies, count-store sizes, observed cost EWMAs and the recent
+// strategy-decision journal.
+func (db *DB) HybridReport(w io.Writer) error { return db.sess.HybridReport(w) }
 
 // Event is one structured observability event: a rule firing with its
 // triggering Δ-sets, a per-commit Δ summary, a transaction lifecycle

@@ -60,12 +60,12 @@ func TestProfileReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := `propagation profile — 3 profiled propagation(s), 6 differential execution(s), 4 zero-effect (66.7%)
-rank  source                 differential                         execs   zero     Δin    Δout   scanned       time
-   1  refill                 Δcnd_refill#1/Δ+quantity                 2      1       2       1         4          -
-   2  refill                 Δcnd_refill#1/Δ-quantity                 2      1       2       1         4          -
-   3  refill                 Δcnd_refill#1/Δ+reorder_at               1      1       1       0         2          -
-   4  refill                 Δcnd_refill#1/Δ-reorder_at               1      1       1       0         2          -
-      total                                                           6      4       6       2        12        0ns
+rank  source                 differential                       strategy   execs   zero     Δin    Δout   scanned       time
+   1  refill                 Δcnd_refill#1/Δ+quantity           -              2      1       2       1         4          -
+   2  refill                 Δcnd_refill#1/Δ-quantity           -              2      1       2       1         4          -
+   3  refill                 Δcnd_refill#1/Δ+reorder_at         -              1      1       1       0         2          -
+   4  refill                 Δcnd_refill#1/Δ-reorder_at         -              1      1       1       0         2          -
+      total                                                                    6      4       6       2        12        0ns
 zero-effect executions by source:
   refill                 4 of 6 (66.7%)
 `
