@@ -15,6 +15,11 @@
 //	\net                  show the propagation network levels
 //	\dot [heat]           Graphviz export (heat: profiler-annotated costs)
 //	\lint                 re-run the static analyzer over all definitions
+//	\flightrec on [dir]   arm the flight recorder (bundles land in dir, or a
+//	                      partdiff-bundles directory under the system temp dir)
+//	\flightrec off        disarm the recorder (rings and bundles kept)
+//	\flightrec dump       write an on-demand diagnostics bundle now
+//	\flightrec report     recorder status: triggers seen, bundles written
 //	\checkpoint           snapshot the data directory and truncate the log (-data only)
 //	\save dir             write a standalone snapshot of the database into dir
 //	\subscribe [types]    stream live events to the terminal (comma-separated
@@ -36,6 +41,12 @@
 // live monitoring endpoint: Prometheus text at /metrics, expvar JSON at
 // /debug/vars, and Go runtime profiles at /debug/pprof/ (usable with
 // `go tool pprof http://addr/debug/pprof/profile`).
+//
+// With -flightrec dir the flight recorder is armed from startup:
+// in-memory rings capture recent waves, commits, fsyncs and events, and
+// anomaly triggers (slow commits, fsync stalls, corruption, …) write
+// self-contained diagnostics bundles into dir. \flightrec controls it
+// at runtime.
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -59,6 +71,7 @@ func main() {
 	monitor := flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. localhost:6060)")
 	dataDir := flag.String("data", "", "durable data directory (recover on start, write-ahead log every commit)")
 	syncFlag := flag.String("sync", "always", "WAL fsync policy with -data: always, group, none")
+	flightDir := flag.String("flightrec", "", "arm the flight recorder; diagnostics bundles land in this directory")
 	flag.Parse()
 
 	var mode partdiff.Mode
@@ -106,6 +119,12 @@ func main() {
 		db.RegisterProcedure("order", orderProc)
 	}
 	db.SetOutput(os.Stdout)
+	if *flightDir != "" {
+		rec := db.FlightRecorder()
+		rec.SetDir(*flightDir)
+		rec.Arm()
+		fmt.Fprintf(os.Stderr, "flight recorder armed, bundles in %s\n", *flightDir)
+	}
 	if *monitor != "" {
 		srv, err := db.ServeMonitor(*monitor)
 		if err != nil {
@@ -254,6 +273,41 @@ func meta(db *partdiff.DB, cmd string) bool {
 		default:
 			fmt.Println("usage: \\hybrid on|off|report")
 		}
+	case "\\flightrec":
+		words := strings.Fields(cmd)
+		rec := db.FlightRecorder()
+		switch {
+		case len(words) < 2:
+			state := "disarmed"
+			if rec.Armed() {
+				state = "armed"
+			}
+			fmt.Printf("flight recorder is %s; usage: \\flightrec on [dir]|off|dump|report\n", state)
+		case words[1] == "on":
+			dir := filepath.Join(os.TempDir(), "partdiff-bundles")
+			if len(words) > 2 {
+				dir = words[2]
+			}
+			rec.SetDir(dir)
+			rec.Arm()
+			fmt.Printf("flight recorder armed, bundles in %s\n", dir)
+		case words[1] == "off":
+			rec.Disarm()
+			fmt.Println("flight recorder disarmed (rings and bundles kept)")
+		case words[1] == "dump":
+			path, err := rec.Dump()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("diagnostics bundle written to %s\n", path)
+		case words[1] == "report":
+			if err := rec.WriteReport(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			fmt.Println("usage: \\flightrec on [dir]|off|dump|report")
+		}
 	case "\\trace":
 		words := strings.Fields(cmd)
 		switch {
@@ -392,7 +446,7 @@ func meta(db *partdiff.DB, cmd string) bool {
 			fmt.Println("subscribed (events print as they commit; \\subscribe stop to end)")
 		}
 	default:
-		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\hybrid \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\subscribe \\quit")
+		fmt.Println("unknown meta command; try \\stats \\metrics \\profile \\hybrid \\flightrec \\trace \\explain \\net \\dot \\debug \\lint \\mode \\checkpoint \\save \\subscribe \\quit")
 	}
 	return false
 }

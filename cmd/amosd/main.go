@@ -14,12 +14,16 @@
 //	GET  /readyz      readiness (503 while recovering or with a
 //	                  poisoned write-ahead log)
 //	GET  /metrics     Prometheus text format (?prefix= filters)
+//	GET  /debug/bundle    on-demand flight-recorder diagnostics bundle (JSON)
+//	GET  /debug/bundles/  bundles written to disk: JSON list, /<name>/<file>
 //	GET  /debug/...   expvar JSON and Go runtime profiles
 //
 // With -data dir the database is durable: it recovers from dir before
 // the listener opens (readiness reflects this) and logs every committed
 // transaction under the -sync policy. -slow-commit d emits a system
-// event with per-phase timings for commits slower than d.
+// event with per-phase timings for commits slower than d. -flightrec
+// dir arms the always-on flight recorder: anomaly triggers freeze its
+// in-memory rings and write self-contained diagnostics bundles to dir.
 //
 // Quick start:
 //
@@ -62,6 +66,7 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	modeFlag := fs.String("mode", "incremental", "monitoring mode: incremental, naive, hybrid")
 	syncFlag := fs.String("sync", "always", "WAL fsync policy with -data: always, group, none")
 	slow := fs.Duration("slow-commit", 0, "emit a system event for commits slower than this (0 disables)")
+	flightDir := fs.String("flightrec", "", "arm the flight recorder; diagnostics bundles land in this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -81,6 +86,9 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	opts := []partdiff.Option{partdiff.WithMode(mode)}
 	if *slow > 0 {
 		opts = append(opts, partdiff.WithSlowCommitThreshold(*slow))
+	}
+	if *flightDir != "" {
+		opts = append(opts, partdiff.WithFlightRecorder(*flightDir))
 	}
 
 	var db *partdiff.DB

@@ -37,8 +37,9 @@ func TestAmosdSmoke(t *testing.T) {
 	var stderr bytes.Buffer
 	ready := make(chan string, 1)
 	code := make(chan int, 1)
+	flightDir := t.TempDir()
 	go func() {
-		code <- run([]string{"-addr", "127.0.0.1:0", "-slow-commit", "24h"}, &stderr, ready)
+		code <- run([]string{"-addr", "127.0.0.1:0", "-slow-commit", "24h", "-flightrec", flightDir}, &stderr, ready)
 	}()
 	var base string
 	select {
@@ -158,6 +159,37 @@ waitFiring:
 	resp.Body.Close()
 	if !strings.Contains(string(body), "partdiff_events_published_total") {
 		t.Fatalf("metrics missing event counters:\n%s", body)
+	}
+
+	// The flight recorder serves an on-demand diagnostics bundle whose
+	// window covers the work above, and lists it on disk.
+	resp, err = http.Get(base + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle obs.Bundle
+	if err := json.NewDecoder(resp.Body).Decode(&bundle); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if bundle.Format != obs.BundleFormat || len(bundle.Commits) == 0 || len(bundle.Metrics) == 0 {
+		t.Fatalf("/debug/bundle = manifest %+v, %d commits, %d metrics",
+			bundle.Manifest, len(bundle.Commits), len(bundle.Metrics))
+	}
+	if !strings.HasPrefix(bundle.Path, flightDir) {
+		t.Fatalf("bundle path %q not under -flightrec dir %q", bundle.Path, flightDir)
+	}
+	resp, err = http.Get(base + "/debug/bundles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []obs.BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 {
+		t.Fatalf("/debug/bundles/ = %+v, want the one bundle", infos)
 	}
 
 	// Clean shutdown on SIGTERM.

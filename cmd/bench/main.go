@@ -10,6 +10,7 @@
 //	bench -exp concurrency # snapshot-read scaling + group-commit write scaling
 //	bench -exp prune       # static differential pruning off/on A/B
 //	bench -exp events      # event bus armed/disarmed A/B + subscriber fan-out
+//	bench -exp flightrec   # flight recorder armed/disarmed A/B (window-only mode)
 //	bench -exp all
 //
 // With -json, the fig6/fig7/durability measurements (time per
@@ -76,7 +77,7 @@ type report struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, profile, concurrency, prune, events, or all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, sharing, hybrid, durability, profile, concurrency, prune, events, flightrec, or all")
 	sizesFlag := flag.String("sizes", "", "comma-separated database sizes (defaults per experiment)")
 	txns := flag.Int("txns", 100, "transactions per measurement (fig6/sharing)")
 	rounds := flag.Int("rounds", 3, "massive transactions per measurement (fig7)")
@@ -143,6 +144,12 @@ func main() {
 	if run("events") {
 		if err := runEvents(*reps, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "events:", err)
+			failed = true
+		}
+	}
+	if run("flightrec") {
+		if err := runFlightrec(*reps, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "flightrec:", err)
 			failed = true
 		}
 	}
@@ -507,6 +514,34 @@ func runEvents(reps int, rep *report) error {
 				OpsPerSec: r.DeliveredPerSec,
 				Published: r.Published, Delivered: r.Delivered, Dropped: r.Dropped,
 			})
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFlightrec(reps int, rep *report) error {
+	// Same shape and run lengths as the event-bus A/B: the recorder's
+	// per-record cost (one atomic load disarmed, a short mutexed ring
+	// push armed) sits far below the noise floor of short runs.
+	const n, txns, rounds = 100, 2000, 25
+	fmt.Printf("Flight recorder — median-of-%d A/B: fig6/fig7 workloads with the\n", reps)
+	fmt.Printf("recorder disarmed vs armed in window-only mode (rings, no bundles)\n\n")
+	rows, err := bench.RunFlightrecOverhead(n, txns, rounds, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%10s %8s %6s %12s %12s %10s %9s %7s\n",
+		"experiment", "items", "txns", "off ms", "armed ms", "overhead", "commits", "waves")
+	for _, r := range rows {
+		fmt.Printf("%10s %8d %6d %12.2f %12.2f %9.1f%% %9d %7d\n",
+			r.Experiment, r.DBSize, r.Txns, ms(r.OffNs), ms(r.OnNs), r.OverheadPct, r.Commits, r.Waves)
+		if rep != nil {
+			ops := int64(r.Txns)
+			rep.Records = append(rep.Records,
+				record{Name: fmt.Sprintf("flightrec/%s/items=%d/off", r.Experiment, r.DBSize), NsPerOp: r.OffNs / ops},
+				record{Name: fmt.Sprintf("flightrec/%s/items=%d/armed", r.Experiment, r.DBSize), NsPerOp: r.OnNs / ops,
+					OverheadPct: r.OverheadPct})
 		}
 	}
 	fmt.Println()

@@ -1,0 +1,406 @@
+package partdiff
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"partdiff/internal/faultinject"
+	"partdiff/internal/obs"
+)
+
+const flightrecSchema = `
+create type item;
+create function quantity(item) -> integer;
+create function threshold(item) -> integer;
+create rule low() as
+    when for each item i where quantity(i) < threshold(i)
+    do print(i);
+create item instances :i0, :i1, :i2, :i3;
+set threshold(:i0) = 0;
+set threshold(:i1) = 0;
+set threshold(:i2) = 0;
+set threshold(:i3) = 0;
+activate low();
+`
+
+// validateBundleDir schema-checks one on-disk bundle: the manifest and
+// every recorder.jsonl line must decode with unknown fields rejected,
+// and every file the manifest lists must exist.
+func validateBundleDir(t *testing.T, dir string) (obs.Manifest, []string) {
+	t.Helper()
+	man, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("bundle %s has no manifest: %v", dir, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(man))
+	dec.DisallowUnknownFields()
+	var m obs.Manifest
+	if err := dec.Decode(&m); err != nil {
+		t.Fatalf("manifest schema violation in %s: %v", dir, err)
+	}
+	if m.Format != obs.BundleFormat {
+		t.Fatalf("bundle format = %q, want %q", m.Format, obs.BundleFormat)
+	}
+	for _, f := range m.Files {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("manifest lists missing file: %v", err)
+		}
+	}
+	recData, err := os.ReadFile(filepath.Join(dir, "recorder.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	sc := bufio.NewScanner(bytes.NewReader(recData))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		ldec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		ldec.DisallowUnknownFields()
+		var line struct {
+			Kind   string            `json:"kind"`
+			Wave   *obs.WaveRecord   `json:"wave,omitempty"`
+			Commit *obs.CommitRecord `json:"commit,omitempty"`
+			Fsync  *obs.FsyncRecord  `json:"fsync,omitempty"`
+			Choice *obs.ChoiceRecord `json:"choice,omitempty"`
+			Event  *obs.EventRecord  `json:"event,omitempty"`
+		}
+		if err := ldec.Decode(&line); err != nil {
+			t.Fatalf("recorder.jsonl schema violation: %v\n%s", err, sc.Bytes())
+		}
+		kinds = append(kinds, line.Kind)
+	}
+	return m, kinds
+}
+
+// TestFlightRecorderSoak runs 4 concurrent writers against an armed
+// recorder while two anomaly triggers fire (every commit trips the
+// 1ns slow-commit threshold; a declared-readonly write trips
+// capability_violation). It asserts no commit is ever blocked or
+// failed by the recorder, and that the default cooldown pins each
+// trigger kind to exactly one bundle.
+func TestFlightRecorderSoak(t *testing.T) {
+	bundles := t.TempDir()
+	db, err := OpenDir(t.TempDir(),
+		WithFlightRecorder(bundles),
+		WithSlowCommitThreshold(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.EventBus().Arm()
+	if _, err := db.Exec(flightrecSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("declare threshold readonly;"); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, txnsPer = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*txnsPer)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < txnsPer; j++ {
+				if _, err := db.Exec(fmt.Sprintf("set quantity(:i%d) = %d;", w, j+1)); err != nil {
+					errs <- fmt.Errorf("writer %d txn %d: %w", w, j, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// The violating write races the writers; its failure is expected,
+	// anything else is not.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := db.Exec("set threshold(:i0) = 5;"); err == nil {
+			errs <- fmt.Errorf("write to a readonly function succeeded")
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	reg := db.Observability().Registry
+	if !db.FlightRecorder().Armed() {
+		t.Fatal("recorder disarmed itself during the soak")
+	}
+	var prom strings.Builder
+	if err := db.WriteMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "partdiff_flightrec_armed 1") {
+		t.Error("partdiff_flightrec_armed gauge is not 1")
+	}
+	if err := db.Close(); err != nil { // drains queued bundle writes
+		t.Fatal(err)
+	}
+
+	perKind := map[string]int{}
+	infos, err := db.FlightRecorder().ListBundles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		perKind[info.Trigger]++
+		m, kinds := validateBundleDir(t, filepath.Join(bundles, info.Name))
+		if m.Trigger != info.Trigger {
+			t.Errorf("manifest trigger %q != listing trigger %q", m.Trigger, info.Trigger)
+		}
+		if len(kinds) == 0 {
+			t.Errorf("bundle %s froze an empty window", info.Name)
+		}
+	}
+	if perKind[obs.TrigSlowCommit] != 1 {
+		t.Errorf("slow_commit bundles = %d, want exactly 1 (cooldown dedup)", perKind[obs.TrigSlowCommit])
+	}
+	if perKind[obs.TrigCapViolation] != 1 {
+		t.Errorf("capability_violation bundles = %d, want exactly 1", perKind[obs.TrigCapViolation])
+	}
+	// Triggers fired far more often than bundles were written.
+	if !strings.Contains(prom.String(), `partdiff_flightrec_triggers_total{trigger="slow_commit"}`) {
+		t.Error("triggers_total has no slow_commit series")
+	}
+	if got := reg.CounterValue("partdiff_flightrec_suppressed_total"); got == 0 {
+		t.Error("cooldown suppressed nothing despite a trigger per commit")
+	}
+}
+
+// TestFlightRecorderWalPoisonBundle injects a WAL fsync fault and
+// asserts the recorder writes exactly one wal_poisoned bundle whose
+// frozen event window ends on the poisoning transaction.
+func TestFlightRecorderWalPoisonBundle(t *testing.T) {
+	bundles := t.TempDir()
+	db, err := OpenDir(t.TempDir(), WithFlightRecorder(bundles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.EventBus().Arm()
+	if _, err := db.Exec("create type item; create item instances :a;"); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New()
+	db.Session().SetInjector(inj)
+	inj.Arm(faultinject.WalFsync, 0, faultinject.Error)
+	if _, err := db.Exec("create item instances :b;"); err == nil {
+		t.Fatal("commit with failing fsync succeeded")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := db.FlightRecorder().ListBundles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poisoned []obs.BundleInfo
+	for _, info := range infos {
+		if info.Trigger == obs.TrigWalPoisoned {
+			poisoned = append(poisoned, info)
+		}
+	}
+	if len(poisoned) != 1 {
+		t.Fatalf("wal_poisoned bundles = %d, want exactly 1 (%+v)", len(poisoned), infos)
+	}
+	validateBundleDir(t, filepath.Join(bundles, poisoned[0].Name))
+
+	// The frozen window must end on the poisoning transaction: the
+	// trigger fires inside its failing persist phase, so the last
+	// txn-lifecycle event mirrored into the ring is that transaction's
+	// begin — its commit/rollback had not been published yet.
+	recData, err := os.ReadFile(filepath.Join(bundles, poisoned[0].Name, "recorder.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastTxnOp string
+	sc := bufio.NewScanner(bytes.NewReader(recData))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Kind  string           `json:"kind"`
+			Event *obs.EventRecord `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Kind == "event" && line.Event.Type == string(obs.EventTxn) {
+			lastTxnOp = line.Event.Op
+		}
+	}
+	if lastTxnOp != "begin" {
+		t.Fatalf("last txn event in the frozen window = %q, want the poisoning txn's begin", lastTxnOp)
+	}
+}
+
+// TestReadyzReasonAndRetryAfter covers the reason-prefixed /readyz
+// bodies: a WAL-poisoned database answers 503 with a wal-poisoned
+// reason and a Retry-After header; liveness is unaffected.
+func TestReadyzReasonAndRetryAfter(t *testing.T) {
+	db, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := httptest.NewServer(db.MonitorHandler())
+	defer srv.Close()
+
+	inj := faultinject.New()
+	db.Session().SetInjector(inj)
+	inj.Arm(faultinject.WalFsync, 1, faultinject.Error)
+	if _, err := db.Exec("create type item; create item instances :x;"); err == nil {
+		t.Fatal("commit with failing fsync succeeded")
+	}
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d, want 503", resp.StatusCode)
+	}
+	if !strings.HasPrefix(string(body), "wal-poisoned:") {
+		t.Fatalf("/readyz body = %q, want a wal-poisoned: reason prefix", body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1", got)
+	}
+}
+
+// TestDebugBundleEndpoints covers the monitor handler's bundle surface:
+// /debug/bundle returns a schema-valid JSON bundle and writes it to
+// disk, /debug/bundles/ lists it, its files are served, and path
+// traversal is rejected.
+func TestDebugBundleEndpoints(t *testing.T) {
+	bundles := t.TempDir()
+	db, err := OpenDir(t.TempDir(), WithFlightRecorder(bundles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(flightrecSchema); err != nil {
+		t.Fatal(err)
+	}
+	// Post-activation writes drive propagation, filling the wave ring.
+	for j := 1; j <= 3; j++ {
+		if _, err := db.Exec(fmt.Sprintf("set quantity(:i0) = %d;", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(db.MonitorHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/bundle = %d: %s", resp.StatusCode, data)
+	}
+	var b obs.Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle JSON: %v", err)
+	}
+	if b.Format != obs.BundleFormat || b.Trigger != "manual" {
+		t.Fatalf("bundle manifest = %+v", b.Manifest)
+	}
+	if len(b.Commits) == 0 || len(b.Waves) == 0 {
+		t.Fatalf("bundle window is empty: %v", b.Records)
+	}
+	if len(b.Metrics) == 0 || b.Goroutines == "" {
+		t.Fatal("bundle lacks metrics snapshot or goroutine dump")
+	}
+	if _, ok := b.Extras["profile.txt"]; !ok {
+		t.Fatalf("bundle extras = %v, want the session's profile report", b.Extras)
+	}
+	if b.Path == "" {
+		t.Fatal("bundle was not written to the configured directory")
+	}
+	validateBundleDir(t, b.Path)
+
+	resp, err = http.Get(srv.URL + "/debug/bundles/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []obs.BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != filepath.Base(b.Path) {
+		t.Fatalf("/debug/bundles/ = %+v, want the bundle just written", infos)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/bundles/" + infos[0].Name + "/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bundle file serve = %d", resp.StatusCode)
+	}
+
+	for _, bad := range []string{
+		"/debug/bundles/../secrets",
+		"/debug/bundles/" + infos[0].Name + "/../../wal.log",
+		"/debug/bundles/notabundle/file",
+	} {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+bad, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep the raw path: the default client normalizes ".." away.
+		req.URL.Opaque = bad
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s served, want rejection", bad)
+		}
+	}
+}
+
+// TestFlightRecorderRuntimeMetrics covers the runtime/metrics bridge:
+// the Go runtime gauges and histograms appear in both a bundle's
+// metrics snapshot and the Prometheus exposition.
+func TestFlightRecorderRuntimeMetrics(t *testing.T) {
+	db := Open()
+	var prom strings.Builder
+	if err := db.WriteMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, name := range []string{
+		"partdiff_go_heap_bytes",
+		"partdiff_go_goroutines",
+		"partdiff_go_gc_pause_seconds",
+		"partdiff_go_sched_latency_seconds",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("Prometheus output missing %s", name)
+		}
+	}
+	if !strings.Contains(text, "partdiff_go_gc_pause_seconds_bucket") {
+		t.Error("gc pause histogram has no buckets in the exposition")
+	}
+}

@@ -72,6 +72,7 @@ func (s *Session) AttachDir(dir string, cfg DirConfig) (err error) {
 		return err
 	}
 	log.SetBus(s.obs.Bus, 0)
+	log.SetRecorder(s.obs.Flight)
 	span := s.obs.Tracer.Begin("wal", "recovery", obs.Int("log_records", len(recs)))
 	recStart := time.Now()
 	s.recovering.Store(true)
@@ -127,15 +128,20 @@ func (s *Session) Live() error { return s.txns.Corrupt() }
 // is not poisoned, and — when a data directory is attached — the
 // write-ahead log is not sticky-poisoned by a failed append or fsync.
 // Safe to call from any goroutine without holding the session.
+// The error text leads with a stable reason token — corrupt,
+// recovering, or wal-poisoned — so a /readyz 503 body tells an operator
+// which of the three states the server is in before the detail.
 func (s *Session) Ready() error {
 	if err := s.Live(); err != nil {
-		return err
+		return fmt.Errorf("corrupt: %w", err)
 	}
 	if s.recovering.Load() {
-		return fmt.Errorf("recovery in progress")
+		return fmt.Errorf("recovering: recovery in progress")
 	}
 	if l := s.walLive.Load(); l != nil {
-		return l.Err()
+		if err := l.Err(); err != nil {
+			return fmt.Errorf("wal-poisoned: %w", err)
+		}
 	}
 	return nil
 }
@@ -393,6 +399,7 @@ func (s *Session) checkpointLocked() error {
 	if err := s.wal.Reset(); err != nil {
 		return err
 	}
+	s.obs.Flight.RecordFsync("checkpoint", time.Since(ckptStart))
 	if s.obs.Bus.Active() {
 		s.obs.Bus.Publish(obs.Event{
 			Type: obs.EventSystem, Op: "checkpoint",
@@ -517,16 +524,22 @@ func (s *Session) tickCheckpoint(interval time.Duration) {
 	s.walMet.CkptSkippedTicks.Inc()
 }
 
-// Close stops the background checkpointer and closes the write-ahead
-// log, flushing it once more. The in-memory session stays usable but
-// commits fail once the log is closed — durability is never silently
-// dropped. Close on a never-attached session is a no-op.
+// Close stops the background checkpointer, shuts the flight recorder
+// down (draining queued diagnostics bundles to disk first), and closes
+// the write-ahead log, flushing it once more. The in-memory session
+// stays usable but commits fail once the log is closed — durability is
+// never silently dropped. Close on a never-attached session only stops
+// the recorder.
 func (s *Session) Close() error {
 	if s.ckptStop != nil {
 		close(s.ckptStop)
 		s.ckptWG.Wait()
 		s.ckptStop = nil
 	}
+	// The recorder closes before the log: a bundle already queued may
+	// still be completing, and its extras source re-enters the session,
+	// which must still be coherent.
+	s.obs.Flight.Close()
 	if s.wal == nil {
 		return nil
 	}

@@ -164,6 +164,14 @@ func NewSession(mode rules.Mode) *Session {
 	s.txns.SetObs(tm, s.obs.Tracer)
 	s.txns.SetBus(s.obs.Bus)
 	s.gate.SetMetrics(tm)
+	// Flight recorder taps: commit phase records (txn), gate-wait
+	// attribution, capability-violation triggers (store). The recorder
+	// itself stays disarmed until Session.SetFlightRecorder /
+	// partdiff.WithFlightRecorder arms it.
+	s.txns.SetRecorder(s.obs.Flight)
+	s.gate.SetRecorder(s.obs.Flight)
+	s.store.SetRecorder(s.obs.Flight)
+	s.obs.Flight.AddSource(s.bundleExtras)
 	s.evMet = eval.NewMetrics(s.obs.Registry)
 	s.ev.SetMetrics(s.evMet)
 	s.cat.RegisterProcedure("print", func(args []types.Value) error {

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"partdiff/internal/rules"
+)
+
+// This file holds the flight-recorder overhead experiment: the fig. 6
+// and fig. 7 workloads with the recorder disarmed (the default: one
+// atomic load per record site) versus armed in window-only mode (rings
+// capturing every wave and commit, no bundle directory, so nothing
+// touches disk). The recorder is meant to be left armed on a serving
+// database, so the acceptance bar is a low single-digit-percent median
+// overhead — the same bar the event bus meets.
+
+// FlightrecOverheadRow is one recorder A/B measurement: median total
+// wall time for a workload with the recorder disarmed vs armed.
+type FlightrecOverheadRow struct {
+	Experiment string `json:"experiment"`
+	DBSize     int    `json:"db_size"`
+	Txns       int    `json:"txns"`
+	OffNs      int64  `json:"off_ns"` // median over reps, recorder disarmed
+	OnNs       int64  `json:"on_ns"`  // median over reps, recorder armed
+	// OverheadPct is (on-off)/off in percent; negative values are
+	// measurement noise, not a speedup.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Commits and Waves are the armed run's ring write counts — a
+	// sanity check that the recorder actually observed the workload.
+	Commits int `json:"commits_recorded"`
+	Waves   int `json:"waves_recorded"`
+}
+
+// RunFlightrecOverhead measures recorder-disarmed vs recorder-armed
+// medians over reps repetitions of the fig. 6 (txns small
+// transactions) and fig. 7 (rounds massive transactions) workloads at
+// database size n.
+func RunFlightrecOverhead(n, txns, rounds, reps int) ([]FlightrecOverheadRow, error) {
+	type workload struct {
+		name string
+		txns int
+		run  func(inv *Inventory) error
+	}
+	workloads := []workload{
+		{"fig6", txns, func(inv *Inventory) error { return inv.RunFig6Transactions(txns) }},
+		{"fig7", rounds, func(inv *Inventory) error {
+			for r := 0; r < rounds; r++ {
+				if err := inv.RunFig7Transaction(int64(r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	measure := func(w workload, armed bool, row *FlightrecOverheadRow) (int64, error) {
+		inv, err := NewInventory(Config{N: n, Mode: rules.Incremental, Activate: true})
+		if err != nil {
+			return 0, err
+		}
+		rec := inv.Sess.Observability().Flight
+		if armed {
+			// No bundle directory: window-only mode, rings capture but
+			// triggers never write bundles — the pure capture cost.
+			rec.Arm()
+		}
+		start := time.Now()
+		if err := w.run(inv); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if inv.Orders != 0 {
+			return 0, fmt.Errorf("%s workload must not trigger rules, got %d orders", w.name, inv.Orders)
+		}
+		if armed {
+			b := rec.BundleNow("", "bench ring check")
+			rec.Close() // stop the watchdog and writer goroutines
+			row.Commits, row.Waves = len(b.Commits), len(b.Waves)
+			if row.Commits == 0 || row.Waves == 0 {
+				return 0, fmt.Errorf("%s: armed recorder observed no work (commits=%d waves=%d)",
+					w.name, row.Commits, row.Waves)
+			}
+		} else if rec.Armed() {
+			return 0, fmt.Errorf("%s: baseline recorder armed itself", w.name)
+		}
+		return ns, nil
+	}
+	out := make([]FlightrecOverheadRow, 0, len(workloads))
+	for _, w := range workloads {
+		row := FlightrecOverheadRow{Experiment: w.name, DBSize: n, Txns: w.txns}
+		// One warm-up round, then off/on interleaved within each rep
+		// (order alternating per rep) so slow drift — page-cache and
+		// allocator warm-up, CPU frequency scaling — cancels out of the
+		// A/B instead of loading onto whichever side runs first.
+		if _, err := measure(w, false, &row); err != nil {
+			return nil, err
+		}
+		var offTimes, onTimes []int64
+		for rep := 0; rep < reps; rep++ {
+			for pass := 0; pass < 2; pass++ {
+				armed := (rep+pass)%2 == 1
+				ns, err := measure(w, armed, &row)
+				if err != nil {
+					return nil, err
+				}
+				if armed {
+					onTimes = append(onTimes, ns)
+				} else {
+					offTimes = append(offTimes, ns)
+				}
+			}
+		}
+		row.OffNs, row.OnNs = median(offTimes), median(onTimes)
+		if row.OffNs > 0 {
+			row.OverheadPct = 100 * float64(row.OnNs-row.OffNs) / float64(row.OffNs)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

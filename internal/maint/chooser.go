@@ -89,14 +89,16 @@ func (m *Maintainer) Choose(view string, seedTotal, extentEst int) Strategy {
 	if switched {
 		m.switches++
 		m.met.Switches.Inc()
+		detail := fmt.Sprintf("%s: %s (incr≈%.0f recomp≈%.0f scanned, seed=%d)",
+			view, vs.cur, incrCost, recompCost, seedTotal)
 		if m.bus != nil {
 			m.bus.Publish(obs.Event{
-				Type: obs.EventSystem,
-				Op:   "strategy_switch",
-				Detail: fmt.Sprintf("%s: %s (incr≈%.0f recomp≈%.0f scanned, seed=%d)",
-					view, vs.cur, incrCost, recompCost, seedTotal),
+				Type:   obs.EventSystem,
+				Op:     "strategy_switch",
+				Detail: detail,
 			})
 		}
+		m.rec.RecordChoice(view, vs.cur.String(), detail)
 	}
 	return vs.cur
 }

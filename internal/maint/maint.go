@@ -191,6 +191,7 @@ type Maintainer struct {
 	cfg Config
 	met *Metrics
 	bus *obs.Bus
+	rec *obs.Recorder
 
 	mu    sync.Mutex
 	views map[string]*viewState
@@ -287,6 +288,10 @@ func (m *Maintainer) SetMetrics(met *Metrics) {
 // SetBus installs the event bus strategy-switch system events are
 // published on (nil disables).
 func (m *Maintainer) SetBus(b *obs.Bus) { m.bus = b }
+
+// SetRecorder installs the flight recorder strategy switches are
+// recorded on (nil disables).
+func (m *Maintainer) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 // Register (re)declares a counted view. When the canonical definition
 // matches the registration the counts were built under, they are kept;

@@ -29,7 +29,8 @@ const (
 	// rollback, conflict.
 	EventTxn EventType = "txn"
 	// EventSystem is system lifecycle: Op is one of checkpoint,
-	// recovery, fsync_stall, capability_violation, slow_commit.
+	// recovery, fsync_stall, capability_violation, slow_commit,
+	// strategy_switch, diagnostic_bundle.
 	EventSystem EventType = "system"
 	// EventGap is synthesized per subscriber, never published on the
 	// bus: it marks a point where Missed events were dropped (slow
@@ -87,7 +88,8 @@ type Event struct {
 
 	// Op is the specific kind within the type: txn events use
 	// begin|commit|rollback|conflict, system events use
-	// checkpoint|recovery|fsync_stall|capability_violation|slow_commit.
+	// checkpoint|recovery|fsync_stall|capability_violation|slow_commit|
+	// strategy_switch|diagnostic_bundle.
 	Op string `json:"op,omitempty"`
 
 	// Rule firing payload.
@@ -198,6 +200,10 @@ const DefaultSubBuffer = 256
 type Bus struct {
 	active atomic.Bool
 
+	// rec, when set, mirrors every published event into the flight
+	// recorder's event ring (obs.New wires the bundle's recorder here).
+	rec atomic.Pointer[Recorder]
+
 	mu     sync.Mutex
 	seq    uint64
 	ring   []Event // fixed capacity circular buffer
@@ -285,6 +291,14 @@ func (b *Bus) bindMetrics(r *Registry) {
 		"Largest subscriber lag (events behind the bus head) at the last publish.")
 }
 
+// setRecorder attaches a flight recorder whose event ring mirrors
+// every published event. Nil-safe on both sides.
+func (b *Bus) setRecorder(r *Recorder) {
+	if b != nil {
+		b.rec.Store(r)
+	}
+}
+
 // Active reports whether the bus has been armed. Emitters guard
 // payload construction behind this so an inactive bus costs one atomic
 // load.
@@ -339,6 +353,9 @@ func (b *Bus) publishLocked(e Event) uint64 {
 		b.count++
 	}
 	b.typeHist[int((e.ID-1)%uint64(len(b.typeHist)))] = typeCode(e.Type)
+	if rec := b.rec.Load(); rec != nil {
+		rec.noteEvent(e)
+	}
 	var maxDepth, maxLag int64
 	for _, s := range b.subs {
 		if s.matches(e.Type) {

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecRingWrap(t *testing.T) {
+	r := newRecRing[int](4)
+	if got := r.snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot = %v", got)
+	}
+	for i := 1; i <= 3; i++ {
+		r.push(i)
+	}
+	if got := r.snapshot(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("partial ring snapshot = %v", got)
+	}
+	for i := 4; i <= 10; i++ {
+		r.push(i)
+	}
+	got := r.snapshot()
+	if len(got) != 4 {
+		t.Fatalf("full ring holds %d entries, want 4", len(got))
+	}
+	for i, want := range []int{7, 8, 9, 10} {
+		if got[i] != want {
+			t.Fatalf("wrapped ring snapshot = %v, want [7 8 9 10]", got)
+		}
+	}
+}
+
+func TestRecorderDisarmedCapturesNothing(t *testing.T) {
+	o := New()
+	r := o.Flight
+	r.RecordWave(WaveRecord{Executed: 1})
+	r.CommitEnd(r.CommitBegin(), CommitRecord{Outcome: "committed"})
+	r.RecordFsync("fsync", time.Millisecond)
+	r.RecordChoice("v", "recompute", "")
+	if r.Trigger(TrigSlowCommit, "x") {
+		t.Fatal("disarmed Trigger scheduled a bundle")
+	}
+	b := r.BundleNow("", "check")
+	if len(b.Waves)+len(b.Commits)+len(b.Fsyncs)+len(b.Choices)+len(b.Events) != 0 {
+		t.Fatalf("disarmed recorder captured records: %+v", b.Records)
+	}
+}
+
+func TestRecorderWindowOnlyMode(t *testing.T) {
+	o := New()
+	r := o.Flight
+	r.Arm() // no directory: capture, but no bundles
+	defer r.Close()
+	r.RecordWave(WaveRecord{Wave: 1, Executed: 2})
+	if r.Trigger(TrigSlowCommit, "slow") {
+		t.Fatal("Trigger scheduled a bundle with no directory configured")
+	}
+	var rep bytes.Buffer
+	if err := r.WriteReport(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), TrigSlowCommit) {
+		t.Fatalf("report does not count the suppressed trigger:\n%s", rep.String())
+	}
+	if b := r.BundleNow("", "check"); len(b.Waves) != 1 {
+		t.Fatalf("window-only mode lost the wave record: %+v", b.Records)
+	}
+}
+
+func TestTriggerCooldownDedup(t *testing.T) {
+	o := New()
+	r := o.Flight
+	dir := t.TempDir()
+	r.SetDir(dir)
+	r.SetCooldown(time.Hour)
+	r.Arm()
+	if !r.Trigger(TrigFsyncStall, "first") {
+		t.Fatal("first trigger did not schedule a bundle")
+	}
+	for i := 0; i < 5; i++ {
+		if r.Trigger(TrigFsyncStall, "again") {
+			t.Fatal("trigger inside the cooldown scheduled a bundle")
+		}
+	}
+	// A different kind is deduplicated independently.
+	if !r.Trigger(TrigCorruption, "other kind") {
+		t.Fatal("different trigger kind was blocked by an unrelated cooldown")
+	}
+	r.Close() // drains the write queue
+	infos, err := r.ListBundles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("got %d bundles, want exactly 2 (one per kind): %+v", len(infos), infos)
+	}
+	if infos[0].Trigger != TrigFsyncStall || infos[1].Trigger != TrigCorruption {
+		t.Fatalf("bundle triggers = %s, %s", infos[0].Trigger, infos[1].Trigger)
+	}
+}
+
+// decodeStrict unmarshals data into v rejecting unknown fields — the
+// bundle schema check.
+func decodeStrict(t *testing.T, data []byte, v any) {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("strict decode: %v\n%s", err, data)
+	}
+}
+
+func TestDumpWritesCompleteBundle(t *testing.T) {
+	o := New()
+	r := o.Flight
+	dir := t.TempDir()
+	r.SetDir(dir)
+	r.Arm()
+	defer r.Close()
+	o.Bus.Arm()
+
+	r.RecordWave(WaveRecord{Wave: 1, Executed: 3, ZeroEffect: 1, DeltaPlus: 2, Front: 5})
+	tok := r.CommitBegin()
+	r.NoteGateWait(2 * time.Millisecond)
+	r.CommitEnd(tok, CommitRecord{Outcome: "committed", CheckMs: 1.5, Writes: 4})
+	r.RecordFsync("fsync", 3*time.Millisecond)
+	r.RecordChoice("expensive_view", "recompute", "cost flipped")
+	o.Bus.Publish(Event{Type: EventSystem, Op: "checkpoint", Detail: "test"})
+	r.AddSource(func(add func(string, []byte)) { add("extra.txt", []byte("hello")) })
+
+	path, err := r.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	man, err := os.ReadFile(filepath.Join(path, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	decodeStrict(t, man, &m)
+	if m.Format != BundleFormat || m.Trigger != TrigManual {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.Records["waves"] != 1 || m.Records["commits"] != 1 || m.Records["fsyncs"] != 1 ||
+		m.Records["choices"] != 1 || m.Records["events"] != 1 {
+		t.Fatalf("manifest records = %v", m.Records)
+	}
+	for _, f := range []string{"recorder.jsonl", "metrics.json", "goroutines.txt", "extra.txt", "manifest.json"} {
+		found := false
+		for _, have := range m.Files {
+			if have == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("manifest files %v missing %s", m.Files, f)
+		}
+		if _, err := os.Stat(filepath.Join(path, f)); err != nil {
+			t.Fatalf("listed file missing on disk: %v", err)
+		}
+	}
+
+	// Every recorder.jsonl line is a kind-tagged record with no unknown
+	// fields, and the commit carries its gate-wait attribution.
+	recData, err := os.ReadFile(filepath.Join(path, "recorder.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(recData))
+	for sc.Scan() {
+		var line recLine
+		decodeStrict(t, sc.Bytes(), &line)
+		kinds[line.Kind]++
+		if line.Kind == "commit" {
+			if line.Commit == nil || line.Commit.GateWaitMs < 1.9 {
+				t.Fatalf("commit line lost the gate wait: %+v", line.Commit)
+			}
+		}
+	}
+	for _, k := range []string{"wave", "commit", "fsync", "choice", "event"} {
+		if kinds[k] != 1 {
+			t.Fatalf("recorder.jsonl kinds = %v, want one of each", kinds)
+		}
+	}
+
+	var points []Point
+	metData, err := os.ReadFile(filepath.Join(path, "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(metData, &points); err != nil || len(points) == 0 {
+		t.Fatalf("metrics.json: %v (%d points)", err, len(points))
+	}
+	gor, err := os.ReadFile(filepath.Join(path, "goroutines.txt"))
+	if err != nil || !strings.Contains(string(gor), "goroutine") {
+		t.Fatalf("goroutines.txt: %v", err)
+	}
+	if !strings.Contains(string(recData), "checkpoint") {
+		t.Fatal("bus event mirror missing from recorder.jsonl")
+	}
+}
+
+func TestStallWatchdog(t *testing.T) {
+	o := New()
+	r := o.Flight
+	dir := t.TempDir()
+	r.SetDir(dir)
+	r.SetStallThreshold(50 * time.Millisecond)
+	r.Arm()
+	tok := r.CommitBegin() // in flight, never ends
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos, _ := r.ListBundles()
+		if len(infos) > 0 {
+			if infos[0].Trigger != TrigStallWatchdog {
+				t.Fatalf("bundle trigger = %s, want %s", infos[0].Trigger, TrigStallWatchdog)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never fired on a stalled in-flight commit")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.CommitEnd(tok, CommitRecord{Outcome: "committed"})
+	r.Close()
+}
+
+func TestConflictStormTrigger(t *testing.T) {
+	o := New()
+	r := o.Flight
+	dir := t.TempDir()
+	r.SetDir(dir)
+	r.SetConflictStorm(3, time.Minute)
+	r.Arm()
+	for i := 0; i < 10; i++ {
+		r.NoteConflict()
+	}
+	r.Close()
+	infos, err := r.ListBundles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Trigger != TrigConflictStorm {
+		t.Fatalf("bundles = %+v, want exactly one conflict_storm", infos)
+	}
+}
+
+func TestBundlePruning(t *testing.T) {
+	o := New()
+	r := o.Flight
+	dir := t.TempDir()
+	r.SetDir(dir)
+	r.SetMaxBundles(2)
+	r.Arm()
+	defer r.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := r.Dump(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := r.ListBundles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("retained %d bundles, want 2", len(infos))
+	}
+}
+
+func TestCommitBeginTokenBalancesAcrossArming(t *testing.T) {
+	o := New()
+	r := o.Flight
+	tok := r.CommitBegin() // disarmed: false token
+	r.Arm()
+	defer r.Close()
+	r.CommitEnd(tok, CommitRecord{Outcome: "committed"}) // must be a no-op
+	if n := r.inflight.Load(); n != 0 {
+		t.Fatalf("inflight = %d after unbalanced end, want 0", n)
+	}
+	if b := r.BundleNow("", ""); len(b.Commits) != 0 {
+		t.Fatalf("false-token CommitEnd recorded a commit: %+v", b.Commits)
+	}
+}

@@ -350,6 +350,64 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 	f.order = append(f.order, "")
 }
 
+// GaugeFunc registers a read-only gauge backed by fn. Re-registering
+// the same name replaces the closure.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, TypeGauge, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[""]; c != nil {
+		if fm, ok := c.m.(*funcMetric); ok {
+			fm.fn = fn
+			return
+		}
+		c.m = &funcMetric{fn: fn}
+		return
+	}
+	f.children[""] = &child{m: &funcMetric{fn: fn}}
+	f.order = append(f.order, "")
+}
+
+// HistogramSnapshot is the read-only state a HistogramFunc returns:
+// cumulative bucket counts aligned with sorted upper bounds (an +Inf
+// bucket is implicit), the observation count and sum.
+type HistogramSnapshot struct {
+	Bounds  []float64
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+// histFuncMetric is a read-only histogram backed by a closure (used to
+// expose runtime/metrics histograms without copying them per update).
+type histFuncMetric struct {
+	fn func() HistogramSnapshot
+}
+
+// HistogramFunc registers a read-only histogram backed by fn.
+// Re-registering the same name replaces the closure.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	if r == nil {
+		return
+	}
+	f := r.family(name, help, TypeHistogram, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c := f.children[""]; c != nil {
+		if fm, ok := c.m.(*histFuncMetric); ok {
+			fm.fn = fn
+			return
+		}
+		c.m = &histFuncMetric{fn: fn}
+		return
+	}
+	f.children[""] = &child{m: &histFuncMetric{fn: fn}}
+	f.order = append(f.order, "")
+}
+
 // CounterVec is a family of counters distinguished by label values.
 type CounterVec struct {
 	f *family
@@ -434,6 +492,10 @@ func (r *Registry) Gather() []Point {
 				p.Value = float64(m.Value())
 			case *funcMetric:
 				p.Value = float64(m.fn())
+			case *histFuncMetric:
+				snap := m.fn()
+				p.Bounds, p.Buckets = snap.Bounds, snap.Buckets
+				p.Count, p.Value = snap.Count, snap.Sum
 			case *Histogram:
 				buckets, count, sum := m.snapshot()
 				p.Buckets, p.Count, p.Value = buckets, count, sum

@@ -22,23 +22,29 @@
 // `partdiff_<subsystem>_<metric>_<unit>`; see DESIGN.md "Observability".
 package obs
 
-// Observability bundles the registry, tracer, propagation profiler and
-// event bus one session threads through its subsystems.
+// Observability bundles the registry, tracer, propagation profiler,
+// event bus and flight recorder one session threads through its
+// subsystems.
 type Observability struct {
 	Registry *Registry
 	Tracer   *Tracer
 	Profiler *Profiler
 	Bus      *Bus
+	Flight   *Recorder
 }
 
-// New returns a fresh registry + tracer + profiler + event bus bundle
-// (the profiler starts disabled, the bus inactive). Build info and the
-// uptime counter are pre-registered so every exposition surface
-// carries them.
+// New returns a fresh registry + tracer + profiler + event bus + flight
+// recorder bundle (the profiler starts disabled, the bus inactive, the
+// recorder disarmed). Build info, the uptime counter and the
+// partdiff_go_* runtime metrics are pre-registered so every exposition
+// surface carries them.
 func New() *Observability {
 	r := NewRegistry()
 	registerBuildInfo(r)
+	registerRuntimeMetrics(r)
 	b := NewBus(0)
 	b.bindMetrics(r)
-	return &Observability{Registry: r, Tracer: NewTracer(), Profiler: NewProfiler(), Bus: b}
+	f := NewRecorder()
+	f.bind(r, b)
+	return &Observability{Registry: r, Tracer: NewTracer(), Profiler: NewProfiler(), Bus: b, Flight: f}
 }

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	rmetrics "runtime/metrics"
+	"sync"
+	"time"
+)
+
+// This file bridges the Go runtime's own metrics (runtime/metrics,
+// stdlib) into the registry as partdiff_go_*: heap bytes, goroutine
+// count, the GC pause histogram and the scheduler latency histogram.
+// Bundles and /metrics thereby carry process health next to the
+// database's meters.
+//
+// One runtimeSampler is shared by all four closures; it refreshes at
+// most once per interval, so a Gather (which reads all four) costs a
+// single runtime/metrics.Read.
+
+const runtimeSampleInterval = time.Second
+
+// runtime/metrics keys sampled, in sample-slice order.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+const (
+	sampHeapBytes = iota
+	sampGoroutines
+	sampGCPauses
+	sampSchedLatencies
+)
+
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []rmetrics.Sample
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{samples: make([]rmetrics.Sample, len(runtimeSampleNames))}
+	for i, name := range runtimeSampleNames {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// read refreshes the cached samples if stale and returns them. The
+// returned slice is only valid until the next read; callers extract
+// what they need under the sampler's lock via the with helper.
+func (s *runtimeSampler) with(fn func(samples []rmetrics.Sample)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) >= runtimeSampleInterval {
+		rmetrics.Read(s.samples)
+		s.last = time.Now()
+	}
+	fn(s.samples)
+}
+
+func (s *runtimeSampler) uint64At(i int) int64 {
+	var v int64
+	s.with(func(samples []rmetrics.Sample) {
+		if samples[i].Value.Kind() == rmetrics.KindUint64 {
+			v = int64(samples[i].Value.Uint64())
+		}
+	})
+	return v
+}
+
+func (s *runtimeSampler) histAt(i int) HistogramSnapshot {
+	var snap HistogramSnapshot
+	s.with(func(samples []rmetrics.Sample) {
+		if samples[i].Value.Kind() == rmetrics.KindFloat64Histogram {
+			snap = convertRuntimeHistogram(samples[i].Value.Float64Histogram())
+		}
+	})
+	return snap
+}
+
+// maxRuntimeBuckets bounds the exposition size: runtime histograms have
+// hundreds of buckets, which would dominate the /metrics payload, so
+// adjacent buckets are merged down to at most this many bounds
+// (cumulative counts make merging exact; only bound resolution is
+// lost).
+const maxRuntimeBuckets = 32
+
+// convertRuntimeHistogram converts a runtime/metrics histogram (bucket
+// i counts [Buckets[i], Buckets[i+1]), boundaries may be ±Inf) into the
+// registry's cumulative form. The sum is approximated from bucket
+// midpoints — runtime histograms don't carry an exact sum.
+func convertRuntimeHistogram(h *rmetrics.Float64Histogram) HistogramSnapshot {
+	var snap HistogramSnapshot
+	if h == nil || len(h.Buckets) < 2 {
+		return snap
+	}
+	var cum int64
+	var sum float64
+	for i, c := range h.Counts {
+		cum += int64(c)
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if !math.IsInf(hi, 1) {
+			snap.Bounds = append(snap.Bounds, hi)
+			snap.Buckets = append(snap.Buckets, cum)
+		}
+		if c > 0 {
+			if math.IsInf(lo, -1) {
+				lo = 0
+			}
+			if math.IsInf(hi, 1) {
+				hi = lo
+			}
+			sum += float64(c) * (lo + hi) / 2
+		}
+	}
+	snap.Count = cum
+	snap.Sum = sum
+	if len(snap.Bounds) > maxRuntimeBuckets {
+		stride := (len(snap.Bounds) + maxRuntimeBuckets - 1) / maxRuntimeBuckets
+		var bounds []float64
+		var buckets []int64
+		for i := stride - 1; i < len(snap.Bounds); i += stride {
+			bounds = append(bounds, snap.Bounds[i])
+			buckets = append(buckets, snap.Buckets[i])
+		}
+		if last := len(snap.Bounds) - 1; len(bounds) == 0 || bounds[len(bounds)-1] != snap.Bounds[last] {
+			bounds = append(bounds, snap.Bounds[last])
+			buckets = append(buckets, snap.Buckets[last])
+		}
+		snap.Bounds, snap.Buckets = bounds, buckets
+	}
+	return snap
+}
+
+// registerRuntimeMetrics publishes the partdiff_go_* process-health
+// metrics on r.
+func registerRuntimeMetrics(r *Registry) {
+	s := newRuntimeSampler()
+	r.GaugeFunc("partdiff_go_heap_bytes",
+		"Bytes of live heap objects (runtime /memory/classes/heap/objects).",
+		func() int64 { return s.uint64At(sampHeapBytes) })
+	r.GaugeFunc("partdiff_go_goroutines",
+		"Live goroutines (runtime /sched/goroutines).",
+		func() int64 { return s.uint64At(sampGoroutines) })
+	r.HistogramFunc("partdiff_go_gc_pause_seconds",
+		"Stop-the-world GC pause latency (runtime /gc/pauses).",
+		func() HistogramSnapshot { return s.histAt(sampGCPauses) })
+	r.HistogramFunc("partdiff_go_sched_latency_seconds",
+		"Goroutine scheduling latency (runtime /sched/latencies).",
+		func() HistogramSnapshot { return s.histAt(sampSchedLatencies) })
+}

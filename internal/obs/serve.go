@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -45,6 +49,11 @@ type HandlerOpts struct {
 	// receive traffic yet or anymore (recovery incomplete, WAL
 	// poisoned) and responds 503.
 	Ready HealthFunc
+	// Flight, when set, backs the diagnostics-bundle endpoints:
+	// GET /debug/bundle captures an on-demand bundle and returns it as
+	// JSON, GET /debug/bundles/ lists bundles written to disk and
+	// serves their files.
+	Flight *Recorder
 }
 
 // Handler returns the monitoring endpoint for a registry:
@@ -52,6 +61,8 @@ type HandlerOpts struct {
 //	/metrics       Prometheus text exposition format (?prefix=propnet filters)
 //	/healthz       liveness (200, or 503 + reason when poisoned)
 //	/readyz        readiness (200, or 503 + reason)
+//	/debug/bundle  on-demand diagnostics bundle as JSON (with HandlerOpts.Flight)
+//	/debug/bundles/  bundles on disk: JSON list, /<name>/<file> serves one file
 //	/debug/vars    expvar JSON (stdlib format, partdiff metrics under "partdiff")
 //	/debug/pprof/  Go runtime profiles (CPU, heap, goroutine, block, mutex, trace)
 //	/              a small index page
@@ -77,6 +88,10 @@ func HandlerWith(r *Registry, opts HandlerOpts) http.Handler {
 		}
 		_ = r.WritePrometheus(w)
 	})
+	if opts.Flight != nil {
+		mux.HandleFunc("/debug/bundle", bundleEndpoint(opts.Flight))
+		mux.HandleFunc("/debug/bundles/", bundlesEndpoint(opts.Flight))
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -94,6 +109,7 @@ func HandlerWith(r *Registry, opts HandlerOpts) http.Handler {
 <ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text format (<a href="/metrics?prefix=propnet">?prefix=propnet</a> filters)</li>
 <li><a href="/healthz">/healthz</a> — liveness, <a href="/readyz">/readyz</a> — readiness</li>
+<li><a href="/debug/bundle">/debug/bundle</a> — on-demand diagnostics bundle, <a href="/debug/bundles/">/debug/bundles/</a> — bundles on disk</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar JSON</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go runtime profiles</li>
 </ul>
@@ -103,18 +119,84 @@ func HandlerWith(r *Registry, opts HandlerOpts) http.Handler {
 }
 
 // healthEndpoint renders one HealthFunc as an HTTP endpoint: "ok" on
-// 200, the error text on 503. A nil check is always healthy.
+// 200, the reason (the error text) on 503. Unhealthy responses carry
+// Retry-After: 1 so probes and load balancers back off politely —
+// recovery completes on its own, while poisoning persists until an
+// operator intervenes; either way re-probing in a second is right.
+// A nil check is always healthy.
 func healthEndpoint(check HealthFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if check != nil {
 			if err := check(); err != nil {
+				w.Header().Set("Retry-After", "1")
 				w.WriteHeader(http.StatusServiceUnavailable)
 				fmt.Fprintln(w, err.Error())
 				return
 			}
 		}
 		fmt.Fprintln(w, "ok")
+	}
+}
+
+// bundleEndpoint serves GET /debug/bundle: freeze the recorder window,
+// complete a bundle (metrics, goroutine dump, sources) and return it as
+// a single JSON document. When a bundle directory is configured the
+// bundle is also written to disk and the response carries its path.
+func bundleEndpoint(rec *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if !rec.Armed() {
+			http.Error(w, "flight recorder is not armed", http.StatusServiceUnavailable)
+			return
+		}
+		b := rec.BundleNow(TrigManual, "debug endpoint request")
+		if dir := rec.Dir(); dir != "" {
+			if path, err := b.WriteDir(dir); err == nil {
+				b.Path = path
+				rec.bundleWritten()
+				rec.publishBundle(path)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(b)
+	}
+}
+
+// bundlesEndpoint serves GET /debug/bundles/ (the list of complete
+// bundles on disk, as JSON) and GET /debug/bundles/<name>/<file> (one
+// file from a bundle directory). Bundle and file names are single path
+// elements; anything else is rejected, so the endpoint cannot traverse
+// out of the bundle directory.
+func bundlesEndpoint(rec *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		dir := rec.Dir()
+		if dir == "" {
+			http.Error(w, "flight recorder has no bundle directory", http.StatusNotFound)
+			return
+		}
+		rest := strings.TrimPrefix(req.URL.Path, "/debug/bundles/")
+		if rest == "" {
+			infos, err := rec.ListBundles()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(infos)
+			return
+		}
+		name, file, ok := strings.Cut(rest, "/")
+		if !ok || name == "" || file == "" ||
+			strings.Contains(file, "/") || !fs.ValidPath(name) || !fs.ValidPath(file) ||
+			name == ".." || file == ".." || !strings.HasPrefix(name, "bundle-") {
+			http.Error(w, "bad bundle path", http.StatusBadRequest)
+			return
+		}
+		http.ServeFile(w, req, filepath.Join(dir, name, file))
 	}
 }
 

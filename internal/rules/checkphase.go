@@ -54,7 +54,9 @@ func (m *Manager) checkDeadline() time.Time {
 // wall-clock budget or its context.
 func (m *Manager) overBudget(deadline time.Time) error {
 	if !deadline.IsZero() && time.Now().After(deadline) {
-		return fmt.Errorf("check phase exceeded budget %v (non-terminating cascade?)", m.CheckBudget)
+		err := fmt.Errorf("check phase exceeded budget %v (non-terminating cascade?)", m.CheckBudget)
+		m.obs.Flight.Trigger(obs.TrigCheckBudget, err.Error())
+		return err
 	}
 	if m.CheckContext != nil {
 		if err := m.CheckContext.Err(); err != nil {
@@ -75,7 +77,9 @@ func (m *Manager) checkPhase() error {
 	m.explanations = m.explanations[:0]
 	for round := 1; ; round++ {
 		if round > m.MaxRounds {
-			return fmt.Errorf("rule cascade exceeded %d rounds (non-terminating rule set?)", m.MaxRounds)
+			err := fmt.Errorf("rule cascade exceeded %d rounds (non-terminating rule set?)", m.MaxRounds)
+			m.obs.Flight.Trigger(obs.TrigCheckBudget, err.Error())
+			return err
 		}
 		if err := m.overBudget(deadline); err != nil {
 			return err

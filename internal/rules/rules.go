@@ -359,6 +359,7 @@ func (m *Manager) ensureMaintainer() *maint.Maintainer {
 		m.maintainer = maint.New(cfg)
 		m.maintainer.SetMetrics(maint.NewMetrics(m.obs.Registry))
 		m.maintainer.SetBus(m.obs.Bus)
+		m.maintainer.SetRecorder(m.obs.Flight)
 	}
 	return m.maintainer
 }
@@ -757,6 +758,7 @@ func (m *Manager) ensureNet() error {
 	net.SetObs(m.netMet, m.obs.Tracer)
 	net.SetProfiler(m.obs.Profiler)
 	net.SetBus(m.obs.Bus)
+	net.SetRecorder(m.obs.Flight)
 	net.SetMaintainer(m.maintainer)
 	net.Evaluator().SetMetrics(m.evalMet)
 	net.Evaluator().SetStats(m.stats)

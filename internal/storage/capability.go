@@ -138,5 +138,6 @@ func (s *Store) capViolation(err error) error {
 	if s.bus.Active() {
 		s.bus.Publish(obs.Event{Type: obs.EventSystem, Op: "capability_violation", Detail: err.Error()})
 	}
+	s.rec.Trigger(obs.TrigCapViolation, err.Error())
 	return err
 }

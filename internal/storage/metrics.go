@@ -56,3 +56,11 @@ func (s *Store) SetBus(b *obs.Bus) {
 	defer s.mu.Unlock()
 	s.bus = b
 }
+
+// SetRecorder installs the flight recorder capability violations
+// trigger on (nil disables). Install before concurrent use.
+func (s *Store) SetRecorder(r *obs.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = r
+}

@@ -268,6 +268,9 @@ type Store struct {
 	// bus, when active, receives a system/capability_violation event
 	// for every update rejected by a declared capability (SetBus).
 	bus *obs.Bus
+	// rec, when armed, gets a capability_violation anomaly trigger for
+	// the same rejections (SetRecorder).
+	rec *obs.Recorder
 	// caps holds declared change capabilities (capability.go); relations
 	// absent from the map admit both signs. Guarded by mu. capSuspend
 	// counts open SuspendEnforcement scopes (rollback's inverse replay).

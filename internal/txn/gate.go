@@ -14,6 +14,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"partdiff/internal/obs"
 )
 
 // ErrSessionBusy is returned when a caller's admission deadline expires
@@ -55,6 +57,7 @@ type Gate struct {
 	held bool
 	q    []*gateWaiter
 	met  *Metrics
+	rec  *obs.Recorder
 }
 
 // NewGate returns an open gate.
@@ -71,6 +74,14 @@ func (g *Gate) SetMetrics(m *Metrics) {
 	g.met = m
 }
 
+// SetRecorder installs the flight recorder; each admission notes its
+// wait so the next commit record carries a gate-wait attribution.
+func (g *Gate) SetRecorder(r *obs.Recorder) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rec = r
+}
+
 // Acquire blocks until the caller holds the gate or ctx is done. On
 // deadline or cancellation it returns an error wrapping ErrSessionBusy.
 // Admission is FIFO over live waiters, so no waiter is starved by later
@@ -82,8 +93,11 @@ func (g *Gate) Acquire(ctx context.Context) error {
 		g.mu.Lock()
 		if !g.held && len(g.q) == 0 {
 			g.held = true
+			rec := g.rec
 			g.mu.Unlock()
-			g.met.GateWaitSeconds.Observe(time.Since(start).Seconds())
+			wait := time.Since(start)
+			g.met.GateWaitSeconds.Observe(wait.Seconds())
+			rec.NoteGateWait(wait)
 			return nil
 		}
 		if len(g.q) < gateMaxWaiters {
@@ -108,10 +122,13 @@ func (g *Gate) Acquire(ctx context.Context) error {
 	w := &gateWaiter{ch: make(chan struct{})}
 	g.q = append(g.q, w)
 	g.met.GateDepth.Set(int64(len(g.q)))
+	rec := g.rec
 	g.mu.Unlock()
 	select {
 	case <-w.ch:
-		g.met.GateWaitSeconds.Observe(time.Since(start).Seconds())
+		wait := time.Since(start)
+		g.met.GateWaitSeconds.Observe(wait.Seconds())
+		rec.NoteGateWait(wait)
 		return nil
 	case <-ctx.Done():
 		g.mu.Lock()

@@ -20,9 +20,13 @@ type Metrics struct {
 	CheckFailures   *obs.Counter
 	PersistFailures *obs.Counter
 	// CommitSeconds times Commit end to end; CheckSeconds times just the
-	// deferred check phase inside it.
-	CommitSeconds *obs.Histogram
-	CheckSeconds  *obs.Histogram
+	// deferred check phase inside it. PersistSeconds and AckSeconds
+	// split out the remaining phases (observed on successful commits),
+	// so a slow_commit event is corroborated by per-phase histograms.
+	CommitSeconds  *obs.Histogram
+	CheckSeconds   *obs.Histogram
+	PersistSeconds *obs.Histogram
+	AckSeconds     *obs.Histogram
 	// UndoEvents is the distribution of undo-log lengths at commit or
 	// rollback (physical events per transaction).
 	UndoEvents *obs.Histogram
@@ -54,6 +58,8 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		PersistFailures: r.Counter("partdiff_txn_persist_failures_total", "Commits rolled back by a failing persist (WAL) hook."),
 		CommitSeconds:   r.Histogram("partdiff_txn_commit_seconds", "Wall-clock time of Commit (including the check phase).", obs.DefLatencyBuckets),
 		CheckSeconds:    r.Histogram("partdiff_txn_check_seconds", "Wall-clock time of the deferred check phase.", obs.DefLatencyBuckets),
+		PersistSeconds:  r.Histogram("partdiff_txn_persist_seconds", "Wall-clock time of the persist phase (WAL append + fsync-before-ack) on successful commits.", obs.DefLatencyBuckets),
+		AckSeconds:      r.Histogram("partdiff_txn_ack_seconds", "Wall-clock time of the ack phase (finalize, publish write set, end hooks) on successful commits.", obs.DefLatencyBuckets),
 		UndoEvents:      r.Histogram("partdiff_txn_undo_events", "Physical events logged per finished transaction.", obs.DefSizeBuckets),
 		GateDepth:       r.Gauge("partdiff_txn_gate_depth", "Writers currently queued on the admission gate."),
 		GateWaitSeconds: r.Histogram("partdiff_txn_gate_wait_seconds", "Wall-clock wait for writer admission.", obs.DefLatencyBuckets),
@@ -69,6 +75,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 // invalidation; MarkConflictRetry records an automatic re-run.
 func (m *Manager) MarkConflict() {
 	m.met.Conflicts.Inc()
+	m.rec.NoteConflict()
 	if m.bus.Active() {
 		m.bus.Publish(obs.Event{Type: obs.EventTxn, Op: "conflict"})
 	}
@@ -95,6 +102,12 @@ func (m *Manager) SetObs(met *Metrics, tr *obs.Tracer) {
 // so subscribers never observe rolled-back work. Publication happens
 // under the writer gate, so bus order is commit-sequence order.
 func (m *Manager) SetBus(b *obs.Bus) { m.bus = b }
+
+// SetRecorder installs the flight recorder: every commit appends a
+// phase-timed commit record, conflicts feed the storm trigger, and
+// slow commits / corruption fire anomaly triggers directly (the
+// recorder works even when the bus is disarmed).
+func (m *Manager) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 // SetSlowCommitThreshold arms the slow-commit detector: a commit whose
 // end-to-end latency exceeds d publishes a system/slow_commit event

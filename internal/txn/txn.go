@@ -104,6 +104,11 @@ type Manager struct {
 	// the slow-commit threshold (0 = disabled).
 	bus  *obs.Bus
 	slow time.Duration
+	// rec is the flight recorder: commit records, the stall watchdog's
+	// in-flight tracking, and the slow_commit / corruption /
+	// conflict_storm triggers feed it. Nil-safe and disarmed-cheap like
+	// the bus.
+	rec *obs.Recorder
 }
 
 // NewManager creates a manager subscribed to the store's event stream.
@@ -201,6 +206,7 @@ func (m *Manager) Commit() error {
 		return fmt.Errorf("no active transaction")
 	}
 	start := time.Now()
+	rtok := m.rec.CommitBegin()
 	csp := m.tracer.Begin("txn", "commit", obs.Int("undo_events", len(m.undo)))
 	// Everything logged before the check phase is a user update;
 	// everything appended during it is a rule-action update. Persist
@@ -214,6 +220,10 @@ func (m *Manager) Commit() error {
 		m.met.CheckFailures.Inc()
 		rbErr := m.Rollback()
 		m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+		m.rec.CommitEnd(rtok, obs.CommitRecord{
+			Outcome: "rolled_back", Writes: userLen,
+			CheckMs: ms(time.Since(checkStart)), TotalMs: ms(time.Since(start)),
+		})
 		csp.End(obs.Str("outcome", "rolled_back"))
 		if rbErr != nil {
 			return fmt.Errorf("check phase failed: %v (%w)", err, rbErr)
@@ -226,6 +236,10 @@ func (m *Manager) Commit() error {
 		m.met.PersistFailures.Inc()
 		rbErr := m.Rollback()
 		m.met.CommitSeconds.Observe(time.Since(start).Seconds())
+		m.rec.CommitEnd(rtok, obs.CommitRecord{
+			Outcome: "persist_failed", Writes: userLen, CheckMs: ms(checkDur),
+			PersistMs: ms(time.Since(persistStart)), TotalMs: ms(time.Since(start)),
+		})
 		csp.End(obs.Str("outcome", "persist_failed"))
 		if rbErr != nil {
 			return fmt.Errorf("persist failed: %v (%w)", err, rbErr)
@@ -266,24 +280,38 @@ func (m *Manager) Commit() error {
 		})
 	}
 	total := time.Since(start)
+	// The commit record precedes the slow-commit trigger so a bundle's
+	// frozen window includes the commit that tripped it.
+	m.rec.CommitEnd(rtok, obs.CommitRecord{
+		Outcome: "committed", CommitSeq: m.store.CommitSeq(),
+		CheckMs: ms(checkDur), PersistMs: ms(persistDur), AckMs: ms(ackDur),
+		TotalMs: ms(total), Writes: userLen, Fired: actionLen,
+	})
 	if m.slow > 0 && total > m.slow {
 		m.met.SlowCommits.Inc()
+		detail := fmt.Sprintf("commit exceeded slow threshold (%s > %s)", total, m.slow)
 		m.bus.Publish(obs.Event{
 			Type: obs.EventSystem, Op: "slow_commit", CommitSeq: m.store.CommitSeq(),
 			Ms:        float64(total) / float64(time.Millisecond),
 			CheckMs:   float64(checkDur) / float64(time.Millisecond),
 			PersistMs: float64(persistDur) / float64(time.Millisecond),
 			AckMs:     float64(ackDur) / float64(time.Millisecond),
-			Detail:    fmt.Sprintf("commit exceeded slow threshold (%s > %s)", total, m.slow),
+			Detail:    detail,
 		})
+		m.rec.Trigger(obs.TrigSlowCommit, detail)
 	}
 	// Metrics last (step 5): the observed latency includes the fsync,
 	// and no metric update precedes durability.
 	m.met.Commits.Inc()
 	m.met.CommitSeconds.Observe(total.Seconds())
+	m.met.PersistSeconds.Observe(persistDur.Seconds())
+	m.met.AckSeconds.Observe(ackDur.Seconds())
 	csp.End(obs.Str("outcome", "committed"))
 	return nil
 }
+
+// ms converts a duration to float milliseconds for recorder records.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // runCommitHooks invokes every check-phase callback in registration
 // order, converting a panic into an error so Commit's
@@ -390,6 +418,7 @@ func (m *Manager) Rollback() error {
 	if len(undoErrs) > 0 {
 		err := fmt.Errorf("%w: %v", ErrCorrupt, errors.Join(undoErrs...))
 		m.setCorrupt(err)
+		m.rec.Trigger(obs.TrigCorruption, err.Error())
 		return err
 	}
 	return nil

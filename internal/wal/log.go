@@ -51,6 +51,10 @@ type Log struct {
 	bus   *obs.Bus
 	stall time.Duration
 
+	// rec is the flight recorder: fsync latency samples plus the
+	// fsync_stall and wal_poisoned anomaly triggers. Nil-safe.
+	rec *obs.Recorder
+
 	// Group-commit state (SyncGrouped only): whether a leader's fsync is
 	// in flight, and the round of committers gathered behind it. gmu is
 	// ordered before mu and never held across an fsync.
@@ -184,6 +188,14 @@ func (l *Log) SetBus(b *obs.Bus, stall time.Duration) {
 	l.stall = stall
 }
 
+// SetRecorder installs the flight recorder fsync latencies and the
+// fsync_stall / wal_poisoned triggers feed (nil disables).
+func (l *Log) SetRecorder(r *obs.Recorder) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rec = r
+}
+
 // SetInjector installs a fault injector (nil disables injection).
 func (l *Log) SetInjector(inj *faultinject.Injector) {
 	l.mu.Lock()
@@ -257,10 +269,12 @@ func (l *Log) write(r *Record) error {
 		// stays clean. Only an unremovable partial frame poisons.
 		if terr := l.f.Truncate(l.size); terr != nil {
 			l.err = fmt.Errorf("wal: append failed (%v), truncate failed (%v): log poisoned", err, terr)
+			l.rec.Trigger(obs.TrigWalPoisoned, l.err.Error())
 			return l.err
 		}
 		if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
 			l.err = fmt.Errorf("wal: append failed (%v), reseek failed (%v): log poisoned", err, serr)
+			l.rec.Trigger(obs.TrigWalPoisoned, l.err.Error())
 			return l.err
 		}
 		return fmt.Errorf("wal append: %w", err)
@@ -300,22 +314,29 @@ func (l *Log) syncLocked() error {
 	}()
 	if err := l.inj.Fire(faultinject.WalFsync); err != nil {
 		l.err = fmt.Errorf("wal fsync: %w", err)
+		l.rec.Trigger(obs.TrigWalPoisoned, l.err.Error())
 		return l.err
 	}
 	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal fsync: %w", err)
+		l.rec.Trigger(obs.TrigWalPoisoned, l.err.Error())
 		return l.err
 	}
 	dur := time.Since(start)
 	l.met.Fsyncs.Inc()
 	l.met.FsyncSeconds.Observe(dur.Seconds())
-	if l.bus.Active() && l.stall > 0 && dur > l.stall {
-		l.bus.Publish(obs.Event{
-			Type: obs.EventSystem, Op: "fsync_stall",
-			Ms:     float64(dur) / float64(time.Millisecond),
-			Detail: fmt.Sprintf("wal fsync took %s (threshold %s)", dur, l.stall),
-		})
+	l.rec.RecordFsync("fsync", dur)
+	if l.stall > 0 && dur > l.stall {
+		detail := fmt.Sprintf("wal fsync took %s (threshold %s)", dur, l.stall)
+		if l.bus.Active() {
+			l.bus.Publish(obs.Event{
+				Type: obs.EventSystem, Op: "fsync_stall",
+				Ms:     float64(dur) / float64(time.Millisecond),
+				Detail: detail,
+			})
+		}
+		l.rec.Trigger(obs.TrigFsyncStall, detail)
 	}
 	return nil
 }

@@ -156,6 +156,11 @@ type config struct {
 	wwSet       bool
 	slowCommit  time.Duration
 
+	// Flight recorder: arm when flightRec is set; flightDir, when
+	// non-empty, is where diagnostics bundles land.
+	flightRec bool
+	flightDir string
+
 	// Durability knobs (OpenDir only).
 	sync       SyncPolicy
 	ckptEvery  int
@@ -292,6 +297,19 @@ func WithSlowCommitThreshold(d time.Duration) Option {
 	return func(c *config) { c.slowCommit = d }
 }
 
+// WithFlightRecorder arms the always-on flight recorder: fixed-size
+// in-memory rings continuously capture propagation-wave summaries,
+// per-commit phase timings, WAL fsync latencies, hybrid-chooser
+// decisions and recent events. When an anomaly trigger fires (slow
+// commit, fsync stall, capability violation, corruption, WAL
+// poisoning, check-budget abort, conflict storm, commit stall) the
+// window is frozen and written to dir as a self-contained diagnostics
+// bundle; an empty dir captures (and counts triggers) without writing
+// bundles. See DB.FlightRecorder for runtime control.
+func WithFlightRecorder(dir string) Option {
+	return func(c *config) { c.flightRec, c.flightDir = true, dir }
+}
+
 // WithSyncPolicy selects the write-ahead log's fsync policy (default
 // SyncAlways). Only meaningful with OpenDir.
 func WithSyncPolicy(p SyncPolicy) Option {
@@ -366,6 +384,9 @@ func open(opts []Option) (*DB, *config) {
 	}
 	if cfg.slowCommit > 0 {
 		db.sess.Txns().SetSlowCommitThreshold(cfg.slowCommit)
+	}
+	if cfg.flightRec {
+		db.sess.SetFlightRecorder(cfg.flightDir)
 	}
 	return db, &cfg
 }
@@ -645,7 +666,8 @@ const (
 	// conflict).
 	EventTxn = obs.EventTxn
 	// EventSystem: checkpoint, recovery, wal fsync stalls, capability
-	// violations, slow commits.
+	// violations, slow commits, hybrid strategy switches, diagnostics
+	// bundles written by the flight recorder.
 	EventSystem = obs.EventSystem
 	// EventGap: synthesized locally on a subscription whose buffer
 	// overflowed, carrying the count of missed events.
@@ -676,16 +698,27 @@ func (db *DB) Subscribe(types ...EventType) *Subscription {
 // application events.
 func (db *DB) EventBus() *obs.Bus { return db.sess.Observability().Bus }
 
+// FlightRecorder exposes the database's flight recorder (never nil;
+// disarmed unless WithFlightRecorder was given or Arm is called). Use
+// it to Dump an on-demand diagnostics bundle, tune trigger thresholds,
+// list bundles on disk, or write the shell's \flightrec report.
+func (db *DB) FlightRecorder() *obs.Recorder { return db.sess.FlightRecorder() }
+
 // MonitorHandler returns an http.Handler serving the database's live
 // monitoring surface: Prometheus text at /metrics (filterable with
 // ?prefix=), expvar JSON at /debug/vars, Go runtime profiles at
-// /debug/pprof/, and the /healthz and /readyz probes (liveness fails
-// once the database is poisoned; readiness additionally requires
-// recovery to be complete and the write-ahead log healthy).
+// /debug/pprof/, the /healthz and /readyz probes (liveness fails once
+// the database is poisoned; readiness additionally requires recovery
+// to be complete and the write-ahead log healthy, and names the
+// blocking state — corrupt, recovering, wal-poisoned — in the 503
+// body), and the flight recorder's diagnostics bundles: GET
+// /debug/bundle captures one on demand, GET /debug/bundles/ lists and
+// serves those written to disk.
 func (db *DB) MonitorHandler() http.Handler {
 	return obs.HandlerWith(db.sess.Observability().Registry, obs.HandlerOpts{
-		Live:  db.sess.Live,
-		Ready: db.sess.Ready,
+		Live:   db.sess.Live,
+		Ready:  db.sess.Ready,
+		Flight: db.sess.FlightRecorder(),
 	})
 }
 
